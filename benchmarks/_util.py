@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints it, and appends it to ``benchmarks/results/`` so the numbers are
+inspectable after a ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, lines: list[str]) -> str:
+    """Print and persist a benchmark report; returns the text."""
+    text = "\n".join(lines)
+    banner = f"==== {name} ===="
+    print(f"\n{banner}\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The paper's experiments are generation campaigns, not
+    microbenchmarks; repeating them for statistics would multiply
+    minutes of runtime for no insight.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

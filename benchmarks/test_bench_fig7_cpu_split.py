@@ -1,0 +1,70 @@
+"""Figure 7: CPU-time distribution of test generation.
+
+The paper reports that constraint solving in Z3 accounts for <10% of
+P4Testgen's CPU time — the symbolic interpretation side dominates.  We
+measure the same decomposition for our substrate: CDCL SAT search, CNF
+encoding (bit-blasting), symbolic stepping, and the remaining
+finalization machinery, against the total wall time of the generation
+run (which includes the eager feasibility pruning the paper also
+performs).
+
+DEVIATION (recorded in EXPERIMENTS.md): the paper pairs a C++
+interpreter with Z3's C core, so solving is a sliver.  We pair a Python
+interpreter with a *Python* SAT solver, which inflates the solver share
+by roughly the C-to-Python constant.  The reproduced shape is the
+decomposition itself plus the paper's enabling observation — incremental
+solving keeps the per-check cost low (hundreds of checks, all answered
+within milliseconds each).
+"""
+
+import time
+
+from _util import once, report
+
+from repro import TestGen, load_program
+from repro.targets import V1Model
+
+
+def test_fig7_cpu_split(benchmark):
+    def run():
+        t0 = time.perf_counter()
+        gen = TestGen(load_program("middleblock"), target=V1Model(), seed=1)
+        explorer = gen.explorer(max_tests=120)
+        tests = list(explorer.run())
+        wall = time.perf_counter() - t0
+        return explorer, tests, wall
+
+    explorer, tests, wall = once(benchmark, run)
+    solver = explorer.solver.stats
+    stats = explorer.stats
+    solve = solver.solve_time
+    blast = solver.blast_time
+    stepping = stats.step_time
+    other = max(wall - solve - blast - stepping, 0.0)
+
+    def pct(x):
+        return 100.0 * x / wall if wall else 0.0
+
+    lines = [
+        f"tests generated: {len(tests)}",
+        f"total wall time:       {wall:8.2f} s",
+        f"  SAT solving (CDCL):  {solve:8.2f} s ({pct(solve):5.1f}%)",
+        f"  CNF encoding:        {blast:8.2f} s ({pct(blast):5.1f}%)",
+        f"  symbolic stepping:   {stepping:8.2f} s ({pct(stepping):5.1f}%)",
+        f"  other (finalize/IO): {other:8.2f} s ({pct(other):5.1f}%)",
+        f"solver checks: {solver.checks} (sat={solver.sat_answers}, "
+        f"unsat={solver.unsat_answers}); "
+        f"{1000 * solve / max(solver.checks, 1):.1f} ms/check",
+        "",
+        "paper: Z3 <10% (C++ interpreter vs C solver).  Here the solver",
+        "is Python, so its share is inflated by the implementation",
+        "constant; the decomposition and the cheap-incremental-check",
+        "property are the reproduced shape.",
+    ]
+    report("fig7_cpu_split", lines)
+
+    assert len(tests) > 0
+    # Accounting sanity: the categories must cover the run.
+    assert solve + blast + stepping <= wall * 1.05
+    # The enabling property: incremental checks stay cheap.
+    assert solve / max(solver.checks, 1) < 0.5, "per-check cost exploded"

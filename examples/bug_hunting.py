@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Bug-finding campaign demo (paper §7, Tbl. 2/3).
+
+Plants seeded faults (compiler mistranslations, model crashes, test
+back-end defects) into the simulated toolchains and shows which ones
+the oracle-generated tests expose, classified like the paper:
+"exception" vs "wrong code" bugs per target.
+
+Usage:  python examples/bug_hunting.py
+"""
+
+from repro.faults import run_campaign
+from repro.targets import Tna, V1Model
+
+
+def main() -> int:
+    cases = [
+        ("fig1a", V1Model),
+        ("mpls_stack", V1Model),
+        ("tiny_hdr", V1Model),
+        ("middleblock", V1Model),
+        ("tna_forward", Tna),
+        ("switch_lite", Tna),
+    ]
+    print("running seeded-fault campaign "
+          f"({len(cases)} program/target pairs)...\n")
+    result = run_campaign(cases, seed=1, max_tests=25)
+
+    print("=== detected bugs (Tbl. 3 shape) ===")
+    for label, status, bug_type, description in result.table3_rows():
+        print(f"  {label:12s} {status:6s} {bug_type:10s} {description}")
+
+    print("\n=== bug counts (Tbl. 2 shape) ===")
+    table = result.table2()
+    print(f"{'Bug Type':12s} " + " ".join(
+        f"{t:>8s}" for t in table if t != "total") + f" {'Total':>8s}")
+    for bug_type in ("exception", "wrong_code"):
+        row = [table[t].get(bug_type, 0) for t in table if t != "total"]
+        print(f"{bug_type:12s} " + " ".join(f"{v:8d}" for v in row)
+              + f" {table['total'][bug_type]:8d}")
+
+    missed = [f for f in result.findings if not f.detected]
+    print(f"\n{len(result.detected())} faults exposed, "
+          f"{len(missed)} planted faults not triggered by these programs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

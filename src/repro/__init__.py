@@ -1,0 +1,18 @@
+"""repro: a Python reproduction of "P4Testgen: An Extensible Test
+Oracle for P4-16" (SIGCOMM 2023).
+
+Quickstart::
+
+    from repro import TestGen, load_program
+    from repro.targets import V1Model
+
+    gen = TestGen(load_program("fig1a"), target=V1Model(), seed=1)
+    result = gen.run(max_tests=10)
+    print(result.coverage_report())
+    print(result.emit("stf"))
+"""
+
+from .oracle import TestGen, TestGenResult, load_program
+
+__version__ = "1.0.0"
+__all__ = ["TestGen", "TestGenResult", "load_program", "__version__"]

@@ -1,0 +1,131 @@
+"""Command-line interface: ``python -m repro``.
+
+Mirrors the p4testgen binary's surface::
+
+    python -m repro generate fig1a --target v1model --max-tests 10 \\
+        --test-backend stf --seed 1 [--out tests.stf]
+    python -m repro run fig1a --target v1model --seed 1
+    python -m repro list-programs
+    python -m repro list-targets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import TestGen, load_program
+from .programs import list_programs
+from .targets import TARGETS, Preconditions, get_target
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="P4Testgen reproduction: generate input/output tests "
+                    "for P4-16 programs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate tests for a program")
+    gen.add_argument("program", help="corpus name, .p4 path, or '-' for stdin")
+    gen.add_argument("--target", default="v1model", choices=sorted(TARGETS))
+    gen.add_argument("--test-backend", default="stf",
+                     choices=["stf", "ptf", "protobuf"])
+    gen.add_argument("--max-tests", type=int, default=10,
+                     help="0 = exhaustive")
+    gen.add_argument("--seed", type=int, default=1)
+    gen.add_argument("--strategy", default="dfs",
+                     choices=["dfs", "random", "greedy"])
+    gen.add_argument("--fixed-packet-size", type=int, default=None,
+                     metavar="BYTES")
+    gen.add_argument("--p4constraints", action="store_true")
+    gen.add_argument("--stop-at-full-coverage", action="store_true")
+    gen.add_argument("--randomize-values", action="store_true",
+                     help="prefer random control-plane values (§3)")
+    gen.add_argument("--out", default=None, help="write tests to a file")
+
+    run = sub.add_parser(
+        "run", help="generate tests and replay them on the software model"
+    )
+    run.add_argument("program")
+    run.add_argument("--target", default="v1model", choices=sorted(TARGETS))
+    run.add_argument("--max-tests", type=int, default=10)
+    run.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("list-programs", help="list the shipped P4 corpus")
+    sub.add_parser("list-targets", help="list instantiated targets")
+    return parser
+
+
+def _load(program_arg: str):
+    if program_arg == "-":
+        return load_program(sys.stdin.read(), source_name="<stdin>")
+    return load_program(program_arg)
+
+
+def cmd_generate(args) -> int:
+    program = _load(args.program)
+    preconditions = Preconditions(
+        fixed_packet_size_bytes=args.fixed_packet_size,
+        p4constraints=args.p4constraints,
+    )
+    target = get_target(
+        args.target,
+        preconditions=preconditions,
+        test_framework=args.test_backend,
+    )
+    oracle = TestGen(program, target=target, seed=args.seed,
+                     strategy=args.strategy,
+                     randomize_values=args.randomize_values)
+    result = oracle.run(
+        max_tests=args.max_tests or None,
+        stop_at_full_coverage=args.stop_at_full_coverage,
+    )
+    text = result.emit(args.test_backend)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(result.tests)} tests to {args.out}")
+    else:
+        print(text)
+    print(result.coverage_report(), file=sys.stderr)
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .testback.runner import run_suite
+
+    program = _load(args.program)
+    target = get_target(args.target)
+    result = TestGen(program, target=target, seed=args.seed).run(
+        max_tests=args.max_tests or None
+    )
+    passed, runs = run_suite(result.tests, program)
+    for run in runs:
+        status = "PASS" if run.passed else f"FAIL ({run.kind}: {run.detail})"
+        print(f"test {run.test_id}: {status}")
+    print(f"{passed}/{len(runs)} tests pass; "
+          f"{result.statement_coverage:.1f}% statement coverage")
+    return 0 if passed == len(runs) else 1
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "generate":
+        return cmd_generate(args)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "list-programs":
+        for name in list_programs():
+            print(name)
+        return 0
+    if args.command == "list-targets":
+        for name in sorted(TARGETS):
+            print(name)
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""Control-plane modeling: table entries and P4-constraints."""
+
+from .p4constraints import ConstraintError, constraint_terms, parse_constraint
+
+__all__ = ["parse_constraint", "constraint_terms", "ConstraintError"]

@@ -1,0 +1,181 @@
+"""P4-constraints support (paper §6.1.1).
+
+Tables can be annotated with an entry restriction, e.g.::
+
+    @entry_restriction("type == 0xBEEF || type == 0x0800")
+    table forward_table { ... }
+
+P4Testgen converts the annotation into predicates over the synthesized
+control-plane entry's key variables and applies them as preconditions,
+which restricts the entries it may generate (and thereby the number of
+tests, Tbl. 4b).
+
+The constraint language is a boolean expression over key names:
+integers (decimal/hex/binary), ``== != < <= > >=``, ``&& || !``,
+parentheses, and ``true``/``false``.  Key names may use ``::`` or ``.``
+separators; they are matched against the table key's control-plane
+name (last component wins if unambiguous).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..smt import terms as T
+
+__all__ = ["parse_constraint", "ConstraintError", "constraint_terms"]
+
+
+class ConstraintError(Exception):
+    pass
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_:.$]*)"
+    r"|(?P<op>&&|\|\||==|!=|<=|>=|[!<>()]))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    out = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            if text[pos:].strip() == "":
+                break
+            raise ConstraintError(f"bad constraint syntax at {text[pos:pos+10]!r}")
+        if m.group("num"):
+            out.append(("num", m.group("num")))
+        elif m.group("name"):
+            out.append(("name", m.group("name")))
+        else:
+            out.append(("op", m.group("op")))
+        pos = m.end()
+    out.append(("eof", ""))
+    return out
+
+
+class _Parser:
+    """Pratt-style parser building a small expression tree."""
+
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self):
+        return self.tokens[self.pos]
+
+    def next(self):
+        tok = self.tokens[self.pos]
+        if tok[0] != "eof":
+            self.pos += 1
+        return tok
+
+    def parse(self):
+        node = self.parse_or()
+        if self.peek()[0] != "eof":
+            raise ConstraintError(f"trailing tokens: {self.peek()!r}")
+        return node
+
+    def parse_or(self):
+        node = self.parse_and()
+        while self.peek() == ("op", "||"):
+            self.next()
+            node = ("or", node, self.parse_and())
+        return node
+
+    def parse_and(self):
+        node = self.parse_not()
+        while self.peek() == ("op", "&&"):
+            self.next()
+            node = ("and", node, self.parse_not())
+        return node
+
+    def parse_not(self):
+        if self.peek() == ("op", "!"):
+            self.next()
+            return ("not", self.parse_not())
+        return self.parse_cmp()
+
+    def parse_cmp(self):
+        left = self.parse_atom()
+        kind, text = self.peek()
+        if kind == "op" and text in ("==", "!=", "<", "<=", ">", ">="):
+            self.next()
+            right = self.parse_atom()
+            return ("cmp", text, left, right)
+        return left
+
+    def parse_atom(self):
+        kind, text = self.next()
+        if kind == "num":
+            return ("num", int(text, 0))
+        if kind == "name":
+            if text == "true":
+                return ("bool", True)
+            if text == "false":
+                return ("bool", False)
+            return ("key", text)
+        if (kind, text) == ("op", "("):
+            node = self.parse_or()
+            if self.next() != ("op", ")"):
+                raise ConstraintError("missing )")
+            return node
+        raise ConstraintError(f"unexpected token {text!r}")
+
+
+def parse_constraint(text: str):
+    return _Parser(_tokenize(text)).parse()
+
+
+def _lookup_key(name: str, key_vars: dict[str, T.Term]) -> T.Term:
+    if name in key_vars:
+        return key_vars[name]
+    # Allow qualified names: match by last component.
+    last = re.split(r"::|\.", name)[-1]
+    matches = [t for k, t in key_vars.items() if re.split(r"::|\.", k)[-1] == last]
+    if len(matches) == 1:
+        return matches[0]
+    raise ConstraintError(f"constraint references unknown key {name!r}")
+
+
+def _to_term(node, key_vars: dict[str, T.Term]):
+    kind = node[0]
+    if kind == "or":
+        return T.or_(_to_term(node[1], key_vars), _to_term(node[2], key_vars))
+    if kind == "and":
+        return T.and_(_to_term(node[1], key_vars), _to_term(node[2], key_vars))
+    if kind == "not":
+        return T.not_(_to_term(node[1], key_vars))
+    if kind == "bool":
+        return T.bool_const(node[1])
+    if kind == "cmp":
+        _tag, op, left, right = node
+        lt = _operand(left, key_vars, right)
+        rt = _operand(right, key_vars, left)
+        ops = {
+            "==": T.eq, "!=": T.ne, "<": T.ult, "<=": T.ule,
+            ">": T.ugt, ">=": T.uge,
+        }
+        return ops[op](lt, rt)
+    raise ConstraintError(f"constraint node {node!r} is not boolean")
+
+
+def _operand(node, key_vars, other):
+    if node[0] == "key":
+        return _lookup_key(node[1], key_vars)
+    if node[0] == "num":
+        width = 32
+        if other is not None and other[0] == "key":
+            width = _lookup_key(other[1], key_vars).width
+        return T.bv_const(node[1], width)
+    raise ConstraintError(f"bad comparison operand {node!r}")
+
+
+def constraint_terms(constraint_src: str, key_vars: dict[str, T.Term]) -> list[T.Term]:
+    """Parse and instantiate a constraint against the key variables of a
+    synthesized table entry; returns SMT terms to assert."""
+    tree = parse_constraint(constraint_src)
+    return [_to_term(tree, key_vars)]

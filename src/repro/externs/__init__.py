@@ -1,0 +1,6 @@
+"""Extern function library: concrete implementations shared by the
+concolic resolver and the reference interpreters."""
+
+from .checksum import CHECKSUM_ALGORITHMS, ones_complement16
+
+__all__ = ["CHECKSUM_ALGORITHMS", "ones_complement16"]

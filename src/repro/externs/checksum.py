@@ -1,0 +1,149 @@
+"""Concrete checksum and hash implementations.
+
+These are the "actual extern implementation" half of concolic execution
+(paper §5.4): the symbolic executor leaves a placeholder variable for
+the result, then calls one of these functions on concrete argument
+values pulled from the SMT model.  The concrete interpreters in
+:mod:`repro.interp` call the same functions, which is what makes the
+generated tests pass end-to-end.
+
+Data is passed as a list of ``(width, value)`` pairs describing the
+fields being checksummed, in order.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "pack_fields",
+    "ones_complement16",
+    "xor16",
+    "identity_hash",
+    "crc8",
+    "crc16",
+    "crc32",
+    "crc64",
+    "CHECKSUM_ALGORITHMS",
+]
+
+
+def pack_fields(fields: list[tuple[int, int]]) -> tuple[int, int]:
+    """Concatenate (width, value) pairs into one integer; returns
+    (total_width, value)."""
+    total = 0
+    value = 0
+    for width, v in fields:
+        value = (value << width) | (v & ((1 << width) - 1))
+        total += width
+    return total, value
+
+
+def _to_bytes(fields: list[tuple[int, int]]) -> bytes:
+    total, value = pack_fields(fields)
+    nbytes = (total + 7) // 8
+    if nbytes == 0:
+        return b""
+    value <<= nbytes * 8 - total  # pad on the right, wire order
+    return value.to_bytes(nbytes, "big")
+
+
+def ones_complement16(fields: list[tuple[int, int]], out_width: int = 16) -> int:
+    """The Internet checksum (RFC 1071), aka v1model ``csum16``."""
+    data = _to_bytes(fields)
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    result = (~total) & 0xFFFF
+    return result & ((1 << out_width) - 1)
+
+
+def xor16(fields: list[tuple[int, int]], out_width: int = 16) -> int:
+    data = _to_bytes(fields)
+    if len(data) % 2:
+        data += b"\x00"
+    out = 0
+    for i in range(0, len(data), 2):
+        out ^= (data[i] << 8) | data[i + 1]
+    return out & ((1 << out_width) - 1)
+
+
+def identity_hash(fields: list[tuple[int, int]], out_width: int = 16) -> int:
+    _total, value = pack_fields(fields)
+    return value & ((1 << out_width) - 1)
+
+
+def _crc_generic(data: bytes, width: int, poly: int, init: int,
+                 refin: bool, refout: bool, xorout: int) -> int:
+    def reflect(v: int, bits: int) -> int:
+        out = 0
+        for i in range(bits):
+            if (v >> i) & 1:
+                out |= 1 << (bits - 1 - i)
+        return out
+
+    topbit = 1 << (width - 1)
+    mask = (1 << width) - 1
+    crc = init
+    for byte in data:
+        if refin:
+            byte = reflect(byte, 8)
+        crc ^= byte << (width - 8)
+        for _ in range(8):
+            if crc & topbit:
+                crc = ((crc << 1) ^ poly) & mask
+            else:
+                crc = (crc << 1) & mask
+    if refout:
+        crc = reflect(crc, width)
+    return (crc ^ xorout) & mask
+
+
+def crc8(fields: list[tuple[int, int]], out_width: int = 8) -> int:
+    value = _crc_generic(_to_bytes(fields), 8, 0x07, 0x00, False, False, 0x00)
+    return value & ((1 << out_width) - 1)
+
+
+def crc16(fields: list[tuple[int, int]], out_width: int = 16) -> int:
+    # CRC-16/ARC, the polynomial BMv2 uses for HashAlgorithm.crc16.
+    value = _crc_generic(_to_bytes(fields), 16, 0x8005, 0x0000, True, True, 0x0000)
+    return value & ((1 << out_width) - 1)
+
+
+def crc32(fields: list[tuple[int, int]], out_width: int = 32) -> int:
+    import zlib
+
+    value = zlib.crc32(_to_bytes(fields)) & 0xFFFFFFFF
+    return value & ((1 << out_width) - 1)
+
+
+def crc64(fields: list[tuple[int, int]], out_width: int = 64) -> int:
+    value = _crc_generic(
+        _to_bytes(fields), 64, 0x42F0E1EBA9EA3693, 0x0, False, False, 0x0
+    )
+    return value & ((1 << out_width) - 1)
+
+
+# Names match the v1model HashAlgorithm / tna HashAlgorithm_t members.
+CHECKSUM_ALGORITHMS = {
+    "csum16": ones_complement16,
+    "xor16": xor16,
+    "identity": identity_hash,
+    "IDENTITY": identity_hash,
+    "crc8": crc8,
+    "CRC8": crc8,
+    "crc16": crc16,
+    "crc16_custom": crc16,
+    "CRC16": crc16,
+    "crc32": crc32,
+    "crc32_custom": crc32,
+    "CRC32": crc32,
+    "crc64": crc64,
+    "CRC64": crc64,
+    "random": identity_hash,   # "random" hash is still deterministic per flow
+    "RANDOM": identity_hash,
+    "CUSTOM": crc16,
+}

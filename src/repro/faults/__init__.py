@@ -1,0 +1,9 @@
+"""Seeded-fault injection for the bug-finding evaluation (Tbl. 2/3)."""
+
+from .campaign import CampaignResult, Finding, run_campaign
+from .mutations import MUTATION_CATALOG, Mutation, mutations_for
+
+__all__ = [
+    "Mutation", "MUTATION_CATALOG", "mutations_for",
+    "run_campaign", "CampaignResult", "Finding",
+]

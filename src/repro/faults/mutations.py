@@ -1,0 +1,520 @@
+"""Seeded toolchain faults for the bug-finding evaluation (Tbl. 2/3).
+
+The paper counts real bugs P4Testgen exposed in the BMv2 and Tofino
+toolchains.  We cannot ship those toolchains, so the reproduction plants
+*seeded faults* of the same two classes in the concrete simulators and
+checks that oracle-generated tests expose them:
+
+- **exception** faults crash the simulated toolchain on specific inputs
+  (header-stack out-of-bounds crash, zero-length-packet crash, name
+  handling in the test back end — cf. BMV2-1, P4C-1, P4C-4);
+- **wrong-code** faults silently mistranslate the program (swallowed
+  ``table.apply``, wrong header-stack operation, dropped emit — cf.
+  P4C-7, P4C-3/P4C-5).
+
+A mutation either rewrites the freshly-loaded IR (a "compiler" bug) or
+wraps simulator hooks (a "software model / test framework" bug).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import nodes as N
+from ..interp.core import InterpError
+
+__all__ = ["Mutation", "MUTATION_CATALOG", "mutations_for"]
+
+EXCEPTION = "exception"
+WRONG_CODE = "wrong_code"
+
+
+@dataclass
+class Mutation:
+    name: str
+    bug_type: str            # "exception" | "wrong_code"
+    description: str
+    # apply_ir(program) -> bool (False: not applicable to this program)
+    apply_ir: object = None
+    # wrap_sim(simulator) -> bool
+    wrap_sim: object = None
+
+    def apply(self, program, simulator) -> bool:
+        """Plant the fault; returns False when the program has no site
+        this fault applies to."""
+        if self.apply_ir is not None:
+            return bool(self.apply_ir(program))
+        if self.wrap_sim is not None:
+            return bool(self.wrap_sim(simulator))
+        return False
+
+
+# ---------------------------------------------------------------------------
+# IR ("compiler") mutations
+# ---------------------------------------------------------------------------
+
+def _all_bodies(program):
+    for control in program.controls.values():
+        yield control.apply_stmts
+        for action in control.actions.values():
+            yield action.body
+    for action in program.actions.values():
+        yield action.body
+    for parser in program.parsers.values():
+        for state in parser.states.values():
+            yield state.statements
+
+
+def _find_stmt(program, predicate):
+    """Find (body, index) of the first statement matching predicate,
+    searching nested blocks."""
+    def search(body):
+        for i, s in enumerate(body):
+            if predicate(s):
+                return body, i
+            if isinstance(s, N.IrIf):
+                hit = search(s.then_stmts) or search(s.else_stmts)
+                if hit:
+                    return hit
+            if isinstance(s, N.IrSwitch):
+                for _labels, inner in s.cases:
+                    hit = search(inner)
+                    if hit:
+                        return hit
+        return None
+
+    for body in _all_bodies(program):
+        hit = search(body)
+        if hit:
+            return hit
+    return None
+
+
+def mut_swallow_table_apply(program) -> bool:
+    """P4C-7 flavor: the compiler swallowed a table.apply()."""
+    hit = _find_stmt(program, lambda s: isinstance(s, N.IrApplyTable))
+    if hit is None:
+        return False
+    body, i = hit
+    del body[i]
+    return True
+
+
+def mut_drop_emit(program) -> bool:
+    """Deparser mistranslation: one emit call disappears."""
+    hit = _find_stmt(
+        program,
+        lambda s: isinstance(s, N.IrMethodCall) and s.call.func == "emit",
+    )
+    if hit is None:
+        return False
+    body, i = hit
+    del body[i]
+    return True
+
+
+def mut_flip_binop(program) -> bool:
+    """Arithmetic mistranslation: the first '+' becomes '-'."""
+    def flip(e):
+        if isinstance(e, N.IrBinop) and e.op == "+":
+            return N.IrBinop(p4_type=e.p4_type, op="-", left=e.left, right=e.right)
+        return None
+
+    return _rewrite_first_expr(program, flip)
+
+
+def mut_constant_off_by_one(program) -> bool:
+    """A literal in an assignment is emitted off by one."""
+    def bump(e):
+        if isinstance(e, N.IrConst) and e.p4_type is not None \
+                and e.p4_type.is_scalar() and not isinstance(e.value, bool) \
+                and e.p4_type.bit_width() > 1:
+            mask = (1 << e.p4_type.bit_width()) - 1
+            return N.IrConst(p4_type=e.p4_type, value=(e.value + 1) & mask)
+        return None
+
+    return _rewrite_first_expr(program, bump)
+
+
+def mut_swap_if_branches(program) -> bool:
+    """Branch polarity mistranslation."""
+    hit = _find_stmt(
+        program,
+        lambda s: isinstance(s, N.IrIf) and s.then_stmts and s.else_stmts,
+    )
+    if hit is None:
+        hit = _find_stmt(program, lambda s: isinstance(s, N.IrIf) and s.then_stmts)
+    if hit is None:
+        return False
+    body, i = hit
+    stmt = body[i]
+    stmt.then_stmts, stmt.else_stmts = stmt.else_stmts, stmt.then_stmts
+    return True
+
+
+def mut_wrong_default_action(program) -> bool:
+    """The control plane applies the wrong default action (first action
+    ref instead of the declared default)."""
+    for control in program.controls.values():
+        for table in control.tables.values():
+            if table.action_refs and table.default_action is not None:
+                first = table.action_refs[0]
+                if first.action != table.default_action.action:
+                    table.default_action = N.IrActionRef(action=first.action, args=[])
+                    return True
+    return False
+
+
+def _rewrite_first_expr(program, rewrite) -> bool:
+    """Apply ``rewrite`` to the first matching expression inside any
+    assignment; returns True if something changed."""
+    def walk(e):
+        if e is None or not isinstance(e, N.IrExpr):
+            return None
+        out = rewrite(e)
+        if out is not None:
+            return out
+        for attr in ("left", "right", "operand", "cond", "then", "other", "expr"):
+            child = getattr(e, attr, None)
+            if isinstance(child, N.IrExpr):
+                new_child = walk(child)
+                if new_child is not None:
+                    kwargs = {
+                        k: getattr(e, k)
+                        for k in e.__dataclass_fields__
+                    }
+                    kwargs[attr] = new_child
+                    return type(e)(**kwargs)
+        return None
+
+    def scan(body):
+        for s in body:
+            if isinstance(s, N.IrAssign):
+                new_value = walk(s.value)
+                if new_value is not None:
+                    s.value = new_value
+                    return True
+            elif isinstance(s, N.IrIf):
+                if scan(s.then_stmts) or scan(s.else_stmts):
+                    return True
+            elif isinstance(s, N.IrSwitch):
+                for _labels, inner in s.cases:
+                    if scan(inner):
+                        return True
+        return False
+
+    for body in _all_bodies(program):
+        if scan(body):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Simulator ("software model / test framework") mutations
+# ---------------------------------------------------------------------------
+
+def wrap_crash_on_stack_next(simulator) -> bool:
+    """BMV2-1 flavor: accessing header stacks crashes the model."""
+    original = simulator.packet_op
+
+    def patched(ex, call):
+        if call.func == "extract":
+            lv = call.args[0]
+            if isinstance(lv, N.FieldLV) and lv.field == "next":
+                raise InterpError("BMV2-1: header stack access crashed the model")
+        return original(ex, call)
+
+    simulator.packet_op = patched
+    return True
+
+
+def wrap_crash_on_empty_packet(simulator) -> bool:
+    """BMv2 zero-length quirk escalated to a crash (issue #977 flavor)."""
+    original = simulator.process
+
+    def patched(port, bits, width, config):
+        if width == 0:
+            raise_exc = InterpError("model crash: zero-length packet")
+            result = type(original(port, 0, 8, config))()
+            result.error = str(raise_exc)
+            return result
+        return original(port, bits, width, config)
+
+    simulator.process = patched
+    return True
+
+
+def wrap_crash_on_dollar_key(simulator) -> bool:
+    """P4C-1/P4C-4 flavor: the test back end cannot process certain key
+    names; keys carrying expression-ish names crash entry insertion."""
+    original = simulator.process
+
+    def patched(port, bits, width, config):
+        for entry in config.entries:
+            for name, _kind, _roles in entry.keys:
+                if any(ch in name for ch in "$()[]"):
+                    result = type(original(port, bits, width, Config_empty()))()
+                    result.error = "test back end crashed on key name"
+                    return result
+        return original(port, bits, width, config)
+
+    def Config_empty():
+        from ..interp.core import Config
+
+        return Config()
+
+    simulator.process = patched
+    return True
+
+
+def wrap_wrong_drop_port(simulator) -> bool:
+    """The model checks the wrong drop port constant (510 vs 511)."""
+    if not hasattr(simulator, "process") or simulator.__class__.__name__ != \
+            "Bmv2Simulator":
+        return False
+    from ..interp import bmv2
+
+    original = simulator._run_pipeline
+
+    def patched(ex, port, bits, width, recirc_depth):
+        # Temporarily break the drop-port constant.
+        saved = bmv2.DROP_PORT
+        bmv2.DROP_PORT = 510
+        try:
+            return original(ex, port, bits, width, recirc_depth)
+        finally:
+            bmv2.DROP_PORT = saved
+
+    simulator._run_pipeline = patched
+    return True
+
+
+def wrap_entry_mask_ignored(simulator) -> bool:
+    """Control-plane software installs ternary entries ignoring masks."""
+    from ..interp.core import BlockExecutor
+
+    original = BlockExecutor._spec_matches
+
+    def patched(self, spec, key_values, table):
+        for (name, kind, roles), key_value in zip(spec.keys, key_values):
+            if kind in ("ternary", "optional"):
+                if key_value != roles.get("value", 0):
+                    return False
+            else:
+                return original(self, spec, key_values, table)
+        return True
+
+    simulator._patched_spec_matches = patched
+    # Applied per-executor by the campaign via this attribute.
+    BlockExecutor._spec_matches = patched
+    simulator._unpatch = lambda: setattr(
+        BlockExecutor, "_spec_matches", original
+    )
+    return True
+
+
+def wrap_crash_on_priority_entry(simulator) -> bool:
+    """Test back end crashes on entries with priorities (STF flavor)."""
+    original = simulator.process
+
+    def patched(port, bits, width, config):
+        for entry in config.entries:
+            if entry.priority is not None:
+                result = InterpResultFactory(original)
+                result.error = "back end crashed on entry priority"
+                return result
+        return original(port, bits, width, config)
+
+    simulator.process = patched
+    return True
+
+
+def wrap_crash_on_range_entry(simulator) -> bool:
+    """Test back end crashes on range entries (STF cannot express them,
+    §6; a crash instead of a graceful error is the planted bug)."""
+    original = simulator.process
+
+    def patched(port, bits, width, config):
+        for entry in config.entries:
+            for _name, kind, _roles in entry.keys:
+                if kind == "range":
+                    result = InterpResultFactory(original)
+                    result.error = "back end crashed on range entry"
+                    return result
+        return original(port, bits, width, config)
+
+    simulator.process = patched
+    return True
+
+
+def wrap_crash_on_wide_key(simulator) -> bool:
+    """Control-plane software crashes serializing keys wider than 64
+    bits (IPv6 addresses)."""
+    original = simulator.process
+
+    def patched(port, bits, width, config):
+        for entry in config.entries:
+            for _name, _kind, roles in entry.keys:
+                if any(v > (1 << 64) - 1 for v in roles.values()):
+                    result = InterpResultFactory(original)
+                    result.error = "driver crashed on >64-bit key"
+                    return result
+        return original(port, bits, width, config)
+
+    simulator.process = patched
+    return True
+
+
+def wrap_crash_on_recirculate(simulator) -> bool:
+    """Model crashes when a packet recirculates/resubmits."""
+    if not hasattr(simulator, "_run_pipeline"):
+        return False
+    original = simulator._run_pipeline
+
+    def patched(ex, port, bits, width, recirc_depth):
+        if recirc_depth > 0:
+            raise InterpError("model crash during recirculation")
+        return original(ex, port, bits, width, recirc_depth)
+
+    simulator._run_pipeline = patched
+    return True
+
+
+def wrap_crash_on_stack_pop(simulator) -> bool:
+    """Wrong header-stack operation emitted (P4C-3/P4C-5 flavor): the
+    model crashes executing pop_front."""
+    from ..interp.core import BlockExecutor
+
+    original = BlockExecutor._stack_push_pop
+
+    def patched(self, call):
+        if call.func == "pop_front":
+            raise InterpError("wrong operation dereferencing header stack")
+        return original(self, call)
+
+    BlockExecutor._stack_push_pop = patched
+    simulator._unpatch = lambda: setattr(
+        BlockExecutor, "_stack_push_pop", original
+    )
+    return True
+
+
+def wrap_crash_on_checksum(simulator) -> bool:
+    """Model crashes computing checksums over odd-byte field lists."""
+    if simulator.__class__.__name__ != "Bmv2Simulator":
+        return False
+    original = simulator._verify_checksum
+
+    def patched(ex, call):
+        fields = simulator._field_values(ex, call.args[1])
+        total = sum(w for w, _v in fields)
+        if total % 16 != 0:
+            raise InterpError("model crash: unaligned checksum input")
+        return original(ex, call)
+
+    simulator._verify_checksum = patched
+    return True
+
+
+def wrap_crash_on_value_set(simulator) -> bool:
+    """Control plane crashes inserting parser value-set members."""
+    original = simulator.process
+
+    def patched(port, bits, width, config):
+        if config.value_sets:
+            result = InterpResultFactory(original)
+            result.error = "driver crashed inserting value-set member"
+            return result
+        return original(port, bits, width, config)
+
+    simulator.process = patched
+    return True
+
+
+def wrap_crash_on_register_init(simulator) -> bool:
+    """Test framework crashes initializing registers."""
+    original = simulator.process
+
+    def patched(port, bits, width, config):
+        if config.registers:
+            result = InterpResultFactory(original)
+            result.error = "framework crashed writing register init"
+            return result
+        return original(port, bits, width, config)
+
+    simulator.process = patched
+    return True
+
+
+def InterpResultFactory(_original):
+    from ..interp.core import InterpResult
+
+    return InterpResult()
+
+
+# ---------------------------------------------------------------------------
+# Catalog
+# ---------------------------------------------------------------------------
+
+MUTATION_CATALOG: list[Mutation] = [
+    Mutation("swallow-table-apply", WRONG_CODE,
+             "compiler drops a table.apply() (cf. P4C-7)",
+             apply_ir=mut_swallow_table_apply),
+    Mutation("drop-emit", WRONG_CODE,
+             "compiler drops a deparser emit (cf. P4C-6 flavor)",
+             apply_ir=mut_drop_emit),
+    Mutation("flip-binop", WRONG_CODE,
+             "compiler emits '-' for '+' (wrong-operation flavor, cf. P4C-3)",
+             apply_ir=mut_flip_binop),
+    Mutation("const-off-by-one", WRONG_CODE,
+             "compiler materializes a literal off by one",
+             apply_ir=mut_constant_off_by_one),
+    Mutation("swap-if-branches", WRONG_CODE,
+             "compiler swaps branch polarity",
+             apply_ir=mut_swap_if_branches),
+    Mutation("wrong-default-action", WRONG_CODE,
+             "control plane installs the wrong default action",
+             apply_ir=mut_wrong_default_action),
+    Mutation("crash-on-stack-next", EXCEPTION,
+             "model crashes on header-stack access (cf. BMV2-1)",
+             wrap_sim=wrap_crash_on_stack_next),
+    Mutation("crash-on-empty-packet", EXCEPTION,
+             "model crashes on zero-length packets (cf. issue #977)",
+             wrap_sim=wrap_crash_on_empty_packet),
+    Mutation("crash-on-odd-key-name", EXCEPTION,
+             "test back end crashes on special key names (cf. P4C-1/P4C-4)",
+             wrap_sim=wrap_crash_on_dollar_key),
+    Mutation("wrong-drop-port", WRONG_CODE,
+             "model uses the wrong drop-port constant",
+             wrap_sim=wrap_wrong_drop_port),
+    Mutation("crash-on-priority-entry", EXCEPTION,
+             "test back end crashes on entry priorities",
+             wrap_sim=wrap_crash_on_priority_entry),
+    Mutation("crash-on-range-entry", EXCEPTION,
+             "test back end crashes on range entries (cf. §6 STF gap)",
+             wrap_sim=wrap_crash_on_range_entry),
+    Mutation("crash-on-wide-key", EXCEPTION,
+             "driver crashes serializing >64-bit keys",
+             wrap_sim=wrap_crash_on_wide_key),
+    Mutation("crash-on-recirculate", EXCEPTION,
+             "model crashes during recirculation",
+             wrap_sim=wrap_crash_on_recirculate),
+    Mutation("crash-on-stack-pop", EXCEPTION,
+             "wrong header-stack operation crashes the model (cf. P4C-3/P4C-5)",
+             wrap_sim=wrap_crash_on_stack_pop),
+    Mutation("crash-on-checksum", EXCEPTION,
+             "model crashes on unaligned checksum inputs",
+             wrap_sim=wrap_crash_on_checksum),
+    Mutation("crash-on-value-set", EXCEPTION,
+             "driver crashes inserting value-set members",
+             wrap_sim=wrap_crash_on_value_set),
+    Mutation("crash-on-register-init", EXCEPTION,
+             "framework crashes initializing registers",
+             wrap_sim=wrap_crash_on_register_init),
+]
+
+
+def mutations_for(bug_type: str | None = None) -> list[Mutation]:
+    if bug_type is None:
+        return list(MUTATION_CATALOG)
+    return [m for m in MUTATION_CATALOG if m.bug_type == bug_type]

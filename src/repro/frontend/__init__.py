@@ -1,0 +1,21 @@
+"""P4-16 front end: lexer, parser, AST, and resolved types.
+
+This subpackage stands in for the P4C front end the paper builds on.
+Typical use::
+
+    from repro.frontend import parse_program
+    program_ast = parse_program(p4_source_text)
+"""
+
+from .errors import LexError, P4Error, ParseError, TypeError_
+from .lexer import tokenize
+from .parser import parse_program
+
+__all__ = [
+    "parse_program",
+    "tokenize",
+    "P4Error",
+    "LexError",
+    "ParseError",
+    "TypeError_",
+]

@@ -1,0 +1,569 @@
+"""Abstract syntax tree for the P4-16 subset.
+
+Nodes are deliberately plain: the interesting semantic work happens in
+``repro.ir.lower``, which resolves names, widths, and types.  Every
+node carries a source location for diagnostics and an ``annotations``
+list where the grammar allows them (``@name``, ``@priority``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .errors import SourceLocation
+
+__all__ = [
+    "Annotation", "Node", "Program",
+    # types
+    "TypeName", "BitTypeAst", "IntTypeAst", "VarbitTypeAst", "BoolTypeAst",
+    "ErrorTypeAst", "VoidTypeAst", "TupleTypeAst", "StackTypeAst",
+    "SpecializedTypeAst",
+    # declarations
+    "ConstDecl", "TypedefDecl", "HeaderDecl", "HeaderUnionDecl", "StructDecl",
+    "StructField", "EnumDecl", "ErrorDecl", "MatchKindDecl", "ExternDecl",
+    "ExternMethod", "Param", "ParserDecl", "ParserState", "ControlDecl",
+    "ActionDecl", "TableDecl", "TableKey", "TableActionRef", "TableEntry",
+    "TableProperty", "Instantiation", "ValueSetDecl", "FunctionDecl",
+    "ParserTypeDecl", "ControlTypeDecl", "PackageDecl",
+    # statements
+    "Stmt", "BlockStmt", "AssignStmt", "MethodCallStmt", "IfStmt",
+    "SwitchStmt", "SwitchCase", "ExitStmt", "ReturnStmt", "VarDeclStmt",
+    "EmptyStmt",
+    # parser bits
+    "Transition", "SelectCase", "KeysetExpr", "DefaultKeyset", "DontCareKeyset",
+    "MaskKeyset", "RangeKeyset", "TupleKeyset", "ExprKeyset",
+    # expressions
+    "Expr", "IntLit", "BoolLit", "StringLit", "Ident", "Member", "Index",
+    "Slice", "Unop", "Binop", "Ternary", "Cast", "Call", "TupleExpr",
+    "TypeExpr",
+]
+
+
+@dataclass
+class Annotation:
+    name: str
+    args: list = field(default_factory=list)  # list[Expr] (or raw tokens)
+
+    def single_string(self) -> Optional[str]:
+        if len(self.args) == 1 and isinstance(self.args[0], StringLit):
+            return self.args[0].value
+        return None
+
+    def single_int(self) -> Optional[int]:
+        if len(self.args) == 1 and isinstance(self.args[0], IntLit):
+            return self.args[0].value
+        return None
+
+
+@dataclass
+class Node:
+    location: Optional[SourceLocation] = field(default=None, repr=False, compare=False)
+
+
+# ---------------------------------------------------------------------------
+# Type expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TypeName(Node):
+    name: str = ""
+
+
+@dataclass
+class BitTypeAst(Node):
+    width: "Expr | int" = 0
+
+
+@dataclass
+class IntTypeAst(Node):
+    width: "Expr | int" = 0
+
+
+@dataclass
+class VarbitTypeAst(Node):
+    max_width: int = 0
+
+
+@dataclass
+class BoolTypeAst(Node):
+    pass
+
+
+@dataclass
+class ErrorTypeAst(Node):
+    pass
+
+
+@dataclass
+class VoidTypeAst(Node):
+    pass
+
+
+@dataclass
+class TupleTypeAst(Node):
+    elements: list = field(default_factory=list)
+
+
+@dataclass
+class StackTypeAst(Node):
+    element: object = None  # type ast
+    size: int = 0
+
+
+@dataclass
+class SpecializedTypeAst(Node):
+    base: str = ""
+    args: list = field(default_factory=list)  # type asts
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+    width: Optional[int] = None  # None => infinite-precision literal
+    signed: bool = False
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Member(Expr):
+    expr: Expr = None
+    member: str = ""
+
+
+@dataclass
+class Index(Expr):
+    expr: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class Slice(Expr):
+    expr: Expr = None
+    hi: Expr = None
+    lo: Expr = None
+
+
+@dataclass
+class Unop(Expr):
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class Binop(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr = None
+    then: Expr = None
+    other: Expr = None
+
+
+@dataclass
+class Cast(Expr):
+    target: object = None  # type ast
+    expr: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    func: Expr = None  # Ident or Member
+    type_args: list = field(default_factory=list)
+    args: list = field(default_factory=list)
+
+
+@dataclass
+class TupleExpr(Expr):
+    elements: list = field(default_factory=list)
+
+
+@dataclass
+class TypeExpr(Expr):
+    """A type used in expression position (e.g. error.NoError)."""
+    type_ast: object = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class BlockStmt(Stmt):
+    statements: list = field(default_factory=list)
+
+
+@dataclass
+class AssignStmt(Stmt):
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class MethodCallStmt(Stmt):
+    call: Call = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    condition: Expr = None
+    then_branch: Stmt = None
+    else_branch: Optional[Stmt] = None
+
+
+@dataclass
+class SwitchCase(Node):
+    label: object = None  # Expr or "default"
+    body: Optional[BlockStmt] = None  # None => fallthrough
+
+
+@dataclass
+class SwitchStmt(Stmt):
+    expression: Expr = None
+    cases: list = field(default_factory=list)
+
+
+@dataclass
+class ExitStmt(Stmt):
+    pass
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class VarDeclStmt(Stmt):
+    var_type: object = None  # type ast
+    name: str = ""
+    init: Optional[Expr] = None
+    annotations: list = field(default_factory=list)
+
+
+@dataclass
+class EmptyStmt(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Parser constructs
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DefaultKeyset(Node):
+    pass
+
+
+@dataclass
+class DontCareKeyset(Node):
+    pass
+
+
+@dataclass
+class ExprKeyset(Node):
+    expr: Expr = None
+
+
+@dataclass
+class MaskKeyset(Node):
+    value: Expr = None
+    mask: Expr = None
+
+
+@dataclass
+class RangeKeyset(Node):
+    lo: Expr = None
+    hi: Expr = None
+
+
+@dataclass
+class TupleKeyset(Node):
+    elements: list = field(default_factory=list)
+
+
+KeysetExpr = Union[
+    DefaultKeyset, DontCareKeyset, ExprKeyset, MaskKeyset, RangeKeyset, TupleKeyset
+]
+
+
+@dataclass
+class SelectCase(Node):
+    keyset: object = None
+    state: str = ""
+
+
+@dataclass
+class Transition(Node):
+    """Either a direct transition (``select_exprs`` empty) or a select."""
+    direct: Optional[str] = None
+    select_exprs: list = field(default_factory=list)
+    cases: list = field(default_factory=list)
+
+
+@dataclass
+class ParserState(Node):
+    name: str = ""
+    statements: list = field(default_factory=list)
+    transition: Optional[Transition] = None
+    annotations: list = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    direction: str = ""  # "", "in", "out", "inout"
+    param_type: object = None
+    name: str = ""
+    default: Optional[Expr] = None
+    annotations: list = field(default_factory=list)
+
+
+@dataclass
+class StructField(Node):
+    field_type: object = None
+    name: str = ""
+    annotations: list = field(default_factory=list)
+
+
+@dataclass
+class ConstDecl(Node):
+    const_type: object = None
+    name: str = ""
+    value: Expr = None
+
+
+@dataclass
+class TypedefDecl(Node):
+    target: object = None
+    name: str = ""
+
+
+@dataclass
+class HeaderDecl(Node):
+    name: str = ""
+    fields: list = field(default_factory=list)
+    annotations: list = field(default_factory=list)
+
+
+@dataclass
+class HeaderUnionDecl(Node):
+    name: str = ""
+    fields: list = field(default_factory=list)
+    annotations: list = field(default_factory=list)
+
+
+@dataclass
+class StructDecl(Node):
+    name: str = ""
+    fields: list = field(default_factory=list)
+    annotations: list = field(default_factory=list)
+
+
+@dataclass
+class EnumDecl(Node):
+    name: str = ""
+    members: list = field(default_factory=list)  # list[str]
+    underlying: Optional[object] = None  # type ast for serializable enums
+    member_values: dict = field(default_factory=dict)
+
+
+@dataclass
+class ErrorDecl(Node):
+    members: list = field(default_factory=list)
+
+
+@dataclass
+class MatchKindDecl(Node):
+    members: list = field(default_factory=list)
+
+
+@dataclass
+class ExternMethod(Node):
+    return_type: object = None
+    name: str = ""
+    type_params: list = field(default_factory=list)
+    params: list = field(default_factory=list)
+
+
+@dataclass
+class ExternDecl(Node):
+    name: str = ""
+    type_params: list = field(default_factory=list)
+    methods: list = field(default_factory=list)
+    constructor_params: list = field(default_factory=list)
+    annotations: list = field(default_factory=list)
+
+
+@dataclass
+class FunctionDecl(Node):
+    """A top-level extern function declaration."""
+    return_type: object = None
+    name: str = ""
+    type_params: list = field(default_factory=list)
+    params: list = field(default_factory=list)
+
+
+@dataclass
+class ValueSetDecl(Node):
+    element_type: object = None
+    name: str = ""
+    size: int = 0
+
+
+@dataclass
+class ParserDecl(Node):
+    name: str = ""
+    type_params: list = field(default_factory=list)
+    params: list = field(default_factory=list)
+    locals: list = field(default_factory=list)
+    states: list = field(default_factory=list)
+    annotations: list = field(default_factory=list)
+
+
+@dataclass
+class ActionDecl(Node):
+    name: str = ""
+    params: list = field(default_factory=list)
+    body: BlockStmt = None
+    annotations: list = field(default_factory=list)
+
+
+@dataclass
+class TableKey(Node):
+    expr: Expr = None
+    match_kind: str = ""
+    annotations: list = field(default_factory=list)
+
+    @property
+    def control_plane_name(self) -> str:
+        for ann in self.annotations:
+            if ann.name == "name":
+                s = ann.single_string()
+                if s:
+                    return s
+        return ""
+
+
+@dataclass
+class TableActionRef(Node):
+    name: str = ""
+    args: list = field(default_factory=list)
+    annotations: list = field(default_factory=list)
+
+
+@dataclass
+class TableEntry(Node):
+    keyset: object = None
+    action: TableActionRef = None
+    priority: Optional[int] = None
+    annotations: list = field(default_factory=list)
+
+
+@dataclass
+class TableProperty(Node):
+    name: str = ""
+    value: object = None
+
+
+@dataclass
+class TableDecl(Node):
+    name: str = ""
+    keys: list = field(default_factory=list)
+    actions: list = field(default_factory=list)
+    default_action: Optional[TableActionRef] = None
+    default_action_const: bool = False
+    entries: list = field(default_factory=list)
+    size: Optional[int] = None
+    properties: list = field(default_factory=list)
+    annotations: list = field(default_factory=list)
+
+
+@dataclass
+class ControlDecl(Node):
+    name: str = ""
+    type_params: list = field(default_factory=list)
+    params: list = field(default_factory=list)
+    locals: list = field(default_factory=list)
+    apply_body: BlockStmt = None
+    annotations: list = field(default_factory=list)
+
+
+@dataclass
+class Instantiation(Node):
+    type_ast: object = None
+    args: list = field(default_factory=list)
+    name: str = ""
+    annotations: list = field(default_factory=list)
+
+
+@dataclass
+class ParserTypeDecl(Node):
+    name: str = ""
+    type_params: list = field(default_factory=list)
+    params: list = field(default_factory=list)
+
+
+@dataclass
+class ControlTypeDecl(Node):
+    name: str = ""
+    type_params: list = field(default_factory=list)
+    params: list = field(default_factory=list)
+
+
+@dataclass
+class PackageDecl(Node):
+    name: str = ""
+    type_params: list = field(default_factory=list)
+    params: list = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    declarations: list = field(default_factory=list)
+    includes: list = field(default_factory=list)
+    source: str = "<input>"
+
+    def find(self, cls, name: str):
+        for d in self.declarations:
+            if isinstance(d, cls) and getattr(d, "name", None) == name:
+                return d
+        return None
+
+    def all(self, cls):
+        return [d for d in self.declarations if isinstance(d, cls)]

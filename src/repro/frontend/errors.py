@@ -1,0 +1,57 @@
+"""Diagnostics for the P4-16 front end."""
+
+from __future__ import annotations
+
+__all__ = ["SourceLocation", "P4Error", "LexError", "ParseError", "TypeError_"]
+
+
+class SourceLocation:
+    """A (line, column) position in a named source buffer."""
+
+    __slots__ = ("source", "line", "column")
+
+    def __init__(self, source: str, line: int, column: int):
+        self.source = source
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:
+        return f"{self.source}:{self.line}:{self.column}"
+
+    def __repr__(self) -> str:
+        return f"SourceLocation({self})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, SourceLocation)
+            and self.source == other.source
+            and self.line == other.line
+            and self.column == other.column
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.source, self.line, self.column))
+
+
+_UNKNOWN = SourceLocation("<unknown>", 0, 0)
+
+
+class P4Error(Exception):
+    """Base class for all front-end diagnostics."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location or _UNKNOWN
+        self.message = message
+        super().__init__(f"{self.location}: {message}")
+
+
+class LexError(P4Error):
+    """Invalid token in the source text."""
+
+
+class ParseError(P4Error):
+    """Source does not conform to the grammar subset."""
+
+
+class TypeError_(P4Error):
+    """Type or width error found while lowering to the IR."""

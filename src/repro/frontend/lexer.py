@@ -1,0 +1,250 @@
+"""Lexer for the P4-16 subset.
+
+Handles the preprocessor lines we need (``#include`` of the standard
+architecture headers is recorded and satisfied from built-in
+declarations; simple object-like ``#define`` macros are substituted),
+strips comments, and produces a token stream with source locations.
+
+P4 integer literal forms supported::
+
+    123         arbitrary-precision (infint)
+    0x1F 0b101 0o17
+    8w255       width-annotated unsigned
+    8s-3        width-annotated signed
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import LexError, SourceLocation
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+# Hard keywords; contextual words like "size", "key", "actions",
+# "entries", "default_action", "state", "type", and "apply" stay plain
+# identifiers (the parser matches them by text), so they remain usable
+# as field and parameter names, as in real P4.
+KEYWORDS = {
+    "action", "bit", "bool", "const", "control",
+    "default", "else", "enum", "error",
+    "exit", "extern", "false", "header", "header_union", "if", "in",
+    "inout", "int", "match_kind", "out", "package", "parser",
+    "return", "select", "struct", "switch", "table",
+    "transition", "true", "tuple", "typedef", "value_set",
+    "varbit", "void", "this",
+}
+
+# Multi-character operators, longest first.
+_OPERATORS = [
+    "&&&", "<<=", ">>=",
+    "++", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "+=", "-=",
+    "|=", "&=", "^=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", ":", "?", "@",
+]
+
+_TOKEN_KINDS = ("ID", "KEYWORD", "INT", "STRING", "OP", "EOF")
+
+
+class Token:
+    __slots__ = ("kind", "text", "value", "width", "signed", "location")
+
+    def __init__(self, kind, text, location, value=None, width=None, signed=False):
+        self.kind = kind
+        self.text = text
+        self.value = value
+        self.width = width
+        self.signed = signed
+        self.location = location
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r})"
+
+
+_INT_RE = re.compile(
+    r"(?:(?P<width>\d+)(?P<sign>[ws]))?"
+    r"(?P<body>0[xX][0-9a-fA-F_]+|0[bB][01_]+|0[oO][0-7_]+|0[dD][0-9_]+|[0-9][0-9_]*)"
+)
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_WS_RE = re.compile(r"[ \t\r]+")
+_STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def _parse_int_body(body: str) -> int:
+    body = body.replace("_", "")
+    if body[:2] in ("0x", "0X"):
+        return int(body, 16)
+    if body[:2] in ("0b", "0B"):
+        return int(body, 2)
+    if body[:2] in ("0o", "0O"):
+        return int(body[2:], 8)
+    if body[:2] in ("0d", "0D"):
+        return int(body[2:], 10)
+    return int(body, 10)
+
+
+def _strip_comments(text: str) -> str:
+    """Replace comments with spaces, preserving line structure."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            if j == -1:
+                raise LexError("unterminated block comment")
+            segment = text[i : j + 2]
+            out.append("".join("\n" if ch == "\n" else " " for ch in segment))
+            i = j + 2
+        elif c == '"':
+            m = _STRING_RE.match(text, i)
+            if not m:
+                raise LexError("unterminated string literal")
+            out.append(m.group(0))
+            i = m.end()
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _preprocess(text: str, source: str) -> tuple[str, list[str]]:
+    """Strip preprocessor lines; return (text, list of included names).
+
+    Supports ``#include <name>`` / ``#include "name"`` (recorded, not
+    expanded — the parser provides built-in declarations for the
+    standard architecture headers) and object-like ``#define NAME value``.
+    Conditional blocks (#if/#ifdef/#endif) keep the "true" branch of
+    ``#if 1``/``#ifndef`` of undefined names and drop the rest; full CPP
+    semantics are out of scope.
+    """
+    includes: list[str] = []
+    defines: dict[str, str] = {}
+    out_lines: list[str] = []
+    skip_depth = 0
+    for line in text.split("\n"):
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            directive = stripped[1:].strip()
+            if directive.startswith("include"):
+                m = re.search(r'[<"]([^>"]+)[>"]', directive)
+                if m:
+                    includes.append(m.group(1))
+            elif directive.startswith("define"):
+                parts = directive[len("define") :].strip().split(None, 1)
+                if parts and "(" not in parts[0]:
+                    defines[parts[0]] = parts[1] if len(parts) > 1 else ""
+            elif directive.startswith(("ifdef",)):
+                name = directive.split(None, 1)[1].strip() if " " in directive else ""
+                if name not in defines:
+                    skip_depth += 1
+                else:
+                    out_lines.append("")
+                    continue
+            elif directive.startswith("ifndef"):
+                name = directive.split(None, 1)[1].strip() if " " in directive else ""
+                if name in defines:
+                    skip_depth += 1
+                else:
+                    out_lines.append("")
+                    continue
+            elif directive.startswith("if"):
+                cond = directive[2:].strip()
+                if cond not in ("1", "true"):
+                    skip_depth += 1
+                else:
+                    out_lines.append("")
+                    continue
+            elif directive.startswith(("endif", "else", "elif")):
+                if directive.startswith("endif") and skip_depth:
+                    skip_depth -= 1
+            out_lines.append("")  # keep line numbering stable
+            continue
+        if skip_depth:
+            out_lines.append("")
+            continue
+        out_lines.append(line)
+    body = "\n".join(out_lines)
+    # Object-like macro substitution (token-boundary aware).
+    for name, value in defines.items():
+        body = re.sub(rf"\b{re.escape(name)}\b", value, body)
+    return body, includes
+
+
+def tokenize(text: str, source: str = "<input>") -> tuple[list[Token], list[str]]:
+    """Tokenize P4 source; returns (tokens, included header names)."""
+    body, includes = _preprocess(text, source)
+    body = _strip_comments(body)
+
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(body)
+    while i < n:
+        c = body[i]
+        if c == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        m = _WS_RE.match(body, i)
+        if m:
+            col += m.end() - i
+            i = m.end()
+            continue
+        loc = SourceLocation(source, line, col)
+        if c == '"':
+            m = _STRING_RE.match(body, i)
+            if not m:
+                raise LexError("unterminated string", loc)
+            raw = m.group(0)
+            tokens.append(Token("STRING", raw, loc, value=raw[1:-1]))
+            col += m.end() - i
+            i = m.end()
+            continue
+        if c.isdigit():
+            m = _INT_RE.match(body, i)
+            if not m:
+                raise LexError(f"bad integer literal near {body[i:i+10]!r}", loc)
+            width = m.group("width")
+            sign = m.group("sign")
+            value = _parse_int_body(m.group("body"))
+            tok = Token(
+                "INT",
+                m.group(0),
+                loc,
+                value=value,
+                width=int(width) if width else None,
+                signed=(sign == "s"),
+            )
+            tokens.append(tok)
+            col += m.end() - i
+            i = m.end()
+            continue
+        m = _ID_RE.match(body, i)
+        if m:
+            word = m.group(0)
+            kind = "KEYWORD" if word in KEYWORDS else "ID"
+            tokens.append(Token(kind, word, loc))
+            col += m.end() - i
+            i = m.end()
+            continue
+        for op in _OPERATORS:
+            if body.startswith(op, i):
+                tokens.append(Token("OP", op, loc))
+                col += len(op)
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {c!r}", loc)
+    tokens.append(Token("EOF", "", SourceLocation(source, line, col)))
+    return tokens, includes

@@ -1,0 +1,1195 @@
+"""Recursive-descent parser for the P4-16 subset.
+
+The subset covers everything the reproduced paper's techniques touch:
+headers and header stacks, structs, enums/errors, parsers with selects
+and value sets, controls with actions/tables (exact, ternary, lpm,
+range, optional match kinds, const entries, priorities), extern
+declarations, annotations, and the top-level package instantiation.
+
+Like the real P4 grammar, type names are context-sensitive: once a
+``header``/``struct``/``typedef``/``enum``/``extern`` name has been
+declared it is treated as a type name, which is how ``(T) x`` casts are
+disambiguated from parenthesized expressions.
+"""
+
+from __future__ import annotations
+
+from . import ast as A
+from .errors import ParseError
+from .lexer import Token, tokenize
+
+__all__ = ["parse_program", "Parser"]
+
+
+# Type names available from the standard architecture headers we model.
+_BUILTIN_TYPE_NAMES = {
+    "packet_in", "packet_out",
+    "standard_metadata_t",
+    # v1model externs
+    "counter", "direct_counter", "meter", "direct_meter", "register",
+    "action_profile", "action_selector", "HashAlgorithm", "CounterType",
+    "MeterType", "CloneType",
+    # tna
+    "ingress_intrinsic_metadata_t", "ingress_intrinsic_metadata_for_tm_t",
+    "ingress_intrinsic_metadata_from_parser_t",
+    "ingress_intrinsic_metadata_for_deparser_t",
+    "egress_intrinsic_metadata_t", "egress_intrinsic_metadata_from_parser_t",
+    "egress_intrinsic_metadata_for_deparser_t",
+    "egress_intrinsic_metadata_for_output_port_t",
+    "Register", "Counter", "Meter", "DirectCounter", "DirectMeter",
+    "Hash", "Checksum", "Random", "Mirror", "Resubmit", "Digest",
+    "ParserCounter", "ParserPriority",
+}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token], source: str = "<input>",
+                 type_names: set[str] | None = None):
+        self.tokens = tokens
+        self.pos = 0
+        self.source = source
+        self.type_names: set[str] = (
+            set(type_names) if type_names is not None else set(_BUILTIN_TYPE_NAMES)
+        )
+
+    # ------------------------------------------------------------------
+    # Token utilities
+    # ------------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def at(self, text: str, offset: int = 0) -> bool:
+        return self.peek(offset).text == text
+
+    def at_kind(self, kind: str, offset: int = 0) -> bool:
+        return self.peek(offset).kind == kind
+
+    def expect(self, text: str) -> Token:
+        tok = self.peek()
+        if text == ">" and tok.text == ">>":
+            # Nested type arguments: split ">>" into "> >", as in C++.
+            from .lexer import Token as _Token
+
+            first = _Token("OP", ">", tok.location)
+            rest = _Token("OP", ">", tok.location)
+            self.tokens[self.pos] = rest
+            return first
+        if tok.text != text:
+            raise ParseError(f"expected {text!r}, found {tok.text!r}", tok.location)
+        return self.next()
+
+    def expect_kind(self, kind: str) -> Token:
+        tok = self.peek()
+        if tok.kind != kind:
+            raise ParseError(f"expected {kind}, found {tok.text!r}", tok.location)
+        return self.next()
+
+    def expect_name(self) -> str:
+        """Identifier (type names are also valid identifiers)."""
+        tok = self.peek()
+        if tok.kind not in ("ID",):
+            raise ParseError(f"expected identifier, found {tok.text!r}", tok.location)
+        return self.next().text
+
+    def accept(self, text: str) -> bool:
+        if self.at(text):
+            self.next()
+            return True
+        return False
+
+    def loc(self):
+        return self.peek().location
+
+    # ------------------------------------------------------------------
+    # Program structure
+    # ------------------------------------------------------------------
+
+    def parse_program(self, includes=None) -> A.Program:
+        decls = []
+        while not self.at_kind("EOF"):
+            decls.append(self.parse_top_level())
+        return A.Program(
+            declarations=decls, includes=list(includes or []), source=self.source
+        )
+
+    def parse_top_level(self):
+        annotations = self.parse_annotations()
+        tok = self.peek()
+        text = tok.text
+        if text == "const":
+            return self.parse_const()
+        if text == "typedef" or text == "type":
+            return self.parse_typedef()
+        if text == "header":
+            return self.parse_header(annotations)
+        if text == "header_union":
+            return self.parse_header_union(annotations)
+        if text == "struct":
+            return self.parse_struct(annotations)
+        if text == "enum":
+            return self.parse_enum()
+        if text == "error":
+            return self.parse_error_decl()
+        if text == "match_kind":
+            return self.parse_match_kind()
+        if text == "extern":
+            return self.parse_extern()
+        if text == "parser":
+            return self.parse_parser(annotations)
+        if text == "control":
+            return self.parse_control(annotations)
+        if text == "action":
+            return self.parse_action(annotations)
+        if text == "package":
+            return self.parse_package()
+        # Otherwise it must be an instantiation: Type(args) name;
+        if tok.kind == "ID":
+            return self.parse_instantiation(annotations)
+        raise ParseError(f"unexpected token {text!r} at top level", tok.location)
+
+    # ------------------------------------------------------------------
+    # Annotations
+    # ------------------------------------------------------------------
+
+    def parse_annotations(self) -> list:
+        annotations = []
+        while self.at("@"):
+            self.next()
+            name = self.expect_kind("ID").text
+            args = []
+            if self.accept("("):
+                if not self.at(")"):
+                    args.append(self.parse_expression())
+                    while self.accept(","):
+                        args.append(self.parse_expression())
+                self.expect(")")
+            annotations.append(A.Annotation(name=name, args=args))
+        return annotations
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+
+    def looks_like_instantiation(self) -> bool:
+        """Matches ``Type(args) name;`` and ``Type<T,...>(args) name;``."""
+        if not self.looks_like_type():
+            return False
+        i = 1
+        if self.peek(i).text == "<":
+            depth = 0
+            while True:
+                tok = self.peek(i)
+                if tok.kind == "EOF":
+                    return False
+                if tok.text == "<":
+                    depth += 1
+                elif tok.text == ">":
+                    depth -= 1
+                    if depth == 0:
+                        i += 1
+                        break
+                elif tok.text == ">>":
+                    depth -= 2
+                    if depth <= 0:
+                        i += 1
+                        break
+                elif tok.text in (";", "{", "}"):
+                    return False
+                i += 1
+                if i > 40:
+                    return False
+        return self.peek(i).text == "("
+
+    def looks_like_type(self, offset: int = 0) -> bool:
+        tok = self.peek(offset)
+        if tok.text in ("bit", "int", "varbit", "bool", "error", "void", "tuple"):
+            return True
+        return tok.kind == "ID" and tok.text in self.type_names
+
+    def parse_type(self):
+        loc = self.loc()
+        tok = self.peek()
+        if tok.text == "bit":
+            self.next()
+            width = 1
+            if self.accept("<"):
+                width = self.parse_width_expression()
+                self.expect(">")
+            return A.BitTypeAst(location=loc, width=width)
+        if tok.text == "int":
+            self.next()
+            if self.accept("<"):
+                width = self.parse_width_expression()
+                self.expect(">")
+                return A.IntTypeAst(location=loc, width=width)
+            raise ParseError("arbitrary-precision 'int' type not supported", loc)
+        if tok.text == "varbit":
+            self.next()
+            self.expect("<")
+            width_tok = self.expect_kind("INT")
+            self.expect(">")
+            return A.VarbitTypeAst(location=loc, max_width=width_tok.value)
+        if tok.text == "bool":
+            self.next()
+            return A.BoolTypeAst(location=loc)
+        if tok.text == "error":
+            self.next()
+            return A.ErrorTypeAst(location=loc)
+        if tok.text == "void":
+            self.next()
+            return A.VoidTypeAst(location=loc)
+        if tok.text == "tuple":
+            self.next()
+            self.expect("<")
+            elements = [self.parse_type()]
+            while self.accept(","):
+                elements.append(self.parse_type())
+            self.expect(">")
+            return A.TupleTypeAst(location=loc, elements=elements)
+        if tok.kind == "ID":
+            name = self.next().text
+            if self.at("<") and self._angle_closes_as_type_args():
+                self.next()
+                args = [self.parse_type()]
+                while self.accept(","):
+                    args.append(self.parse_type())
+                self.expect(">")
+                base: object = A.SpecializedTypeAst(location=loc, base=name, args=args)
+            else:
+                base = A.TypeName(location=loc, name=name)
+            # Header stacks: T[n]
+            if self.at("[") and self.peek(1).kind == "INT" and self.peek(2).text == "]":
+                self.next()
+                size_tok = self.next()
+                self.expect("]")
+                return A.StackTypeAst(location=loc, element=base, size=size_tok.value)
+            return base
+        raise ParseError(f"expected a type, found {tok.text!r}", loc)
+
+    def _angle_closes_as_type_args(self) -> bool:
+        """Heuristic: does ``<`` start a type-argument list here?"""
+        depth = 0
+        i = 0
+        while True:
+            tok = self.peek(i)
+            if tok.kind == "EOF":
+                return False
+            if tok.text == "<":
+                depth += 1
+            elif tok.text == ">":
+                depth -= 1
+                if depth == 0:
+                    return True
+            elif tok.text == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return True
+            elif tok.text in (";", "{", "}", "==", "<=", ">=", "&&", "||"):
+                return False
+            i += 1
+            if i > 40:
+                return False
+
+    # ------------------------------------------------------------------
+    # Simple declarations
+    # ------------------------------------------------------------------
+
+    def parse_const(self):
+        loc = self.loc()
+        self.expect("const")
+        ctype = self.parse_type()
+        name = self.expect_name()
+        self.expect("=")
+        value = self.parse_expression()
+        self.expect(";")
+        return A.ConstDecl(location=loc, const_type=ctype, name=name, value=value)
+
+    def parse_typedef(self):
+        loc = self.loc()
+        self.next()  # typedef or type
+        target = self.parse_type()
+        name = self.expect_name()
+        self.expect(";")
+        self.type_names.add(name)
+        return A.TypedefDecl(location=loc, target=target, name=name)
+
+    def _parse_field_list(self) -> list:
+        fields = []
+        self.expect("{")
+        while not self.at("}"):
+            f_annotations = self.parse_annotations()
+            ftype = self.parse_type()
+            fname = self.expect_name()
+            self.expect(";")
+            fields.append(
+                A.StructField(field_type=ftype, name=fname, annotations=f_annotations)
+            )
+        self.expect("}")
+        return fields
+
+    def parse_header(self, annotations):
+        loc = self.loc()
+        self.expect("header")
+        name = self.expect_name()
+        fields = self._parse_field_list()
+        self.type_names.add(name)
+        return A.HeaderDecl(location=loc, name=name, fields=fields, annotations=annotations)
+
+    def parse_header_union(self, annotations):
+        loc = self.loc()
+        self.expect("header_union")
+        name = self.expect_name()
+        fields = self._parse_field_list()
+        self.type_names.add(name)
+        return A.HeaderUnionDecl(
+            location=loc, name=name, fields=fields, annotations=annotations
+        )
+
+    def parse_struct(self, annotations):
+        loc = self.loc()
+        self.expect("struct")
+        name = self.expect_name()
+        fields = self._parse_field_list()
+        self.type_names.add(name)
+        return A.StructDecl(location=loc, name=name, fields=fields, annotations=annotations)
+
+    def parse_enum(self):
+        loc = self.loc()
+        self.expect("enum")
+        underlying = None
+        if self.at("bit"):
+            underlying = self.parse_type()
+        name = self.expect_name()
+        self.expect("{")
+        members = []
+        member_values = {}
+        while not self.at("}"):
+            member = self.expect_name()
+            members.append(member)
+            if self.accept("="):
+                value = self.parse_expression()
+                if isinstance(value, A.IntLit):
+                    member_values[member] = value.value
+            if not self.accept(","):
+                break
+        self.expect("}")
+        self.type_names.add(name)
+        return A.EnumDecl(
+            location=loc,
+            name=name,
+            members=members,
+            underlying=underlying,
+            member_values=member_values,
+        )
+
+    def parse_error_decl(self):
+        loc = self.loc()
+        self.expect("error")
+        self.expect("{")
+        members = []
+        while not self.at("}"):
+            members.append(self.expect_name())
+            if not self.accept(","):
+                break
+        self.expect("}")
+        return A.ErrorDecl(location=loc, members=members)
+
+    def parse_match_kind(self):
+        loc = self.loc()
+        self.expect("match_kind")
+        self.expect("{")
+        members = []
+        while not self.at("}"):
+            members.append(self.expect_name())
+            if not self.accept(","):
+                break
+        self.expect("}")
+        return A.MatchKindDecl(location=loc, members=members)
+
+    # ------------------------------------------------------------------
+    # Externs, packages
+    # ------------------------------------------------------------------
+
+    def _parse_type_params(self) -> list:
+        params = []
+        if self.accept("<"):
+            params.append(self.expect_name())
+            self.type_names.update(params)
+            while self.accept(","):
+                p = self.expect_name()
+                params.append(p)
+                self.type_names.add(p)
+            self.expect(">")
+        return params
+
+    def parse_params(self) -> list:
+        params = []
+        self.expect("(")
+        while not self.at(")"):
+            annotations = self.parse_annotations()
+            direction = ""
+            if self.peek().text in ("in", "out", "inout"):
+                direction = self.next().text
+            ptype = self.parse_type()
+            pname = self.expect_name()
+            default = None
+            if self.accept("="):
+                default = self.parse_expression()
+            params.append(
+                A.Param(
+                    direction=direction,
+                    param_type=ptype,
+                    name=pname,
+                    default=default,
+                    annotations=annotations,
+                )
+            )
+            if not self.accept(","):
+                break
+        self.expect(")")
+        return params
+
+    def parse_extern(self):
+        loc = self.loc()
+        self.expect("extern")
+        # "extern TYPE name(params);" function form vs "extern Name {...}"
+        # object form vs "extern Name<T> {...}".
+        if (
+            self.at_kind("ID")
+            and (self.peek(1).text in ("{", "<"))
+            and not self._extern_is_function()
+        ):
+            name = self.expect_name()
+            type_params = self._parse_type_params()
+            self.type_names.add(name)
+            methods = []
+            ctor_params = []
+            self.expect("{")
+            while not self.at("}"):
+                self.parse_annotations()
+                if self.at_kind("ID") and self.peek().text == name and self.peek(1).text == "(":
+                    self.next()
+                    ctor_params = self.parse_params()
+                    self.expect(";")
+                    continue
+                rtype = self.parse_type()
+                mname = self.expect_name()
+                m_type_params = self._parse_type_params()
+                mparams = self.parse_params()
+                self.expect(";")
+                methods.append(
+                    A.ExternMethod(
+                        return_type=rtype,
+                        name=mname,
+                        type_params=m_type_params,
+                        params=mparams,
+                    )
+                )
+            self.expect("}")
+            return A.ExternDecl(
+                location=loc,
+                name=name,
+                type_params=type_params,
+                methods=methods,
+                constructor_params=ctor_params,
+            )
+        # Function form.
+        rtype = self.parse_type()
+        name = self.expect_name()
+        type_params = self._parse_type_params()
+        params = self.parse_params()
+        self.expect(";")
+        return A.FunctionDecl(
+            location=loc,
+            return_type=rtype,
+            name=name,
+            type_params=type_params,
+            params=params,
+        )
+
+    def _extern_is_function(self) -> bool:
+        """Distinguish ``extern T<W> f(...)`` from ``extern Obj<T> { ... }``."""
+        # Scan past a potential type (with <...>), then expect ID '('.
+        i = 0
+        depth = 0
+        saw_angle = False
+        while True:
+            tok = self.peek(i)
+            if tok.kind == "EOF":
+                return False
+            if tok.text == "<":
+                depth += 1
+                saw_angle = True
+            elif tok.text == ">":
+                depth -= 1
+            elif depth == 0 and i > 0:
+                if tok.text == "{":
+                    return False
+                if tok.kind == "ID" and self.peek(i + 1).text == "(":
+                    return True
+                if tok.text == ";":
+                    return False
+            i += 1
+            if i > 30:
+                return False
+
+    def parse_package(self):
+        loc = self.loc()
+        self.expect("package")
+        name = self.expect_name()
+        type_params = self._parse_type_params()
+        params = self.parse_params()
+        self.expect(";")
+        self.type_names.add(name)
+        return A.PackageDecl(
+            location=loc, name=name, type_params=type_params, params=params
+        )
+
+    def parse_instantiation(self, annotations):
+        loc = self.loc()
+        inst_type = self.parse_type()
+        self.expect("(")
+        args = []
+        if not self.at(")"):
+            args.append(self.parse_expression())
+            while self.accept(","):
+                args.append(self.parse_expression())
+        self.expect(")")
+        name = self.expect_name()
+        self.expect(";")
+        return A.Instantiation(
+            location=loc, type_ast=inst_type, args=args, name=name, annotations=annotations
+        )
+
+    # ------------------------------------------------------------------
+    # Parsers
+    # ------------------------------------------------------------------
+
+    def parse_parser(self, annotations):
+        loc = self.loc()
+        self.expect("parser")
+        name = self.expect_name()
+        type_params = self._parse_type_params()
+        params = self.parse_params()
+        if self.accept(";"):
+            return A.ParserTypeDecl(
+                location=loc, name=name, type_params=type_params, params=params
+            )
+        self.expect("{")
+        locals_ = []
+        states = []
+        while not self.at("}"):
+            inner_annotations = self.parse_annotations()
+            if self.at("state"):
+                states.append(self.parse_parser_state(inner_annotations))
+            elif self.at("value_set"):
+                locals_.append(self.parse_value_set())
+            elif self.at("const"):
+                locals_.append(self.parse_const())
+            elif self.looks_like_instantiation():
+                locals_.append(self.parse_instantiation(inner_annotations))
+            else:
+                locals_.append(self.parse_var_decl())
+        self.expect("}")
+        self.type_names.add(name)
+        return A.ParserDecl(
+            location=loc,
+            name=name,
+            type_params=type_params,
+            params=params,
+            locals=locals_,
+            states=states,
+            annotations=annotations,
+        )
+
+    def parse_value_set(self):
+        loc = self.loc()
+        self.expect("value_set")
+        self.expect("<")
+        element_type = self.parse_type()
+        self.expect(">")
+        self.expect("(")
+        size_tok = self.expect_kind("INT")
+        self.expect(")")
+        name = self.expect_name()
+        self.expect(";")
+        return A.ValueSetDecl(
+            location=loc, element_type=element_type, name=name, size=size_tok.value
+        )
+
+    def parse_parser_state(self, annotations):
+        loc = self.loc()
+        self.expect("state")
+        name = self.expect_name()
+        self.expect("{")
+        statements = []
+        transition = None
+        while not self.at("}"):
+            if self.at("transition"):
+                transition = self.parse_transition()
+                break
+            statements.append(self.parse_statement())
+        self.expect("}")
+        return A.ParserState(
+            location=loc,
+            name=name,
+            statements=statements,
+            transition=transition,
+            annotations=annotations,
+        )
+
+    def parse_transition(self):
+        loc = self.loc()
+        self.expect("transition")
+        if self.at("select"):
+            self.next()
+            self.expect("(")
+            exprs = [self.parse_expression()]
+            while self.accept(","):
+                exprs.append(self.parse_expression())
+            self.expect(")")
+            self.expect("{")
+            cases = []
+            while not self.at("}"):
+                keyset = self.parse_keyset()
+                self.expect(":")
+                state = self.expect_state_name()
+                self.expect(";")
+                cases.append(A.SelectCase(keyset=keyset, state=state))
+            self.expect("}")
+            return A.Transition(location=loc, select_exprs=exprs, cases=cases)
+        state = self.expect_state_name()
+        self.expect(";")
+        return A.Transition(location=loc, direct=state)
+
+    def expect_state_name(self) -> str:
+        tok = self.peek()
+        if tok.kind == "ID" or tok.text in ("accept", "reject"):
+            return self.next().text
+        raise ParseError(f"expected state name, found {tok.text!r}", tok.location)
+
+    def parse_keyset(self):
+        loc = self.loc()
+        if self.at("default"):
+            self.next()
+            return A.DefaultKeyset(location=loc)
+        if self.at("_"):
+            self.next()
+            return A.DontCareKeyset(location=loc)
+        if self.at("("):
+            self.next()
+            elements = [self.parse_simple_keyset()]
+            while self.accept(","):
+                elements.append(self.parse_simple_keyset())
+            self.expect(")")
+            if len(elements) == 1:
+                return elements[0]
+            return A.TupleKeyset(location=loc, elements=elements)
+        return self.parse_simple_keyset()
+
+    def parse_simple_keyset(self):
+        loc = self.loc()
+        if self.at("default"):
+            self.next()
+            return A.DefaultKeyset(location=loc)
+        if self.at("_"):
+            self.next()
+            return A.DontCareKeyset(location=loc)
+        expr = self.parse_expression()
+        if self.accept("&&&"):
+            mask = self.parse_expression()
+            return A.MaskKeyset(location=loc, value=expr, mask=mask)
+        if self.at(".") and self.peek(1).text == ".":
+            self.next()
+            self.next()
+            hi = self.parse_expression()
+            return A.RangeKeyset(location=loc, lo=expr, hi=hi)
+        return A.ExprKeyset(location=loc, expr=expr)
+
+    # ------------------------------------------------------------------
+    # Controls, actions, tables
+    # ------------------------------------------------------------------
+
+    def parse_control(self, annotations):
+        loc = self.loc()
+        self.expect("control")
+        name = self.expect_name()
+        type_params = self._parse_type_params()
+        params = self.parse_params()
+        if self.accept(";"):
+            return A.ControlTypeDecl(
+                location=loc, name=name, type_params=type_params, params=params
+            )
+        self.expect("{")
+        locals_ = []
+        apply_body = None
+        while not self.at("}"):
+            inner_annotations = self.parse_annotations()
+            if self.at("action"):
+                locals_.append(self.parse_action(inner_annotations))
+            elif self.at("table"):
+                locals_.append(self.parse_table(inner_annotations))
+            elif self.at("apply"):
+                self.next()
+                apply_body = self.parse_block()
+            elif self.at("const"):
+                locals_.append(self.parse_const())
+            elif self.looks_like_instantiation():
+                locals_.append(self.parse_instantiation(inner_annotations))
+            else:
+                locals_.append(self.parse_var_decl())
+        self.expect("}")
+        self.type_names.add(name)
+        return A.ControlDecl(
+            location=loc,
+            name=name,
+            type_params=type_params,
+            params=params,
+            locals=locals_,
+            apply_body=apply_body or A.BlockStmt(statements=[]),
+            annotations=annotations,
+        )
+
+    def parse_action(self, annotations):
+        loc = self.loc()
+        self.expect("action")
+        name = self.expect_name()
+        params = self.parse_params()
+        body = self.parse_block()
+        return A.ActionDecl(
+            location=loc, name=name, params=params, body=body, annotations=annotations
+        )
+
+    def parse_table(self, annotations):
+        loc = self.loc()
+        self.expect("table")
+        name = self.expect_name()
+        self.expect("{")
+        table = A.TableDecl(location=loc, name=name, annotations=annotations)
+        while not self.at("}"):
+            is_const = self.accept("const")
+            prop_tok = self.peek()
+            if prop_tok.text == "key":
+                self.next()
+                self.expect("=")
+                self.expect("{")
+                while not self.at("}"):
+                    key_expr = self.parse_expression()
+                    self.expect(":")
+                    match_kind = self.expect_name()
+                    key_annotations = self.parse_annotations()
+                    self.expect(";")
+                    table.keys.append(
+                        A.TableKey(
+                            expr=key_expr,
+                            match_kind=match_kind,
+                            annotations=key_annotations,
+                        )
+                    )
+                self.expect("}")
+            elif prop_tok.text == "actions":
+                self.next()
+                self.expect("=")
+                self.expect("{")
+                while not self.at("}"):
+                    ref_annotations = self.parse_annotations()
+                    ref = self.parse_action_ref()
+                    ref.annotations = ref_annotations
+                    self.expect(";")
+                    table.actions.append(ref)
+                self.expect("}")
+            elif prop_tok.text == "default_action":
+                self.next()
+                self.expect("=")
+                table.default_action = self.parse_action_ref()
+                table.default_action_const = is_const
+                self.expect(";")
+            elif prop_tok.text == "entries":
+                self.next()
+                self.expect("=")
+                self.expect("{")
+                while not self.at("}"):
+                    entry_annotations = self.parse_annotations()
+                    keyset = self.parse_keyset()
+                    self.expect(":")
+                    action = self.parse_action_ref()
+                    self.expect(";")
+                    priority = None
+                    for ann in entry_annotations:
+                        if ann.name == "priority":
+                            priority = ann.single_int()
+                    table.entries.append(
+                        A.TableEntry(
+                            keyset=keyset,
+                            action=action,
+                            priority=priority,
+                            annotations=entry_annotations,
+                        )
+                    )
+                self.expect("}")
+            elif prop_tok.text == "size":
+                self.next()
+                self.expect("=")
+                size_expr = self.parse_expression()
+                if isinstance(size_expr, A.IntLit):
+                    table.size = size_expr.value
+                self.expect(";")
+            else:
+                # Generic property: name = expr;
+                pname = self.expect_name()
+                self.expect("=")
+                value = self.parse_expression()
+                self.expect(";")
+                table.properties.append(A.TableProperty(name=pname, value=value))
+        self.expect("}")
+        return table
+
+    def parse_action_ref(self):
+        loc = self.loc()
+        name = self.expect_name()
+        # Allow dotted global action names (".NoAction").
+        while self.accept("."):
+            name += "." + self.expect_name()
+        args = []
+        if self.accept("("):
+            if not self.at(")"):
+                args.append(self.parse_expression())
+                while self.accept(","):
+                    args.append(self.parse_expression())
+            self.expect(")")
+        return A.TableActionRef(location=loc, name=name, args=args)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def parse_block(self):
+        loc = self.loc()
+        self.expect("{")
+        statements = []
+        while not self.at("}"):
+            statements.append(self.parse_statement())
+        self.expect("}")
+        return A.BlockStmt(location=loc, statements=statements)
+
+    def parse_var_decl(self):
+        loc = self.loc()
+        annotations = self.parse_annotations()
+        vtype = self.parse_type()
+        name = self.expect_name()
+        init = None
+        if self.accept("="):
+            init = self.parse_expression()
+        self.expect(";")
+        return A.VarDeclStmt(
+            location=loc, var_type=vtype, name=name, init=init, annotations=annotations
+        )
+
+    def parse_statement(self):
+        loc = self.loc()
+        tok = self.peek()
+        text = tok.text
+        if text == "{":
+            return self.parse_block()
+        if text == ";":
+            self.next()
+            return A.EmptyStmt(location=loc)
+        if text == "if":
+            self.next()
+            self.expect("(")
+            cond = self.parse_expression()
+            self.expect(")")
+            then_branch = self.parse_statement()
+            else_branch = None
+            if self.accept("else"):
+                else_branch = self.parse_statement()
+            return A.IfStmt(
+                location=loc,
+                condition=cond,
+                then_branch=then_branch,
+                else_branch=else_branch,
+            )
+        if text == "switch":
+            return self.parse_switch()
+        if text == "exit":
+            self.next()
+            self.expect(";")
+            return A.ExitStmt(location=loc)
+        if text == "return":
+            self.next()
+            value = None
+            if not self.at(";"):
+                value = self.parse_expression()
+            self.expect(";")
+            return A.ReturnStmt(location=loc, value=value)
+        if text == "const":
+            const = self.parse_const()
+            return A.VarDeclStmt(
+                location=const.location,
+                var_type=const.const_type,
+                name=const.name,
+                init=const.value,
+            )
+        if text == "@" or (self.looks_like_type() and self.peek(1).kind == "ID"
+                           and self.peek(2).text in (";", "=")):
+            return self.parse_var_decl()
+        # Special-case bit<N> declarations: "bit" "<" ...
+        if text in ("bit", "int", "varbit", "bool", "tuple") or (
+            tok.kind == "ID" and tok.text in self.type_names and self.peek(1).kind == "ID"
+        ):
+            return self.parse_var_decl()
+        # Expression statement: assignment or call.
+        expr = self.parse_expression()
+        if self.peek().text in ("=", "+=", "-=", "|=", "&=", "^=", "<<=", ">>="):
+            op = self.next().text
+            value = self.parse_expression()
+            self.expect(";")
+            if op != "=":
+                binop = {"+=": "+", "-=": "-", "|=": "|", "&=": "&",
+                         "^=": "^", "<<=": "<<", ">>=": ">>"}[op]
+                value = A.Binop(location=loc, op=binop, left=expr, right=value)
+            return A.AssignStmt(location=loc, target=expr, value=value)
+        self.expect(";")
+        if isinstance(expr, A.Call):
+            return A.MethodCallStmt(location=loc, call=expr)
+        raise ParseError("expected assignment or call statement", loc)
+
+    def parse_switch(self):
+        loc = self.loc()
+        self.expect("switch")
+        self.expect("(")
+        expr = self.parse_expression()
+        self.expect(")")
+        self.expect("{")
+        cases = []
+        while not self.at("}"):
+            if self.accept("default"):
+                label: object = "default"
+            else:
+                label = self.parse_expression()
+            self.expect(":")
+            body = None
+            if self.at("{"):
+                body = self.parse_block()
+            cases.append(A.SwitchCase(label=label, body=body))
+        self.expect("}")
+        return A.SwitchStmt(location=loc, expression=expr, cases=cases)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    _PRECEDENCE = [
+        ["||"],
+        ["&&"],
+        ["++"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", ">", "<=", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    # Precedence level of "+"/"-" — the first level safe inside bit< >.
+    _WIDTH_LEVEL = 9
+
+    def parse_expression(self):
+        return self.parse_ternary()
+
+    def parse_width_expression(self):
+        """Width expressions inside ``bit< >`` must not treat the closing
+        ``>`` as a comparison; parse at a precedence level that excludes
+        comparisons and shifts (parenthesize to use them)."""
+        return self.parse_binary(self._WIDTH_LEVEL)
+
+    def parse_ternary(self):
+        cond = self.parse_binary(0)
+        if self.accept("?"):
+            then = self.parse_expression()
+            self.expect(":")
+            other = self.parse_expression()
+            return A.Ternary(location=cond.location, cond=cond, then=then, other=other)
+        return cond
+
+    def parse_binary(self, level: int):
+        if level >= len(self._PRECEDENCE):
+            return self.parse_unary()
+        left = self.parse_binary(level + 1)
+        ops = self._PRECEDENCE[level]
+        while self.peek().text in ops:
+            # Avoid consuming '>' that closes type args or select cases;
+            # context where that matters is handled by callers.
+            op = self.next().text
+            right = self.parse_binary(level + 1)
+            left = A.Binop(location=left.location, op=op, left=left, right=right)
+        return left
+
+    def parse_unary(self):
+        loc = self.loc()
+        tok = self.peek()
+        if tok.text in ("!", "~", "-", "+"):
+            self.next()
+            operand = self.parse_unary()
+            if tok.text == "+":
+                return operand
+            return A.Unop(location=loc, op=tok.text, operand=operand)
+        return self.parse_postfix()
+
+    def parse_postfix(self):
+        expr = self.parse_primary()
+        while True:
+            if self.at(".") and not self.at(".", 1):
+                # A lone '.' is member access; '..' is a range keyset and
+                # is handled by parse_simple_keyset.
+                self.next()
+                member = self.expect_member_name()
+                expr = A.Member(location=expr.location, expr=expr, member=member)
+            elif self.at("["):
+                self.next()
+                index = self.parse_expression()
+                if self.accept(":"):
+                    lo = self.parse_expression()
+                    self.expect("]")
+                    expr = A.Slice(location=expr.location, expr=expr, hi=index, lo=lo)
+                else:
+                    self.expect("]")
+                    expr = A.Index(location=expr.location, expr=expr, index=index)
+            elif self.at("(") and isinstance(expr, (A.Ident, A.Member)):
+                self.next()
+                args = []
+                if not self.at(")"):
+                    args.append(self.parse_expression())
+                    while self.accept(","):
+                        args.append(self.parse_expression())
+                self.expect(")")
+                expr = A.Call(location=expr.location, func=expr, args=args)
+            elif self.at("<") and isinstance(expr, (A.Ident, A.Member)) \
+                    and self._angle_closes_as_type_args():
+                self.next()
+                type_args = [self.parse_type()]
+                while self.accept(","):
+                    type_args.append(self.parse_type())
+                self.expect(">")
+                self.expect("(")
+                args = []
+                if not self.at(")"):
+                    args.append(self.parse_expression())
+                    while self.accept(","):
+                        args.append(self.parse_expression())
+                self.expect(")")
+                expr = A.Call(
+                    location=expr.location, func=expr, type_args=type_args, args=args
+                )
+            else:
+                return expr
+
+    def expect_member_name(self) -> str:
+        tok = self.peek()
+        if tok.kind in ("ID", "KEYWORD"):
+            return self.next().text
+        raise ParseError(f"expected member name, found {tok.text!r}", tok.location)
+
+    def parse_primary(self):
+        loc = self.loc()
+        tok = self.peek()
+        if tok.kind == "INT":
+            self.next()
+            return A.IntLit(
+                location=loc, value=tok.value, width=tok.width, signed=tok.signed
+            )
+        if tok.kind == "STRING":
+            self.next()
+            return A.StringLit(location=loc, value=tok.value)
+        if tok.text == "true":
+            self.next()
+            return A.BoolLit(location=loc, value=True)
+        if tok.text == "false":
+            self.next()
+            return A.BoolLit(location=loc, value=False)
+        if tok.text == "error":
+            # error.MemberName
+            self.next()
+            self.expect(".")
+            member = self.expect_name()
+            return A.Member(
+                location=loc, expr=A.Ident(location=loc, name="error"), member=member
+            )
+        if tok.text == "(":
+            self.next()
+            # Cast: "(" type ")" unary-expression
+            if self.looks_like_type() and self._paren_is_cast():
+                target = self.parse_type()
+                self.expect(")")
+                operand = self.parse_unary()
+                return A.Cast(location=loc, target=target, expr=operand)
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        if tok.text == "{":
+            self.next()
+            elements = []
+            if not self.at("}"):
+                elements.append(self.parse_expression())
+                while self.accept(","):
+                    elements.append(self.parse_expression())
+            self.expect("}")
+            return A.TupleExpr(location=loc, elements=elements)
+        if tok.kind == "ID" or tok.text in ("this",):
+            self.next()
+            return A.Ident(location=loc, name=tok.text)
+        if tok.text == "_":
+            self.next()
+            return A.Ident(location=loc, name="_")
+        raise ParseError(f"unexpected token {tok.text!r} in expression", loc)
+
+    def _paren_is_cast(self) -> bool:
+        """After '(' with a type-looking token: is this a cast?"""
+        depth = 0
+        i = 0
+        while True:
+            tok = self.peek(i)
+            if tok.kind == "EOF":
+                return False
+            text = tok.text
+            if text in ("(", "[", "<"):
+                depth += 1
+            elif text in (")", "]", ">"):
+                if text == ")" and depth == 0:
+                    after = self.peek(i + 1)
+                    return (
+                        after.kind in ("ID", "INT", "STRING")
+                        or after.text in ("(", "!", "~", "-", "true", "false")
+                    )
+                depth -= 1
+            elif depth == 0 and text in (";", "{", "}", ",", "+", "*", "/",
+                                         "==", "!=", "&&", "||", "?"):
+                return False
+            i += 1
+            if i > 30:
+                return False
+
+
+def parse_program(text: str, source: str = "<input>",
+                  type_names: set[str] | None = None) -> A.Program:
+    """Parse P4-16 source text into an AST program.
+
+    ``type_names`` seeds the context-sensitive type-name set (used when
+    a prelude was parsed separately and declared types the program
+    refers to).
+    """
+    tokens, includes = tokenize(text, source)
+    parser = Parser(tokens, source, type_names)
+    program = parser.parse_program(includes)
+    program.declared_type_names = set(parser.type_names)
+    return program

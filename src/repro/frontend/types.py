@@ -1,0 +1,220 @@
+"""Resolved (width-computed) types for the P4 subset.
+
+The AST carries syntactic type expressions; lowering resolves them into
+these semantic types.  Every data-plane value ultimately flattens to
+fixed-width bitvectors (plus per-header validity bits), which is what
+the symbolic executor and the concrete interpreters both operate on.
+"""
+
+from __future__ import annotations
+
+from .errors import TypeError_
+
+__all__ = [
+    "P4Type", "BitsType", "BoolType", "ErrorType", "EnumType",
+    "HeaderType", "StructType", "StackType", "VarbitType", "StringType",
+    "bit_width_of",
+]
+
+
+class P4Type:
+    """Base class for resolved types."""
+
+    def bit_width(self) -> int:
+        raise NotImplementedError
+
+    def is_scalar(self) -> bool:
+        return False
+
+
+class BitsType(P4Type):
+    """``bit<W>`` or ``int<W>`` (``signed`` distinguishes them)."""
+
+    __slots__ = ("width", "signed")
+
+    _cache: dict[tuple[int, bool], "BitsType"] = {}
+
+    def __new__(cls, width: int, signed: bool = False):
+        key = (width, signed)
+        inst = cls._cache.get(key)
+        if inst is None:
+            inst = super().__new__(cls)
+            inst.width = width
+            inst.signed = signed
+            cls._cache[key] = inst
+        return inst
+
+    def bit_width(self) -> int:
+        return self.width
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def __repr__(self):
+        return f"int<{self.width}>" if self.signed else f"bit<{self.width}>"
+
+
+class BoolType(P4Type):
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def bit_width(self) -> int:
+        return 1
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def __repr__(self):
+        return "bool"
+
+
+class ErrorType(P4Type):
+    """The ``error`` type; values are indices into the error registry."""
+
+    WIDTH = 32
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def bit_width(self) -> int:
+        return self.WIDTH
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def __repr__(self):
+        return "error"
+
+
+class StringType(P4Type):
+    """Strings only occur in annotations; never on the data path."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def bit_width(self) -> int:
+        raise TypeError_("strings have no bit width")
+
+    def __repr__(self):
+        return "string"
+
+
+class EnumType(P4Type):
+    """Enums; serializable ones carry an underlying width and explicit
+    member values, plain ones get synthetic consecutive values."""
+
+    def __init__(self, name: str, members: list[str],
+                 underlying_width: int | None = None,
+                 member_values: dict[str, int] | None = None):
+        self.name = name
+        self.members = list(members)
+        if underlying_width is None:
+            underlying_width = max(1, (max(len(members) - 1, 1)).bit_length())
+        self.width = underlying_width
+        if member_values:
+            self.values = dict(member_values)
+        else:
+            self.values = {m: i for i, m in enumerate(members)}
+
+    def bit_width(self) -> int:
+        return self.width
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def value_of(self, member: str) -> int:
+        if member not in self.values:
+            raise TypeError_(f"enum {self.name} has no member {member}")
+        return self.values[member]
+
+    def __repr__(self):
+        return f"enum {self.name}"
+
+
+class HeaderType(P4Type):
+    """A header: ordered fixed-width fields plus an implicit validity bit."""
+
+    def __init__(self, name: str, fields: list[tuple[str, P4Type]]):
+        self.name = name
+        self.fields = list(fields)
+        self.field_types = dict(fields)
+        for fname, ftype in fields:
+            if not ftype.is_scalar() and not isinstance(ftype, VarbitType):
+                raise TypeError_(
+                    f"header {name} field {fname} must be scalar, got {ftype!r}"
+                )
+
+    def bit_width(self) -> int:
+        return sum(t.bit_width() for _n, t in self.fields)
+
+    def field_offset(self, field: str) -> int:
+        """Offset of ``field`` from the most significant end (wire order)."""
+        off = 0
+        for fname, ftype in self.fields:
+            if fname == field:
+                return off
+            off += ftype.bit_width()
+        raise TypeError_(f"header {self.name} has no field {field}")
+
+    def __repr__(self):
+        return f"header {self.name}"
+
+
+class StructType(P4Type):
+    def __init__(self, name: str, fields: list[tuple[str, P4Type]]):
+        self.name = name
+        self.fields = list(fields)
+        self.field_types = dict(fields)
+
+    def bit_width(self) -> int:
+        return sum(t.bit_width() for _n, t in self.fields)
+
+    def __repr__(self):
+        return f"struct {self.name}"
+
+
+class StackType(P4Type):
+    def __init__(self, element: HeaderType, size: int):
+        if size <= 0:
+            raise TypeError_("header stack size must be positive")
+        self.element = element
+        self.size = size
+
+    def bit_width(self) -> int:
+        return self.element.bit_width() * self.size
+
+    def __repr__(self):
+        return f"{self.element!r}[{self.size}]"
+
+
+class VarbitType(P4Type):
+    """``varbit<N>``: modeled as a max-width vector + a length field.
+
+    The symbolic executor treats a varbit as a (value, current_width)
+    pair; only constant extract lengths are supported, matching the
+    transformations P4Testgen's mid-end applies.
+    """
+
+    def __init__(self, max_width: int):
+        self.max_width = max_width
+
+    def bit_width(self) -> int:
+        return self.max_width
+
+    def __repr__(self):
+        return f"varbit<{self.max_width}>"
+
+
+def bit_width_of(t: P4Type) -> int:
+    return t.bit_width()

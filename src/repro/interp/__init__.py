@@ -1,0 +1,11 @@
+"""Concrete reference interpreters ("software models" under test)."""
+
+from .bmv2 import Bmv2Simulator
+from .core import BlockExecutor, ConcretePacket, Config, InterpError, InterpResult
+from .ebpf_vm import EbpfSimulator
+from .tofino_model import TofinoSimulator
+
+__all__ = [
+    "Config", "InterpResult", "InterpError", "BlockExecutor",
+    "ConcretePacket", "Bmv2Simulator", "TofinoSimulator", "EbpfSimulator",
+]

@@ -1,0 +1,360 @@
+"""BMv2 simple_switch simulator (the v1model target under test).
+
+Plays the role of the paper's BMv2 software model: executes a v1model
+program concretely on a packet + control-plane config.  Implements the
+App. A.1 quirks: zero-initialized variables, drop port 511, parser
+errors continuing to ingress, priority-ordered const entries,
+field-list-preserving recirculation, clone semantics, and concrete
+checksum externs (shared with the oracle's concolic layer — which is
+precisely why oracle-generated tests pass here).
+"""
+
+from __future__ import annotations
+
+from ..externs.checksum import CHECKSUM_ALGORITHMS, ones_complement16
+from ..frontend.types import BoolType, HeaderType, StructType
+from ..ir import nodes as N
+from .core import (
+    BlockExecutor,
+    ConcretePacket,
+    Config,
+    ExitControl,
+    InterpError,
+    InterpResult,
+    ParserReject,
+)
+
+__all__ = ["Bmv2Simulator"]
+
+DROP_PORT = 511
+
+HDR = "*hdr"
+META = "*meta"
+SM = "*sm"
+
+
+class Bmv2Simulator:
+    """Concrete v1model pipeline: parser -> verify -> ingress -> TM ->
+    egress -> compute -> deparser."""
+
+    local_init_mode = "zero"
+    MAX_RECIRCULATIONS = 2
+
+    def __init__(self, program: N.IrProgram, seed: int = 0):
+        if program.package_name != "V1Switch" or len(program.bindings) != 6:
+            raise InterpError("Bmv2Simulator requires a V1Switch program")
+        self.program = program
+        self.seed = seed
+
+    # ==================================================================
+    # Top-level packet processing
+    # ==================================================================
+
+    def process(self, port: int, bits: int, width: int,
+                config: Config) -> InterpResult:
+        result = InterpResult()
+        ex = BlockExecutor(self.program, config, self, seed=self.seed)
+        self._ex = ex
+        self._result = result
+        self._clone_outputs: list[tuple[int, int, int]] = []
+        try:
+            self._run_pipeline(ex, port, bits, width, recirc_depth=0)
+        except InterpError as exc:
+            result.error = str(exc)
+        except (ParserReject, ExitControl) as exc:
+            result.error = f"unhandled control flow: {exc!r}"
+        result.trace = ex.trace
+        for out in self._clone_outputs:
+            result.outputs.append(out)
+        if not result.outputs:
+            result.dropped = True
+        return result
+
+    def _run_pipeline(self, ex: BlockExecutor, port: int, bits: int, width: int,
+                      recirc_depth: int) -> None:
+        program = self.program
+        b = program.bindings
+        parser = program.parsers[b[0].decl_name]
+        hdr_type = parser.params[1].p4_type
+        meta_type = parser.params[2].p4_type
+        sm_type = program.structs["standard_metadata_t"]
+
+        ex.packet = ConcretePacket(bits, width)
+        ex.emit_buffer = []
+        ex.init_type(HDR, hdr_type, "invalid")
+        if recirc_depth == 0:
+            ex.init_type(META, meta_type, "zero")
+        ex.init_type(SM, sm_type, "zero")
+        ex.write(f"{SM}.ingress_port", port)
+        ex.write(f"{SM}.packet_length", width // 8)
+
+        # Parser (BMv2: errors continue to ingress with header invalid).
+        aliases = {}
+        names = [p.name for p in parser.params]
+        for pname, path in zip(names, [None, HDR, META, SM]):
+            if path is not None:
+                aliases[pname] = path
+        try:
+            ex.run_parser(parser, aliases)
+        except ParserReject as reject:
+            code = program.error_code(reject.error_name) \
+                if reject.error_name in program.errors else 0
+            ex.write(f"{SM}.parser_error", code)
+            ex.trace.append(f"parser reject: {reject.error_name}")
+
+        self._run_control(ex, b[1].decl_name, [HDR, META])          # verify
+        self._run_control(ex, b[2].decl_name, [HDR, META, SM])      # ingress
+
+        # Traffic manager.
+        if self._pop_flag(ex, "resubmit") and recirc_depth < self.MAX_RECIRCULATIONS:
+            ex.trace.append("TM: resubmit")
+            self._run_control(ex, b[2].decl_name, [HDR, META, SM])
+        egress_spec = ex.read(f"{SM}.egress_spec", None)
+        if egress_spec == DROP_PORT:
+            ex.trace.append("TM: drop")
+            return
+        ex.write(f"{SM}.egress_port", egress_spec)
+
+        self._run_control(ex, b[3].decl_name, [HDR, META, SM])      # egress
+        self._run_control(ex, b[4].decl_name, [HDR, META])          # compute
+
+        # Deparser.
+        deparser = self.program.controls[b[5].decl_name]
+        dep_aliases = {}
+        dep_names = [p.name for p in deparser.params]
+        for pname, path in zip(dep_names, [None, HDR]):
+            if path is not None:
+                dep_aliases[pname] = path
+        ex.run_control(deparser, dep_aliases)
+        out_bits, out_width = ex.deparsed_packet()
+        if ex.env.get("$truncate_bits") is not None:
+            limit = ex.env["$truncate_bits"]
+            if out_width > limit:
+                out_bits >>= out_width - limit
+                out_width = limit
+
+        if self._pop_flag(ex, "recirculate") and recirc_depth < self.MAX_RECIRCULATIONS:
+            ex.trace.append("recirculate")
+            self._run_pipeline(ex, port, out_bits, out_width, recirc_depth + 1)
+            return
+        self._result.add_output(ex.read(f"{SM}.egress_port", None), out_bits, out_width)
+
+    def _run_control(self, ex: BlockExecutor, name: str, paths: list) -> None:
+        control = self.program.controls[name]
+        aliases = {}
+        for param, path in zip(control.params, paths):
+            aliases[param.name] = path
+        ex.run_control(control, aliases)
+
+    @staticmethod
+    def _pop_flag(ex: BlockExecutor, name: str) -> bool:
+        flag = ex.env.pop(f"$flag${name}", False)
+        return bool(flag)
+
+    # ==================================================================
+    # Target-model hooks for BlockExecutor
+    # ==================================================================
+
+    def uninitialized_read(self, ex, path, p4_type):
+        # BMv2: everything is zero-initialized (App. A.1).
+        if p4_type is not None and isinstance(p4_type, BoolType):
+            return False
+        return 0
+
+    def invalid_header_read(self, ex, path, p4_type):
+        # The oracle marks these bits don't-care; return zero here.
+        return False if isinstance(p4_type, BoolType) else 0
+
+    def order_const_entries(self, table: N.IrTable) -> list:
+        entries = list(table.const_entries)
+        if any(e.priority is not None for e in entries):
+            entries.sort(key=lambda e: e.priority if e.priority is not None else 1 << 30)
+        return entries
+
+    def pick_entry(self, matching):
+        return matching[0]
+
+    # -- packet ops -------------------------------------------------------
+
+    def packet_op(self, ex: BlockExecutor, call: N.IrCall) -> None:
+        func = call.func
+        if func == "extract":
+            lv = call.args[0]
+            path, header_type = ex.resolve_lvalue(lv)
+            width = header_type.bit_width()
+            if len(call.args) > 1:
+                width += ex.eval(call.args[1])
+            ex.extract_into(path, header_type, width)
+        elif func == "emit":
+            lv = call.args[0]
+            path, p4_type = ex.resolve_lvalue(lv)
+            ex.emit_lvalue(path, p4_type)
+        elif func == "advance":
+            ex.packet.advance(ex.eval(call.args[0]))
+        elif func in ("lookahead", "length"):
+            pass
+
+    # -- externs -----------------------------------------------------------
+
+    def extern(self, ex: BlockExecutor, call: N.IrCall) -> None:
+        func = call.func
+        if func == "mark_to_drop":
+            ex.env[f"{SM}.egress_spec"] = DROP_PORT
+            ex.env[f"{SM}.mcast_grp"] = 0
+            return
+        if func in ("verify_checksum", "verify_checksum_with_payload"):
+            self._verify_checksum(ex, call)
+            return
+        if func in ("update_checksum", "update_checksum_with_payload"):
+            self._update_checksum(ex, call)
+            return
+        if func == "random":
+            lv = call.args[0]
+            if isinstance(lv, N.IrLValExpr):
+                lv = lv.lval
+            path, p4_type = ex.resolve_lvalue(lv)
+            ex.env[path] = ex.rng.getrandbits(p4_type.bit_width())
+            return
+        if func == "hash":
+            self._hash(ex, call)
+            return
+        if func == "truncate":
+            ex.env["$truncate_bits"] = ex.eval(call.args[0]) * 8
+            return
+        if func in ("resubmit_preserving_field_list",):
+            ex.env["$flag$resubmit"] = True
+            return
+        if func in ("recirculate_preserving_field_list",):
+            ex.env["$flag$recirculate"] = True
+            return
+        if func in ("clone", "clone_preserving_field_list"):
+            # The cloned copy goes to the session's configured port;
+            # mirror the oracle's model: port 0 fallback, packet = the
+            # current (pre-deparse) view = original parsed content.
+            bits, width = ex.deparsed_packet()
+            self._clone_outputs.append((0, bits, width))
+            return
+        if func in ("digest", "log_msg", "counter.count", "direct_counter.count"):
+            return
+        if func == "register.read":
+            lv = call.args[0]
+            if isinstance(lv, N.IrLValExpr):
+                lv = lv.lval
+            path, p4_type = ex.resolve_lvalue(lv)
+            index = ex.eval(call.args[1])
+            regs = ex.registers.setdefault(call.obj, {})
+            if index in regs:
+                ex.env[path] = regs[index]
+            else:
+                configured = ex.config.register_value(call.obj, index)
+                ex.env[path] = configured if configured is not None else 0
+            return
+        if func == "register.write":
+            index = ex.eval(call.args[0])
+            value = ex.eval(call.args[1])
+            ex.registers.setdefault(call.obj, {})[index] = value
+            return
+        if func == "meter.execute_meter":
+            lv = call.args[1]
+            if isinstance(lv, N.IrLValExpr):
+                lv = lv.lval
+            path, p4_type = ex.resolve_lvalue(lv)
+            ex.env[path] = 0  # GREEN; oracle taints this anyway
+            return
+        if func == "direct_meter.read":
+            lv = call.args[0]
+            if isinstance(lv, N.IrLValExpr):
+                lv = lv.lval
+            path, p4_type = ex.resolve_lvalue(lv)
+            ex.env[path] = 0
+            return
+        if func == "assert" or func == "assume":
+            if not ex.eval(call.args[0]):
+                raise InterpError("assert/assume failed: BMv2 aborts")
+            return
+        if func == "verify":
+            if not ex.eval(call.args[0]):
+                err = ex.eval(call.args[1])
+                name = self.program.errors[err] \
+                    if err < len(self.program.errors) else "NoMatch"
+                raise ParserReject(name)
+            return
+        raise InterpError(f"BMv2: unknown extern {func!r}")
+
+    def extern_value(self, ex: BlockExecutor, call: N.IrCall):
+        raise InterpError(f"BMv2: unknown value extern {call.func!r}")
+
+    # -- checksum helpers ----------------------------------------------------
+
+    def _field_values(self, ex: BlockExecutor, data_arg):
+        fields = []
+        elements = (
+            data_arg.elements if isinstance(data_arg, N.IrTupleExpr) else (data_arg,)
+        )
+        for e in elements:
+            if isinstance(e, N.IrTupleExpr):
+                fields.extend(self._field_values(ex, e))
+                continue
+            if isinstance(e, N.IrLValExpr) and isinstance(
+                e.p4_type, (HeaderType, StructType)
+            ):
+                path, t = ex.resolve_lvalue(e.lval)
+                for fname, ftype in t.fields:
+                    fields.append(
+                        (ftype.bit_width(), ex.read(f"{path}.{fname}", ftype))
+                    )
+                continue
+            fields.append((e.p4_type.bit_width(), ex.eval(e)))
+        return fields
+
+    def _algo(self, ex, algo_arg) -> str:
+        value = ex.eval(algo_arg)
+        enum = self.program.enums.get("HashAlgorithm")
+        if enum is not None:
+            for member, v in enum.values.items():
+                if v == value:
+                    return member
+        return "csum16"
+
+    def _verify_checksum(self, ex: BlockExecutor, call: N.IrCall) -> None:
+        cond = ex.eval(call.args[0])
+        if not cond:
+            return
+        fields = self._field_values(ex, call.args[1])
+        expected = ex.eval(call.args[2])
+        algo = self._algo(ex, call.args[3]) if len(call.args) > 3 else "csum16"
+        fn = CHECKSUM_ALGORITHMS.get(algo, ones_complement16)
+        width = call.args[2].p4_type.bit_width()
+        computed = fn(fields, width)
+        if computed != expected:
+            ex.env[f"{SM}.checksum_error"] = 1
+            ex.trace.append("verify_checksum: mismatch")
+
+    def _update_checksum(self, ex: BlockExecutor, call: N.IrCall) -> None:
+        cond = ex.eval(call.args[0])
+        if not cond:
+            return
+        fields = self._field_values(ex, call.args[1])
+        dest = call.args[2]
+        if isinstance(dest, N.IrLValExpr):
+            dest = dest.lval
+        path, p4_type = ex.resolve_lvalue(dest)
+        algo = self._algo(ex, call.args[3]) if len(call.args) > 3 else "csum16"
+        fn = CHECKSUM_ALGORITHMS.get(algo, ones_complement16)
+        ex.env[path] = fn(fields, p4_type.bit_width())
+
+    def _hash(self, ex: BlockExecutor, call: N.IrCall) -> None:
+        lv = call.args[0]
+        if isinstance(lv, N.IrLValExpr):
+            lv = lv.lval
+        path, p4_type = ex.resolve_lvalue(lv)
+        algo = self._algo(ex, call.args[1])
+        base = ex.eval(call.args[2])
+        fields = self._field_values(ex, call.args[3])
+        max_val = ex.eval(call.args[4])
+        fn = CHECKSUM_ALGORITHMS.get(algo, ones_complement16)
+        width = p4_type.bit_width()
+        h = fn(fields, width)
+        mask = (1 << width) - 1
+        value = (base + (h % max_val if max_val else h)) & mask
+        ex.env[path] = value

@@ -1,0 +1,766 @@
+"""Concrete IR interpreter core.
+
+This is the reproduction's stand-in for the *targets under test*
+(BMv2, the Tofino software model, the eBPF kernel): an independent,
+fully concrete executor over the same IR.  The test runner feeds it a
+generated test's input packet and control-plane configuration and
+compares outputs against the oracle's expectation — exactly the
+evaluation loop of the paper's §7.
+
+It deliberately shares no code with the symbolic stepper (beyond the IR
+and the concrete extern functions), so a bug in either side shows up as
+a failing test rather than a shared blind spot.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..frontend.types import (
+    BitsType,
+    BoolType,
+    EnumType,
+    ErrorType,
+    HeaderType,
+    P4Type,
+    StackType,
+    StructType,
+)
+from ..ir import nodes as N
+from ..testback.spec import RegisterSpec, TableEntrySpec, ValueSetSpec
+
+__all__ = [
+    "Config",
+    "ConcretePacket",
+    "InterpResult",
+    "InterpError",
+    "ParserReject",
+    "ExitControl",
+    "ReturnAction",
+    "BlockExecutor",
+]
+
+
+class InterpError(Exception):
+    """The interpreter crashed (the 'exception' bug class of Tbl. 2)."""
+
+
+class ParserReject(Exception):
+    def __init__(self, error_name: str):
+        self.error_name = error_name
+        super().__init__(error_name)
+
+
+class ExitControl(Exception):
+    pass
+
+
+class ReturnAction(Exception):
+    pass
+
+
+class Config:
+    """Concrete control-plane configuration for one test."""
+
+    def __init__(self, entries=None, value_sets=None, registers=None):
+        self.entries: list[TableEntrySpec] = list(entries or [])
+        self.value_sets: list[ValueSetSpec] = list(value_sets or [])
+        self.registers: list[RegisterSpec] = list(registers or [])
+
+    @classmethod
+    def from_test(cls, test) -> "Config":
+        return cls(test.entries, test.value_sets, test.registers)
+
+    def entries_for(self, table: str) -> list[TableEntrySpec]:
+        return [e for e in self.entries if e.table == table]
+
+    def value_set_members(self, name: str) -> list[int]:
+        return [v.member for v in self.value_sets if v.value_set == name]
+
+    def register_value(self, instance: str, index: int) -> int | None:
+        for r in self.registers:
+            if r.instance == instance and r.index == index:
+                return r.value
+        return None
+
+
+class ConcretePacket:
+    """A concrete bit string with a read cursor (front = MSB)."""
+
+    def __init__(self, bits: int, width: int):
+        self.bits = bits & ((1 << width) - 1) if width else 0
+        self.width = width
+        self.pos = 0  # bits consumed from the front
+
+    @property
+    def remaining(self) -> int:
+        return self.width - self.pos
+
+    def extract(self, width: int) -> int:
+        if width > self.remaining:
+            raise ParserReject("PacketTooShort")
+        shift = self.width - self.pos - width
+        value = (self.bits >> shift) & ((1 << width) - 1)
+        self.pos += width
+        return value
+
+    def lookahead(self, width: int) -> int:
+        if width > self.remaining:
+            raise ParserReject("PacketTooShort")
+        shift = self.width - self.pos - width
+        return (self.bits >> shift) & ((1 << width) - 1)
+
+    def advance(self, width: int) -> None:
+        if width > self.remaining:
+            raise ParserReject("PacketTooShort")
+        self.pos += width
+
+    def remainder(self) -> tuple[int, int]:
+        """(bits, width) of the unconsumed tail."""
+        width = self.remaining
+        value = self.bits & ((1 << width) - 1) if width else 0
+        return value, width
+
+    def prepend(self, value: int, width: int) -> None:
+        tail, tail_w = self.remainder()
+        self.bits = (value << tail_w) | tail
+        self.width = width + tail_w
+        self.pos = 0
+
+
+class InterpResult:
+    def __init__(self):
+        self.outputs: list[tuple[int, int, int]] = []  # (port, bits, width)
+        self.dropped = False
+        self.error: str | None = None
+        self.trace: list[str] = []
+
+    def add_output(self, port: int, bits: int, width: int) -> None:
+        self.outputs.append((port, bits & ((1 << width) - 1) if width else 0, width))
+
+    def __repr__(self):
+        if self.error:
+            return f"InterpResult(error={self.error!r})"
+        if self.dropped and not self.outputs:
+            return "InterpResult(dropped)"
+        return f"InterpResult(outputs={self.outputs})"
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def _to_signed(v: int, width: int) -> int:
+    return v - (1 << width) if v >= 1 << (width - 1) else v
+
+
+class BlockExecutor:
+    """Executes parser/control blocks concretely.
+
+    ``target_model`` supplies extern implementations and policies via
+    duck-typed hooks (see :mod:`repro.interp.bmv2` etc.).
+    """
+
+    def __init__(self, program: N.IrProgram, config: Config, target_model,
+                 seed: int = 0):
+        self.program = program
+        self.config = config
+        self.target = target_model
+        self.rng = random.Random(seed)
+        self.env: dict[str, int | bool] = {}
+        self.valid: dict[str, bool] = {}
+        self.frames: list[dict[str, str]] = [{}]
+        self.next_index: dict[str, int] = {}
+        self.packet: ConcretePacket | None = None
+        self.emit_buffer: list[tuple[int, int]] = []  # (bits, width)
+        self.registers: dict[str, dict[int, int]] = {}
+        self.trace: list[str] = []
+        self._scratch = 0
+
+    # ------------------------------------------------------------------
+    # Environment
+    # ------------------------------------------------------------------
+
+    def resolve_root(self, name: str) -> str:
+        for frame in reversed(self.frames):
+            if name in frame:
+                return frame[name]
+        return name
+
+    def read(self, path: str, p4_type: P4Type):
+        if path in self.env:
+            return self.env[path]
+        value = self.target.uninitialized_read(self, path, p4_type)
+        self.env[path] = value
+        return value
+
+    def write(self, path: str, value) -> None:
+        self.env[path] = value
+
+    def init_type(self, prefix: str, p4_type: P4Type, mode: str) -> None:
+        if isinstance(p4_type, HeaderType):
+            self.valid[prefix] = False
+            for fname, ftype in p4_type.fields:
+                self._init_scalar(f"{prefix}.{fname}", ftype, mode)
+        elif isinstance(p4_type, StructType):
+            for fname, ftype in p4_type.fields:
+                self.init_type(f"{prefix}.{fname}", ftype, mode)
+        elif isinstance(p4_type, StackType):
+            for i in range(p4_type.size):
+                self.init_type(f"{prefix}[{i}]", p4_type.element, mode)
+            self.next_index[prefix] = 0
+        else:
+            self._init_scalar(prefix, p4_type, mode)
+
+    def _init_scalar(self, path: str, p4_type: P4Type, mode: str) -> None:
+        if mode == "zero":
+            self.env[path] = False if isinstance(p4_type, BoolType) else 0
+        elif mode == "random":
+            width = p4_type.bit_width()
+            self.env[path] = (
+                bool(self.rng.getrandbits(1))
+                if isinstance(p4_type, BoolType)
+                else self.rng.getrandbits(width)
+            )
+        elif mode == "invalid":
+            self.env.pop(path, None)
+
+    def copy_value(self, src: str, dst: str, p4_type: P4Type) -> None:
+        if isinstance(p4_type, HeaderType):
+            self.valid[dst] = self.valid.get(src, False)
+            for fname, ftype in p4_type.fields:
+                self.env[dst + "." + fname] = self.read(src + "." + fname, ftype)
+        elif isinstance(p4_type, StructType):
+            for fname, ftype in p4_type.fields:
+                self.copy_value(f"{src}.{fname}", f"{dst}.{fname}", ftype)
+        elif isinstance(p4_type, StackType):
+            for i in range(p4_type.size):
+                self.copy_value(f"{src}[{i}]", f"{dst}[{i}]", p4_type.element)
+            self.next_index[dst] = self.next_index.get(src, 0)
+        else:
+            self.env[dst] = self.read(src, p4_type)
+
+    # ------------------------------------------------------------------
+    # L-values
+    # ------------------------------------------------------------------
+
+    def resolve_lvalue(self, lv: N.LValue) -> tuple[str, P4Type]:
+        if isinstance(lv, N.VarLV):
+            return self.resolve_root(lv.name), lv.p4_type
+        if isinstance(lv, N.FieldLV):
+            base_path, base_type = self.resolve_lvalue(lv.base)
+            if isinstance(base_type, StackType):
+                nxt = self.next_index.get(base_path, 0)
+                if lv.field == "next":
+                    if nxt >= base_type.size:
+                        # P4-16 §8.18: full stack -> StackOutOfBounds.
+                        raise ParserReject("StackOutOfBounds")
+                    return f"{base_path}[{nxt}]", base_type.element
+                if lv.field == "last":
+                    return f"{base_path}[{max(nxt - 1, 0)}]", base_type.element
+                if lv.field == "lastIndex":
+                    return f"{base_path}.$lastIndex", BitsType(32)
+            return f"{base_path}.{lv.field}", lv.p4_type
+        if isinstance(lv, N.IndexLV):
+            base_path, base_type = self.resolve_lvalue(lv.base)
+            idx = self.eval(lv.index)
+            if isinstance(base_type, StackType) and idx >= base_type.size:
+                # Out-of-bounds const access: the spec leaves reads
+                # undefined and writes ignored; clamp like the oracle.
+                # (BMv2's crash here is the seeded BMV2-1 fault.)
+                idx = base_type.size - 1
+            return f"{base_path}[{idx}]", lv.p4_type
+        raise InterpError(f"unsupported lvalue {lv!r}")
+
+    def enclosing_header(self, lv: N.LValue) -> str | None:
+        if isinstance(lv, N.FieldLV):
+            if isinstance(lv.base.p4_type, HeaderType):
+                path, _t = self.resolve_lvalue(lv.base)
+                return path
+            return self.enclosing_header(lv.base)
+        if isinstance(lv, N.SliceLV):
+            return self.enclosing_header(lv.base)
+        return None
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def eval(self, e: N.IrExpr):
+        if isinstance(e, N.IrConst):
+            return e.value
+        if isinstance(e, N.IrLValExpr):
+            path, p4_type = self.resolve_lvalue(e.lval)
+            hdr = self.enclosing_header(e.lval)
+            if hdr is not None and not self.valid.get(hdr, False):
+                # Undefined read; target policy decides the garbage.
+                return self.target.invalid_header_read(self, path, p4_type)
+            return self.read(path, p4_type)
+        if isinstance(e, N.IrValidExpr):
+            path, _t = self.resolve_lvalue(e.header)
+            return self.valid.get(path, False)
+        if isinstance(e, N.IrUnop):
+            v = self.eval(e.operand)
+            if e.op == "!":
+                return not v
+            width = e.p4_type.bit_width()
+            if e.op == "~":
+                return ~v & _mask(width)
+            if e.op == "-":
+                return -v & _mask(width)
+            raise InterpError(f"unop {e.op}")
+        if isinstance(e, N.IrBinop):
+            return self._eval_binop(e)
+        if isinstance(e, N.IrConcat):
+            out = 0
+            for part in e.parts:
+                out = (out << part.p4_type.bit_width()) | self.eval(part)
+            return out
+        if isinstance(e, N.IrSliceExpr):
+            v = self.eval(e.expr)
+            return (v >> e.lo) & _mask(e.hi - e.lo + 1)
+        if isinstance(e, N.IrTernary):
+            return self.eval(e.then) if self.eval(e.cond) else self.eval(e.other)
+        if isinstance(e, N.IrCast):
+            v = self.eval(e.expr)
+            target = e.p4_type
+            if isinstance(target, BoolType):
+                return bool(v)
+            width = target.bit_width()
+            if isinstance(v, bool):
+                return int(v) & _mask(width)
+            src = e.expr.p4_type
+            if isinstance(src, BitsType) and src.signed and width > src.width:
+                return _to_signed(v, src.width) & _mask(width)
+            return v & _mask(width)
+        if isinstance(e, N.IrCall):
+            if e.func == "lookahead" and e.p4_type is not None:
+                return self.packet.lookahead(e.p4_type.bit_width())
+            if e.func == "length":
+                return self.packet.width // 8
+            return self.target.extern_value(self, e)
+        if isinstance(e, N.IrApplyExpr):
+            hit, _action = self.apply_table(self.program.find_table(e.table))
+            return hit if e.member == "hit" else not hit
+        raise InterpError(f"cannot evaluate {e!r}")
+
+    def _eval_binop(self, e: N.IrBinop):
+        op = e.op
+        if op == "&&":
+            return bool(self.eval(e.left)) and bool(self.eval(e.right))
+        if op == "||":
+            return bool(self.eval(e.left)) or bool(self.eval(e.right))
+        a = self.eval(e.left)
+        b = self.eval(e.right)
+        if op in ("==", "!="):
+            return (a == b) if op == "==" else (a != b)
+        if op in ("<", ">", "<=", ">="):
+            lt = e.left.p4_type
+            if isinstance(lt, BitsType) and lt.signed:
+                a = _to_signed(a, lt.width)
+                b = _to_signed(b, lt.width)
+            return {"<": a < b, ">": a > b, "<=": a <= b, ">=": a >= b}[op]
+        width = e.p4_type.bit_width()
+        m = _mask(width)
+        if op == "+":
+            return (a + b) & m
+        if op == "-":
+            return (a - b) & m
+        if op == "*":
+            return (a * b) & m
+        if op == "/":
+            return (a // b) & m if b else m
+        if op == "%":
+            return (a % b) & m if b else a
+        if op == "&":
+            return a & b
+        if op == "|":
+            return a | b
+        if op == "^":
+            return a ^ b
+        if op == "<<":
+            return (a << b) & m if b < width else 0
+        if op == ">>":
+            lt = e.p4_type
+            if isinstance(lt, BitsType) and lt.signed:
+                return (_to_signed(a, width) >> min(b, width - 1)) & m
+            return a >> b if b < width else 0
+        raise InterpError(f"binop {op}")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def exec_stmts(self, stmts: list) -> None:
+        for s in stmts:
+            self.exec_stmt(s)
+
+    def exec_stmt(self, s: N.IrStmt) -> None:
+        if isinstance(s, N.IrAssign):
+            self._exec_assign(s)
+        elif isinstance(s, N.IrVarDecl):
+            self._scratch += 1
+            scratch = f"$local${self._scratch}${s.name}"
+            self.frames[-1][s.name] = scratch
+            if s.init is not None:
+                if isinstance(s.p4_type, (HeaderType, StructType, StackType)):
+                    src_path, _t = self.resolve_lvalue(s.init.lval)
+                    self.copy_value(src_path, scratch, s.p4_type)
+                else:
+                    self.env[scratch] = self.eval(s.init)
+            else:
+                self.init_type(scratch, s.p4_type, self.target.local_init_mode)
+        elif isinstance(s, N.IrIf):
+            if self.eval(s.cond):
+                self.exec_stmts(s.then_stmts)
+            else:
+                self.exec_stmts(s.else_stmts)
+        elif isinstance(s, N.IrApplyTable):
+            self.apply_table(self.program.find_table(s.table))
+        elif isinstance(s, N.IrSwitch):
+            _hit, action = self.apply_table(self.program.find_table(s.table))
+            chosen = None
+            default_body = None
+            for labels, body in s.cases:
+                if "default" in labels:
+                    default_body = body
+                if action is not None and action in labels:
+                    chosen = body
+                    break
+            self.exec_stmts(chosen if chosen is not None else (default_body or []))
+        elif isinstance(s, N.IrExit):
+            raise ExitControl()
+        elif isinstance(s, N.IrReturn):
+            raise ReturnAction()
+        elif isinstance(s, N.IrMethodCall):
+            self._exec_call(s.call)
+        else:
+            raise InterpError(f"unknown statement {s!r}")
+
+    def _exec_assign(self, s: N.IrAssign) -> None:
+        target = s.target
+        if isinstance(target, N.SliceLV):
+            base_path, base_type = self.resolve_lvalue(target.base)
+            width = base_type.bit_width()
+            old = self.read(base_path, base_type)
+            new = self.eval(s.value)
+            keep = ~(_mask(target.hi - target.lo + 1) << target.lo) & _mask(width)
+            self.env[base_path] = (old & keep) | (
+                (new & _mask(target.hi - target.lo + 1)) << target.lo
+            )
+            return
+        path, p4_type = self.resolve_lvalue(target)
+        if isinstance(p4_type, (HeaderType, StructType, StackType)):
+            src_path, _t = self.resolve_lvalue(s.value.lval)
+            self.copy_value(src_path, path, p4_type)
+            return
+        self.env[path] = self.eval(s.value)
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+
+    def _exec_call(self, call: N.IrCall) -> None:
+        func = call.func
+        if func == "__action__":
+            action = self._lookup_action(call.obj)
+            self.invoke_action(action, [self.eval(a) if not isinstance(
+                a, N.IrLValExpr) else a for a in call.args], direct_args=call.args)
+            return
+        if func == "setValid":
+            path, _t = self.resolve_lvalue(call.obj)
+            self.valid[path] = True
+            return
+        if func == "setInvalid":
+            path, _t = self.resolve_lvalue(call.obj)
+            self.valid[path] = False
+            return
+        if func in ("push_front", "pop_front"):
+            self._stack_push_pop(call)
+            return
+        if func in ("extract", "emit", "advance", "lookahead", "length"):
+            self.target.packet_op(self, call)
+            return
+        self.target.extern(self, call)
+
+    def _stack_push_pop(self, call: N.IrCall) -> None:
+        path, stack_type = self.resolve_lvalue(call.obj)
+        count = self.eval(call.args[0]) if call.args else 1
+        size = stack_type.size
+        elem = stack_type.element
+        if call.func == "push_front":
+            for i in range(size - 1, count - 1, -1):
+                self.copy_value(f"{path}[{i - count}]", f"{path}[{i}]", elem)
+            for i in range(min(count, size)):
+                self.valid[f"{path}[{i}]"] = False
+            self.next_index[path] = min(self.next_index.get(path, 0) + count, size)
+        else:
+            for i in range(0, size - count):
+                self.copy_value(f"{path}[{i + count}]", f"{path}[{i}]", elem)
+            for i in range(max(size - count, 0), size):
+                self.valid[f"{path}[{i}]"] = False
+            self.next_index[path] = max(self.next_index.get(path, 0) - count, 0)
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+
+    def _lookup_action(self, name: str) -> N.IrAction:
+        return self.program.find_action(name)
+
+    def apply_table(self, table: N.IrTable) -> tuple[bool, str | None]:
+        key_values = [self.eval(k.expr) for k in table.keys]
+        # Const entries first, in target order.
+        for entry in self.target.order_const_entries(table):
+            if self._const_entry_matches(entry, key_values, table):
+                self.trace.append(f"{table.full_name}: const entry -> "
+                                  f"{entry.action_ref.action}")
+                self._run_action_ref(table, entry.action_ref)
+                return True, entry.action_ref.action
+        # Runtime entries from the configuration.
+        matching = []
+        for spec in self.config.entries_for(table.full_name):
+            if self._spec_matches(spec, key_values, table):
+                matching.append(spec)
+        if matching:
+            spec = self.target.pick_entry(matching)
+            self.trace.append(f"{table.full_name}: hit -> {spec.action}")
+            action = self._lookup_action(spec.action)
+            self._run_action_with_values(
+                action, [v for _n, v in spec.action_args]
+            )
+            return True, spec.action
+        # Miss: default action.
+        self.trace.append(f"{table.full_name}: miss")
+        if table.default_action is not None:
+            self._run_action_ref(table, table.default_action)
+            return False, table.default_action.action
+        return False, None
+
+    def _const_entry_matches(self, entry: N.IrTableEntry, key_values, table) -> bool:
+        for keyset, key_value, key in zip(entry.keysets, key_values, table.keys):
+            if isinstance(keyset, N.KsDefault):
+                continue
+            if isinstance(keyset, N.KsMask):
+                mask = self.eval(keyset.mask)
+                if (key_value & mask) != (self.eval(keyset.value) & mask):
+                    return False
+            elif isinstance(keyset, N.KsRange):
+                if not (self.eval(keyset.lo) <= key_value <= self.eval(keyset.hi)):
+                    return False
+            else:
+                if key_value != self.eval(keyset):
+                    return False
+        return True
+
+    def _spec_matches(self, spec: TableEntrySpec, key_values, table) -> bool:
+        for (name, kind, roles), key_value, key in zip(
+            spec.keys, key_values, table.keys
+        ):
+            width = key.expr.p4_type.bit_width()
+            if kind == "exact":
+                if key_value != roles.get("value", 0):
+                    return False
+            elif kind in ("ternary", "optional"):
+                mask = roles.get("mask", _mask(width))
+                if (key_value & mask) != (roles.get("value", 0) & mask):
+                    return False
+            elif kind == "lpm":
+                plen = roles.get("prefix_len", width)
+                shift = width - plen
+                if (key_value >> shift) != (roles.get("value", 0) >> shift):
+                    return False
+            elif kind == "range":
+                if not (roles.get("lo", 0) <= key_value <= roles.get("hi", _mask(width))):
+                    return False
+            else:
+                if key_value != roles.get("value", 0):
+                    return False
+        return True
+
+    def _run_action_ref(self, table, ref: N.IrActionRef) -> None:
+        action = self._lookup_action(ref.action)
+        values = [self.eval(a) for a in ref.args]
+        # Unbound control-plane params of the default action read as 0.
+        while len(values) < len(action.control_plane_params):
+            values.append(0)
+        self._run_action_with_values(action, values)
+
+    def _run_action_with_values(self, action: N.IrAction, values: list) -> None:
+        frame: dict[str, str] = {}
+        self._scratch += 1
+        scratch = f"$act${self._scratch}"
+        idx = 0
+        for param in action.params:
+            if param.direction == "":
+                path = f"{scratch}.{param.name}"
+                frame[param.name] = path
+                self.env[path] = values[idx] if idx < len(values) else 0
+                idx += 1
+        self.frames.append(frame)
+        try:
+            self.exec_stmts(action.body)
+        except ReturnAction:
+            pass
+        finally:
+            self.frames.pop()
+
+    def invoke_action(self, action: N.IrAction, values, direct_args=None) -> None:
+        """Direct invocation from an apply block (all args bound)."""
+        frame: dict[str, str] = {}
+        self._scratch += 1
+        scratch = f"$act${self._scratch}"
+        args = direct_args or []
+        for i, param in enumerate(action.params):
+            arg = args[i] if i < len(args) else None
+            if param.direction in ("in", "out", "inout") and isinstance(
+                arg, N.IrLValExpr
+            ):
+                path, _t = self.resolve_lvalue(arg.lval)
+                frame[param.name] = path
+            else:
+                path = f"{scratch}.{param.name}"
+                frame[param.name] = path
+                self.env[path] = self.eval(arg) if arg is not None else 0
+        self.frames.append(frame)
+        try:
+            self.exec_stmts(action.body)
+        except ReturnAction:
+            pass
+        finally:
+            self.frames.pop()
+
+    # ------------------------------------------------------------------
+    # Parser execution
+    # ------------------------------------------------------------------
+
+    def run_parser(self, parser: N.IrParser, aliases: dict[str, str]) -> None:
+        """Run a parser to accept/reject.  Raises ParserReject."""
+        self.frames.append(dict(aliases))
+        try:
+            for decl in parser.locals:
+                self.exec_stmt(decl)
+            state_name = "start"
+            steps = 0
+            while state_name not in ("accept", "reject"):
+                steps += 1
+                if steps > 10_000:
+                    raise InterpError("parser did not terminate")
+                state = parser.states.get(state_name)
+                if state is None:
+                    raise ParserReject("NoMatch")
+                self.exec_stmts(state.statements)
+                state_name = self._transition(parser, state.transition)
+            if state_name == "reject":
+                raise ParserReject("NoMatch")
+        finally:
+            self.frames.pop()
+
+    def _transition(self, parser: N.IrParser, tr: N.IrTransition) -> str:
+        if tr is None:
+            return "reject"
+        if tr.direct is not None:
+            return tr.direct
+        values = [self.eval(e) for e in tr.select_exprs]
+        for case in tr.cases:
+            if self._keysets_match(parser, case.keysets, values):
+                return case.state
+        return "reject"
+
+    def _keysets_match(self, parser, keysets, values) -> bool:
+        for keyset, value in zip(keysets, values):
+            if isinstance(keyset, N.KsDefault):
+                continue
+            if isinstance(keyset, N.KsValueSet):
+                vs = parser.value_sets[keyset.name]
+                members = self.config.value_set_members(vs.full_name)
+                if value not in members:
+                    return False
+            elif isinstance(keyset, N.KsMask):
+                mask = self.eval(keyset.mask)
+                if (value & mask) != (self.eval(keyset.value) & mask):
+                    return False
+            elif isinstance(keyset, N.KsRange):
+                if not (self.eval(keyset.lo) <= value <= self.eval(keyset.hi)):
+                    return False
+            else:
+                if value != self.eval(keyset):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Control execution
+    # ------------------------------------------------------------------
+
+    def run_control(self, control: N.IrControl, aliases: dict[str, str]) -> None:
+        self.frames.append(dict(aliases))
+        try:
+            for decl in control.locals:
+                self.exec_stmt(decl)
+            self.exec_stmts(control.apply_stmts)
+        except ExitControl:
+            pass
+        finally:
+            self.frames.pop()
+
+    # ------------------------------------------------------------------
+    # Packet helpers shared by target models
+    # ------------------------------------------------------------------
+
+    def extract_into(self, path: str, header_type, width: int) -> None:
+        value = self.packet.extract(width)
+        if isinstance(header_type, HeaderType):
+            self.valid[path] = True
+            self.write_fields(path, header_type, value, width)
+            if path.endswith("]"):
+                base = path[: path.rindex("[")]
+                if base in self.next_index:
+                    self.next_index[base] += 1
+        elif isinstance(header_type, StructType):
+            self.write_fields(path, header_type, value, width)
+        else:
+            self.env[path] = value
+
+    def write_fields(self, path: str, composite, value: int, total: int) -> None:
+        offset = 0
+        for fname, ftype in composite.fields:
+            fwidth = ftype.bit_width()
+            shift = total - offset - fwidth
+            self.env[f"{path}.{fname}"] = (value >> shift) & _mask(fwidth)
+            offset += fwidth
+
+    def pack_fields(self, path: str, composite) -> tuple[int, int]:
+        value = 0
+        total = 0
+        for fname, ftype in composite.fields:
+            fwidth = ftype.bit_width()
+            value = (value << fwidth) | self.read(f"{path}.{fname}", ftype)
+            total += fwidth
+        return value, total
+
+    def emit_lvalue(self, path: str, p4_type: P4Type) -> None:
+        if isinstance(p4_type, HeaderType):
+            if not self.valid.get(path, False):
+                return
+            value, width = self.pack_fields(path, p4_type)
+            self.emit_buffer.append((value, width))
+        elif isinstance(p4_type, StructType):
+            for fname, ftype in p4_type.fields:
+                self.emit_lvalue(f"{path}.{fname}", ftype)
+        elif isinstance(p4_type, StackType):
+            for i in range(p4_type.size):
+                self.emit_lvalue(f"{path}[{i}]", p4_type.element)
+        else:
+            self.emit_buffer.append((self.read(path, p4_type), p4_type.bit_width()))
+
+    def deparsed_packet(self) -> tuple[int, int]:
+        """Emit buffer followed by the unparsed remainder of the packet."""
+        bits = 0
+        width = 0
+        for value, w in self.emit_buffer:
+            bits = (bits << w) | value
+            width += w
+        tail, tail_w = self.packet.remainder()
+        bits = (bits << tail_w) | tail
+        width += tail_w
+        return bits, width

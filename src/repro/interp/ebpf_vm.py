@@ -1,0 +1,123 @@
+"""eBPF kernel-filter simulator (the ebpf_model target under test).
+
+Parser + filter; accepted packets are re-emitted via the implicit
+deparser (valid headers in declaration order + unparsed payload),
+rejected or error-ing packets are dropped by the kernel.
+"""
+
+from __future__ import annotations
+
+from ..frontend.types import BoolType
+from ..ir import nodes as N
+from .core import (
+    BlockExecutor,
+    ConcretePacket,
+    Config,
+    InterpError,
+    InterpResult,
+    ParserReject,
+)
+
+__all__ = ["EbpfSimulator"]
+
+HDR = "*hdr"
+ACCEPT = "*accept"
+
+
+class EbpfSimulator:
+    local_init_mode = "zero"
+
+    def __init__(self, program: N.IrProgram, seed: int = 0):
+        if program.package_name != "ebpfFilter" or len(program.bindings) != 2:
+            raise InterpError("EbpfSimulator requires an ebpfFilter program")
+        self.program = program
+        self.seed = seed
+
+    def process(self, port: int, bits: int, width: int,
+                config: Config) -> InterpResult:
+        result = InterpResult()
+        ex = BlockExecutor(self.program, config, self, seed=self.seed)
+        program = self.program
+        parser = program.parsers[program.bindings[0].decl_name]
+        hdr_type = parser.params[1].p4_type
+
+        ex.packet = ConcretePacket(bits, width)
+        ex.init_type(HDR, hdr_type, "invalid")
+        ex.env[ACCEPT] = False
+
+        try:
+            aliases = {}
+            for param, path in zip(parser.params, [None, HDR]):
+                if path is not None:
+                    aliases[param.name] = path
+            try:
+                ex.run_parser(parser, aliases)
+            except ParserReject:
+                # A failing extract drops the packet in the kernel.
+                result.dropped = True
+                result.trace = ex.trace
+                return result
+
+            flt = program.controls[program.bindings[1].decl_name]
+            aliases = {}
+            for param, path in zip(flt.params, [HDR, ACCEPT]):
+                aliases[param.name] = path
+            ex.run_control(flt, aliases)
+        except InterpError as exc:
+            result.error = str(exc)
+            result.trace = ex.trace
+            return result
+
+        if not ex.env.get(ACCEPT):
+            result.dropped = True
+            result.trace = ex.trace
+            return result
+
+        # Implicit deparser: emit valid headers + payload.
+        ex.emit_buffer = []
+        ex.emit_lvalue(HDR, hdr_type)
+        out_bits, out_width = ex.deparsed_packet()
+        result.add_output(port, out_bits, out_width)
+        result.trace = ex.trace
+        return result
+
+    # -- target-model hooks --------------------------------------------------
+
+    def uninitialized_read(self, ex, path, p4_type):
+        return False if isinstance(p4_type, BoolType) else 0
+
+    def invalid_header_read(self, ex, path, p4_type):
+        return False if isinstance(p4_type, BoolType) else 0
+
+    def order_const_entries(self, table):
+        return list(table.const_entries)
+
+    def pick_entry(self, matching):
+        return matching[0]
+
+    def packet_op(self, ex: BlockExecutor, call: N.IrCall) -> None:
+        func = call.func
+        if func == "extract":
+            lv = call.args[0]
+            path, header_type = ex.resolve_lvalue(lv)
+            width = header_type.bit_width()
+            if len(call.args) > 1:
+                width += ex.eval(call.args[1])
+            ex.extract_into(path, header_type, width)
+        elif func == "advance":
+            ex.packet.advance(ex.eval(call.args[0]))
+        elif func in ("emit", "lookahead", "length"):
+            pass
+
+    def extern(self, ex: BlockExecutor, call: N.IrCall) -> None:
+        func = call.func
+        if func in ("CounterArray.increment", "CounterArray.add", "log_msg"):
+            return
+        if func == "verify":
+            if not ex.eval(call.args[0]):
+                raise ParserReject("NoMatch")
+            return
+        raise InterpError(f"eBPF: unknown extern {func!r}")
+
+    def extern_value(self, ex: BlockExecutor, call: N.IrCall):
+        raise InterpError(f"eBPF: unknown value extern {call.func!r}")

@@ -1,0 +1,352 @@
+"""Tofino software-model simulator (the tna/t2na target under test).
+
+Mirrors the documented Tofino behaviors the oracle models (App. A.1):
+intrinsic-metadata prepends, the 64-byte minimum, parser-error
+semantics differing between Tofino 1 and 2 and between ingress and
+egress parsers, traffic-manager drop/bypass, and the unwritten-egress-
+port drop rule.  Bits the oracle cannot predict (timestamps, port
+metadata, queue state) are zero here and masked don't-care in tests.
+"""
+
+from __future__ import annotations
+
+from ..externs.checksum import CHECKSUM_ALGORITHMS, crc16, ones_complement16
+from ..frontend.types import BoolType, HeaderType, StructType
+from ..ir import nodes as N
+from .core import (
+    BlockExecutor,
+    ConcretePacket,
+    Config,
+    InterpError,
+    InterpResult,
+    ParserReject,
+)
+
+__all__ = ["TofinoSimulator"]
+
+HDR_I = "*ihdr"
+IG_MD = "*ig_md"
+IG_INTR = "*ig_intr_md"
+IG_PRSR = "*ig_prsr_md"
+IG_DPRSR = "*ig_dprsr_md"
+IG_TM = "*ig_tm_md"
+HDR_E = "*ehdr"
+EG_MD = "*eg_md"
+EG_INTR = "*eg_intr_md"
+EG_PRSR = "*eg_prsr_md"
+EG_DPRSR = "*eg_dprsr_md"
+EG_OPORT = "*eg_oport_md"
+
+MIN_PACKET_BITS = 64 * 8
+
+
+class _Unwritten(int):
+    """Sentinel stored in ucast_egress_port until the program writes it.
+
+    It behaves as 0 in arithmetic (matching the zeroed model memory) but
+    is identity-distinguishable, which lets the traffic manager apply
+    the "egress port never written -> dropped" rule (App. A.1)."""
+
+
+_EgressPortUnwritten = _Unwritten(0)
+
+
+class TofinoSimulator:
+    local_init_mode = "zero"   # model runs deterministic garbage as zero
+    MAX_RECIRCULATIONS = 2
+
+    def __init__(self, program: N.IrProgram, seed: int = 0, version: int = 1):
+        if len(program.bindings) < 6:
+            raise InterpError("TofinoSimulator requires a Pipeline program")
+        self.program = program
+        self.seed = seed
+        self.version = version
+        self.port_metadata_bits = 64 if version == 1 else 192
+
+    # ==================================================================
+
+    def process(self, port: int, bits: int, width: int,
+                config: Config) -> InterpResult:
+        result = InterpResult()
+        ex = BlockExecutor(self.program, config, self, seed=self.seed)
+        self._result = result
+        self._mirror_outputs: list[tuple[int, int, int]] = []
+        try:
+            self._run(ex, port, bits, width, resubmits=0)
+        except InterpError as exc:
+            result.error = str(exc)
+        result.trace = ex.trace
+        for out in self._mirror_outputs:
+            result.outputs.append(out)
+        if not result.outputs:
+            result.dropped = True
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _ingress_reads_parser_err(self) -> bool:
+        # The oracle precomputes the same property; here we check the
+        # simple way: textual scan over ingress statements.
+        from ..targets.tna import Tna
+
+        return Tna._reads_parser_err(
+            Tna.__new__(Tna), self.program, self.program.bindings[1].decl_name
+        )
+
+    def _run(self, ex: BlockExecutor, port: int, bits: int, width: int,
+             resubmits: int) -> None:
+        program = self.program
+        b = program.bindings
+        structs = program.structs
+
+        if width < MIN_PACKET_BITS:
+            ex.trace.append("packet below 64 bytes: dropped in ingress parser")
+            return
+
+        ig_parser = program.parsers[b[0].decl_name]
+        ihdr_type = ig_parser.params[1].p4_type
+        ig_md_type = ig_parser.params[2].p4_type
+
+        # Wire view: intrinsic metadata + port metadata + packet.
+        intr = (0 << 63) | (port << 48)  # flags/version zero, port, tstamp 0
+        wire = ConcretePacket(bits, width)
+        wire.prepend(0, self.port_metadata_bits)
+        wire.prepend(intr, 64)
+        ex.packet = wire
+        ex.emit_buffer = []
+
+        ex.init_type(HDR_I, ihdr_type, "invalid")
+        ex.init_type(IG_MD, ig_md_type, "zero")
+        ex.init_type(IG_INTR, structs["ingress_intrinsic_metadata_t"], "zero")
+        ex.init_type(IG_PRSR, structs["ingress_intrinsic_metadata_from_parser_t"], "zero")
+        ex.init_type(IG_DPRSR, structs["ingress_intrinsic_metadata_for_deparser_t"], "zero")
+        ex.init_type(IG_TM, structs["ingress_intrinsic_metadata_for_tm_t"], "zero")
+        ex.env[f"{IG_TM}.ucast_egress_port"] = _EgressPortUnwritten
+
+        aliases = {}
+        for param, path in zip(ig_parser.params, [None, HDR_I, IG_MD, IG_INTR]):
+            if path is not None:
+                aliases[param.name] = path
+        try:
+            ex.run_parser(ig_parser, aliases)
+        except ParserReject as reject:
+            if not self._ingress_reads_parser_err():
+                ex.trace.append("ingress parser error: packet dropped")
+                return
+            ex.env[f"{IG_PRSR}.parser_err"] = 1 << 1
+            ex.trace.append("ingress parser error: parser_err visible")
+
+        self._run_control(ex, b[1].decl_name,
+                          [HDR_I, IG_MD, IG_INTR, IG_PRSR, IG_DPRSR, IG_TM])
+
+        # Ingress deparser.
+        self._run_deparser(ex, b[2].decl_name, [None, HDR_I, IG_MD, IG_DPRSR])
+        tm_bits, tm_width = ex.deparsed_packet()
+
+        # Traffic manager.
+        if ex.read(f"{IG_DPRSR}.drop_ctl", None) != 0:
+            ex.trace.append("TM: drop_ctl, dropped")
+            return
+        if ex.read(f"{IG_DPRSR}.resubmit_type", None) != 0 and \
+                resubmits < self.MAX_RECIRCULATIONS:
+            ex.env[f"{IG_DPRSR}.resubmit_type"] = 0
+            ex.trace.append("TM: resubmit")
+            self._run_control(ex, b[1].decl_name,
+                              [HDR_I, IG_MD, IG_INTR, IG_PRSR, IG_DPRSR, IG_TM])
+            self._run_deparser(ex, b[2].decl_name, [None, HDR_I, IG_MD, IG_DPRSR])
+            tm_bits, tm_width = ex.deparsed_packet()
+            # The resubmitted pass may itself decide to drop.
+            if ex.read(f"{IG_DPRSR}.drop_ctl", None) != 0:
+                ex.trace.append("TM: drop_ctl after resubmit, dropped")
+                return
+        egress_port = ex.read(f"{IG_TM}.ucast_egress_port", None)
+        if egress_port is _EgressPortUnwritten:
+            ex.trace.append("TM: egress port unwritten, dropped")
+            return
+        if ex.read(f"{IG_TM}.bypass_egress", None) == 1:
+            ex.trace.append("TM: bypass_egress")
+            self._result.add_output(egress_port, tm_bits, tm_width)
+            return
+
+        # Egress pipe.
+        eg_parser = program.parsers[b[3].decl_name]
+        ehdr_type = eg_parser.params[1].p4_type
+        eg_md_type = eg_parser.params[2].p4_type
+        ex.packet = ConcretePacket(tm_bits, tm_width)
+        ex.emit_buffer = []
+        ex.init_type(HDR_E, ehdr_type, "invalid")
+        ex.init_type(EG_MD, eg_md_type, "zero")
+        ex.init_type(EG_INTR, structs["egress_intrinsic_metadata_t"], "zero")
+        ex.init_type(EG_PRSR, structs["egress_intrinsic_metadata_from_parser_t"], "zero")
+        ex.init_type(EG_DPRSR, structs["egress_intrinsic_metadata_for_deparser_t"], "zero")
+        ex.init_type(EG_OPORT, structs["egress_intrinsic_metadata_for_output_port_t"], "zero")
+        # egress intrinsic metadata prepend: pad(7) port(9) + queue data.
+        ex.packet.prepend(0, 128)
+        ex.packet.prepend(egress_port, 16)
+
+        aliases = {}
+        for param, path in zip(eg_parser.params, [None, HDR_E, EG_MD, EG_INTR]):
+            if path is not None:
+                aliases[param.name] = path
+        try:
+            ex.run_parser(eg_parser, aliases)
+        except ParserReject:
+            # Egress parser does not drop; header unspecified (zeros).
+            ex.env[f"{EG_PRSR}.parser_err"] = 1 << 1
+            ex.trace.append("egress parser error: continuing")
+
+        self._run_control(ex, b[4].decl_name,
+                          [HDR_E, EG_MD, EG_INTR, EG_PRSR, EG_DPRSR, EG_OPORT])
+        self._run_deparser(ex, b[5].decl_name, [None, HDR_E, EG_MD, EG_DPRSR])
+        if ex.read(f"{EG_DPRSR}.drop_ctl", None) != 0:
+            ex.trace.append("egress deparser: drop_ctl, dropped")
+            return
+        out_bits, out_width = ex.deparsed_packet()
+        self._result.add_output(egress_port, out_bits, out_width)
+
+    def _run_control(self, ex: BlockExecutor, name: str, paths: list) -> None:
+        control = self.program.controls[name]
+        aliases = {}
+        for param, path in zip(control.params, paths):
+            if path is not None:
+                aliases[param.name] = path
+        ex.run_control(control, aliases)
+
+    def _run_deparser(self, ex: BlockExecutor, name: str, paths: list) -> None:
+        ex.emit_buffer = []
+        self._run_control(ex, name, paths)
+
+    # ==================================================================
+    # Target-model hooks
+    # ==================================================================
+
+    def uninitialized_read(self, ex, path, p4_type):
+        return False if isinstance(p4_type, BoolType) else 0
+
+    def invalid_header_read(self, ex, path, p4_type):
+        return False if isinstance(p4_type, BoolType) else 0
+
+    def order_const_entries(self, table):
+        return list(table.const_entries)
+
+    def pick_entry(self, matching):
+        return matching[0]
+
+    def packet_op(self, ex: BlockExecutor, call: N.IrCall) -> None:
+        func = call.func
+        if func == "extract":
+            lv = call.args[0]
+            path, header_type = ex.resolve_lvalue(lv)
+            width = header_type.bit_width()
+            if len(call.args) > 1:
+                width += ex.eval(call.args[1])
+            if self.version == 2 and width > ex.packet.remaining:
+                # Tofino 2 does not execute the extract (App. A.1).
+                raise ParserReject("PacketTooShort")
+            ex.extract_into(path, header_type, width)
+        elif func == "emit":
+            lv = call.args[0]
+            path, p4_type = ex.resolve_lvalue(lv)
+            ex.emit_lvalue(path, p4_type)
+        elif func == "advance":
+            ex.packet.advance(ex.eval(call.args[0]))
+        elif func in ("lookahead", "length"):
+            pass
+
+    def extern(self, ex: BlockExecutor, call: N.IrCall) -> None:
+        func = call.func
+        if func in ("Counter.count", "DirectCounter.count", "Digest.pack",
+                    "log_msg"):
+            return
+        if func == "Register.write":
+            index = ex.eval(call.args[0])
+            value = ex.eval(call.args[1])
+            ex.registers.setdefault(call.obj, {})[index] = value
+            return
+        if func == "Mirror.emit":
+            tail, tail_w = ex.packet.remainder()
+            self._mirror_outputs.append((0, tail, tail_w))
+            return
+        if func == "Resubmit.emit":
+            ex.env[f"{IG_DPRSR}.resubmit_type"] = 1
+            return
+        if func in ("Checksum.add", "Checksum.subtract"):
+            acc = ex.env.setdefault(f"$csum${call.obj}", [])
+            acc.extend(self._field_values(ex, call.args[0]))
+            return
+        if func == "Checksum.subtract_all_and_deposit":
+            lv = call.args[0]
+            if isinstance(lv, N.IrLValExpr):
+                lv = lv.lval
+            path, p4_type = ex.resolve_lvalue(lv)
+            acc = ex.env.get(f"$csum${call.obj}", [])
+            ex.env[path] = ones_complement16(acc, p4_type.bit_width())
+            return
+        if func == "verify":
+            if not ex.eval(call.args[0]):
+                raise ParserReject("NoMatch")
+            return
+        raise InterpError(f"Tofino: unknown extern {func!r}")
+
+    def extern_value(self, ex: BlockExecutor, call: N.IrCall):
+        func = call.func
+        width = call.p4_type.bit_width() if call.p4_type is not None else 16
+        if func == "Register.read":
+            index = ex.eval(call.args[0])
+            regs = ex.registers.setdefault(call.obj, {})
+            if index in regs:
+                return regs[index]
+            configured = ex.config.register_value(call.obj, index)
+            return configured if configured is not None else 0
+        if func == "Hash.get":
+            algo = self._instance_algo(call.obj)
+            fn = CHECKSUM_ALGORITHMS.get(algo, crc16)
+            return fn(self._field_values(ex, call.args[0]), width)
+        if func == "Random.get":
+            return ex.rng.getrandbits(width)
+        if func in ("Meter.execute", "DirectMeter.execute"):
+            return 0
+        if func in ("Checksum.get", "Checksum.update"):
+            if call.args:
+                acc = ex.env.setdefault(f"$csum${call.obj}", [])
+                acc.extend(self._field_values(ex, call.args[0]))
+            acc = ex.env.get(f"$csum${call.obj}", [])
+            return ones_complement16(acc, width)
+        if func == "Checksum.verify":
+            acc = ex.env.get(f"$csum${call.obj}", [])
+            return ones_complement16(acc, 16) == 0
+        raise InterpError(f"Tofino: unknown value extern {func!r}")
+
+    def _instance_algo(self, instance_name: str) -> str:
+        for block in list(self.program.parsers.values()) + list(
+            self.program.controls.values()
+        ):
+            inst = block.instances.get(instance_name.rsplit(".", 1)[-1])
+            if inst is not None and inst.full_name == instance_name:
+                for arg in inst.ctor_args:
+                    if isinstance(arg, N.IrConst):
+                        enum = self.program.enums.get("HashAlgorithm_t")
+                        if enum is not None:
+                            for member, value in enum.values.items():
+                                if value == arg.value:
+                                    return member
+        return "CRC16"
+
+    def _field_values(self, ex: BlockExecutor, data_arg):
+        fields = []
+        elements = (
+            data_arg.elements if isinstance(data_arg, N.IrTupleExpr) else (data_arg,)
+        )
+        for e in elements:
+            if isinstance(e, N.IrTupleExpr):
+                fields.extend(self._field_values(ex, e))
+                continue
+            if isinstance(e, N.IrLValExpr) and isinstance(
+                e.p4_type, (HeaderType, StructType)
+            ):
+                path, t = ex.resolve_lvalue(e.lval)
+                for fname, ftype in t.fields:
+                    fields.append((ftype.bit_width(), ex.read(f"{path}.{fname}", ftype)))
+                continue
+            fields.append((e.p4_type.bit_width(), ex.eval(e)))
+        return fields

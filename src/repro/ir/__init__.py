@@ -1,0 +1,24 @@
+"""Typed IR, lowering, and mid-end transforms (the P4C stand-in).
+
+Typical use::
+
+    from repro.ir import load_ir
+    program = load_ir(p4_source_text)   # parse + lower + midend
+"""
+
+from . import nodes
+from .builtins import PRELUDES, prelude_for_includes
+from .lower import lower, lower_source
+from .transforms import run_midend
+
+__all__ = ["nodes", "lower", "lower_source", "run_midend", "load_ir",
+           "PRELUDES", "prelude_for_includes"]
+
+
+def load_ir(text: str, source: str = "<input>", unroll_bound: int | None = None):
+    """Parse, lower, and normalize P4 source into executable IR."""
+    program = lower_source(text, source)
+    from .transforms import DEFAULT_UNROLL_BOUND
+
+    bound = unroll_bound if unroll_bound is not None else DEFAULT_UNROLL_BOUND
+    return run_midend(program, bound)

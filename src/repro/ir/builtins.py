@@ -1,0 +1,485 @@
+"""Built-in P4 preludes for the architectures we model.
+
+Real P4 programs ``#include <core.p4>`` and an architecture header
+(``v1model.p4``, ``ebpf_model.p4``, ``tna.p4``).  We provide compact
+versions of those headers, written in our own P4 subset and parsed with
+our own front end — the same way P4C ships the standard library as
+``.p4`` source.  The subset preludes declare exactly the pieces the
+symbolic executor and targets interpret: intrinsic metadata layouts,
+extern signatures, and package shapes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PRELUDES", "prelude_for_includes"]
+
+CORE_P4 = """
+error {
+    NoError,
+    PacketTooShort,
+    NoMatch,
+    StackOutOfBounds,
+    HeaderTooShort,
+    ParserTimeout,
+    ParserInvalidArgument
+}
+
+extern packet_in {
+    void extract<T>(out T hdr);
+    void extract<T>(out T variableSizeHeader, in bit<32> variableFieldSizeInBits);
+    T lookahead<T>();
+    void advance(in bit<32> sizeInBits);
+    bit<32> length();
+}
+
+extern packet_out {
+    void emit<T>(in T hdr);
+}
+
+extern void verify(in bool check, in error toSignal);
+
+action NoAction() {}
+
+match_kind {
+    exact,
+    ternary,
+    lpm
+}
+"""
+
+V1MODEL_P4 = """
+match_kind {
+    range,
+    optional,
+    selector
+}
+
+struct standard_metadata_t {
+    bit<9>  ingress_port;
+    bit<9>  egress_spec;
+    bit<9>  egress_port;
+    bit<32> instance_type;
+    bit<32> packet_length;
+    bit<32> enq_timestamp;
+    bit<19> enq_qdepth;
+    bit<32> deq_timedelta;
+    bit<19> deq_qdepth;
+    bit<48> ingress_global_timestamp;
+    bit<48> egress_global_timestamp;
+    bit<16> mcast_grp;
+    bit<16> egress_rid;
+    bit<1>  checksum_error;
+    error   parser_error;
+    bit<3>  priority;
+}
+
+enum CounterType {
+    packets,
+    bytes,
+    packets_and_bytes
+}
+
+enum MeterType {
+    packets,
+    bytes
+}
+
+enum HashAlgorithm {
+    crc32,
+    crc32_custom,
+    crc16,
+    crc16_custom,
+    random,
+    identity,
+    csum16,
+    xor16
+}
+
+enum CloneType {
+    I2E,
+    E2E
+}
+
+enum MeterColor_t {
+    GREEN,
+    YELLOW,
+    RED
+}
+
+extern counter {
+    counter(bit<32> size, CounterType type);
+    void count(in bit<32> index);
+}
+
+extern direct_counter {
+    direct_counter(CounterType type);
+    void count();
+}
+
+extern meter {
+    meter(bit<32> size, MeterType type);
+    void execute_meter<T>(in bit<32> index, out T result);
+}
+
+extern direct_meter<T> {
+    direct_meter(MeterType type);
+    void read(out T result);
+}
+
+extern register<T> {
+    register(bit<32> size);
+    void read(out T result, in bit<32> index);
+    void write(in bit<32> index, in T value);
+}
+
+extern void random<T>(out T result, in T lo, in T hi);
+extern void digest<T>(in bit<32> receiver, in T data);
+extern void mark_to_drop(inout standard_metadata_t standard_metadata);
+extern void hash<O, T, D, M>(out O result, in HashAlgorithm algo, in T base, in D data, in M max);
+extern void verify_checksum<T, O>(in bool condition, in T data, in O checksum, HashAlgorithm algo);
+extern void update_checksum<T, O>(in bool condition, in T data, inout O checksum, HashAlgorithm algo);
+extern void verify_checksum_with_payload<T, O>(in bool condition, in T data, in O checksum, HashAlgorithm algo);
+extern void update_checksum_with_payload<T, O>(in bool condition, in T data, inout O checksum, HashAlgorithm algo);
+extern void resubmit_preserving_field_list(bit<8> index);
+extern void recirculate_preserving_field_list(bit<8> index);
+extern void clone(in CloneType type, in bit<32> session);
+extern void clone_preserving_field_list(in CloneType type, in bit<32> session, bit<8> index);
+extern void truncate(in bit<32> length);
+extern void assert(in bool check);
+extern void assume(in bool check);
+extern void log_msg<T>(in T data);
+
+parser Parser<H, M>(packet_in b,
+                    out H parsedHdr,
+                    inout M meta,
+                    inout standard_metadata_t standard_metadata);
+
+control VerifyChecksum<H, M>(inout H hdr,
+                             inout M meta);
+
+control Ingress<H, M>(inout H hdr,
+                      inout M meta,
+                      inout standard_metadata_t standard_metadata);
+
+control Egress<H, M>(inout H hdr,
+                     inout M meta,
+                     inout standard_metadata_t standard_metadata);
+
+control ComputeChecksum<H, M>(inout H hdr,
+                              inout M meta);
+
+control Deparser<H>(packet_out b, in H hdr);
+
+package V1Switch<H, M>(Parser<H, M> p,
+                       VerifyChecksum<H, M> vr,
+                       Ingress<H, M> ig,
+                       Egress<H, M> eg,
+                       ComputeChecksum<H, M> ck,
+                       Deparser<H> dep);
+"""
+
+EBPF_MODEL_P4 = """
+extern CounterArray {
+    CounterArray(bit<32> max_index, bool sparse);
+    void increment(in bit<32> index);
+    void add(in bit<32> index, in bit<32> value);
+}
+
+extern array_table {
+    array_table(bit<32> size);
+}
+
+extern hash_table {
+    hash_table(bit<32> size);
+}
+
+parser parse<H>(packet_in packet, out H headers);
+
+control filter<H>(inout H headers, out bool accept);
+
+package ebpfFilter<H>(parse<H> prs, filter<H> filt);
+"""
+
+TNA_P4 = """
+match_kind {
+    range,
+    selector,
+    atcam_partition_index
+}
+
+typedef bit<9>  PortId_t;
+typedef bit<16> MulticastGroupId_t;
+typedef bit<5>  QueueId_t;
+typedef bit<10> MirrorId_t;
+typedef bit<16> ReplicationId_t;
+typedef bit<8>  ParserError_t;
+
+struct ingress_intrinsic_metadata_t {
+    bit<1>  resubmit_flag;
+    bit<1>  _pad1;
+    bit<2>  packet_version;
+    bit<3>  _pad2;
+    bit<9>  ingress_port;
+    bit<48> ingress_mac_tstamp;
+}
+
+struct ingress_intrinsic_metadata_from_parser_t {
+    bit<48> global_tstamp;
+    bit<32> global_ver;
+    bit<16> parser_err;
+}
+
+struct ingress_intrinsic_metadata_for_deparser_t {
+    bit<3> drop_ctl;
+    bit<3> digest_type;
+    bit<3> resubmit_type;
+    bit<3> mirror_type;
+}
+
+struct ingress_intrinsic_metadata_for_tm_t {
+    bit<9>  ucast_egress_port;
+    bit<1>  bypass_egress;
+    bit<1>  deflect_on_drop;
+    bit<3>  ingress_cos;
+    bit<5>  qid;
+    bit<3>  icos_for_copy_to_cpu;
+    bit<1>  copy_to_cpu;
+    bit<2>  packet_color;
+    bit<1>  disable_ucast_cutthru;
+    bit<1>  enable_mcast_cutthru;
+    bit<16> mcast_grp_a;
+    bit<16> mcast_grp_b;
+    bit<13> level1_mcast_hash;
+    bit<13> level2_mcast_hash;
+    bit<16> level1_exclusion_id;
+    bit<9>  level2_exclusion_id;
+    bit<16> rid;
+}
+
+struct egress_intrinsic_metadata_t {
+    bit<7>  _pad0;
+    bit<9>  egress_port;
+    bit<19> enq_qdepth;
+    bit<2>  enq_congest_stat;
+    bit<18> enq_tstamp;
+    bit<19> deq_qdepth;
+    bit<2>  deq_congest_stat;
+    bit<8>  app_pool_congest_stat;
+    bit<18> deq_timedelta;
+    bit<16> egress_rid;
+    bit<1>  egress_rid_first;
+    bit<5>  egress_qid;
+    bit<3>  egress_cos;
+    bit<1>  deflection_flag;
+    bit<16> pkt_length;
+}
+
+struct egress_intrinsic_metadata_from_parser_t {
+    bit<48> global_tstamp;
+    bit<32> global_ver;
+    bit<16> parser_err;
+}
+
+struct egress_intrinsic_metadata_for_deparser_t {
+    bit<3> drop_ctl;
+    bit<3> mirror_type;
+    bit<1> coalesce_flush;
+    bit<7> coalesce_length;
+}
+
+struct egress_intrinsic_metadata_for_output_port_t {
+    bit<1> capture_tstamp_on_tx;
+    bit<1> update_delay_on_tx;
+}
+
+enum HashAlgorithm_t {
+    IDENTITY,
+    RANDOM,
+    CRC8,
+    CRC16,
+    CRC32,
+    CRC64,
+    CUSTOM
+}
+
+enum CounterType_t {
+    PACKETS,
+    BYTES,
+    PACKETS_AND_BYTES
+}
+
+enum MeterType_t {
+    PACKETS,
+    BYTES
+}
+
+enum MeterColor_t {
+    GREEN,
+    YELLOW,
+    RED
+}
+
+extern Register<T, I> {
+    Register(bit<32> size);
+    Register(bit<32> size, T initial_value);
+    T read(in I index);
+    void write(in I index, in T value);
+}
+
+extern RegisterAction<T, I, U> {
+    RegisterAction(Register<T, I> reg);
+    U execute(in I index);
+}
+
+extern Counter<W, I> {
+    Counter(bit<32> size, CounterType_t type);
+    void count(in I index);
+}
+
+extern DirectCounter<W> {
+    DirectCounter(CounterType_t type);
+    void count();
+}
+
+extern Meter<I> {
+    Meter(bit<32> size, MeterType_t type);
+    bit<8> execute(in I index);
+}
+
+extern DirectMeter {
+    DirectMeter(MeterType_t type);
+    bit<8> execute();
+}
+
+extern Hash<W> {
+    Hash(HashAlgorithm_t algo);
+    W get<D>(in D data);
+}
+
+extern Checksum {
+    Checksum();
+    void add<T>(in T data);
+    void subtract<T>(in T data);
+    bit<16> get();
+    bit<16> update<T>(in T data);
+    bool verify();
+    void subtract_all_and_deposit<T>(inout T field);
+}
+
+extern Random<W> {
+    Random();
+    W get();
+}
+
+extern Mirror {
+    Mirror();
+    void emit(in MirrorId_t session_id);
+    void emit<T>(in MirrorId_t session_id, in T hdr);
+}
+
+extern Resubmit {
+    Resubmit();
+    void emit();
+    void emit<T>(in T hdr);
+}
+
+extern Digest<T> {
+    Digest();
+    void pack(in T data);
+}
+
+parser IngressParserT<H, M>(packet_in pkt,
+    out H hdr,
+    out M ig_md,
+    out ingress_intrinsic_metadata_t ig_intr_md);
+
+control IngressT<H, M>(inout H hdr,
+    inout M ig_md,
+    in ingress_intrinsic_metadata_t ig_intr_md,
+    in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+    inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+    inout ingress_intrinsic_metadata_for_tm_t ig_tm_md);
+
+control IngressDeparserT<H, M>(packet_out pkt,
+    inout H hdr,
+    in M ig_md,
+    in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md);
+
+parser EgressParserT<H, M>(packet_in pkt,
+    out H hdr,
+    out M eg_md,
+    out egress_intrinsic_metadata_t eg_intr_md);
+
+control EgressT<H, M>(inout H hdr,
+    inout M eg_md,
+    in egress_intrinsic_metadata_t eg_intr_md,
+    in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+    inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+    inout egress_intrinsic_metadata_for_output_port_t eg_oport_md);
+
+control EgressDeparserT<H, M>(packet_out pkt,
+    inout H hdr,
+    in M eg_md,
+    in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md);
+
+package Pipeline<IH, IM, EH, EM>(
+    IngressParserT<IH, IM> ingress_parser,
+    IngressT<IH, IM> ingress,
+    IngressDeparserT<IH, IM> ingress_deparser,
+    EgressParserT<EH, EM> egress_parser,
+    EgressT<EH, EM> egress,
+    EgressDeparserT<EH, EM> egress_deparser);
+
+package Switch<IH, IM, EH, EM>(Pipeline<IH, IM, EH, EM> pipe);
+"""
+
+# t2na: Tofino 2 — same shapes as tna plus the ghost thread and extra
+# intrinsic metadata; we extend the tna prelude.
+T2NA_EXTRA_P4 = """
+struct ghost_intrinsic_metadata_t {
+    bit<1>  ping_pong;
+    bit<18> qlength;
+    bit<11> qid;
+    bit<2>  pipe_id;
+}
+
+control GhostT(in ghost_intrinsic_metadata_t g_intr_md);
+
+package GhostPipeline<IH, IM, EH, EM>(
+    IngressParserT<IH, IM> ingress_parser,
+    IngressT<IH, IM> ingress,
+    IngressDeparserT<IH, IM> ingress_deparser,
+    EgressParserT<EH, EM> egress_parser,
+    EgressT<EH, EM> egress,
+    EgressDeparserT<EH, EM> egress_deparser,
+    GhostT ghost);
+"""
+
+PRELUDES: dict[str, str] = {
+    "core.p4": CORE_P4,
+    "v1model.p4": CORE_P4 + V1MODEL_P4,
+    "ebpf_model.p4": CORE_P4 + EBPF_MODEL_P4,
+    "ebpf/ebpf_model.p4": CORE_P4 + EBPF_MODEL_P4,
+    "tna.p4": CORE_P4 + TNA_P4,
+    "t2na.p4": CORE_P4 + TNA_P4 + T2NA_EXTRA_P4,
+}
+
+
+def prelude_for_includes(includes: list[str]) -> str:
+    """Concatenated prelude text for a program's #include list.
+
+    The most specific architecture include wins; core.p4 alone yields
+    just the core declarations.
+    """
+    best = ""
+    best_len = 0
+    for inc in includes:
+        text = PRELUDES.get(inc)
+        if text is None:
+            # tolerate paths like "lib/v1model.p4"
+            base = inc.rsplit("/", 1)[-1]
+            text = PRELUDES.get(base)
+        if text and len(text) > best_len:
+            best = text
+            best_len = len(text)
+    return best or CORE_P4

@@ -1,0 +1,1133 @@
+"""Lowering: front-end AST -> typed IR.
+
+Responsibilities (mirroring the P4C front/mid-end the paper builds on):
+
+- merge the architecture prelude declarations with the user program;
+- resolve typedefs, compute widths, build header/struct layouts;
+- fold compile-time constants (``const`` declarations, enum members,
+  error codes);
+- resolve names (actions, tables, value sets, extern instances) into
+  fully-qualified IR references;
+- type/width-coerce expressions (P4's infinite-precision literals get
+  their widths from context).
+"""
+
+from __future__ import annotations
+
+from ..frontend import ast as A, parse_program
+from ..frontend.errors import TypeError_
+from ..frontend.types import (
+    BitsType,
+    BoolType,
+    EnumType,
+    ErrorType,
+    HeaderType,
+    P4Type,
+    StackType,
+    StringType,
+    StructType,
+    VarbitType,
+)
+from . import nodes as N
+from .builtins import prelude_for_includes
+
+__all__ = ["lower", "lower_source", "Lowerer"]
+
+
+class _Scope:
+    """Lexically nested name -> P4Type (for variables) mapping."""
+
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.vars: dict[str, P4Type] = {}
+
+    def child(self) -> "_Scope":
+        return _Scope(self)
+
+    def define(self, name: str, p4_type: P4Type) -> None:
+        self.vars[name] = p4_type
+
+    def lookup(self, name: str) -> P4Type | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+
+class Lowerer:
+    def __init__(self, program: A.Program):
+        self.ast = program
+        self.ir = N.IrProgram(source_name=program.source)
+        self.typedefs: dict[str, P4Type] = {}
+        self.consts: dict[str, N.IrConst] = {}
+        # Extern object type names (register, Counter, ...) and extern
+        # function names (hash, mark_to_drop, ...).
+        self.extern_objects: set[str] = set()
+        self.extern_functions: set[str] = set()
+        self.packages: dict[str, A.PackageDecl] = {}
+        self.parser_types: dict[str, A.ParserTypeDecl] = {}
+        self.control_types: dict[str, A.ControlTypeDecl] = {}
+        # Per-control context while lowering
+        self._current_control: N.IrControl | None = None
+        self._current_parser: N.IrParser | None = None
+        self._current_prefix = ""
+
+    # ==================================================================
+    # Entry point
+    # ==================================================================
+
+    def run(self) -> N.IrProgram:
+        self._collect_types()
+        self._collect_callables()
+        self._lower_blocks()
+        self._lower_main()
+        return self.ir
+
+    # ==================================================================
+    # Pass 1: types, constants, errors
+    # ==================================================================
+
+    def _collect_types(self) -> None:
+        ir = self.ir
+        for decl in self.ast.declarations:
+            if isinstance(decl, A.ErrorDecl):
+                for member in decl.members:
+                    if member not in ir.errors:
+                        ir.errors.append(member)
+            elif isinstance(decl, A.MatchKindDecl):
+                ir.match_kinds.update(decl.members)
+            elif isinstance(decl, A.EnumDecl):
+                width = None
+                if decl.underlying is not None:
+                    width = self._const_width(decl.underlying)
+                ir.enums[decl.name] = EnumType(
+                    decl.name, decl.members, width, decl.member_values or None
+                )
+            elif isinstance(decl, A.TypedefDecl):
+                self.typedefs[decl.name] = self.resolve_type(decl.target)
+            elif isinstance(decl, A.HeaderDecl):
+                fields = [
+                    (f.name, self.resolve_type(f.field_type)) for f in decl.fields
+                ]
+                ir.headers[decl.name] = HeaderType(decl.name, fields)
+            elif isinstance(decl, (A.StructDecl, A.HeaderUnionDecl)):
+                fields = [
+                    (f.name, self.resolve_type(f.field_type)) for f in decl.fields
+                ]
+                ir.structs[decl.name] = StructType(decl.name, fields)
+            elif isinstance(decl, A.ConstDecl):
+                ctype = self.resolve_type(decl.const_type)
+                value = self._fold_const(decl.value, ctype)
+                self.consts[decl.name] = N.IrConst(p4_type=ctype, value=value)
+                self.ir.consts[decl.name] = value
+            elif isinstance(decl, A.ExternDecl):
+                self.extern_objects.add(decl.name)
+            elif isinstance(decl, A.FunctionDecl):
+                self.extern_functions.add(decl.name)
+            elif isinstance(decl, A.PackageDecl):
+                self.packages[decl.name] = decl
+            elif isinstance(decl, A.ParserTypeDecl):
+                self.parser_types[decl.name] = decl
+            elif isinstance(decl, A.ControlTypeDecl):
+                self.control_types[decl.name] = decl
+
+    def _const_width(self, type_ast) -> int:
+        t = self.resolve_type(type_ast)
+        return t.bit_width()
+
+    def resolve_type(self, type_ast) -> P4Type:
+        if isinstance(type_ast, A.BitTypeAst):
+            return BitsType(self._width_value(type_ast.width), signed=False)
+        if isinstance(type_ast, A.IntTypeAst):
+            return BitsType(self._width_value(type_ast.width), signed=True)
+        if isinstance(type_ast, A.VarbitTypeAst):
+            return VarbitType(type_ast.max_width)
+        if isinstance(type_ast, A.BoolTypeAst):
+            return BoolType()
+        if isinstance(type_ast, A.ErrorTypeAst):
+            return ErrorType()
+        if isinstance(type_ast, A.StackTypeAst):
+            element = self.resolve_type(type_ast.element)
+            if not isinstance(element, HeaderType):
+                raise TypeError_("header stacks must have header elements")
+            return StackType(element, type_ast.size)
+        if isinstance(type_ast, A.SpecializedTypeAst):
+            # Extern object types keep their base name; type args are
+            # resolved by the instantiation lowering.
+            return self._resolve_named(type_ast.base, type_ast)
+        if isinstance(type_ast, A.TypeName):
+            return self._resolve_named(type_ast.name, type_ast)
+        if isinstance(type_ast, A.TupleTypeAst):
+            fields = [
+                (f"_{i}", self.resolve_type(e)) for i, e in enumerate(type_ast.elements)
+            ]
+            return StructType("tuple", fields)
+        if isinstance(type_ast, A.VoidTypeAst):
+            return None  # type: ignore[return-value]
+        raise TypeError_(f"cannot resolve type {type_ast!r}")
+
+    def _resolve_named(self, name: str, type_ast) -> P4Type:
+        if name in self.typedefs:
+            return self.typedefs[name]
+        if name in self.ir.headers:
+            return self.ir.headers[name]
+        if name in self.ir.structs:
+            return self.ir.structs[name]
+        if name in self.ir.enums:
+            return self.ir.enums[name]
+        if name == "string":
+            return StringType()
+        # Extern object types, package types, and unresolved generics
+        # are opaque: represent with a zero-field struct carrying the
+        # name so instantiation lowering can recognize it.
+        return StructType(name, [])
+
+    def _width_value(self, width) -> int:
+        if isinstance(width, int):
+            return width
+        value = self._fold_const(width, None)
+        if not isinstance(value, int) or value <= 0:
+            raise TypeError_(f"invalid bit width {value!r}")
+        return value
+
+    # ------------------------------------------------------------------
+    # Constant folding for compile-time contexts
+    # ------------------------------------------------------------------
+
+    def _fold_const(self, expr, expected: P4Type | None):
+        if isinstance(expr, A.IntLit):
+            return expr.value
+        if isinstance(expr, A.BoolLit):
+            return expr.value
+        if isinstance(expr, A.Ident):
+            if expr.name in self.consts:
+                return self.consts[expr.name].value
+            raise TypeError_(f"not a compile-time constant: {expr.name}")
+        if isinstance(expr, A.Member):
+            base = expr.expr
+            if isinstance(base, A.Ident):
+                if base.name == "error":
+                    return self.ir.error_code(expr.member)
+                if base.name in self.ir.enums:
+                    return self.ir.enums[base.name].value_of(expr.member)
+            raise TypeError_(f"not a compile-time constant: {expr!r}")
+        if isinstance(expr, A.Binop):
+            left = self._fold_const(expr.left, expected)
+            right = self._fold_const(expr.right, expected)
+            ops = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "/": lambda a, b: a // b,
+                "%": lambda a, b: a % b,
+                "<<": lambda a, b: a << b,
+                ">>": lambda a, b: a >> b,
+                "&": lambda a, b: a & b,
+                "|": lambda a, b: a | b,
+                "^": lambda a, b: a ^ b,
+            }
+            if expr.op in ops:
+                return ops[expr.op](left, right)
+            raise TypeError_(f"operator {expr.op} not allowed in constants")
+        if isinstance(expr, A.Unop):
+            value = self._fold_const(expr.operand, expected)
+            if expr.op == "-":
+                return -value
+            if expr.op == "~":
+                return ~value
+            if expr.op == "!":
+                return not value
+        if isinstance(expr, A.Cast):
+            inner = self._fold_const(expr.expr, None)
+            target = self.resolve_type(expr.target)
+            if isinstance(target, BitsType):
+                return inner & ((1 << target.width) - 1)
+            return inner
+        raise TypeError_(f"not a compile-time constant: {expr!r}")
+
+    # ==================================================================
+    # Pass 2: global callables (actions)
+    # ==================================================================
+
+    def _collect_callables(self) -> None:
+        for decl in self.ast.declarations:
+            if isinstance(decl, A.ActionDecl):
+                action = self._lower_action(decl, prefix="")
+                self.ir.actions[action.full_name] = action
+
+    # ==================================================================
+    # Pass 3: parsers and controls
+    # ==================================================================
+
+    def _lower_blocks(self) -> None:
+        for decl in self.ast.declarations:
+            if isinstance(decl, A.ParserDecl):
+                self.ir.parsers[decl.name] = self._lower_parser(decl)
+            elif isinstance(decl, A.ControlDecl):
+                self.ir.controls[decl.name] = self._lower_control(decl)
+            elif isinstance(decl, A.Annotation):
+                self.ir.annotations.append(decl)
+
+    def _lower_params(self, params, scope: _Scope) -> list:
+        out = []
+        for p in params:
+            ptype = self.resolve_type(p.param_type)
+            out.append(N.IrParam(name=p.name, direction=p.direction, p4_type=ptype))
+            if ptype is not None:
+                scope.define(p.name, ptype)
+        return out
+
+    def _lower_parser(self, decl: A.ParserDecl) -> N.IrParser:
+        scope = _Scope()
+        parser = N.IrParser(name=decl.name)
+        self._current_parser = parser
+        self._current_prefix = decl.name
+        parser.params = self._lower_params(decl.params, scope)
+        for local in decl.locals:
+            if isinstance(local, A.ValueSetDecl):
+                width = self.resolve_type(local.element_type).bit_width()
+                vs = N.IrValueSet(
+                    name=local.name,
+                    full_name=f"{decl.name}.{local.name}",
+                    width=width,
+                    size=local.size,
+                )
+                parser.value_sets[local.name] = vs
+            elif isinstance(local, A.VarDeclStmt):
+                vtype = self.resolve_type(local.var_type)
+                scope.define(local.name, vtype)
+                init = (
+                    self.lower_expr(local.init, scope, vtype)
+                    if local.init is not None
+                    else None
+                )
+                parser.locals.append(
+                    N.IrVarDecl(name=local.name, p4_type=vtype, init=init)
+                )
+            elif isinstance(local, A.ConstDecl):
+                ctype = self.resolve_type(local.const_type)
+                self.consts[local.name] = N.IrConst(
+                    p4_type=ctype, value=self._fold_const(local.value, ctype)
+                )
+            elif isinstance(local, A.Instantiation):
+                inst = self._lower_instance(local, decl.name)
+                parser.instances[inst.name] = inst
+        for state in decl.states:
+            parser.states[state.name] = self._lower_parser_state(state, scope, parser)
+        self._current_parser = None
+        return parser
+
+    def _lower_parser_state(self, state: A.ParserState, scope, parser) -> N.IrParserState:
+        body_scope = scope.child()
+        statements = []
+        for stmt in state.statements:
+            statements.extend(self.lower_stmt(stmt, body_scope))
+        transition = self._lower_transition(state.transition, body_scope, parser)
+        return N.IrParserState(
+            name=state.name, statements=statements, transition=transition
+        )
+
+    def _lower_transition(self, tr: A.Transition | None, scope, parser) -> N.IrTransition:
+        if tr is None:
+            # P4 requires a transition; missing means implicit reject.
+            return N.IrTransition(direct="reject")
+        if tr.direct is not None:
+            return N.IrTransition(direct=tr.direct)
+        exprs = [self.lower_expr(e, scope, None) for e in tr.select_exprs]
+        cases = []
+        for case in tr.cases:
+            keysets = self._lower_keyset(case.keyset, exprs, parser)
+            cases.append(N.IrSelectCase(keysets=keysets, state=case.state))
+        return N.IrTransition(select_exprs=exprs, cases=cases)
+
+    def _lower_keyset(self, keyset, select_exprs, parser) -> list:
+        """Lower a keyset to one IR keyset per select expression."""
+        def one(ks, expr_type: P4Type):
+            if isinstance(ks, (A.DefaultKeyset, A.DontCareKeyset)):
+                return N.KsDefault()
+            if isinstance(ks, A.ExprKeyset):
+                if isinstance(ks.expr, A.Ident) and parser is not None \
+                        and ks.expr.name in parser.value_sets:
+                    return N.KsValueSet(name=ks.expr.name)
+                value = self.lower_expr(ks.expr, _Scope(), expr_type)
+                return value
+            if isinstance(ks, A.MaskKeyset):
+                return N.KsMask(
+                    value=self.lower_expr(ks.value, _Scope(), expr_type),
+                    mask=self.lower_expr(ks.mask, _Scope(), expr_type),
+                )
+            if isinstance(ks, A.RangeKeyset):
+                return N.KsRange(
+                    lo=self.lower_expr(ks.lo, _Scope(), expr_type),
+                    hi=self.lower_expr(ks.hi, _Scope(), expr_type),
+                )
+            raise TypeError_(f"unsupported keyset {ks!r}")
+
+        types = [e.p4_type for e in select_exprs]
+        if isinstance(keyset, A.TupleKeyset):
+            if len(keyset.elements) != len(select_exprs):
+                raise TypeError_("keyset arity does not match select expressions")
+            return [one(k, t) for k, t in zip(keyset.elements, types)]
+        if isinstance(keyset, (A.DefaultKeyset, A.DontCareKeyset)):
+            return [N.KsDefault() for _ in select_exprs]
+        return [one(keyset, types[0])]
+
+    def _lower_control(self, decl: A.ControlDecl) -> N.IrControl:
+        scope = _Scope()
+        control = N.IrControl(name=decl.name)
+        self._current_control = control
+        self._current_prefix = decl.name
+        control.params = self._lower_params(decl.params, scope)
+        # Two-phase: collect declarations first (actions may be referenced
+        # by tables that appear earlier in the source).
+        for local in decl.locals:
+            if isinstance(local, A.ActionDecl):
+                action = self._lower_action(local, prefix=decl.name, scope=scope)
+                control.actions[action.full_name] = action
+            elif isinstance(local, A.VarDeclStmt):
+                vtype = self.resolve_type(local.var_type)
+                scope.define(local.name, vtype)
+                init = (
+                    self.lower_expr(local.init, scope, vtype)
+                    if local.init is not None
+                    else None
+                )
+                control.locals.append(
+                    N.IrVarDecl(name=local.name, p4_type=vtype, init=init)
+                )
+            elif isinstance(local, A.ConstDecl):
+                ctype = self.resolve_type(local.const_type)
+                self.consts[local.name] = N.IrConst(
+                    p4_type=ctype, value=self._fold_const(local.value, ctype)
+                )
+            elif isinstance(local, A.Instantiation):
+                inst = self._lower_instance(local, decl.name)
+                control.instances[inst.name] = inst
+        for local in decl.locals:
+            if isinstance(local, A.TableDecl):
+                table = self._lower_table(local, decl.name, scope, control)
+                control.tables[table.full_name] = table
+        body_scope = scope.child()
+        for stmt in decl.apply_body.statements:
+            control.apply_stmts.extend(self.lower_stmt(stmt, body_scope))
+        self._current_control = None
+        return control
+
+    def _lower_instance(self, inst: A.Instantiation, prefix: str) -> N.IrInstance:
+        type_ast = inst.type_ast
+        if isinstance(type_ast, A.SpecializedTypeAst):
+            extern_type = type_ast.base
+            type_args = [self.resolve_type(a) for a in type_ast.args]
+        elif isinstance(type_ast, A.TypeName):
+            extern_type = type_ast.name
+            type_args = []
+        else:
+            raise TypeError_(f"unsupported instantiation type {type_ast!r}")
+        ctor_args = []
+        for arg in inst.args:
+            try:
+                value = self._fold_const(arg, None)
+                ctor_args.append(N.IrConst(p4_type=None, value=value))
+            except TypeError_:
+                ctor_args.append(self.lower_expr(arg, _Scope(), None))
+        return N.IrInstance(
+            name=inst.name,
+            full_name=f"{prefix}.{inst.name}" if prefix else inst.name,
+            extern_type=extern_type,
+            type_args=type_args,
+            ctor_args=ctor_args,
+        )
+
+    def _lower_action(self, decl: A.ActionDecl, prefix: str, scope=None) -> N.IrAction:
+        action_scope = (scope or _Scope()).child()
+        params = self._lower_params(decl.params, action_scope)
+        body = []
+        for stmt in decl.body.statements:
+            body.extend(self.lower_stmt(stmt, action_scope))
+        full_name = f"{prefix}.{decl.name}" if prefix else decl.name
+        cp_name = ""
+        for ann in decl.annotations:
+            if ann.name == "name":
+                cp_name = ann.single_string() or ""
+        return N.IrAction(
+            name=decl.name,
+            full_name=full_name,
+            cp_name=cp_name or full_name,
+            params=params,
+            body=body,
+            annotations=decl.annotations,
+        )
+
+    def _resolve_action_name(self, name: str, control: N.IrControl | None) -> str:
+        name = name.lstrip(".")
+        if control is not None:
+            full = f"{control.name}.{name}"
+            if full in control.actions:
+                return full
+        if name in self.ir.actions:
+            return name
+        # Global NoAction from core.p4
+        if name == "NoAction" and "NoAction" in self.ir.actions:
+            return "NoAction"
+        raise TypeError_(f"unknown action {name!r}")
+
+    def _lower_table(self, decl: A.TableDecl, prefix: str, scope, control) -> N.IrTable:
+        table = N.IrTable(
+            name=decl.name,
+            full_name=f"{prefix}.{decl.name}" if prefix else decl.name,
+            size=decl.size,
+            annotations=decl.annotations,
+        )
+        for key in decl.keys:
+            expr = self.lower_expr(key.expr, scope, None)
+            if key.match_kind not in self.ir.match_kinds:
+                raise TypeError_(f"unknown match kind {key.match_kind!r}")
+            table.keys.append(
+                N.IrTableKey(
+                    expr=expr,
+                    match_kind=key.match_kind,
+                    name=key.control_plane_name or self._key_name(key.expr),
+                )
+            )
+        for ref in decl.actions:
+            action_name = self._resolve_action_name(ref.name, control)
+            args = [self.lower_expr(a, scope, None) for a in ref.args]
+            table.action_refs.append(
+                N.IrActionRef(action=action_name, args=args, annotations=ref.annotations)
+            )
+        if decl.default_action is not None:
+            action_name = self._resolve_action_name(decl.default_action.name, control)
+            action = self._find_action(action_name, control)
+            args = [
+                self.lower_expr(a, scope, p.p4_type)
+                for a, p in zip(decl.default_action.args, action.control_plane_params)
+            ]
+            table.default_action = N.IrActionRef(action=action_name, args=args)
+        else:
+            # The implicit default is NoAction when available.
+            if "NoAction" in self.ir.actions:
+                table.default_action = N.IrActionRef(action="NoAction", args=[])
+        for entry in decl.entries:
+            action_name = self._resolve_action_name(entry.action.name, control)
+            action = self._find_action(action_name, control)
+            args = [
+                self.lower_expr(a, scope, p.p4_type)
+                for a, p in zip(entry.action.args, action.control_plane_params)
+            ]
+            key_types = [k.expr.p4_type for k in table.keys]
+            keysets = self._lower_entry_keyset(entry.keyset, key_types)
+            table.const_entries.append(
+                N.IrTableEntry(
+                    keysets=keysets,
+                    action_ref=N.IrActionRef(action=action_name, args=args),
+                    priority=entry.priority,
+                )
+            )
+        for prop in decl.properties:
+            table.properties[prop.name] = prop.value
+        for ann in decl.annotations:
+            if ann.name in ("entry_restriction", "p4constraint"):
+                text = ann.single_string()
+                if text:
+                    self.ir.p4constraints[table.full_name] = text
+        return table
+
+    def _find_action(self, full_name: str, control) -> N.IrAction:
+        if control is not None and full_name in control.actions:
+            return control.actions[full_name]
+        return self.ir.actions[full_name]
+
+    def _lower_entry_keyset(self, keyset, key_types) -> list:
+        def one(ks, ktype):
+            if isinstance(ks, (A.DefaultKeyset, A.DontCareKeyset)):
+                return N.KsDefault()
+            if isinstance(ks, A.ExprKeyset):
+                return self.lower_expr(ks.expr, _Scope(), ktype)
+            if isinstance(ks, A.MaskKeyset):
+                return N.KsMask(
+                    value=self.lower_expr(ks.value, _Scope(), ktype),
+                    mask=self.lower_expr(ks.mask, _Scope(), ktype),
+                )
+            if isinstance(ks, A.RangeKeyset):
+                return N.KsRange(
+                    lo=self.lower_expr(ks.lo, _Scope(), ktype),
+                    hi=self.lower_expr(ks.hi, _Scope(), ktype),
+                )
+            raise TypeError_(f"unsupported entry keyset {ks!r}")
+
+        if isinstance(keyset, A.TupleKeyset):
+            return [one(k, t) for k, t in zip(keyset.elements, key_types)]
+        return [one(keyset, key_types[0] if key_types else None)]
+
+    def _key_name(self, expr) -> str:
+        """Best-effort control-plane name for an unannotated key."""
+        if isinstance(expr, A.Member):
+            return f"{self._key_name(expr.expr)}.{expr.member}"
+        if isinstance(expr, A.Ident):
+            return expr.name
+        if isinstance(expr, A.Index):
+            return f"{self._key_name(expr.expr)}[]"
+        return "key"
+
+    # ==================================================================
+    # Statements
+    # ==================================================================
+
+    def lower_stmt(self, stmt, scope: _Scope) -> list:
+        if isinstance(stmt, A.BlockStmt):
+            inner = scope.child()
+            out = []
+            for s in stmt.statements:
+                out.extend(self.lower_stmt(s, inner))
+            return out
+        if isinstance(stmt, A.EmptyStmt):
+            return []
+        if isinstance(stmt, A.VarDeclStmt):
+            vtype = self.resolve_type(stmt.var_type)
+            scope.define(stmt.name, vtype)
+            init = (
+                self.lower_expr(stmt.init, scope, vtype) if stmt.init is not None else None
+            )
+            return [
+                N.IrVarDecl(
+                    location=stmt.location, name=stmt.name, p4_type=vtype, init=init
+                )
+            ]
+        if isinstance(stmt, A.AssignStmt):
+            target = self.lower_lvalue(stmt.target, scope)
+            value = self.lower_expr(stmt.value, scope, target.p4_type)
+            return [N.IrAssign(location=stmt.location, target=target, value=value)]
+        if isinstance(stmt, A.IfStmt):
+            cond = self.lower_expr(stmt.condition, scope, BoolType())
+            then_stmts = self.lower_stmt(stmt.then_branch, scope.child())
+            else_stmts = (
+                self.lower_stmt(stmt.else_branch, scope.child())
+                if stmt.else_branch is not None
+                else []
+            )
+            return [
+                N.IrIf(
+                    location=stmt.location,
+                    cond=cond,
+                    then_stmts=then_stmts,
+                    else_stmts=else_stmts,
+                )
+            ]
+        if isinstance(stmt, A.ExitStmt):
+            return [N.IrExit(location=stmt.location)]
+        if isinstance(stmt, A.ReturnStmt):
+            value = (
+                self.lower_expr(stmt.value, scope, None) if stmt.value is not None else None
+            )
+            return [N.IrReturn(location=stmt.location, value=value)]
+        if isinstance(stmt, A.SwitchStmt):
+            return [self._lower_switch(stmt, scope)]
+        if isinstance(stmt, A.MethodCallStmt):
+            return self._lower_call_stmt(stmt, scope)
+        raise TypeError_(f"unsupported statement {stmt!r}")
+
+    def _lower_switch(self, stmt: A.SwitchStmt, scope) -> N.IrSwitch:
+        expr = stmt.expression
+        table_name = None
+        if (
+            isinstance(expr, A.Member)
+            and expr.member == "action_run"
+            and isinstance(expr.expr, A.Call)
+            and isinstance(expr.expr.func, A.Member)
+            and expr.expr.func.member == "apply"
+        ):
+            table_name = self._table_full_name(expr.expr.func.expr)
+        if table_name is None:
+            raise TypeError_("switch is only supported on table.apply().action_run")
+        control = self._current_control
+        cases = []
+        pending_labels: list[str] = []
+        for case in stmt.cases:
+            if case.label == "default":
+                label = "default"
+            elif isinstance(case.label, A.Ident):
+                label = self._resolve_action_name(case.label.name, control)
+            elif isinstance(case.label, A.Member):
+                # Control-qualified action name: C.a
+                label = self._resolve_action_name(case.label.member, control)
+            else:
+                raise TypeError_(f"unsupported switch label {case.label!r}")
+            pending_labels.append(label)
+            if case.body is not None:
+                body = self.lower_stmt(case.body, scope.child())
+                cases.append((pending_labels, body))
+                pending_labels = []
+        if pending_labels:
+            cases.append((pending_labels, []))
+        return N.IrSwitch(location=stmt.location, table=table_name, cases=cases)
+
+    def _table_full_name(self, expr) -> str | None:
+        control = self._current_control
+        if isinstance(expr, A.Ident) and control is not None:
+            full = f"{control.name}.{expr.name}"
+            if full in control.tables:
+                return full
+        return None
+
+    def _lower_call_stmt(self, stmt: A.MethodCallStmt, scope) -> list:
+        call = stmt.call
+        func = call.func
+        control = self._current_control
+        # table.apply();
+        if isinstance(func, A.Member) and func.member == "apply":
+            table_name = self._table_full_name(func.expr)
+            if table_name is not None:
+                return [N.IrApplyTable(location=stmt.location, table=table_name)]
+        ir_call = self._lower_call_expr(call, scope, statement=True)
+        return [N.IrMethodCall(location=stmt.location, call=ir_call)]
+
+    # ==================================================================
+    # L-values
+    # ==================================================================
+
+    def lower_lvalue(self, expr, scope: _Scope) -> N.LValue:
+        if isinstance(expr, A.Ident):
+            vtype = scope.lookup(expr.name)
+            if vtype is None:
+                raise TypeError_(f"unknown variable {expr.name!r}", expr.location)
+            return N.VarLV(p4_type=vtype, name=expr.name)
+        if isinstance(expr, A.Member):
+            base = self.lower_lvalue(expr.expr, scope)
+            btype = base.p4_type
+            if isinstance(btype, (StructType, HeaderType)):
+                ftype = btype.field_types.get(expr.member)
+                if ftype is None:
+                    raise TypeError_(
+                        f"{btype!r} has no field {expr.member!r}", expr.location
+                    )
+                return N.FieldLV(p4_type=ftype, base=base, field=expr.member)
+            if isinstance(btype, StackType):
+                if expr.member in ("next", "last"):
+                    return N.FieldLV(
+                        p4_type=btype.element, base=base, field=expr.member
+                    )
+                if expr.member == "lastIndex":
+                    return N.FieldLV(
+                        p4_type=BitsType(32), base=base, field="lastIndex"
+                    )
+            raise TypeError_(
+                f"cannot access member {expr.member!r} of {btype!r}", expr.location
+            )
+        if isinstance(expr, A.Index):
+            base = self.lower_lvalue(expr.expr, scope)
+            btype = base.p4_type
+            if not isinstance(btype, StackType):
+                raise TypeError_("indexing requires a header stack", expr.location)
+            index = self.lower_expr(expr.index, scope, BitsType(32))
+            return N.IndexLV(p4_type=btype.element, base=base, index=index)
+        if isinstance(expr, A.Slice):
+            base = self.lower_lvalue(expr.expr, scope)
+            hi = self._fold_const(expr.hi, None)
+            lo = self._fold_const(expr.lo, None)
+            return N.SliceLV(p4_type=BitsType(hi - lo + 1), base=base, hi=hi, lo=lo)
+        raise TypeError_(f"invalid l-value {expr!r}", getattr(expr, "location", None))
+
+    # ==================================================================
+    # Expressions
+    # ==================================================================
+
+    def lower_expr(self, expr, scope: _Scope, expected: P4Type | None) -> N.IrExpr:
+        result = self._lower_expr_inner(expr, scope, expected)
+        return self._coerce(result, expected, expr)
+
+    def _coerce(self, e: N.IrExpr, expected: P4Type | None, src) -> N.IrExpr:
+        if expected is None or e.p4_type is expected:
+            return e
+        if e.p4_type is None:
+            # Infinite-precision literal: give it the expected width.
+            if isinstance(e, N.IrConst):
+                if isinstance(expected, BoolType):
+                    return N.IrConst(p4_type=expected, value=bool(e.value))
+                if isinstance(expected, (BitsType, EnumType, ErrorType)):
+                    mask = (1 << expected.bit_width()) - 1
+                    return N.IrConst(p4_type=expected, value=int(e.value) & mask)
+            raise TypeError_(
+                f"cannot coerce {e!r} to {expected!r}", getattr(src, "location", None)
+            )
+        have_w = e.p4_type.bit_width() if e.p4_type.is_scalar() else None
+        want_w = expected.bit_width() if expected.is_scalar() else None
+        if have_w is not None and want_w is not None:
+            if have_w == want_w:
+                return e
+            # Implicit width adaptation only via explicit casts in P4;
+            # we tolerate enum/bits interchange of equal widths above
+            # and otherwise insert a cast to keep lowering permissive.
+            return N.IrCast(p4_type=expected, expr=e)
+        return e
+
+    def _lower_expr_inner(self, expr, scope: _Scope, expected) -> N.IrExpr:
+        if isinstance(expr, A.IntLit):
+            if expr.width is not None:
+                t = BitsType(expr.width, expr.signed)
+                return N.IrConst(p4_type=t, value=expr.value & ((1 << expr.width) - 1))
+            return N.IrConst(p4_type=None, value=expr.value)
+        if isinstance(expr, A.BoolLit):
+            return N.IrConst(p4_type=BoolType(), value=expr.value)
+        if isinstance(expr, A.StringLit):
+            return N.IrConst(p4_type=StringType(), value=expr.value)
+        if isinstance(expr, A.Ident):
+            if expr.name in self.consts:
+                return self.consts[expr.name]
+            vtype = scope.lookup(expr.name)
+            if vtype is not None:
+                return N.IrLValExpr(p4_type=vtype, lval=N.VarLV(p4_type=vtype, name=expr.name))
+            if expr.name in self.ir.enums:
+                raise TypeError_(f"enum {expr.name} used without member", expr.location)
+            raise TypeError_(f"unknown identifier {expr.name!r}", expr.location)
+        if isinstance(expr, A.Member):
+            return self._lower_member(expr, scope)
+        if isinstance(expr, A.Index):
+            lval = self.lower_lvalue(expr, scope)
+            return N.IrLValExpr(p4_type=lval.p4_type, lval=lval)
+        if isinstance(expr, A.Slice):
+            inner = self.lower_expr(expr.expr, scope, None)
+            hi = self._fold_const(expr.hi, None)
+            lo = self._fold_const(expr.lo, None)
+            if inner.p4_type is None or not inner.p4_type.is_scalar():
+                raise TypeError_("slice requires a bit-typed operand", expr.location)
+            if not (0 <= lo <= hi < inner.p4_type.bit_width()):
+                raise TypeError_(
+                    f"slice [{hi}:{lo}] out of range for {inner.p4_type!r}",
+                    expr.location,
+                )
+            return N.IrSliceExpr(
+                p4_type=BitsType(hi - lo + 1), expr=inner, hi=hi, lo=lo
+            )
+        if isinstance(expr, A.Unop):
+            operand = self.lower_expr(
+                expr.operand, scope, BoolType() if expr.op == "!" else expected
+            )
+            if expr.op == "!":
+                return N.IrUnop(p4_type=BoolType(), op="!", operand=operand)
+            if operand.p4_type is None and isinstance(operand, N.IrConst):
+                value = -operand.value if expr.op == "-" else ~operand.value
+                return N.IrConst(p4_type=None, value=value)
+            return N.IrUnop(p4_type=operand.p4_type, op=expr.op, operand=operand)
+        if isinstance(expr, A.Binop):
+            return self._lower_binop(expr, scope, expected)
+        if isinstance(expr, A.Ternary):
+            cond = self.lower_expr(expr.cond, scope, BoolType())
+            then = self.lower_expr(expr.then, scope, expected)
+            other = self.lower_expr(expr.other, scope, expected or then.p4_type)
+            if then.p4_type is None:
+                then = self._coerce(then, other.p4_type, expr)
+            return N.IrTernary(p4_type=then.p4_type, cond=cond, then=then, other=other)
+        if isinstance(expr, A.Cast):
+            target = self.resolve_type(expr.target)
+            inner = self.lower_expr(expr.expr, scope, None)
+            if inner.p4_type is None and isinstance(inner, N.IrConst):
+                return self._coerce(inner, target, expr)
+            return N.IrCast(p4_type=target, expr=inner)
+        if isinstance(expr, A.Call):
+            return self._lower_call_expr(expr, scope, statement=False)
+        if isinstance(expr, A.TupleExpr):
+            elements = tuple(self.lower_expr(e, scope, None) for e in expr.elements)
+            return N.IrTupleExpr(p4_type=None, elements=elements)
+        raise TypeError_(f"unsupported expression {expr!r}", getattr(expr, "location", None))
+
+    def _lower_member(self, expr: A.Member, scope) -> N.IrExpr:
+        base = expr.expr
+        if isinstance(base, A.Ident):
+            if base.name == "error":
+                return N.IrConst(
+                    p4_type=ErrorType(), value=self.ir.error_code(expr.member)
+                )
+            if base.name in self.ir.enums:
+                enum = self.ir.enums[base.name]
+                return N.IrConst(p4_type=enum, value=enum.value_of(expr.member))
+        # t.apply().hit / .miss
+        if (
+            isinstance(base, A.Call)
+            and isinstance(base.func, A.Member)
+            and base.func.member == "apply"
+        ):
+            table_name = self._table_full_name(base.func.expr)
+            if table_name is not None and expr.member in ("hit", "miss"):
+                return N.IrApplyExpr(
+                    p4_type=BoolType(), table=table_name, member=expr.member
+                )
+        # hdr.x.isValid() handled in Call; here: plain field access.
+        lval = self.lower_lvalue(expr, scope)
+        return N.IrLValExpr(p4_type=lval.p4_type, lval=lval)
+
+    _CMP_OPS = {"==", "!=", "<", ">", "<=", ">="}
+    _BOOL_OPS = {"&&", "||"}
+
+    def _lower_binop(self, expr: A.Binop, scope, expected) -> N.IrExpr:
+        op = expr.op
+        if op in self._BOOL_OPS:
+            left = self.lower_expr(expr.left, scope, BoolType())
+            right = self.lower_expr(expr.right, scope, BoolType())
+            return N.IrBinop(p4_type=BoolType(), op=op, left=left, right=right)
+        if op in self._CMP_OPS:
+            left = self._lower_expr_inner(expr.left, scope, None)
+            right = self._lower_expr_inner(expr.right, scope, None)
+            left, right = self._unify(left, right, expr)
+            return N.IrBinop(p4_type=BoolType(), op=op, left=left, right=right)
+        if op == "++":
+            left = self.lower_expr(expr.left, scope, None)
+            right = self.lower_expr(expr.right, scope, None)
+            if left.p4_type is None or right.p4_type is None:
+                raise TypeError_("concat operands need explicit widths", expr.location)
+            width = left.p4_type.bit_width() + right.p4_type.bit_width()
+            return N.IrConcat(p4_type=BitsType(width), parts=(left, right))
+        if op in ("<<", ">>"):
+            left = self.lower_expr(expr.left, scope, expected)
+            right = self._lower_expr_inner(expr.right, scope, None)
+            if right.p4_type is None and isinstance(right, N.IrConst):
+                right = N.IrConst(p4_type=BitsType(32), value=right.value)
+            if left.p4_type is None:
+                left = self._coerce(left, expected, expr)
+            if left.p4_type is None:
+                raise TypeError_("shift of untyped literal", expr.location)
+            return N.IrBinop(p4_type=left.p4_type, op=op, left=left, right=right)
+        # Arithmetic / bitwise.
+        left = self._lower_expr_inner(expr.left, scope, expected)
+        right = self._lower_expr_inner(expr.right, scope, expected)
+        left, right = self._unify(left, right, expr)
+        if left.p4_type is None and isinstance(left, N.IrConst) and isinstance(right, N.IrConst):
+            # Fold untyped constant arithmetic.
+            folded = self._fold_pyop(op, left.value, right.value)
+            return N.IrConst(p4_type=None, value=folded)
+        return N.IrBinop(p4_type=left.p4_type, op=op, left=left, right=right)
+
+    @staticmethod
+    def _fold_pyop(op, a, b):
+        return {
+            "+": a + b, "-": a - b, "*": a * b,
+            "/": a // b if b else 0, "%": a % b if b else 0,
+            "&": a & b, "|": a | b, "^": a ^ b,
+        }[op]
+
+    def _unify(self, left: N.IrExpr, right: N.IrExpr, src):
+        if left.p4_type is None and right.p4_type is not None:
+            left = self._coerce(left, right.p4_type, src)
+        elif right.p4_type is None and left.p4_type is not None:
+            right = self._coerce(right, left.p4_type, src)
+        elif (
+            left.p4_type is not None
+            and right.p4_type is not None
+            and left.p4_type.is_scalar()
+            and right.p4_type.is_scalar()
+            and left.p4_type.bit_width() != right.p4_type.bit_width()
+        ):
+            raise TypeError_(
+                f"width mismatch {left.p4_type!r} vs {right.p4_type!r}",
+                getattr(src, "location", None),
+            )
+        return left, right
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+
+    _HEADER_METHODS = {"isValid", "setValid", "setInvalid", "minSizeInBits"}
+    _PACKET_IN_METHODS = {"extract", "lookahead", "advance", "length"}
+    _STACK_METHODS = {"push_front", "pop_front"}
+
+    def _lower_call_expr(self, call: A.Call, scope, statement: bool) -> N.IrExpr:
+        func = call.func
+        type_args = tuple(self.resolve_type(t) for t in call.type_args)
+        if isinstance(func, A.Ident):
+            name = func.name
+            # Direct action invocation.
+            try:
+                action_name = self._resolve_action_name(name, self._current_control)
+            except TypeError_:
+                action_name = None
+            if action_name is not None and statement:
+                action = self._find_action(action_name, self._current_control)
+                args = tuple(
+                    self.lower_expr(a, scope, p.p4_type)
+                    for a, p in zip(call.args, action.params)
+                )
+                return N.IrCall(
+                    p4_type=None, func="__action__", obj=action_name, args=args
+                )
+            if name in self.extern_functions or name in ("verify",):
+                args = tuple(
+                    self._default_width(self.lower_expr(a, scope, None))
+                    for a in call.args
+                )
+                return N.IrCall(p4_type=self._extern_return_type(name),
+                                func=name, obj=None, args=args, type_args=type_args)
+            raise TypeError_(f"unknown function {name!r}", call.location)
+        if isinstance(func, A.Member):
+            method = func.member
+            recv = func.expr
+            # Header validity methods.
+            if method in self._HEADER_METHODS:
+                lval = self.lower_lvalue(recv, scope)
+                if method == "isValid":
+                    return N.IrValidExpr(p4_type=BoolType(), header=lval)
+                if method == "minSizeInBits":
+                    return N.IrConst(p4_type=None, value=lval.p4_type.bit_width())
+                return N.IrCall(p4_type=None, func=method, obj=lval, args=())
+            if method in self._STACK_METHODS:
+                lval = self.lower_lvalue(recv, scope)
+                args = tuple(self.lower_expr(a, scope, None) for a in call.args)
+                return N.IrCall(p4_type=None, func=method, obj=lval, args=args)
+            # Receiver variable: packet_in/out or an extern instance.
+            if isinstance(recv, A.Ident):
+                recv_name = recv.name
+                recv_type = scope.lookup(recv_name)
+                if isinstance(recv_type, StructType) and recv_type.name in (
+                    "packet_in",
+                    "packet_out",
+                ):
+                    args = []
+                    if method in ("extract", "emit"):
+                        target_lv = self.lower_lvalue(call.args[0], scope)
+                        args.append(target_lv)
+                        for extra in call.args[1:]:
+                            args.append(self.lower_expr(extra, scope, BitsType(32)))
+                    elif method == "advance":
+                        args.append(self.lower_expr(call.args[0], scope, BitsType(32)))
+                    rtype = None
+                    if method == "lookahead":
+                        rtype = type_args[0] if type_args else None
+                    elif method == "length":
+                        rtype = BitsType(32)
+                    return N.IrCall(
+                        p4_type=rtype,
+                        func=method,
+                        obj=recv_name,
+                        args=tuple(args),
+                        type_args=type_args,
+                    )
+                # Extern instance method (register.read etc.).
+                inst = self._find_instance(recv_name)
+                if inst is not None:
+                    args = tuple(
+                        self._default_width(self.lower_expr(a, scope, None))
+                        for a in call.args
+                    )
+                    rtype = self._instance_method_type(inst, method)
+                    return N.IrCall(
+                        p4_type=rtype,
+                        func=f"{inst.extern_type}.{method}",
+                        obj=inst.full_name,
+                        args=args,
+                        type_args=type_args,
+                    )
+            raise TypeError_(
+                f"unsupported method call {method!r} on {recv!r}", call.location
+            )
+        raise TypeError_(f"unsupported call {func!r}", call.location)
+
+    def _default_width(self, e: N.IrExpr) -> N.IrExpr:
+        """Extern call arguments whose width the callee doesn't pin
+        (untyped literals) default to bit<32>, matching P4C."""
+        if isinstance(e, N.IrConst) and e.p4_type is None \
+                and not isinstance(e.value, str):
+            return self._coerce(e, BitsType(32), None)
+        return e
+
+    def _find_instance(self, name: str):
+        if self._current_control is not None and name in self._current_control.instances:
+            return self._current_control.instances[name]
+        if self._current_parser is not None and name in self._current_parser.instances:
+            return self._current_parser.instances[name]
+        return None
+
+    def _instance_method_type(self, inst: N.IrInstance, method: str):
+        """Return type of extern-instance methods that produce values."""
+        if method in ("read", "execute", "get", "update"):
+            if inst.type_args:
+                first = inst.type_args[0]
+                if first is not None and first.is_scalar():
+                    return first
+            if method in ("execute",):
+                return BitsType(8)
+            if method in ("get", "update"):
+                return BitsType(16)
+        if method == "verify":
+            return BoolType()
+        return None
+
+    def _extern_return_type(self, name: str):
+        for decl in self.ast.declarations:
+            if isinstance(decl, A.FunctionDecl) and decl.name == name:
+                if isinstance(decl.return_type, A.VoidTypeAst):
+                    return None
+                return self.resolve_type(decl.return_type)
+        return None
+
+    # ==================================================================
+    # Main package
+    # ==================================================================
+
+    def _lower_main(self) -> None:
+        main = None
+        instantiations: dict[str, A.Instantiation] = {}
+        for decl in self.ast.declarations:
+            if isinstance(decl, A.Instantiation):
+                instantiations[decl.name] = decl
+                if decl.name == "main":
+                    main = decl
+        if main is None:
+            return  # library-style program without a main; allowed in tests
+
+        def binding_of(arg) -> list[N.BlockBinding]:
+            if isinstance(arg, A.Call) and isinstance(arg.func, A.Ident):
+                name = arg.func.name
+                if name in self.ir.parsers:
+                    return [N.BlockBinding(kind="parser", decl_name=name)]
+                if name in self.ir.controls:
+                    return [N.BlockBinding(kind="control", decl_name=name)]
+                if name in self.packages or name in instantiations:
+                    return [b for a in arg.args for b in binding_of(a)]
+                raise TypeError_(f"unknown block {name!r} in package instantiation")
+            if isinstance(arg, A.Ident) and arg.name in instantiations:
+                inner = instantiations[arg.name]
+                out = []
+                for a in inner.args:
+                    out.extend(binding_of(a))
+                return out
+            raise TypeError_(f"unsupported package argument {arg!r}")
+
+        type_ast = main.type_ast
+        if isinstance(type_ast, A.SpecializedTypeAst):
+            self.ir.package_name = type_ast.base
+        elif isinstance(type_ast, A.TypeName):
+            self.ir.package_name = type_ast.name
+        bindings = []
+        for arg in main.args:
+            bindings.extend(binding_of(arg))
+        # Attach package parameter slots when the declaration is known.
+        pkg = self.packages.get(self.ir.package_name)
+        if pkg is not None and len(pkg.params) == len(main.args):
+            for slot_param, b in zip(pkg.params, bindings[: len(pkg.params)]):
+                b.slot = slot_param.name
+        self.ir.bindings = bindings
+
+
+def lower(program: A.Program) -> N.IrProgram:
+    """Lower a parsed program (prelude declarations must be included)."""
+    return Lowerer(program).run()
+
+
+def lower_source(text: str, source: str = "<input>") -> N.IrProgram:
+    """Parse and lower P4 source, automatically prepending the built-in
+    prelude selected by the program's #include lines."""
+    from ..frontend.lexer import tokenize
+
+    _tokens, includes = tokenize(text, source)
+    prelude_text = prelude_for_includes(includes)
+    prelude_ast = parse_program(prelude_text, "<prelude>")
+    user_ast = parse_program(
+        text, source, type_names=prelude_ast.declared_type_names
+    )
+    merged = A.Program(
+        declarations=prelude_ast.declarations + user_ast.declarations,
+        includes=user_ast.includes,
+        source=source,
+    )
+    return lower(merged)

@@ -1,0 +1,501 @@
+"""Simplified, typed intermediate representation.
+
+The front-end AST is lowered into this IR (``repro.ir.lower``), the
+mid-end transforms normalize it (``repro.ir.transforms``), and both the
+symbolic executor and the concrete interpreters consume it.  Statements
+carry a unique ``stmt_id`` used for the paper's statement-coverage
+metric (assigned after dead-code elimination, matching §7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..frontend.types import (
+    BitsType,
+    BoolType,
+    ErrorType,
+    HeaderType,
+    P4Type,
+    StackType,
+    StructType,
+)
+
+__all__ = [
+    # lvalues
+    "LValue", "VarLV", "FieldLV", "IndexLV", "SliceLV",
+    # expressions
+    "IrExpr", "IrConst", "IrLValExpr", "IrUnop", "IrBinop", "IrTernary",
+    "IrCast", "IrCall", "IrValidExpr", "IrApplyExpr", "IrConcat",
+    "IrSliceExpr", "IrTupleExpr",
+    # statements
+    "IrStmt", "IrAssign", "IrVarDecl", "IrIf", "IrMethodCall",
+    "IrApplyTable", "IrSwitch", "IrExit", "IrReturn",
+    # parser
+    "IrParserState", "IrTransition", "IrSelectCase",
+    "KsConst", "KsMask", "KsRange", "KsDefault", "KsValueSet",
+    # declarations
+    "IrParam", "IrAction", "IrActionRef", "IrTableKey", "IrTableEntry",
+    "IrTable", "IrParser", "IrControl", "IrValueSet", "IrInstance",
+    "IrProgram", "BlockBinding",
+]
+
+
+# ---------------------------------------------------------------------------
+# L-values
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LValue:
+    p4_type: P4Type = None
+
+    def path(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class VarLV(LValue):
+    name: str = ""
+
+    def path(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FieldLV(LValue):
+    base: LValue = None
+    field: str = ""
+
+    def path(self) -> str:
+        return f"{self.base.path()}.{self.field}"
+
+
+@dataclass(frozen=True)
+class IndexLV(LValue):
+    base: LValue = None
+    index: "IrExpr" = None  # constant after midend transforms
+
+    def path(self) -> str:
+        idx = self.index.value if isinstance(self.index, IrConst) else "?"
+        return f"{self.base.path()}[{idx}]"
+
+
+@dataclass(frozen=True)
+class SliceLV(LValue):
+    base: LValue = None
+    hi: int = 0
+    lo: int = 0
+
+    def path(self) -> str:
+        return f"{self.base.path()}[{self.hi}:{self.lo}]"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class IrExpr:
+    p4_type: P4Type = None
+
+
+@dataclass(frozen=True)
+class IrConst(IrExpr):
+    value: int = 0  # bool for BoolType
+
+    def __repr__(self):
+        return f"IrConst({self.value}:{self.p4_type!r})"
+
+
+@dataclass(frozen=True)
+class IrLValExpr(IrExpr):
+    lval: LValue = None
+
+
+@dataclass(frozen=True)
+class IrUnop(IrExpr):
+    op: str = ""
+    operand: IrExpr = None
+
+
+@dataclass(frozen=True)
+class IrBinop(IrExpr):
+    op: str = ""
+    left: IrExpr = None
+    right: IrExpr = None
+
+
+@dataclass(frozen=True)
+class IrConcat(IrExpr):
+    parts: tuple = ()
+
+
+@dataclass(frozen=True)
+class IrSliceExpr(IrExpr):
+    expr: IrExpr = None
+    hi: int = 0
+    lo: int = 0
+
+
+@dataclass(frozen=True)
+class IrTernary(IrExpr):
+    cond: IrExpr = None
+    then: IrExpr = None
+    other: IrExpr = None
+
+
+@dataclass(frozen=True)
+class IrCast(IrExpr):
+    expr: IrExpr = None
+
+
+@dataclass(frozen=True)
+class IrCall(IrExpr):
+    """Extern/builtin call, in expression or statement position.
+
+    ``obj`` is the receiver l-value or instance name (``pkt`` for
+    packet methods, a header lvalue for setValid, an extern instance
+    name for register.read, ``None`` for free functions).
+    """
+
+    func: str = ""
+    obj: object = None  # LValue | str | None
+    args: tuple = ()
+    type_args: tuple = ()
+
+
+@dataclass(frozen=True)
+class IrTupleExpr(IrExpr):
+    """A ``{a, b, c}`` list literal (extern data arguments)."""
+
+    elements: tuple = ()
+
+
+@dataclass(frozen=True)
+class IrValidExpr(IrExpr):
+    header: LValue = None
+
+
+@dataclass(frozen=True)
+class IrApplyExpr(IrExpr):
+    """``t.apply().hit`` / ``.miss`` (boolean) in expression position."""
+
+    table: str = ""
+    member: str = "hit"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+_next_stmt_id = [0]
+
+
+def _fresh_stmt_id() -> int:
+    _next_stmt_id[0] += 1
+    return _next_stmt_id[0]
+
+
+@dataclass
+class IrStmt:
+    stmt_id: int = field(default_factory=_fresh_stmt_id)
+    location: object = None
+    source_text: str = ""
+
+
+@dataclass
+class IrAssign(IrStmt):
+    target: LValue = None
+    value: IrExpr = None
+
+
+@dataclass
+class IrVarDecl(IrStmt):
+    name: str = ""
+    p4_type: P4Type = None
+    init: Optional[IrExpr] = None
+
+
+@dataclass
+class IrIf(IrStmt):
+    cond: IrExpr = None
+    then_stmts: list = field(default_factory=list)
+    else_stmts: list = field(default_factory=list)
+
+
+@dataclass
+class IrMethodCall(IrStmt):
+    call: IrCall = None
+
+
+@dataclass
+class IrApplyTable(IrStmt):
+    table: str = ""
+
+
+@dataclass
+class IrSwitch(IrStmt):
+    """Switch on ``table.apply().action_run``."""
+
+    table: str = ""
+    cases: list = field(default_factory=list)  # list[(labels, stmts)]
+
+
+@dataclass
+class IrExit(IrStmt):
+    pass
+
+
+@dataclass
+class IrReturn(IrStmt):
+    value: Optional[IrExpr] = None
+
+
+# ---------------------------------------------------------------------------
+# Parser constructs
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class KsConst:
+    value: int = 0
+    width: int = 0
+
+
+@dataclass(frozen=True)
+class KsMask:
+    value: IrExpr = None
+    mask: IrExpr = None
+
+
+@dataclass(frozen=True)
+class KsRange:
+    lo: IrExpr = None
+    hi: IrExpr = None
+
+
+@dataclass(frozen=True)
+class KsDefault:
+    pass
+
+
+@dataclass(frozen=True)
+class KsValueSet:
+    name: str = ""
+
+
+@dataclass
+class IrSelectCase:
+    keysets: list = field(default_factory=list)  # one per select expr
+    state: str = ""
+
+
+@dataclass
+class IrTransition:
+    direct: Optional[str] = None
+    select_exprs: list = field(default_factory=list)
+    cases: list = field(default_factory=list)
+    stmt_id: int = field(default_factory=_fresh_stmt_id)
+
+
+@dataclass
+class IrParserState:
+    name: str = ""
+    statements: list = field(default_factory=list)
+    transition: IrTransition = None
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+@dataclass
+class IrParam:
+    name: str = ""
+    direction: str = ""
+    p4_type: P4Type = None
+
+
+@dataclass
+class IrAction:
+    name: str = ""
+    full_name: str = ""       # control-scoped, e.g. "Ingress.set_out"
+    cp_name: str = ""         # @name annotation override
+    params: list = field(default_factory=list)  # list[IrParam]; dir "" = control-plane
+    body: list = field(default_factory=list)
+    annotations: list = field(default_factory=list)
+
+    @property
+    def control_plane_params(self):
+        return [p for p in self.params if p.direction == ""]
+
+
+@dataclass
+class IrActionRef:
+    action: str = ""          # resolved full action name
+    args: list = field(default_factory=list)  # bound IrExpr args (may be partial)
+    annotations: list = field(default_factory=list)
+
+
+@dataclass
+class IrTableKey:
+    expr: IrExpr = None
+    match_kind: str = "exact"
+    name: str = ""            # control-plane key name
+
+
+@dataclass
+class IrTableEntry:
+    keysets: list = field(default_factory=list)
+    action_ref: IrActionRef = None
+    priority: Optional[int] = None
+
+
+@dataclass
+class IrTable:
+    name: str = ""
+    full_name: str = ""
+    keys: list = field(default_factory=list)
+    action_refs: list = field(default_factory=list)
+    default_action: Optional[IrActionRef] = None
+    const_entries: list = field(default_factory=list)
+    size: Optional[int] = None
+    annotations: list = field(default_factory=list)
+    properties: dict = field(default_factory=dict)
+
+    @property
+    def cp_name(self) -> str:
+        for ann in self.annotations:
+            if ann.name == "name":
+                s = ann.single_string()
+                if s:
+                    return s
+        return self.full_name
+
+
+@dataclass
+class IrValueSet:
+    name: str = ""
+    full_name: str = ""
+    width: int = 0
+    size: int = 0
+
+
+@dataclass
+class IrInstance:
+    """An extern object instantiation, e.g. ``register<bit<32>>(1024) r;``."""
+
+    name: str = ""
+    full_name: str = ""
+    extern_type: str = ""
+    type_args: list = field(default_factory=list)  # resolved P4Types
+    ctor_args: list = field(default_factory=list)  # IrExpr (constants)
+
+
+@dataclass
+class IrParser:
+    name: str = ""
+    params: list = field(default_factory=list)
+    states: dict = field(default_factory=dict)
+    value_sets: dict = field(default_factory=dict)
+    locals: list = field(default_factory=list)  # IrVarDecl
+    instances: dict = field(default_factory=dict)
+
+    @property
+    def start_state(self) -> IrParserState:
+        return self.states["start"]
+
+
+@dataclass
+class IrControl:
+    name: str = ""
+    params: list = field(default_factory=list)
+    locals: list = field(default_factory=list)    # IrVarDecl
+    actions: dict = field(default_factory=dict)   # full_name -> IrAction
+    tables: dict = field(default_factory=dict)    # full_name -> IrTable
+    instances: dict = field(default_factory=dict)
+    apply_stmts: list = field(default_factory=list)
+
+
+@dataclass
+class BlockBinding:
+    """One constructor argument of the top-level package instantiation:
+    which parser/control runs in which architectural slot."""
+
+    slot: str = ""        # package parameter name, e.g. "ig" or positional idx
+    kind: str = ""        # "parser" | "control"
+    decl_name: str = ""   # name of the IrParser/IrControl
+
+
+@dataclass
+class IrProgram:
+    source_name: str = "<input>"
+    headers: dict = field(default_factory=dict)    # name -> HeaderType
+    structs: dict = field(default_factory=dict)    # name -> StructType
+    enums: dict = field(default_factory=dict)
+    errors: list = field(default_factory=list)     # error member names, by index
+    match_kinds: set = field(default_factory=set)
+    parsers: dict = field(default_factory=dict)    # name -> IrParser
+    controls: dict = field(default_factory=dict)   # name -> IrControl
+    actions: dict = field(default_factory=dict)    # global actions
+    package_name: str = ""
+    bindings: list = field(default_factory=list)   # list[BlockBinding]
+    consts: dict = field(default_factory=dict)
+    annotations: list = field(default_factory=list)
+    p4constraints: dict = field(default_factory=dict)  # table full_name -> constraint src
+
+    def error_code(self, member: str) -> int:
+        try:
+            return self.errors.index(member)
+        except ValueError:
+            raise KeyError(f"unknown error member {member}")
+
+    # ------------------------------------------------------------------
+    # Coverage universe
+    # ------------------------------------------------------------------
+
+    def all_statements(self):
+        """Every executable IR statement in program order (the coverage
+        universe for the paper's statement-coverage metric)."""
+        out = []
+
+        def walk(stmts):
+            for s in stmts:
+                out.append(s)
+                if isinstance(s, IrIf):
+                    walk(s.then_stmts)
+                    walk(s.else_stmts)
+                elif isinstance(s, IrSwitch):
+                    for _labels, body in s.cases:
+                        walk(body)
+
+        for parser in self.parsers.values():
+            for state in parser.states.values():
+                walk(state.statements)
+        for control in self.controls.values():
+            walk(control.apply_stmts)
+            for action in control.actions.values():
+                walk(action.body)
+        for action in self.actions.values():
+            walk(action.body)
+        return out
+
+    def find_table(self, name: str) -> IrTable:
+        for control in self.controls.values():
+            if name in control.tables:
+                return control.tables[name]
+            for table in control.tables.values():
+                if table.name == name:
+                    return table
+        raise KeyError(f"unknown table {name}")
+
+    def find_action(self, name: str) -> IrAction:
+        if name in self.actions:
+            return self.actions[name]
+        for control in self.controls.values():
+            if name in control.actions:
+                return control.actions[name]
+            for action in control.actions.values():
+                if action.name == name:
+                    return action
+        raise KeyError(f"unknown action {name}")

@@ -1,0 +1,550 @@
+"""Mid-end transforms over the IR.
+
+Mirrors the P4C passes the paper relies on (§4, step 1):
+
+- constant folding;
+- dead-code elimination (constant if-branches, statements after
+  exit/return, unreachable parser states) — statement coverage is
+  computed *after* this pass, matching §7;
+- replacement of run-time header-stack indices with conditionals and
+  constant indices;
+- bounded parser-loop unrolling (cyclic parser states are cloned up to
+  a bound; exceeding the bound transitions to ``reject``).
+"""
+
+from __future__ import annotations
+
+from ..frontend.types import BitsType, BoolType, StackType
+from . import nodes as N
+
+__all__ = [
+    "run_midend",
+    "fold_constants",
+    "eliminate_dead_code",
+    "expand_dynamic_stack_indices",
+    "unroll_parsers",
+    "DEFAULT_UNROLL_BOUND",
+]
+
+DEFAULT_UNROLL_BOUND = 4
+
+
+# ---------------------------------------------------------------------------
+# Constant folding
+# ---------------------------------------------------------------------------
+
+_PY_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a // b if b else 0,
+    "%": lambda a, b: a % b if b else 0,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+}
+
+_PY_CMPOPS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _mask_for(p4_type) -> int | None:
+    if p4_type is None:
+        return None
+    try:
+        return (1 << p4_type.bit_width()) - 1
+    except Exception:
+        return None
+
+
+def fold_expr(e: N.IrExpr) -> N.IrExpr:
+    """Bottom-up constant folding of one expression tree."""
+    if e is None or isinstance(e, (N.IrConst,)):
+        return e
+    if isinstance(e, N.IrLValExpr):
+        return e
+    if isinstance(e, N.IrUnop):
+        operand = fold_expr(e.operand)
+        if isinstance(operand, N.IrConst):
+            mask = _mask_for(e.p4_type)
+            if e.op == "!":
+                return N.IrConst(p4_type=BoolType(), value=not operand.value)
+            if e.op == "-":
+                v = -operand.value
+                return N.IrConst(p4_type=e.p4_type, value=v & mask if mask else v)
+            if e.op == "~":
+                v = ~operand.value
+                return N.IrConst(p4_type=e.p4_type, value=v & mask if mask else v)
+        if operand is e.operand:
+            return e
+        return N.IrUnop(p4_type=e.p4_type, op=e.op, operand=operand)
+    if isinstance(e, N.IrBinop):
+        left = fold_expr(e.left)
+        right = fold_expr(e.right)
+        if isinstance(left, N.IrConst) and isinstance(right, N.IrConst):
+            if e.op in _PY_CMPOPS:
+                return N.IrConst(
+                    p4_type=BoolType(), value=_PY_CMPOPS[e.op](left.value, right.value)
+                )
+            if e.op in _PY_BINOPS:
+                v = _PY_BINOPS[e.op](int(left.value), int(right.value))
+                mask = _mask_for(e.p4_type)
+                return N.IrConst(p4_type=e.p4_type, value=v & mask if mask else v)
+            if e.op == "&&":
+                return N.IrConst(p4_type=BoolType(), value=bool(left.value and right.value))
+            if e.op == "||":
+                return N.IrConst(p4_type=BoolType(), value=bool(left.value or right.value))
+        # Short-circuit identities.
+        if e.op == "&&":
+            if isinstance(left, N.IrConst):
+                return right if left.value else N.IrConst(p4_type=BoolType(), value=False)
+            if isinstance(right, N.IrConst) and right.value:
+                return left
+        if e.op == "||":
+            if isinstance(left, N.IrConst):
+                return N.IrConst(p4_type=BoolType(), value=True) if left.value else right
+            if isinstance(right, N.IrConst) and not right.value:
+                return left
+        if left is e.left and right is e.right:
+            return e
+        return N.IrBinop(p4_type=e.p4_type, op=e.op, left=left, right=right)
+    if isinstance(e, N.IrConcat):
+        parts = tuple(fold_expr(p) for p in e.parts)
+        if all(isinstance(p, N.IrConst) for p in parts):
+            value = 0
+            for p in parts:
+                value = (value << p.p4_type.bit_width()) | int(p.value)
+            return N.IrConst(p4_type=e.p4_type, value=value)
+        return N.IrConcat(p4_type=e.p4_type, parts=parts)
+    if isinstance(e, N.IrSliceExpr):
+        inner = fold_expr(e.expr)
+        if isinstance(inner, N.IrConst):
+            value = (int(inner.value) >> e.lo) & ((1 << (e.hi - e.lo + 1)) - 1)
+            return N.IrConst(p4_type=e.p4_type, value=value)
+        return N.IrSliceExpr(p4_type=e.p4_type, expr=inner, hi=e.hi, lo=e.lo)
+    if isinstance(e, N.IrTernary):
+        cond = fold_expr(e.cond)
+        then = fold_expr(e.then)
+        other = fold_expr(e.other)
+        if isinstance(cond, N.IrConst):
+            return then if cond.value else other
+        return N.IrTernary(p4_type=e.p4_type, cond=cond, then=then, other=other)
+    if isinstance(e, N.IrCast):
+        inner = fold_expr(e.expr)
+        if isinstance(inner, N.IrConst) and not isinstance(inner.value, bool):
+            mask = _mask_for(e.p4_type)
+            if mask is not None:
+                return N.IrConst(p4_type=e.p4_type, value=int(inner.value) & mask)
+        if isinstance(inner, N.IrConst) and isinstance(inner.value, bool):
+            mask = _mask_for(e.p4_type)
+            if mask is not None:
+                return N.IrConst(p4_type=e.p4_type, value=int(inner.value))
+        return N.IrCast(p4_type=e.p4_type, expr=inner)
+    if isinstance(e, N.IrCall):
+        args = tuple(
+            fold_expr(a) if isinstance(a, N.IrExpr) else a for a in e.args
+        )
+        return N.IrCall(
+            p4_type=e.p4_type, func=e.func, obj=e.obj, args=args, type_args=e.type_args
+        )
+    if isinstance(e, N.IrTupleExpr):
+        return N.IrTupleExpr(
+            p4_type=e.p4_type, elements=tuple(fold_expr(x) for x in e.elements)
+        )
+    return e
+
+
+def _fold_stmts(stmts: list) -> None:
+    for s in stmts:
+        if isinstance(s, N.IrAssign):
+            s.value = fold_expr(s.value)
+        elif isinstance(s, N.IrVarDecl) and s.init is not None:
+            s.init = fold_expr(s.init)
+        elif isinstance(s, N.IrIf):
+            s.cond = fold_expr(s.cond)
+            _fold_stmts(s.then_stmts)
+            _fold_stmts(s.else_stmts)
+        elif isinstance(s, N.IrMethodCall):
+            s.call = fold_expr(s.call)
+        elif isinstance(s, N.IrSwitch):
+            for _labels, body in s.cases:
+                _fold_stmts(body)
+        elif isinstance(s, N.IrReturn) and s.value is not None:
+            s.value = fold_expr(s.value)
+
+
+def fold_constants(program: N.IrProgram) -> N.IrProgram:
+    for parser in program.parsers.values():
+        for state in parser.states.values():
+            _fold_stmts(state.statements)
+            tr = state.transition
+            if tr is not None and tr.direct is None:
+                tr.select_exprs = [fold_expr(e) for e in tr.select_exprs]
+    for control in program.controls.values():
+        _fold_stmts(control.apply_stmts)
+        for action in control.actions.values():
+            _fold_stmts(action.body)
+        for table in control.tables.values():
+            for key in table.keys:
+                key.expr = fold_expr(key.expr)
+    for action in program.actions.values():
+        _fold_stmts(action.body)
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Dead-code elimination
+# ---------------------------------------------------------------------------
+
+def _dce_stmts(stmts: list) -> list:
+    out = []
+    for s in stmts:
+        if isinstance(s, N.IrIf):
+            if isinstance(s.cond, N.IrConst):
+                out.extend(_dce_stmts(s.then_stmts if s.cond.value else s.else_stmts))
+                continue
+            s.then_stmts = _dce_stmts(s.then_stmts)
+            s.else_stmts = _dce_stmts(s.else_stmts)
+            out.append(s)
+        elif isinstance(s, N.IrSwitch):
+            s.cases = [(labels, _dce_stmts(body)) for labels, body in s.cases]
+            out.append(s)
+        else:
+            out.append(s)
+        if isinstance(s, (N.IrExit, N.IrReturn)):
+            break  # everything after is unreachable
+    return out
+
+
+def eliminate_dead_code(program: N.IrProgram) -> N.IrProgram:
+    for parser in program.parsers.values():
+        for state in parser.states.values():
+            state.statements = _dce_stmts(state.statements)
+        # Remove states unreachable from start.
+        reachable = set()
+        stack = ["start"]
+        while stack:
+            name = stack.pop()
+            if name in reachable or name in ("accept", "reject"):
+                continue
+            reachable.add(name)
+            state = parser.states.get(name)
+            if state is None or state.transition is None:
+                continue
+            tr = state.transition
+            if tr.direct is not None:
+                stack.append(tr.direct)
+            else:
+                for case in tr.cases:
+                    stack.append(case.state)
+        parser.states = {
+            n: s for n, s in parser.states.items() if n in reachable
+        }
+    for control in program.controls.values():
+        control.apply_stmts = _dce_stmts(control.apply_stmts)
+        for action in control.actions.values():
+            action.body = _dce_stmts(action.body)
+    for action in program.actions.values():
+        action.body = _dce_stmts(action.body)
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Dynamic header-stack index expansion
+# ---------------------------------------------------------------------------
+
+def _has_dynamic_index(lv) -> bool:
+    if isinstance(lv, N.IndexLV):
+        if not isinstance(lv.index, N.IrConst):
+            return True
+        return _has_dynamic_index(lv.base)
+    if isinstance(lv, (N.FieldLV, N.SliceLV)):
+        return _has_dynamic_index(lv.base)
+    return False
+
+
+def _index_cases(lv):
+    """Find the innermost dynamic IndexLV and its stack size; returns
+    (index_expr, size, rebuild) where rebuild(i) produces the lvalue
+    with the dynamic index replaced by constant ``i``."""
+    if isinstance(lv, N.IndexLV) and not isinstance(lv.index, N.IrConst):
+        stack_type = lv.base.p4_type
+        size = stack_type.size if isinstance(stack_type, StackType) else 1
+
+        def rebuild(i):
+            return N.IndexLV(
+                p4_type=lv.p4_type,
+                base=lv.base,
+                index=N.IrConst(p4_type=BitsType(32), value=i),
+            )
+
+        return lv.index, size, rebuild
+    if isinstance(lv, N.FieldLV):
+        inner = _index_cases(lv.base)
+        if inner is None:
+            return None
+        idx, size, rebuild_base = inner
+
+        def rebuild(i):
+            return N.FieldLV(p4_type=lv.p4_type, base=rebuild_base(i), field=lv.field)
+
+        return idx, size, rebuild
+    if isinstance(lv, N.SliceLV):
+        inner = _index_cases(lv.base)
+        if inner is None:
+            return None
+        idx, size, rebuild_base = inner
+
+        def rebuild(i):
+            return N.SliceLV(
+                p4_type=lv.p4_type, base=rebuild_base(i), hi=lv.hi, lo=lv.lo
+            )
+
+        return idx, size, rebuild
+    return None
+
+
+def _expand_expr(e: N.IrExpr) -> N.IrExpr:
+    """Rewrite dynamic-index reads into chains of ternaries."""
+    if isinstance(e, N.IrLValExpr) and _has_dynamic_index(e.lval):
+        info = _index_cases(e.lval)
+        if info is None:
+            return e
+        idx_expr, size, rebuild = info
+        result = N.IrLValExpr(p4_type=e.p4_type, lval=rebuild(size - 1))
+        for i in range(size - 2, -1, -1):
+            cond = N.IrBinop(
+                p4_type=BoolType(),
+                op="==",
+                left=idx_expr,
+                right=N.IrConst(p4_type=idx_expr.p4_type, value=i),
+            )
+            result = N.IrTernary(
+                p4_type=e.p4_type,
+                cond=cond,
+                then=N.IrLValExpr(p4_type=e.p4_type, lval=rebuild(i)),
+                other=result,
+            )
+        return result
+    if isinstance(e, N.IrBinop):
+        return N.IrBinop(
+            p4_type=e.p4_type, op=e.op, left=_expand_expr(e.left), right=_expand_expr(e.right)
+        )
+    if isinstance(e, N.IrUnop):
+        return N.IrUnop(p4_type=e.p4_type, op=e.op, operand=_expand_expr(e.operand))
+    if isinstance(e, N.IrTernary):
+        return N.IrTernary(
+            p4_type=e.p4_type,
+            cond=_expand_expr(e.cond),
+            then=_expand_expr(e.then),
+            other=_expand_expr(e.other),
+        )
+    if isinstance(e, N.IrCast):
+        return N.IrCast(p4_type=e.p4_type, expr=_expand_expr(e.expr))
+    if isinstance(e, N.IrConcat):
+        return N.IrConcat(p4_type=e.p4_type, parts=tuple(_expand_expr(p) for p in e.parts))
+    if isinstance(e, N.IrSliceExpr):
+        return N.IrSliceExpr(p4_type=e.p4_type, expr=_expand_expr(e.expr), hi=e.hi, lo=e.lo)
+    return e
+
+
+def _expand_stmt(s) -> list:
+    if isinstance(s, N.IrAssign):
+        s.value = _expand_expr(s.value)
+        if _has_dynamic_index(s.target):
+            info = _index_cases(s.target)
+            if info is not None:
+                idx_expr, size, rebuild = info
+                # if (idx == 0) t[0] = v else if (idx == 1) ...
+                chain = None
+                for i in range(size - 1, -1, -1):
+                    assign = N.IrAssign(
+                        location=s.location, target=rebuild(i), value=s.value
+                    )
+                    cond = N.IrBinop(
+                        p4_type=BoolType(),
+                        op="==",
+                        left=idx_expr,
+                        right=N.IrConst(p4_type=idx_expr.p4_type, value=i),
+                    )
+                    chain = N.IrIf(
+                        location=s.location,
+                        cond=cond,
+                        then_stmts=[assign],
+                        else_stmts=[chain] if chain is not None else [],
+                    )
+                return [chain]
+        return [s]
+    if isinstance(s, N.IrVarDecl):
+        if s.init is not None:
+            s.init = _expand_expr(s.init)
+        return [s]
+    if isinstance(s, N.IrIf):
+        s.cond = _expand_expr(s.cond)
+        s.then_stmts = _expand_stmts(s.then_stmts)
+        s.else_stmts = _expand_stmts(s.else_stmts)
+        return [s]
+    if isinstance(s, N.IrSwitch):
+        s.cases = [(labels, _expand_stmts(body)) for labels, body in s.cases]
+        return [s]
+    return [s]
+
+
+def _expand_stmts(stmts: list) -> list:
+    out = []
+    for s in stmts:
+        out.extend(_expand_stmt(s))
+    return out
+
+
+def expand_dynamic_stack_indices(program: N.IrProgram) -> N.IrProgram:
+    for parser in program.parsers.values():
+        for state in parser.states.values():
+            state.statements = _expand_stmts(state.statements)
+    for control in program.controls.values():
+        control.apply_stmts = _expand_stmts(control.apply_stmts)
+        for action in control.actions.values():
+            action.body = _expand_stmts(action.body)
+    for action in program.actions.values():
+        action.body = _expand_stmts(action.body)
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Parser-loop unrolling
+# ---------------------------------------------------------------------------
+
+def _parser_cycles(parser: N.IrParser) -> set[str]:
+    """Names of states that sit on a cycle (Tarjan-free approximation:
+    a state is cyclic if it can reach itself)."""
+    succ: dict[str, set[str]] = {}
+    for name, state in parser.states.items():
+        targets = set()
+        tr = state.transition
+        if tr is not None:
+            if tr.direct is not None:
+                targets.add(tr.direct)
+            else:
+                targets.update(c.state for c in tr.cases)
+        succ[name] = {t for t in targets if t not in ("accept", "reject")}
+    cyclic = set()
+    for start in succ:
+        seen = set()
+        stack = list(succ.get(start, ()))
+        while stack:
+            cur = stack.pop()
+            if cur == start:
+                cyclic.add(start)
+                break
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(succ.get(cur, ()))
+    return cyclic
+
+
+def _clone_transition(tr: N.IrTransition, rename) -> N.IrTransition:
+    if tr is None:
+        return N.IrTransition(direct="reject")
+    if tr.direct is not None:
+        return N.IrTransition(direct=rename(tr.direct))
+    cases = [
+        N.IrSelectCase(keysets=c.keysets, state=rename(c.state)) for c in tr.cases
+    ]
+    return N.IrTransition(select_exprs=tr.select_exprs, cases=cases)
+
+
+def unroll_parsers(program: N.IrProgram, bound: int = DEFAULT_UNROLL_BOUND) -> N.IrProgram:
+    """Clone cyclic parser states ``bound`` times; the final copy's
+    back-edges go to ``reject`` (paper §4: "unrolls parser loops up to a
+    bound")."""
+    for parser in program.parsers.values():
+        cyclic = _parser_cycles(parser)
+        if not cyclic:
+            continue
+        new_states: dict[str, N.IrParserState] = {}
+        for name, state in parser.states.items():
+            if name not in cyclic:
+                def rename_plain(target, _cyclic=cyclic):
+                    return f"{target}#0" if target in _cyclic else target
+
+                state.transition = _clone_transition(state.transition, rename_plain)
+                new_states[name] = state
+                continue
+            for k in range(bound):
+                def rename_k(target, _k=k, _cyclic=cyclic):
+                    if target not in _cyclic:
+                        return target
+                    if _k + 1 >= bound:
+                        return "reject"
+                    return f"{target}#{_k + 1}"
+
+                clone = N.IrParserState(
+                    name=f"{name}#{k}",
+                    statements=state.statements if k == 0 else _clone_stmts(state.statements),
+                    transition=_clone_transition(state.transition, rename_k),
+                )
+                new_states[clone.name] = clone
+        if "start" in cyclic and "start" not in new_states:
+            # keep the canonical entry name
+            new_states["start"] = N.IrParserState(
+                name="start",
+                statements=[],
+                transition=N.IrTransition(direct="start#0"),
+            )
+        parser.states = new_states
+    return program
+
+
+def _clone_stmts(stmts: list) -> list:
+    """Deep-clone statements so clones get fresh stmt_ids (each unrolled
+    copy is a distinct coverage point, as in P4C's unrolled IR)."""
+    out = []
+    for s in stmts:
+        if isinstance(s, N.IrAssign):
+            out.append(N.IrAssign(location=s.location, target=s.target, value=s.value))
+        elif isinstance(s, N.IrVarDecl):
+            out.append(
+                N.IrVarDecl(
+                    location=s.location, name=s.name, p4_type=s.p4_type, init=s.init
+                )
+            )
+        elif isinstance(s, N.IrIf):
+            out.append(
+                N.IrIf(
+                    location=s.location,
+                    cond=s.cond,
+                    then_stmts=_clone_stmts(s.then_stmts),
+                    else_stmts=_clone_stmts(s.else_stmts),
+                )
+            )
+        elif isinstance(s, N.IrMethodCall):
+            out.append(N.IrMethodCall(location=s.location, call=s.call))
+        elif isinstance(s, N.IrExit):
+            out.append(N.IrExit(location=s.location))
+        elif isinstance(s, N.IrReturn):
+            out.append(N.IrReturn(location=s.location, value=s.value))
+        else:
+            out.append(s)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def run_midend(program: N.IrProgram, unroll_bound: int = DEFAULT_UNROLL_BOUND) -> N.IrProgram:
+    """The standard transform pipeline applied before symbolic execution."""
+    fold_constants(program)
+    expand_dynamic_stack_indices(program)
+    unroll_parsers(program, unroll_bound)
+    eliminate_dead_code(program)
+    return program

@@ -1,0 +1,5 @@
+"""Public oracle API."""
+
+from .testgen import TestGen, TestGenResult, load_program
+
+__all__ = ["TestGen", "TestGenResult", "load_program"]

@@ -1,0 +1,74 @@
+"""Baseline tools for the Tbl. 5 comparison.
+
+The paper positions P4Testgen against tools that either lack
+*target-specific semantics* (Gauntlet, p4pktgen: they follow only the
+P4 specification) or lack *target-agnosticism*.  We implement the two
+qualitative baselines that can run on our substrate:
+
+- :class:`SpecOnlyV1Model` — a Gauntlet/p4pktgen-style oracle: the same
+  symbolic engine, but with whole-program semantics stripped: no
+  traffic-manager drop port, no BMv2 zero-initialization (spec says
+  "undefined"), no checksum modeling, no packet-size minimums.  Its
+  tests are generated from the specification alone, so a fraction of
+  them *fail* on the actual BMv2 model — exactly the gap Tbl. 5's
+  "target-specific semantics" column captures.
+
+The benchmark measures, per tool, the fraction of generated tests that
+pass on the BMv2 simulator.
+"""
+
+from __future__ import annotations
+
+from ..ir import nodes as N
+from ..symex.value import fresh_var
+from ..targets.v1model import DROP_PORT, SM, V1Model
+
+__all__ = ["SpecOnlyV1Model"]
+
+
+class SpecOnlyV1Model(V1Model):
+    """v1model with the target-specific layer removed (spec-only)."""
+
+    NAME = "spec-only"
+
+    # The P4 spec says uninitialized reads are *undefined*; a spec-only
+    # tool without taint tracking assumes it may choose the value.
+    def uninitialized_value(self, state, path, width):
+        return fresh_var(path, width)
+
+    local_init_mode = "invalid"  # locals stay undefined until written
+
+    # No knowledge of BMv2's drop port: every egress_spec forwards.
+    def _traffic_manager(self, state):
+        egress_spec = state.read(f"{SM}.egress_spec", 9)
+        state.write(f"{SM}.egress_port", egress_spec)
+        return [state]
+
+    # No extern modeling: checksums and hashes are skipped entirely
+    # (the spec does not define their semantics).
+    def _ext_verify_checksum(self, state, call):
+        return [state]
+
+    def _ext_update_checksum(self, state, call):
+        return [state]
+
+    def _ext_hash(self, state, call):
+        from ..symex.stepper import resolve_lvalue
+
+        out_lv = call.args[0]
+        if isinstance(out_lv, N.IrLValExpr):
+            out_lv = out_lv.lval
+        path, p4_type = resolve_lvalue(state, out_lv)
+        state.write(path, fresh_var("hash", p4_type.bit_width()))
+        return [state]
+
+    def _ext_random(self, state, call):
+        from ..symex.stepper import resolve_lvalue
+
+        lv = call.args[0]
+        if isinstance(lv, N.IrLValExpr):
+            lv = lv.lval
+        path, p4_type = resolve_lvalue(state, lv)
+        # No taint tracking: the value is assumed free.
+        state.write(path, fresh_var("random", p4_type.bit_width()))
+        return [state]

@@ -1,0 +1,110 @@
+"""The public test-oracle API (the paper's command-line entry point).
+
+::
+
+    from repro import TestGen, load_program
+    from repro.targets import V1Model
+
+    gen = TestGen(load_program("fig1a"), target=V1Model(), seed=1)
+    result = gen.run(max_tests=10)
+    print(result.coverage_report())
+    print(result.emit("stf"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import load_ir
+from ..ir.nodes import IrProgram
+from ..symex.explorer import Explorer
+from ..targets.base import TargetExtension
+
+__all__ = ["TestGen", "TestGenResult", "load_program"]
+
+
+def load_program(name_or_source: str, source_name: str | None = None) -> IrProgram:
+    """Load a P4 program: a corpus name (``"fig1a"``), a path to a .p4
+    file, or raw source text."""
+    text = name_or_source
+    name = source_name or "<input>"
+    if "\n" not in name_or_source:
+        from ..programs import get_program_source, program_path
+
+        try:
+            text = get_program_source(name_or_source)
+            name = source_name or f"{name_or_source}.p4"
+        except KeyError:
+            import pathlib
+
+            path = pathlib.Path(name_or_source)
+            if path.exists():
+                text = path.read_text()
+                name = source_name or path.name
+    return load_ir(text, name)
+
+
+@dataclass
+class TestGenResult:
+    __test__ = False  # not a pytest class, despite the name
+
+    tests: list = field(default_factory=list)
+    coverage: object = None
+    stats: object = None
+    target: str = ""
+    program: str = ""
+
+    @property
+    def statement_coverage(self) -> float:
+        return self.coverage.statement_percent
+
+    def coverage_report(self) -> str:
+        return self.coverage.report()
+
+    def emit(self, backend: str = "stf") -> str:
+        """Render all tests in the chosen back-end format."""
+        from ..testback import get_backend
+
+        return get_backend(backend).render_suite(self.tests)
+
+
+class TestGen:
+    """A test oracle instance for one program on one target."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(self, program: IrProgram | str, target: TargetExtension,
+                 *, seed: int | None = None, strategy: str = "dfs",
+                 prune_unsat: bool = True, randomize_values: bool = False):
+        if isinstance(program, str):
+            program = load_program(program)
+        self.program = program
+        self.target = target
+        self.seed = seed
+        self.strategy = strategy
+        self.prune_unsat = prune_unsat
+        self.randomize_values = randomize_values
+
+    def explorer(self, **kwargs) -> Explorer:
+        kwargs.setdefault("seed", self.seed)
+        kwargs.setdefault("strategy", self.strategy)
+        kwargs.setdefault("prune_unsat", self.prune_unsat)
+        kwargs.setdefault("randomize_values", self.randomize_values)
+        return Explorer(self.program, self.target, **kwargs)
+
+    def run(self, max_tests: int | None = None,
+            max_paths: int | None = None,
+            stop_at_full_coverage: bool = False) -> TestGenResult:
+        explorer = self.explorer(
+            max_tests=max_tests,
+            max_paths=max_paths,
+            stop_at_full_coverage=stop_at_full_coverage,
+        )
+        tests = list(explorer.run())
+        return TestGenResult(
+            tests=tests,
+            coverage=explorer.coverage,
+            stats=explorer.stats,
+            target=self.target.name,
+            program=self.program.source_name,
+        )

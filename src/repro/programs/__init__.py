@@ -1,0 +1,34 @@
+"""The P4 program corpus shipped with the reproduction.
+
+Stand-ins for the paper's evaluation programs (P4C test suite, Tofino
+SDE programs, middleblock.p4, up4.p4, switch.p4) written in our P4-16
+subset.  Access by short name::
+
+    from repro.programs import get_program_source, list_programs
+    src = get_program_source("fig1a")
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+__all__ = ["get_program_source", "list_programs", "program_path"]
+
+_HERE = pathlib.Path(__file__).parent
+
+
+def list_programs() -> list[str]:
+    return sorted(p.stem for p in _HERE.glob("*.p4"))
+
+
+def program_path(name: str) -> pathlib.Path:
+    path = _HERE / f"{name}.p4"
+    if not path.exists():
+        raise KeyError(
+            f"unknown program {name!r}; available: {', '.join(list_programs())}"
+        )
+    return path
+
+
+def get_program_source(name: str) -> str:
+    return program_path(name).read_text()

@@ -1,0 +1,54 @@
+// clone (paper §6.1.1): "requires P4Testgen's entire toolbox" — the
+// pipeline control flow for the duplicate, plus session configuration.
+// Packets tagged for monitoring are cloned to the mirror session while
+// the original is forwarded.
+#include <core.p4>
+#include <v1model.p4>
+
+header frame_t {
+    bit<8>  flags;
+    bit<32> payload;
+}
+
+struct headers_t {
+    frame_t frame;
+}
+
+struct meta_t {
+    bit<1> mirrored;
+}
+
+parser cl_parser(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                 inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.frame);
+        transition accept;
+    }
+}
+
+control cl_verify(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control cl_ingress(inout headers_t hdr, inout meta_t meta,
+                   inout standard_metadata_t sm) {
+    apply {
+        if (hdr.frame.flags == 1) {
+            clone(CloneType.I2E, 32w5);
+            meta.mirrored = 1;
+        }
+        sm.egress_spec = 2;
+    }
+}
+
+control cl_egress(inout headers_t hdr, inout meta_t meta,
+                  inout standard_metadata_t sm) { apply { } }
+
+control cl_compute(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control cl_deparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.frame);
+    }
+}
+
+V1Switch(cl_parser(), cl_verify(), cl_ingress(), cl_egress(),
+         cl_compute(), cl_deparser()) main;

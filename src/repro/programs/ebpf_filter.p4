@@ -1,0 +1,57 @@
+// A minimal eBPF filter: accept IPv4 packets with a TTL above 1,
+// reject everything else (paper §6.1.3 proof-of-concept shape).
+#include <core.p4>
+#include <ebpf_model.p4>
+
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> etype;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<3>  flags;
+    bit<13> frag_offset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+struct headers_t {
+    ethernet_t eth;
+    ipv4_t     ip;
+}
+
+parser prs(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.etype) {
+            0x0800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ip);
+        transition accept;
+    }
+}
+
+control flt(inout headers_t hdr, out bool accept) {
+    apply {
+        accept = false;
+        if (hdr.ip.isValid()) {
+            if (hdr.ip.ttl > 1) {
+                accept = true;
+            }
+        }
+    }
+}
+
+ebpfFilter(prs(), flt()) main;

@@ -1,0 +1,66 @@
+// Paper Fig. 1a: forward Ethernet packets by a table matching the
+// EtherType (which the program itself overwrites with 0xBEEF).
+#include <core.p4>
+#include <v1model.p4>
+
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> type;
+}
+
+struct headers_t {
+    ethernet_t eth;
+}
+
+struct meta_t {
+    bit<9> output_port;
+}
+
+parser MyParser(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition accept;
+    }
+}
+
+control MyVerify(inout headers_t hdr, inout meta_t meta) {
+    apply { }
+}
+
+control MyIngress(inout headers_t h, inout meta_t meta,
+                  inout standard_metadata_t sm) {
+    action noop() { }
+    action set_out(bit<9> port) {
+        meta.output_port = port;
+        sm.egress_spec = port;
+    }
+    table forward_table {
+        key = { h.eth.type: exact @name("type"); }
+        actions = { noop; set_out; }
+        default_action = noop();
+    }
+    apply {
+        h.eth.type = 0xBEEF;
+        forward_table.apply();
+    }
+}
+
+control MyEgress(inout headers_t h, inout meta_t meta,
+                 inout standard_metadata_t sm) {
+    apply { }
+}
+
+control MyCompute(inout headers_t hdr, inout meta_t meta) {
+    apply { }
+}
+
+control MyDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.eth);
+    }
+}
+
+V1Switch(MyParser(), MyVerify(), MyIngress(), MyEgress(),
+         MyCompute(), MyDeparser()) main;

@@ -1,0 +1,62 @@
+// Paper Fig. 1b: validate an Ethernet "checksum": the EtherType field
+// must equal the checksum of (dst, src); otherwise the packet drops.
+#include <core.p4>
+#include <v1model.p4>
+
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> type;
+}
+
+struct headers_t {
+    ethernet_t eth;
+}
+
+struct meta_t {
+    bit<1> checksum_err;
+}
+
+parser MyParser(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition accept;
+    }
+}
+
+control MyVerify(inout headers_t hdr, inout meta_t meta) {
+    apply {
+        verify_checksum(hdr.eth.isValid(),
+                        { hdr.eth.dst, hdr.eth.src },
+                        hdr.eth.type,
+                        HashAlgorithm.csum16);
+    }
+}
+
+control MyIngress(inout headers_t h, inout meta_t meta,
+                  inout standard_metadata_t sm) {
+    apply {
+        if (sm.checksum_error == 1) {
+            mark_to_drop(sm);  // Drop packet.
+        }
+    }
+}
+
+control MyEgress(inout headers_t h, inout meta_t meta,
+                 inout standard_metadata_t sm) {
+    apply { }
+}
+
+control MyCompute(inout headers_t hdr, inout meta_t meta) {
+    apply { }
+}
+
+control MyDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.eth);
+    }
+}
+
+V1Switch(MyParser(), MyVerify(), MyIngress(), MyEgress(),
+         MyCompute(), MyDeparser()) main;

@@ -1,0 +1,75 @@
+// lookahead() peeks at packet content without consuming it; the parser
+// uses it to pick a header format before extracting (a classic TLV
+// pattern).  Exercises the lookahead packet method's size branching.
+#include <core.p4>
+#include <v1model.p4>
+
+header short_t {
+    bit<8>  kind;
+    bit<8>  value;
+}
+
+header long_t {
+    bit<8>  kind;
+    bit<24> value;
+}
+
+struct headers_t {
+    short_t s;
+    long_t  l;
+}
+
+struct meta_t {
+    bit<8> kind;
+}
+
+parser la_parser(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                 inout standard_metadata_t sm) {
+    state start {
+        bit<8> kind = pkt.lookahead<bit<8>>();
+        meta.kind = kind;
+        transition select(kind) {
+            1: parse_short;
+            2: parse_long;
+            default: accept;
+        }
+    }
+    state parse_short {
+        pkt.extract(hdr.s);
+        transition accept;
+    }
+    state parse_long {
+        pkt.extract(hdr.l);
+        transition accept;
+    }
+}
+
+control la_verify(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control la_ingress(inout headers_t hdr, inout meta_t meta,
+                   inout standard_metadata_t sm) {
+    apply {
+        if (hdr.s.isValid()) {
+            sm.egress_spec = 1;
+        } else if (hdr.l.isValid()) {
+            sm.egress_spec = 2;
+        } else {
+            sm.egress_spec = 3;
+        }
+    }
+}
+
+control la_egress(inout headers_t hdr, inout meta_t meta,
+                  inout standard_metadata_t sm) { apply { } }
+
+control la_compute(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control la_deparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.s);
+        pkt.emit(hdr.l);
+    }
+}
+
+V1Switch(la_parser(), la_verify(), la_ingress(), la_egress(),
+         la_compute(), la_deparser()) main;

@@ -1,0 +1,86 @@
+// One table per match kind (exact/lpm/ternary/range/optional) plus
+// const entries with priorities — the control-plane surface of §6.
+#include <core.p4>
+#include <v1model.p4>
+
+header probe_t {
+    bit<16> a;
+    bit<16> b;
+    bit<32> c;
+}
+
+struct headers_t {
+    probe_t probe;
+}
+
+struct meta_t {
+    bit<4> matched;
+}
+
+parser mk_parser(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                 inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.probe);
+        transition accept;
+    }
+}
+
+control mk_verify(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control mk_ingress(inout headers_t hdr, inout meta_t meta,
+                   inout standard_metadata_t sm) {
+    action tag(bit<4> value) {
+        meta.matched = value;
+    }
+    table exact_table {
+        key = { hdr.probe.a: exact @name("a"); }
+        actions = { tag; NoAction; }
+        default_action = NoAction();
+    }
+    table lpm_table {
+        key = { hdr.probe.c: lpm @name("c"); }
+        actions = { tag; NoAction; }
+        default_action = NoAction();
+    }
+    table ternary_table {
+        key = { hdr.probe.b: ternary @name("b"); }
+        actions = { tag; NoAction; }
+        default_action = NoAction();
+        const entries = {
+            @priority(1) 0x00FF &&& 0x00FF : tag(1);
+            @priority(2) 0xFF00 &&& 0xFF00 : tag(2);
+        }
+    }
+    table range_table {
+        key = { hdr.probe.a: range @name("a_range"); }
+        actions = { tag; NoAction; }
+        default_action = NoAction();
+    }
+    table optional_table {
+        key = { hdr.probe.b: optional @name("b_opt"); }
+        actions = { tag; NoAction; }
+        default_action = NoAction();
+    }
+    apply {
+        exact_table.apply();
+        lpm_table.apply();
+        ternary_table.apply();
+        range_table.apply();
+        optional_table.apply();
+        sm.egress_spec = (bit<9>) meta.matched;
+    }
+}
+
+control mk_egress(inout headers_t hdr, inout meta_t meta,
+                  inout standard_metadata_t sm) { apply { } }
+
+control mk_compute(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control mk_deparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.probe);
+    }
+}
+
+V1Switch(mk_parser(), mk_verify(), mk_ingress(), mk_egress(),
+         mk_compute(), mk_deparser()) main;

@@ -1,0 +1,191 @@
+// middleblock.p4 analogue (paper §6.1.1/§7, Tbl. 4): a SONiC-PINS-style
+// fixed-function data-center switch model for v1model, with L3 admit,
+// IPv4/IPv6 routing, a nexthop table, an ACL with an entry restriction
+// (P4-constraints), and TTL handling.
+#include <core.p4>
+#include <v1model.p4>
+
+const bit<16> ETHERTYPE_IPV4 = 0x0800;
+const bit<16> ETHERTYPE_IPV6 = 0x86DD;
+const bit<16> ETHERTYPE_ARP  = 0x0806;
+
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  dscp;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<3>  flags;
+    bit<13> frag_offset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> header_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header ipv6_t {
+    bit<4>   version;
+    bit<8>   traffic_class;
+    bit<20>  flow_label;
+    bit<16>  payload_length;
+    bit<8>   next_header;
+    bit<8>   hop_limit;
+    bit<128> src_addr;
+    bit<128> dst_addr;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+    ipv6_t     ipv6;
+}
+
+struct local_metadata_t {
+    bit<1>  admit_to_l3;
+    bit<10> nexthop_id;
+    bit<1>  punt;
+}
+
+parser packet_parser(packet_in pkt, out headers_t hdr,
+                     inout local_metadata_t meta,
+                     inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            ETHERTYPE_IPV4: parse_ipv4;
+            ETHERTYPE_IPV6: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+    state parse_ipv6 {
+        pkt.extract(hdr.ipv6);
+        transition accept;
+    }
+}
+
+control verify_ipv4_checksum(inout headers_t hdr,
+                             inout local_metadata_t meta) {
+    apply { }
+}
+
+control ingress(inout headers_t hdr, inout local_metadata_t meta,
+                inout standard_metadata_t sm) {
+    action l3_admit() {
+        meta.admit_to_l3 = 1;
+    }
+    table l3_admit_table {
+        key = {
+            hdr.ethernet.dst_addr: ternary @name("dst_mac");
+        }
+        actions = { l3_admit; NoAction; }
+        default_action = NoAction();
+    }
+
+    action set_nexthop(bit<10> nexthop_id) {
+        meta.nexthop_id = nexthop_id;
+    }
+    action drop_route() {
+        mark_to_drop(sm);
+    }
+    table ipv4_table {
+        key = { hdr.ipv4.dst_addr: lpm @name("ipv4_dst"); }
+        actions = { set_nexthop; drop_route; NoAction; }
+        default_action = NoAction();
+    }
+    table ipv6_table {
+        key = { hdr.ipv6.dst_addr: lpm @name("ipv6_dst"); }
+        actions = { set_nexthop; drop_route; NoAction; }
+        default_action = NoAction();
+    }
+
+    action set_port_and_mac(bit<9> port, bit<48> src_mac, bit<48> dst_mac) {
+        sm.egress_spec = port;
+        hdr.ethernet.src_addr = src_mac;
+        hdr.ethernet.dst_addr = dst_mac;
+    }
+    table nexthop_table {
+        key = { meta.nexthop_id: exact @name("nexthop_id"); }
+        actions = { set_port_and_mac; NoAction; }
+        default_action = NoAction();
+    }
+
+    action acl_drop() {
+        mark_to_drop(sm);
+    }
+    action acl_trap() {
+        meta.punt = 1;
+        sm.egress_spec = 510;  // CPU port
+    }
+    @entry_restriction("ether_type != 0x0800 && ether_type != 0x86DD")
+    table acl_ingress_table {
+        key = {
+            hdr.ethernet.ether_type: ternary @name("ether_type");
+            sm.ingress_port: ternary @name("in_port");
+        }
+        actions = { acl_drop; acl_trap; NoAction; }
+        default_action = NoAction();
+    }
+
+    apply {
+        l3_admit_table.apply();
+        if (meta.admit_to_l3 == 1) {
+            if (hdr.ipv4.isValid()) {
+                if (hdr.ipv4.ttl <= 1) {
+                    mark_to_drop(sm);
+                } else {
+                    hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+                    ipv4_table.apply();
+                    nexthop_table.apply();
+                }
+            } else if (hdr.ipv6.isValid()) {
+                if (hdr.ipv6.hop_limit <= 1) {
+                    mark_to_drop(sm);
+                } else {
+                    hdr.ipv6.hop_limit = hdr.ipv6.hop_limit - 1;
+                    ipv6_table.apply();
+                    nexthop_table.apply();
+                }
+            }
+        }
+        acl_ingress_table.apply();
+    }
+}
+
+control egress(inout headers_t hdr, inout local_metadata_t meta,
+               inout standard_metadata_t sm) {
+    apply { }
+}
+
+control compute_ipv4_checksum(inout headers_t hdr,
+                              inout local_metadata_t meta) {
+    apply {
+        update_checksum(hdr.ipv4.isValid(),
+            { hdr.ipv4.version, hdr.ipv4.ihl, hdr.ipv4.dscp,
+              hdr.ipv4.total_len, hdr.ipv4.identification,
+              hdr.ipv4.flags, hdr.ipv4.frag_offset, hdr.ipv4.ttl,
+              hdr.ipv4.protocol, hdr.ipv4.src_addr, hdr.ipv4.dst_addr },
+            hdr.ipv4.header_checksum, HashAlgorithm.csum16);
+    }
+}
+
+control deparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.ipv6);
+    }
+}
+
+V1Switch(packet_parser(), verify_ipv4_checksum(), ingress(), egress(),
+         compute_ipv4_checksum(), deparser()) main;

@@ -1,0 +1,88 @@
+// MPLS label-stack program (v1model): exercises header stacks, parser
+// loops (unrolled by the mid-end), .next/.last accessors, and
+// push/pop — the constructs behind several Tbl. 3 bug flavors
+// (BMV2-1, P4C-3, P4C-5).
+#include <core.p4>
+#include <v1model.p4>
+
+const bit<16> ETHERTYPE_MPLS = 0x8847;
+
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> ether_type;
+}
+
+header mpls_t {
+    bit<20> label;
+    bit<3>  tc;
+    bit<1>  bos;
+    bit<8>  ttl;
+}
+
+struct headers_t {
+    ethernet_t eth;
+    mpls_t[3]  mpls;
+}
+
+struct meta_t {
+    bit<20> top_label;
+}
+
+parser mpls_parser(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                   inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.ether_type) {
+            ETHERTYPE_MPLS: parse_mpls;
+            default: accept;
+        }
+    }
+    state parse_mpls {
+        pkt.extract(hdr.mpls.next);
+        transition select(hdr.mpls.last.bos) {
+            1: accept;
+            default: parse_mpls;
+        }
+    }
+}
+
+control mpls_verify(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control mpls_ingress(inout headers_t hdr, inout meta_t meta,
+                     inout standard_metadata_t sm) {
+    action pop_and_forward(bit<9> port) {
+        hdr.mpls.pop_front(1);
+        sm.egress_spec = port;
+    }
+    action swap_label(bit<20> label, bit<9> port) {
+        hdr.mpls[0].label = label;
+        sm.egress_spec = port;
+    }
+    table mpls_fib {
+        key = { hdr.mpls[0].label: exact @name("label"); }
+        actions = { pop_and_forward; swap_label; NoAction; }
+        default_action = NoAction();
+    }
+    apply {
+        if (hdr.mpls[0].isValid()) {
+            meta.top_label = hdr.mpls[0].label;
+            mpls_fib.apply();
+        }
+    }
+}
+
+control mpls_egress(inout headers_t hdr, inout meta_t meta,
+                    inout standard_metadata_t sm) { apply { } }
+
+control mpls_compute(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control mpls_deparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.eth);
+        pkt.emit(hdr.mpls);
+    }
+}
+
+V1Switch(mpls_parser(), mpls_verify(), mpls_ingress(), mpls_egress(),
+         mpls_compute(), mpls_deparser()) main;

@@ -1,0 +1,57 @@
+// Recirculation (paper §5.1.2 / Fig. 4-5): a TTL-like field drives the
+// pipeline control flow — 0 drops, 1 recirculates, otherwise forward.
+#include <core.p4>
+#include <v1model.p4>
+
+header hop_t {
+    bit<8> hops;
+    bit<8> tag;
+}
+
+struct headers_t {
+    hop_t hop;
+}
+
+struct meta_t {
+    bit<8> rounds;
+}
+
+parser rc_parser(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                 inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.hop);
+        transition accept;
+    }
+}
+
+control rc_verify(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control rc_ingress(inout headers_t hdr, inout meta_t meta,
+                   inout standard_metadata_t sm) {
+    apply {
+        if (hdr.hop.hops == 0) {
+            mark_to_drop(sm);
+        } else if (hdr.hop.hops == 1) {
+            hdr.hop.hops = 0;
+            hdr.hop.tag = hdr.hop.tag + 1;
+            recirculate_preserving_field_list(0);
+            sm.egress_spec = 7;
+        } else {
+            sm.egress_spec = 7;
+        }
+    }
+}
+
+control rc_egress(inout headers_t hdr, inout meta_t meta,
+                  inout standard_metadata_t sm) { apply { } }
+
+control rc_compute(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control rc_deparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.hop);
+    }
+}
+
+V1Switch(rc_parser(), rc_verify(), rc_ingress(), rc_egress(),
+         rc_compute(), rc_deparser()) main;

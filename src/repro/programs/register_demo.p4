@@ -1,0 +1,66 @@
+// Stateful processing: a register read/write pair whose initial value
+// is chosen by the control plane (paper §6: "initialize externs such
+// as registers ... with the appropriate value").
+#include <core.p4>
+#include <v1model.p4>
+
+header probe_t {
+    bit<8>  opcode;
+    bit<32> operand;
+}
+
+struct headers_t {
+    probe_t probe;
+}
+
+struct meta_t {
+    bit<32> reg_value;
+}
+
+parser reg_parser(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                  inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.probe);
+        transition accept;
+    }
+}
+
+control reg_verify(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control reg_ingress(inout headers_t hdr, inout meta_t meta,
+                    inout standard_metadata_t sm) {
+    register<bit<32>>(16) state_reg;
+
+    apply {
+        state_reg.read(meta.reg_value, 0);
+        if (hdr.probe.opcode == 1) {
+            // Write-through: remember the operand.
+            state_reg.write(0, hdr.probe.operand);
+            hdr.probe.operand = meta.reg_value;
+            sm.egress_spec = 1;
+        } else if (hdr.probe.opcode == 2) {
+            // Gate on the stored value.
+            if (meta.reg_value == 0xDEADBEEF) {
+                sm.egress_spec = 2;
+            } else {
+                mark_to_drop(sm);
+            }
+        } else {
+            sm.egress_spec = 3;
+        }
+    }
+}
+
+control reg_egress(inout headers_t hdr, inout meta_t meta,
+                   inout standard_metadata_t sm) { apply { } }
+
+control reg_compute(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control reg_deparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.probe);
+    }
+}
+
+V1Switch(reg_parser(), reg_verify(), reg_ingress(), reg_egress(),
+         reg_compute(), reg_deparser()) main;

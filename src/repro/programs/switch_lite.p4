@@ -1,0 +1,282 @@
+// switch.p4 analogue for tna (paper §7, Tbl. 4a): an L2/L3 switch
+// profile with port/VLAN admission, L2 learning shape, L3 routing with
+// ECMP hashing, an ingress ACL, and egress VLAN rewriting.  Deliberate
+// "branchy" structure: exhaustive path enumeration is intractable, so
+// coverage stays partial at any test cap (the paper reports 41% after
+// one million tests on the real switch.p4).
+#include <core.p4>
+#include <tna.p4>
+
+const bit<16> ETHERTYPE_IPV4 = 0x0800;
+const bit<16> ETHERTYPE_VLAN = 0x8100;
+
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+
+header vlan_t {
+    bit<3>  pcp;
+    bit<1>  cfi;
+    bit<12> vid;
+    bit<16> ether_type;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  dscp;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<3>  flags;
+    bit<13> frag_offset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> header_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header tcp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<32> seq_no;
+    bit<32> ack_no;
+    bit<4>  data_offset;
+    bit<4>  res;
+    bit<8>  flags;
+    bit<16> window;
+    bit<16> checksum;
+    bit<16> urgent_ptr;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    vlan_t     vlan;
+    ipv4_t     ipv4;
+    tcp_t      tcp;
+}
+
+struct switch_ig_md_t {
+    bit<12> vid;
+    bit<16> bd;
+    bit<16> nexthop;
+    bit<16> ecmp_hash;
+    bit<1>  routed;
+    bit<1>  acl_deny;
+}
+
+struct switch_eg_md_t {
+    bit<12> vid;
+}
+
+parser SwitchIngressParser(packet_in pkt,
+        out headers_t hdr,
+        out switch_ig_md_t ig_md,
+        out ingress_intrinsic_metadata_t ig_intr_md) {
+    state start {
+        pkt.extract(ig_intr_md);
+        pkt.advance(64);
+        transition parse_ethernet;
+    }
+    state parse_ethernet {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            ETHERTYPE_VLAN: parse_vlan;
+            ETHERTYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_vlan {
+        pkt.extract(hdr.vlan);
+        transition select(hdr.vlan.ether_type) {
+            ETHERTYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            6: parse_tcp;
+            default: accept;
+        }
+    }
+    state parse_tcp {
+        pkt.extract(hdr.tcp);
+        transition accept;
+    }
+}
+
+control SwitchIngress(inout headers_t hdr,
+        inout switch_ig_md_t ig_md,
+        in ingress_intrinsic_metadata_t ig_intr_md,
+        in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+        inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+        inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+
+    Hash<bit<16>>(HashAlgorithm_t.CRC16) ecmp_hasher;
+
+    action set_bd(bit<16> bd) {
+        ig_md.bd = bd;
+    }
+    action port_deny() {
+        ig_dprsr_md.drop_ctl = 1;
+    }
+    table port_vlan_table {
+        key = {
+            ig_intr_md.ingress_port: exact @name("port");
+            hdr.vlan.vid: ternary @name("vid");
+        }
+        actions = { set_bd; port_deny; NoAction; }
+        default_action = NoAction();
+    }
+
+    action l2_hit(PortId_t port) {
+        ig_tm_md.ucast_egress_port = port;
+    }
+    table dmac_table {
+        key = {
+            ig_md.bd: exact @name("bd");
+            hdr.ethernet.dst_addr: exact @name("dmac");
+        }
+        actions = { l2_hit; NoAction; }
+        default_action = NoAction();
+    }
+
+    action set_nexthop(bit<16> nexthop) {
+        ig_md.nexthop = nexthop;
+        ig_md.routed = 1;
+    }
+    table ipv4_lpm_table {
+        key = { hdr.ipv4.dst_addr: lpm @name("dst"); }
+        actions = { set_nexthop; NoAction; }
+        default_action = NoAction();
+    }
+
+    action nexthop_port(PortId_t port, bit<48> dmac) {
+        ig_tm_md.ucast_egress_port = port;
+        hdr.ethernet.dst_addr = dmac;
+    }
+    table nexthop_table {
+        key = {
+            ig_md.nexthop: exact @name("nexthop");
+            ig_md.ecmp_hash: ternary @name("hash");
+        }
+        actions = { nexthop_port; NoAction; }
+        default_action = NoAction();
+    }
+
+    action acl_deny() {
+        ig_md.acl_deny = 1;
+        ig_dprsr_md.drop_ctl = 1;
+    }
+    action acl_permit() { }
+    table acl_table {
+        key = {
+            hdr.ipv4.src_addr: ternary @name("src");
+            hdr.ipv4.dst_addr: ternary @name("dst");
+            hdr.tcp.dst_port: range @name("dport");
+        }
+        actions = { acl_deny; acl_permit; NoAction; }
+        default_action = NoAction();
+    }
+
+    apply {
+        port_vlan_table.apply();
+        if (ig_dprsr_md.drop_ctl == 0) {
+            dmac_table.apply();
+            if (hdr.ipv4.isValid()) {
+                if (hdr.ipv4.ttl > 1) {
+                    ipv4_lpm_table.apply();
+                    if (ig_md.routed == 1) {
+                        ig_md.ecmp_hash = ecmp_hasher.get(
+                            { hdr.ipv4.src_addr, hdr.ipv4.dst_addr });
+                        nexthop_table.apply();
+                        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+                    }
+                } else {
+                    ig_dprsr_md.drop_ctl = 1;
+                }
+                if (hdr.tcp.isValid()) {
+                    acl_table.apply();
+                }
+            }
+        }
+    }
+}
+
+control SwitchIngressDeparser(packet_out pkt,
+        inout headers_t hdr,
+        in switch_ig_md_t ig_md,
+        in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.vlan);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.tcp);
+    }
+}
+
+parser SwitchEgressParser(packet_in pkt,
+        out headers_t hdr,
+        out switch_eg_md_t eg_md,
+        out egress_intrinsic_metadata_t eg_intr_md) {
+    state start {
+        pkt.extract(eg_intr_md);
+        transition parse_ethernet;
+    }
+    state parse_ethernet {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            ETHERTYPE_VLAN: parse_vlan;
+            default: accept;
+        }
+    }
+    state parse_vlan {
+        pkt.extract(hdr.vlan);
+        transition accept;
+    }
+}
+
+control SwitchEgress(inout headers_t hdr,
+        inout switch_eg_md_t eg_md,
+        in egress_intrinsic_metadata_t eg_intr_md,
+        in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+        inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+        inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {
+    action strip_vlan() {
+        hdr.ethernet.ether_type = hdr.vlan.ether_type;
+        hdr.vlan.setInvalid();
+    }
+    action keep_vlan(bit<12> vid) {
+        hdr.vlan.vid = vid;
+    }
+    table vlan_rewrite_table {
+        key = { eg_intr_md.egress_port: exact @name("port"); }
+        actions = { strip_vlan; keep_vlan; NoAction; }
+        default_action = NoAction();
+    }
+    apply {
+        if (hdr.vlan.isValid()) {
+            vlan_rewrite_table.apply();
+        }
+    }
+}
+
+control SwitchEgressDeparser(packet_out pkt,
+        inout headers_t hdr,
+        in switch_eg_md_t eg_md,
+        in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.vlan);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.tcp);
+    }
+}
+
+Pipeline(SwitchIngressParser(), SwitchIngress(), SwitchIngressDeparser(),
+         SwitchEgressParser(), SwitchEgress(), SwitchEgressDeparser()) pipe;
+
+Switch(pipe) main;

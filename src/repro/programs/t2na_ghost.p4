@@ -1,0 +1,109 @@
+// Tofino 2 program: GhostPipeline with the ghost thread (§6.1.2 /
+// App. A.1 — "t2na adds a programmable block, the ghost thread") and
+// the wider 192-bit port-metadata prepend.
+#include <core.p4>
+#include <t2na.p4>
+
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> etype;
+}
+
+struct headers_t {
+    ethernet_t eth;
+}
+
+struct ig_md_t {
+    bit<16> bucket;
+}
+
+struct eg_md_t {
+    bit<8> unused;
+}
+
+parser GIngressParser(packet_in pkt,
+        out headers_t hdr,
+        out ig_md_t ig_md,
+        out ingress_intrinsic_metadata_t ig_intr_md) {
+    state start {
+        pkt.extract(ig_intr_md);
+        pkt.advance(192);  // Tofino 2 PORT_METADATA_SIZE
+        transition parse_ethernet;
+    }
+    state parse_ethernet {
+        pkt.extract(hdr.eth);
+        transition accept;
+    }
+}
+
+control GIngress(inout headers_t hdr,
+        inout ig_md_t ig_md,
+        in ingress_intrinsic_metadata_t ig_intr_md,
+        in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+        inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+        inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+    action forward(PortId_t port) {
+        ig_tm_md.ucast_egress_port = port;
+    }
+    action toss() {
+        ig_dprsr_md.drop_ctl = 1;
+    }
+    table route {
+        key = { hdr.eth.etype: exact @name("etype"); }
+        actions = { forward; toss; }
+        default_action = toss();
+    }
+    apply {
+        route.apply();
+    }
+}
+
+control GIngressDeparser(packet_out pkt,
+        inout headers_t hdr,
+        in ig_md_t ig_md,
+        in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {
+    apply {
+        pkt.emit(hdr.eth);
+    }
+}
+
+parser GEgressParser(packet_in pkt,
+        out headers_t hdr,
+        out eg_md_t eg_md,
+        out egress_intrinsic_metadata_t eg_intr_md) {
+    state start {
+        pkt.extract(eg_intr_md);
+        transition accept;
+    }
+}
+
+control GEgress(inout headers_t hdr,
+        inout eg_md_t eg_md,
+        in egress_intrinsic_metadata_t eg_intr_md,
+        in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+        inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+        inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {
+    apply { }
+}
+
+control GEgressDeparser(packet_out pkt,
+        inout headers_t hdr,
+        in eg_md_t eg_md,
+        in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {
+    apply { }
+}
+
+control GhostThread(in ghost_intrinsic_metadata_t g_intr_md) {
+    apply {
+        // The ghost thread runs concurrently with packet processing;
+        // its inputs (queue state) are unpredictable, so anything it
+        // computes is tainted by construction.
+    }
+}
+
+GhostPipeline(GIngressParser(), GIngress(), GIngressDeparser(),
+              GEgressParser(), GEgress(), GEgressDeparser(),
+              GhostThread()) pipe;
+
+Switch(pipe) main;

@@ -1,0 +1,63 @@
+// Taint-spread demonstration program: a random value feeds a ternary
+// table key.  With the wildcard mitigation (§5.3 item 2), P4Testgen can
+// still synthesize always-matching entries; without it, only the
+// default action is reachable through the control plane.
+#include <core.p4>
+#include <v1model.p4>
+
+header data_t {
+    bit<16> value;
+}
+
+struct headers_t {
+    data_t data;
+}
+
+struct meta_t {
+    bit<16> nonce;
+    bit<4>  class;
+}
+
+parser tk_parser(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                 inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.data);
+        transition accept;
+    }
+}
+
+control tk_verify(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control tk_ingress(inout headers_t hdr, inout meta_t meta,
+                   inout standard_metadata_t sm) {
+    action classify(bit<4> class, bit<9> port) {
+        meta.class = class;
+        sm.egress_spec = port;
+    }
+    table classifier {
+        key = {
+            meta.nonce: ternary @name("nonce");
+            hdr.data.value: exact @name("value");
+        }
+        actions = { classify; NoAction; }
+        default_action = NoAction();
+    }
+    apply {
+        random(meta.nonce, 16w0, 16w0xFFFF);
+        classifier.apply();
+    }
+}
+
+control tk_egress(inout headers_t hdr, inout meta_t meta,
+                  inout standard_metadata_t sm) { apply { } }
+
+control tk_compute(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control tk_deparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.data);
+    }
+}
+
+V1Switch(tk_parser(), tk_verify(), tk_ingress(), tk_egress(),
+         tk_compute(), tk_deparser()) main;

@@ -1,0 +1,64 @@
+// A program whose first header is a single byte: the too-short branch
+// of the very first extract yields a zero-length input packet,
+// exercising BMv2's empty-packet handling (issue #977 flavor).
+#include <core.p4>
+#include <v1model.p4>
+
+header tag_t {
+    bit<8> kind;
+}
+
+header body_t {
+    bit<32> value;
+}
+
+struct headers_t {
+    tag_t  tag;
+    body_t body;
+}
+
+struct meta_t {
+    bit<8> kind_copy;
+}
+
+parser tiny_parser(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                   inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.tag);
+        transition select(hdr.tag.kind) {
+            1: parse_body;
+            default: accept;
+        }
+    }
+    state parse_body {
+        pkt.extract(hdr.body);
+        transition accept;
+    }
+}
+
+control tiny_verify(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control tiny_ingress(inout headers_t hdr, inout meta_t meta,
+                     inout standard_metadata_t sm) {
+    apply {
+        if (hdr.body.isValid()) {
+            sm.egress_spec = (bit<9>) hdr.body.value[8:0];
+        }
+        meta.kind_copy = hdr.tag.kind;
+    }
+}
+
+control tiny_egress(inout headers_t hdr, inout meta_t meta,
+                    inout standard_metadata_t sm) { apply { } }
+
+control tiny_compute(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control tiny_deparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.tag);
+        pkt.emit(hdr.body);
+    }
+}
+
+V1Switch(tiny_parser(), tiny_verify(), tiny_ingress(), tiny_egress(),
+         tiny_compute(), tiny_deparser()) main;

@@ -1,0 +1,103 @@
+// Paper Fig. 4: the ingress sets per-packet metadata that the
+// target-defined pipeline control flow (Fig. 5) interprets — TTL 0
+// drops in the traffic manager, TTL 1 resubmits, anything else
+// forwards.  Also reads parser_err, which flips Tofino's short-packet
+// policy from "drop" to "continue with unspecified header" (App. A.1).
+#include <core.p4>
+#include <tna.p4>
+
+header ipish_t {
+    bit<8>  ttl;
+    bit<56> rest;
+}
+
+struct headers_t {
+    ipish_t ip;
+}
+
+struct ig_md_t {
+    bit<8> rounds;
+}
+
+struct eg_md_t {
+    bit<8> unused;
+}
+
+parser F4IngressParser(packet_in pkt,
+        out headers_t hdr,
+        out ig_md_t ig_md,
+        out ingress_intrinsic_metadata_t ig_intr_md) {
+    state start {
+        pkt.extract(ig_intr_md);
+        pkt.advance(64);
+        transition parse_ip;
+    }
+    state parse_ip {
+        pkt.extract(hdr.ip);
+        transition accept;
+    }
+}
+
+control F4Ingress(inout headers_t hdr,
+        inout ig_md_t ig_md,
+        in ingress_intrinsic_metadata_t ig_intr_md,
+        in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+        inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+        inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+    apply {
+        if (ig_prsr_md.parser_err != 0) {
+            // Short packet observed: send to a diagnostics port.
+            ig_tm_md.ucast_egress_port = 64;
+        } else {
+            if (hdr.ip.ttl == 0) {
+                ig_dprsr_md.drop_ctl = 1;      // Drop packet (Fig. 4)
+            } else if (hdr.ip.ttl == 1) {
+                hdr.ip.ttl = 0;
+                ig_dprsr_md.resubmit_type = 1; // Resubmit packet (Fig. 4)
+                ig_tm_md.ucast_egress_port = 1;
+            } else {
+                ig_tm_md.ucast_egress_port = 1;
+            }
+        }
+    }
+}
+
+control F4IngressDeparser(packet_out pkt,
+        inout headers_t hdr,
+        in ig_md_t ig_md,
+        in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {
+    apply {
+        pkt.emit(hdr.ip);
+    }
+}
+
+parser F4EgressParser(packet_in pkt,
+        out headers_t hdr,
+        out eg_md_t eg_md,
+        out egress_intrinsic_metadata_t eg_intr_md) {
+    state start {
+        pkt.extract(eg_intr_md);
+        transition accept;
+    }
+}
+
+control F4Egress(inout headers_t hdr,
+        inout eg_md_t eg_md,
+        in egress_intrinsic_metadata_t eg_intr_md,
+        in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+        inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+        inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {
+    apply { }
+}
+
+control F4EgressDeparser(packet_out pkt,
+        inout headers_t hdr,
+        in eg_md_t eg_md,
+        in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {
+    apply { }
+}
+
+Pipeline(F4IngressParser(), F4Ingress(), F4IngressDeparser(),
+         F4EgressParser(), F4Egress(), F4EgressDeparser()) pipe;
+
+Switch(pipe) main;

@@ -1,0 +1,106 @@
+// A basic tna program: L2 forwarding with a drop action, exercising
+// the Tofino pipeline shape (metadata prepend, port metadata skip,
+// TM egress-port semantics).
+#include <core.p4>
+#include <tna.p4>
+
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> etype;
+}
+
+struct headers_t {
+    ethernet_t eth;
+}
+
+struct ig_metadata_t {
+    bit<16> l2_hash;
+}
+
+struct eg_metadata_t {
+    bit<8> unused;
+}
+
+parser SwitchIngressParser(packet_in pkt,
+        out headers_t hdr,
+        out ig_metadata_t ig_md,
+        out ingress_intrinsic_metadata_t ig_intr_md) {
+    state start {
+        pkt.extract(ig_intr_md);
+        pkt.advance(64);  // PORT_METADATA_SIZE
+        transition parse_ethernet;
+    }
+    state parse_ethernet {
+        pkt.extract(hdr.eth);
+        transition accept;
+    }
+}
+
+control SwitchIngress(inout headers_t hdr,
+        inout ig_metadata_t ig_md,
+        in ingress_intrinsic_metadata_t ig_intr_md,
+        in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+        inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+        inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+    action set_port(PortId_t port) {
+        ig_tm_md.ucast_egress_port = port;
+    }
+    action drop() {
+        ig_dprsr_md.drop_ctl = 1;
+    }
+    table l2_forward {
+        key = { hdr.eth.dst: exact @name("dmac"); }
+        actions = { set_port; drop; }
+        default_action = drop();
+    }
+    apply {
+        l2_forward.apply();
+    }
+}
+
+control SwitchIngressDeparser(packet_out pkt,
+        inout headers_t hdr,
+        in ig_metadata_t ig_md,
+        in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {
+    apply {
+        pkt.emit(hdr.eth);
+    }
+}
+
+parser SwitchEgressParser(packet_in pkt,
+        out headers_t hdr,
+        out eg_metadata_t eg_md,
+        out egress_intrinsic_metadata_t eg_intr_md) {
+    state start {
+        pkt.extract(eg_intr_md);
+        transition parse_ethernet;
+    }
+    state parse_ethernet {
+        pkt.extract(hdr.eth);
+        transition accept;
+    }
+}
+
+control SwitchEgress(inout headers_t hdr,
+        inout eg_metadata_t eg_md,
+        in egress_intrinsic_metadata_t eg_intr_md,
+        in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+        inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+        inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {
+    apply { }
+}
+
+control SwitchEgressDeparser(packet_out pkt,
+        inout headers_t hdr,
+        in eg_metadata_t eg_md,
+        in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {
+    apply {
+        pkt.emit(hdr.eth);
+    }
+}
+
+Pipeline(SwitchIngressParser(), SwitchIngress(), SwitchIngressDeparser(),
+         SwitchEgressParser(), SwitchEgress(), SwitchEgressDeparser()) pipe;
+
+Switch(pipe) main;

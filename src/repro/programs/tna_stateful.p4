@@ -1,0 +1,114 @@
+// Stateful tna program: Register read/write, CRC hash, and a range ACL
+// — the extern surface of §6.1.2 on the Tofino pipeline.
+#include <core.p4>
+#include <tna.p4>
+
+header probe_t {
+    bit<8>  opcode;
+    bit<32> key;
+    bit<32> value;
+    bit<16> port_hint;
+}
+
+struct headers_t {
+    probe_t probe;
+}
+
+struct ig_md_t {
+    bit<32> stored;
+    bit<16> digest;
+}
+
+struct eg_md_t {
+    bit<8> unused;
+}
+
+parser StatefulIngressParser(packet_in pkt,
+        out headers_t hdr,
+        out ig_md_t ig_md,
+        out ingress_intrinsic_metadata_t ig_intr_md) {
+    state start {
+        pkt.extract(ig_intr_md);
+        pkt.advance(64);
+        transition parse_probe;
+    }
+    state parse_probe {
+        pkt.extract(hdr.probe);
+        transition accept;
+    }
+}
+
+control StatefulIngress(inout headers_t hdr,
+        inout ig_md_t ig_md,
+        in ingress_intrinsic_metadata_t ig_intr_md,
+        in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+        inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+        inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+
+    Register<bit<32>, bit<32>>(256) flow_state;
+    Hash<bit<16>>(HashAlgorithm_t.CRC16) flow_hash;
+
+    action allow(PortId_t port) {
+        ig_tm_md.ucast_egress_port = port;
+    }
+    action deny() {
+        ig_dprsr_md.drop_ctl = 1;
+    }
+    table gate {
+        key = { hdr.probe.port_hint: range @name("hint"); }
+        actions = { allow; deny; }
+        default_action = deny();
+    }
+
+    apply {
+        ig_md.stored = flow_state.read(0);
+        ig_md.digest = flow_hash.get({ hdr.probe.key, hdr.probe.value });
+        if (hdr.probe.opcode == 1) {
+            flow_state.write(0, hdr.probe.value);
+            hdr.probe.value = ig_md.stored;
+        } else if (hdr.probe.opcode == 2) {
+            hdr.probe.value = (bit<32>) ig_md.digest;
+        }
+        gate.apply();
+    }
+}
+
+control StatefulIngressDeparser(packet_out pkt,
+        inout headers_t hdr,
+        in ig_md_t ig_md,
+        in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {
+    apply {
+        pkt.emit(hdr.probe);
+    }
+}
+
+parser StatefulEgressParser(packet_in pkt,
+        out headers_t hdr,
+        out eg_md_t eg_md,
+        out egress_intrinsic_metadata_t eg_intr_md) {
+    state start {
+        pkt.extract(eg_intr_md);
+        transition accept;
+    }
+}
+
+control StatefulEgress(inout headers_t hdr,
+        inout eg_md_t eg_md,
+        in egress_intrinsic_metadata_t eg_intr_md,
+        in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+        inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+        inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {
+    apply { }
+}
+
+control StatefulEgressDeparser(packet_out pkt,
+        inout headers_t hdr,
+        in eg_md_t eg_md,
+        in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {
+    apply { }
+}
+
+Pipeline(StatefulIngressParser(), StatefulIngress(), StatefulIngressDeparser(),
+         StatefulEgressParser(), StatefulEgress(), StatefulEgressDeparser()) pipe;
+
+Switch(pipe) main;

@@ -1,0 +1,228 @@
+// up4.p4 analogue (paper §7, Tbl. 4a): the ONF 5G user-plane function
+// data plane for v1model — GTP-U tunnel termination (PDR lookup),
+// forwarding-action rules (FAR), downlink encapsulation, and a meter
+// whose RED outcome cannot be covered without meter configuration
+// (the paper's stated reason up4 stops at 95%).
+#include <core.p4>
+#include <v1model.p4>
+
+const bit<16> ETHERTYPE_IPV4 = 0x0800;
+const bit<8>  PROTO_UDP = 17;
+const bit<16> GTPU_PORT = 2152;
+
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  dscp;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<3>  flags;
+    bit<13> frag_offset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> header_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+header gtpu_t {
+    bit<3>  version;
+    bit<1>  pt;
+    bit<1>  spare;
+    bit<1>  ex_flag;
+    bit<1>  seq_flag;
+    bit<1>  npdu_flag;
+    bit<8>  msgtype;
+    bit<16> msglen;
+    bit<32> teid;
+}
+
+header inner_ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  dscp;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<3>  flags;
+    bit<13> frag_offset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> header_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+struct headers_t {
+    ethernet_t   ethernet;
+    ipv4_t       ipv4;
+    udp_t        udp;
+    gtpu_t       gtpu;
+    inner_ipv4_t inner_ipv4;
+}
+
+struct local_metadata_t {
+    bit<32> teid;
+    bit<32> far_id;
+    bit<1>  needs_tunneling;
+    bit<1>  uplink;
+    bit<32> tunnel_peer;
+    bit<2>  meter_color;
+}
+
+parser upf_parser(packet_in pkt, out headers_t hdr,
+                  inout local_metadata_t meta,
+                  inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            ETHERTYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            PROTO_UDP: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition select(hdr.udp.dst_port) {
+            GTPU_PORT: parse_gtpu;
+            default: accept;
+        }
+    }
+    state parse_gtpu {
+        pkt.extract(hdr.gtpu);
+        transition parse_inner;
+    }
+    state parse_inner {
+        pkt.extract(hdr.inner_ipv4);
+        transition accept;
+    }
+}
+
+control upf_verify(inout headers_t hdr, inout local_metadata_t meta) {
+    apply { }
+}
+
+control upf_ingress(inout headers_t hdr, inout local_metadata_t meta,
+                    inout standard_metadata_t sm) {
+    meter(1024, MeterType.packets) session_meter;
+
+    action set_uplink_pdr(bit<32> far_id) {
+        meta.uplink = 1;
+        meta.far_id = far_id;
+        meta.teid = hdr.gtpu.teid;
+    }
+    action set_downlink_pdr(bit<32> far_id, bit<32> teid) {
+        meta.uplink = 0;
+        meta.far_id = far_id;
+        meta.teid = teid;
+        meta.needs_tunneling = 1;
+    }
+    action pdr_drop() {
+        mark_to_drop(sm);
+    }
+    table pdr_table {
+        key = {
+            hdr.inner_ipv4.src_addr: ternary @name("ue_addr");
+            hdr.gtpu.teid: ternary @name("teid");
+        }
+        actions = { set_uplink_pdr; set_downlink_pdr; pdr_drop; NoAction; }
+        default_action = NoAction();
+    }
+
+    action far_forward(bit<9> port) {
+        sm.egress_spec = port;
+    }
+    action far_tunnel(bit<9> port, bit<32> peer) {
+        sm.egress_spec = port;
+        meta.tunnel_peer = peer;
+    }
+    action far_drop() {
+        mark_to_drop(sm);
+    }
+    table far_table {
+        key = { meta.far_id: exact @name("far_id"); }
+        actions = { far_forward; far_tunnel; far_drop; NoAction; }
+        default_action = far_drop();
+    }
+
+    apply {
+        if (hdr.gtpu.isValid()) {
+            pdr_table.apply();
+            far_table.apply();
+            session_meter.execute_meter(meta.far_id, meta.meter_color);
+            if (meta.meter_color == 2) {
+                // RED: not coverable without meter configuration
+                // support in the test framework (paper §7).
+                mark_to_drop(sm);
+            }
+            if (meta.uplink == 1) {
+                // Decap: strip outer IP/UDP/GTP-U.
+                hdr.ipv4.setInvalid();
+                hdr.udp.setInvalid();
+                hdr.gtpu.setInvalid();
+            }
+        } else {
+            if (hdr.ipv4.isValid()) {
+                pdr_table.apply();
+                far_table.apply();
+                if (meta.needs_tunneling == 1) {
+                    // Encap: synthesize outer GTP-U headers.
+                    hdr.gtpu.setValid();
+                    hdr.gtpu.version = 1;
+                    hdr.gtpu.pt = 1;
+                    hdr.gtpu.msgtype = 0xFF;
+                    hdr.gtpu.teid = meta.teid;
+                    hdr.udp.setValid();
+                    hdr.udp.dst_port = GTPU_PORT;
+                    hdr.udp.src_port = GTPU_PORT;
+                }
+            }
+        }
+    }
+}
+
+control upf_egress(inout headers_t hdr, inout local_metadata_t meta,
+                   inout standard_metadata_t sm) {
+    apply {
+        if (meta.uplink == 1) {
+            if (hdr.inner_ipv4.isValid()) {
+                hdr.inner_ipv4.ttl = hdr.inner_ipv4.ttl - 1;
+            }
+        }
+    }
+}
+
+control upf_compute(inout headers_t hdr, inout local_metadata_t meta) {
+    apply { }
+}
+
+control upf_deparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.udp);
+        pkt.emit(hdr.gtpu);
+        pkt.emit(hdr.inner_ipv4);
+    }
+}
+
+V1Switch(upf_parser(), upf_verify(), upf_ingress(), upf_egress(),
+         upf_compute(), upf_deparser()) main;

@@ -1,0 +1,78 @@
+// Parser value sets (P4-16 §12.11): select cases configurable from the
+// control plane, plus range/mask select cases.
+#include <core.p4>
+#include <v1model.p4>
+
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> ether_type;
+}
+
+header trailer_t {
+    bit<16> kind;
+    bit<16> body;
+}
+
+struct headers_t {
+    ethernet_t eth;
+    trailer_t  trailer;
+}
+
+struct meta_t {
+    bit<2> class;
+}
+
+parser vs_parser(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                 inout standard_metadata_t sm) {
+    value_set<bit<16>>(4) tunnel_types;
+
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.ether_type) {
+            tunnel_types: parse_trailer;
+            0x9000 &&& 0xF000: masked_state;
+            16w100 .. 16w200: range_state;
+            default: accept;
+        }
+    }
+    state parse_trailer {
+        pkt.extract(hdr.trailer);
+        transition accept;
+    }
+    state masked_state {
+        transition accept;
+    }
+    state range_state {
+        transition accept;
+    }
+}
+
+control vs_verify(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control vs_ingress(inout headers_t hdr, inout meta_t meta,
+                   inout standard_metadata_t sm) {
+    apply {
+        if (hdr.trailer.isValid()) {
+            meta.class = 1;
+            sm.egress_spec = 5;
+        } else {
+            meta.class = 0;
+        }
+    }
+}
+
+control vs_egress(inout headers_t hdr, inout meta_t meta,
+                  inout standard_metadata_t sm) { apply { } }
+
+control vs_compute(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control vs_deparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.eth);
+        pkt.emit(hdr.trailer);
+    }
+}
+
+V1Switch(vs_parser(), vs_verify(), vs_ingress(), vs_egress(),
+         vs_compute(), vs_deparser()) main;

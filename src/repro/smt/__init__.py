@@ -1,0 +1,17 @@
+"""QF_BV SMT solver substrate (stand-in for Z3, which the paper uses).
+
+Public surface:
+
+- :mod:`repro.smt.terms` — hash-consed bitvector/boolean term DAG with
+  constructor-time simplification;
+- :class:`repro.smt.solver.Solver` — incremental solver facade with
+  push/pop, assumptions, and model extraction;
+- :func:`repro.smt.evaluate.evaluate` — concrete big-step evaluation,
+  used by the concolic loop and for cross-checking.
+"""
+
+from . import terms
+from .evaluate import EvaluationError, evaluate
+from .solver import Model, Solver, SolverStats
+
+__all__ = ["terms", "Solver", "Model", "SolverStats", "evaluate", "EvaluationError"]

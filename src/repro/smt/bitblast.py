@@ -1,0 +1,231 @@
+"""Bit-blasting of bitvector terms to CNF.
+
+Each bitvector term maps to a list of SAT literals, least significant
+bit first; each boolean term maps to a single literal.  Results are
+cached per term (terms are hash-consed), so shared subterms are blasted
+exactly once — this is what makes the incremental solver facade cheap.
+"""
+
+from __future__ import annotations
+
+from .cnf import CnfBuilder
+from .terms import Term
+
+__all__ = ["BitBlaster"]
+
+
+class BitBlaster:
+    def __init__(self, builder: CnfBuilder):
+        self.b = builder
+        self._bv_cache: dict[Term, list[int]] = {}
+        self._bool_cache: dict[Term, int] = {}
+        self._var_bits: dict[Term, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def blast_bool(self, t: Term) -> int:
+        if t.width != 0:
+            raise TypeError(f"expected boolean term, got bv<{t.width}>")
+        lit = self._bool_cache.get(t)
+        if lit is None:
+            lit = self._blast_bool(t)
+            self._bool_cache[t] = lit
+        return lit
+
+    def blast_bv(self, t: Term) -> list[int]:
+        if t.width == 0:
+            raise TypeError("expected bitvector term, got boolean")
+        bits = self._bv_cache.get(t)
+        if bits is None:
+            bits = self._blast_bv(t)
+            assert len(bits) == t.width, (t.op, t.width, len(bits))
+            self._bv_cache[t] = bits
+        return bits
+
+    def var_bits(self, t: Term) -> list[int] | None:
+        """SAT literals allocated for a BV variable (for model extraction)."""
+        return self._var_bits.get(t)
+
+    def bool_var_lit(self, t: Term) -> int | None:
+        return self._bool_cache.get(t)
+
+    # ------------------------------------------------------------------
+    # Booleans
+    # ------------------------------------------------------------------
+
+    def _blast_bool(self, t: Term) -> int:
+        b = self.b
+        op = t.op
+        if op == "const":
+            return b.const(t.payload)
+        if op == "var":
+            return b.fresh()
+        if op == "not":
+            return -self.blast_bool(t.args[0])
+        if op == "and":
+            return b.and_many([self.blast_bool(a) for a in t.args])
+        if op == "or":
+            return b.or_many([self.blast_bool(a) for a in t.args])
+        if op == "xor":
+            return b.xor_(self.blast_bool(t.args[0]), self.blast_bool(t.args[1]))
+        if op == "eq":
+            x = self.blast_bv(t.args[0])
+            y = self.blast_bv(t.args[1])
+            return b.and_many([b.iff(i, j) for i, j in zip(x, y)])
+        if op == "ult":
+            x = self.blast_bv(t.args[0])
+            y = self.blast_bv(t.args[1])
+            return self._ult(x, y)
+        if op == "slt":
+            x = self.blast_bv(t.args[0])
+            y = self.blast_bv(t.args[1])
+            # signed: flip MSBs and compare unsigned
+            x2 = x[:-1] + [-x[-1]]
+            y2 = y[:-1] + [-y[-1]]
+            return self._ult(x2, y2)
+        raise ValueError(f"cannot blast boolean op {op}")
+
+    def _ult(self, x: list[int], y: list[int]) -> int:
+        """x < y unsigned via borrow chain, LSB first."""
+        b = self.b
+        lt = b.FALSE
+        for xi, yi in zip(x, y):
+            # From LSB to MSB: lt' = (~xi & yi) | (xi==yi & lt)
+            bit_lt = b.and_(-xi, yi)
+            same = b.iff(xi, yi)
+            lt = b.or_(bit_lt, b.and_(same, lt))
+        return lt
+
+    # ------------------------------------------------------------------
+    # Bitvectors
+    # ------------------------------------------------------------------
+
+    def _blast_bv(self, t: Term) -> list[int]:
+        b = self.b
+        op = t.op
+        w = t.width
+        if op == "const":
+            return [b.const(bool((t.payload >> i) & 1)) for i in range(w)]
+        if op == "var":
+            bits = [b.fresh() for _ in range(w)]
+            self._var_bits[t] = bits
+            return bits
+        if op == "bvnot":
+            return [-x for x in self.blast_bv(t.args[0])]
+        if op in ("bvand", "bvor", "bvxor"):
+            x = self.blast_bv(t.args[0])
+            y = self.blast_bv(t.args[1])
+            gate = {"bvand": b.and_, "bvor": b.or_, "bvxor": b.xor_}[op]
+            return [gate(i, j) for i, j in zip(x, y)]
+        if op == "bvadd":
+            x = self.blast_bv(t.args[0])
+            y = self.blast_bv(t.args[1])
+            return self._adder(x, y, b.FALSE)[0]
+        if op == "bvsub":
+            x = self.blast_bv(t.args[0])
+            y = self.blast_bv(t.args[1])
+            return self._adder(x, [-j for j in y], b.TRUE)[0]
+        if op == "bvmul":
+            x = self.blast_bv(t.args[0])
+            y = self.blast_bv(t.args[1])
+            return self._multiplier(x, y)
+        if op in ("bvudiv", "bvurem"):
+            x = self.blast_bv(t.args[0])
+            y = self.blast_bv(t.args[1])
+            q, r = self._divider(x, y)
+            # SMT-LIB: division by zero -> all-ones quotient, remainder = x.
+            y_is_zero = b.and_many([-j for j in y])
+            if op == "bvudiv":
+                return [b.ite(y_is_zero, b.TRUE, qi) for qi in q]
+            return [b.ite(y_is_zero, xi, ri) for xi, ri in zip(x, r)]
+        if op == "bvshl":
+            return self._shifter(t, left=True, arith=False)
+        if op == "bvlshr":
+            return self._shifter(t, left=False, arith=False)
+        if op == "bvashr":
+            return self._shifter(t, left=False, arith=True)
+        if op == "concat":
+            bits: list[int] = []
+            for child in reversed(t.args):  # last arg is least significant
+                bits.extend(self.blast_bv(child))
+            return bits
+        if op == "extract":
+            hi, lo = t.payload
+            inner = self.blast_bv(t.args[0])
+            return inner[lo : hi + 1]
+        if op == "zext":
+            inner = self.blast_bv(t.args[0])
+            return inner + [b.FALSE] * (w - len(inner))
+        if op == "sext":
+            inner = self.blast_bv(t.args[0])
+            return inner + [inner[-1]] * (w - len(inner))
+        if op == "ite":
+            c = self.blast_bool(t.args[0])
+            x = self.blast_bv(t.args[1])
+            y = self.blast_bv(t.args[2])
+            return [b.ite(c, i, j) for i, j in zip(x, y)]
+        raise ValueError(f"cannot blast bitvector op {op}")
+
+    # -- circuits ---------------------------------------------------------
+
+    def _adder(self, x: list[int], y: list[int], cin: int) -> tuple[list[int], int]:
+        b = self.b
+        out: list[int] = []
+        c = cin
+        for xi, yi in zip(x, y):
+            s, c = b.full_adder(xi, yi, c)
+            out.append(s)
+        return out, c
+
+    def _multiplier(self, x: list[int], y: list[int]) -> list[int]:
+        b = self.b
+        w = len(x)
+        acc = [b.FALSE] * w
+        for i in range(w):
+            # Partial product: (x << i) & y[i]
+            pp = [b.FALSE] * i + [b.and_(x[k], y[i]) for k in range(w - i)]
+            acc, _ = self._adder(acc, pp, b.FALSE)
+        return acc
+
+    def _divider(self, x: list[int], y: list[int]) -> tuple[list[int], list[int]]:
+        """Restoring division circuit; returns (quotient, remainder)."""
+        b = self.b
+        w = len(x)
+        rem = [b.FALSE] * w
+        quo = [b.FALSE] * w
+        for i in range(w - 1, -1, -1):
+            rem = [x[i]] + rem[:-1]  # shift left, bring in next dividend bit
+            # ge = rem >= y  <=>  not (rem < y)
+            ge = -self._ult(rem, y)
+            diff, _ = self._adder(rem, [-j for j in y], b.TRUE)
+            rem = [b.ite(ge, d, r) for d, r in zip(diff, rem)]
+            quo[i] = ge
+        return quo, rem
+
+    def _shifter(self, t: Term, left: bool, arith: bool) -> list[int]:
+        b = self.b
+        x = self.blast_bv(t.args[0])
+        y = self.blast_bv(t.args[1])
+        w = len(x)
+        fill_far = x[-1] if arith else b.FALSE
+        # Barrel shifter over the bits of the shift amount that matter.
+        stages = max(1, (w - 1).bit_length())
+        bits = list(x)
+        for s in range(stages):
+            amt = 1 << s
+            sel = y[s] if s < len(y) else b.FALSE
+            shifted = []
+            for i in range(w):
+                src = i - amt if left else i + amt
+                if 0 <= src < w:
+                    shifted.append(bits[src])
+                else:
+                    shifted.append(b.FALSE if left else fill_far)
+            bits = [b.ite(sel, sh, old) for sh, old in zip(shifted, bits)]
+        # If any higher bit of the shift amount is set, the result is the
+        # fully shifted-out value.
+        high = b.or_many(y[stages:]) if len(y) > stages else b.FALSE
+        far = [b.FALSE] * w if (left or not arith) else [fill_far] * w
+        return [b.ite(high, f, v) for f, v in zip(far, bits)]

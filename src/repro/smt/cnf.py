@@ -1,0 +1,146 @@
+"""Tseitin gate construction over a CDCL SAT solver.
+
+:class:`CnfBuilder` offers boolean gate constructors (AND/OR/XOR/ITE/
+IFF) that allocate fresh SAT variables and emit the defining clauses.
+Gates are structurally hashed so that repeated subcircuits reuse the
+same output literal.  Constant TRUE is a dedicated variable asserted
+at level 0, so every "bit" in the bit-blaster is uniformly a literal.
+"""
+
+from __future__ import annotations
+
+from .sat import SatSolver
+
+__all__ = ["CnfBuilder"]
+
+
+class CnfBuilder:
+    def __init__(self, solver: SatSolver):
+        self.solver = solver
+        self._gate_cache: dict[tuple, int] = {}
+        self._true = solver.new_var()
+        solver.add_clause([self._true])
+
+    # -- constants ------------------------------------------------------
+
+    @property
+    def TRUE(self) -> int:
+        return self._true
+
+    @property
+    def FALSE(self) -> int:
+        return -self._true
+
+    def const(self, v: bool) -> int:
+        return self._true if v else -self._true
+
+    def is_true(self, lit: int) -> bool:
+        return lit == self._true
+
+    def is_false(self, lit: int) -> bool:
+        return lit == -self._true
+
+    def fresh(self) -> int:
+        return self.solver.new_var()
+
+    # -- gates ----------------------------------------------------------
+
+    def not_(self, a: int) -> int:
+        return -a
+
+    def and_(self, a: int, b: int) -> int:
+        if self.is_false(a) or self.is_false(b):
+            return self.FALSE
+        if self.is_true(a):
+            return b
+        if self.is_true(b):
+            return a
+        if a == b:
+            return a
+        if a == -b:
+            return self.FALSE
+        key = ("and",) + tuple(sorted((a, b)))
+        out = self._gate_cache.get(key)
+        if out is None:
+            out = self.fresh()
+            self.solver.add_clause([-out, a])
+            self.solver.add_clause([-out, b])
+            self.solver.add_clause([out, -a, -b])
+            self._gate_cache[key] = out
+        return out
+
+    def or_(self, a: int, b: int) -> int:
+        return -self.and_(-a, -b)
+
+    def xor_(self, a: int, b: int) -> int:
+        if self.is_false(a):
+            return b
+        if self.is_false(b):
+            return a
+        if self.is_true(a):
+            return -b
+        if self.is_true(b):
+            return -a
+        if a == b:
+            return self.FALSE
+        if a == -b:
+            return self.TRUE
+        # Normalize polarity: xor(a,b) == -xor(-a,b).
+        neg = False
+        if a < 0:
+            a, neg = -a, not neg
+        if b < 0:
+            b, neg = -b, not neg
+        key = ("xor",) + tuple(sorted((a, b)))
+        out = self._gate_cache.get(key)
+        if out is None:
+            out = self.fresh()
+            self.solver.add_clause([-out, a, b])
+            self.solver.add_clause([-out, -a, -b])
+            self.solver.add_clause([out, -a, b])
+            self.solver.add_clause([out, a, -b])
+            self._gate_cache[key] = out
+        return -out if neg else out
+
+    def iff(self, a: int, b: int) -> int:
+        return -self.xor_(a, b)
+
+    def ite(self, c: int, t: int, e: int) -> int:
+        if self.is_true(c):
+            return t
+        if self.is_false(c):
+            return e
+        if t == e:
+            return t
+        if t == -e:
+            return self.xor_(c, e)
+        key = ("ite", c, t, e)
+        out = self._gate_cache.get(key)
+        if out is None:
+            out = self.fresh()
+            self.solver.add_clause([-out, -c, t])
+            self.solver.add_clause([-out, c, e])
+            self.solver.add_clause([out, -c, -t])
+            self.solver.add_clause([out, c, -e])
+            self._gate_cache[key] = out
+        return out
+
+    def and_many(self, lits: list[int]) -> int:
+        out = self.TRUE
+        for lit in lits:
+            out = self.and_(out, lit)
+        return out
+
+    def or_many(self, lits: list[int]) -> int:
+        out = self.FALSE
+        for lit in lits:
+            out = self.or_(out, lit)
+        return out
+
+    # -- arithmetic primitives -------------------------------------------
+
+    def full_adder(self, a: int, b: int, cin: int) -> tuple[int, int]:
+        """Returns (sum, carry-out)."""
+        s = self.xor_(self.xor_(a, b), cin)
+        c = self.or_(self.and_(a, b), self.and_(cin, self.xor_(a, b)))
+        return s, c

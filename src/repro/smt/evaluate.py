@@ -1,0 +1,131 @@
+"""Concrete (big-step) evaluation of SMT terms under a variable assignment.
+
+Used by the concolic-execution loop to compute extern results, by model
+validation after a SAT answer, and by the property-based tests that
+cross-check the bit-blaster against direct evaluation.
+"""
+
+from __future__ import annotations
+
+from .terms import Term
+
+__all__ = ["evaluate", "EvaluationError"]
+
+
+class EvaluationError(Exception):
+    """A term could not be evaluated (unbound variable)."""
+
+
+def _to_signed(v: int, width: int) -> int:
+    if v >= 1 << (width - 1):
+        v -= 1 << width
+    return v
+
+
+def evaluate(term: Term, assignment: dict[Term, int] | None = None):
+    """Evaluate ``term`` to an ``int`` (bitvector) or ``bool``.
+
+    ``assignment`` maps variable terms to concrete values; booleans may
+    be given as bool or 0/1.  Raises :class:`EvaluationError` for
+    variables missing from the assignment.
+    """
+    assignment = assignment or {}
+    cache: dict[Term, int | bool] = {}
+
+    def go(t: Term):
+        if t in cache:
+            return cache[t]
+        res = _eval(t, go, assignment)
+        cache[t] = res
+        return res
+
+    # Iterative postorder to avoid recursion limits on deep term DAGs.
+    order: list[Term] = []
+    seen: set[Term] = set()
+    stack: list[tuple[Term, bool]] = [(term, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.append((node, True))
+        for a in node.args:
+            stack.append((a, False))
+    for node in order:
+        go(node)
+    return cache[term]
+
+
+def _eval(t: Term, go, assignment):
+    op = t.op
+    if op == "const":
+        return t.payload
+    if op == "var":
+        if t in assignment:
+            v = assignment[t]
+            if t.width == 0:
+                return bool(v)
+            return int(v) & ((1 << t.width) - 1)
+        raise EvaluationError(f"unbound variable {t!r}")
+    args = [go(a) for a in t.args]
+    mask = (1 << t.width) - 1 if t.width else 0
+    if op == "not":
+        return not args[0]
+    if op == "and":
+        return all(args)
+    if op == "or":
+        return any(args)
+    if op == "xor":
+        return bool(args[0]) != bool(args[1])
+    if op == "eq":
+        return args[0] == args[1]
+    if op == "ult":
+        return args[0] < args[1]
+    if op == "slt":
+        w = t.args[0].width
+        return _to_signed(args[0], w) < _to_signed(args[1], w)
+    if op == "bvnot":
+        return ~args[0] & mask
+    if op == "bvand":
+        return args[0] & args[1]
+    if op == "bvor":
+        return args[0] | args[1]
+    if op == "bvxor":
+        return args[0] ^ args[1]
+    if op == "bvadd":
+        return (args[0] + args[1]) & mask
+    if op == "bvsub":
+        return (args[0] - args[1]) & mask
+    if op == "bvmul":
+        return (args[0] * args[1]) & mask
+    if op == "bvudiv":
+        return mask if args[1] == 0 else args[0] // args[1]
+    if op == "bvurem":
+        return args[0] if args[1] == 0 else args[0] % args[1]
+    if op == "bvshl":
+        return (args[0] << args[1]) & mask if args[1] < t.width else 0
+    if op == "bvlshr":
+        return args[0] >> args[1] if args[1] < t.width else 0
+    if op == "bvashr":
+        w = t.width
+        sh = min(args[1], w - 1)
+        return (_to_signed(args[0], w) >> sh) & mask
+    if op == "concat":
+        out = 0
+        for child, v in zip(t.args, args):
+            out = (out << child.width) | v
+        return out
+    if op == "extract":
+        hi, lo = t.payload
+        return (args[0] >> lo) & ((1 << (hi - lo + 1)) - 1)
+    if op == "zext":
+        return args[0]
+    if op == "sext":
+        w0 = t.args[0].width
+        return _to_signed(args[0], w0) & mask
+    if op == "ite":
+        return args[1] if args[0] else args[2]
+    raise EvaluationError(f"unknown operator {op}")

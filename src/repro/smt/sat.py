@@ -1,0 +1,367 @@
+"""A CDCL SAT solver with two-watched-literal propagation.
+
+This is the bottom layer of the solver substrate that stands in for Z3.
+Features: 1-UIP conflict-clause learning, VSIDS-style activity decay,
+phase saving, Luby restarts, and solving under assumptions (which is
+how the :class:`repro.smt.solver.Solver` facade implements incremental
+push/pop).
+
+Literal encoding: variables are positive integers ``1..n``; a literal
+is ``+v`` or ``-v`` (DIMACS convention).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+__all__ = ["SatSolver", "SAT", "UNSAT"]
+
+SAT = "sat"
+UNSAT = "unsat"
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ..."""
+    k = 1
+    while (1 << k) - 1 < i:
+        k += 1
+    while (1 << k) - 1 != i:
+        k -= 1
+        i -= (1 << k) - 1
+    return 1 << (k - 1)
+
+
+class SatSolver:
+    """CDCL solver over clauses of DIMACS-style integer literals."""
+
+    def __init__(self):
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        # watches[lit] -> clause indices watching lit (lit indexed by
+        # its position in self._watch dict).
+        self._watch: dict[int, list[int]] = {}
+        self.assign: dict[int, bool] = {}
+        self.level: dict[int, int] = {}
+        self.reason: dict[int, int | None] = {}
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.activity: dict[int, float] = {}
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        # Lazy max-heap of (-activity, var) for O(log n) decisions.
+        self._order: list[tuple[float, int]] = []
+        self.saved_phase: dict[int, bool] = {}
+        self._qhead = 0
+        self._ok = True
+        # statistics
+        self.stats = {
+            "decisions": 0,
+            "propagations": 0,
+            "conflicts": 0,
+            "learned": 0,
+            "restarts": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Variable and clause management
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        v = self.num_vars
+        self.activity[v] = 0.0
+        heapq.heappush(self._order, (0.0, v))
+        return v
+
+    def _ensure_vars(self, clause) -> None:
+        for lit in clause:
+            v = abs(lit)
+            while self.num_vars < v:
+                self.new_var()
+
+    def add_clause(self, clause: list[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially unsat."""
+        if not self._ok:
+            return False
+        if self.trail_lim:
+            # A previous solve() may have left a partial assignment; new
+            # clauses are always added at decision level 0.
+            self._backjump(0)
+        self._ensure_vars(clause)
+        # Deduplicate and detect tautology.
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            if -lit in seen:
+                return True  # tautology, clause is vacuous
+            if lit not in seen:
+                seen.add(lit)
+                out.append(lit)
+        # Drop literals already false at level 0; satisfied at level 0 -> skip.
+        if not self.trail_lim:
+            filtered = []
+            for lit in out:
+                val = self._value(lit)
+                if val is True:
+                    return True
+                if val is None:
+                    filtered.append(lit)
+            out = filtered
+        if not out:
+            self._ok = False
+            return False
+        if len(out) == 1:
+            if not self.trail_lim:
+                if self._value(out[0]) is False:
+                    self._ok = False
+                    return False
+                if self._value(out[0]) is None:
+                    self._enqueue(out[0], None)
+                    if self._propagate() is not None:
+                        self._ok = False
+                        return False
+                return True
+            # During search units shouldn't be added externally.
+        idx = len(self.clauses)
+        self.clauses.append(out)
+        self._watch.setdefault(out[0], []).append(idx)
+        self._watch.setdefault(out[1], []).append(idx)
+        return True
+
+    # ------------------------------------------------------------------
+    # Assignment helpers
+    # ------------------------------------------------------------------
+
+    def _value(self, lit: int):
+        v = self.assign.get(abs(lit))
+        if v is None:
+            return None
+        return v if lit > 0 else not v
+
+    def _enqueue(self, lit: int, reason_clause: int | None) -> None:
+        v = abs(lit)
+        self.assign[v] = lit > 0
+        self.level[v] = len(self.trail_lim)
+        self.reason[v] = reason_clause
+        self.trail.append(lit)
+
+    def _propagate(self) -> int | None:
+        """Unit propagation; returns conflicting clause index or None."""
+        while self._qhead < len(self.trail):
+            lit = self.trail[self._qhead]
+            self._qhead += 1
+            false_lit = -lit
+            watchers = self._watch.get(false_lit)
+            if not watchers:
+                continue
+            new_watchers: list[int] = []
+            i = 0
+            n = len(watchers)
+            while i < n:
+                ci = watchers[i]
+                i += 1
+                clause = self.clauses[ci]
+                # Ensure false_lit is at position 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) is True:
+                    new_watchers.append(ci)
+                    continue
+                # Look for a new literal to watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watch.setdefault(clause[1], []).append(ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                new_watchers.append(ci)
+                if self._value(first) is False:
+                    # Conflict: restore remaining watchers.
+                    new_watchers.extend(watchers[i:])
+                    self._watch[false_lit] = new_watchers
+                    self._qhead = len(self.trail)
+                    return ci
+                self.stats["propagations"] += 1
+                self._enqueue(first, ci)
+            self._watch[false_lit] = new_watchers
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+
+    def _bump(self, v: int) -> None:
+        self.activity[v] = self.activity.get(v, 0.0) + self.var_inc
+        if self.activity[v] > 1e100:
+            for key in self.activity:
+                self.activity[key] *= 1e-100
+            self.var_inc *= 1e-100
+            self._order = [(-self.activity[var], var) for var in self.activity
+                           if var not in self.assign]
+            heapq.heapify(self._order)
+            return
+        heapq.heappush(self._order, (-self.activity[v], v))
+
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        """1-UIP learning; returns (learned clause, backjump level)."""
+        cur_level = len(self.trail_lim)
+        learned: list[int] = [0]  # placeholder for asserting literal
+        seen: set[int] = set()
+        counter = 0
+        p: int | None = None
+        clause = self.clauses[conflict]
+        idx = len(self.trail) - 1
+        while True:
+            for lit in clause:
+                if p is not None and lit == p:
+                    continue
+                v = abs(lit)
+                if v in seen or self.level.get(v, 0) == 0:
+                    continue
+                seen.add(v)
+                self._bump(v)
+                if self.level[v] == cur_level:
+                    counter += 1
+                else:
+                    learned.append(lit)
+            # Find next literal on trail to resolve on.
+            while abs(self.trail[idx]) not in seen:
+                idx -= 1
+            p = self.trail[idx]
+            idx -= 1
+            v = abs(p)
+            seen.discard(v)
+            counter -= 1
+            if counter == 0:
+                learned[0] = -p
+                break
+            rc = self.reason[v]
+            assert rc is not None, "reached a decision before the 1-UIP"
+            clause = self.clauses[rc]
+        # Compute backjump level = max level of the other literals.
+        if len(learned) == 1:
+            bj = 0
+        else:
+            bj = max(self.level[abs(lit)] for lit in learned[1:])
+        return learned, bj
+
+    def _backjump(self, target_level: int) -> None:
+        while len(self.trail_lim) > target_level:
+            lim = self.trail_lim.pop()
+            while len(self.trail) > lim:
+                lit = self.trail.pop()
+                v = abs(lit)
+                self.saved_phase[v] = self.assign[v]
+                del self.assign[v]
+                del self.level[v]
+                del self.reason[v]
+                heapq.heappush(self._order, (-self.activity.get(v, 0.0), v))
+            self._qhead = min(self._qhead, len(self.trail))
+        self._qhead = min(self._qhead, len(self.trail))
+
+    # ------------------------------------------------------------------
+    # Decision heuristics
+    # ------------------------------------------------------------------
+
+    def _decide(self) -> int | None:
+        # Duplicate heap entries are fine: every bump pushes a fresh one
+        # and _backjump re-pushes unassigned variables.
+        while self._order:
+            _neg_act, v = heapq.heappop(self._order)
+            if v not in self.assign:
+                phase = self.saved_phase.get(v, False)
+                return v if phase else -v
+        # Heap exhausted: fall back to a linear scan (rare).
+        for v in range(1, self.num_vars + 1):
+            if v not in self.assign:
+                phase = self.saved_phase.get(v, False)
+                return v if phase else -v
+        return None
+
+    # ------------------------------------------------------------------
+    # Main search
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: list[int] | None = None) -> str:
+        """Solve under the given assumptions; returns ``SAT`` or ``UNSAT``."""
+        if not self._ok:
+            return UNSAT
+        assumptions = list(assumptions or [])
+        self._backjump(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return UNSAT
+
+        restart_count = 1
+        conflicts_until_restart = 32 * _luby(restart_count)
+        conflicts_this_restart = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats["conflicts"] += 1
+                conflicts_this_restart += 1
+                if not self.trail_lim:
+                    return UNSAT
+                # If the conflict is below the assumption levels we
+                # cannot recover by learning alone when it involves only
+                # assumptions; the analyze/backjump loop handles it by
+                # backjumping into assumption territory and re-deciding.
+                learned, bj = self._analyze(conflict)
+                self._backjump(bj)
+                if len(learned) == 1:
+                    if self._value(learned[0]) is False:
+                        return UNSAT
+                    if self._value(learned[0]) is None:
+                        self._enqueue(learned[0], None)
+                else:
+                    idx = len(self.clauses)
+                    self.clauses.append(learned)
+                    self._watch.setdefault(learned[0], []).append(idx)
+                    self._watch.setdefault(learned[1], []).append(idx)
+                    self.stats["learned"] += 1
+                    self._enqueue(learned[0], idx)
+                self.var_inc /= self.var_decay
+                continue
+
+            if conflicts_this_restart >= conflicts_until_restart:
+                self.stats["restarts"] += 1
+                restart_count += 1
+                conflicts_until_restart = 32 * _luby(restart_count)
+                conflicts_this_restart = 0
+                self._backjump(0)
+                continue
+
+            # Re-establish assumptions in order.
+            all_assumed = True
+            for a in assumptions:
+                val = self._value(a)
+                if val is True:
+                    continue
+                if val is False:
+                    return UNSAT
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(a, None)
+                all_assumed = False
+                break
+            if not all_assumed:
+                continue
+
+            lit = self._decide()
+            if lit is None:
+                return SAT
+            self.stats["decisions"] += 1
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(lit, None)
+
+    def model(self) -> dict[int, bool]:
+        """Assignment after a SAT answer (unassigned vars default False)."""
+        out = {v: self.assign.get(v, False) for v in range(1, self.num_vars + 1)}
+        return out

@@ -1,0 +1,213 @@
+"""Incremental solver facade — the stand-in for Z3 in this reproduction.
+
+Follows the classic assumption-based incremental scheme: each ``push``
+level gets a *selector* SAT variable; assertions at that level become
+implications guarded by the selector, and ``check`` solves under the
+active selectors as assumptions.  Popping a level simply drops its
+selector (and permanently disables it), so the bit-blast cache and all
+learned clauses survive across path exploration — mirroring the paper's
+use of Z3 "configured with incremental solving" (§6).
+
+The facade also keeps wall-clock statistics so the Fig. 7 benchmark can
+report the fraction of CPU time spent in the solver.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .bitblast import BitBlaster
+from .cnf import CnfBuilder
+from .sat import SAT, UNSAT, SatSolver
+from .terms import Term, bool_const, free_vars
+
+__all__ = ["Solver", "Model", "SolverStats"]
+
+
+class SolverStats:
+    """Aggregate statistics across all checks issued to one Solver."""
+
+    def __init__(self):
+        self.checks = 0
+        self.sat_answers = 0
+        self.unsat_answers = 0
+        self.solve_time = 0.0
+        self.blast_time = 0.0
+
+    @property
+    def total_time(self) -> float:
+        return self.solve_time + self.blast_time
+
+    def as_dict(self) -> dict:
+        return {
+            "checks": self.checks,
+            "sat": self.sat_answers,
+            "unsat": self.unsat_answers,
+            "solve_time_s": self.solve_time,
+            "blast_time_s": self.blast_time,
+        }
+
+
+class Model:
+    """A satisfying assignment mapping variable terms to Python values."""
+
+    def __init__(self, values: dict[Term, int | bool]):
+        self._values = values
+
+    def __getitem__(self, var: Term) -> int | bool:
+        return self._values.get(var, False if var.width == 0 else 0)
+
+    def get(self, var: Term, default=None):
+        return self._values.get(var, default)
+
+    def __contains__(self, var: Term) -> bool:
+        return var in self._values
+
+    def as_dict(self) -> dict[Term, int | bool]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        items = ", ".join(
+            f"{v.payload}={val:#x}" if isinstance(val, int) and not isinstance(val, bool) else f"{v.payload}={val}"
+            for v, val in sorted(self._values.items(), key=lambda kv: str(kv[0].payload))
+        )
+        return f"Model({items})"
+
+
+class Solver:
+    """Incremental QF_BV solver with push/pop and model extraction."""
+
+    def __init__(self):
+        self._sat = SatSolver()
+        self._builder = CnfBuilder(self._sat)
+        self._blaster = BitBlaster(self._builder)
+        # Stack of (selector literal, asserted terms) per level; level 0
+        # assertions are added as hard unit clauses.
+        self._levels: list[tuple[int, list[Term]]] = []
+        self._base_assertions: list[Term] = []
+        self._last_assumptions: list[Term] = []
+        self.stats = SolverStats()
+
+    # ------------------------------------------------------------------
+    # Assertion stack
+    # ------------------------------------------------------------------
+
+    def push(self) -> None:
+        selector = self._sat.new_var()
+        self._levels.append((selector, []))
+
+    def pop(self, n: int = 1) -> None:
+        for _ in range(n):
+            if not self._levels:
+                raise IndexError("pop from empty assertion stack")
+            selector, _terms = self._levels.pop()
+            # Permanently disable the selector so guarded clauses are
+            # satisfied forever after.
+            self._sat.add_clause([-selector])
+
+    @property
+    def depth(self) -> int:
+        return len(self._levels)
+
+    def add(self, term: Term) -> None:
+        """Assert a boolean term at the current level."""
+        if term.width != 0:
+            raise TypeError("assertions must be boolean terms")
+        t0 = time.perf_counter()
+        lit = self._blaster.blast_bool(term)
+        self.stats.blast_time += time.perf_counter() - t0
+        if self._levels:
+            selector, terms = self._levels[-1]
+            terms.append(term)
+            self._sat.add_clause([-selector, lit])
+        else:
+            self._base_assertions.append(term)
+            self._sat.add_clause([lit])
+
+    def assertions(self) -> list[Term]:
+        out = list(self._base_assertions)
+        for _sel, terms in self._levels:
+            out.extend(terms)
+        return out
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    def check(self, *extra: Term) -> str:
+        """Returns ``"sat"`` or ``"unsat"`` for the current assertions.
+
+        ``extra`` terms are treated as one-shot assumptions that do not
+        persist after the call.
+        """
+        assumptions = [sel for sel, _terms in self._levels]
+        t0 = time.perf_counter()
+        for term in extra:
+            lit = self._blaster.blast_bool(term)
+            assumptions.append(lit)
+        self.stats.blast_time += time.perf_counter() - t0
+        self._last_assumptions = list(extra)
+
+        t0 = time.perf_counter()
+        res = self._sat.solve(assumptions)
+        self.stats.solve_time += time.perf_counter() - t0
+        self.stats.checks += 1
+        if res == SAT:
+            self.stats.sat_answers += 1
+        else:
+            self.stats.unsat_answers += 1
+        return "sat" if res == SAT else "unsat"
+
+    def model(self, variables=None) -> Model:
+        """Extract a model after a "sat" answer.
+
+        ``variables``: iterable of variable terms to extract; defaults
+        to every variable that appeared in any assertion or in the most
+        recent ``check`` call's one-shot assumptions.
+        """
+        assignment = self._sat.model()
+        if variables is None:
+            variables = set()
+            for term in self.assertions():
+                variables |= free_vars(term)
+            for term in self._last_assumptions:
+                variables |= free_vars(term)
+        values: dict[Term, int | bool] = {}
+        for var in variables:
+            if var.width == 0:
+                lit = self._blaster.bool_var_lit(var)
+                values[var] = assignment.get(abs(lit), False) ^ (lit < 0) if lit else False
+            else:
+                bits = self._blaster.var_bits(var)
+                if bits is None:
+                    values[var] = 0
+                    continue
+                v = 0
+                for i, lit in enumerate(bits):
+                    bit = assignment.get(abs(lit), False)
+                    if lit < 0:
+                        bit = not bit
+                    if bit:
+                        v |= 1 << i
+                values[var] = v
+        return Model(values)
+
+    # Convenience ------------------------------------------------------
+
+    def check_and_model(self, *extra: Term):
+        """One-shot: returns (status, model-or-None)."""
+        status = self.check(*extra)
+        if status != "sat":
+            return status, None
+        # NOTE: when extra assumptions were used the SAT trail already
+        # reflects them at the moment of model extraction.
+        return status, self.model()
+
+
+def quick_check(terms: list[Term]) -> tuple[str, Model | None]:
+    """Solve a list of boolean terms with a throwaway solver."""
+    s = Solver()
+    for t in terms:
+        s.add(t)
+    status = s.check()
+    return (status, s.model() if status == "sat" else None)

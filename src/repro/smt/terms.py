@@ -1,0 +1,793 @@
+"""Bitvector term language for the QF_BV solver substrate.
+
+The paper's P4Testgen uses Z3 to solve path constraints.  Z3 is not
+available in this environment, so we implement the fragment P4Testgen
+actually needs: quantifier-free fixed-width bitvectors plus booleans.
+
+Terms are immutable and hash-consed: structurally identical terms are
+the same Python object, which makes equality checks O(1) and lets the
+bit-blaster cache per-term results.  Smart constructors perform
+algebraic simplification (constant folding, identities) unless the
+module-level switch :data:`SIMPLIFY` is disabled (used by the ablation
+benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+__all__ = [
+    "Term",
+    "BoolTerm",
+    "BvTerm",
+    "SIMPLIFY",
+    "set_simplify",
+    "simplification_enabled",
+    "true",
+    "false",
+    "bool_const",
+    "bool_var",
+    "bv_const",
+    "bv_var",
+    "not_",
+    "and_",
+    "or_",
+    "xor_",
+    "implies",
+    "ite_bool",
+    "eq",
+    "ne",
+    "ult",
+    "ule",
+    "ugt",
+    "uge",
+    "slt",
+    "sle",
+    "bv_not",
+    "bv_neg",
+    "bv_and",
+    "bv_or",
+    "bv_xor",
+    "bv_add",
+    "bv_sub",
+    "bv_mul",
+    "bv_udiv",
+    "bv_urem",
+    "bv_shl",
+    "bv_lshr",
+    "bv_ashr",
+    "concat",
+    "extract",
+    "zero_extend",
+    "sign_extend",
+    "ite_bv",
+    "free_vars",
+    "substitute",
+]
+
+# --------------------------------------------------------------------------
+# Global simplification switch (for the SMT ablation benchmark).
+# --------------------------------------------------------------------------
+
+SIMPLIFY = True
+
+
+def set_simplify(enabled: bool) -> None:
+    """Enable or disable constructor-time algebraic simplification."""
+    global SIMPLIFY
+    SIMPLIFY = bool(enabled)
+
+
+def simplification_enabled() -> bool:
+    return SIMPLIFY
+
+
+# --------------------------------------------------------------------------
+# Term representation
+# --------------------------------------------------------------------------
+
+_INTERN: dict[tuple, "Term"] = {}
+
+
+class Term:
+    """A node in the hash-consed term DAG.
+
+    Attributes:
+        op: operator tag, e.g. ``"bvadd"``, ``"and"``, ``"const"``.
+        args: child terms.
+        width: bit width for bitvector terms, ``0`` for booleans.
+        payload: operator-specific extra data (constant value, variable
+            name, extract bounds).
+    """
+
+    __slots__ = ("op", "args", "width", "payload", "_hash")
+
+    def __init__(self, op: str, args: tuple, width: int, payload=None):
+        self.op = op
+        self.args = args
+        self.width = width
+        self.payload = payload
+        self._hash = hash((op, args, width, payload))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:  # hash-consing makes identity equality
+        return self is other
+
+    def __ne__(self, other) -> bool:
+        return self is not other
+
+    # -- convenience predicates ------------------------------------------
+
+    @property
+    def is_bool(self) -> bool:
+        return self.width == 0
+
+    @property
+    def is_const(self) -> bool:
+        return self.op == "const"
+
+    @property
+    def is_var(self) -> bool:
+        return self.op == "var"
+
+    @property
+    def value(self):
+        """Constant payload (int for BV, bool for boolean constants)."""
+        if self.op != "const":
+            raise ValueError(f"term {self.op} is not a constant")
+        return self.payload
+
+    @property
+    def name(self) -> str:
+        if self.op != "var":
+            raise ValueError(f"term {self.op} is not a variable")
+        return self.payload
+
+    def __repr__(self) -> str:
+        return _format(self, depth=0)
+
+
+# ``BoolTerm``/``BvTerm`` are documentation aliases; both are Term.
+BoolTerm = Term
+BvTerm = Term
+
+
+def _mk(op: str, args: tuple, width: int, payload=None) -> Term:
+    key = (op, args, width, payload)
+    t = _INTERN.get(key)
+    if t is None:
+        t = Term(op, args, width, payload)
+        _INTERN[key] = t
+    return t
+
+
+def _format(t: Term, depth: int) -> str:
+    if depth > 6:
+        return "..."
+    if t.op == "const":
+        if t.width == 0:
+            return "true" if t.payload else "false"
+        return f"{t.width}w{t.payload:#x}"
+    if t.op == "var":
+        return f"{t.payload}:{t.width or 'bool'}"
+    if t.op == "extract":
+        hi, lo = t.payload
+        return f"(extract[{hi}:{lo}] {_format(t.args[0], depth + 1)})"
+    inner = " ".join(_format(a, depth + 1) for a in t.args)
+    return f"({t.op} {inner})"
+
+
+# --------------------------------------------------------------------------
+# Constructors: constants and variables
+# --------------------------------------------------------------------------
+
+def bool_const(v: bool) -> Term:
+    return _mk("const", (), 0, bool(v))
+
+
+def true() -> Term:
+    return bool_const(True)
+
+
+def false() -> Term:
+    return bool_const(False)
+
+
+def bool_var(name: str) -> Term:
+    return _mk("var", (), 0, name)
+
+
+def bv_const(value: int, width: int) -> Term:
+    if width <= 0:
+        raise ValueError(f"bitvector width must be positive, got {width}")
+    return _mk("const", (), width, value & ((1 << width) - 1))
+
+
+def bv_var(name: str, width: int) -> Term:
+    if width <= 0:
+        raise ValueError(f"bitvector width must be positive, got {width}")
+    return _mk("var", (), width, name)
+
+
+def _require_bv(t: Term, ctx: str) -> None:
+    if t.width == 0:
+        raise TypeError(f"{ctx}: expected bitvector, got boolean {t!r}")
+
+
+def _require_bool(t: Term, ctx: str) -> None:
+    if t.width != 0:
+        raise TypeError(f"{ctx}: expected boolean, got bv<{t.width}> {t!r}")
+
+
+def _require_same_width(a: Term, b: Term, ctx: str) -> None:
+    if a.width != b.width:
+        raise TypeError(f"{ctx}: width mismatch {a.width} vs {b.width}")
+
+
+# --------------------------------------------------------------------------
+# Boolean connectives
+# --------------------------------------------------------------------------
+
+def not_(a: Term) -> Term:
+    _require_bool(a, "not")
+    if SIMPLIFY:
+        if a.is_const:
+            return bool_const(not a.payload)
+        if a.op == "not":
+            return a.args[0]
+    return _mk("not", (a,), 0)
+
+
+def _flatten(op: str, args: Iterable[Term]):
+    for a in args:
+        if a.op == op:
+            yield from a.args
+        else:
+            yield a
+
+
+def and_(*args: Term) -> Term:
+    terms = []
+    for a in _flatten("and", args):
+        _require_bool(a, "and")
+        if SIMPLIFY and a.is_const:
+            if not a.payload:
+                return false()
+            continue
+        terms.append(a)
+    if SIMPLIFY:
+        seen: list[Term] = []
+        for t in terms:
+            if t in seen:
+                continue
+            if t.op == "not" and t.args[0] in seen:
+                return false()
+            if not_(t) in seen:
+                return false()
+            seen.append(t)
+        terms = seen
+    if not terms:
+        return true()
+    if len(terms) == 1:
+        return terms[0]
+    return _mk("and", tuple(terms), 0)
+
+
+def or_(*args: Term) -> Term:
+    terms = []
+    for a in _flatten("or", args):
+        _require_bool(a, "or")
+        if SIMPLIFY and a.is_const:
+            if a.payload:
+                return true()
+            continue
+        terms.append(a)
+    if SIMPLIFY:
+        seen: list[Term] = []
+        for t in terms:
+            if t in seen:
+                continue
+            if t.op == "not" and t.args[0] in seen:
+                return true()
+            if not_(t) in seen:
+                return true()
+            seen.append(t)
+        terms = seen
+    if not terms:
+        return false()
+    if len(terms) == 1:
+        return terms[0]
+    return _mk("or", tuple(terms), 0)
+
+
+def xor_(a: Term, b: Term) -> Term:
+    _require_bool(a, "xor")
+    _require_bool(b, "xor")
+    if SIMPLIFY:
+        if a.is_const and b.is_const:
+            return bool_const(a.payload != b.payload)
+        if a.is_const:
+            return not_(b) if a.payload else b
+        if b.is_const:
+            return not_(a) if b.payload else a
+        if a is b:
+            return false()
+    return _mk("xor", (a, b), 0)
+
+
+def implies(a: Term, b: Term) -> Term:
+    return or_(not_(a), b)
+
+
+def ite_bool(c: Term, t: Term, e: Term) -> Term:
+    _require_bool(c, "ite")
+    _require_bool(t, "ite")
+    _require_bool(e, "ite")
+    if SIMPLIFY:
+        if c.is_const:
+            return t if c.payload else e
+        if t is e:
+            return t
+    return and_(implies(c, t), implies(not_(c), e))
+
+
+# --------------------------------------------------------------------------
+# Comparisons
+# --------------------------------------------------------------------------
+
+def _to_signed(v: int, width: int) -> int:
+    if v >= 1 << (width - 1):
+        v -= 1 << width
+    return v
+
+
+def eq(a: Term, b: Term) -> Term:
+    if a.width == 0 or b.width == 0:
+        _require_bool(a, "eq")
+        _require_bool(b, "eq")
+        if SIMPLIFY:
+            if a is b:
+                return true()
+            if a.is_const:
+                return b if a.payload else not_(b)
+            if b.is_const:
+                return a if b.payload else not_(a)
+        return not_(xor_(a, b))
+    _require_same_width(a, b, "eq")
+    if SIMPLIFY:
+        if a is b:
+            return true()
+        if a.is_const and b.is_const:
+            return bool_const(a.payload == b.payload)
+    return _mk("eq", (a, b), 0)
+
+
+def ne(a: Term, b: Term) -> Term:
+    return not_(eq(a, b))
+
+
+def ult(a: Term, b: Term) -> Term:
+    _require_bv(a, "ult")
+    _require_same_width(a, b, "ult")
+    if SIMPLIFY:
+        if a is b:
+            return false()
+        if a.is_const and b.is_const:
+            return bool_const(a.payload < b.payload)
+        if b.is_const and b.payload == 0:
+            return false()
+        if a.is_const and a.payload == (1 << a.width) - 1:
+            return false()
+    return _mk("ult", (a, b), 0)
+
+
+def ule(a: Term, b: Term) -> Term:
+    return not_(ult(b, a))
+
+
+def ugt(a: Term, b: Term) -> Term:
+    return ult(b, a)
+
+
+def uge(a: Term, b: Term) -> Term:
+    return not_(ult(a, b))
+
+
+def slt(a: Term, b: Term) -> Term:
+    _require_bv(a, "slt")
+    _require_same_width(a, b, "slt")
+    if SIMPLIFY:
+        if a is b:
+            return false()
+        if a.is_const and b.is_const:
+            return bool_const(
+                _to_signed(a.payload, a.width) < _to_signed(b.payload, b.width)
+            )
+    return _mk("slt", (a, b), 0)
+
+
+def sle(a: Term, b: Term) -> Term:
+    return not_(slt(b, a))
+
+
+# --------------------------------------------------------------------------
+# Bitvector operators
+# --------------------------------------------------------------------------
+
+def bv_not(a: Term) -> Term:
+    _require_bv(a, "bvnot")
+    if SIMPLIFY:
+        if a.is_const:
+            return bv_const(~a.payload, a.width)
+        if a.op == "bvnot":
+            return a.args[0]
+    return _mk("bvnot", (a,), a.width)
+
+
+def bv_neg(a: Term) -> Term:
+    _require_bv(a, "bvneg")
+    if SIMPLIFY and a.is_const:
+        return bv_const(-a.payload, a.width)
+    return bv_add(bv_not(a), bv_const(1, a.width))
+
+
+def bv_and(a: Term, b: Term) -> Term:
+    _require_bv(a, "bvand")
+    _require_same_width(a, b, "bvand")
+    if SIMPLIFY:
+        if a.is_const and b.is_const:
+            return bv_const(a.payload & b.payload, a.width)
+        ones = (1 << a.width) - 1
+        for x, y in ((a, b), (b, a)):
+            if x.is_const:
+                if x.payload == 0:
+                    return bv_const(0, a.width)
+                if x.payload == ones:
+                    return y
+        if a is b:
+            return a
+    return _mk("bvand", (a, b), a.width)
+
+
+def bv_or(a: Term, b: Term) -> Term:
+    _require_bv(a, "bvor")
+    _require_same_width(a, b, "bvor")
+    if SIMPLIFY:
+        if a.is_const and b.is_const:
+            return bv_const(a.payload | b.payload, a.width)
+        ones = (1 << a.width) - 1
+        for x, y in ((a, b), (b, a)):
+            if x.is_const:
+                if x.payload == 0:
+                    return y
+                if x.payload == ones:
+                    return bv_const(ones, a.width)
+        if a is b:
+            return a
+    return _mk("bvor", (a, b), a.width)
+
+
+def bv_xor(a: Term, b: Term) -> Term:
+    _require_bv(a, "bvxor")
+    _require_same_width(a, b, "bvxor")
+    if SIMPLIFY:
+        if a.is_const and b.is_const:
+            return bv_const(a.payload ^ b.payload, a.width)
+        for x, y in ((a, b), (b, a)):
+            if x.is_const and x.payload == 0:
+                return y
+        if a is b:
+            return bv_const(0, a.width)
+    return _mk("bvxor", (a, b), a.width)
+
+
+def bv_add(a: Term, b: Term) -> Term:
+    _require_bv(a, "bvadd")
+    _require_same_width(a, b, "bvadd")
+    if SIMPLIFY:
+        if a.is_const and b.is_const:
+            return bv_const(a.payload + b.payload, a.width)
+        for x, y in ((a, b), (b, a)):
+            if x.is_const and x.payload == 0:
+                return y
+    return _mk("bvadd", (a, b), a.width)
+
+
+def bv_sub(a: Term, b: Term) -> Term:
+    _require_bv(a, "bvsub")
+    _require_same_width(a, b, "bvsub")
+    if SIMPLIFY:
+        if a.is_const and b.is_const:
+            return bv_const(a.payload - b.payload, a.width)
+        if b.is_const and b.payload == 0:
+            return a
+        if a is b:
+            return bv_const(0, a.width)
+    return _mk("bvsub", (a, b), a.width)
+
+
+def bv_mul(a: Term, b: Term) -> Term:
+    _require_bv(a, "bvmul")
+    _require_same_width(a, b, "bvmul")
+    if SIMPLIFY:
+        if a.is_const and b.is_const:
+            return bv_const(a.payload * b.payload, a.width)
+        for x, y in ((a, b), (b, a)):
+            if x.is_const:
+                if x.payload == 0:
+                    # Taint mitigation #1 in the paper relies on this
+                    # rewrite: tainted * 0 == 0.
+                    return bv_const(0, a.width)
+                if x.payload == 1:
+                    return y
+    return _mk("bvmul", (a, b), a.width)
+
+
+def bv_udiv(a: Term, b: Term) -> Term:
+    _require_bv(a, "bvudiv")
+    _require_same_width(a, b, "bvudiv")
+    if SIMPLIFY:
+        if a.is_const and b.is_const:
+            ones = (1 << a.width) - 1
+            # SMT-LIB semantics: x udiv 0 == all-ones.
+            return bv_const(ones if b.payload == 0 else a.payload // b.payload, a.width)
+        if b.is_const and b.payload == 1:
+            return a
+    return _mk("bvudiv", (a, b), a.width)
+
+
+def bv_urem(a: Term, b: Term) -> Term:
+    _require_bv(a, "bvurem")
+    _require_same_width(a, b, "bvurem")
+    if SIMPLIFY:
+        if a.is_const and b.is_const:
+            # SMT-LIB semantics: x urem 0 == x.
+            return bv_const(a.payload if b.payload == 0 else a.payload % b.payload, a.width)
+        if b.is_const and b.payload == 1:
+            return bv_const(0, a.width)
+    return _mk("bvurem", (a, b), a.width)
+
+
+def bv_shl(a: Term, b: Term) -> Term:
+    _require_bv(a, "bvshl")
+    _require_same_width(a, b, "bvshl")
+    if SIMPLIFY:
+        if b.is_const:
+            sh = b.payload
+            if sh == 0:
+                return a
+            if sh >= a.width:
+                return bv_const(0, a.width)
+            if a.is_const:
+                return bv_const(a.payload << sh, a.width)
+    return _mk("bvshl", (a, b), a.width)
+
+
+def bv_lshr(a: Term, b: Term) -> Term:
+    _require_bv(a, "bvlshr")
+    _require_same_width(a, b, "bvlshr")
+    if SIMPLIFY:
+        if b.is_const:
+            sh = b.payload
+            if sh == 0:
+                return a
+            if sh >= a.width:
+                return bv_const(0, a.width)
+            if a.is_const:
+                return bv_const(a.payload >> sh, a.width)
+    return _mk("bvlshr", (a, b), a.width)
+
+
+def bv_ashr(a: Term, b: Term) -> Term:
+    _require_bv(a, "bvashr")
+    _require_same_width(a, b, "bvashr")
+    if SIMPLIFY:
+        if b.is_const:
+            sh = b.payload
+            if sh == 0:
+                return a
+            if a.is_const:
+                return bv_const(_to_signed(a.payload, a.width) >> min(sh, a.width - 1), a.width)
+    return _mk("bvashr", (a, b), a.width)
+
+
+def concat(*parts: Term) -> Term:
+    """Concatenate bitvectors; ``parts[0]`` becomes the most significant."""
+    flat: list[Term] = []
+    for p in parts:
+        _require_bv(p, "concat")
+        if p.op == "concat":
+            flat.extend(p.args)
+        else:
+            flat.append(p)
+    if not flat:
+        raise ValueError("concat of zero parts")
+    if SIMPLIFY:
+        merged: list[Term] = []
+        for p in flat:
+            if merged and merged[-1].is_const and p.is_const:
+                prev = merged.pop()
+                merged.append(
+                    bv_const((prev.payload << p.width) | p.payload, prev.width + p.width)
+                )
+            else:
+                merged.append(p)
+        flat = merged
+    if len(flat) == 1:
+        return flat[0]
+    width = sum(p.width for p in flat)
+    return _mk("concat", tuple(flat), width)
+
+
+def extract(a: Term, hi: int, lo: int) -> Term:
+    """Bits ``hi..lo`` inclusive, result width ``hi - lo + 1``."""
+    _require_bv(a, "extract")
+    if not (0 <= lo <= hi < a.width):
+        raise ValueError(f"extract[{hi}:{lo}] out of range for width {a.width}")
+    width = hi - lo + 1
+    if SIMPLIFY:
+        if width == a.width:
+            return a
+        if a.is_const:
+            return bv_const(a.payload >> lo, width)
+        if a.op == "extract":
+            ihi, ilo = a.payload
+            return extract(a.args[0], ilo + hi, ilo + lo)
+        if a.op == "concat":
+            # Narrow the extraction to the covered children.
+            pos = a.width
+            picked: list[Term] = []
+            for child in a.args:
+                lo_c = pos - child.width
+                hi_c = pos - 1
+                pos = lo_c
+                if hi_c < lo or lo_c > hi:
+                    continue
+                chi = min(hi, hi_c) - lo_c
+                clo = max(lo, lo_c) - lo_c
+                picked.append(extract(child, chi, clo))
+            if len(picked) == 1:
+                return picked[0]
+            return concat(*picked)
+        if a.op == "zext":
+            inner = a.args[0]
+            if hi < inner.width:
+                return extract(inner, hi, lo)
+            if lo >= inner.width:
+                return bv_const(0, width)
+    return _mk("extract", (a,), width, (hi, lo))
+
+
+def zero_extend(a: Term, extra: int) -> Term:
+    _require_bv(a, "zext")
+    if extra < 0:
+        raise ValueError("negative zero_extend")
+    if extra == 0:
+        return a
+    if SIMPLIFY and a.is_const:
+        return bv_const(a.payload, a.width + extra)
+    return _mk("zext", (a,), a.width + extra)
+
+
+def sign_extend(a: Term, extra: int) -> Term:
+    _require_bv(a, "sext")
+    if extra < 0:
+        raise ValueError("negative sign_extend")
+    if extra == 0:
+        return a
+    if SIMPLIFY and a.is_const:
+        return bv_const(_to_signed(a.payload, a.width), a.width + extra)
+    return _mk("sext", (a,), a.width + extra)
+
+
+def ite_bv(c: Term, t: Term, e: Term) -> Term:
+    _require_bool(c, "ite")
+    _require_bv(t, "ite")
+    _require_same_width(t, e, "ite")
+    if SIMPLIFY:
+        if c.is_const:
+            return t if c.payload else e
+        if t is e:
+            return t
+    return _mk("ite", (c, t, e), t.width)
+
+
+# --------------------------------------------------------------------------
+# Traversal utilities
+# --------------------------------------------------------------------------
+
+def free_vars(t: Term) -> set[Term]:
+    """All variable terms occurring in ``t``."""
+    out: set[Term] = set()
+    seen: set[Term] = set()
+    stack = [t]
+    while stack:
+        cur = stack.pop()
+        if cur in seen:
+            continue
+        seen.add(cur)
+        if cur.is_var:
+            out.add(cur)
+        stack.extend(cur.args)
+    return out
+
+
+def substitute(t: Term, mapping: dict[Term, Term]) -> Term:
+    """Replace variable (or arbitrary subterm) occurrences per ``mapping``."""
+    cache: dict[Term, Term] = {}
+
+    def go(cur: Term) -> Term:
+        hit = mapping.get(cur)
+        if hit is not None:
+            return hit
+        cached = cache.get(cur)
+        if cached is not None:
+            return cached
+        if not cur.args:
+            cache[cur] = cur
+            return cur
+        new_args = tuple(go(a) for a in cur.args)
+        if all(n is o for n, o in zip(new_args, cur.args)):
+            res = cur
+        else:
+            res = _rebuild(cur, new_args)
+        cache[cur] = res
+        return res
+
+    return go(t)
+
+
+def _rebuild(t: Term, args: tuple) -> Term:
+    op = t.op
+    if op == "not":
+        return not_(args[0])
+    if op == "and":
+        return and_(*args)
+    if op == "or":
+        return or_(*args)
+    if op == "xor":
+        return xor_(args[0], args[1])
+    if op == "eq":
+        return eq(args[0], args[1])
+    if op == "ult":
+        return ult(args[0], args[1])
+    if op == "slt":
+        return slt(args[0], args[1])
+    if op == "bvnot":
+        return bv_not(args[0])
+    if op == "bvand":
+        return bv_and(args[0], args[1])
+    if op == "bvor":
+        return bv_or(args[0], args[1])
+    if op == "bvxor":
+        return bv_xor(args[0], args[1])
+    if op == "bvadd":
+        return bv_add(args[0], args[1])
+    if op == "bvsub":
+        return bv_sub(args[0], args[1])
+    if op == "bvmul":
+        return bv_mul(args[0], args[1])
+    if op == "bvudiv":
+        return bv_udiv(args[0], args[1])
+    if op == "bvurem":
+        return bv_urem(args[0], args[1])
+    if op == "bvshl":
+        return bv_shl(args[0], args[1])
+    if op == "bvlshr":
+        return bv_lshr(args[0], args[1])
+    if op == "bvashr":
+        return bv_ashr(args[0], args[1])
+    if op == "concat":
+        return concat(*args)
+    if op == "extract":
+        hi, lo = t.payload
+        return extract(args[0], hi, lo)
+    if op == "zext":
+        return zero_extend(args[0], t.width - args[0].width)
+    if op == "sext":
+        return sign_extend(args[0], t.width - args[0].width)
+    if op == "ite":
+        return ite_bv(args[0], args[1], args[2])
+    raise ValueError(f"cannot rebuild op {op}")

@@ -1,0 +1,16 @@
+"""Symbolic-execution core: states, packet model, taint, concolic,
+stepper, and path exploration."""
+
+from .coverage import CoverageTracker
+from .explorer import Explorer
+from .packet import PacketModel
+from .state import ExecutionState
+from .value import SymVal
+
+__all__ = [
+    "Explorer",
+    "ExecutionState",
+    "PacketModel",
+    "SymVal",
+    "CoverageTracker",
+]

@@ -1,0 +1,117 @@
+"""Concolic resolution of complex externs (paper §5.4).
+
+Checksum/hash externs cannot be encoded in QF_BV at reasonable cost, so
+during symbolic execution their results are *placeholder variables*
+(:class:`ConcolicBinding` records the placeholder, the argument terms,
+and a Python implementation of the real function).  At test
+finalization:
+
+1. solve the path constraints and pull concrete argument values from
+   the model;
+2. run the concrete extern implementation on them;
+3. bind arguments and result with equality constraints and re-solve;
+4. if unsatisfiable, try the binding's domain-specific fallback (e.g.
+   "force the reference checksum equal to the computed one"); give up
+   and discard the path only if that also fails.
+"""
+
+from __future__ import annotations
+
+from ..smt import Solver, evaluate, terms as T
+from ..smt.evaluate import EvaluationError
+from .state import ConcolicBinding, ExecutionState
+
+__all__ = ["resolve_concolics", "ConcolicFailure"]
+
+MAX_ROUNDS = 4
+
+
+class ConcolicFailure(Exception):
+    """The path's concolic bindings could not be satisfied."""
+
+
+def _model_eval(term: T.Term, model) -> int:
+    assignment = {var: model[var] for var in T.free_vars(term)}
+    return evaluate(term, assignment)
+
+
+def resolve_concolics(state: ExecutionState, solver: Solver,
+                      base_assumptions: list[T.Term],
+                      max_rounds: int = MAX_ROUNDS,
+                      allow_fallback: bool = True):
+    """Returns (extra_constraints, model) with all concolic placeholders
+    bound to concrete values consistent with the path condition.
+
+    ``solver`` is the shared incremental solver; ``base_assumptions``
+    is the path condition.  Raises :class:`ConcolicFailure` if no
+    consistent assignment can be found.
+    """
+    if not state.concolics:
+        status = solver.check(*base_assumptions)
+        if status != "sat":
+            raise ConcolicFailure("path constraints unsatisfiable")
+        return [], solver.model()
+
+    extra: list[T.Term] = []
+    for round_no in range(max_rounds):
+        status = solver.check(*base_assumptions, *extra)
+        if status != "sat":
+            if round_no == 0:
+                raise ConcolicFailure("path constraints unsatisfiable")
+            # The concrete bindings contradicted the path: try fallbacks.
+            extra = _apply_fallbacks(state, extra) if allow_fallback else None
+            if extra is None:
+                raise ConcolicFailure("concolic bindings unsatisfiable")
+            status = solver.check(*base_assumptions, *extra)
+            if status != "sat":
+                raise ConcolicFailure("concolic fallback unsatisfiable")
+            return extra, solver.model()
+        model = solver.model()
+        new_bindings: list[T.Term] = []
+        consistent = True
+        for binding in state.concolics:
+            try:
+                arg_values = [_model_eval(a, model) for a in binding.arg_terms]
+            except EvaluationError as exc:
+                raise ConcolicFailure(f"cannot evaluate concolic args: {exc}")
+            concrete = binding.concrete_fn(arg_values)
+            width = binding.var.width
+            mask = (1 << width) - 1
+            concrete &= mask
+            model_value = model.get(binding.var, 0)
+            if model_value != concrete:
+                consistent = False
+            # Pin arguments and result.
+            for arg_term, arg_value in zip(binding.arg_terms, arg_values):
+                new_bindings.append(
+                    T.eq(arg_term, T.bv_const(arg_value, arg_term.width))
+                )
+            new_bindings.append(
+                T.eq(binding.var, T.bv_const(concrete, width))
+            )
+        extra = new_bindings
+        if consistent:
+            return extra, model
+    # One final check with the last bindings.
+    status = solver.check(*base_assumptions, *extra)
+    if status == "sat":
+        return extra, solver.model()
+    extra = _apply_fallbacks(state, extra) if allow_fallback else None
+    if extra is not None:
+        status = solver.check(*base_assumptions, *extra)
+        if status == "sat":
+            return extra, solver.model()
+    raise ConcolicFailure("concolic resolution did not converge")
+
+
+def _apply_fallbacks(state: ExecutionState, previous: list[T.Term]):
+    """Ask each binding's fallback hook for replacement constraints."""
+    replaced = []
+    any_fallback = False
+    for binding in state.concolics:
+        if binding.fallback is not None:
+            constraints = binding.fallback(binding)
+            if constraints:
+                replaced.extend(constraints)
+                any_fallback = True
+    return replaced if any_fallback else None

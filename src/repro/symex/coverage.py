@@ -1,0 +1,66 @@
+"""Statement-coverage tracking and reporting (paper §2.4, §7).
+
+The coverage universe is every executable IR statement after dead-code
+elimination.  Each generated test records the statements its path
+visited; the tracker accumulates them and can emit a report like the
+one P4Testgen prints after generation (total percentage + the list of
+statements not covered).
+"""
+
+from __future__ import annotations
+
+from ..ir import nodes as N
+
+__all__ = ["CoverageTracker"]
+
+
+class CoverageTracker:
+    def __init__(self, program: N.IrProgram):
+        self.program = program
+        self._universe: dict[int, N.IrStmt] = {
+            s.stmt_id: s for s in program.all_statements()
+        }
+        self.covered: set[int] = set()
+        self.per_test: list[frozenset] = []
+
+    @property
+    def universe_size(self) -> int:
+        return len(self._universe)
+
+    def record(self, stmt_ids) -> int:
+        """Record one test's covered statements; returns how many were
+        newly covered (used by coverage-greedy exploration)."""
+        ids = {i for i in stmt_ids if i in self._universe}
+        new = len(ids - self.covered)
+        self.covered |= ids
+        self.per_test.append(frozenset(ids))
+        return new
+
+    @property
+    def statement_percent(self) -> float:
+        if not self._universe:
+            return 100.0
+        return 100.0 * len(self.covered) / len(self._universe)
+
+    @property
+    def fully_covered(self) -> bool:
+        return self.covered >= set(self._universe)
+
+    def uncovered(self) -> list[N.IrStmt]:
+        return [
+            stmt for sid, stmt in sorted(self._universe.items())
+            if sid not in self.covered
+        ]
+
+    def report(self) -> str:
+        lines = [
+            f"statement coverage: {self.statement_percent:.1f}% "
+            f"({len(self.covered)}/{len(self._universe)})"
+        ]
+        missing = self.uncovered()
+        if missing:
+            lines.append("uncovered statements:")
+            for stmt in missing:
+                loc = stmt.location or "?"
+                lines.append(f"  [{stmt.stmt_id}] {type(stmt).__name__} at {loc}")
+        return "\n".join(lines)

@@ -1,0 +1,386 @@
+"""Path exploration and test finalization (paper §4 / §6).
+
+The explorer drives :func:`repro.symex.stepper.step` over a frontier of
+execution states.  Depth-first search is the default (§6 "Path
+traversal"); random-backtracking and coverage-greedy strategies are
+selectable for the exploration-strategy ablation.
+
+A single incremental SMT solver is shared across the whole run: path
+conditions are passed as one-shot assumptions, so the bit-blaster cache
+and learned clauses persist across paths (the stand-in for "Z3
+configured with incremental solving").
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from ..smt import Solver, evaluate, terms as T
+from ..smt.evaluate import EvaluationError
+from ..testback.spec import (
+    AbstractTestCase,
+    ExpectedPacket,
+    PacketData,
+    RegisterSpec,
+    TableEntrySpec,
+    ValueSetSpec,
+)
+from .concolic import ConcolicFailure, resolve_concolics
+from .coverage import CoverageTracker
+from .state import (
+    ExecutionState,
+    RegisterDecision,
+    TableEntryDecision,
+    ValueSetDecision,
+)
+from .stepper import step
+
+__all__ = ["Explorer", "ExplorationStats"]
+
+
+class ExplorationStats:
+    def __init__(self):
+        self.steps = 0
+        self.paths_finished = 0
+        self.paths_pruned = 0
+        self.paths_infeasible = 0
+        self.tests_emitted = 0
+        self.tests_blocked = 0
+        self.concolic_failures = 0
+        self.step_time = 0.0
+        self.finalize_time = 0.0
+
+    def as_dict(self):
+        return dict(self.__dict__)
+
+
+def _model_eval(term, model):
+    assignment = {}
+    for var in T.free_vars(term):
+        assignment[var] = model[var]
+    return evaluate(term, assignment)
+
+
+class Explorer:
+    def __init__(self, program, target, *, strategy: str = "dfs",
+                 seed: int | None = None, prune_unsat: bool = True,
+                 max_tests: int | None = None,
+                 max_paths: int | None = None,
+                 max_steps: int = 2_000_000,
+                 stop_at_full_coverage: bool = False,
+                 concolic_max_rounds: int = 4,
+                 concolic_fallback: bool = True,
+                 concolic_enabled: bool = True,
+                 randomize_values: bool = False):
+        self.program = program
+        self.target = target
+        self.strategy = strategy
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.prune_unsat = prune_unsat
+        self.max_tests = max_tests
+        self.max_paths = max_paths
+        self.max_steps = max_steps
+        self.stop_at_full_coverage = stop_at_full_coverage
+        self.concolic_max_rounds = concolic_max_rounds
+        self.concolic_fallback = concolic_fallback
+        self.concolic_enabled = concolic_enabled
+        # §3: "the output port is chosen at random" — when enabled,
+        # unconstrained control-plane values get random (seeded)
+        # preferred assignments instead of the solver's defaults.
+        self.randomize_values = randomize_values
+        self.solver = Solver()
+        self.coverage = CoverageTracker(program)
+        self.stats = ExplorationStats()
+        self._test_counter = 0
+
+    # ------------------------------------------------------------------
+    # Frontier policies
+    # ------------------------------------------------------------------
+
+    def _pick(self, frontier: list[ExecutionState]) -> ExecutionState:
+        if self.strategy == "dfs":
+            return frontier.pop()
+        if self.strategy == "random":
+            idx = self.rng.randrange(len(frontier))
+            return frontier.pop(idx)
+        if self.strategy == "greedy":
+            # Prefer a state whose pending work contains uncovered
+            # statements; fall back to random.
+            best_idx, best_score = None, -1
+            for idx, state in enumerate(frontier[-16:]):
+                real_idx = len(frontier) - len(frontier[-16:]) + idx
+                score = 0
+                for item in state.work[-8:]:
+                    sid = getattr(item, "stmt_id", None)
+                    if sid is not None and sid not in self.coverage.covered:
+                        score += 1
+                if score > best_score:
+                    best_idx, best_score = real_idx, score
+            if best_idx is None or best_score == 0:
+                best_idx = self.rng.randrange(len(frontier))
+            return frontier.pop(best_idx)
+        raise ValueError(f"unknown strategy {self.strategy!r}")
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self):
+        """Generate tests; yields AbstractTestCase objects."""
+        initial = self.target.build_initial_state(self.program)
+        frontier: list[ExecutionState] = [initial]
+        while frontier:
+            if self.max_tests is not None and self.stats.tests_emitted >= self.max_tests:
+                return
+            if self.max_paths is not None and self.stats.paths_finished >= self.max_paths:
+                return
+            if self.stats.steps >= self.max_steps:
+                return
+            if self.stop_at_full_coverage and self.coverage.fully_covered:
+                return
+            state = self._pick(frontier)
+            t0 = time.perf_counter()
+            successors = step(state)
+            self.stats.step_time += time.perf_counter() - t0
+            self.stats.steps += 1
+            if len(successors) > 1 and self.prune_unsat:
+                successors = [s for s in successors if self._feasible(s)]
+            for s in successors:
+                if s.finished:
+                    self.stats.paths_finished += 1
+                    test = self._finalize(s)
+                    if test is not None:
+                        self.stats.tests_emitted += 1
+                        yield test
+                else:
+                    frontier.append(s)
+
+    def generate(self, n: int | None = None) -> list[AbstractTestCase]:
+        """Convenience: collect up to ``n`` tests into a list."""
+        out = []
+        for test in self.run():
+            out.append(test)
+            if n is not None and len(out) >= n:
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    # Feasibility pruning
+    # ------------------------------------------------------------------
+
+    def _feasible(self, state: ExecutionState) -> bool:
+        if not state.path_cond:
+            return True
+        status = self.solver.check(*state.path_cond)
+        if status != "sat":
+            self.stats.paths_pruned += 1
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Finalization: path -> concrete test
+    # ------------------------------------------------------------------
+
+    def _finalize(self, state: ExecutionState) -> AbstractTestCase | None:
+        t0 = time.perf_counter()
+        try:
+            return self._finalize_inner(state)
+        finally:
+            self.stats.finalize_time += time.perf_counter() - t0
+
+    def _finalize_inner(self, state: ExecutionState) -> AbstractTestCase | None:
+        if state.blocked_reason is not None:
+            # E.g. tainted output port: the test would be flaky (§5.3).
+            self.stats.tests_blocked += 1
+            return None
+        assumptions = list(state.path_cond)
+        if not self.concolic_enabled:
+            # Ablation mode: concolic placeholders stay unconstrained,
+            # so extern results in the emitted test are arbitrary.
+            status = self.solver.check(*assumptions)
+            if status != "sat":
+                self.stats.paths_infeasible += 1
+                return None
+            return self._build_test(state, assumptions, self.solver.model())
+        try:
+            extra, model = resolve_concolics(
+                state, self.solver, assumptions,
+                max_rounds=self.concolic_max_rounds,
+                allow_fallback=self.concolic_fallback,
+            )
+        except ConcolicFailure:
+            self.stats.concolic_failures += 1
+            self.stats.paths_infeasible += 1
+            return None
+        assumptions = assumptions + extra
+        return self._build_test(state, assumptions, model)
+
+    def _build_test(self, state, assumptions, model) -> AbstractTestCase | None:
+        # --- input packet length -------------------------------------
+        pkt = state.packet
+        pkt_len = self._choose_pkt_len(state, assumptions, model)
+        if pkt_len is None:
+            self.stats.paths_infeasible += 1
+            return None
+        # Re-solve with the length pinned so every value is consistent.
+        pins = [T.eq(pkt.pkt_len, T.bv_const(pkt_len, 32))]
+        status = self.solver.check(*assumptions, *pins)
+        if status != "sat":
+            self.stats.paths_infeasible += 1
+            return None
+        model = self.solver.model()
+
+        if self.randomize_values:
+            model, pins = self._randomize_model(state, assumptions, pins, model)
+
+        # --- input packet content ------------------------------------
+        content = 0
+        for seg in pkt.input_segments:
+            content = (content << seg.width) | _model_eval(seg.term, model)
+        if pkt_len > pkt.input_bits:
+            content <<= pkt_len - pkt.input_bits  # zero payload padding
+        elif pkt_len < pkt.input_bits:
+            content >>= pkt.input_bits - pkt_len  # truncated (too-short path)
+        in_port = state.props.get("input_port_value")
+        if in_port is None:
+            term = state.props.get("input_port_term")
+            in_port = _model_eval(term, model) if term is not None else 0
+        input_packet = PacketData(bits=content, width=pkt_len, port=in_port)
+
+        # --- expected outputs (target decides) -------------------------
+        outputs, dropped = self.target.finalize_outputs(
+            state, lambda term: _model_eval(term, model)
+        )
+        # Payload the parser never touched is forwarded verbatim by real
+        # targets: append the (zero-chosen) tail beyond the parsed bits.
+        extra_payload = pkt_len - pkt.input_bits
+        if extra_payload > 0 and not state.props.get("truncated"):
+            outputs = [
+                (port, bits << extra_payload, width + extra_payload,
+                 dont_care << extra_payload)
+                for (port, bits, width, dont_care) in outputs
+            ]
+        expected = [
+            ExpectedPacket(
+                bits=bits, width=width, port=port, dont_care=dont_care
+            )
+            for (port, bits, width, dont_care) in outputs
+        ]
+
+        # --- control plane --------------------------------------------
+        entries, value_sets, registers = self._concretize_cp(state, model)
+
+        self._test_counter += 1
+        test = AbstractTestCase(
+            test_id=self._test_counter,
+            target=self.target.name,
+            program=self.program.source_name,
+            seed=self.seed,
+            input_packet=input_packet,
+            entries=entries,
+            value_sets=value_sets,
+            registers=registers,
+            expected=expected,
+            dropped=dropped,
+            covered_statements=frozenset(state.coverage),
+            trace=list(state.trace),
+        )
+        self.coverage.record(state.coverage)
+        return test
+
+    def _choose_pkt_len(self, state, assumptions, model) -> int | None:
+        """Minimum input length consistent with the path (the paper's
+        "minimum header size required to exercise the path")."""
+        pkt = state.packet
+        want = pkt.input_bits
+        # Fast path: exactly the consumed bits.
+        if self.solver.check(
+            *assumptions, T.eq(pkt.pkt_len, T.bv_const(want, 32))
+        ) == "sat":
+            return want
+        # Otherwise binary-search the smallest feasible length in
+        # [0, model value], reading the witness value from each SAT
+        # model so the final answer is itself feasible.  (Too-short
+        # branches and target minimum sizes land here.)
+        best = _model_eval(pkt.pkt_len, model)
+        lo = 0
+        hi = best - 1
+        for _ in range(34):
+            if lo > hi:
+                break
+            mid = (lo + hi) // 2
+            ok = self.solver.check(
+                *assumptions,
+                T.ule(pkt.pkt_len, T.bv_const(mid, 32)),
+            ) == "sat"
+            if ok:
+                witness = _model_eval(pkt.pkt_len, self.solver.model())
+                best = min(best, witness)
+                hi = witness - 1
+            else:
+                lo = mid + 1
+        return best
+
+    def _randomize_model(self, state, assumptions, pins, model):
+        """Prefer random values for control-plane argument variables and
+        the input port; keep whatever stays satisfiable."""
+        candidates = []
+        port_term = state.props.get("input_port_term")
+        if port_term is not None and port_term.is_var:
+            candidates.append(port_term)
+        for decision in state.cp_decisions:
+            if isinstance(decision, TableEntryDecision):
+                for _name, term in decision.args:
+                    if term.is_var:
+                        candidates.append(term)
+        for var in candidates:
+            value = self.rng.getrandbits(var.width)
+            attempt = T.eq(var, T.bv_const(value, var.width))
+            if self.solver.check(*assumptions, *pins, attempt) == "sat":
+                pins = pins + [attempt]
+                model = self.solver.model()
+        if candidates and pins:
+            status = self.solver.check(*assumptions, *pins)
+            if status == "sat":
+                model = self.solver.model()
+        return model, pins
+
+    def _concretize_cp(self, state, model):
+        entries = []
+        value_sets = []
+        registers = []
+        for decision in state.cp_decisions:
+            if isinstance(decision, TableEntryDecision):
+                keys = []
+                for name, kind, roles in decision.key_fields:
+                    keys.append(
+                        (name, kind, {r: _model_eval(t, model) for r, t in roles.items()})
+                    )
+                args = [(n, _model_eval(t, model)) for n, t in decision.args]
+                entries.append(
+                    TableEntrySpec(
+                        table=decision.table,
+                        action=decision.action,
+                        keys=keys,
+                        action_args=args,
+                        priority=decision.priority,
+                    )
+                )
+            elif isinstance(decision, ValueSetDecision):
+                value_sets.append(
+                    ValueSetSpec(
+                        value_set=decision.value_set,
+                        member=_model_eval(decision.member, model),
+                    )
+                )
+            elif isinstance(decision, RegisterDecision):
+                registers.append(
+                    RegisterSpec(
+                        instance=decision.instance,
+                        index=decision.index,
+                        value=_model_eval(decision.var, model),
+                    )
+                )
+        return entries, value_sets, registers

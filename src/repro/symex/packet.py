@@ -1,0 +1,228 @@
+"""The packet-sizing model (paper §5.2.1).
+
+Three variables describe the packet as execution proceeds:
+
+- ``I`` (input packet): the *minimum* content the input packet must
+  carry to traverse the current path.  It grows lazily: whenever the
+  live packet runs dry, a fresh symbolic segment is allocated and
+  appended to both ``I`` and ``L``.
+- ``L`` (live packet): the packet as the P4 program currently sees it.
+  Targets may prepend parseable metadata (Tofino intrinsic metadata,
+  frame check sequences) to ``L`` without affecting ``I``.
+- ``E`` (emit buffer): headers emitted by the deparser, in order.  At a
+  target-defined trigger point (normally deparser exit) ``E`` is
+  prepended to the remaining ``L``.
+
+The *length* of the input packet is additionally tracked by a symbolic
+32-bit variable ``pkt_len`` (in bits).  Successful extracts constrain
+``pkt_len >= consumed``; the too-short branch constrains
+``consumed_before <= pkt_len < consumed_after``, which is how tests
+like Fig. 1c line 6 (a 96-bit Ethernet packet) are produced.
+"""
+
+from __future__ import annotations
+
+from ..smt import terms as T
+from .value import SymVal
+
+__all__ = ["PacketModel", "Segment", "PacketTooShort"]
+
+_pkt_counter = [0]
+
+
+class PacketTooShort(Exception):
+    """Raised internally when a non-branching consume cannot be satisfied."""
+
+
+class Segment:
+    """A contiguous run of packet bits with a taint mask."""
+
+    __slots__ = ("term", "taint")
+
+    def __init__(self, term: T.Term, taint: int = 0):
+        self.term = term
+        self.taint = taint
+
+    @property
+    def width(self) -> int:
+        return self.term.width
+
+    def __repr__(self):
+        return f"Segment({self.term!r}, taint={self.taint:#x})"
+
+
+class PacketModel:
+    def __init__(self, label: str = "pkt"):
+        _pkt_counter[0] += 1
+        self.label = f"{label}{_pkt_counter[0]}"
+        self.input_segments: list[Segment] = []   # I
+        self.live: list[Segment] = []             # L
+        self.emit_buffer: list[Segment] = []      # E
+        self.input_bits = 0                       # len(I)
+        self.pkt_len = T.bv_var(f"{self.label}*len", 32)
+        self._fresh = 0
+
+    # ------------------------------------------------------------------
+    # Cloning (states fork at branches)
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "PacketModel":
+        c = PacketModel.__new__(PacketModel)
+        c.label = self.label
+        c.input_segments = list(self.input_segments)
+        c.live = list(self.live)
+        c.emit_buffer = list(self.emit_buffer)
+        c.input_bits = self.input_bits
+        c.pkt_len = self.pkt_len
+        c._fresh = self._fresh
+        return c
+
+    # ------------------------------------------------------------------
+    # Target hooks: prepend/append parseable content to the live packet
+    # ------------------------------------------------------------------
+
+    def prepend_live(self, value: SymVal) -> None:
+        self.live.insert(0, Segment(value.term, value.taint))
+
+    def append_live(self, value: SymVal) -> None:
+        self.live.append(Segment(value.term, value.taint))
+
+    def live_bits(self) -> int:
+        return sum(s.width for s in self.live)
+
+    def emit_bits(self) -> int:
+        return sum(s.width for s in self.emit_buffer)
+
+    # ------------------------------------------------------------------
+    # Growing I
+    # ------------------------------------------------------------------
+
+    def _grow_input(self, bits: int) -> None:
+        """Allocate a fresh symbolic segment of ``bits`` bits, recording
+        that the input packet must be at least that much longer."""
+        self._fresh += 1
+        var = T.bv_var(f"{self.label}*in{self._fresh}", bits)
+        seg_in = Segment(var, 0)
+        self.input_segments.append(seg_in)
+        self.live.append(Segment(var, 0))
+        self.input_bits += bits
+
+    def ensure_live(self, bits: int) -> int:
+        """Make sure at least ``bits`` bits are live; returns how many
+        bits of fresh input were pulled in (0 if L already sufficed)."""
+        deficit = bits - self.live_bits()
+        if deficit > 0:
+            self._grow_input(deficit)
+            return deficit
+        return 0
+
+    # ------------------------------------------------------------------
+    # Consuming from L (extract / advance / lookahead)
+    # ------------------------------------------------------------------
+
+    def consume(self, bits: int) -> SymVal:
+        """Remove ``bits`` bits from the front of L and return them as
+        one value (bits appear in wire order, most significant first).
+        Grows I as needed."""
+        if bits == 0:
+            raise ValueError("cannot consume zero bits")
+        self.ensure_live(bits)
+        parts: list[T.Term] = []
+        taint = 0
+        remaining = bits
+        while remaining > 0:
+            seg = self.live[0]
+            if seg.width <= remaining:
+                self.live.pop(0)
+                parts.append(seg.term)
+                taint = (taint << seg.width) | seg.taint
+                remaining -= seg.width
+            else:
+                w = seg.width
+                take_term = T.extract(seg.term, w - 1, w - remaining)
+                rest_term = T.extract(seg.term, w - remaining - 1, 0)
+                take_taint = (seg.taint >> (w - remaining)) & ((1 << remaining) - 1)
+                rest_taint = seg.taint & ((1 << (w - remaining)) - 1)
+                self.live[0] = Segment(rest_term, rest_taint)
+                parts.append(take_term)
+                taint = (taint << remaining) | take_taint
+                remaining = 0
+        term = T.concat(*parts) if len(parts) > 1 else parts[0]
+        return SymVal(term, taint)
+
+    def peek(self, bits: int) -> SymVal:
+        """Like consume but non-destructive (lookahead)."""
+        value = self.consume(bits)
+        self.live.insert(0, Segment(value.term, value.taint))
+        return value
+
+    # ------------------------------------------------------------------
+    # Emitting (deparser)
+    # ------------------------------------------------------------------
+
+    def emit(self, value: SymVal) -> None:
+        self.emit_buffer.append(Segment(value.term, value.taint))
+
+    def commit_emit(self) -> None:
+        """Trigger point: prepend E to the (unparsed remainder of) L."""
+        self.live = self.emit_buffer + self.live
+        self.emit_buffer = []
+
+    def drop_live(self) -> None:
+        self.live = []
+
+    def truncate_live(self, bits: int) -> None:
+        """Keep only the first ``bits`` bits of L (mtu_truncate etc.)."""
+        out: list[Segment] = []
+        remaining = bits
+        for seg in self.live:
+            if remaining <= 0:
+                break
+            if seg.width <= remaining:
+                out.append(seg)
+                remaining -= seg.width
+            else:
+                w = seg.width
+                out.append(
+                    Segment(
+                        T.extract(seg.term, w - 1, w - remaining),
+                        (seg.taint >> (w - remaining)) & ((1 << remaining) - 1),
+                    )
+                )
+                remaining = 0
+        self.live = out
+
+    # ------------------------------------------------------------------
+    # Length constraints
+    # ------------------------------------------------------------------
+
+    def len_ok_constraint(self) -> T.Term:
+        """pkt_len covers everything consumed so far (success branch)."""
+        return T.uge(self.pkt_len, T.bv_const(self.input_bits, 32))
+
+    def too_short_constraint(self, needed_bits: int) -> T.Term:
+        """The next pull of ``needed_bits`` fresh input bits fails:
+        input_bits <= pkt_len < input_bits + needed_bits."""
+        lo = T.uge(self.pkt_len, T.bv_const(self.input_bits, 32))
+        hi = T.ult(self.pkt_len, T.bv_const(self.input_bits + needed_bits, 32))
+        return T.and_(lo, hi)
+
+    # ------------------------------------------------------------------
+    # Final materialization helpers
+    # ------------------------------------------------------------------
+
+    def input_term(self) -> T.Term | None:
+        if not self.input_segments:
+            return None
+        return T.concat(*[s.term for s in self.input_segments]) \
+            if len(self.input_segments) > 1 else self.input_segments[0].term
+
+    def live_value(self) -> SymVal | None:
+        if not self.live:
+            return None
+        parts = [s.term for s in self.live]
+        taint = 0
+        for s in self.live:
+            taint = (taint << s.width) | s.taint
+        term = T.concat(*parts) if len(parts) > 1 else parts[0]
+        return SymVal(term, taint)

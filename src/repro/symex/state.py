@@ -1,0 +1,322 @@
+"""Per-path execution state (paper §6).
+
+Each path through the program owns an :class:`ExecutionState` holding
+the symbolic environment, collected path constraints, the packet model,
+the continuation (work) stack, recorded control-plane decisions,
+concolic bindings, coverage, and target scratch space.  States are
+cloned at branch points.
+
+Control flow is continuation-based (§5.1.2): the ``work`` stack holds a
+mix of IR statements, parser-state jump tokens, frame/exit markers, and
+plain Python callables contributed by the target extension (the "green
+dashed" glue such as the traffic manager).  Popping work items one at a
+time lets target code splice arbitrary continuations — recirculation
+re-pushes the whole pipeline, clones fork it, and so on.
+"""
+
+from __future__ import annotations
+
+from ..frontend.types import HeaderType, P4Type, StackType, StructType
+from ..smt import terms as T
+from .packet import PacketModel
+from .value import SymVal, fresh_tainted, fresh_var, sym_bool, sym_const
+
+__all__ = [
+    "ExecutionState",
+    "Frame",
+    "ParserStateItem",
+    "PopFrame",
+    "ExitMarker",
+    "ReturnMarker",
+    "TableEntryDecision",
+    "ValueSetDecision",
+    "ConcolicBinding",
+    "RegisterDecision",
+]
+
+
+class Frame:
+    """An alias frame: block-local names -> canonical storage paths."""
+
+    __slots__ = ("aliases",)
+
+    def __init__(self, aliases: dict[str, str] | None = None):
+        self.aliases = dict(aliases or {})
+
+    def clone(self) -> "Frame":
+        return Frame(self.aliases)
+
+
+class ParserStateItem:
+    """Continuation token: execute a parser state."""
+
+    __slots__ = ("parser", "state")
+
+    def __init__(self, parser: str, state: str):
+        self.parser = parser
+        self.state = state
+
+    def __repr__(self):
+        return f"ParserStateItem({self.parser}.{self.state})"
+
+
+class PopFrame:
+    __slots__ = ()
+
+
+class ExitMarker:
+    """Boundary that ``exit`` unwinds to (end of a control)."""
+
+    __slots__ = ()
+
+
+class ReturnMarker:
+    """Boundary that ``return`` unwinds to (end of an action)."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Control-plane decisions recorded along a path
+# ---------------------------------------------------------------------------
+
+class TableEntryDecision:
+    """One entry P4Testgen will install to steer this path."""
+
+    def __init__(self, table: str, action: str, key_fields: list, args: list,
+                 priority: int | None = None):
+        # key_fields: list of (key_name, match_kind, dict of role->Term)
+        # roles: "value", "mask", "lo", "hi", "prefix_len"
+        self.table = table
+        self.action = action
+        self.key_fields = key_fields
+        self.args = args  # list of (param_name, Term)
+        self.priority = priority
+
+    def __repr__(self):
+        return f"TableEntryDecision({self.table} -> {self.action})"
+
+
+class ValueSetDecision:
+    def __init__(self, value_set: str, member: T.Term):
+        self.value_set = value_set
+        self.member = member
+
+
+class RegisterDecision:
+    """Initial value chosen for an extern register cell."""
+
+    def __init__(self, instance: str, index: int, var: T.Term):
+        self.instance = instance
+        self.index = index
+        self.var = var
+
+
+class ConcolicBinding:
+    """A placeholder variable awaiting concolic resolution (§5.4)."""
+
+    def __init__(self, var: T.Term, func: str, arg_terms: list, concrete_fn,
+                 fallback=None):
+        self.var = var
+        self.func = func
+        self.arg_terms = list(arg_terms)
+        self.concrete_fn = concrete_fn
+        self.fallback = fallback  # optional callable for unsat repair
+
+    def __repr__(self):
+        return f"ConcolicBinding({self.func} -> {self.var!r})"
+
+
+# ---------------------------------------------------------------------------
+# Execution state
+# ---------------------------------------------------------------------------
+
+class ExecutionState:
+    _id_counter = [0]
+
+    def __init__(self, program, target):
+        ExecutionState._id_counter[0] += 1
+        self.state_id = ExecutionState._id_counter[0]
+        self.program = program
+        self.target = target
+        self.env: dict[str, SymVal] = {}
+        self.path_cond: list[T.Term] = []
+        self.packet = PacketModel()
+        self.work: list = []          # continuation stack; top is the last element
+        self.frames: list[Frame] = [Frame()]
+        self.coverage: set[int] = set()
+        self.trace: list[str] = []
+        self.cp_decisions: list = []
+        self.concolics: list[ConcolicBinding] = []
+        self.props: dict = {}
+        self.next_index: dict[str, int] = {}
+        self.finished = False
+        self.blocked_reason: str | None = None  # test dropped (tainted port...)
+        self.output_packets: list = []          # finalized by target
+
+    # ------------------------------------------------------------------
+    # Cloning
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "ExecutionState":
+        c = ExecutionState.__new__(ExecutionState)
+        ExecutionState._id_counter[0] += 1
+        c.state_id = ExecutionState._id_counter[0]
+        c.program = self.program
+        c.target = self.target
+        c.env = dict(self.env)
+        c.path_cond = list(self.path_cond)
+        c.packet = self.packet.clone()
+        c.work = list(self.work)
+        c.frames = [f.clone() for f in self.frames]
+        c.coverage = set(self.coverage)
+        c.trace = list(self.trace)
+        c.cp_decisions = list(self.cp_decisions)
+        c.concolics = list(self.concolics)
+        c.props = dict(self.props)
+        c.next_index = dict(self.next_index)
+        c.finished = self.finished
+        c.blocked_reason = self.blocked_reason
+        c.output_packets = list(self.output_packets)
+        return c
+
+    # ------------------------------------------------------------------
+    # Path constraints
+    # ------------------------------------------------------------------
+
+    def add_constraint(self, term: T.Term) -> bool:
+        """Add a constraint; returns False if it is trivially false."""
+        if term.is_const:
+            return bool(term.payload)
+        self.path_cond.append(term)
+        return True
+
+    # ------------------------------------------------------------------
+    # Alias resolution
+    # ------------------------------------------------------------------
+
+    def push_frame(self, aliases: dict[str, str]) -> None:
+        self.frames.append(Frame(aliases))
+        self.work.append(PopFrame())
+
+    def resolve_root(self, name: str) -> str:
+        for frame in reversed(self.frames):
+            if name in frame.aliases:
+                return frame.aliases[name]
+        return name
+
+    def bind_local(self, name: str, path: str) -> None:
+        self.frames[-1].aliases[name] = path
+
+    # ------------------------------------------------------------------
+    # Environment accessors (flattened dotted paths)
+    # ------------------------------------------------------------------
+
+    def read(self, path: str, width: int) -> SymVal:
+        val = self.env.get(path)
+        if val is None:
+            # Reading an uninitialized variable: undefined value -> a
+            # fresh fully-tainted variable (paper §5.3).  The target can
+            # override via its uninitialized-value policy.
+            val = self.target.uninitialized_value(self, path, width)
+            self.env[path] = val
+        return val
+
+    def write(self, path: str, value: SymVal) -> None:
+        self.env[path] = value
+
+    def read_valid(self, path: str) -> SymVal:
+        return self.read(f"{path}.$valid", 0)
+
+    def write_valid(self, path: str, value: SymVal) -> None:
+        self.env[f"{path}.$valid"] = value
+
+    # -- structured helpers ---------------------------------------------
+
+    def init_type(self, prefix: str, p4_type: P4Type, mode: str) -> None:
+        """Initialize storage under ``prefix``.
+
+        mode: "zero" | "taint" | "invalid" (headers: valid=0, fields
+        untouched).
+        """
+        if isinstance(p4_type, HeaderType):
+            self.write_valid(prefix, sym_bool(False))
+            for fname, ftype in p4_type.fields:
+                self._init_scalar(f"{prefix}.{fname}", ftype, mode)
+            return
+        if isinstance(p4_type, StructType):
+            for fname, ftype in p4_type.fields:
+                self.init_type(f"{prefix}.{fname}", ftype, mode)
+            return
+        if isinstance(p4_type, StackType):
+            for i in range(p4_type.size):
+                self.init_type(f"{prefix}[{i}]", p4_type.element, mode)
+            self.next_index[prefix] = 0
+            return
+        self._init_scalar(prefix, p4_type, mode)
+
+    def _init_scalar(self, path: str, p4_type: P4Type, mode: str) -> None:
+        width = p4_type.bit_width()
+        if mode == "zero":
+            self.env[path] = sym_const(0, width) if width else sym_bool(False)
+        elif mode == "taint":
+            self.env[path] = fresh_tainted(path, width)
+        elif mode == "invalid":
+            self.env.pop(path, None)
+        else:
+            raise ValueError(f"unknown init mode {mode}")
+
+    def copy_value(self, src: str, dst: str, p4_type: P4Type) -> None:
+        """Structured copy src -> dst (used for param passing and
+        whole-header assignment)."""
+        if isinstance(p4_type, HeaderType):
+            self.write_valid(dst, self.read_valid(src))
+            for fname, ftype in p4_type.fields:
+                self.env[f"{dst}.{fname}"] = self.read(
+                    f"{src}.{fname}", ftype.bit_width()
+                )
+            return
+        if isinstance(p4_type, StructType):
+            for fname, ftype in p4_type.fields:
+                self.copy_value(f"{src}.{fname}", f"{dst}.{fname}", ftype)
+            return
+        if isinstance(p4_type, StackType):
+            for i in range(p4_type.size):
+                self.copy_value(f"{src}[{i}]", f"{dst}[{i}]", p4_type.element)
+            self.next_index[dst] = self.next_index.get(src, 0)
+            return
+        self.env[dst] = self.read(src, p4_type.bit_width())
+
+    # ------------------------------------------------------------------
+    # Work stack
+    # ------------------------------------------------------------------
+
+    def push_work(self, item) -> None:
+        self.work.append(item)
+
+    def push_stmts(self, stmts: list) -> None:
+        for s in reversed(stmts):
+            self.work.append(s)
+
+    def pop_work(self):
+        return self.work.pop() if self.work else None
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.work)
+
+    # ------------------------------------------------------------------
+    # Tracing / coverage
+    # ------------------------------------------------------------------
+
+    def cover(self, stmt) -> None:
+        self.coverage.add(stmt.stmt_id)
+
+    def log(self, message: str) -> None:
+        self.trace.append(message)
+
+    def __repr__(self):
+        return (
+            f"ExecutionState(id={self.state_id}, work={len(self.work)}, "
+            f"constraints={len(self.path_cond)}, finished={self.finished})"
+        )

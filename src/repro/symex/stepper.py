@@ -1,0 +1,905 @@
+"""Small-step symbolic semantics for the IR (paper §4, step 2).
+
+``step(state)`` pops one work item and returns the successor states.
+Every function here can be overridden by a target extension: the
+stepper consults ``state.target`` for extern implementations, parser
+error policy, uninitialized-value policy, and table semantics, which is
+how target-specific behaviors (App. A.1) are modeled without touching
+this core.
+"""
+
+from __future__ import annotations
+
+from ..frontend.types import (
+    BitsType,
+    BoolType,
+    EnumType,
+    ErrorType,
+    HeaderType,
+    P4Type,
+    StackType,
+    StructType,
+)
+from ..ir import nodes as N
+from ..smt import terms as T
+from . import taint as TT
+from .state import (
+    ConcolicBinding,
+    ExecutionState,
+    ExitMarker,
+    ParserStateItem,
+    PopFrame,
+    ReturnMarker,
+    TableEntryDecision,
+    ValueSetDecision,
+)
+from .value import SymVal, fresh_tainted, fresh_var, sym_bool, sym_const
+
+__all__ = ["step", "eval_expr", "resolve_lvalue", "apply_table", "SymexError"]
+
+
+class SymexError(Exception):
+    """Internal invariant violation during symbolic execution."""
+
+
+class StackOverflowSignal(Exception):
+    """``stack.next`` accessed with the stack full: the program must
+    transition to reject with error.StackOutOfBounds (P4-16 §8.18)."""
+
+
+# ===========================================================================
+# L-value resolution: IR lvalue -> (flattened path, P4Type)
+# ===========================================================================
+
+def resolve_lvalue(state: ExecutionState, lv: N.LValue) -> tuple[str, P4Type]:
+    if isinstance(lv, N.VarLV):
+        return state.resolve_root(lv.name), lv.p4_type
+    if isinstance(lv, N.FieldLV):
+        base_path, base_type = resolve_lvalue(state, lv.base)
+        if isinstance(base_type, StackType):
+            next_idx = state.next_index.get(base_path, 0)
+            if lv.field == "next":
+                if next_idx >= base_type.size:
+                    raise StackOverflowSignal(base_path)
+                return f"{base_path}[{next_idx}]", base_type.element
+            if lv.field == "last":
+                idx = max(next_idx - 1, 0)
+                return f"{base_path}[{idx}]", base_type.element
+            if lv.field == "lastIndex":
+                return f"{base_path}.$lastIndex", BitsType(32)
+        return f"{base_path}.{lv.field}", lv.p4_type
+    if isinstance(lv, N.IndexLV):
+        base_path, base_type = resolve_lvalue(state, lv.base)
+        if not isinstance(lv.index, N.IrConst):
+            raise SymexError(
+                "dynamic stack index survived the mid-end "
+                f"(path {base_path})"
+            )
+        idx = int(lv.index.value)
+        if isinstance(base_type, StackType) and idx >= base_type.size:
+            idx = base_type.size - 1  # clamped; targets may trap instead
+        return f"{base_path}[{idx}]", lv.p4_type
+    if isinstance(lv, N.SliceLV):
+        # Slice lvalues are handled by the assignment logic.
+        raise SymexError("slice lvalue must be handled by assignment")
+    raise SymexError(f"unknown lvalue {lv!r}")
+
+
+# ===========================================================================
+# Expression evaluation
+# ===========================================================================
+
+_ARITH = {
+    "+": T.bv_add, "-": T.bv_sub, "*": T.bv_mul,
+    "/": T.bv_udiv, "%": T.bv_urem,
+    "&": T.bv_and, "|": T.bv_or, "^": T.bv_xor,
+}
+
+
+def eval_expr(state: ExecutionState, e: N.IrExpr) -> SymVal:
+    if isinstance(e, N.IrConst):
+        t = e.p4_type
+        if isinstance(t, BoolType):
+            return sym_bool(bool(e.value))
+        if t is None:
+            raise SymexError(f"untyped constant {e!r} reached the stepper")
+        return sym_const(int(e.value), t.bit_width())
+    if isinstance(e, N.IrLValExpr):
+        path, p4_type = resolve_lvalue(state, e.lval)
+        if isinstance(p4_type, (HeaderType, StructType)):
+            raise SymexError(f"cannot evaluate composite {path} as scalar")
+        value = state.read(path, p4_type.bit_width())
+        # Reading a field of an invalid header is undefined (P4 spec
+        # §8.17): the result is tainted, which is what forces the
+        # default action in Fig. 1c test 4.
+        hdr_path = _enclosing_header(state, e.lval)
+        if hdr_path is not None:
+            valid = state.read_valid(hdr_path)
+            if valid.term.is_const:
+                if not valid.term.payload:
+                    width = value.term.width
+                    full = 1 if width == 0 else (1 << width) - 1
+                    return value.with_taint(full)
+            elif valid.is_tainted:
+                width = value.term.width
+                full = 1 if width == 0 else (1 << width) - 1
+                return value.with_taint(full)
+        return value
+    if isinstance(e, N.IrValidExpr):
+        path, p4_type = resolve_lvalue(state, e.header)
+        return state.read_valid(path)
+    if isinstance(e, N.IrUnop):
+        operand = eval_expr(state, e.operand)
+        if e.op == "!":
+            term = T.not_(operand.term)
+        elif e.op == "~":
+            term = T.bv_not(operand.term)
+        elif e.op == "-":
+            term = T.bv_neg(operand.term)
+        else:
+            raise SymexError(f"unknown unop {e.op}")
+        return SymVal(term, TT.unop_taint(e.op, operand, term))
+    if isinstance(e, N.IrBinop):
+        return _eval_binop(state, e)
+    if isinstance(e, N.IrConcat):
+        parts = [eval_expr(state, p) for p in e.parts]
+        term = T.concat(*[p.term for p in parts])
+        return SymVal(term, TT.concat_taint(parts))
+    if isinstance(e, N.IrSliceExpr):
+        inner = eval_expr(state, e.expr)
+        term = T.extract(inner.term, e.hi, e.lo)
+        return SymVal(term, TT.slice_taint(inner, e.hi, e.lo))
+    if isinstance(e, N.IrTernary):
+        cond = eval_expr(state, e.cond)
+        then = eval_expr(state, e.then)
+        other = eval_expr(state, e.other)
+        term = T.ite_bv(cond.term, then.term, other.term) \
+            if then.term.width else T.ite_bool(cond.term, then.term, other.term)
+        return SymVal(term, TT.ite_taint(cond, then, other, term))
+    if isinstance(e, N.IrCast):
+        return _eval_cast(state, e)
+    if isinstance(e, N.IrCall):
+        return _eval_call_expr(state, e)
+    if isinstance(e, N.IrApplyExpr):
+        raise SymexError(
+            "table.apply() in expression position must be handled by step()"
+        )
+    raise SymexError(f"cannot evaluate {e!r}")
+
+
+def _taint_default_value(term: T.Term):
+    """Evaluate a boolean term under 'every taint source reads 0'.
+
+    Returns True/False when that substitution makes the term constant,
+    or None if the result still depends on genuinely symbolic inputs
+    (then neither branch can be soundly predicted)."""
+    from ..smt.terms import free_vars, substitute
+    from .value import TAINT_SOURCE_VARS
+
+    mapping = {}
+    for var in free_vars(term):
+        if var in TAINT_SOURCE_VARS:
+            mapping[var] = (
+                T.bool_const(False) if var.width == 0 else T.bv_const(0, var.width)
+            )
+    if not mapping:
+        return None
+    result = substitute(term, mapping)
+    if result.is_const:
+        return bool(result.payload)
+    return None
+
+
+def _enclosing_header(state: ExecutionState, lv: N.LValue) -> str | None:
+    """If ``lv`` is a field inside a header, the header's path."""
+    if isinstance(lv, N.FieldLV):
+        base_type = lv.base.p4_type
+        if isinstance(base_type, HeaderType):
+            path, _t = resolve_lvalue(state, lv.base)
+            return path
+        return _enclosing_header(state, lv.base)
+    if isinstance(lv, N.SliceLV):
+        return _enclosing_header(state, lv.base)
+    return None
+
+
+def _eval_binop(state: ExecutionState, e: N.IrBinop) -> SymVal:
+    left = eval_expr(state, e.left)
+    right = eval_expr(state, e.right)
+    op = e.op
+    if op in _ARITH:
+        term = _ARITH[op](left.term, right.term)
+    elif op == "==":
+        term = T.eq(left.term, right.term)
+    elif op == "!=":
+        term = T.ne(left.term, right.term)
+    elif op in ("<", ">", "<=", ">="):
+        signed = isinstance(e.left.p4_type, BitsType) and e.left.p4_type.signed
+        fn = {
+            ("<", False): T.ult, ("<", True): T.slt,
+            (">", False): T.ugt, (">", True): lambda a, b: T.slt(b, a),
+            ("<=", False): T.ule, ("<=", True): T.sle,
+            (">=", False): T.uge, (">=", True): lambda a, b: T.sle(b, a),
+        }[(op, signed)]
+        term = fn(left.term, right.term)
+    elif op == "&&":
+        term = T.and_(left.term, right.term)
+    elif op == "||":
+        term = T.or_(left.term, right.term)
+    elif op in ("<<", ">>"):
+        shift = right.term
+        if shift.width != left.term.width:
+            if shift.width < left.term.width:
+                shift = T.zero_extend(shift, left.term.width - shift.width)
+            else:
+                shift = T.extract(shift, left.term.width - 1, 0)
+        signed = isinstance(e.p4_type, BitsType) and e.p4_type.signed
+        if op == "<<":
+            term = T.bv_shl(left.term, shift)
+        else:
+            term = T.bv_ashr(left.term, shift) if signed else T.bv_lshr(left.term, shift)
+    else:
+        raise SymexError(f"unknown binop {op}")
+    return SymVal(term, TT.binop_taint(op, left, right, term))
+
+
+def _eval_cast(state: ExecutionState, e: N.IrCast) -> SymVal:
+    inner = eval_expr(state, e.expr)
+    target = e.p4_type
+    if isinstance(target, BoolType):
+        if inner.term.width == 0:
+            return inner
+        term = T.ne(inner.term, T.bv_const(0, inner.term.width))
+        return SymVal(term, 1 if inner.taint else 0)
+    new_width = target.bit_width()
+    if inner.term.width == 0:
+        # bool -> bit<1> (and wider)
+        term = T.ite_bv(inner.term, T.bv_const(1, new_width), T.bv_const(0, new_width))
+        return SymVal(term, inner.taint)
+    old_width = inner.term.width
+    if new_width == old_width:
+        return inner
+    if new_width < old_width:
+        term = T.extract(inner.term, new_width - 1, 0)
+        return SymVal(term, TT.cast_taint(inner, new_width))
+    src_type = e.expr.p4_type
+    signed = isinstance(src_type, BitsType) and src_type.signed
+    term = (
+        T.sign_extend(inner.term, new_width - old_width)
+        if signed
+        else T.zero_extend(inner.term, new_width - old_width)
+    )
+    taint = inner.taint
+    if signed and (taint >> (old_width - 1)) & 1:
+        taint |= ((1 << new_width) - 1) & ~((1 << old_width) - 1)
+    return SymVal(term, taint)
+
+
+def _eval_call_expr(state: ExecutionState, call: N.IrCall) -> SymVal:
+    impl = state.target.extern_value_impl(call.func)
+    if impl is None:
+        raise SymexError(f"no value-extern implementation for {call.func!r}")
+    return impl(state, call)
+
+
+# ===========================================================================
+# Assignment
+# ===========================================================================
+
+def assign(state: ExecutionState, target: N.LValue, value: N.IrExpr) -> None:
+    if isinstance(target, N.SliceLV):
+        base_path, base_type = resolve_lvalue(state, target.base)
+        width = base_type.bit_width()
+        old = state.read(base_path, width)
+        new = eval_expr(state, value)
+        hi, lo = target.hi, target.lo
+        parts = []
+        if hi < width - 1:
+            parts.append(T.extract(old.term, width - 1, hi + 1))
+        parts.append(new.term)
+        if lo > 0:
+            parts.append(T.extract(old.term, lo - 1, 0))
+        term = T.concat(*parts) if len(parts) > 1 else parts[0]
+        keep_mask = ~(((1 << (hi - lo + 1)) - 1) << lo)
+        taint = (old.taint & keep_mask) | ((new.taint & ((1 << (hi - lo + 1)) - 1)) << lo)
+        state.write(base_path, SymVal(term, taint))
+        return
+    path, p4_type = resolve_lvalue(state, target)
+    if isinstance(p4_type, (HeaderType, StructType, StackType)):
+        # Whole-composite assignment: the RHS must be an lvalue.
+        if not isinstance(value, N.IrLValExpr):
+            raise SymexError(f"composite assignment from non-lvalue {value!r}")
+        src_path, _src_type = resolve_lvalue(state, value.lval)
+        state.copy_value(src_path, path, p4_type)
+        return
+    state.write(path, eval_expr(state, value))
+
+
+# ===========================================================================
+# Keyset matching (select cases, const entries)
+# ===========================================================================
+
+def keyset_match(state: ExecutionState, keyset, key: SymVal) -> tuple[T.Term, bool]:
+    """Returns (match term, involves_control_plane)."""
+    if isinstance(keyset, N.KsDefault):
+        return T.true(), False
+    if isinstance(keyset, N.KsValueSet):
+        raise SymexError("value-set keysets are handled by the select logic")
+    if isinstance(keyset, N.KsMask):
+        value = eval_expr(state, keyset.value)
+        mask = eval_expr(state, keyset.mask)
+        return (
+            T.eq(T.bv_and(key.term, mask.term), T.bv_and(value.term, mask.term)),
+            False,
+        )
+    if isinstance(keyset, N.KsRange):
+        lo = eval_expr(state, keyset.lo)
+        hi = eval_expr(state, keyset.hi)
+        return T.and_(T.ule(lo.term, key.term), T.ule(key.term, hi.term)), False
+    # Plain expression keyset.
+    value = eval_expr(state, keyset)
+    return T.eq(key.term, value.term), False
+
+
+# ===========================================================================
+# Table application (paper §3 example 1, §6 "Interacting with the CP")
+# ===========================================================================
+
+def apply_table(state: ExecutionState, table: N.IrTable,
+                continuation_builder) -> list[ExecutionState]:
+    """Branch over the table's possible behaviours.
+
+    ``continuation_builder(branch_state, action_ref_or_None, hit)`` is
+    called on each fork to enqueue whatever must run after the table
+    (the chosen action body is enqueued here; the builder enqueues
+    hit/miss- or action_run-dependent statements).
+    """
+    program = state.program
+    successors: list[ExecutionState] = []
+
+    keys = [(k, eval_expr(state, k.expr)) for k in table.keys]
+    tainted_keys = [k for k, v in keys if v.is_tainted]
+
+    # --- const entries (program-defined, highest precedence) -----------
+    # Evaluated in program order; the "priority" annotation reorders
+    # them via the target hook (v1model supports it).
+    entries = state.target.order_const_entries(table)
+    entry_match_terms = []
+    entries_unpredictable = False
+    for entry in entries:
+        conds = []
+        for (key, key_val), keyset in zip(keys, entry.keysets):
+            if key_val.is_tainted and not isinstance(keyset, N.KsDefault):
+                entries_unpredictable = True
+            cond, _cp = keyset_match(state, keyset, key_val)
+            conds.append(cond)
+        entry_match_terms.append(T.and_(*conds) if conds else T.true())
+
+    if not entries_unpredictable:
+        for i, entry in enumerate(entries):
+            branch = state.clone()
+            ok = branch.add_constraint(entry_match_terms[i])
+            for prev in entry_match_terms[:i]:
+                ok = branch.add_constraint(T.not_(prev)) and ok
+            if not ok:
+                continue
+            branch.log(f"table {table.full_name}: const entry {i}")
+            _enter_action(branch, program, table, entry.action_ref, from_entry=True)
+            continuation_builder(branch, entry.action_ref, True)
+            successors.append(branch)
+
+    no_const_hit = T.and_(*[T.not_(m) for m in entry_match_terms]) \
+        if entry_match_terms else T.true()
+
+    # --- synthesized entries (one per action) ---------------------------
+    # Taint rule (§5.3 / §3 example 1 test 4): if any key is tainted and
+    # the match kind cannot be wildcarded, we cannot insert an entry that
+    # is *guaranteed* to match -> only the default action branch remains.
+    wildcard_ok = getattr(state.target, "taint_wildcard_mitigation", True)
+    caps = getattr(state.target, "backend_caps", None)
+    can_synthesize = True
+    for key, key_val in keys:
+        if key_val.is_tainted and not (
+            wildcard_ok and key.match_kind in ("ternary", "optional")
+        ):
+            can_synthesize = False
+        # Test-framework capability limit (§6): if the chosen framework
+        # cannot install this kind of entry, the hit paths are not
+        # generated and P4Testgen covers fewer paths.
+        if caps is not None and key.match_kind == "range" \
+                and not caps.range_entries:
+            can_synthesize = False
+    if not table.keys:
+        can_synthesize = False  # keyless tables only run the default action
+
+    if can_synthesize:
+        for ref in table.action_refs:
+            action = _lookup_action(program, ref.action)
+            if _ref_annotated(ref, "defaultonly"):
+                continue
+            branch = state.clone()
+            key_fields = []
+            conds = []
+            for key, key_val in keys:
+                roles: dict[str, T.Term] = {}
+                kind = key.match_kind
+                width = key_val.term.width
+                if key_val.is_tainted and wildcard_ok and kind in ("ternary", "optional"):
+                    # Wildcard entry: always matches, no constraint on
+                    # the tainted key (taint mitigation 2).
+                    roles["value"] = T.bv_const(0, width)
+                    roles["mask"] = T.bv_const(0, width)
+                    key_fields.append((key.name, kind, roles))
+                    continue
+                kv = fresh_var(f"{table.full_name}*{key.name}", width)
+                roles["value"] = kv.term
+                if kind == "exact":
+                    conds.append(T.eq(kv.term, key_val.term))
+                elif kind in ("ternary", "optional"):
+                    # Synthesize an exact-style entry (mask all ones).
+                    roles["mask"] = T.bv_const((1 << width) - 1, width)
+                    conds.append(T.eq(kv.term, key_val.term))
+                elif kind == "lpm":
+                    roles["prefix_len"] = T.bv_const(width, 32)
+                    conds.append(T.eq(kv.term, key_val.term))
+                elif kind == "range":
+                    hi = fresh_var(f"{table.full_name}*{key.name}*hi", width)
+                    roles["lo"] = kv.term
+                    roles["hi"] = hi.term
+                    conds.append(T.ule(kv.term, key_val.term))
+                    conds.append(T.ule(key_val.term, hi.term))
+                else:
+                    conds.append(T.eq(kv.term, key_val.term))
+                key_fields.append((key.name, kind, roles))
+            ok = branch.add_constraint(no_const_hit)
+            for c in conds:
+                ok = branch.add_constraint(c) and ok
+            # P4-constraints: restrict the entries the control plane is
+            # allowed to install for this table (§6.1.1, Tbl. 4b).
+            for c in state.target.entry_constraints(state, table, key_fields):
+                ok = branch.add_constraint(c) and ok
+            if not ok:
+                continue
+            # Control-plane args: fresh symbolic variables.
+            args = []
+            arg_vals = list(ref.args)
+            for pi, param in enumerate(action.control_plane_params):
+                if pi < len(arg_vals) and arg_vals[pi] is not None:
+                    val = eval_expr(branch, arg_vals[pi])
+                else:
+                    val = fresh_var(
+                        f"{table.full_name}*{action.name}*{param.name}",
+                        param.p4_type.bit_width(),
+                    )
+                args.append((param.name, val.term))
+            decision = TableEntryDecision(
+                table=table.full_name,
+                action=ref.action,
+                key_fields=key_fields,
+                args=args,
+            )
+            branch.cp_decisions.append(decision)
+            branch.log(f"table {table.full_name}: hit -> {ref.action}")
+            _enter_action_with_args(branch, program, ref.action, args)
+            continuation_builder(branch, ref, True)
+            successors.append(branch)
+
+    # --- default action (miss) ------------------------------------------
+    default_ref = table.default_action
+    branch = state.clone()
+    ok = True
+    if not entries_unpredictable:
+        ok = branch.add_constraint(no_const_hit)
+    if ok:
+        branch.log(f"table {table.full_name}: miss -> default")
+        if default_ref is not None:
+            _enter_action(branch, program, table, default_ref, from_entry=False)
+        continuation_builder(branch, default_ref, False)
+        successors.append(branch)
+
+    return successors
+
+
+def _ref_annotated(ref: N.IrActionRef, name: str) -> bool:
+    return any(a.name == name for a in ref.annotations)
+
+
+def _lookup_action(program, full_name: str) -> N.IrAction:
+    if full_name in program.actions:
+        return program.actions[full_name]
+    for control in program.controls.values():
+        if full_name in control.actions:
+            return control.actions[full_name]
+    raise SymexError(f"unknown action {full_name!r}")
+
+
+def _enter_action(state: ExecutionState, program, table, ref: N.IrActionRef,
+                  from_entry: bool) -> None:
+    """Queue an action body with bound (constant) arguments."""
+    action = _lookup_action(program, ref.action)
+    args = []
+    for pi, param in enumerate(action.control_plane_params):
+        if pi < len(ref.args):
+            val = eval_expr(state, ref.args[pi])
+        else:
+            # Unbound default-action argument: control plane chooses.
+            val = fresh_var(
+                f"{table.full_name}*{action.name}*{param.name}",
+                param.p4_type.bit_width(),
+            )
+        args.append((param.name, val.term))
+    _enter_action_with_args(state, program, ref.action, args)
+
+
+def _enter_action_with_args(state: ExecutionState, program, action_name: str,
+                            args: list) -> None:
+    action = _lookup_action(program, action_name)
+    aliases: dict[str, str] = {}
+    scratch = f"${action.full_name}${state.state_id}"
+    arg_map = dict(args)
+    for param in action.params:
+        if param.direction == "":
+            path = f"{scratch}.{param.name}"
+            aliases[param.name] = path
+            term = arg_map.get(param.name)
+            if term is None:
+                val = fresh_var(f"{action_name}*{param.name}",
+                                param.p4_type.bit_width())
+                term = val.term
+            state.env[path] = SymVal(term, 0)
+    state.push_work(ReturnMarker())
+    state.push_frame(aliases)
+    state.push_stmts(action.body)
+
+
+def call_action_directly(state: ExecutionState, action_name: str,
+                         arg_exprs: list) -> None:
+    """Direct invocation from an apply block; all params are bound, and
+    out/inout params are copied back (we alias them instead)."""
+    program = state.program
+    action = _lookup_action(program, action_name)
+    aliases: dict[str, str] = {}
+    scratch = f"${action.full_name}${state.state_id}"
+    for param, arg in zip(action.params, arg_exprs):
+        if param.direction in ("out", "inout", "in"):
+            if isinstance(arg, N.IrLValExpr):
+                src_path, _t = resolve_lvalue(state, arg.lval)
+                aliases[param.name] = src_path
+            else:
+                path = f"{scratch}.{param.name}"
+                aliases[param.name] = path
+                state.env[path] = eval_expr(state, arg)
+        else:
+            path = f"{scratch}.{param.name}"
+            aliases[param.name] = path
+            state.env[path] = eval_expr(state, arg)
+    state.push_work(ReturnMarker())
+    state.push_frame(aliases)
+    state.push_stmts(action.body)
+
+
+# ===========================================================================
+# Parser stepping
+# ===========================================================================
+
+def _run_parser_state(state: ExecutionState, item: ParserStateItem) -> list:
+    parser = state.program.parsers[item.parser]
+    if item.state == "accept":
+        hook = state.target.on_parser_accept
+        return hook(state, parser)
+    if item.state == "reject":
+        return state.target.on_parser_reject(state, parser)
+    ps = parser.states.get(item.state)
+    if ps is None:
+        return state.target.on_parser_reject(state, parser)
+    state.log(f"parser state {item.parser}.{item.state}")
+    # Queue: statements, then the transition.
+    state.push_work(("transition", item.parser, ps.transition))
+    state.push_stmts(ps.statements)
+    return [state]
+
+
+def _run_transition(state: ExecutionState, parser_name: str,
+                    tr: N.IrTransition) -> list:
+    if tr.direct is not None:
+        state.push_work(ParserStateItem(parser_name, tr.direct))
+        return [state]
+    parser = state.program.parsers[parser_name]
+    select_vals = [eval_expr(state, e) for e in tr.select_exprs]
+    any_tainted = any(v.is_tainted for v in select_vals)
+    consistent_taken = False
+    successors = []
+    prior_matches: list[T.Term] = []
+    for case in tr.cases:
+        branch = state.clone()
+        conds = []
+        uses_value_set = False
+        for keyset, key_val in zip(case.keysets, select_vals):
+            if isinstance(keyset, N.KsValueSet):
+                uses_value_set = True
+                vs = parser.value_sets[keyset.name]
+                member = fresh_var(f"{vs.full_name}*member", key_val.term.width)
+                branch.cp_decisions.append(
+                    ValueSetDecision(vs.full_name, member.term)
+                )
+                conds.append(T.eq(key_val.term, member.term))
+            else:
+                cond, _cp = keyset_match(branch, keyset, key_val)
+                conds.append(cond)
+        match_term = T.and_(*conds) if conds else T.true()
+        ok = branch.add_constraint(match_term)
+        for prev in prior_matches:
+            ok = branch.add_constraint(T.not_(prev)) and ok
+        if ok:
+            if any_tainted:
+                # A select on tainted bits is unpredictable: only the
+                # branch consistent with taint-reads-as-zero may emit a
+                # test (cf. the tainted-if policy).
+                default_match = _taint_default_value(match_term)
+                if default_match is True and not consistent_taken:
+                    consistent_taken = True
+                else:
+                    branch.blocked_reason = "tainted select (unpredictable)"
+            branch.log(f"select -> {case.state}")
+            branch.push_work(ParserStateItem(parser_name, case.state))
+            successors.append(branch)
+        # Value-set matches are control-plane configurable, so the
+        # negation for later cases must not assume a particular member;
+        # conservatively skip adding it (later cases stay feasible).
+        if not uses_value_set:
+            prior_matches.append(match_term)
+    if not successors:
+        # No case can match: P4 semantics signal error.NoMatch.
+        state.push_work(ParserStateItem(parser_name, "reject"))
+        return [state]
+    return successors
+
+
+# ===========================================================================
+# The step function
+# ===========================================================================
+
+def step(state: ExecutionState) -> list[ExecutionState]:
+    item = state.pop_work()
+    if item is None:
+        state.finished = True
+        return [state]
+
+    # --- plain python continuation (target glue) -----------------------
+    if callable(item) and not isinstance(item, type):
+        result = item(state)
+        return result if result is not None else [state]
+
+    if isinstance(item, ParserStateItem):
+        return _run_parser_state(state, item)
+
+    if isinstance(item, tuple) and item and item[0] == "transition":
+        return _run_transition(state, item[1], item[2])
+
+    if isinstance(item, PopFrame):
+        state.frames.pop()
+        return [state]
+
+    if isinstance(item, (ExitMarker, ReturnMarker)):
+        return [state]
+
+    if isinstance(item, N.IrStmt):
+        return _step_stmt(state, item)
+
+    raise SymexError(f"unknown work item {item!r}")
+
+
+def _step_stmt(state: ExecutionState, stmt: N.IrStmt) -> list[ExecutionState]:
+    state.cover(stmt)
+
+    if isinstance(stmt, N.IrAssign):
+        if isinstance(stmt.value, N.IrCall) and stmt.value.func == "lookahead":
+            impl = state.target.packet_method("lookahead")
+            successors = impl(state, stmt.value)
+            for succ in successors:
+                value = succ.props.pop("last_lookahead", None)
+                if value is not None:
+                    path, _t = resolve_lvalue(succ, stmt.target)
+                    succ.write(path, value)
+            return successors
+        assign(state, stmt.target, stmt.value)
+        return [state]
+
+    if isinstance(stmt, N.IrVarDecl):
+        scratch = f"$local${state.state_id}${stmt.name}"
+        state.bind_local(stmt.name, scratch)
+        # lookahead() in initializer position must branch on packet
+        # length, so it routes through the target's packet method.
+        if isinstance(stmt.init, N.IrCall) and stmt.init.func == "lookahead":
+            impl = state.target.packet_method("lookahead")
+            successors = impl(state, stmt.init)
+            for succ in successors:
+                value = succ.props.pop("last_lookahead", None)
+                if value is not None:
+                    succ.env[scratch] = value
+            return successors
+        if stmt.init is not None:
+            if isinstance(stmt.p4_type, (HeaderType, StructType, StackType)):
+                assign(
+                    state,
+                    N.VarLV(p4_type=stmt.p4_type, name=stmt.name),
+                    stmt.init,
+                )
+            else:
+                state.env[scratch] = eval_expr(state, stmt.init)
+        else:
+            state.init_type(scratch, stmt.p4_type, state.target.local_init_mode)
+        return [state]
+
+    if isinstance(stmt, N.IrIf):
+        cond = stmt.cond
+        # Table-result conditions branch through the table itself.
+        if isinstance(cond, N.IrApplyExpr):
+            table = state.program.find_table(cond.table)
+
+            def build(branch, _ref, hit, _stmt=stmt, _member=cond.member):
+                want = hit if _member == "hit" else not hit
+                body = _stmt.then_stmts if want else _stmt.else_stmts
+                branch.push_stmts(body)
+
+            return apply_table(state, table, build)
+        if isinstance(cond, N.IrUnop) and cond.op == "!" \
+                and isinstance(cond.operand, N.IrApplyExpr):
+            inner = cond.operand
+            table = state.program.find_table(inner.table)
+
+            def build_neg(branch, _ref, hit, _stmt=stmt, _member=inner.member):
+                res = hit if _member == "hit" else not hit
+                body = _stmt.then_stmts if not res else _stmt.else_stmts
+                branch.push_stmts(body)
+
+            return apply_table(state, table, build_neg)
+
+        cond_val = eval_expr(state, cond)
+        if cond_val.is_tainted:
+            # Unpredictable branch (§5.3).  Both sides are explored, but
+            # only the side consistent with the software model's
+            # deterministic garbage (taint sources read as 0) may emit a
+            # test — the other side's outcome cannot be predicted, so a
+            # test from it would be flaky and is dropped.
+            consistent = _taint_default_value(cond_val.term)
+            then_branch = state.clone()
+            then_branch.push_stmts(stmt.then_stmts)
+            then_branch.log("tainted-if: then")
+            else_branch = state
+            else_branch.push_stmts(stmt.else_stmts)
+            else_branch.log("tainted-if: else")
+            if consistent is True:
+                else_branch.blocked_reason = "tainted branch (unpredictable)"
+            elif consistent is False:
+                then_branch.blocked_reason = "tainted branch (unpredictable)"
+            else:
+                then_branch.blocked_reason = "tainted branch (unpredictable)"
+                else_branch.blocked_reason = "tainted branch (unpredictable)"
+            return [then_branch, else_branch]
+        if cond_val.term.is_const:
+            state.push_stmts(stmt.then_stmts if cond_val.term.payload else stmt.else_stmts)
+            return [state]
+        then_branch = state.clone()
+        if then_branch.add_constraint(cond_val.term):
+            then_branch.push_stmts(stmt.then_stmts)
+            then_ok = True
+        else:
+            then_ok = False
+        else_ok = state.add_constraint(T.not_(cond_val.term))
+        if else_ok:
+            state.push_stmts(stmt.else_stmts)
+        out = []
+        if then_ok:
+            out.append(then_branch)
+        if else_ok:
+            out.append(state)
+        return out
+
+    if isinstance(stmt, N.IrApplyTable):
+        table = state.program.find_table(stmt.table)
+
+        def build_nothing(branch, _ref, _hit):
+            return None
+
+        return apply_table(state, table, build_nothing)
+
+    if isinstance(stmt, N.IrSwitch):
+        table = state.program.find_table(stmt.table)
+
+        def build_switch(branch, ref, hit, _stmt=stmt):
+            ran = ref.action if ref is not None else None
+            chosen: list | None = None
+            default_body: list | None = None
+            for labels, body in _stmt.cases:
+                if "default" in labels:
+                    default_body = body
+                if ran is not None and ran in labels:
+                    chosen = body
+                    break
+            if chosen is None:
+                chosen = default_body or []
+            branch.push_stmts(chosen)
+
+        return apply_table(state, table, build_switch)
+
+    if isinstance(stmt, N.IrExit):
+        while state.work:
+            top = state.work.pop()
+            if isinstance(top, PopFrame):
+                state.frames.pop()
+            if isinstance(top, ExitMarker):
+                break
+        return [state]
+
+    if isinstance(stmt, N.IrReturn):
+        while state.work:
+            top = state.work.pop()
+            if isinstance(top, PopFrame):
+                state.frames.pop()
+            if isinstance(top, ReturnMarker):
+                break
+        return [state]
+
+    if isinstance(stmt, N.IrMethodCall):
+        return _step_call(state, stmt.call)
+
+    raise SymexError(f"unknown statement {stmt!r}")
+
+
+# ===========================================================================
+# Calls in statement position
+# ===========================================================================
+
+def _step_call(state: ExecutionState, call: N.IrCall) -> list[ExecutionState]:
+    func = call.func
+
+    if func == "__action__":
+        call_action_directly(state, call.obj, list(call.args))
+        return [state]
+
+    if func == "setValid":
+        path, _t = resolve_lvalue(state, call.obj)
+        state.write_valid(path, sym_bool(True))
+        return [state]
+    if func == "setInvalid":
+        path, _t = resolve_lvalue(state, call.obj)
+        state.write_valid(path, sym_bool(False))
+        return [state]
+
+    if func in ("push_front", "pop_front"):
+        return _stack_push_pop(state, call)
+
+    if func in ("extract", "emit", "advance", "lookahead", "length"):
+        impl = state.target.packet_method(func)
+        return impl(state, call)
+
+    impl = state.target.extern_impl(func)
+    if impl is not None:
+        result = impl(state, call)
+        return result if result is not None else [state]
+    raise SymexError(f"no extern implementation for {func!r}")
+
+
+def _stack_push_pop(state: ExecutionState, call: N.IrCall) -> list:
+    path, stack_type = resolve_lvalue(state, call.obj)
+    if not isinstance(stack_type, StackType):
+        raise SymexError("push_front/pop_front on non-stack")
+    count_expr = call.args[0]
+    count = int(count_expr.value) if isinstance(count_expr, N.IrConst) else 1
+    size = stack_type.size
+    elem = stack_type.element
+    if call.func == "push_front":
+        for i in range(size - 1, count - 1, -1):
+            state.copy_value(f"{path}[{i - count}]", f"{path}[{i}]", elem)
+        for i in range(min(count, size)):
+            state.init_type(f"{path}[{i}]", elem, "invalid")
+            state.write_valid(f"{path}[{i}]", sym_bool(False))
+        state.next_index[path] = min(state.next_index.get(path, 0) + count, size)
+    else:
+        for i in range(0, size - count):
+            state.copy_value(f"{path}[{i + count}]", f"{path}[{i}]", elem)
+        for i in range(max(size - count, 0), size):
+            state.write_valid(f"{path}[{i}]", sym_bool(False))
+        state.next_index[path] = max(state.next_index.get(path, 0) - count, 0)
+    return [state]

@@ -1,0 +1,139 @@
+"""Taint propagation rules (paper §5.3).
+
+Taint is an int bitmask carried next to each term.  The rules are
+conservative (may over-taint, never under-taint) with the mitigations
+the paper describes:
+
+1. Simplifier-based elimination: e.g. ``tainted * 0`` folds to the
+   constant 0 in the term layer, and the rules below clear taint when
+   the resulting term is a constant.
+2. Specification freedom (wildcard ternary entries) is applied at the
+   table-apply level in the stepper.
+3. Target determinism (e.g. ``@auto_init_metadata``) is applied by the
+   target extensions when initializing state.
+"""
+
+from __future__ import annotations
+
+from ..smt import terms as T
+from .value import SymVal
+
+__all__ = [
+    "binop_taint",
+    "unop_taint",
+    "concat_taint",
+    "slice_taint",
+    "ite_taint",
+    "cast_taint",
+    "clear_if_const",
+]
+
+
+def _full(width: int) -> int:
+    return 1 if width == 0 else (1 << width) - 1
+
+
+def clear_if_const(term: T.Term, taint: int) -> int:
+    """Mitigation 1: if simplification produced a constant, the value is
+    fully determined regardless of operand taint."""
+    if term.is_const:
+        return 0
+    return taint
+
+
+def _carry_spread(mask: int, width: int) -> int:
+    """Arithmetic carries propagate taint from the lowest tainted bit
+    upward; bits below it stay clean."""
+    if mask == 0:
+        return 0
+    lowest = (mask & -mask).bit_length() - 1
+    return _full(width) & ~((1 << lowest) - 1)
+
+
+def binop_taint(op: str, left: SymVal, right: SymVal, result: T.Term) -> int:
+    width = result.width
+    lt, rt = left.taint, right.taint
+    if lt == 0 and rt == 0:
+        return 0
+    if op in ("&", "|", "^"):
+        # Bitwise ops keep taint positional.  For & and |, a controlling
+        # constant operand masks taint out (0 & tainted == 0, 1 | tainted == 1).
+        if op == "&":
+            out = _and_refine(left, right)
+        elif op == "|":
+            out = _or_refine(left, right)
+        else:
+            out = lt | rt
+        return clear_if_const(result, out)
+    if op in ("+", "-"):
+        return clear_if_const(result, _carry_spread(lt | rt, width))
+    if op in ("*", "/", "%"):
+        return clear_if_const(result, _full(width) if (lt | rt) else 0)
+    if op in ("==", "!=", "<", ">", "<=", ">=", "&&", "||"):
+        return clear_if_const(result, 1 if (lt or rt) else 0)
+    if op in ("<<", ">>"):
+        if rt:
+            return clear_if_const(result, _full(width))
+        if right.term.is_const:
+            sh = right.term.value
+            if op == "<<":
+                return clear_if_const(result, (lt << sh) & _full(width))
+            return clear_if_const(result, lt >> sh)
+        return clear_if_const(result, _full(width) if lt else 0)
+    # Unknown op: be conservative.
+    return _full(width)
+
+
+def _and_refine(left: SymVal, right: SymVal) -> int:
+    """Bit i of (a & b) is clean if either side has a clean 0 there."""
+    out = left.taint | right.taint
+    for a, b in ((left, right), (right, left)):
+        if a.term.is_const:
+            # bits where a is 0 force result 0 regardless of b's taint
+            clean_zero = ~a.term.value
+            out &= ~(clean_zero & ~a.taint)
+    return out
+
+
+def _or_refine(left: SymVal, right: SymVal) -> int:
+    """Bit i of (a | b) is clean if either side has a clean 1 there."""
+    out = left.taint | right.taint
+    for a, b in ((left, right), (right, left)):
+        if a.term.is_const:
+            clean_one = a.term.value
+            out &= ~(clean_one & ~a.taint)
+    return out
+
+
+def unop_taint(op: str, operand: SymVal, result: T.Term) -> int:
+    if operand.taint == 0:
+        return 0
+    if op in ("~", "!"):
+        return clear_if_const(result, operand.taint)
+    if op == "-":
+        return clear_if_const(result, _carry_spread(operand.taint, result.width))
+    return _full(result.width)
+
+
+def concat_taint(parts: list[SymVal]) -> int:
+    out = 0
+    for p in parts:
+        out = (out << p.width) | p.taint
+    return out
+
+
+def slice_taint(value: SymVal, hi: int, lo: int) -> int:
+    return (value.taint >> lo) & _full(hi - lo + 1)
+
+
+def ite_taint(cond: SymVal, then: SymVal, other: SymVal, result: T.Term) -> int:
+    if cond.taint:
+        # Unpredictable branch: every bit that differs (or might) is dirty.
+        return clear_if_const(result, _full(result.width))
+    return clear_if_const(result, then.taint | other.taint)
+
+
+def cast_taint(value: SymVal, new_width: int) -> int:
+    if new_width >= value.width:
+        return value.taint
+    return value.taint & _full(new_width)

@@ -1,0 +1,82 @@
+"""Symbolic values: an SMT term paired with a taint mask.
+
+The paper (§5.3) tracks *bit-level* taint: a tainted bit may read 0 or
+1 at run time (uninitialized variables, random externs, unspecified
+target behavior).  We carry taint as a plain Python int bitmask
+alongside every scalar term; propagation rules live in
+:mod:`repro.symex.taint`.
+"""
+
+from __future__ import annotations
+
+from ..smt import terms as T
+
+__all__ = ["SymVal", "sym_const", "sym_bool", "fresh_var", "fresh_tainted"]
+
+_fresh_counter = [0]
+
+
+class SymVal:
+    """A scalar symbolic value: (term, taint mask).
+
+    For booleans the term is a boolean term and taint is 0 or 1.
+    ``mask`` bit i set means bit i of the value is unpredictable.
+    """
+
+    __slots__ = ("term", "taint")
+
+    def __init__(self, term: T.Term, taint: int = 0):
+        self.term = term
+        self.taint = taint
+
+    @property
+    def width(self) -> int:
+        return self.term.width
+
+    @property
+    def is_tainted(self) -> bool:
+        return self.taint != 0
+
+    @property
+    def fully_tainted(self) -> bool:
+        if self.term.width == 0:
+            return self.taint != 0
+        return self.taint == (1 << self.term.width) - 1
+
+    def with_taint(self, taint: int) -> "SymVal":
+        return SymVal(self.term, taint)
+
+    def __repr__(self) -> str:
+        t = f" taint={self.taint:#x}" if self.taint else ""
+        return f"SymVal({self.term!r}{t})"
+
+
+def sym_const(value: int, width: int) -> SymVal:
+    return SymVal(T.bv_const(value, width), 0)
+
+
+def sym_bool(value: bool) -> SymVal:
+    return SymVal(T.bool_const(value), 0)
+
+
+def fresh_var(prefix: str, width: int) -> SymVal:
+    """A fresh, untainted symbolic variable (e.g. control-plane args)."""
+    _fresh_counter[0] += 1
+    name = f"{prefix}~{_fresh_counter[0]}"
+    if width == 0:
+        return SymVal(T.bool_var(name), 0)
+    return SymVal(T.bv_var(name, width), 0)
+
+
+# Registry of variables created as taint *sources*.  Used by the
+# stepper to decide which branch of a tainted condition is consistent
+# with the software models' deterministic garbage (all-zeros).
+TAINT_SOURCE_VARS: set = set()
+
+
+def fresh_tainted(prefix: str, width: int) -> SymVal:
+    """A fresh variable with every bit tainted (uninitialized reads,
+    unpredictable extern output)."""
+    v = fresh_var(prefix, width)
+    TAINT_SOURCE_VARS.add(v.term)
+    return v.with_taint(1 if width == 0 else (1 << width) - 1)

@@ -1,0 +1,32 @@
+"""Target extensions: pipeline templates and target-specific semantics.
+
+The four extensions from the paper's Tbl. 1: V1Model (BMv2), Tna
+(Tofino 1), T2na (Tofino 2), and EbpfModel (Linux kernel)."""
+
+from .base import Preconditions, TargetExtension
+from .ebpf import EbpfModel
+from .t2na import T2na
+from .tna import Tna
+from .v1model import V1Model
+
+__all__ = [
+    "TargetExtension", "Preconditions",
+    "V1Model", "Tna", "T2na", "EbpfModel",
+    "TARGETS", "get_target",
+]
+
+TARGETS = {
+    "v1model": V1Model,
+    "tna": Tna,
+    "t2na": T2na,
+    "ebpf_model": EbpfModel,
+}
+
+
+def get_target(name: str, **kwargs) -> TargetExtension:
+    try:
+        return TARGETS[name](**kwargs)
+    except KeyError:
+        raise KeyError(
+            f"unknown target {name!r}; available: {', '.join(sorted(TARGETS))}"
+        )

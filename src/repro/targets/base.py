@@ -1,0 +1,494 @@
+"""Target-extension framework (paper §5).
+
+A :class:`TargetExtension` supplies everything the core symbolic
+executor leaves open:
+
+- the *pipeline template*: how architectural blocks chain together and
+  what per-packet state threads between them (§5.1), expressed as
+  Python continuations pushed onto the state's work stack;
+- overrides for core packet functions (extract/advance/lookahead/emit)
+  and their failure semantics (§5.2);
+- extern implementations, including concolic ones (§5.4);
+- policies: uninitialized-value semantics, const-entry ordering,
+  preconditions (fixed packet sizes, minimum sizes, metadata zeroing).
+
+Concrete targets (v1model, ebpf, tna, t2na) subclass this without any
+change to the core stepper — the paper's extensibility claim.
+"""
+
+from __future__ import annotations
+
+from ..frontend.types import HeaderType, P4Type, StackType, StructType, VarbitType
+from ..ir import nodes as N
+from ..smt import terms as T
+from ..symex.state import ExecutionState, ExitMarker, ParserStateItem
+from ..symex.value import SymVal, fresh_tainted, fresh_var, sym_bool, sym_const
+
+__all__ = ["TargetExtension", "Preconditions"]
+
+
+class Preconditions:
+    """Optional input-space restrictions (paper Tbl. 4b)."""
+
+    def __init__(self, fixed_packet_size_bytes: int | None = None,
+                 p4constraints: bool = False,
+                 max_packet_bytes: int = 1500,
+                 byte_aligned: bool = True):
+        self.fixed_packet_size_bytes = fixed_packet_size_bytes
+        self.p4constraints = p4constraints
+        self.max_packet_bytes = max_packet_bytes
+        self.byte_aligned = byte_aligned
+
+
+class _BackendCaps:
+    """Control-plane capabilities of a test framework (§6)."""
+
+    def __init__(self, framework: str | None):
+        self.framework = framework
+        if framework is None or framework in ("ptf", "protobuf", "internal"):
+            self.range_entries = True
+            self.registers = True
+            self.value_sets = True
+        elif framework == "stf":
+            self.range_entries = False   # "STF does not yet support
+            self.registers = False       #  adding range entries" (§6)
+            self.value_sets = True
+        else:
+            raise ValueError(f"unknown test framework {framework!r}")
+
+
+class TargetExtension:
+    """Base class; subclasses define NAME, ARCH_INCLUDE, and hooks."""
+
+    NAME = "abstract"
+    ARCH_INCLUDE = "core.p4"
+    # How locals/uninitialized reads behave unless the target overrides:
+    # reading undefined state yields tainted bits (§5.3).
+    local_init_mode = "taint"
+    MAX_RECIRCULATIONS = 2
+    # Taint mitigation 2 (§5.3): wildcard ternary entries hide key
+    # taint.  Disabled by the taint-spread ablation benchmark.
+    taint_wildcard_mitigation = True
+
+    def __init__(self, preconditions: Preconditions | None = None,
+                 test_framework: str | None = None):
+        self.preconditions = preconditions or Preconditions()
+        # Richness of the chosen test framework's API limits what the
+        # control plane can configure (§6): e.g. STF cannot express
+        # range entries or initialize registers, so paths requiring
+        # those are not generated ("cover fewer paths").
+        self.backend_caps = _BackendCaps(test_framework)
+        self._extern_impls: dict = {}
+        self._extern_value_impls: dict = {}
+        self._register_externs()
+
+    @property
+    def name(self) -> str:
+        return self.NAME
+
+    # ==================================================================
+    # To be provided by subclasses
+    # ==================================================================
+
+    def build_initial_state(self, program: N.IrProgram) -> ExecutionState:
+        raise NotImplementedError
+
+    def finalize_outputs(self, state: ExecutionState, eval_fn):
+        """Returns ([(port, bits, width, dont_care_mask)], dropped)."""
+        outputs = []
+        dropped = not state.output_packets
+        for port_val, pkt_val in state.output_packets:
+            if port_val.is_tainted:
+                continue  # should have been blocked earlier
+            port = eval_fn(port_val.term)
+            if pkt_val is None:
+                outputs.append((port, 0, 0, 0))
+                continue
+            bits = eval_fn(pkt_val.term)
+            outputs.append((port, bits, pkt_val.term.width, pkt_val.taint))
+        return outputs, dropped
+
+    def _register_externs(self) -> None:
+        """Subclasses populate self._extern_impls / _extern_value_impls."""
+
+    # ==================================================================
+    # Policies the stepper consults
+    # ==================================================================
+
+    def uninitialized_value(self, state, path: str, width: int) -> SymVal:
+        return fresh_tainted(path, width)
+
+    def order_const_entries(self, table: N.IrTable) -> list:
+        """Program order by default; v1model honours @priority."""
+        return list(table.const_entries)
+
+    def entry_constraints(self, state, table: N.IrTable, key_fields) -> list:
+        """Extra constraints on a synthesized entry's key variables
+        (P4-constraints hook; §6.1.1)."""
+        if not self.preconditions.p4constraints:
+            return []
+        constraint_src = state.program.p4constraints.get(table.full_name)
+        if not constraint_src:
+            return []
+        from ..control_plane.p4constraints import ConstraintError, constraint_terms
+
+        key_vars = {}
+        for name, _kind, roles in key_fields:
+            if "value" in roles:
+                key_vars[name] = roles["value"]
+        try:
+            return constraint_terms(constraint_src, key_vars)
+        except ConstraintError:
+            return []
+
+    def extern_impl(self, func: str):
+        return self._extern_impls.get(func)
+
+    def extern_value_impl(self, func: str):
+        return self._extern_value_impls.get(func)
+
+    # ==================================================================
+    # Packet methods (core defaults; §5.2 override points)
+    # ==================================================================
+
+    def packet_method(self, func: str):
+        return {
+            "extract": self.do_extract,
+            "emit": self.do_emit,
+            "advance": self.do_advance,
+            "lookahead": self.do_lookahead,
+            "length": self.do_length,
+        }[func]
+
+    # -- extract ---------------------------------------------------------
+
+    def do_extract(self, state: ExecutionState, call: N.IrCall) -> list:
+        from ..symex.stepper import StackOverflowSignal, eval_expr, resolve_lvalue
+
+        header_lv = call.args[0]
+        try:
+            path, header_type = resolve_lvalue(state, header_lv)
+        except StackOverflowSignal:
+            # P4-16 §8.18: extract into a full stack signals
+            # error.StackOutOfBounds and rejects.
+            self.set_parser_error(state, "StackOutOfBounds")
+            self._jump_to_reject(state)
+            return [state]
+        if isinstance(header_type, VarbitType):
+            raise NotImplementedError("top-level varbit extract")
+        width = header_type.bit_width()
+        if len(call.args) > 1:
+            # Two-arg form: extract(hdr, varbitBits).  The varbit field
+            # must be last; only constant lengths survive the mid-end.
+            extra = call.args[1]
+            if isinstance(extra, N.IrConst):
+                width += int(extra.value)
+            else:
+                extra_val = eval_expr(state, extra)
+                if extra_val.term.is_const:
+                    width += extra_val.term.value
+                else:
+                    raise NotImplementedError("symbolic varbit extract length")
+        return self._extract_bits(state, path, header_type, width)
+
+    def short_residue_bits(self, deficit: int) -> int:
+        """How much of the failing header the too-short test packet
+        still carries: the largest allowed length below the requirement
+        (byte-aligned by default, like real link layers)."""
+        if self.preconditions.byte_aligned:
+            return ((deficit - 1) // 8) * 8 if deficit > 0 else 0
+        return max(deficit - 1, 0)
+
+    def _too_short_branch(self, state, deficit: int):
+        """Build the failure sibling for a consume of ``deficit`` fresh
+        input bits.  The residue (the partial header actually present)
+        is materialized into I and L so it flows to the output as
+        unparsed payload, and the packet length is pinned exactly."""
+        fail = state.clone()
+        residue = self.short_residue_bits(deficit)
+        if residue > 0:
+            fail.packet.ensure_live(residue)
+        ok = fail.add_constraint(
+            T.eq(
+                fail.packet.pkt_len,
+                T.bv_const(fail.packet.input_bits, 32),
+            )
+        )
+        return fail if ok else None
+
+    def _extract_bits(self, state, path: str, header_type, width: int) -> list:
+        successors = []
+        deficit = width - state.packet.live_bits()
+        if deficit > 0:
+            # Too-short branch (§5.2.1): the input packet ends inside
+            # this header.
+            fail = self._too_short_branch(state, deficit)
+            if fail is not None:
+                self.on_extract_failure(fail, path, header_type)
+                successors.append(fail)
+            ok = state.add_constraint(
+                T.uge(
+                    state.packet.pkt_len,
+                    T.bv_const(state.packet.input_bits + deficit, 32),
+                )
+            )
+            if not ok:
+                return successors
+        value = state.packet.consume(width)
+        self._write_extracted(state, path, header_type, value)
+        state.log(f"extract {path} ({width} bits)")
+        successors.append(state)
+        return successors
+
+    def _write_extracted(self, state, path: str, header_type, value: SymVal) -> None:
+        if isinstance(header_type, HeaderType):
+            state.write_valid(path, sym_bool(True))
+            offset = 0
+            total = value.term.width
+            for fname, ftype in header_type.fields:
+                fwidth = ftype.bit_width()
+                hi = total - offset - 1
+                lo = total - offset - fwidth
+                term = T.extract(value.term, hi, lo)
+                taint = (value.taint >> lo) & ((1 << fwidth) - 1)
+                state.write(f"{path}.{fname}", SymVal(term, taint))
+                offset += fwidth
+            self._bump_stack_index(state, path)
+            return
+        if isinstance(header_type, StructType):
+            offset = 0
+            total = value.term.width
+            for fname, ftype in header_type.fields:
+                fwidth = ftype.bit_width()
+                hi = total - offset - 1
+                lo = total - offset - fwidth
+                state.write(
+                    f"{path}.{fname}",
+                    SymVal(
+                        T.extract(value.term, hi, lo),
+                        (value.taint >> lo) & ((1 << fwidth) - 1),
+                    ),
+                )
+                offset += fwidth
+            return
+        state.write(path, value)
+
+    def _bump_stack_index(self, state, path: str) -> None:
+        # hdr.stack[i] extracted via .next: path ends with [i]
+        if path.endswith("]"):
+            base = path[: path.rindex("[")]
+            if base in state.next_index:
+                state.next_index[base] = state.next_index[base] + 1
+
+    def on_extract_failure(self, state: ExecutionState, path: str,
+                           header_type) -> None:
+        """Core P4: signal PacketTooShort and transition to reject.
+        Targets override (BMv2 invalidates the header and jumps to the
+        control; Tofino drops unless parser_err is read)."""
+        self.set_parser_error(state, "PacketTooShort")
+        self._jump_to_reject(state)
+
+    def set_parser_error(self, state: ExecutionState, err_name: str) -> None:
+        code = state.program.error_code(err_name)
+        state.props["parser_error"] = code
+        err_path = self.parser_error_path()
+        if err_path:
+            state.write(err_path, sym_const(code, 32))
+
+    def parser_error_path(self) -> str | None:
+        return None
+
+    def _jump_to_reject(self, state: ExecutionState) -> None:
+        # Discard queued parser work up to the accept-hook callable and
+        # enter the reject flow.
+        while state.work:
+            top = state.work[-1]
+            if isinstance(top, ParserStateItem) or (
+                isinstance(top, tuple) and top and top[0] == "transition"
+            ) or isinstance(top, N.IrStmt):
+                state.work.pop()
+                continue
+            break
+        parser_name = state.props.get("current_parser")
+        state.push_work(ParserStateItem(parser_name, "reject"))
+
+    # -- emit -------------------------------------------------------------
+
+    def do_emit(self, state: ExecutionState, call: N.IrCall) -> list:
+        from ..symex.stepper import resolve_lvalue
+
+        lv = call.args[0]
+        path, p4_type = resolve_lvalue(state, lv)
+        self._emit_value(state, path, p4_type)
+        return [state]
+
+    def _emit_value(self, state, path: str, p4_type: P4Type) -> None:
+        if isinstance(p4_type, HeaderType):
+            valid = state.read_valid(path)
+            if valid.term.is_const:
+                if not valid.term.payload:
+                    return
+                value = self._pack_fields(state, path, p4_type)
+                state.packet.emit(value)
+                state.log(f"emit {path}")
+                return
+            # Symbolic validity: branch-free modeling would need
+            # variable-width vectors; emit both contents guarded is not
+            # expressible, so we fork at the stepper level instead.
+            # Here we conservatively branch via an exception-free trick:
+            # treat as valid-constrained (the deparser usually emits
+            # headers whose validity is path-determined).
+            value = self._pack_fields(state, path, p4_type)
+            guard_state_fork(state, valid, value)
+            return
+        if isinstance(p4_type, StructType):
+            for fname, ftype in p4_type.fields:
+                self._emit_value(state, f"{path}.{fname}", ftype)
+            return
+        if isinstance(p4_type, StackType):
+            for i in range(p4_type.size):
+                self._emit_value(state, f"{path}[{i}]", p4_type.element)
+            return
+        value = state.read(path, p4_type.bit_width())
+        state.packet.emit(value)
+
+    def _pack_fields(self, state, path: str, header_type: HeaderType) -> SymVal:
+        parts = []
+        taint = 0
+        for fname, ftype in header_type.fields:
+            v = state.read(f"{path}.{fname}", ftype.bit_width())
+            parts.append(v.term)
+            taint = (taint << ftype.bit_width()) | v.taint
+        term = T.concat(*parts) if len(parts) > 1 else parts[0]
+        return SymVal(term, taint)
+
+    # -- advance / lookahead / length --------------------------------------
+
+    def do_advance(self, state: ExecutionState, call: N.IrCall) -> list:
+        from ..symex.stepper import eval_expr
+
+        amount = eval_expr(state, call.args[0])
+        if not amount.term.is_const:
+            raise NotImplementedError(
+                "symbolic advance length (paper §2.3 challenge 4); "
+                "the mid-end should have folded it"
+            )
+        width = amount.term.value
+        if width == 0:
+            return [state]
+        successors = []
+        deficit = width - state.packet.live_bits()
+        if deficit > 0:
+            fail = self._too_short_branch(state, deficit)
+            if fail is not None:
+                self.on_extract_failure(fail, "<advance>", None)
+                successors.append(fail)
+            if not state.add_constraint(
+                T.uge(
+                    state.packet.pkt_len,
+                    T.bv_const(state.packet.input_bits + deficit, 32),
+                )
+            ):
+                return successors
+        state.packet.consume(width)
+        state.log(f"advance {width} bits")
+        successors.append(state)
+        return successors
+
+    def do_lookahead(self, state: ExecutionState, call: N.IrCall) -> list:
+        # lookahead<T>() returns a value; in statement position it is a
+        # no-op other than the size requirement.
+        rtype = call.p4_type
+        width = rtype.bit_width() if rtype is not None else 0
+        if width == 0:
+            return [state]
+        successors = []
+        deficit = width - state.packet.live_bits()
+        if deficit > 0:
+            fail = self._too_short_branch(state, deficit)
+            if fail is not None:
+                self.on_extract_failure(fail, "<lookahead>", None)
+                successors.append(fail)
+            if not state.add_constraint(
+                T.uge(
+                    state.packet.pkt_len,
+                    T.bv_const(state.packet.input_bits + deficit, 32),
+                )
+            ):
+                return successors
+        value = state.packet.peek(width)
+        state.props["last_lookahead"] = value
+        successors.append(state)
+        return successors
+
+    def do_length(self, state: ExecutionState, call: N.IrCall) -> list:
+        return [state]
+
+    # ==================================================================
+    # Parser accept/reject hooks
+    # ==================================================================
+
+    def on_parser_accept(self, state: ExecutionState, parser) -> list:
+        return [state]
+
+    def on_parser_reject(self, state: ExecutionState, parser) -> list:
+        """Core default: rejected packets are dropped."""
+        state.props["dropped"] = True
+        state.work.clear()
+        state.finished = True
+        return [state]
+
+    # ==================================================================
+    # Block execution helpers shared by concrete targets
+    # ==================================================================
+
+    def enter_parser(self, state: ExecutionState, parser_name: str,
+                     arg_paths: list) -> None:
+        """Queue a parser block.  ``arg_paths`` maps parser params (in
+        declaration order) to canonical storage paths; packet params map
+        to None."""
+        program = state.program
+        parser = program.parsers[parser_name]
+        aliases = {}
+        for param, path in zip(parser.params, arg_paths):
+            if path is None:
+                continue
+            aliases[param.name] = path
+            if param.direction == "out":
+                state.init_type(path, param.p4_type, "invalid")
+        state.props["current_parser"] = parser_name
+        state.push_frame(aliases)
+        # Stack order: locals run first, then the start state.
+        state.push_work(ParserStateItem(parser_name, "start"))
+        for decl in reversed(parser.locals):
+            state.push_work(decl)
+
+    def enter_control(self, state: ExecutionState, control_name: str,
+                      arg_paths: list) -> None:
+        program = state.program
+        control = program.controls[control_name]
+        aliases = {}
+        for param, path in zip(control.params, arg_paths):
+            if path is None:
+                continue
+            aliases[param.name] = path
+            if param.direction == "out":
+                state.init_type(path, param.p4_type, self.local_init_mode)
+        state.push_frame(aliases)
+        state.push_work(ExitMarker())
+        state.push_stmts(control.apply_stmts)
+        for decl in reversed(control.locals):
+            state.push_work(decl)
+
+
+def guard_state_fork(state, valid: SymVal, value: SymVal) -> None:
+    """Emit under a symbolic validity bit.
+
+    A variable-width packet cannot be encoded in QF_BV, so we pick the
+    branch where the header is valid and constrain accordingly; the
+    invalid-branch path was already explored via control flow wherever
+    validity was decided.  If the constraint is infeasible the path dies
+    at the next prune.
+    """
+    state.add_constraint(valid.term)
+    state.packet.emit(value)

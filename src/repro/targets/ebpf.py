@@ -1,0 +1,185 @@
+"""The ebpf_model target extension (paper §6.1.3).
+
+The simplest architecture: a parser and a ``filter`` control, no
+deparser.  The kernel target accepts or drops the packet based on the
+filter's ``accept`` out-parameter.  Because there is no deparser, the
+extension models *implicit deparsing*: it walks the header structure in
+declaration order and re-emits every valid header (exactly the helper
+the paper describes), followed by the unparsed payload.
+
+eBPF quirks (App. A.1):
+- a failing extract/advance drops the packet in the kernel;
+- extract/advance do not change the size of the outgoing packet (the
+  kernel re-emits the original bytes unless headers were rewritten);
+- there is no recirculation or cloning.
+"""
+
+from __future__ import annotations
+
+from ..frontend.types import HeaderType, StackType, StructType
+from ..ir import nodes as N
+from ..smt import terms as T
+from ..symex.state import ExecutionState
+from ..symex.value import SymVal, fresh_var, sym_bool, sym_const
+from .base import TargetExtension
+
+__all__ = ["EbpfModel"]
+
+HDR = "*hdr"
+ACCEPT = "*accept"
+
+
+class EbpfModel(TargetExtension):
+    NAME = "ebpf_model"
+    ARCH_INCLUDE = "ebpf_model.p4"
+    local_init_mode = "zero"
+
+    def uninitialized_value(self, state, path, width):
+        return sym_const(0, width) if width else sym_bool(False)
+
+    # ==================================================================
+    # Pipeline: parser -> filter -> implicit deparser
+    # ==================================================================
+
+    def build_initial_state(self, program: N.IrProgram) -> ExecutionState:
+        if program.package_name != "ebpfFilter" or len(program.bindings) != 2:
+            raise ValueError("ebpf_model requires an ebpfFilter(main) program")
+        state = ExecutionState(program, self)
+        parser = program.parsers[program.bindings[0].decl_name]
+        hdr_type = parser.params[1].p4_type
+        state.props["hdr_type"] = hdr_type
+        state.init_type(HDR, hdr_type, "invalid")
+        # eBPF has a single interface pair; ports are indexes the
+        # kernel hook sees.  We model a symbolic input port.
+        in_port = fresh_var("*in_port", 9)
+        state.props["input_port_term"] = in_port.term
+        state.env[ACCEPT] = sym_bool(False)
+
+        pkt_len = state.packet.pkt_len
+        if self.preconditions.byte_aligned:
+            state.add_constraint(
+                T.eq(T.bv_and(pkt_len, T.bv_const(7, 32)), T.bv_const(0, 32))
+            )
+        if self.preconditions.fixed_packet_size_bytes is not None:
+            state.add_constraint(
+                T.eq(
+                    pkt_len,
+                    T.bv_const(self.preconditions.fixed_packet_size_bytes * 8, 32),
+                )
+            )
+        else:
+            state.add_constraint(
+                T.ule(pkt_len, T.bv_const(self.preconditions.max_packet_bytes * 8, 32))
+            )
+
+        state.push_work(self._finish)
+        state.push_work(self._run_filter_cb(program.bindings[1].decl_name))
+        state.push_work(self._run_parser_cb(program.bindings[0].decl_name))
+        return state
+
+    def _run_parser_cb(self, name: str):
+        def run(state: ExecutionState):
+            parser = state.program.parsers[name]
+            self.enter_parser(state, name, [None, HDR][: len(parser.params)])
+            return [state]
+
+        return run
+
+    def _run_filter_cb(self, name: str):
+        def run(state: ExecutionState):
+            if state.props.get("dropped"):
+                return [state]
+            control = state.program.controls[name]
+            self.enter_control(state, name, [HDR, ACCEPT][: len(control.params)])
+            return [state]
+
+        return run
+
+    def _finish(self, state: ExecutionState):
+        state.finished = True
+        state.work.clear()
+        if state.props.get("dropped"):
+            return [state]
+        accept = state.env.get(ACCEPT)
+        if accept is None:
+            state.props["dropped"] = True
+            return [state]
+        if accept.is_tainted:
+            state.blocked_reason = "tainted accept decision"
+            return [state]
+        if accept.term.is_const:
+            if not accept.term.payload:
+                state.props["dropped"] = True
+                return [state]
+            self._emit_accepted(state)
+            return [state]
+        # Symbolic accept: branch.
+        drop = state.clone()
+        if drop.add_constraint(T.not_(accept.term)):
+            drop.props["dropped"] = True
+        ok = state.add_constraint(accept.term)
+        out = [drop]
+        if ok:
+            self._emit_accepted(state)
+            out.append(state)
+        return out
+
+    def _emit_accepted(self, state: ExecutionState) -> None:
+        """Implicit deparsing: emit every valid header in declaration
+        order, then the unparsed payload (already the remainder of L)."""
+        hdr_type = state.props["hdr_type"]
+        self._emit_value(state, HDR, hdr_type)
+        state.packet.commit_emit()
+        port = state.props.get("output_port")
+        if port is None:
+            # The kernel passes accepted packets up/through on the same
+            # interface they arrived on.
+            port = SymVal(state.props["input_port_term"], 0)
+        state.output_packets.append((port, state.packet.live_value()))
+
+    # ==================================================================
+    # eBPF quirk: failing extract/advance drops the packet (App. A.1)
+    # ==================================================================
+
+    def on_extract_failure(self, state, path, header_type) -> None:
+        state.log("eBPF: failing extract drops the packet")
+        state.props["dropped"] = True
+        state.work.clear()
+        state.finished = True
+
+    def on_parser_reject(self, state, parser) -> list:
+        state.props["dropped"] = True
+        state.work.clear()
+        state.finished = True
+        return [state]
+
+    # ==================================================================
+    # Externs
+    # ==================================================================
+
+    def _register_externs(self) -> None:
+        self._extern_impls.update(
+            {
+                "CounterArray.increment": self._ext_noop,
+                "CounterArray.add": self._ext_noop,
+                "verify": self._ext_verify,
+                "log_msg": self._ext_noop,
+            }
+        )
+
+    def _ext_noop(self, state, call):
+        return [state]
+
+    def _ext_verify(self, state, call):
+        from ..symex.stepper import eval_expr
+
+        cond = eval_expr(state, call.args[0])
+        ok_branch = state.clone()
+        fail_branch = state
+        out = []
+        if ok_branch.add_constraint(cond.term):
+            out.append(ok_branch)
+        if fail_branch.add_constraint(T.not_(cond.term)):
+            self.on_parser_reject(fail_branch, None)
+            out.append(fail_branch)
+        return out

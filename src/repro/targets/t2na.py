@@ -1,0 +1,84 @@
+"""The t2na target extension — Tofino 2 (paper §6.1.2, App. A.1).
+
+t2na "leverages much of the tna extension" (the paper's words): this
+subclass adds what differs —
+
+- the optional *ghost* programmable block (a seventh pipeline slot)
+  that runs in parallel with the packet; its intrinsic metadata is
+  unpredictable, so it executes with tainted inputs;
+- wider intrinsic prepends (192 bits of port metadata vs 128 total);
+- Tofino 2 does **not** execute the extract when the packet is too
+  short (the header stays invalid rather than unspecified).
+"""
+
+from __future__ import annotations
+
+from ..ir import nodes as N
+from ..symex.state import ExecutionState
+from ..symex.value import SymVal, fresh_tainted, sym_bool, sym_const
+from .tna import IG_PRSR, Tna
+
+__all__ = ["T2na"]
+
+GHOST_MD = "*g_intr_md"
+T2NA_PORT_METADATA_BITS = 192
+
+
+class T2na(Tna):
+    NAME = "t2na"
+    ARCH_INCLUDE = "t2na.p4"
+    PORT_METADATA_BITS = T2NA_PORT_METADATA_BITS
+
+    def build_initial_state(self, program: N.IrProgram) -> ExecutionState:
+        # GhostPipeline has 7 bindings; plain Pipeline programs also run.
+        self._ghost_binding = None
+        if len(program.bindings) >= 7:
+            self._ghost_binding = program.bindings[6]
+        state = super().build_initial_state(program)
+        if self._ghost_binding is not None:
+            self._queue_ghost(state, program)
+        return state
+
+    def _queue_ghost(self, state: ExecutionState, program) -> None:
+        """The ghost thread runs concurrently with ingress; we model it
+        as executing before ingress with fully tainted inputs (its
+        actual interleaving is unpredictable)."""
+        ghost_name = self._ghost_binding.decl_name
+        ghost = program.controls[ghost_name]
+        structs = program.structs
+        state.init_type(GHOST_MD, structs["ghost_intrinsic_metadata_t"], "taint")
+
+        def run_ghost(st: ExecutionState):
+            control = st.program.controls[ghost_name]
+            self.enter_control(st, ghost_name, [GHOST_MD][: len(control.params)])
+            return [st]
+
+        # Insert the ghost run just beneath the top of the work stack
+        # (i.e. before the ingress parser callable placed by tna).
+        state.work.insert(len(state.work) - 1, run_ghost)
+
+    # ------------------------------------------------------------------
+    # Tofino 2 short-packet semantics: the extract is not executed.
+    # ------------------------------------------------------------------
+
+    def on_extract_failure(self, state, path, header_type) -> None:
+        self.set_parser_error(state, "PacketTooShort")
+        if state.props.get("in_ingress_parser", True):
+            if state.props.get("ingress_reads_parser_err"):
+                # Unlike Tofino 1, the header is simply not extracted:
+                # it stays invalid (App. A.1: "Tofino 2 will not execute
+                # the extract call").
+                if header_type is not None:
+                    state.write_valid(path, sym_bool(False))
+                state.write(f"{IG_PRSR}.parser_err", sym_const(1 << 1, 16))
+                state.log("t2na: short packet, extract skipped")
+                self._jump_to_reject(state)
+                return
+            state.props["dropped"] = True
+            state.work.clear()
+            state.finished = True
+            state.log("t2na: short packet dropped in ingress parser")
+            return
+        if header_type is not None:
+            state.write_valid(path, sym_bool(False))
+        self._jump_to_reject(state)

@@ -1,0 +1,686 @@
+"""The tna target extension — Tofino 1 (paper §6.1.2, App. A.1).
+
+Pipeline: IngressParser -> Ingress -> IngressDeparser -> traffic
+manager -> EgressParser -> Egress -> EgressDeparser.
+
+Tofino behaviors modeled:
+- the chip prepends intrinsic metadata (and port metadata) to the
+  packet; the parser extracts it from the live packet ``L`` without
+  growing the required input ``I`` (§5.2.1);
+- packets smaller than 64 bytes are dropped by the ingress parser —
+  *unless* the P4 program reads ``parser_err`` in the ingress control,
+  in which case parsing stops and the offending header is unspecified
+  (tainted);
+- the egress parser does not drop short packets;
+- if the egress port is never written the packet counts as dropped;
+- ``bypass_egress`` skips egress processing;
+- ``drop_ctl`` in either deparser metadata drops the packet;
+- uninitialized metadata is tainted unless the program carries the
+  ``@auto_init_metadata`` annotation (taint mitigation 3);
+- Registers, Hash, and Checksum externs are modeled precisely (Hash and
+  Checksum concolically); Meters use taint-based rapid prototyping.
+"""
+
+from __future__ import annotations
+
+from ..externs.checksum import CHECKSUM_ALGORITHMS, crc16, ones_complement16
+from ..frontend.types import HeaderType, StructType
+from ..ir import nodes as N
+from ..smt import terms as T
+from ..symex.state import ConcolicBinding, ExecutionState, RegisterDecision
+from ..symex.value import SymVal, fresh_tainted, fresh_var, sym_bool, sym_const
+from .base import TargetExtension
+
+__all__ = ["Tna"]
+
+# Canonical pipeline-state paths (paper Fig. 3 analogue for tna).
+HDR_I = "*ihdr"
+IG_MD = "*ig_md"
+IG_INTR = "*ig_intr_md"
+IG_PRSR = "*ig_prsr_md"
+IG_DPRSR = "*ig_dprsr_md"
+IG_TM = "*ig_tm_md"
+HDR_E = "*ehdr"
+EG_MD = "*eg_md"
+EG_INTR = "*eg_intr_md"
+EG_PRSR = "*eg_prsr_md"
+EG_DPRSR = "*eg_dprsr_md"
+EG_OPORT = "*eg_oport_md"
+
+MIN_PACKET_BITS = 64 * 8      # packets below 64 bytes are dropped (§7.2)
+
+
+class Tna(TargetExtension):
+    NAME = "tna"
+    ARCH_INCLUDE = "tna.p4"
+    local_init_mode = "taint"   # Tofino metadata is uninitialized garbage
+    PIPELINE_BINDINGS = 6
+    PORT_METADATA_BITS = 64     # Tofino 1 port-metadata prepend (192 on T2)
+
+    # ==================================================================
+    # Initial state
+    # ==================================================================
+
+    def build_initial_state(self, program: N.IrProgram) -> ExecutionState:
+        if len(program.bindings) < self.PIPELINE_BINDINGS:
+            raise ValueError(f"{self.NAME} requires a full Pipeline(main) program")
+        state = ExecutionState(program, self)
+        self._auto_init = self._has_auto_init(program)
+        meta_mode = "zero" if self._auto_init else "taint"
+        state.props["meta_mode"] = meta_mode
+
+        ig_parser = program.parsers[program.bindings[0].decl_name]
+        state.props["ihdr_type"] = ig_parser.params[1].p4_type
+        state.props["ig_md_type"] = ig_parser.params[2].p4_type
+        eg_parser = program.parsers[program.bindings[3].decl_name]
+        state.props["ehdr_type"] = eg_parser.params[1].p4_type
+        state.props["eg_md_type"] = eg_parser.params[2].p4_type
+
+        structs = program.structs
+        state.init_type(HDR_I, state.props["ihdr_type"], "invalid")
+        state.init_type(IG_MD, state.props["ig_md_type"], meta_mode)
+        state.init_type(IG_INTR, structs["ingress_intrinsic_metadata_t"], meta_mode)
+        state.init_type(
+            IG_PRSR, structs["ingress_intrinsic_metadata_from_parser_t"], meta_mode
+        )
+        state.init_type(
+            IG_DPRSR, structs["ingress_intrinsic_metadata_for_deparser_t"], "zero"
+        )
+        state.init_type(IG_TM, structs["ingress_intrinsic_metadata_for_tm_t"], "zero")
+        # "If the egress port variable is not written ... dropped": start
+        # it tainted so an unwritten port is detectably unpredictable.
+        state.write(f"{IG_TM}.ucast_egress_port", fresh_tainted("ucast", 9))
+
+        in_port = fresh_var("*in_port", 9)
+        state.props["input_port_term"] = in_port.term
+        state.props["in_port"] = in_port
+
+        pkt_len = state.packet.pkt_len
+        state.add_constraint(
+            T.eq(T.bv_and(pkt_len, T.bv_const(7, 32)), T.bv_const(0, 32))
+        )
+        if self.preconditions.fixed_packet_size_bytes is not None:
+            state.add_constraint(
+                T.eq(
+                    pkt_len,
+                    T.bv_const(self.preconditions.fixed_packet_size_bytes * 8, 32),
+                )
+            )
+        else:
+            state.add_constraint(
+                T.ule(pkt_len, T.bv_const(self.preconditions.max_packet_bytes * 8, 32))
+            )
+            # Tofino's 64-byte minimum (App. A.1).
+            state.add_constraint(T.uge(pkt_len, T.bv_const(MIN_PACKET_BITS, 32)))
+
+        state.props["ingress_reads_parser_err"] = self._reads_parser_err(
+            program, program.bindings[1].decl_name
+        )
+
+        self._prepend_ingress_metadata(state, in_port)
+        self._queue_pipeline(state, program)
+        return state
+
+    @staticmethod
+    def _has_auto_init(program) -> bool:
+        """Taint mitigation 3: @auto_init_metadata zeroes all metadata."""
+        for ann in program.annotations:
+            if getattr(ann, "name", "") == "auto_init_metadata":
+                return True
+        return bool(program.consts.get("AUTO_INIT_METADATA", 0))
+
+    def _reads_parser_err(self, program, ingress_name: str) -> bool:
+        """Static scan: does the ingress control reference parser_err?"""
+        control = program.controls[ingress_name]
+        found = [False]
+
+        def walk_lval(lv):
+            if isinstance(lv, N.FieldLV):
+                if lv.field == "parser_err":
+                    found[0] = True
+                walk_lval(lv.base)
+            elif isinstance(lv, (N.IndexLV, N.SliceLV)):
+                walk_lval(lv.base)
+
+        def walk_expr(e):
+            if e is None:
+                return
+            if isinstance(e, N.IrLValExpr):
+                walk_lval(e.lval)
+            for attr in ("left", "right", "operand", "cond", "then", "other", "expr"):
+                child = getattr(e, attr, None)
+                if isinstance(child, N.IrExpr):
+                    walk_expr(child)
+            for part in getattr(e, "parts", ()) or ():
+                walk_expr(part)
+            for arg in getattr(e, "args", ()) or ():
+                if isinstance(arg, N.IrExpr):
+                    walk_expr(arg)
+
+        def walk_stmts(stmts):
+            for s in stmts:
+                if isinstance(s, N.IrAssign):
+                    walk_expr(s.value)
+                elif isinstance(s, N.IrVarDecl):
+                    walk_expr(s.init)
+                elif isinstance(s, N.IrIf):
+                    walk_expr(s.cond)
+                    walk_stmts(s.then_stmts)
+                    walk_stmts(s.else_stmts)
+                elif isinstance(s, N.IrMethodCall):
+                    walk_expr(s.call)
+                elif isinstance(s, N.IrSwitch):
+                    for _labels, body in s.cases:
+                        walk_stmts(body)
+
+        walk_stmts(control.apply_stmts)
+        for action in control.actions.values():
+            walk_stmts(action.body)
+        return found[0]
+
+    # ------------------------------------------------------------------
+    # Metadata prepends (§5.2.1: "targets may prepend parseable
+    # metadata to the input packet; it is added to L")
+    # ------------------------------------------------------------------
+
+    def _prepend_ingress_metadata(self, state: ExecutionState, in_port) -> None:
+        # ingress_intrinsic_metadata_t layout (64 bits):
+        # resubmit_flag(1) pad(1) version(2) pad(3) port(9) tstamp(48)
+        tstamp = fresh_tainted("*mac_tstamp", 48)
+        meta_term = T.concat(
+            T.bv_const(0, 1),            # resubmit_flag
+            T.bv_const(0, 1),
+            T.bv_const(0, 2),            # packet_version
+            T.bv_const(0, 3),
+            in_port.term,
+            tstamp.term,
+        )
+        taint = (1 << 48) - 1            # timestamp bits unpredictable
+        from ..symex.packet import Segment
+
+        state.packet.prepend_live(SymVal(meta_term, taint))
+        # Port metadata (phase-0 data) follows the intrinsic metadata;
+        # its content is configuration-dependent, hence fully tainted.
+        port_md = fresh_tainted("*port_md", self.PORT_METADATA_BITS)
+        state.packet.live.insert(1, Segment(port_md.term, port_md.taint))
+
+    def _prepend_egress_metadata(self, state: ExecutionState, egress_port: SymVal) -> None:
+        # egress_intrinsic_metadata_t (see prelude, 144 bits): _pad0(7)
+        # egress_port(9) then 128 bits of queueing data (tainted).
+        rest = fresh_tainted("*eg_q", 128)
+        term = T.concat(T.bv_const(0, 7), egress_port.term, rest.term)
+        taint = (1 << 128) - 1 | (egress_port.taint << 128)
+        state.packet.prepend_live(SymVal(term, taint))
+
+    # ------------------------------------------------------------------
+    # Pipeline queueing
+    # ------------------------------------------------------------------
+
+    def _queue_pipeline(self, state: ExecutionState, program) -> None:
+        b = program.bindings
+        state.push_work(self._finish)
+        state.push_work(self._run_egress_deparser_cb(b[5].decl_name))
+        state.push_work(self._run_egress_cb(b[4].decl_name))
+        state.push_work(self._run_egress_parser_cb(b[3].decl_name))
+        state.push_work(self._traffic_manager)
+        state.push_work(self._run_ingress_deparser_cb(b[2].decl_name))
+        state.push_work(self._run_ingress_cb(b[1].decl_name))
+        state.push_work(self._run_ingress_parser_cb(b[0].decl_name))
+
+    def _run_ingress_parser_cb(self, name: str):
+        def run(state: ExecutionState):
+            parser = state.program.parsers[name]
+            paths = [None, HDR_I, IG_MD, IG_INTR][: len(parser.params)]
+            state.props["in_ingress_parser"] = True
+            self.enter_parser(state, name, paths)
+            return [state]
+
+        return run
+
+    def _run_ingress_cb(self, name: str):
+        def run(state: ExecutionState):
+            if state.props.get("dropped"):
+                return [state]
+            state.props["in_ingress_parser"] = False
+            control = state.program.controls[name]
+            paths = [HDR_I, IG_MD, IG_INTR, IG_PRSR, IG_DPRSR, IG_TM]
+            self.enter_control(state, name, paths[: len(control.params)])
+            return [state]
+
+        return run
+
+    def _run_ingress_deparser_cb(self, name: str):
+        def run(state: ExecutionState):
+            if state.props.get("dropped"):
+                return [state]
+            control = state.program.controls[name]
+            paths = [None, HDR_I, IG_MD, IG_DPRSR]
+            state.push_work(self._commit_ingress_deparse)
+            self.enter_control(state, name, paths[: len(control.params)])
+            return [state]
+
+        return run
+
+    def _commit_ingress_deparse(self, state: ExecutionState):
+        if not state.props.get("dropped"):
+            state.packet.commit_emit()
+        return [state]
+
+    def _traffic_manager(self, state: ExecutionState):
+        if state.props.get("dropped"):
+            return [state]
+        drop_ctl = state.read(f"{IG_DPRSR}.drop_ctl", 3)
+        out_states = []
+        if drop_ctl.is_tainted:
+            state.blocked_reason = "tainted drop_ctl"
+            state.finished = True
+            state.work.clear()
+            return [state]
+        zero3 = T.bv_const(0, 3)
+        if not drop_ctl.term.is_const:
+            drop_branch = state.clone()
+            if drop_branch.add_constraint(T.ne(drop_ctl.term, zero3)):
+                drop_branch.props["dropped"] = True
+                drop_branch.log("TM: drop_ctl set, packet dropped")
+                out_states.append(drop_branch)
+            if not state.add_constraint(T.eq(drop_ctl.term, zero3)):
+                return out_states
+        elif drop_ctl.term.value != 0:
+            state.props["dropped"] = True
+            state.log("TM: drop_ctl set, packet dropped")
+            return [state]
+
+        # Resubmit?
+        resubmit_type = state.read(f"{IG_DPRSR}.resubmit_type", 3)
+        if resubmit_type.term.is_const and resubmit_type.term.value != 0:
+            count = state.props.get("recirc_count", 0)
+            if count < self.MAX_RECIRCULATIONS:
+                state.props["recirc_count"] = count + 1
+                state.write(f"{IG_DPRSR}.resubmit_type", sym_const(0, 3))
+                state.log("TM: resubmit")
+                b = state.program.bindings
+                state.push_work(self._traffic_manager)
+                state.push_work(self._run_ingress_deparser_cb(b[2].decl_name))
+                state.push_work(self._run_ingress_cb(b[1].decl_name))
+                out_states.append(state)
+                return out_states
+
+        port = state.read(f"{IG_TM}.ucast_egress_port", 9)
+        if port.is_tainted:
+            # Egress port never written -> automatically dropped (A.1).
+            state.props["dropped"] = True
+            state.log("TM: egress port unwritten, packet dropped")
+            out_states.append(state)
+            return out_states
+        state.props["egress_port"] = port
+
+        bypass = state.read(f"{IG_TM}.bypass_egress", 1)
+        if bypass.term.is_const and bypass.term.value == 1:
+            state.props["bypass_egress"] = True
+            state.log("TM: bypass_egress")
+            out_states.append(state)
+            return out_states
+        if not bypass.term.is_const and not bypass.is_tainted:
+            byp = state.clone()
+            if byp.add_constraint(T.eq(bypass.term, T.bv_const(1, 1))):
+                byp.props["bypass_egress"] = True
+                out_states.append(byp)
+            if not state.add_constraint(T.eq(bypass.term, T.bv_const(0, 1))):
+                return out_states
+
+        # Prepare egress-side state.
+        meta_mode = state.props["meta_mode"]
+        structs = state.program.structs
+        state.init_type(HDR_E, state.props["ehdr_type"], "invalid")
+        state.init_type(EG_MD, state.props["eg_md_type"], meta_mode)
+        state.init_type(EG_INTR, structs["egress_intrinsic_metadata_t"], meta_mode)
+        state.init_type(
+            EG_PRSR, structs["egress_intrinsic_metadata_from_parser_t"], meta_mode
+        )
+        state.init_type(
+            EG_DPRSR, structs["egress_intrinsic_metadata_for_deparser_t"], "zero"
+        )
+        state.init_type(
+            EG_OPORT,
+            structs["egress_intrinsic_metadata_for_output_port_t"],
+            "zero",
+        )
+        self._prepend_egress_metadata(state, port)
+        out_states.append(state)
+        return out_states
+
+    def _run_egress_parser_cb(self, name: str):
+        def run(state: ExecutionState):
+            if state.props.get("dropped") or state.props.get("bypass_egress"):
+                return [state]
+            parser = state.program.parsers[name]
+            paths = [None, HDR_E, EG_MD, EG_INTR][: len(parser.params)]
+            state.props["in_ingress_parser"] = False
+            self.enter_parser(state, name, paths)
+            return [state]
+
+        return run
+
+    def _run_egress_cb(self, name: str):
+        def run(state: ExecutionState):
+            if state.props.get("dropped") or state.props.get("bypass_egress"):
+                return [state]
+            control = state.program.controls[name]
+            paths = [HDR_E, EG_MD, EG_INTR, EG_PRSR, EG_DPRSR, EG_OPORT]
+            self.enter_control(state, name, paths[: len(control.params)])
+            return [state]
+
+        return run
+
+    def _run_egress_deparser_cb(self, name: str):
+        def run(state: ExecutionState):
+            if state.props.get("dropped") or state.props.get("bypass_egress"):
+                return [state]
+            control = state.program.controls[name]
+            paths = [None, HDR_E, EG_MD, EG_DPRSR]
+            state.push_work(self._commit_egress_deparse)
+            self.enter_control(state, name, paths[: len(control.params)])
+            return [state]
+
+        return run
+
+    def _commit_egress_deparse(self, state: ExecutionState):
+        if state.props.get("dropped") or state.props.get("bypass_egress"):
+            return [state]
+        state.packet.commit_emit()
+        return [state]
+
+    def _finish(self, state: ExecutionState):
+        state.finished = True
+        state.work.clear()
+        if state.props.get("dropped"):
+            return [state]
+        # Egress deparser drop_ctl.
+        if not state.props.get("bypass_egress"):
+            drop_ctl = state.read(f"{EG_DPRSR}.drop_ctl", 3)
+            if drop_ctl.term.is_const and drop_ctl.term.value != 0:
+                state.props["dropped"] = True
+                return [state]
+            if drop_ctl.is_tainted:
+                state.blocked_reason = "tainted egress drop_ctl"
+                return [state]
+            if not drop_ctl.term.is_const:
+                # Keep the no-drop interpretation; the drop variant was
+                # explored when the program branched on it.
+                state.add_constraint(T.eq(drop_ctl.term, T.bv_const(0, 3)))
+        port = state.props.get("egress_port")
+        if port is None:
+            state.props["dropped"] = True
+            return [state]
+        state.output_packets.append((port, state.packet.live_value()))
+        for extra in state.props.get("mirror_outputs", []):
+            state.output_packets.append(extra)
+        return [state]
+
+    # ==================================================================
+    # Parser error policy (App. A.1)
+    # ==================================================================
+
+    def on_extract_failure(self, state, path, header_type) -> None:
+        self.set_parser_error(state, "PacketTooShort")
+        if state.props.get("in_ingress_parser", True):
+            if state.props.get("ingress_reads_parser_err"):
+                # Header content unspecified: taint it, skip remaining
+                # parser execution, continue with ingress.
+                if header_type is not None and hasattr(header_type, "fields"):
+                    state.write_valid(path, sym_bool(True))
+                    for fname, ftype in header_type.fields:
+                        state.write(
+                            f"{path}.{fname}",
+                            fresh_tainted(f"{path}.{fname}", ftype.bit_width()),
+                        )
+                state.write(
+                    f"{IG_PRSR}.parser_err",
+                    sym_const(1 << 1, 16),  # PacketTooShort flag bit
+                )
+                state.log("tna: short packet, parser_err consumed by ingress")
+                self._jump_to_reject(state)
+                return
+            state.log("tna: short packet dropped in ingress parser")
+            state.props["dropped"] = True
+            state.work.clear()
+            state.finished = True
+            return
+        # Egress parser never drops; header is unspecified.
+        if header_type is not None and hasattr(header_type, "fields"):
+            state.write_valid(path, sym_bool(True))
+            for fname, ftype in header_type.fields:
+                state.write(
+                    f"{path}.{fname}",
+                    fresh_tainted(f"{path}.{fname}", ftype.bit_width()),
+                )
+        state.write(f"{EG_PRSR}.parser_err", sym_const(1 << 1, 16))
+        self._jump_to_reject(state)
+
+    def on_parser_reject(self, state, parser) -> list:
+        if state.props.get("in_ingress_parser", True) and \
+                not state.props.get("ingress_reads_parser_err"):
+            state.props["dropped"] = True
+            state.work.clear()
+            state.finished = True
+            return [state]
+        state.log("tna: parser reject, continuing (parser_err visible)")
+        return [state]
+
+    def parser_error_path(self) -> str | None:
+        return None  # tna exposes parser_err via ig_prsr_md, set above
+
+    # ==================================================================
+    # Externs
+    # ==================================================================
+
+    def _register_externs(self) -> None:
+        self._extern_impls.update(
+            {
+                "Register.write": self._ext_register_write,
+                "Counter.count": self._ext_noop,
+                "DirectCounter.count": self._ext_noop,
+                "Mirror.emit": self._ext_mirror_emit,
+                "Resubmit.emit": self._ext_resubmit_emit,
+                "Digest.pack": self._ext_noop,
+                "Checksum.add": self._ext_checksum_add,
+                "Checksum.subtract": self._ext_checksum_subtract,
+                "Checksum.subtract_all_and_deposit": self._ext_checksum_deposit,
+                "log_msg": self._ext_noop,
+                "verify": self._ext_verify,
+            }
+        )
+        self._extern_value_impls.update(
+            {
+                "Register.read": self._extv_register_read,
+                "Hash.get": self._extv_hash_get,
+                "Random.get": self._extv_random_get,
+                "Meter.execute": self._extv_meter,
+                "DirectMeter.execute": self._extv_meter,
+                "Checksum.get": self._extv_checksum_get,
+                "Checksum.update": self._extv_checksum_get,
+                "Checksum.verify": self._extv_checksum_verify,
+            }
+        )
+
+    def _ext_noop(self, state, call):
+        return [state]
+
+    def _ext_verify(self, state, call):
+        from ..symex.stepper import eval_expr
+
+        cond = eval_expr(state, call.args[0])
+        ok_branch = state.clone()
+        fail = state
+        out = []
+        if ok_branch.add_constraint(cond.term):
+            out.append(ok_branch)
+        if fail.add_constraint(T.not_(cond.term)):
+            self.on_parser_reject(fail, None)
+            out.append(fail)
+        return out
+
+    # -- registers -------------------------------------------------------
+
+    def _extv_register_read(self, state, call):
+        from ..symex.stepper import eval_expr
+
+        index = eval_expr(state, call.args[0])
+        inst = state.program.controls  # width from the instance decl
+        width = call.p4_type.bit_width() if call.p4_type is not None else 32
+        written = state.props.get(("register", call.obj), {})
+        if index.term.is_const and index.term.value in written:
+            return written[index.term.value]
+        if index.term.is_const:
+            if not self.backend_caps.registers:
+                return SymVal(T.bv_const(0, width), 0)
+            var = fresh_var(f"{call.obj}[{index.term.value}]", width)
+            state.cp_decisions.append(
+                RegisterDecision(call.obj, index.term.value, var.term)
+            )
+            return var
+        return fresh_tainted(f"{call.obj}[?]", width)
+
+    def _ext_register_write(self, state, call):
+        from ..symex.stepper import eval_expr
+
+        index = eval_expr(state, call.args[0])
+        value = eval_expr(state, call.args[1])
+        if index.term.is_const:
+            regs = dict(state.props.get(("register", call.obj), {}))
+            regs[index.term.value] = value
+            state.props[("register", call.obj)] = regs
+        return [state]
+
+    # -- hash / checksum (concolic) ----------------------------------------
+
+    def _instance_algo(self, state, instance_name: str) -> str:
+        for block in list(state.program.parsers.values()) + list(
+            state.program.controls.values()
+        ):
+            inst = block.instances.get(instance_name.rsplit(".", 1)[-1])
+            if inst is not None and inst.full_name == instance_name:
+                for arg in inst.ctor_args:
+                    if isinstance(arg, N.IrConst):
+                        enum = state.program.enums.get("HashAlgorithm_t")
+                        if enum is not None:
+                            for member, value in enum.values.items():
+                                if value == arg.value:
+                                    return member
+        return "CRC16"
+
+    def _data_terms(self, state, data_arg):
+        from ..symex.stepper import eval_expr, resolve_lvalue
+
+        terms = []
+        elements = (
+            data_arg.elements if isinstance(data_arg, N.IrTupleExpr) else (data_arg,)
+        )
+        for e in elements:
+            if isinstance(e, N.IrTupleExpr):
+                terms.extend(self._data_terms(state, e))
+                continue
+            if isinstance(e, N.IrLValExpr) and isinstance(
+                e.p4_type, (HeaderType, StructType)
+            ):
+                path, t = resolve_lvalue(state, e.lval)
+                for fname, ftype in t.fields:
+                    terms.append(state.read(f"{path}.{fname}", ftype.bit_width()).term)
+                continue
+            terms.append(eval_expr(state, e).term)
+        return terms
+
+    def _extv_hash_get(self, state, call):
+        width = call.p4_type.bit_width() if call.p4_type is not None else 16
+        algo = self._instance_algo(state, call.obj)
+        concrete_fn = CHECKSUM_ALGORITHMS.get(algo, crc16)
+        data_terms = self._data_terms(state, call.args[0])
+        hvar = fresh_var(f"hash*{call.obj}", width)
+        state.concolics.append(
+            ConcolicBinding(
+                var=hvar.term,
+                func=f"hash:{algo}",
+                arg_terms=data_terms,
+                concrete_fn=lambda values, _fn=concrete_fn, _ts=data_terms, _w=width:
+                    _fn(list(zip([t.width for t in _ts], values)), _w),
+            )
+        )
+        return hvar
+
+    def _ext_checksum_add(self, state, call):
+        terms = self._data_terms(state, call.args[0])
+        acc = list(state.props.get(("checksum_acc", call.obj), []))
+        acc.extend(terms)
+        state.props[("checksum_acc", call.obj)] = acc
+        return [state]
+
+    def _ext_checksum_subtract(self, state, call):
+        # Modeled as accumulation too; ones'-complement subtraction is
+        # addition of the complement, handled by the concrete function.
+        return self._ext_checksum_add(state, call)
+
+    def _ext_checksum_deposit(self, state, call):
+        from ..symex.stepper import resolve_lvalue
+
+        lv = call.args[0]
+        if isinstance(lv, N.IrLValExpr):
+            lv = lv.lval
+        path, p4_type = resolve_lvalue(state, lv)
+        value = self._checksum_concolic(state, call.obj, p4_type.bit_width())
+        state.write(path, value)
+        return [state]
+
+    def _checksum_concolic(self, state, instance: str, width: int) -> SymVal:
+        acc = state.props.get(("checksum_acc", instance), [])
+        cvar = fresh_var(f"csum*{instance}", width)
+        state.concolics.append(
+            ConcolicBinding(
+                var=cvar.term,
+                func="checksum:csum16",
+                arg_terms=list(acc),
+                concrete_fn=lambda values, _ts=list(acc), _w=width:
+                    ones_complement16(
+                        list(zip([t.width for t in _ts], values)), _w
+                    ),
+            )
+        )
+        return cvar
+
+    def _extv_checksum_get(self, state, call):
+        width = call.p4_type.bit_width() if call.p4_type is not None else 16
+        if call.args:
+            self._ext_checksum_add(state, call)
+        return self._checksum_concolic(state, call.obj, width)
+
+    def _extv_checksum_verify(self, state, call):
+        value = self._checksum_concolic(state, call.obj, 16)
+        return SymVal(T.eq(value.term, T.bv_const(0, 16)), 0)
+
+    # -- randomness: tainted ------------------------------------------------
+
+    def _extv_random_get(self, state, call):
+        width = call.p4_type.bit_width() if call.p4_type is not None else 16
+        state.log("Random.get: output tainted")
+        return fresh_tainted("random", width)
+
+    def _extv_meter(self, state, call):
+        # Rapid prototyping with taint (§5.3): meters unmodeled.
+        width = call.p4_type.bit_width() if call.p4_type is not None else 8
+        state.log("Meter.execute: rapid-prototyped via taint")
+        return fresh_tainted("meter", width)
+
+    # -- mirror / resubmit -----------------------------------------------------
+
+    def _ext_mirror_emit(self, state, call):
+        port = fresh_var("mirror*port", 9)
+        pkt_val = state.packet.live_value()
+        outs = list(state.props.get("mirror_outputs", []))
+        outs.append((port, pkt_val))
+        state.props["mirror_outputs"] = outs
+        state.log("Mirror.emit: mirrored copy requested")
+        return [state]
+
+    def _ext_resubmit_emit(self, state, call):
+        state.write(f"{IG_DPRSR}.resubmit_type", sym_const(1, 3))
+        state.log("Resubmit.emit")
+        return [state]

@@ -1,0 +1,655 @@
+"""The v1model (BMv2 simple_switch) target extension (paper §6.1.1).
+
+Pipeline: Parser -> VerifyChecksum -> Ingress -> [traffic manager] ->
+Egress -> ComputeChecksum -> Deparser -> output.
+
+BMv2 quirks modeled (App. A.1):
+- uninitialized variables read as 0/false (not tainted);
+- the drop port is 511; ``mark_to_drop`` sets egress_spec to it;
+- a parser error does not drop the packet: the offending header stays
+  invalid and execution skips to ingress, with
+  ``standard_metadata.parser_error`` set;
+- ``recirculate``/``resubmit`` re-run the pipeline with metadata reset
+  (bounded recirculation);
+- ``clone`` duplicates the packet (session chosen by the control
+  plane);
+- const-entry evaluation honours the ``@priority`` annotation;
+- checksum externs are modeled concolically (§5.4).
+"""
+
+from __future__ import annotations
+
+from ..externs.checksum import CHECKSUM_ALGORITHMS, ones_complement16
+from ..frontend.types import StructType
+from ..ir import nodes as N
+from ..smt import terms as T
+from ..symex.state import ConcolicBinding, ExecutionState, RegisterDecision
+from ..symex.value import SymVal, fresh_tainted, fresh_var, sym_bool, sym_const
+from .base import Preconditions, TargetExtension
+
+__all__ = ["V1Model"]
+
+DROP_PORT = 511
+
+# Canonical storage prefixes for the pipeline state (paper Fig. 3).
+HDR = "*hdr"
+META = "*meta"
+SM = "*sm"
+
+
+class V1Model(TargetExtension):
+    NAME = "v1model"
+    ARCH_INCLUDE = "v1model.p4"
+    # BMv2 initializes everything to zero (App. A.1), so locals and
+    # uninitialized reads are deterministic.
+    local_init_mode = "zero"
+
+    def uninitialized_value(self, state, path, width):
+        return sym_const(0, width) if width else sym_bool(False)
+
+    def parser_error_path(self) -> str:
+        return f"{SM}.parser_error"
+
+    # ==================================================================
+    # Pipeline template
+    # ==================================================================
+
+    def build_initial_state(self, program: N.IrProgram) -> ExecutionState:
+        if len(program.bindings) != 6 or program.package_name != "V1Switch":
+            raise ValueError("v1model requires a V1Switch(main) program")
+        state = ExecutionState(program, self)
+        parser = program.parsers[program.bindings[0].decl_name]
+        hdr_type = parser.params[1].p4_type
+        meta_type = parser.params[2].p4_type
+        sm_type = program.structs["standard_metadata_t"]
+        state.props["hdr_type"] = hdr_type
+        state.props["meta_type"] = meta_type
+        state.props["sm_type"] = sm_type
+        state.init_type(HDR, hdr_type, "invalid")
+        state.init_type(META, meta_type, "zero")
+        state.init_type(SM, sm_type, "zero")
+
+        in_port = fresh_var("*in_port", 9)
+        state.write(f"{SM}.ingress_port", in_port)
+        state.props["input_port_term"] = in_port.term
+        state.add_constraint(T.ult(in_port.term, T.bv_const(DROP_PORT, 9)))
+        pkt_len_bytes = T.bv_lshr(state.packet.pkt_len, T.bv_const(3, 32))
+        state.write(f"{SM}.packet_length", SymVal(pkt_len_bytes, 0))
+
+        self._apply_preconditions(state, program)
+        self._queue_pipeline(state, program)
+        return state
+
+    def _apply_preconditions(self, state, program) -> None:
+        pre = self.preconditions
+        pkt_len = state.packet.pkt_len
+        if pre.byte_aligned:
+            state.add_constraint(
+                T.eq(
+                    T.bv_and(pkt_len, T.bv_const(7, 32)),
+                    T.bv_const(0, 32),
+                )
+            )
+        if pre.fixed_packet_size_bytes is not None:
+            state.add_constraint(
+                T.eq(pkt_len, T.bv_const(pre.fixed_packet_size_bytes * 8, 32))
+            )
+        else:
+            state.add_constraint(
+                T.ule(pkt_len, T.bv_const(pre.max_packet_bytes * 8, 32))
+            )
+        # P4-constraints are applied per-table at entry-synthesis time
+        # via the entry_constraints hook in the base class.
+
+    def _queue_pipeline(self, state: ExecutionState, program) -> None:
+        b = program.bindings
+        # Stack: push in reverse execution order.
+        state.push_work(self._finish)
+        state.push_work(self._run_deparser_cb(b[5].decl_name))
+        state.push_work(self._run_control_cb(b[4].decl_name))      # compute ck
+        state.push_work(self._run_egress_cb(b[3].decl_name))
+        state.push_work(self._traffic_manager)
+        state.push_work(self._run_control_cb(b[2].decl_name, sm=True))  # ingress
+        state.push_work(self._run_control_cb(b[1].decl_name))      # verify ck
+        state.push_work(self._run_parser_cb(b[0].decl_name))
+
+    # -- block runners ----------------------------------------------------
+
+    def _run_parser_cb(self, name: str):
+        def run(state: ExecutionState):
+            parser = state.program.parsers[name]
+            paths = [None, HDR, META, SM][: len(parser.params)]
+            self.enter_parser(state, name, paths)
+            return [state]
+
+        return run
+
+    def _run_control_cb(self, name: str, sm: bool = False):
+        def run(state: ExecutionState):
+            control = state.program.controls[name]
+            paths = [HDR, META] + ([SM] if len(control.params) > 2 else [])
+            self.enter_control(state, name, paths[: len(control.params)])
+            return [state]
+
+        return run
+
+    def _run_egress_cb(self, name: str):
+        def run(state: ExecutionState):
+            if state.props.get("dropped"):
+                return [state]  # TM dropped: skip egress entirely
+            control = state.program.controls[name]
+            paths = [HDR, META, SM][: len(control.params)]
+            self.enter_control(state, name, paths)
+            return [state]
+
+        return run
+
+    def _run_deparser_cb(self, name: str):
+        def run(state: ExecutionState):
+            if state.props.get("dropped"):
+                return [state]
+            control = state.program.controls[name]
+            paths = [None, HDR][: len(control.params)]
+            self.enter_control(state, name, paths)
+            state_marker = self._commit_deparse
+            # commit after deparser finishes: insert below the control's
+            # work by pushing first.  (enter_control pushed on top, so
+            # re-push marker beneath by rotating.)
+            # Simpler: append commit to run after ExitMarker pops.
+            return [state]
+
+        def run_and_commit(state: ExecutionState):
+            state.push_work(self._commit_deparse)
+            return run(state)
+
+        return run_and_commit
+
+    def _commit_deparse(self, state: ExecutionState):
+        if not state.props.get("dropped"):
+            state.packet.commit_emit()
+        return [state]
+
+    # -- traffic manager ----------------------------------------------------
+
+    def _traffic_manager(self, state: ExecutionState):
+        program = state.program
+        # Resubmit: back to ingress (after parser) with original headers.
+        if state.props.pop("resubmit_requested", False):
+            count = state.props.get("recirc_count", 0)
+            if count < self.MAX_RECIRCULATIONS:
+                state.props["recirc_count"] = count + 1
+                state.log("traffic manager: resubmit")
+                b = program.bindings
+                state.push_work(self._traffic_manager)
+                state.push_work(self._run_control_cb(b[2].decl_name, sm=True))
+                return [state]
+        # Multicast is out of scope for the reproduction (documented in
+        # DESIGN.md): packets with a nonzero mcast_grp would be
+        # replicated by the TM.  We constrain the group to 0 so every
+        # emitted test is deterministic; programs that hard-code a
+        # nonzero group produce no (flaky) tests, mirroring §5.3.
+        mcast = state.read(f"{SM}.mcast_grp", 16)
+        if mcast.term.is_const and mcast.term.value != 0:
+            state.blocked_reason = "multicast replication unsupported"
+            state.work.clear()
+            state.finished = True
+            return [state]
+        if not mcast.term.is_const and not mcast.is_tainted:
+            if not state.add_constraint(T.eq(mcast.term, T.bv_const(0, 16))):
+                return []
+        egress_spec = state.read(f"{SM}.egress_spec", 9)
+        if egress_spec.is_tainted:
+            # Unpredictable forwarding decision: the generated test
+            # would be flaky -> drop the test (§5.3).
+            state.blocked_reason = "tainted egress_spec"
+            state.work.clear()
+            state.finished = True
+            return [state]
+        if egress_spec.term.is_const:
+            if egress_spec.term.value == DROP_PORT:
+                state.props["dropped"] = True
+                state.log("traffic manager: drop")
+            else:
+                state.write(f"{SM}.egress_port", egress_spec)
+            return [state]
+        drop_branch = state.clone()
+        cond = T.eq(egress_spec.term, T.bv_const(DROP_PORT, 9))
+        if drop_branch.add_constraint(cond):
+            drop_branch.props["dropped"] = True
+            drop_branch.log("traffic manager: drop")
+        forward = state
+        ok = forward.add_constraint(T.not_(cond))
+        forward.write(f"{SM}.egress_port", egress_spec)
+        out = [drop_branch]
+        if ok:
+            out.append(forward)
+        return out
+
+    # -- end of pipeline -----------------------------------------------------
+
+    def _finish(self, state: ExecutionState):
+        # Recirculate at the end of egress if requested.
+        if state.props.pop("recirculate_requested", False) and \
+                not state.props.get("dropped"):
+            count = state.props.get("recirc_count", 0)
+            if count < self.MAX_RECIRCULATIONS:
+                state.props["recirc_count"] = count + 1
+                state.log("recirculate: packet re-enters the parser")
+                sm_type = state.props["sm_type"]
+                state.init_type(SM, sm_type, "zero")
+                in_port = state.read(f"{SM}.ingress_port", 9)
+                self._queue_pipeline(state, state.program)
+                return [state]
+        if not state.props.get("dropped"):
+            port = state.read(f"{SM}.egress_port", 9)
+            if port.is_tainted:
+                state.blocked_reason = "tainted egress_port"
+            else:
+                pkt_val = state.packet.live_value()
+                state.output_packets.append((port, pkt_val))
+        # Cloned outputs (see clone extern).
+        for port, pkt_val in state.props.get("clone_outputs", []):
+            state.output_packets.append((port, pkt_val))
+        state.finished = True
+        state.work.clear()
+        return [state]
+
+    # ==================================================================
+    # Const-entry priority (App. A.1)
+    # ==================================================================
+
+    def order_const_entries(self, table: N.IrTable) -> list:
+        entries = list(table.const_entries)
+        if any(e.priority is not None for e in entries):
+            entries.sort(
+                key=lambda e: (e.priority if e.priority is not None else 1 << 30)
+            )
+        return entries
+
+    # ==================================================================
+    # Externs
+    # ==================================================================
+
+    def _register_externs(self) -> None:
+        self._extern_impls.update(
+            {
+                "mark_to_drop": self._ext_mark_to_drop,
+                "verify_checksum": self._ext_verify_checksum,
+                "update_checksum": self._ext_update_checksum,
+                "verify_checksum_with_payload": self._ext_verify_checksum,
+                "update_checksum_with_payload": self._ext_update_checksum,
+                "random": self._ext_random,
+                "hash": self._ext_hash,
+                "digest": self._ext_noop,
+                "log_msg": self._ext_noop,
+                "truncate": self._ext_truncate,
+                "clone": self._ext_clone,
+                "clone_preserving_field_list": self._ext_clone,
+                "resubmit_preserving_field_list": self._ext_resubmit,
+                "recirculate_preserving_field_list": self._ext_recirculate,
+                "register.read": self._ext_register_read,
+                "register.write": self._ext_register_write,
+                "counter.count": self._ext_noop,
+                "direct_counter.count": self._ext_noop,
+                "meter.execute_meter": self._ext_meter,
+                "direct_meter.read": self._ext_meter_direct,
+                "assert": self._ext_assert,
+                "assume": self._ext_assert,
+                "verify": self._ext_verify,
+            }
+        )
+
+    # -- simple ones -------------------------------------------------------
+
+    def _ext_noop(self, state, call):
+        return [state]
+
+    def _ext_mark_to_drop(self, state, call):
+        state.write(f"{SM}.egress_spec", sym_const(DROP_PORT, 9))
+        state.write(f"{SM}.mcast_grp", sym_const(0, 16))
+        state.log("mark_to_drop")
+        return [state]
+
+    def _ext_truncate(self, state, call):
+        from ..symex.stepper import eval_expr
+
+        amount = eval_expr(state, call.args[0])
+        if amount.term.is_const:
+            state.packet.truncate_live(amount.term.value * 8)
+            state.props["truncated"] = True
+        return [state]
+
+    def _ext_assert(self, state, call):
+        from ..symex.stepper import eval_expr
+
+        cond = eval_expr(state, call.args[0])
+        # Model BMv2 semantics: executing assert(false) aborts the
+        # target; P4Testgen only follows the passing branch.
+        if not state.add_constraint(cond.term):
+            state.finished = True
+            state.work.clear()
+            state.blocked_reason = "assert(false)"
+        return [state]
+
+    def _ext_verify(self, state, call):
+        from ..symex.stepper import eval_expr
+
+        cond = eval_expr(state, call.args[0])
+        err = eval_expr(state, call.args[1])
+        ok_branch = state.clone()
+        fail_branch = state
+        out = []
+        if ok_branch.add_constraint(cond.term):
+            out.append(ok_branch)
+        if fail_branch.add_constraint(T.not_(cond.term)):
+            if err.term.is_const:
+                code = state.program.errors[err.term.value] \
+                    if err.term.value < len(state.program.errors) else "NoMatch"
+                self.set_parser_error(fail_branch, code)
+            self._jump_to_reject(fail_branch)
+            out.append(fail_branch)
+        return out
+
+    # -- randomness / metering: tainted (unpredictable) ---------------------
+
+    def _ext_random(self, state, call):
+        from ..symex.stepper import resolve_lvalue
+
+        lv = call.args[0]
+        if isinstance(lv, N.IrLValExpr):
+            lv = lv.lval
+        path, p4_type = resolve_lvalue(state, lv)
+        state.write(path, fresh_tainted("random", p4_type.bit_width()))
+        state.log("random: output tainted")
+        return [state]
+
+    def _ext_meter(self, state, call):
+        from ..symex.stepper import resolve_lvalue
+
+        lv = call.args[1]
+        if isinstance(lv, N.IrLValExpr):
+            lv = lv.lval
+        path, p4_type = resolve_lvalue(state, lv)
+        # Rapid prototyping via taint (§5.3): meter color unpredictable.
+        state.write(path, fresh_tainted("meter", p4_type.bit_width()))
+        return [state]
+
+    def _ext_meter_direct(self, state, call):
+        from ..symex.stepper import resolve_lvalue
+
+        lv = call.args[0]
+        if isinstance(lv, N.IrLValExpr):
+            lv = lv.lval
+        path, p4_type = resolve_lvalue(state, lv)
+        state.write(path, fresh_tainted("meter", p4_type.bit_width()))
+        return [state]
+
+    # -- registers -----------------------------------------------------------
+
+    def _ext_register_read(self, state, call):
+        from ..symex.stepper import eval_expr, resolve_lvalue
+
+        out_lv = call.args[0]
+        if isinstance(out_lv, N.IrLValExpr):
+            out_lv = out_lv.lval
+        path, p4_type = resolve_lvalue(state, out_lv)
+        index = eval_expr(state, call.args[1])
+        width = p4_type.bit_width()
+        written = state.props.get(("register", call.obj), {})
+        if index.term.is_const and index.term.value in written:
+            state.write(path, written[index.term.value])
+            return [state]
+        if index.term.is_const:
+            if not self.backend_caps.registers:
+                # The test framework cannot initialize registers (§6,
+                # e.g. STF): the cell holds the target default of 0,
+                # and register-value-dependent paths are not explored.
+                state.write(path, sym_const(0, width))
+                return [state]
+            # Control-plane-initialized cell: symbolic var + CP record.
+            var = fresh_var(f"{call.obj}[{index.term.value}]", width)
+            state.cp_decisions.append(
+                RegisterDecision(call.obj, index.term.value, var.term)
+            )
+            state.write(path, var)
+            return [state]
+        # Symbolic index: value unpredictable without enumerating cells.
+        state.write(path, fresh_tainted(f"{call.obj}[?]", width))
+        return [state]
+
+    def _ext_register_write(self, state, call):
+        from ..symex.stepper import eval_expr
+
+        index = eval_expr(state, call.args[0])
+        value = eval_expr(state, call.args[1])
+        if index.term.is_const:
+            regs = dict(state.props.get(("register", call.obj), {}))
+            regs[index.term.value] = value
+            state.props[("register", call.obj)] = regs
+        return [state]
+
+    # -- checksums / hashes (concolic, §5.4) ---------------------------------
+
+    def _data_terms(self, state, data_arg):
+        from ..symex.stepper import eval_expr, resolve_lvalue
+        from ..frontend.types import HeaderType, StructType as ST
+
+        terms = []
+        if isinstance(data_arg, N.IrTupleExpr):
+            elements = data_arg.elements
+        else:
+            elements = (data_arg,)
+        for e in elements:
+            if isinstance(e, N.IrTupleExpr):
+                terms.extend(self._data_terms(state, e))
+                continue
+            if isinstance(e, N.IrLValExpr) and isinstance(
+                e.p4_type, (HeaderType, ST)
+            ):
+                path, t = resolve_lvalue(state, e.lval)
+                for fname, ftype in t.fields:
+                    terms.append(
+                        state.read(f"{path}.{fname}", ftype.bit_width()).term
+                    )
+                continue
+            terms.append(eval_expr(state, e).term)
+        return terms
+
+    def _algo_name(self, state, algo_arg) -> str:
+        from ..symex.stepper import eval_expr
+
+        try:
+            val = eval_expr(state, algo_arg)
+        except Exception:
+            return "csum16"
+        if val.term.is_const:
+            enum = state.program.enums.get("HashAlgorithm")
+            if enum is not None:
+                for member, value in enum.values.items():
+                    if value == val.term.value:
+                        return member
+        return "csum16"
+
+    def _ext_verify_checksum(self, state, call):
+        """verify_checksum(condition, data, checksum, algo): on mismatch
+        BMv2 sets standard_metadata.checksum_error (§3 example 2)."""
+        from ..symex.stepper import eval_expr
+
+        cond = eval_expr(state, call.args[0])
+        checksum = eval_expr(state, call.args[2])
+        algo = self._algo_name(state, call.args[3]) if len(call.args) > 3 else "csum16"
+        concrete_fn = CHECKSUM_ALGORITHMS.get(algo, ones_complement16)
+        width = checksum.term.width
+
+        out = []
+        # Branch A: condition false -> no checksum performed.
+        if not (cond.term.is_const and cond.term.payload):
+            skip = state.clone()
+            if skip.add_constraint(T.not_(cond.term)):
+                skip.log("verify_checksum: condition false")
+                out.append(skip)
+        if cond.term.is_const and not cond.term.payload:
+            return out or [state]
+
+        data_terms = self._data_terms(state, call.args[1])
+        computed = fresh_var("csum", width)
+
+        def make_binding():
+            return ConcolicBinding(
+                var=computed.term,
+                func=f"checksum:{algo}",
+                arg_terms=data_terms,
+                concrete_fn=lambda values, _fn=concrete_fn, _ts=data_terms, _w=width:
+                    _fn(list(zip([t.width for t in _ts], values)), _w),
+            )
+
+        # Branch B: checksum matches -> no error.
+        good = state.clone()
+        okb = good.add_constraint(cond.term)
+        okb = good.add_constraint(T.eq(computed.term, checksum.term)) and okb
+        if okb:
+            binding = make_binding()
+            # Domain-specific fallback (§5.4): if binding the concrete
+            # checksum contradicts the path, force the reference value
+            # to equal the computed checksum instead of retrying.
+            binding.fallback = lambda b, _cs=checksum.term: [
+                T.eq(b.var, _cs)
+            ]
+            good.concolics.append(binding)
+            good.log(f"verify_checksum[{algo}]: match")
+            out.append(good)
+
+        # Branch C: mismatch -> checksum_error = 1.
+        bad = state
+        okc = bad.add_constraint(cond.term)
+        okc = bad.add_constraint(T.ne(computed.term, checksum.term)) and okc
+        if okc:
+            bad.concolics.append(make_binding())
+            bad.write(f"{SM}.checksum_error", sym_const(1, 1))
+            bad.log(f"verify_checksum[{algo}]: mismatch")
+            out.append(bad)
+        return out
+
+    def _ext_update_checksum(self, state, call):
+        from ..symex.stepper import eval_expr, resolve_lvalue
+
+        cond = eval_expr(state, call.args[0])
+        dest = call.args[2]
+        if isinstance(dest, N.IrLValExpr):
+            dest = dest.lval
+        path, p4_type = resolve_lvalue(state, dest)
+        width = p4_type.bit_width()
+        algo = self._algo_name(state, call.args[3]) if len(call.args) > 3 else "csum16"
+        concrete_fn = CHECKSUM_ALGORITHMS.get(algo, ones_complement16)
+        data_terms = self._data_terms(state, call.args[1])
+        computed = fresh_var("csum_upd", width)
+        binding = ConcolicBinding(
+            var=computed.term,
+            func=f"checksum:{algo}",
+            arg_terms=data_terms,
+            concrete_fn=lambda values, _fn=concrete_fn, _ts=data_terms, _w=width:
+                _fn(list(zip([t.width for t in _ts], values)), _w),
+        )
+        out = []
+        if cond.term.is_const:
+            if cond.term.payload:
+                state.concolics.append(binding)
+                state.write(path, SymVal(computed.term, 0))
+            return [state]
+        do = state.clone()
+        if do.add_constraint(cond.term):
+            do.concolics.append(binding)
+            do.write(path, SymVal(computed.term, 0))
+            out.append(do)
+        skip = state
+        if skip.add_constraint(T.not_(cond.term)):
+            out.append(skip)
+        return out
+
+    def _ext_hash(self, state, call):
+        """hash(out result, algo, base, data, max): result = base +
+        (H(data) mod max)."""
+        from ..symex.stepper import eval_expr, resolve_lvalue
+
+        out_lv = call.args[0]
+        if isinstance(out_lv, N.IrLValExpr):
+            out_lv = out_lv.lval
+        path, p4_type = resolve_lvalue(state, out_lv)
+        width = p4_type.bit_width()
+        algo = self._algo_name(state, call.args[1])
+        concrete_fn = CHECKSUM_ALGORITHMS.get(algo, ones_complement16)
+        base = eval_expr(state, call.args[2])
+        data_terms = self._data_terms(state, call.args[3])
+        max_val = eval_expr(state, call.args[4])
+        hvar = fresh_var("hash", width)
+
+        def concrete(values, _fn=concrete_fn, _ts=data_terms, _w=width):
+            return _fn(list(zip([t.width for t in _ts], values)), _w)
+
+        state.concolics.append(
+            ConcolicBinding(
+                var=hvar.term, func=f"hash:{algo}", arg_terms=data_terms,
+                concrete_fn=concrete,
+            )
+        )
+        base_t = base.term
+        max_t = max_val.term
+        if base_t.width != width:
+            base_t = T.zero_extend(base_t, width - base_t.width) \
+                if base_t.width < width else T.extract(base_t, width - 1, 0)
+        if max_t.width != width:
+            max_t = T.zero_extend(max_t, width - max_t.width) \
+                if max_t.width < width else T.extract(max_t, width - 1, 0)
+        result = T.bv_add(base_t, T.bv_urem(hvar.term, max_t))
+        state.write(path, SymVal(result, 0))
+        return [state]
+
+    # -- packet path externs ---------------------------------------------------
+
+    def _ext_resubmit(self, state, call):
+        state.props["resubmit_requested"] = True
+        state.log("resubmit requested")
+        return [state]
+
+    def _ext_recirculate(self, state, call):
+        state.props["recirculate_requested"] = True
+        state.log("recirculate requested")
+        return [state]
+
+    def _ext_clone(self, state, call):
+        """clone(type, session): duplicate the packet into egress.
+
+        Modeled as an extra expected output whose port is chosen by the
+        control plane (clone-session configuration).  The cloned
+        content is the post-parser packet for I2E and the deparsed
+        packet for E2E; re-running the egress control for the clone is
+        approximated by emitting the current header state (documented
+        substitution in DESIGN.md).
+        """
+        # The clone session's egress port is control-plane configuration;
+        # our simulators model the default session mapping to port 0, so
+        # the oracle pins the same value (a richer mirror-session API
+        # would make this a CP decision like table entries).
+        clone_port = SymVal(T.bv_const(0, 9), 0)
+        pkt_val = state.packet.live_value()
+        outs = list(state.props.get("clone_outputs", []))
+        outs.append((clone_port, pkt_val))
+        state.props["clone_outputs"] = outs
+        state.log("clone session requested")
+        return [state]
+
+    # ==================================================================
+    # Parser error policy (App. A.1): do not drop; skip to ingress.
+    # ==================================================================
+
+    def on_extract_failure(self, state, path, header_type) -> None:
+        self.set_parser_error(state, "PacketTooShort")
+        if header_type is not None:
+            state.write_valid(path, sym_bool(False))
+        self._jump_to_reject(state)
+
+    def on_parser_reject(self, state, parser) -> list:
+        # BMv2 continues to ingress with the failed header invalid.
+        state.log("parser reject: continuing to ingress (BMv2 semantics)")
+        # Unwind the remaining parser work (up to this parser's frame).
+        return [state]

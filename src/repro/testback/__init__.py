@@ -1,0 +1,35 @@
+"""Test back ends: abstract specs and renderers (STF, PTF, Protobuf),
+plus a runner that executes specs against the concrete interpreters."""
+
+from .protobuf import ProtobufBackend
+from .ptf import PtfBackend
+from .spec import (
+    AbstractTestCase,
+    ExpectedPacket,
+    PacketData,
+    RegisterSpec,
+    TableEntrySpec,
+    ValueSetSpec,
+)
+from .stf import StfBackend
+
+__all__ = [
+    "AbstractTestCase", "PacketData", "ExpectedPacket", "TableEntrySpec",
+    "ValueSetSpec", "RegisterSpec", "StfBackend", "PtfBackend",
+    "ProtobufBackend", "get_backend", "BACKENDS",
+]
+
+BACKENDS = {
+    "stf": StfBackend,
+    "ptf": PtfBackend,
+    "protobuf": ProtobufBackend,
+}
+
+
+def get_backend(name: str):
+    try:
+        return BACKENDS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown back end {name!r}; available: {', '.join(sorted(BACKENDS))}"
+        )

@@ -1,0 +1,69 @@
+"""Protobuf text-format back end (paper Tbl. 1: the v1model extension
+supports custom Protobuf messages).
+
+Emits P4Runtime-flavoured text protos describing each test: entities to
+install, the input packet, and the expected outputs with masks.
+"""
+
+from __future__ import annotations
+
+from .spec import AbstractTestCase
+
+__all__ = ["ProtobufBackend"]
+
+
+def _indent(lines: list[str], level: int = 1) -> list[str]:
+    pad = "  " * level
+    return [pad + line for line in lines]
+
+
+class ProtobufBackend:
+    name = "protobuf"
+    SUPPORTS_RANGE_ENTRIES = True
+    SUPPORTS_REGISTERS = True
+
+    def render_test(self, test: AbstractTestCase) -> str:
+        out = [f"test_case {{", f"  id: {test.test_id}"]
+        for entry in test.entries:
+            body = [f'table: "{entry.table}"', f'action: "{entry.action}"']
+            for name, kind, roles in entry.keys:
+                match = [f'field: "{name}"', f'type: "{kind}"']
+                for role, value in sorted(roles.items()):
+                    match.append(f"{role}: {value:#x}")
+                body.append("match {")
+                body.extend(_indent(match))
+                body.append("}")
+            for pname, value in entry.action_args:
+                body.append(f'param {{ name: "{pname}" value: {value:#x} }}')
+            if entry.priority is not None:
+                body.append(f"priority: {entry.priority}")
+            out.append("  entity {")
+            out.extend(_indent(body, 2))
+            out.append("  }")
+        for vs in test.value_sets:
+            out.append(
+                f'  value_set {{ name: "{vs.value_set}" member: {vs.member:#x} }}'
+            )
+        for reg in test.registers:
+            out.append(
+                f'  register {{ name: "{reg.instance}" index: {reg.index} '
+                f"value: {reg.value:#x} }}"
+            )
+        pkt = test.input_packet
+        out.append("  input_packet {")
+        out.append(f"    port: {pkt.port}")
+        out.append(f'    data: "{pkt.to_bytes().hex()}"')
+        out.append("  }")
+        if test.dropped or not test.expected:
+            out.append("  expect_drop: true")
+        for exp in test.expected:
+            out.append("  expected_packet {")
+            out.append(f"    port: {exp.port}")
+            out.append(f'    data: "{exp.to_bytes().hex()}"')
+            out.append(f'    mask: "{exp.mask_bytes().hex()}"')
+            out.append("  }")
+        out.append("}")
+        return "\n".join(out)
+
+    def render_suite(self, tests: list[AbstractTestCase]) -> str:
+        return "\n".join(self.render_test(t) for t in tests) + "\n"

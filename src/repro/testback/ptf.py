@@ -1,0 +1,86 @@
+"""PTF (Packet Testing Framework) back end.
+
+Emits a Python unittest-style PTF test class per test case, mirroring
+the structure P4Testgen's PTF back end generates: P4Runtime-style table
+writes in ``setUp``-like preamble, ``send_packet`` and
+``verify_packet``/``verify_no_other_packets`` calls.  PTF is richer
+than STF (§6): it can express don't-care masks and extern (register)
+initialization.
+"""
+
+from __future__ import annotations
+
+from .spec import AbstractTestCase
+
+__all__ = ["PtfBackend"]
+
+
+class PtfBackend:
+    name = "ptf"
+    SUPPORTS_RANGE_ENTRIES = True
+    SUPPORTS_REGISTERS = True
+
+    def render_test(self, test: AbstractTestCase) -> str:
+        ind = "        "
+        lines = [
+            f"class Test{test.test_id}(P4RuntimeTest):",
+            f'    """{test.target} / {test.program} path {test.test_id}."""',
+            "",
+            "    def runTest(self):",
+        ]
+        for reg in test.registers:
+            lines.append(
+                f"{ind}self.write_register({reg.instance!r}, {reg.index}, "
+                f"{reg.value:#x})"
+            )
+        for vs in test.value_sets:
+            lines.append(
+                f"{ind}self.insert_pvs_entry({vs.value_set!r}, {vs.member:#x})"
+            )
+        for entry in test.entries:
+            match_fields = []
+            for name, kind, roles in entry.keys:
+                if kind == "exact":
+                    match_fields.append(f"({name!r}, {roles['value']:#x})")
+                elif kind in ("ternary", "optional"):
+                    match_fields.append(
+                        f"({name!r}, {roles['value']:#x}, {roles.get('mask', 0):#x})"
+                    )
+                elif kind == "lpm":
+                    match_fields.append(
+                        f"({name!r}, {roles['value']:#x}, {roles.get('prefix_len', 0)})"
+                    )
+                elif kind == "range":
+                    match_fields.append(
+                        f"({name!r}, range_({roles.get('lo', 0):#x}, "
+                        f"{roles.get('hi', 0):#x}))"
+                    )
+            args = ", ".join(f"({n!r}, {v:#x})" for n, v in entry.action_args)
+            prio = f", priority={entry.priority}" if entry.priority is not None else ""
+            lines.append(
+                f"{ind}self.insert_table_entry({entry.table!r}, "
+                f"[{', '.join(match_fields)}], {entry.action!r}, [{args}]{prio})"
+            )
+        pkt = test.input_packet
+        lines.append(
+            f"{ind}send_packet(self, {pkt.port}, "
+            f"bytes.fromhex({pkt.to_bytes().hex()!r}))"
+        )
+        if test.dropped or not test.expected:
+            lines.append(f"{ind}verify_no_other_packets(self)")
+        else:
+            for exp in test.expected:
+                lines.append(
+                    f"{ind}verify_packet_masked(self, "
+                    f"bytes.fromhex({exp.to_bytes().hex()!r}), "
+                    f"bytes.fromhex({exp.mask_bytes().hex()!r}), {exp.port})"
+                )
+        return "\n".join(lines)
+
+    def render_suite(self, tests: list[AbstractTestCase]) -> str:
+        header = (
+            "# Auto-generated PTF tests\n"
+            "from ptf_shim import P4RuntimeTest, send_packet, "
+            "verify_packet_masked, verify_no_other_packets, range_\n"
+        )
+        return header + "\n\n" + "\n\n".join(self.render_test(t) for t in tests) + "\n"

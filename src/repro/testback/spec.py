@@ -1,0 +1,114 @@
+"""Abstract test specifications (paper §4, step 3).
+
+A finished path becomes an :class:`AbstractTestCase`: input packet,
+control-plane configuration, and expected output(s), all fully
+concrete.  Test back ends (STF/PTF/Protobuf) render this structure;
+``repro.testback.runner`` can also execute it against the concrete
+interpreters in :mod:`repro.interp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PacketData",
+    "TableEntrySpec",
+    "ValueSetSpec",
+    "RegisterSpec",
+    "ExpectedPacket",
+    "AbstractTestCase",
+]
+
+
+@dataclass
+class PacketData:
+    """A concrete packet as a bit string."""
+
+    bits: int = 0          # packet content, MSB-first
+    width: int = 0         # number of valid bits
+    port: int = 0
+
+    def to_bytes(self) -> bytes:
+        """Packet bytes, zero-padded in the final byte if unaligned."""
+        nbytes = (self.width + 7) // 8
+        if nbytes == 0:
+            return b""
+        padded = self.bits << (nbytes * 8 - self.width)
+        return padded.to_bytes(nbytes, "big")
+
+    def hex(self) -> str:
+        return self.to_bytes().hex().upper()
+
+    def __repr__(self):
+        return f"PacketData(port={self.port}, width={self.width}, hex={self.hex()})"
+
+
+@dataclass
+class ExpectedPacket(PacketData):
+    """Expected output; ``dont_care`` marks bits the oracle cannot
+    predict (tainted), rendered as wildcard masks by back ends."""
+
+    dont_care: int = 0
+
+    def mask_bytes(self) -> bytes:
+        """0xFF where bits must match, 0x00 where they are wildcards."""
+        nbytes = (self.width + 7) // 8
+        if nbytes == 0:
+            return b""
+        care = (~self.dont_care) & ((1 << self.width) - 1)
+        padded = care << (nbytes * 8 - self.width)
+        return padded.to_bytes(nbytes, "big")
+
+
+@dataclass
+class TableEntrySpec:
+    table: str = ""
+    action: str = ""
+    # list of (key_name, match_kind, {role: int}) with roles value/mask/
+    # prefix_len/lo/hi
+    keys: list = field(default_factory=list)
+    # list of (param_name, value)
+    action_args: list = field(default_factory=list)
+    priority: int | None = None
+
+
+@dataclass
+class ValueSetSpec:
+    value_set: str = ""
+    member: int = 0
+
+
+@dataclass
+class RegisterSpec:
+    instance: str = ""
+    index: int = 0
+    value: int = 0
+
+
+@dataclass
+class AbstractTestCase:
+    """One input/output test for a P4 program on a specific target."""
+
+    test_id: int = 0
+    target: str = ""
+    program: str = ""
+    seed: int | None = None
+    input_packet: PacketData = None
+    entries: list = field(default_factory=list)       # TableEntrySpec
+    value_sets: list = field(default_factory=list)    # ValueSetSpec
+    registers: list = field(default_factory=list)     # RegisterSpec
+    expected: list = field(default_factory=list)      # ExpectedPacket
+    dropped: bool = False
+    covered_statements: frozenset = frozenset()
+    trace: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        outs = ", ".join(
+            f"port {p.port} ({p.width}b)" for p in self.expected
+        ) or ("drop" if self.dropped else "none")
+        return (
+            f"test {self.test_id}: in port {self.input_packet.port} "
+            f"({self.input_packet.width}b) -> {outs}, "
+            f"{len(self.entries)} entries"
+        )

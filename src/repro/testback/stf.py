@@ -1,0 +1,75 @@
+"""STF (Simple Test Framework) back end.
+
+Renders tests in the format of P4C's STF files: ``add`` lines for table
+entries, ``packet`` lines for injected packets, and ``expect`` lines
+for expected outputs (with ``*`` nibbles for don't-care bits).  STF has
+the fewest configuration options of the back ends (paper §6): no range
+entries and no extern initialization.
+"""
+
+from __future__ import annotations
+
+from .spec import AbstractTestCase, ExpectedPacket
+
+__all__ = ["StfBackend"]
+
+
+def _hex_with_wildcards(packet: ExpectedPacket) -> str:
+    """Hex string where fully-don't-care nibbles render as '*'."""
+    data = packet.to_bytes()
+    mask = packet.mask_bytes()
+    out = []
+    for b, m in zip(data, mask):
+        for shift in (4, 0):
+            nibble_mask = (m >> shift) & 0xF
+            nibble = (b >> shift) & 0xF
+            out.append(f"{nibble:X}" if nibble_mask == 0xF else "*")
+    return "".join(out)
+
+
+class StfBackend:
+    name = "stf"
+
+    # STF cannot express these (paper §6): the runner downgrades.
+    SUPPORTS_RANGE_ENTRIES = False
+    SUPPORTS_REGISTERS = False
+
+    def render_test(self, test: AbstractTestCase) -> str:
+        lines = [f"# test {test.test_id} ({test.target}, {test.program})"]
+        for vs in test.value_sets:
+            lines.append(f"add_value_set {vs.value_set} {vs.member:#x}")
+        for entry in test.entries:
+            keys = []
+            for name, kind, roles in entry.keys:
+                if kind == "exact":
+                    keys.append(f"{name}:{roles['value']:#x}")
+                elif kind in ("ternary", "optional"):
+                    mask = roles.get("mask", 0)
+                    keys.append(f"{name}:{roles['value']:#x}&&&{mask:#x}")
+                elif kind == "lpm":
+                    keys.append(
+                        f"{name}:{roles['value']:#x}/{roles.get('prefix_len', 0)}"
+                    )
+                elif kind == "range":
+                    # STF does not support range entries (§6); emit a
+                    # comment so the limitation is visible in the file.
+                    keys.append(
+                        f"{name}:<range {roles.get('lo', 0):#x}..{roles.get('hi', 0):#x} unsupported>"
+                    )
+                else:
+                    keys.append(f"{name}:{roles.get('value', 0):#x}")
+            args = " ".join(f"{n}:{v:#x}" for n, v in entry.action_args)
+            prio = f" prio {entry.priority}" if entry.priority is not None else ""
+            lines.append(
+                f"add {entry.table}{prio} {' '.join(keys)} {entry.action}({args})"
+            )
+        pkt = test.input_packet
+        lines.append(f"packet {pkt.port} {pkt.to_bytes().hex().upper()}")
+        if test.dropped or not test.expected:
+            lines.append("# expect no packet (dropped)")
+        for exp in test.expected:
+            lines.append(f"expect {exp.port} {_hex_with_wildcards(exp)}")
+        return "\n".join(lines)
+
+    def render_suite(self, tests: list[AbstractTestCase]) -> str:
+        return "\n\n".join(self.render_test(t) for t in tests) + "\n"

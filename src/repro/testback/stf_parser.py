@@ -1,0 +1,151 @@
+"""Parser for the STF files this package emits.
+
+Closes the loop render -> parse -> replay: an emitted STF suite can be
+read back into :class:`AbstractTestCase` objects and executed against
+the simulators, the way P4C's STF harness feeds BMv2.
+
+Grammar (the subset our back end produces)::
+
+    # test N (target, program)        -- starts a new test
+    add <table> [prio N] k:v ... <action>(p:v ...)
+    add_value_set <set> <member>
+    packet <port> <hex>
+    expect <port> <hex-with-*-wildcards>
+    # expect no packet (dropped)
+"""
+
+from __future__ import annotations
+
+import re
+
+from .spec import (
+    AbstractTestCase,
+    ExpectedPacket,
+    PacketData,
+    TableEntrySpec,
+    ValueSetSpec,
+)
+
+__all__ = ["parse_stf", "StfParseError"]
+
+
+class StfParseError(Exception):
+    pass
+
+
+_TEST_RE = re.compile(r"#\s*test\s+(\d+)\s*(?:\(([^,]*),\s*([^)]*)\))?")
+_DROP_RE = re.compile(r"#\s*expect no packet")
+_ADD_RE = re.compile(r"add\s+(\S+)(?:\s+prio\s+(\d+))?\s+(.*)")
+_VS_RE = re.compile(r"add_value_set\s+(\S+)\s+(\S+)")
+_PACKET_RE = re.compile(r"(packet|expect)\s+(\d+)\s*([0-9A-Fa-f*]*)")
+
+
+def _parse_key(token: str):
+    name, _, rest = token.partition(":")
+    if "&&&" in rest:
+        value, _, mask = rest.partition("&&&")
+        return name, "ternary", {"value": int(value, 0), "mask": int(mask, 0)}
+    if "/" in rest:
+        value, _, plen = rest.partition("/")
+        return name, "lpm", {"value": int(value, 0), "prefix_len": int(plen, 0)}
+    return name, "exact", {"value": int(rest, 0)}
+
+
+def _parse_add(line: str) -> TableEntrySpec:
+    m = _ADD_RE.match(line)
+    if not m:
+        raise StfParseError(f"bad add line: {line!r}")
+    table, prio, rest = m.group(1), m.group(2), m.group(3)
+    # Split "<keys...> action(args)" — the action is the last token
+    # carrying parentheses.
+    action_m = re.search(r"(\S+)\(([^)]*)\)\s*$", rest)
+    if not action_m:
+        raise StfParseError(f"add line missing action: {line!r}")
+    action = action_m.group(1)
+    args_text = action_m.group(2)
+    keys_text = rest[: action_m.start()].strip()
+    keys = [_parse_key(tok) for tok in keys_text.split() if tok]
+    args = []
+    for tok in args_text.split():
+        name, _, value = tok.partition(":")
+        args.append((name, int(value, 0)))
+    return TableEntrySpec(
+        table=table,
+        action=action,
+        keys=keys,
+        action_args=args,
+        priority=int(prio) if prio else None,
+    )
+
+
+def _parse_hex_packet(hex_text: str) -> tuple[int, int, int]:
+    """Returns (bits, width, dont_care) from hex with '*' wildcards."""
+    bits = 0
+    dont_care = 0
+    for ch in hex_text:
+        bits <<= 4
+        dont_care <<= 4
+        if ch == "*":
+            dont_care |= 0xF
+        else:
+            bits |= int(ch, 16)
+    return bits, 4 * len(hex_text), dont_care
+
+
+def parse_stf(text: str) -> list[AbstractTestCase]:
+    tests: list[AbstractTestCase] = []
+    current: AbstractTestCase | None = None
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        test_m = _TEST_RE.match(line)
+        if test_m:
+            current = AbstractTestCase(
+                test_id=int(test_m.group(1)),
+                target=(test_m.group(2) or "v1model").strip(),
+                program=(test_m.group(3) or "").strip(),
+                input_packet=PacketData(),
+            )
+            tests.append(current)
+            continue
+        if _DROP_RE.match(line):
+            if current is not None:
+                current.dropped = True
+            continue
+        if line.startswith("#"):
+            continue
+        if current is None:
+            # Tolerate header-less files: implicit single test.
+            current = AbstractTestCase(test_id=1, target="v1model",
+                                       input_packet=PacketData())
+            tests.append(current)
+        if line.startswith("add_value_set"):
+            m = _VS_RE.match(line)
+            if not m:
+                raise StfParseError(f"bad value-set line: {line!r}")
+            current.value_sets.append(
+                ValueSetSpec(value_set=m.group(1), member=int(m.group(2), 0))
+            )
+            continue
+        if line.startswith("add"):
+            current.entries.append(_parse_add(line))
+            continue
+        pkt_m = _PACKET_RE.match(line)
+        if pkt_m:
+            kind, port, hex_text = pkt_m.groups()
+            bits, width, dont_care = _parse_hex_packet(hex_text)
+            if kind == "packet":
+                current.input_packet = PacketData(
+                    bits=bits, width=width, port=int(port)
+                )
+            else:
+                current.expected.append(
+                    ExpectedPacket(
+                        bits=bits, width=width, port=int(port),
+                        dont_care=dont_care,
+                    )
+                )
+            continue
+        raise StfParseError(f"unrecognized STF line: {line!r}")
+    return tests

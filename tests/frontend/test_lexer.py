@@ -1,0 +1,107 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.frontend.errors import LexError
+from repro.frontend.lexer import tokenize
+
+
+def kinds(text):
+    toks, _inc = tokenize(text)
+    return [(t.kind, t.text) for t in toks[:-1]]
+
+
+def test_empty_input():
+    toks, _ = tokenize("")
+    assert toks[-1].kind == "EOF"
+    assert len(toks) == 1
+
+
+def test_identifiers_and_keywords():
+    out = kinds("header foo_bar apply x1")
+    assert out == [
+        ("KEYWORD", "header"),
+        ("ID", "foo_bar"),
+        ("ID", "apply"),  # "apply" is contextual, not reserved
+        ("ID", "x1"),
+    ]
+
+
+def test_plain_integers():
+    toks, _ = tokenize("123 0x1F 0b101 0o17")
+    values = [t.value for t in toks[:-1]]
+    assert values == [123, 31, 5, 15]
+    assert all(t.width is None for t in toks[:-1])
+
+
+def test_width_annotated_integers():
+    toks, _ = tokenize("8w255 4w0xF 16w0xBEEF")
+    assert [(t.value, t.width, t.signed) for t in toks[:-1]] == [
+        (255, 8, False),
+        (15, 4, False),
+        (0xBEEF, 16, False),
+    ]
+
+
+def test_signed_literal():
+    toks, _ = tokenize("8s3")
+    assert toks[0].signed is True
+    assert toks[0].width == 8
+
+
+def test_underscores_in_literals():
+    toks, _ = tokenize("0xDE_AD 1_000")
+    assert toks[0].value == 0xDEAD
+    assert toks[1].value == 1000
+
+
+def test_operators_longest_match():
+    out = [t for k, t in kinds("a &&& b ++ c << 2 <= d")]
+    assert "&&&" in out
+    assert "++" in out
+    assert "<<" in out
+    assert "<=" in out
+
+
+def test_comments_stripped():
+    out = kinds("a // comment\nb /* multi\nline */ c")
+    assert [t for _k, t in out] == ["a", "b", "c"]
+
+
+def test_comment_preserves_line_numbers():
+    toks, _ = tokenize("a /* x\ny */ b")
+    assert toks[0].location.line == 1
+    assert toks[1].location.line == 2
+
+
+def test_string_literal():
+    toks, _ = tokenize('@name("foo.bar")')
+    strings = [t for t in toks if t.kind == "STRING"]
+    assert strings[0].value == "foo.bar"
+
+
+def test_include_recorded():
+    _toks, includes = tokenize('#include <core.p4>\n#include "v1model.p4"\nheader h {}')
+    assert includes == ["core.p4", "v1model.p4"]
+
+
+def test_define_substitution():
+    toks, _ = tokenize("#define WIDTH 16\nbit<WIDTH> x;")
+    ints = [t for t in toks if t.kind == "INT"]
+    assert ints[0].value == 16
+
+
+def test_unterminated_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_locations_track_columns():
+    toks, _ = tokenize("ab cd")
+    assert toks[0].location.column == 1
+    assert toks[1].location.column == 4
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError):
+        tokenize("a ` b")

@@ -1,0 +1,390 @@
+"""Parser unit tests over the P4-16 subset grammar."""
+
+import pytest
+
+from repro.frontend import ast as A, parse_program
+from repro.frontend.errors import ParseError
+
+
+def test_header_decl():
+    prog = parse_program(
+        """
+        header ethernet_t {
+            bit<48> dst;
+            bit<48> src;
+            bit<16> type;
+        }
+        """
+    )
+    hdr = prog.find(A.HeaderDecl, "ethernet_t")
+    assert hdr is not None
+    assert [f.name for f in hdr.fields] == ["dst", "src", "type"]
+    assert isinstance(hdr.fields[0].field_type, A.BitTypeAst)
+
+
+def test_struct_and_typedef():
+    prog = parse_program(
+        """
+        typedef bit<9> port_t;
+        struct metadata_t {
+            port_t output_port;
+            bool checksum_err;
+        }
+        """
+    )
+    td = prog.find(A.TypedefDecl, "port_t")
+    assert td is not None
+    st = prog.find(A.StructDecl, "metadata_t")
+    assert [f.name for f in st.fields] == ["output_port", "checksum_err"]
+    # typedef name usable as a type
+    assert isinstance(st.fields[0].field_type, A.TypeName)
+
+
+def test_const_decl():
+    prog = parse_program("const bit<16> TYPE_IPV4 = 0x800;")
+    const = prog.find(A.ConstDecl, "TYPE_IPV4")
+    assert const.value.value == 0x800
+
+
+def test_enum():
+    prog = parse_program("enum Suits { Clubs, Diamonds, Hearts, Spades }")
+    e = prog.find(A.EnumDecl, "Suits")
+    assert e.members == ["Clubs", "Diamonds", "Hearts", "Spades"]
+
+
+def test_serializable_enum():
+    prog = parse_program("enum bit<8> Proto { TCP = 6, UDP = 17 }")
+    e = prog.find(A.EnumDecl, "Proto")
+    assert e.member_values == {"TCP": 6, "UDP": 17}
+
+
+def test_error_and_match_kind():
+    prog = parse_program(
+        """
+        error { NoError, PacketTooShort }
+        match_kind { exact, ternary, lpm }
+        """
+    )
+    err = prog.all(A.ErrorDecl)[0]
+    assert "PacketTooShort" in err.members
+    mk = prog.all(A.MatchKindDecl)[0]
+    assert mk.members == ["exact", "ternary", "lpm"]
+
+
+PARSER_SRC = """
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> type; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<9> port; }
+
+parser MyParser(packet_in pkt, out headers_t hdr, inout meta_t meta) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.type) {
+            0x800: parse_ipv4;
+            0x86DD &&& 0xFFFF: parse_v6;
+            16w5 .. 16w10: range_state;
+            default: accept;
+        }
+    }
+    state parse_ipv4 { transition accept; }
+    state parse_v6 { transition reject; }
+    state range_state { transition accept; }
+}
+"""
+
+
+def test_parser_decl_and_select():
+    prog = parse_program(PARSER_SRC)
+    p = prog.find(A.ParserDecl, "MyParser")
+    assert p is not None
+    assert [s.name for s in p.states] == ["start", "parse_ipv4", "parse_v6", "range_state"]
+    start = p.states[0]
+    assert len(start.statements) == 1
+    tr = start.transition
+    assert tr.direct is None
+    assert len(tr.cases) == 4
+    assert isinstance(tr.cases[0].keyset, A.ExprKeyset)
+    assert isinstance(tr.cases[1].keyset, A.MaskKeyset)
+    assert isinstance(tr.cases[2].keyset, A.RangeKeyset)
+    assert isinstance(tr.cases[3].keyset, A.DefaultKeyset)
+    assert tr.cases[3].state == "accept"
+
+
+CONTROL_SRC = """
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> type; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<9> output_port; }
+
+control Ingress(inout headers_t h, inout meta_t meta) {
+    action noop() { }
+    action set_out(bit<9> port) {
+        meta.output_port = port;
+    }
+    table forward_table {
+        key = { h.eth.type: exact @name("type"); }
+        actions = { noop; set_out; }
+        default_action = noop();
+        size = 1024;
+    }
+    apply {
+        h.eth.type = 0xBEEF;
+        forward_table.apply();
+    }
+}
+"""
+
+
+def test_control_with_table():
+    prog = parse_program(CONTROL_SRC)
+    c = prog.find(A.ControlDecl, "Ingress")
+    actions = [l for l in c.locals if isinstance(l, A.ActionDecl)]
+    assert [a.name for a in actions] == ["noop", "set_out"]
+    tables = [l for l in c.locals if isinstance(l, A.TableDecl)]
+    table = tables[0]
+    assert table.name == "forward_table"
+    assert table.keys[0].match_kind == "exact"
+    assert table.keys[0].control_plane_name == "type"
+    assert [a.name for a in table.actions] == ["noop", "set_out"]
+    assert table.default_action.name == "noop"
+    assert table.size == 1024
+    assert len(c.apply_body.statements) == 2
+
+
+def test_table_const_entries():
+    prog = parse_program(
+        """
+        header h_t { bit<8> f; }
+        struct hs { h_t h; }
+        control C(inout hs h) {
+            action a() {}
+            action b() {}
+            table t {
+                key = { h.h.f: ternary; }
+                actions = { a; b; }
+                const entries = {
+                    0x01 &&& 0xFF : a();
+                    @priority(5) 0x02 : b();
+                    _ : a();
+                }
+            }
+            apply { t.apply(); }
+        }
+        """
+    )
+    c = prog.find(A.ControlDecl, "C")
+    table = [l for l in c.locals if isinstance(l, A.TableDecl)][0]
+    assert len(table.entries) == 3
+    assert isinstance(table.entries[0].keyset, A.MaskKeyset)
+    assert table.entries[1].priority == 5
+    assert isinstance(table.entries[2].keyset, A.DontCareKeyset)
+
+
+def test_if_else_and_calls():
+    prog = parse_program(
+        """
+        struct m_t { bit<8> x; }
+        control C(inout m_t m) {
+            apply {
+                if (m.x == 1) {
+                    m.x = 2;
+                } else if (m.x == 2) {
+                    m.x = 3;
+                } else {
+                    m.x = m.x + 1;
+                }
+            }
+        }
+        """
+    )
+    c = prog.find(A.ControlDecl, "C")
+    if_stmt = c.apply_body.statements[0]
+    assert isinstance(if_stmt, A.IfStmt)
+    assert isinstance(if_stmt.else_branch, A.IfStmt)
+
+
+def test_switch_on_action_run():
+    prog = parse_program(
+        """
+        struct m_t { bit<8> x; }
+        control C(inout m_t m) {
+            action a() {}
+            table t {
+                key = { m.x: exact; }
+                actions = { a; }
+            }
+            apply {
+                switch (t.apply().action_run) {
+                    a: { m.x = 1; }
+                    default: { m.x = 2; }
+                }
+            }
+        }
+        """
+    )
+    c = prog.find(A.ControlDecl, "C")
+    sw = c.apply_body.statements[0]
+    assert isinstance(sw, A.SwitchStmt)
+    assert len(sw.cases) == 2
+    assert sw.cases[1].label == "default"
+
+
+def test_expressions_precedence():
+    prog = parse_program("const bit<8> X = 1 + 2 * 3;")
+    expr = prog.find(A.ConstDecl, "X").value
+    assert isinstance(expr, A.Binop) and expr.op == "+"
+    assert isinstance(expr.right, A.Binop) and expr.right.op == "*"
+
+
+def test_concat_and_slice():
+    prog = parse_program(
+        """
+        struct m_t { bit<8> a; bit<8> b; bit<16> c; }
+        control C(inout m_t m) {
+            apply {
+                m.c = m.a ++ m.b;
+                m.a = m.c[15:8];
+            }
+        }
+        """
+    )
+    c = prog.find(A.ControlDecl, "C")
+    assign1, assign2 = c.apply_body.statements
+    assert isinstance(assign1.value, A.Binop) and assign1.value.op == "++"
+    assert isinstance(assign2.value, A.Slice)
+
+
+def test_cast_expression():
+    prog = parse_program(
+        """
+        struct m_t { bit<8> a; bit<16> c; }
+        control C(inout m_t m) {
+            apply { m.c = (bit<16>) m.a; }
+        }
+        """
+    )
+    c = prog.find(A.ControlDecl, "C")
+    assert isinstance(c.apply_body.statements[0].value, A.Cast)
+
+
+def test_ternary_expr():
+    prog = parse_program("const bit<8> X = true ? 1 : 2;")
+    assert isinstance(prog.find(A.ConstDecl, "X").value, A.Ternary)
+
+
+def test_header_stack_and_index():
+    prog = parse_program(
+        """
+        header label_t { bit<20> label; bit<1> bos; }
+        struct hs { label_t[4] labels; }
+        control C(inout hs h) {
+            apply { h.labels[0].bos = 1; }
+        }
+        """
+    )
+    st = prog.find(A.StructDecl, "hs")
+    assert isinstance(st.fields[0].field_type, A.StackTypeAst)
+    c = prog.find(A.ControlDecl, "C")
+    target = c.apply_body.statements[0].target
+    assert isinstance(target, A.Member)
+    assert isinstance(target.expr, A.Index)
+
+
+def test_package_and_main():
+    prog = parse_program(
+        """
+        parser P(packet_in pkt);
+        control C();
+        package Pipe(P p, C c);
+        P() the_parser;
+        """
+    )
+    pkg = prog.find(A.PackageDecl, "Pipe")
+    assert [p.name for p in pkg.params] == ["p", "c"]
+    inst = prog.all(A.Instantiation)
+    assert inst[0].name == "the_parser"
+
+
+def test_extern_function_and_object():
+    prog = parse_program(
+        """
+        extern void mark_to_drop();
+        extern register<T> {
+            register(bit<32> size);
+            void read(out T result, in bit<32> index);
+            void write(in bit<32> index, in T value);
+        }
+        """
+    )
+    fn = prog.find(A.FunctionDecl, "mark_to_drop")
+    assert fn is not None
+    ext = prog.find(A.ExternDecl, "register")
+    assert [m.name for m in ext.methods] == ["read", "write"]
+    assert len(ext.constructor_params) == 1
+
+
+def test_value_set():
+    prog = parse_program(
+        """
+        header e_t { bit<16> t; }
+        struct hs { e_t e; }
+        parser P(packet_in pkt, out hs h) {
+            value_set<bit<16>>(4) my_vs;
+            state start {
+                pkt.extract(h.e);
+                transition select(h.e.t) {
+                    my_vs: accept;
+                    default: reject;
+                }
+            }
+        }
+        """
+    )
+    p = prog.find(A.ParserDecl, "P")
+    vs = [l for l in p.locals if isinstance(l, A.ValueSetDecl)]
+    assert vs[0].name == "my_vs" and vs[0].size == 4
+
+
+def test_annotations_on_declarations():
+    prog = parse_program(
+        """
+        @auto_init_metadata
+        header h_t { bit<8> f; }
+        """
+    )
+    hdr = prog.find(A.HeaderDecl, "h_t")
+    assert hdr.annotations[0].name == "auto_init_metadata"
+
+
+def test_parse_error_reports_location():
+    with pytest.raises(ParseError) as exc:
+        parse_program("header h {")
+    assert "h" in str(exc.value) or "expected" in str(exc.value)
+
+
+def test_compound_assignment_desugars():
+    prog = parse_program(
+        """
+        struct m_t { bit<8> x; }
+        control C(inout m_t m) {
+            apply { m.x += 2; }
+        }
+        """
+    )
+    c = prog.find(A.ControlDecl, "C")
+    stmt = c.apply_body.statements[0]
+    assert isinstance(stmt, A.AssignStmt)
+    assert isinstance(stmt.value, A.Binop) and stmt.value.op == "+"
+
+
+def test_exit_and_return():
+    prog = parse_program(
+        """
+        struct m_t { bit<8> x; }
+        control C(inout m_t m) {
+            action a() { return; }
+            apply { exit; }
+        }
+        """
+    )
+    c = prog.find(A.ControlDecl, "C")
+    assert isinstance(c.apply_body.statements[0], A.ExitStmt)

@@ -1,0 +1,68 @@
+"""Preprocessor behaviour: includes, defines, conditionals."""
+
+from repro.frontend.lexer import tokenize
+
+
+def values(text):
+    toks, _inc = tokenize(text)
+    return [t.value for t in toks if t.kind == "INT"]
+
+
+def test_multiple_includes_recorded_in_order():
+    _toks, includes = tokenize(
+        '#include <core.p4>\n#include <v1model.p4>\nconst bit<8> X = 1;'
+    )
+    assert includes == ["core.p4", "v1model.p4"]
+
+
+def test_define_multiple_macros():
+    text = "#define A 10\n#define B 20\nconst bit<8> X = A; const bit<8> Y = B;"
+    assert 10 in values(text) and 20 in values(text)
+
+
+def test_define_does_not_touch_substrings():
+    text = "#define AB 5\nconst bit<8> ABC = 1;"
+    toks, _ = tokenize(text)
+    names = [t.text for t in toks if t.kind == "ID"]
+    assert "ABC" in names  # AB must not expand inside ABC
+
+
+def test_ifdef_of_undefined_skips_block():
+    text = (
+        "#ifdef FEATURE\nconst bit<8> X = 99;\n#endif\n"
+        "const bit<8> Y = 1;"
+    )
+    assert values(text) == [8, 1]
+
+
+def test_ifdef_of_defined_keeps_block():
+    text = (
+        "#define FEATURE 1\n"
+        "#ifdef FEATURE\nconst bit<8> X = 99;\n#endif\n"
+    )
+    assert 99 in values(text)
+
+
+def test_ifndef_inclusion_guard_pattern():
+    text = (
+        "#ifndef GUARD\n#define GUARD 1\n"
+        "const bit<8> X = 7;\n#endif\n"
+    )
+    assert 7 in values(text)
+
+
+def test_if_zero_skips():
+    text = "#if 0\nconst bit<8> X = 99;\n#endif\nconst bit<8> Y = 3;"
+    vals = values(text)
+    assert 99 not in vals and 3 in vals
+
+
+def test_if_one_keeps():
+    text = "#if 1\nconst bit<8> X = 99;\n#endif"
+    assert 99 in values(text)
+
+
+def test_line_numbers_preserved_across_directives():
+    toks, _ = tokenize("#define A 1\n#include <core.p4>\nheader h {}")
+    header_tok = [t for t in toks if t.text == "header"][0]
+    assert header_tok.location.line == 3

@@ -1,0 +1,88 @@
+"""Resolved-type unit tests."""
+
+import pytest
+
+from repro.frontend.errors import TypeError_
+from repro.frontend.types import (
+    BitsType,
+    BoolType,
+    EnumType,
+    ErrorType,
+    HeaderType,
+    StackType,
+    StructType,
+    VarbitType,
+)
+
+
+def test_bits_type_interned():
+    assert BitsType(8) is BitsType(8)
+    assert BitsType(8) is not BitsType(9)
+    assert BitsType(8, signed=True) is not BitsType(8)
+
+
+def test_bits_repr():
+    assert repr(BitsType(8)) == "bit<8>"
+    assert repr(BitsType(8, signed=True)) == "int<8>"
+
+
+def test_bool_singleton():
+    assert BoolType() is BoolType()
+    assert BoolType().bit_width() == 1
+
+
+def test_error_type_width():
+    assert ErrorType().bit_width() == 32
+    assert ErrorType() is ErrorType()
+
+
+def test_enum_synthetic_values():
+    e = EnumType("Suits", ["C", "D", "H", "S"])
+    assert e.value_of("C") == 0
+    assert e.value_of("S") == 3
+    assert e.bit_width() == 2  # 4 members fit in 2 bits
+
+
+def test_enum_explicit_values():
+    e = EnumType("Proto", ["TCP", "UDP"], underlying_width=8,
+                 member_values={"TCP": 6, "UDP": 17})
+    assert e.value_of("UDP") == 17
+    assert e.bit_width() == 8
+    with pytest.raises(TypeError_):
+        e.value_of("SCTP")
+
+
+def test_header_layout():
+    eth = HeaderType("eth", [("dst", BitsType(48)), ("src", BitsType(48)),
+                             ("etype", BitsType(16))])
+    assert eth.bit_width() == 112
+    assert eth.field_offset("dst") == 0
+    assert eth.field_offset("etype") == 96
+    with pytest.raises(TypeError_):
+        eth.field_offset("nope")
+
+
+def test_header_rejects_composite_fields():
+    inner = StructType("s", [("x", BitsType(8))])
+    with pytest.raises(TypeError_):
+        HeaderType("bad", [("inner", inner)])
+
+
+def test_struct_width_sums():
+    s = StructType("m", [("a", BitsType(9)), ("b", BoolType())])
+    assert s.bit_width() == 10
+    assert s.field_types["a"] == BitsType(9)
+
+
+def test_stack_type():
+    eth = HeaderType("h", [("f", BitsType(8))])
+    st = StackType(eth, 4)
+    assert st.bit_width() == 32
+    with pytest.raises(TypeError_):
+        StackType(eth, 0)
+
+
+def test_varbit_type():
+    v = VarbitType(320)
+    assert v.bit_width() == 320
+    assert "varbit" in repr(v)

@@ -1,0 +1,69 @@
+"""Architecture prelude tests: every shipped prelude must parse and
+lower on its own, like P4C's standard-library headers."""
+
+import pytest
+
+from repro.frontend import parse_program
+from repro.frontend import ast as A
+from repro.ir import lower
+from repro.ir.builtins import PRELUDES, prelude_for_includes
+
+
+@pytest.mark.parametrize("name", sorted(PRELUDES))
+def test_prelude_parses(name):
+    program = parse_program(PRELUDES[name], name)
+    assert program.declarations
+
+
+@pytest.mark.parametrize("name", sorted(PRELUDES))
+def test_prelude_lowers(name):
+    program = parse_program(PRELUDES[name], name)
+    ir = lower(program)
+    assert "NoError" in ir.errors
+    assert "exact" in ir.match_kinds
+
+
+def test_core_declares_packet_externs():
+    program = parse_program(PRELUDES["core.p4"])
+    packet_in = program.find(A.ExternDecl, "packet_in")
+    methods = {m.name for m in packet_in.methods}
+    assert {"extract", "lookahead", "advance", "length"} <= methods
+
+
+def test_v1model_declares_standard_metadata():
+    program = parse_program(PRELUDES["v1model.p4"])
+    ir = lower(program)
+    sm = ir.structs["standard_metadata_t"]
+    assert sm.field_types["egress_spec"].bit_width() == 9
+    assert "ingress_global_timestamp" in sm.field_types
+
+
+def test_tna_intrinsic_metadata_widths():
+    program = parse_program(PRELUDES["tna.p4"])
+    ir = lower(program)
+    ig = ir.structs["ingress_intrinsic_metadata_t"]
+    assert ig.bit_width() == 64  # the documented tna prepend
+    eg = ir.structs["egress_intrinsic_metadata_t"]
+    assert eg.bit_width() == 144
+
+
+def test_t2na_adds_ghost():
+    program = parse_program(PRELUDES["t2na.p4"])
+    ir = lower(program)
+    assert "ghost_intrinsic_metadata_t" in ir.structs
+
+
+def test_prelude_selection_by_include():
+    assert "V1Switch" in prelude_for_includes(["v1model.p4"])
+    assert "ebpfFilter" in prelude_for_includes(["ebpf_model.p4"])
+    assert "GhostPipeline" in prelude_for_includes(["t2na.p4"])
+    # Paths are tolerated.
+    assert "V1Switch" in prelude_for_includes(["lib/v1model.p4"])
+    # Core-only fallback.
+    text = prelude_for_includes(["something_else.h"])
+    assert "packet_in" in text and "V1Switch" not in text
+
+
+def test_most_specific_include_wins():
+    text = prelude_for_includes(["core.p4", "tna.p4"])
+    assert "Pipeline" in text

@@ -1,0 +1,311 @@
+"""Lowering tests: AST -> typed IR."""
+
+import pytest
+
+from repro.frontend.errors import TypeError_
+from repro.frontend.types import BitsType, BoolType, HeaderType, StructType
+from repro.ir import load_ir, lower_source
+from repro.ir import nodes as N
+
+FIG1A = """
+#include <core.p4>
+#include <v1model.p4>
+
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> type; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<9> output_port; }
+
+parser MyParser(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition accept;
+    }
+}
+
+control MyVerify(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control MyIngress(inout headers_t h, inout meta_t meta,
+                  inout standard_metadata_t sm) {
+    action noop() { }
+    action set_out(bit<9> port) {
+        meta.output_port = port;
+        sm.egress_spec = port;
+    }
+    table forward_table {
+        key = { h.eth.type: exact @name("type"); }
+        actions = { noop; set_out; }
+        default_action = noop();
+    }
+    apply {
+        h.eth.type = 0xBEEF;
+        forward_table.apply();
+    }
+}
+
+control MyEgress(inout headers_t h, inout meta_t meta,
+                 inout standard_metadata_t sm) { apply { } }
+
+control MyCompute(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control MyDeparser(packet_out pkt, in headers_t hdr) {
+    apply { pkt.emit(hdr.eth); }
+}
+
+V1Switch(MyParser(), MyVerify(), MyIngress(), MyEgress(),
+         MyCompute(), MyDeparser()) main;
+"""
+
+
+@pytest.fixture(scope="module")
+def fig1a():
+    return lower_source(FIG1A, "fig1a.p4")
+
+
+def test_headers_resolved(fig1a):
+    eth = fig1a.headers["ethernet_t"]
+    assert isinstance(eth, HeaderType)
+    assert eth.bit_width() == 112
+    assert eth.field_offset("type") == 96
+
+
+def test_structs_resolved(fig1a):
+    hs = fig1a.structs["headers_t"]
+    assert isinstance(hs, StructType)
+    assert hs.field_types["eth"] is fig1a.headers["ethernet_t"]
+    sm = fig1a.structs["standard_metadata_t"]
+    assert sm.field_types["egress_spec"] == BitsType(9)
+
+
+def test_errors_from_core(fig1a):
+    assert "PacketTooShort" in fig1a.errors
+    assert fig1a.error_code("NoError") == 0
+
+
+def test_parser_lowered(fig1a):
+    p = fig1a.parsers["MyParser"]
+    assert set(p.states) == {"start"}
+    start = p.states["start"]
+    assert len(start.statements) == 1
+    call = start.statements[0].call
+    assert call.func == "extract"
+    assert call.obj == "pkt"
+    assert start.transition.direct == "accept"
+
+
+def test_control_and_table_lowered(fig1a):
+    ig = fig1a.controls["MyIngress"]
+    table = ig.tables["MyIngress.forward_table"]
+    assert table.keys[0].match_kind == "exact"
+    assert table.keys[0].name == "type"
+    assert [r.action for r in table.action_refs] == [
+        "MyIngress.noop",
+        "MyIngress.set_out",
+    ]
+    assert table.default_action.action == "MyIngress.noop"
+    set_out = ig.actions["MyIngress.set_out"]
+    assert [p.name for p in set_out.control_plane_params] == ["port"]
+
+
+def test_apply_statements(fig1a):
+    ig = fig1a.controls["MyIngress"]
+    assign, apply_stmt = ig.apply_stmts
+    assert isinstance(assign, N.IrAssign)
+    assert assign.target.path() == "h.eth.type"
+    assert isinstance(assign.value, N.IrConst)
+    assert assign.value.value == 0xBEEF
+    assert assign.value.p4_type == BitsType(16)
+    assert isinstance(apply_stmt, N.IrApplyTable)
+    assert apply_stmt.table == "MyIngress.forward_table"
+
+
+def test_bindings(fig1a):
+    kinds = [(b.kind, b.decl_name) for b in fig1a.bindings]
+    assert kinds == [
+        ("parser", "MyParser"),
+        ("control", "MyVerify"),
+        ("control", "MyIngress"),
+        ("control", "MyEgress"),
+        ("control", "MyCompute"),
+        ("control", "MyDeparser"),
+    ]
+    assert fig1a.package_name == "V1Switch"
+
+
+def test_stmt_ids_unique(fig1a):
+    ids = [s.stmt_id for s in fig1a.all_statements()]
+    assert len(ids) == len(set(ids))
+
+
+def test_const_folding_of_global_consts():
+    ir = lower_source(
+        """
+        #include <core.p4>
+        const bit<16> ETHERTYPE = 0x800;
+        const bit<16> DOUBLED = ETHERTYPE * 2;
+        struct m_t { bit<16> x; }
+        control C(inout m_t m) {
+            apply { m.x = DOUBLED; }
+        }
+        """
+    )
+    c = ir.controls["C"]
+    assert c.apply_stmts[0].value.value == 0x1000
+
+
+def test_enum_member_lowered():
+    ir = lower_source(
+        """
+        #include <core.p4>
+        enum bit<8> Proto { TCP = 6, UDP = 17 }
+        struct m_t { bit<8> x; }
+        control C(inout m_t m) {
+            apply {
+                if (m.x == Proto.UDP) { m.x = 0; }
+            }
+        }
+        """
+    )
+    cond = ir.controls["C"].apply_stmts[0].cond
+    assert cond.right.value == 17
+
+
+def test_error_member_lowered():
+    ir = lower_source(
+        """
+        #include <core.p4>
+        struct m_t { error e; bit<8> x; }
+        control C(inout m_t m) {
+            apply {
+                if (m.e == error.PacketTooShort) { m.x = 1; }
+            }
+        }
+        """
+    )
+    cond = ir.controls["C"].apply_stmts[0].cond
+    assert cond.right.value == ir.error_code("PacketTooShort")
+
+
+def test_isvalid_lowered():
+    ir = lower_source(
+        """
+        #include <core.p4>
+        header h_t { bit<8> f; }
+        struct hs { h_t h; }
+        struct m_t { bit<8> x; }
+        control C(inout hs h, inout m_t m) {
+            apply {
+                if (h.h.isValid()) { m.x = 1; }
+            }
+        }
+        """
+    )
+    cond = ir.controls["C"].apply_stmts[0].cond
+    assert isinstance(cond, N.IrValidExpr)
+    assert cond.header.path() == "h.h"
+
+
+def test_width_mismatch_rejected():
+    with pytest.raises(TypeError_):
+        lower_source(
+            """
+            #include <core.p4>
+            struct m_t { bit<8> a; bit<16> b; }
+            control C(inout m_t m) {
+                apply { m.a = m.a + m.b; }
+            }
+            """
+        )
+
+
+def test_unknown_action_rejected():
+    with pytest.raises(TypeError_):
+        lower_source(
+            """
+            #include <core.p4>
+            struct m_t { bit<8> a; }
+            control C(inout m_t m) {
+                table t {
+                    key = { m.a: exact; }
+                    actions = { missing_action; }
+                }
+                apply { t.apply(); }
+            }
+            """
+        )
+
+
+def test_switch_lowered():
+    ir = lower_source(
+        """
+        #include <core.p4>
+        struct m_t { bit<8> x; }
+        control C(inout m_t m) {
+            action a() {}
+            action b() {}
+            table t {
+                key = { m.x: exact; }
+                actions = { a; b; }
+            }
+            apply {
+                switch (t.apply().action_run) {
+                    a: { m.x = 1; }
+                    b: { m.x = 2; }
+                    default: { m.x = 3; }
+                }
+            }
+        }
+        """
+    )
+    sw = ir.controls["C"].apply_stmts[0]
+    assert isinstance(sw, N.IrSwitch)
+    assert sw.table == "C.t"
+    labels = [labels for labels, _body in sw.cases]
+    assert labels == [["C.a"], ["C.b"], ["default"]]
+
+
+def test_apply_hit_lowered():
+    ir = lower_source(
+        """
+        #include <core.p4>
+        struct m_t { bit<8> x; }
+        control C(inout m_t m) {
+            action a() {}
+            table t {
+                key = { m.x: exact; }
+                actions = { a; }
+            }
+            apply {
+                if (t.apply().hit) { m.x = 1; }
+            }
+        }
+        """
+    )
+    cond = ir.controls["C"].apply_stmts[0].cond
+    assert isinstance(cond, N.IrApplyExpr)
+    assert cond.member == "hit"
+
+
+def test_extern_instance_lowered():
+    ir = lower_source(
+        """
+        #include <core.p4>
+        #include <v1model.p4>
+        struct m_t { bit<32> x; }
+        control C(inout m_t m) {
+            register<bit<32>>(1024) my_reg;
+            apply {
+                my_reg.read(m.x, 0);
+                my_reg.write(0, m.x);
+            }
+        }
+        """
+    )
+    c = ir.controls["C"]
+    inst = c.instances["my_reg"]
+    assert inst.extern_type == "register"
+    assert inst.type_args[0] == BitsType(32)
+    assert inst.ctor_args[0].value == 1024
+    call = c.apply_stmts[0].call
+    assert call.func == "register.read"
+    assert call.obj == "C.my_reg"

@@ -1,0 +1,230 @@
+"""Mid-end transform tests: folding, DCE, stack-index expansion,
+parser-loop unrolling."""
+
+from repro.frontend.types import BitsType, BoolType
+from repro.ir import load_ir, lower_source
+from repro.ir import nodes as N
+from repro.ir.transforms import (
+    eliminate_dead_code,
+    expand_dynamic_stack_indices,
+    fold_constants,
+    fold_expr,
+    unroll_parsers,
+)
+
+
+def c(v, w=8):
+    return N.IrConst(p4_type=BitsType(w), value=v)
+
+
+def lv(name, w=8):
+    return N.IrLValExpr(p4_type=BitsType(w), lval=N.VarLV(p4_type=BitsType(w), name=name))
+
+
+def test_fold_binop_constants():
+    e = N.IrBinop(p4_type=BitsType(8), op="+", left=c(200), right=c(100))
+    out = fold_expr(e)
+    assert isinstance(out, N.IrConst) and out.value == 44
+
+
+def test_fold_comparison():
+    e = N.IrBinop(p4_type=BoolType(), op="<", left=c(1), right=c(2))
+    assert fold_expr(e).value is True
+
+
+def test_fold_nested():
+    inner = N.IrBinop(p4_type=BitsType(8), op="*", left=c(3), right=c(4))
+    e = N.IrBinop(p4_type=BitsType(8), op="+", left=inner, right=lv("x"))
+    out = fold_expr(e)
+    assert isinstance(out, N.IrBinop)
+    assert isinstance(out.left, N.IrConst) and out.left.value == 12
+
+
+def test_fold_short_circuit_and():
+    e = N.IrBinop(
+        p4_type=BoolType(), op="&&",
+        left=N.IrConst(p4_type=BoolType(), value=False),
+        right=N.IrBinop(p4_type=BoolType(), op="==", left=lv("x"), right=c(1)),
+    )
+    assert fold_expr(e).value is False
+
+
+def test_fold_ternary_constant_condition():
+    e = N.IrTernary(
+        p4_type=BitsType(8),
+        cond=N.IrConst(p4_type=BoolType(), value=True),
+        then=c(1), other=c(2),
+    )
+    assert fold_expr(e).value == 1
+
+
+def test_fold_concat_of_constants():
+    e = N.IrConcat(p4_type=BitsType(16), parts=(c(0xAB), c(0xCD)))
+    assert fold_expr(e).value == 0xABCD
+
+
+def test_dce_removes_constant_if():
+    ir = lower_source(
+        """
+        #include <core.p4>
+        struct m_t { bit<8> x; }
+        control C(inout m_t m) {
+            apply {
+                if (1 == 1) { m.x = 1; } else { m.x = 2; }
+            }
+        }
+        """
+    )
+    fold_constants(ir)
+    eliminate_dead_code(ir)
+    stmts = ir.controls["C"].apply_stmts
+    assert len(stmts) == 1
+    assert isinstance(stmts[0], N.IrAssign)
+    assert stmts[0].value.value == 1
+
+
+def test_dce_removes_unreachable_after_exit():
+    ir = lower_source(
+        """
+        #include <core.p4>
+        struct m_t { bit<8> x; }
+        control C(inout m_t m) {
+            apply {
+                exit;
+                m.x = 1;
+            }
+        }
+        """
+    )
+    eliminate_dead_code(ir)
+    stmts = ir.controls["C"].apply_stmts
+    assert len(stmts) == 1
+    assert isinstance(stmts[0], N.IrExit)
+
+
+def test_dce_removes_unreachable_parser_states():
+    ir = lower_source(
+        """
+        #include <core.p4>
+        header h_t { bit<8> f; }
+        struct hs { h_t h; }
+        parser P(packet_in pkt, out hs h) {
+            state start {
+                pkt.extract(h.h);
+                transition accept;
+            }
+            state never_used {
+                transition reject;
+            }
+        }
+        """
+    )
+    eliminate_dead_code(ir)
+    assert "never_used" not in ir.parsers["P"].states
+    assert "start" in ir.parsers["P"].states
+
+
+def test_stack_index_expansion_for_writes():
+    ir = lower_source(
+        """
+        #include <core.p4>
+        header lbl_t { bit<8> v; }
+        struct hs { lbl_t[3] stack; }
+        struct m_t { bit<32> i; }
+        control C(inout hs h, inout m_t m) {
+            apply {
+                h.stack[m.i].v = 7;
+            }
+        }
+        """
+    )
+    expand_dynamic_stack_indices(ir)
+    stmt = ir.controls["C"].apply_stmts[0]
+    assert isinstance(stmt, N.IrIf), "dynamic index must become an if-chain"
+    # All leaves must be constant-index assignments.
+    seen = []
+
+    def walk(s):
+        if isinstance(s, N.IrIf):
+            for inner in s.then_stmts + s.else_stmts:
+                walk(inner)
+        elif isinstance(s, N.IrAssign):
+            seen.append(s.target.path())
+
+    walk(stmt)
+    assert sorted(seen) == ["h.stack[0].v", "h.stack[1].v", "h.stack[2].v"]
+
+
+def test_stack_index_expansion_for_reads():
+    ir = lower_source(
+        """
+        #include <core.p4>
+        header lbl_t { bit<8> v; }
+        struct hs { lbl_t[2] stack; }
+        struct m_t { bit<32> i; bit<8> out_v; }
+        control C(inout hs h, inout m_t m) {
+            apply {
+                m.out_v = h.stack[m.i].v;
+            }
+        }
+        """
+    )
+    expand_dynamic_stack_indices(ir)
+    stmt = ir.controls["C"].apply_stmts[0]
+    assert isinstance(stmt.value, N.IrTernary), "dynamic read becomes ternary chain"
+
+
+def test_parser_unrolling_bounds_cycles():
+    ir = lower_source(
+        """
+        #include <core.p4>
+        header lbl_t { bit<7> v; bit<1> bos; }
+        struct hs { lbl_t[4] stack; }
+        parser P(packet_in pkt, out hs h) {
+            state start {
+                transition loop;
+            }
+            state loop {
+                pkt.extract(h.stack.next);
+                transition select(h.stack.last.bos) {
+                    1: accept;
+                    default: loop;
+                }
+            }
+        }
+        """
+    )
+    unroll_parsers(ir, bound=3)
+    parser = ir.parsers["P"]
+    names = set(parser.states)
+    assert "loop#0" in names and "loop#2" in names
+    assert "loop#3" not in names
+    # The last copy's back edge goes to reject.
+    last = parser.states["loop#2"]
+    targets = {case.state for case in last.transition.cases}
+    assert "reject" in targets
+
+
+def test_unrolled_clones_have_fresh_stmt_ids():
+    ir = load_ir(
+        """
+        #include <core.p4>
+        header lbl_t { bit<7> v; bit<1> bos; }
+        struct hs { lbl_t[4] stack; }
+        parser P(packet_in pkt, out hs h) {
+            state start {
+                pkt.extract(h.stack.next);
+                transition select(h.stack.last.bos) {
+                    1: accept;
+                    default: start;
+                }
+            }
+        }
+        """
+    )
+    ids = [s.stmt_id for s in ir.all_statements()]
+    assert len(ids) == len(set(ids))
+    # With the default bound of 4, four copies of the extract exist.
+    parser = ir.parsers["P"]
+    extract_states = [n for n in parser.states if n.startswith("start#")]
+    assert len(extract_states) == 4

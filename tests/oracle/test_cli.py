@@ -1,0 +1,82 @@
+"""CLI tests: python -m repro."""
+
+import io
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_cli(args, stdin_text=None, capsys=None):
+    if stdin_text is not None:
+        old = sys.stdin
+        sys.stdin = io.StringIO(stdin_text)
+        try:
+            return main(args)
+        finally:
+            sys.stdin = old
+    return main(args)
+
+
+def test_list_programs(capsys):
+    assert run_cli(["list-programs"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1a" in out and "middleblock" in out
+
+
+def test_list_targets(capsys):
+    assert run_cli(["list-targets"]) == 0
+    out = capsys.readouterr().out.split()
+    assert out == ["ebpf_model", "t2na", "tna", "v1model"]
+
+
+def test_generate_stf(capsys):
+    assert run_cli(["generate", "fig1a", "--max-tests", "3"]) == 0
+    captured = capsys.readouterr()
+    assert "packet 0" in captured.out
+    assert "statement coverage" in captured.err
+
+
+def test_generate_ptf_backend(capsys):
+    assert run_cli(
+        ["generate", "fig1a", "--max-tests", "2", "--test-backend", "ptf"]
+    ) == 0
+    assert "P4RuntimeTest" in capsys.readouterr().out
+
+
+def test_generate_to_file(tmp_path, capsys):
+    out_file = tmp_path / "tests.stf"
+    assert run_cli(
+        ["generate", "fig1a", "--max-tests", "2", "--out", str(out_file)]
+    ) == 0
+    assert "packet" in out_file.read_text()
+
+
+def test_generate_from_stdin(capsys):
+    from repro.programs import get_program_source
+
+    assert run_cli(
+        ["generate", "-", "--max-tests", "2"],
+        stdin_text=get_program_source("fig1a"),
+    ) == 0
+    assert "packet" in capsys.readouterr().out
+
+
+def test_run_command(capsys):
+    assert run_cli(["run", "fig1b", "--max-tests", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "tests pass" in out
+
+
+def test_generate_tna(capsys):
+    assert run_cli(
+        ["generate", "tna_forward", "--target", "tna",
+         "--test-backend", "ptf", "--max-tests", "3"]
+    ) == 0
+    assert "send_packet" in capsys.readouterr().out
+
+
+def test_bad_target_rejected(capsys):
+    with pytest.raises(SystemExit):
+        run_cli(["generate", "fig1a", "--target", "asic"])

@@ -1,0 +1,78 @@
+"""Incremental-solving behaviour: the property the paper leans on
+("Z3 configured with incremental solving", §6)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.smt import Solver, terms as T
+
+
+def test_blast_cache_shared_across_checks():
+    """Repeated checks over shared subterms must not re-blast: variable
+    count stays fixed after the first check."""
+    a = T.bv_var("inc_a", 32)
+    b = T.bv_var("inc_b", 32)
+    base = T.eq(T.bv_add(a, b), T.bv_const(100, 32))
+    s = Solver()
+    s.add(base)
+    assert s.check() == "sat"
+    vars_after_first = s._sat.num_vars
+    for i in range(5):
+        assert s.check(T.ne(a, T.bv_const(i, 32))) == "sat"
+    # Only the disequality gates were added (roughly one gate per bit
+    # per check); the adder and variable bits were not re-blasted.
+    assert s._sat.num_vars <= vars_after_first + 5 * 34
+
+
+def test_learned_clauses_survive_assumption_checks():
+    a = T.bv_var("inc_c", 16)
+    s = Solver()
+    s.add(T.ult(a, T.bv_const(100, 16)))
+    for v in (150, 200, 300):
+        assert s.check(T.eq(a, T.bv_const(v, 16))) == "unsat"
+    assert s.check(T.eq(a, T.bv_const(50, 16))) == "sat"
+    assert s.model()[a] == 50
+
+
+@given(
+    values=st.lists(st.integers(0, 255), min_size=1, max_size=6, unique=True)
+)
+@settings(max_examples=25, deadline=None)
+def test_push_pop_is_stack_like(values):
+    """Pushed constraints vanish on pop, at any depth."""
+    a = T.bv_var("pp_a", 8)
+    s = Solver()
+    # Sequential push/pop: each pinned value holds only while pushed.
+    for v in values:
+        s.push()
+        s.add(T.eq(a, T.bv_const(v, 8)))
+        assert s.check() == "sat"
+        assert s.model()[a] == v
+        s.pop()
+    assert s.depth == 0
+    # Nested contradictory pins: unsat while both levels live, sat
+    # again after popping the inner one.
+    if len(values) >= 2:
+        s.push()
+        s.add(T.eq(a, T.bv_const(values[0], 8)))
+        s.push()
+        s.add(T.eq(a, T.bv_const(values[1], 8)))
+        assert s.check() == "unsat"
+        s.pop()
+        assert s.check() == "sat"
+        assert s.model()[a] == values[0]
+        s.pop()
+    assert s.check() == "sat"
+
+
+@given(seed_vals=st.lists(st.integers(0, 65535), min_size=2, max_size=5))
+@settings(max_examples=25, deadline=None)
+def test_one_shot_assumptions_never_persist(seed_vals):
+    a = T.bv_var("osa_a", 16)
+    s = Solver()
+    for v in seed_vals:
+        status = s.check(T.eq(a, T.bv_const(v, 16)))
+        assert status == "sat"
+        assert s.model()[a] == v
+    # No assumptions linger: contradictory pins in sequence all succeed.
+    assert s.check() == "sat"

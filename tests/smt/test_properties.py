@@ -1,0 +1,124 @@
+"""Property-based tests: bit-blaster vs concrete evaluation of random terms."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.smt import Solver, evaluate, terms as T
+
+WIDTH = 8
+
+
+def _vars():
+    return [T.bv_var("x", WIDTH), T.bv_var("y", WIDTH), T.bv_var("z", WIDTH)]
+
+
+_BINOPS = [
+    T.bv_add,
+    T.bv_sub,
+    T.bv_mul,
+    T.bv_and,
+    T.bv_or,
+    T.bv_xor,
+    T.bv_udiv,
+    T.bv_urem,
+    T.bv_shl,
+    T.bv_lshr,
+    T.bv_ashr,
+]
+
+
+@st.composite
+def bv_terms(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return draw(st.sampled_from(_vars()))
+        return T.bv_const(draw(st.integers(0, (1 << WIDTH) - 1)), WIDTH)
+    op = draw(st.sampled_from(_BINOPS))
+    a = draw(bv_terms(depth=depth - 1))
+    b = draw(bv_terms(depth=depth - 1))
+    return op(a, b)
+
+
+@given(
+    t=bv_terms(),
+    xv=st.integers(0, 255),
+    yv=st.integers(0, 255),
+    zv=st.integers(0, 255),
+)
+@settings(max_examples=60, deadline=None)
+def test_blaster_agrees_with_evaluator(t, xv, yv, zv):
+    """For random terms t and concrete inputs, the formula
+    (x=xv & y=yv & z=zv & out=t) must be satisfiable exactly with
+    out == evaluate(t)."""
+    x, y, z = _vars()
+    env = {x: xv, y: yv, z: zv}
+    expected = evaluate(t, env)
+    out = T.bv_var("out", WIDTH)
+    s = Solver()
+    s.add(T.eq(x, T.bv_const(xv, WIDTH)))
+    s.add(T.eq(y, T.bv_const(yv, WIDTH)))
+    s.add(T.eq(z, T.bv_const(zv, WIDTH)))
+    s.add(T.eq(out, t))
+    assert s.check() == "sat"
+    assert s.model()[out] == expected
+    # And forcing a different output must be unsat.
+    assert s.check(T.ne(out, T.bv_const(expected, WIDTH))) == "unsat"
+
+
+@given(
+    t=bv_terms(depth=2),
+    xv=st.integers(0, 255),
+    yv=st.integers(0, 255),
+    zv=st.integers(0, 255),
+)
+@settings(max_examples=40, deadline=None)
+def test_simplifier_is_semantics_preserving(t, xv, yv, zv):
+    """Simplified and unsimplified construction evaluate identically."""
+    x, y, z = _vars()
+    env = {x: xv, y: yv, z: zv}
+    simplified = evaluate(t, env)
+    # Rebuild the same term shape with simplification off.
+    T.set_simplify(False)
+    try:
+        rebuilt = T.substitute(t, {})
+        unsimplified = evaluate(rebuilt, env)
+    finally:
+        T.set_simplify(True)
+    assert simplified == unsimplified
+
+
+@given(
+    a=st.integers(0, 255),
+    b=st.integers(0, 255),
+)
+@settings(max_examples=40, deadline=None)
+def test_comparisons_match_python(a, b):
+    ca, cb = T.bv_const(a, 8), T.bv_const(b, 8)
+    assert evaluate(T.ult(ca, cb)) == (a < b)
+    assert evaluate(T.ule(ca, cb)) == (a <= b)
+
+    def sgn(v):
+        return v - 256 if v >= 128 else v
+
+    assert evaluate(T.slt(ca, cb)) == (sgn(a) < sgn(b))
+    assert evaluate(T.sle(ca, cb)) == (sgn(a) <= sgn(b))
+
+
+@given(v=st.integers(0, (1 << 16) - 1), hi=st.integers(0, 15), lo=st.integers(0, 15))
+@settings(max_examples=40, deadline=None)
+def test_extract_matches_python(v, hi, lo):
+    if lo > hi:
+        hi, lo = lo, hi
+    t = T.extract(T.bv_const(v, 16), hi, lo)
+    assert t.value == (v >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+@given(parts=st.lists(st.integers(0, 255), min_size=1, max_size=5))
+@settings(max_examples=40, deadline=None)
+def test_concat_matches_python(parts):
+    t = T.concat(*[T.bv_const(p, 8) for p in parts])
+    expected = 0
+    for p in parts:
+        expected = (expected << 8) | p
+    assert t.value == expected
+    assert t.width == 8 * len(parts)

@@ -1,0 +1,148 @@
+"""Unit tests for the CDCL SAT core."""
+
+import itertools
+
+import pytest
+
+from repro.smt.sat import SAT, UNSAT, SatSolver
+
+
+def brute_force(clauses, num_vars):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        ok = True
+        for clause in clauses:
+            if not any((bits[abs(l) - 1]) == (l > 0) for l in clause):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def test_empty_formula_is_sat():
+    s = SatSolver()
+    assert s.solve() == SAT
+
+
+def test_single_unit_clause():
+    s = SatSolver()
+    s.add_clause([1])
+    assert s.solve() == SAT
+    assert s.model()[1] is True
+
+
+def test_contradictory_units():
+    s = SatSolver()
+    s.add_clause([1])
+    assert s.add_clause([-1]) is False
+    assert s.solve() == UNSAT
+
+
+def test_simple_sat_instance():
+    s = SatSolver()
+    s.add_clause([1, 2])
+    s.add_clause([-1, 2])
+    s.add_clause([1, -2])
+    assert s.solve() == SAT
+    m = s.model()
+    assert m[1] and m[2]
+
+
+def test_simple_unsat_instance():
+    s = SatSolver()
+    s.add_clause([1, 2])
+    s.add_clause([-1, 2])
+    s.add_clause([1, -2])
+    s.add_clause([-1, -2])
+    assert s.solve() == UNSAT
+
+
+def test_pigeonhole_3_into_2_unsat():
+    # p(i,j): pigeon i in hole j. vars: 1..6
+    def v(i, j):
+        return i * 2 + j + 1
+
+    s = SatSolver()
+    for i in range(3):
+        s.add_clause([v(i, 0), v(i, 1)])
+    for j in range(2):
+        for i1 in range(3):
+            for i2 in range(i1 + 1, 3):
+                s.add_clause([-v(i1, j), -v(i2, j)])
+    assert s.solve() == UNSAT
+
+
+def test_assumptions_sat_and_unsat():
+    s = SatSolver()
+    s.add_clause([1, 2])
+    assert s.solve([-1]) == SAT
+    assert s.model()[2] is True
+    assert s.solve([-1, -2]) == UNSAT
+    # Solver is reusable after an assumption-unsat answer.
+    assert s.solve([1]) == SAT
+
+
+def test_model_respects_clauses():
+    s = SatSolver()
+    clauses = [[1, -3], [2, 3, -1], [-2, -3]]
+    for c in clauses:
+        s.add_clause(c)
+    assert s.solve() == SAT
+    m = s.model()
+    for c in clauses:
+        assert any(m[abs(l)] == (l > 0) for l in c)
+
+
+def test_tautological_clause_is_ignored():
+    s = SatSolver()
+    s.add_clause([1, -1])
+    s.add_clause([-2])
+    assert s.solve() == SAT
+    assert s.model()[2] is False
+
+
+def test_duplicate_literals_handled():
+    s = SatSolver()
+    s.add_clause([1, 1, 1])
+    assert s.solve() == SAT
+    assert s.model()[1] is True
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_3sat_matches_brute_force(seed):
+    import random
+
+    rng = random.Random(seed)
+    num_vars = 8
+    clauses = []
+    for _ in range(30):
+        lits = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append([l if rng.random() < 0.5 else -l for l in lits])
+    s = SatSolver()
+    for c in clauses:
+        s.add_clause(c)
+    expected = brute_force(clauses, num_vars)
+    got = s.solve() == SAT
+    assert got == expected
+    if expected:
+        m = s.model()
+        for c in clauses:
+            assert any(m[abs(l)] == (l > 0) for l in c)
+
+
+def test_incremental_add_after_sat():
+    s = SatSolver()
+    s.add_clause([1, 2])
+    assert s.solve() == SAT
+    s.add_clause([-1])
+    s.add_clause([-2])
+    assert s.solve() == UNSAT
+
+
+def test_stats_are_tracked():
+    s = SatSolver()
+    for i in range(1, 6):
+        s.add_clause([i, i % 5 + 1])
+    s.solve()
+    assert s.stats["decisions"] >= 0
+    assert s.stats["propagations"] >= 0

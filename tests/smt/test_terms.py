@@ -1,0 +1,173 @@
+"""Unit tests for the term language and constructor-time simplifier."""
+
+import pytest
+
+from repro.smt import terms as T
+
+
+def test_hash_consing_identity():
+    a = T.bv_var("a", 8)
+    b = T.bv_var("a", 8)
+    assert a is b
+    assert T.bv_const(5, 8) is T.bv_const(5, 8)
+    assert T.bv_add(a, T.bv_const(1, 8)) is T.bv_add(b, T.bv_const(1, 8))
+
+
+def test_const_masking():
+    assert T.bv_const(256, 8).value == 0
+    assert T.bv_const(-1, 8).value == 255
+
+
+def test_width_mismatch_rejected():
+    a = T.bv_var("a", 8)
+    b = T.bv_var("b", 16)
+    with pytest.raises(TypeError):
+        T.bv_add(a, b)
+    with pytest.raises(TypeError):
+        T.eq(a, b)
+
+
+def test_bool_bv_confusion_rejected():
+    a = T.bv_var("a", 8)
+    p = T.bool_var("p")
+    with pytest.raises(TypeError):
+        T.and_(a, p)
+    with pytest.raises(TypeError):
+        T.bv_and(p, p)
+
+
+def test_constant_folding_arith():
+    c = lambda v: T.bv_const(v, 8)
+    assert T.bv_add(c(200), c(100)).value == 44
+    assert T.bv_sub(c(1), c(2)).value == 255
+    assert T.bv_mul(c(16), c(17)).value == (16 * 17) % 256
+    assert T.bv_udiv(c(7), c(2)).value == 3
+    assert T.bv_urem(c(7), c(2)).value == 1
+    assert T.bv_udiv(c(7), c(0)).value == 255  # SMT-LIB semantics
+    assert T.bv_urem(c(7), c(0)).value == 7
+
+
+def test_identity_rules():
+    a = T.bv_var("a", 8)
+    z = T.bv_const(0, 8)
+    ones = T.bv_const(0xFF, 8)
+    assert T.bv_add(a, z) is a
+    assert T.bv_and(a, z) is z
+    assert T.bv_and(a, ones) is a
+    assert T.bv_or(a, z) is a
+    assert T.bv_xor(a, a).value == 0
+    assert T.bv_mul(a, z).value == 0  # the taint-mitigation rewrite
+    assert T.bv_mul(a, T.bv_const(1, 8)) is a
+    assert T.bv_sub(a, a).value == 0
+
+
+def test_boolean_simplifications():
+    p = T.bool_var("p")
+    assert T.and_(p, T.true()) is p
+    assert T.and_(p, T.false()) is T.false()
+    assert T.or_(p, T.true()) is T.true()
+    assert T.and_(p, T.not_(p)) is T.false()
+    assert T.or_(p, T.not_(p)) is T.true()
+    assert T.not_(T.not_(p)) is p
+
+
+def test_eq_simplifications():
+    a = T.bv_var("a", 8)
+    assert T.eq(a, a) is T.true()
+    assert T.eq(T.bv_const(3, 8), T.bv_const(3, 8)) is T.true()
+    assert T.eq(T.bv_const(3, 8), T.bv_const(4, 8)) is T.false()
+
+
+def test_comparison_folding():
+    c = lambda v, w=8: T.bv_const(v, w)
+    assert T.ult(c(3), c(4)) is T.true()
+    assert T.ult(c(4), c(3)) is T.false()
+    assert T.slt(c(0xFF), c(0)) is T.true()  # -1 < 0 signed
+    assert T.slt(c(0), c(0xFF)) is T.false()
+    assert T.ule(c(3), c(3)) is T.true()
+
+
+def test_concat_and_extract():
+    a = T.bv_const(0xAB, 8)
+    b = T.bv_const(0xCD, 8)
+    ab = T.concat(a, b)
+    assert ab.width == 16
+    assert ab.value == 0xABCD
+    v = T.bv_var("v", 16)
+    hi = T.extract(v, 15, 8)
+    assert hi.width == 8
+    # extract of extract folds
+    assert T.extract(hi, 3, 0) is T.extract(v, 11, 8)
+    # extract over full width is identity
+    assert T.extract(v, 15, 0) is v
+
+
+def test_extract_through_concat():
+    a = T.bv_var("a", 8)
+    b = T.bv_var("b", 8)
+    ab = T.concat(a, b)
+    assert T.extract(ab, 7, 0) is b
+    assert T.extract(ab, 15, 8) is a
+    mid = T.extract(ab, 11, 4)
+    assert mid.width == 8
+
+
+def test_extend():
+    a = T.bv_var("a", 8)
+    assert T.zero_extend(a, 0) is a
+    assert T.zero_extend(a, 8).width == 16
+    assert T.zero_extend(T.bv_const(0xFF, 8), 8).value == 0xFF
+    assert T.sign_extend(T.bv_const(0xFF, 8), 8).value == 0xFFFF
+    assert T.sign_extend(T.bv_const(0x7F, 8), 8).value == 0x7F
+
+
+def test_shift_folding():
+    c = lambda v: T.bv_const(v, 8)
+    a = T.bv_var("a", 8)
+    assert T.bv_shl(c(1), c(3)).value == 8
+    assert T.bv_shl(a, c(0)) is a
+    assert T.bv_shl(a, c(8)).value == 0
+    assert T.bv_lshr(c(0x80), c(7)).value == 1
+    assert T.bv_ashr(c(0x80), c(7)).value == 0xFF
+
+
+def test_ite_simplifications():
+    a = T.bv_var("a", 8)
+    b = T.bv_var("b", 8)
+    p = T.bool_var("p")
+    assert T.ite_bv(T.true(), a, b) is a
+    assert T.ite_bv(T.false(), a, b) is b
+    assert T.ite_bv(p, a, a) is a
+
+
+def test_free_vars():
+    a = T.bv_var("a", 8)
+    b = T.bv_var("b", 8)
+    p = T.bool_var("p")
+    t = T.and_(p, T.eq(T.bv_add(a, b), T.bv_const(0, 8)))
+    assert T.free_vars(t) == {a, b, p}
+
+
+def test_substitute():
+    a = T.bv_var("a", 8)
+    t = T.bv_add(a, T.bv_const(1, 8))
+    t2 = T.substitute(t, {a: T.bv_const(4, 8)})
+    assert t2.value == 5
+
+
+def test_simplify_switch():
+    a = T.bv_var("a", 8)
+    z = T.bv_const(0, 8)
+    T.set_simplify(False)
+    try:
+        t = T.bv_add(a, z)
+        assert t.op == "bvadd"  # not simplified away
+    finally:
+        T.set_simplify(True)
+    assert T.bv_add(a, z) is a
+
+
+def test_repr_smoke():
+    a = T.bv_var("a", 8)
+    t = T.bv_add(a, T.bv_const(1, 8))
+    assert "bvadd" in repr(t)

@@ -1,0 +1,127 @@
+"""Unit tests for the I/L/E packet-sizing model (paper §5.2.1)."""
+
+from repro.smt import Solver, evaluate, terms as T
+from repro.symex.packet import PacketModel
+from repro.symex.value import SymVal
+
+
+def test_initially_empty():
+    pkt = PacketModel()
+    assert pkt.live_bits() == 0
+    assert pkt.input_bits == 0
+    assert pkt.emit_bits() == 0
+    assert pkt.input_term() is None
+    assert pkt.live_value() is None
+
+
+def test_consume_grows_input():
+    pkt = PacketModel()
+    value = pkt.consume(112)
+    assert value.width == 112
+    assert pkt.input_bits == 112
+    assert pkt.live_bits() == 0
+
+
+def test_consume_partial_segment():
+    pkt = PacketModel()
+    pkt.consume(48)      # grows I by 48
+    assert pkt.input_bits == 48
+    v = pkt.consume(16)  # grows I by another 16
+    assert v.width == 16
+    assert pkt.input_bits == 64
+
+
+def test_prepend_live_consumed_before_input():
+    """Target metadata prepended to L is parsed before input content
+    and must not grow I (Tofino semantics, §5.2.1)."""
+    pkt = PacketModel()
+    meta = SymVal(T.bv_const(0xAB, 8), 0)
+    pkt.prepend_live(meta)
+    v = pkt.consume(8)
+    assert pkt.input_bits == 0
+    assert v.term.is_const and v.term.value == 0xAB
+
+
+def test_prepend_then_overflow_grows_input():
+    pkt = PacketModel()
+    pkt.prepend_live(SymVal(T.bv_const(0xAB, 8), 0))
+    v = pkt.consume(16)
+    assert v.width == 16
+    assert pkt.input_bits == 8  # only the extra byte came from I
+
+
+def test_peek_does_not_consume():
+    pkt = PacketModel()
+    v1 = pkt.peek(8)
+    assert pkt.live_bits() == 8  # pushed back
+    v2 = pkt.consume(8)
+    assert v1.term is v2.term
+
+
+def test_taint_flows_through_consume():
+    pkt = PacketModel()
+    pkt.prepend_live(SymVal(T.bv_const(0, 8), 0b1111_0000))
+    v = pkt.consume(4)
+    assert v.taint == 0b1111
+    v2 = pkt.consume(4)
+    assert v2.taint == 0
+
+
+def test_emit_and_commit():
+    pkt = PacketModel()
+    pkt.consume(8)                      # leaves L empty, I = 8
+    pkt.emit(SymVal(T.bv_const(0xAA, 8), 0))
+    pkt.emit(SymVal(T.bv_const(0xBB, 8), 0))
+    assert pkt.emit_bits() == 16
+    pkt.commit_emit()
+    assert pkt.emit_bits() == 0
+    live = pkt.live_value()
+    assert live.term.value == 0xAABB
+
+
+def test_commit_prepends_before_remaining_live():
+    pkt = PacketModel()
+    pkt.prepend_live(SymVal(T.bv_const(0xCC, 8), 0))  # unparsed remainder
+    pkt.emit(SymVal(T.bv_const(0xAA, 8), 0))
+    pkt.commit_emit()
+    assert pkt.live_value().term.value == 0xAACC
+
+
+def test_truncate_live():
+    pkt = PacketModel()
+    pkt.prepend_live(SymVal(T.bv_const(0xAABBCC, 24), 0))
+    pkt.truncate_live(8)
+    assert pkt.live_value().term.value == 0xAA
+    assert pkt.live_bits() == 8
+
+
+def test_len_constraints_are_consistent():
+    pkt = PacketModel()
+    pkt.consume(112)
+    s = Solver()
+    s.add(pkt.len_ok_constraint())
+    assert s.check() == "sat"
+    # too-short for a further 32-bit pull: 112 <= len < 144
+    s.add(pkt.too_short_constraint(32))
+    assert s.check() == "sat"
+    m = s.model()
+    val = m[pkt.pkt_len]
+    assert 112 <= val < 144
+
+
+def test_clone_independent():
+    pkt = PacketModel()
+    pkt.consume(8)
+    c = pkt.clone()
+    c.consume(8)
+    assert pkt.input_bits == 8
+    assert c.input_bits == 16
+    assert c.pkt_len is pkt.pkt_len  # same symbolic length variable
+
+
+def test_input_term_concatenation():
+    pkt = PacketModel()
+    pkt.consume(8)
+    pkt.consume(8)
+    term = pkt.input_term()
+    assert term.width == 16

@@ -1,0 +1,116 @@
+"""ExecutionState unit tests: env, frames, cloning, structured copies."""
+
+import pytest
+
+from repro import load_program
+from repro.frontend.types import BitsType, BoolType, HeaderType, StackType, StructType
+from repro.symex.state import ExecutionState, Frame
+from repro.symex.value import SymVal, sym_bool, sym_const
+from repro.targets import V1Model
+
+
+@pytest.fixture
+def state():
+    program = load_program("fig1a")
+    return ExecutionState(program, V1Model())
+
+
+ETH = HeaderType("eth_t", [("dst", BitsType(48)), ("src", BitsType(48)),
+                           ("etype", BitsType(16))])
+HDRS = StructType("hdrs", [("eth", ETH)])
+STACK = StackType(ETH, 3)
+
+
+def test_read_write_roundtrip(state):
+    state.write("x", sym_const(5, 8))
+    assert state.read("x", 8).term.value == 5
+
+
+def test_uninitialized_read_uses_target_policy(state):
+    # V1Model: BMv2 zero-initializes.
+    v = state.read("never_written", 16)
+    assert v.term.is_const and v.term.value == 0
+
+
+def test_init_type_header_invalid(state):
+    state.init_type("h", ETH, "invalid")
+    assert state.read_valid("h").term.payload is False
+
+
+def test_init_type_struct_zero(state):
+    state.init_type("s", HDRS, "zero")
+    assert state.read("s.eth.dst", 48).term.value == 0
+
+
+def test_init_type_stack(state):
+    state.init_type("st", STACK, "invalid")
+    assert state.next_index["st"] == 0
+    for i in range(3):
+        assert state.read_valid(f"st[{i}]").term.payload is False
+
+
+def test_copy_value_header(state):
+    state.init_type("a", ETH, "zero")
+    state.write_valid("a", sym_bool(True))
+    state.write("a.etype", sym_const(0xBEEF, 16))
+    state.init_type("b", ETH, "invalid")
+    state.copy_value("a", "b", ETH)
+    assert state.read_valid("b").term.payload is True
+    assert state.read("b.etype", 16).term.value == 0xBEEF
+
+
+def test_alias_resolution_nested_frames(state):
+    state.push_frame({"hdr": "*hdr"})
+    state.push_frame({"h": "*hdr.eth"})
+    assert state.resolve_root("h") == "*hdr.eth"
+    assert state.resolve_root("hdr") == "*hdr"
+    assert state.resolve_root("unbound") == "unbound"
+
+
+def test_clone_isolates_env(state):
+    state.write("x", sym_const(1, 8))
+    clone = state.clone()
+    clone.write("x", sym_const(2, 8))
+    assert state.read("x", 8).term.value == 1
+    assert clone.read("x", 8).term.value == 2
+
+
+def test_clone_isolates_path_cond(state):
+    from repro.smt import terms as T
+
+    state.add_constraint(T.bool_var("p"))
+    clone = state.clone()
+    clone.add_constraint(T.bool_var("q"))
+    assert len(state.path_cond) == 1
+    assert len(clone.path_cond) == 2
+
+
+def test_clone_isolates_work_stack(state):
+    state.push_work("item-a")
+    clone = state.clone()
+    clone.pop_work()
+    assert state.has_work
+    assert not clone.has_work
+
+
+def test_add_constraint_rejects_constant_false(state):
+    from repro.smt import terms as T
+
+    assert state.add_constraint(T.false()) is False
+    assert state.add_constraint(T.true()) is True
+    assert not state.path_cond  # constants never enter the condition
+
+
+def test_cover_and_trace(state):
+    class FakeStmt:
+        stmt_id = 42
+
+    state.cover(FakeStmt())
+    state.log("hello")
+    assert 42 in state.coverage
+    assert state.trace == ["hello"]
+
+
+def test_state_ids_unique(state):
+    other = state.clone()
+    assert other.state_id != state.state_id

@@ -1,0 +1,118 @@
+"""Unit tests for taint propagation (paper §5.3)."""
+
+from repro.smt import terms as T
+from repro.symex import taint as TT
+from repro.symex.value import SymVal, fresh_tainted, fresh_var, sym_const
+
+
+def v(value, width=8, taint=0):
+    return SymVal(T.bv_const(value, width), taint)
+
+
+def var(name, width=8, taint=0):
+    return SymVal(T.bv_var(name, width), taint)
+
+
+def test_untainted_ops_stay_clean():
+    a, b = var("a"), var("b")
+    term = T.bv_add(a.term, b.term)
+    assert TT.binop_taint("+", a, b, term) == 0
+
+
+def test_bitwise_taint_is_positional():
+    a = var("a", taint=0b0000_1111)
+    b = var("b", taint=0b1100_0000)
+    term = T.bv_xor(a.term, b.term)
+    assert TT.binop_taint("^", a, b, term) == 0b1100_1111
+
+
+def test_and_with_clean_zero_masks_taint():
+    """Mitigation 1: 0 & tainted == 0 (clean)."""
+    a = v(0x0F)  # constant, untainted
+    b = var("b", taint=0xFF)
+    term = T.bv_and(a.term, b.term)
+    assert TT.binop_taint("&", a, b, term) == 0x0F
+
+
+def test_or_with_clean_ones_masks_taint():
+    a = v(0xF0)
+    b = var("b", taint=0xFF)
+    term = T.bv_or(a.term, b.term)
+    assert TT.binop_taint("|", a, b, term) == 0x0F
+
+
+def test_mul_by_zero_clears_taint():
+    """The paper's flagship mitigation: tainted * 0 == 0."""
+    a = var("a", taint=0xFF)
+    zero = v(0)
+    term = T.bv_mul(a.term, zero.term)  # simplifies to const 0
+    assert term.is_const
+    assert TT.binop_taint("*", a, zero, term) == 0
+
+
+def test_addition_spreads_upward_only():
+    a = var("a", taint=0b0001_0000)
+    b = var("b")
+    term = T.bv_add(a.term, b.term)
+    out = TT.binop_taint("+", a, b, term)
+    assert out == 0b1111_0000  # bits below the lowest tainted bit stay clean
+
+
+def test_comparison_of_tainted_is_tainted():
+    a = var("a", taint=1)
+    b = var("b")
+    term = T.ult(a.term, b.term)
+    assert TT.binop_taint("<", a, b, term) == 1
+
+
+def test_shift_by_constant_shifts_mask():
+    a = var("a", taint=0b0000_0110)
+    sh = v(2)
+    term = T.bv_shl(a.term, sh.term)
+    assert TT.binop_taint("<<", a, sh, term) == 0b0001_1000
+
+
+def test_shift_by_tainted_amount_taints_all():
+    a = var("a")
+    sh = var("n", taint=0xFF)
+    term = T.bv_shl(a.term, sh.term)
+    assert TT.binop_taint("<<", a, sh, term) == 0xFF
+
+
+def test_concat_taint():
+    a = var("a", taint=0x0F)
+    b = var("b", taint=0xF0)
+    assert TT.concat_taint([a, b]) == 0x0FF0
+
+
+def test_slice_taint():
+    a = var("a", 16, taint=0xFF00)
+    assert TT.slice_taint(a, 15, 8) == 0xFF
+    assert TT.slice_taint(a, 7, 0) == 0
+
+
+def test_ite_tainted_condition():
+    c = SymVal(T.bool_var("c"), 1)
+    a, b = var("a"), var("b")
+    term = T.ite_bv(c.term, a.term, b.term)
+    assert TT.ite_taint(c, a, b, term) == 0xFF
+
+
+def test_ite_clean_condition_unions_branches():
+    c = SymVal(T.bool_var("c"), 0)
+    a = var("a", taint=0x0F)
+    b = var("b", taint=0xF0)
+    term = T.ite_bv(c.term, a.term, b.term)
+    assert TT.ite_taint(c, a, b, term) == 0xFF
+
+
+def test_cast_narrows_taint():
+    a = var("a", 16, taint=0xFF00)
+    assert TT.cast_taint(a, 8) == 0
+
+
+def test_fresh_tainted_is_fully_tainted():
+    x = fresh_tainted("x", 8)
+    assert x.fully_tainted
+    y = fresh_var("y", 8)
+    assert not y.is_tainted

@@ -1,0 +1,128 @@
+"""Test back-end renderer unit tests (STF, PTF, Protobuf)."""
+
+import pytest
+
+from repro.testback import BACKENDS, get_backend
+from repro.testback.spec import (
+    AbstractTestCase,
+    ExpectedPacket,
+    PacketData,
+    RegisterSpec,
+    TableEntrySpec,
+    ValueSetSpec,
+)
+
+
+@pytest.fixture
+def sample_test():
+    return AbstractTestCase(
+        test_id=7,
+        target="v1model",
+        program="sample.p4",
+        input_packet=PacketData(bits=0xDEADBEEF, width=32, port=3),
+        entries=[
+            TableEntrySpec(
+                table="Ingress.t1",
+                action="Ingress.set_out",
+                keys=[
+                    ("type", "exact", {"value": 0xBEEF}),
+                    ("mask_key", "ternary", {"value": 0x10, "mask": 0xF0}),
+                    ("prefix", "lpm", {"value": 0x0A000000, "prefix_len": 8}),
+                    ("span", "range", {"lo": 5, "hi": 10}),
+                ],
+                action_args=[("port", 4)],
+                priority=2,
+            )
+        ],
+        value_sets=[ValueSetSpec(value_set="P.vs", member=0x800)],
+        registers=[RegisterSpec(instance="C.reg", index=0, value=42)],
+        expected=[
+            ExpectedPacket(bits=0xDEADBEEF, width=32, port=4, dont_care=0xFF)
+        ],
+    )
+
+
+def test_packet_data_bytes():
+    pkt = PacketData(bits=0xABCD, width=16, port=0)
+    assert pkt.to_bytes() == b"\xab\xcd"
+    assert pkt.hex() == "ABCD"
+
+
+def test_packet_data_unaligned_pads_right():
+    pkt = PacketData(bits=0b1011, width=4, port=0)
+    assert pkt.to_bytes() == bytes([0b10110000])
+
+
+def test_expected_packet_mask():
+    exp = ExpectedPacket(bits=0xFF00, width=16, dont_care=0x00FF)
+    assert exp.mask_bytes() == b"\xff\x00"
+
+
+def test_zero_width_packet():
+    pkt = PacketData(bits=0, width=0, port=1)
+    assert pkt.to_bytes() == b""
+
+
+def test_stf_renders_all_sections(sample_test):
+    text = get_backend("stf").render_test(sample_test)
+    assert "add Ingress.t1 prio 2" in text
+    assert "type:0xbeef" in text
+    assert "mask_key:0x10&&&0xf0" in text
+    assert "prefix:0xa000000/8" in text
+    assert "packet 3 DEADBEEF" in text
+    assert "expect 4" in text
+    assert "add_value_set P.vs 0x800" in text
+
+
+def test_stf_wildcards_for_dont_care(sample_test):
+    text = get_backend("stf").render_test(sample_test)
+    # Low byte is don't-care -> two '*' nibbles at the end.
+    assert text.rstrip().endswith("DEADBE**")
+
+
+def test_stf_drop_expectation():
+    test = AbstractTestCase(
+        test_id=1,
+        target="v1model",
+        input_packet=PacketData(bits=0, width=8, port=0),
+        dropped=True,
+    )
+    text = get_backend("stf").render_test(test)
+    assert "expect no packet" in text
+
+
+def test_ptf_renders_runtest(sample_test):
+    text = get_backend("ptf").render_test(sample_test)
+    assert "class Test7" in text
+    assert "insert_table_entry" in text
+    assert "send_packet" in text
+    assert "verify_packet_masked" in text
+    assert "write_register" in text
+    assert "priority=2" in text
+
+
+def test_ptf_range_support(sample_test):
+    text = get_backend("ptf").render_test(sample_test)
+    assert "range_(0x5, 0xa)" in text
+
+
+def test_protobuf_text_format(sample_test):
+    text = get_backend("protobuf").render_test(sample_test)
+    assert "test_case {" in text
+    assert 'table: "Ingress.t1"' in text
+    assert 'field: "type"' in text
+    assert "input_packet {" in text
+    assert "expected_packet {" in text
+    assert 'register { name: "C.reg"' in text
+
+
+def test_backend_registry():
+    assert set(BACKENDS) == {"stf", "ptf", "protobuf"}
+    with pytest.raises(KeyError):
+        get_backend("nope")
+
+
+def test_render_suite_joins(sample_test):
+    for name in BACKENDS:
+        suite = get_backend(name).render_suite([sample_test, sample_test])
+        assert suite.count("DEADBEEF".lower()) >= 1 or "DEADBEEF" in suite
