@@ -30,7 +30,7 @@ def _run():
     return {
         "tests": len(tests),
         "wall_s": time.perf_counter() - t0,
-        "checks": explorer.solver.stats.checks,
+        "checks": explorer.stats.solver_checks,
         "interned_terms": len(T._INTERN),
     }
 

@@ -3,10 +3,14 @@
 Mirrors the p4testgen binary's surface::
 
     python -m repro generate fig1a --target v1model --max-tests 10 \\
-        --test-backend stf --seed 1 [--out tests.stf]
+        --test-backend stf --seed 1 [--out tests.stf] [--jobs 4]
     python -m repro run fig1a --target v1model --seed 1
     python -m repro list-programs
     python -m repro list-targets
+
+``generate`` streams tests as paths finalize (both to stdout and to
+``--out``); ``--jobs N`` shards the exploration across N worker
+processes while keeping the output byte-identical to ``--jobs 1``.
 """
 
 from __future__ import annotations
@@ -14,9 +18,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import TestGen, load_program
+from . import TestGen, TestGenConfig, load_program
 from .programs import list_programs
 from .targets import TARGETS, Preconditions, get_target
+from .testback import BACKENDS, SuiteWriter, get_backend
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -31,12 +36,18 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("program", help="corpus name, .p4 path, or '-' for stdin")
     gen.add_argument("--target", default="v1model", choices=sorted(TARGETS))
     gen.add_argument("--test-backend", default="stf",
-                     choices=["stf", "ptf", "protobuf"])
+                     choices=sorted(BACKENDS))
     gen.add_argument("--max-tests", type=int, default=10,
                      help="0 = exhaustive")
     gen.add_argument("--seed", type=int, default=1)
     gen.add_argument("--strategy", default="dfs",
                      choices=["dfs", "random", "greedy"])
+    gen.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes; output is byte-identical "
+                          "to --jobs 1 for any N")
+    gen.add_argument("--no-solve-cache", action="store_true",
+                     help="disable solver-query caching (ablation; "
+                          "incompatible with --jobs > 1)")
     gen.add_argument("--fixed-packet-size", type=int, default=None,
                      metavar="BYTES")
     gen.add_argument("--p4constraints", action="store_true")
@@ -75,21 +86,31 @@ def cmd_generate(args) -> int:
         preconditions=preconditions,
         test_framework=args.test_backend,
     )
-    oracle = TestGen(program, target=target, seed=args.seed,
-                     strategy=args.strategy,
-                     randomize_values=args.randomize_values)
-    result = oracle.run(
+    config = TestGenConfig(
+        seed=args.seed,
+        strategy=args.strategy,
+        randomize_values=args.randomize_values,
         max_tests=args.max_tests or None,
         stop_at_full_coverage=args.stop_at_full_coverage,
+        jobs=args.jobs,
+        solve_cache=not args.no_solve_cache,
     )
-    text = result.emit(args.test_backend)
+    oracle = TestGen(program, target=target, config=config)
+    backend = get_backend(args.test_backend)
     if args.out:
         with open(args.out, "w") as handle:
-            handle.write(text)
-        print(f"wrote {len(result.tests)} tests to {args.out}")
+            writer = SuiteWriter(backend, handle)
+            for test in oracle.iter_tests():
+                writer.write(test)
+            writer.close()
+        print(f"wrote {writer.count} tests to {args.out}")
     else:
-        print(text)
-    print(result.coverage_report(), file=sys.stderr)
+        writer = SuiteWriter(backend, sys.stdout)
+        for test in oracle.iter_tests():
+            writer.write(test)
+        writer.close()
+        sys.stdout.write("\n")
+    print(oracle.last_run.coverage.report(), file=sys.stderr)
     return 0
 
 
@@ -98,9 +119,8 @@ def cmd_run(args) -> int:
 
     program = _load(args.program)
     target = get_target(args.target)
-    result = TestGen(program, target=target, seed=args.seed).run(
-        max_tests=args.max_tests or None
-    )
+    config = TestGenConfig(seed=args.seed, max_tests=args.max_tests or None)
+    result = TestGen(program, target=target, config=config).run()
     passed, runs = run_suite(result.tests, program)
     for run in runs:
         status = "PASS" if run.passed else f"FAIL ({run.kind}: {run.detail})"

@@ -1,0 +1,111 @@
+"""Run configuration for test generation.
+
+:class:`TestGenConfig` is the single, frozen description of how a test
+generation run behaves.  It replaces the keyword arguments that used to
+be duplicated (with drifting defaults) across ``TestGen.__init__``,
+``TestGen.explorer()``, ``Explorer.__init__`` and the CLI: construct
+one config, pass it anywhere.
+
+::
+
+    from repro import TestGen, TestGenConfig, load_program
+    from repro.targets import V1Model
+
+    cfg = TestGenConfig(seed=1, max_tests=10, jobs=4)
+    gen = TestGen(load_program("fig1a"), target=V1Model(), config=cfg)
+    for test in gen.iter_tests():
+        ...
+
+The legacy keyword arguments keep working through
+:func:`config_from_legacy`, which folds them into a config and emits a
+:class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace as _dc_replace
+
+__all__ = ["TestGenConfig", "config_from_legacy"]
+
+
+@dataclass(frozen=True)
+class TestGenConfig:
+    """Immutable configuration for one test-generation run.
+
+    Attributes:
+        seed: RNG seed; also recorded in every emitted test.
+        strategy: frontier policy — ``"dfs"`` (default), ``"random"``,
+            or ``"greedy"``.  Only ``"dfs"`` supports ``jobs > 1`` when
+            sharding a single program.
+        prune_unsat: drop infeasible successors at branch points.
+        randomize_values: prefer random (seeded) values for otherwise
+            unconstrained control-plane arguments (§3).
+        max_tests: stop after this many emitted tests (None = no limit).
+        max_paths: stop after this many finished paths (None = no limit).
+        stop_at_full_coverage: stop once every statement is covered.
+        jobs: worker processes; 1 means fully in-process.
+        max_steps: safety cap on symbolic-execution steps.  With
+            ``jobs > 1`` this is enforced per process, not globally.
+        concolic_enabled / concolic_max_rounds / concolic_fallback:
+            concolic-resolution knobs (§5.4).
+        solve_cache: memoize canonicalized solver queries.  Required
+            for ``jobs > 1`` (it is what makes models reproducible
+            across processes).
+        cache_capacity: max cached solver entries (None = unbounded,
+            0 = canonical solving without memoization).
+    """
+
+    __test__ = False  # not a pytest class, despite the name
+
+    seed: int | None = None
+    strategy: str = "dfs"
+    prune_unsat: bool = True
+    randomize_values: bool = False
+    max_tests: int | None = None
+    max_paths: int | None = None
+    stop_at_full_coverage: bool = False
+    jobs: int = 1
+    max_steps: int = 2_000_000
+    concolic_enabled: bool = True
+    concolic_max_rounds: int = 4
+    concolic_fallback: bool = True
+    solve_cache: bool = True
+    cache_capacity: int | None = None
+
+    def replace(self, **overrides) -> "TestGenConfig":
+        """A copy of this config with ``overrides`` applied."""
+        return _dc_replace(self, **overrides)
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, values: dict) -> "TestGenConfig":
+        return cls(**values)
+
+
+_FIELD_NAMES = frozenset(f.name for f in fields(TestGenConfig))
+
+
+def config_from_legacy(config: TestGenConfig | None, legacy: dict,
+                       where: str) -> TestGenConfig:
+    """Fold deprecated keyword arguments into a :class:`TestGenConfig`.
+
+    ``legacy`` maps old keyword names to values; every key must be a
+    config field.  Emits one :class:`DeprecationWarning` naming the
+    offending keywords (callers two frames up, past the shim).
+    """
+    unknown = sorted(set(legacy) - _FIELD_NAMES)
+    if unknown:
+        raise TypeError(f"{where} got unexpected keyword arguments {unknown}")
+    base = config if config is not None else TestGenConfig()
+    if not legacy:
+        return base
+    warnings.warn(
+        f"passing {', '.join(sorted(legacy))} to {where} is deprecated; "
+        "pass config=TestGenConfig(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return base.replace(**legacy)

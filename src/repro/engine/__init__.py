@@ -1,0 +1,32 @@
+"""Parallel test-generation engine.
+
+Layers on top of the sequential oracle:
+
+- :class:`Engine` / :func:`generate_suite` — batch orchestration of
+  many ``(program, target)`` jobs across a process pool, results
+  streamed in submission order.
+- :class:`ProgramRun` — single-program driver that shards the
+  exploration tree across workers by branch prefix and merges the
+  results back into exact sequential DFS order
+  (:mod:`repro.engine.sharding`), so a fixed seed yields byte-identical
+  suites regardless of ``jobs``.
+- :mod:`repro.engine.worker` — picklable worker entry points.
+
+Determinism rests on two pillars in lower layers: canonical cached
+solving (:mod:`repro.smt.cache`) and scoped fresh-name minting
+(:class:`repro.symex.value.MintScope`).
+"""
+
+from .orchestrator import Engine, EngineJob, EngineResult, ProgramRun, generate_suite
+from .sharding import dfs_order_key, merged_test_stream, ordered_entries
+
+__all__ = [
+    "Engine",
+    "EngineJob",
+    "EngineResult",
+    "ProgramRun",
+    "generate_suite",
+    "dfs_order_key",
+    "merged_test_stream",
+    "ordered_entries",
+]

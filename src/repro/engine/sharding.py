@@ -1,0 +1,113 @@
+"""Deterministic split/merge machinery for parallel exploration.
+
+The hard requirement (ISSUE: "a fixed seed yields byte-identical suites
+regardless of ``jobs``") splits into two halves:
+
+- **Content determinism** is handled below the engine: canonical
+  solving (:mod:`repro.smt.cache`) makes models history-independent and
+  :class:`repro.symex.value.MintScope` makes fresh names a pure
+  function of the branch path, so a path finalizes to the same test
+  bytes in any process.
+- **Order determinism** is handled here.  Sequential DFS emits paths
+  in a specific interleaving: at each branch iteration, successors that
+  finish *immediately* are emitted first in ascending choice order,
+  then the surviving successors are explored last-in-first-out, i.e.
+  in *descending* choice order.  :func:`dfs_order_key` encodes exactly
+  that recursion as a sort key over (choice path, immediate) pairs, so
+  split-phase events and shard subtrees can be discovered in any order
+  (the splitter expands breadth-first for balance) and still be merged
+  back into the sequential stream.
+
+Stop limits (``max_tests``/``max_paths``/``stop_at_full_coverage``) are
+checked by the sequential loop at iteration boundaries;
+:func:`merged_test_stream` replays the same checks per merged block, so
+truncation lands on exactly the same test as ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["dfs_order_key", "ordered_entries", "merged_test_stream"]
+
+
+def dfs_order_key(path: tuple[int, ...], immediate: bool) -> tuple:
+    """Sort key reproducing sequential DFS emission order.
+
+    At every branch level, immediate finishers sort before sibling
+    subtrees and among themselves ascending; subtrees sort descending
+    (the DFS stack pops the highest choice first).  ``immediate`` only
+    qualifies the final path element — inner elements are by definition
+    subtree hops.
+    """
+    last = len(path) - 1
+    return tuple(
+        (0, c) if (immediate and d == last) else (1, -c)
+        for d, c in enumerate(path)
+    )
+
+
+def ordered_entries(event_log, prefixes: list[tuple[int, ...]]) -> list:
+    """Interleave split-phase events and shard prefixes into sequential
+    DFS order.
+
+    ``event_log`` is the splitter Explorer's ``IterationRecord`` list;
+    ``prefixes`` the frontier choice-path prefixes handed to workers.
+    Returns entries in emission order, each either
+    ``("block", n_finished, [tests...])`` (one split iteration) or
+    ``("shard", index)``.  Events of one iteration always sort
+    adjacently (they share a branch parent), so coalescing consecutive
+    same-iteration events loses nothing.
+    """
+    items = []
+    for rec in event_log:
+        for ev in rec.events:
+            items.append(
+                (dfs_order_key(ev.choice_path, ev.immediate), 0, rec.iter_id, ev)
+            )
+    for idx, prefix in enumerate(prefixes):
+        items.append((dfs_order_key(prefix, False), 1, idx, None))
+    items.sort(key=lambda item: item[0])
+
+    entries: list = []
+    for _key, kind, ref, ev in items:
+        if kind == 1:
+            entries.append(("shard", ref))
+        elif entries and entries[-1][0] == "block" and entries[-1][3] == ref:
+            entries[-1][1][0] += 1
+            if ev.test is not None:
+                entries[-1][2].append(ev.test)
+        else:
+            entries.append(
+                ["block", [1], [ev.test] if ev.test is not None else [], ref]
+            )
+    # Normalize block entries to plain tuples.
+    return [
+        ("block", e[1][0], e[2]) if e[0] == "block" else e
+        for e in entries
+    ]
+
+
+def merged_test_stream(blocks, config, coverage):
+    """Walk ``(n_finished, tests)`` blocks in sequential order, applying
+    the sequential loop-top stop limits; renumbers ``test_id`` in merge
+    order and records coverage.  Yields tests.
+
+    ``blocks`` must arrive in sequential-iteration order (one block per
+    iteration that finished at least one path); limits never fire in
+    the middle of a block, matching the sequential loop which only
+    checks at the top of each iteration.
+    """
+    emitted = 0
+    finished = 0
+    for n_finished, tests in blocks:
+        if config.max_tests is not None and emitted >= config.max_tests:
+            break
+        if config.max_paths is not None and finished >= config.max_paths:
+            break
+        if config.stop_at_full_coverage and coverage.fully_covered:
+            break
+        finished += n_finished
+        for test in tests:
+            emitted += 1
+            test.test_id = emitted
+            coverage.record(test.covered_statements)
+            yield test

@@ -44,6 +44,10 @@ class BitsType(P4Type):
             cls._cache[key] = inst
         return inst
 
+    def __reduce__(self):
+        # Interned via __new__; pickle must rebuild through the cache.
+        return (BitsType, (self.width, self.signed))
+
     def bit_width(self) -> int:
         return self.width
 
@@ -61,6 +65,9 @@ class BoolType(P4Type):
         if cls._instance is None:
             cls._instance = super().__new__(cls)
         return cls._instance
+
+    def __reduce__(self):
+        return (BoolType, ())
 
     def bit_width(self) -> int:
         return 1
@@ -83,6 +90,9 @@ class ErrorType(P4Type):
             cls._instance = super().__new__(cls)
         return cls._instance
 
+    def __reduce__(self):
+        return (ErrorType, ())
+
     def bit_width(self) -> int:
         return self.WIDTH
 
@@ -102,6 +112,9 @@ class StringType(P4Type):
         if cls._instance is None:
             cls._instance = super().__new__(cls)
         return cls._instance
+
+    def __reduce__(self):
+        return (StringType, ())
 
     def bit_width(self) -> int:
         raise TypeError_("strings have no bit width")

@@ -1,5 +1,6 @@
 """Public oracle API."""
 
+from ..config import TestGenConfig
 from .testgen import TestGen, TestGenResult, load_program
 
-__all__ = ["TestGen", "TestGenResult", "load_program"]
+__all__ = ["TestGen", "TestGenConfig", "TestGenResult", "load_program"]

@@ -2,25 +2,32 @@
 
 ::
 
-    from repro import TestGen, load_program
+    from repro import TestGen, TestGenConfig, load_program
     from repro.targets import V1Model
 
-    gen = TestGen(load_program("fig1a"), target=V1Model(), seed=1)
-    result = gen.run(max_tests=10)
+    gen = TestGen(load_program("fig1a"), target=V1Model(),
+                  config=TestGenConfig(seed=1, max_tests=10, jobs=4))
+    for test in gen.iter_tests():     # streams as paths finalize
+        ...
+    result = gen.run()                # or collect everything at once
     print(result.coverage_report())
     print(result.emit("stf"))
+
+The pre-config keyword style (``TestGen(prog, target, seed=1)``) keeps
+working but emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..config import TestGenConfig, config_from_legacy
 from ..ir import load_ir
 from ..ir.nodes import IrProgram
 from ..symex.explorer import Explorer
 from ..targets.base import TargetExtension
 
-__all__ = ["TestGen", "TestGenResult", "load_program"]
+__all__ = ["TestGen", "TestGenConfig", "TestGenResult", "load_program"]
 
 
 def load_program(name_or_source: str, source_name: str | None = None) -> IrProgram:
@@ -74,37 +81,82 @@ class TestGen:
     __test__ = False  # not a pytest class, despite the name
 
     def __init__(self, program: IrProgram | str, target: TargetExtension,
-                 *, seed: int | None = None, strategy: str = "dfs",
-                 prune_unsat: bool = True, randomize_values: bool = False):
+                 *, config: TestGenConfig | None = None, **legacy):
+        if legacy:
+            config = config_from_legacy(config, legacy, "TestGen()")
+        if config is None:
+            config = TestGenConfig()
         if isinstance(program, str):
             program = load_program(program)
         self.program = program
         self.target = target
-        self.seed = seed
-        self.strategy = strategy
-        self.prune_unsat = prune_unsat
-        self.randomize_values = randomize_values
+        self.config = config
+        self._last_run = None
 
-    def explorer(self, **kwargs) -> Explorer:
-        kwargs.setdefault("seed", self.seed)
-        kwargs.setdefault("strategy", self.strategy)
-        kwargs.setdefault("prune_unsat", self.prune_unsat)
-        kwargs.setdefault("randomize_values", self.randomize_values)
-        return Explorer(self.program, self.target, **kwargs)
+    # Pre-config attribute access keeps working (read-only views).
+    @property
+    def seed(self):
+        return self.config.seed
+
+    @property
+    def strategy(self):
+        return self.config.strategy
+
+    @property
+    def prune_unsat(self):
+        return self.config.prune_unsat
+
+    @property
+    def randomize_values(self):
+        return self.config.randomize_values
+
+    def explorer(self, config: TestGenConfig | None = None,
+                 **legacy) -> Explorer:
+        """A sequential :class:`Explorer` over this oracle's program.
+
+        Uses this oracle's config unless an override ``config`` is
+        given; deprecated keyword overrides are folded on top."""
+        base = config if config is not None else self.config
+        if legacy:
+            base = config_from_legacy(base, legacy, "TestGen.explorer()")
+        return Explorer(self.program, self.target, config=base)
+
+    def iter_tests(self, config: TestGenConfig | None = None):
+        """Stream tests as paths finalize (the engine handles
+        ``config.jobs > 1`` transparently).  After exhaustion the run's
+        coverage and stats are available via :attr:`last_run`."""
+        from ..engine.orchestrator import ProgramRun
+
+        cfg = config if config is not None else self.config
+        run = ProgramRun(self.program, self.target, cfg)
+        self._last_run = run
+        yield from run.iter_tests()
+
+    @property
+    def last_run(self):
+        """The :class:`repro.engine.ProgramRun` behind the most recent
+        ``iter_tests``/``run`` call (None before any run)."""
+        return self._last_run
 
     def run(self, max_tests: int | None = None,
             max_paths: int | None = None,
             stop_at_full_coverage: bool = False) -> TestGenResult:
-        explorer = self.explorer(
-            max_tests=max_tests,
-            max_paths=max_paths,
-            stop_at_full_coverage=stop_at_full_coverage,
-        )
-        tests = list(explorer.run())
+        """Collect a full suite.  The optional arguments override the
+        corresponding config fields for this run only."""
+        overrides = {}
+        if max_tests is not None:
+            overrides["max_tests"] = max_tests
+        if max_paths is not None:
+            overrides["max_paths"] = max_paths
+        if stop_at_full_coverage:
+            overrides["stop_at_full_coverage"] = True
+        cfg = self.config.replace(**overrides) if overrides else self.config
+        tests = list(self.iter_tests(config=cfg))
+        run = self._last_run
         return TestGenResult(
             tests=tests,
-            coverage=explorer.coverage,
-            stats=explorer.stats,
+            coverage=run.coverage,
+            stats=run.stats,
             target=self.target.name,
             program=self.program.source_name,
         )

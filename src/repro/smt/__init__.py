@@ -6,12 +6,18 @@ Public surface:
   constructor-time simplification;
 - :class:`repro.smt.solver.Solver` — incremental solver facade with
   push/pop, assumptions, and model extraction;
+- :class:`repro.smt.cache.SolveCache` — canonical solve cache that
+  memoizes check answers and models across overlapping queries;
 - :func:`repro.smt.evaluate.evaluate` — concrete big-step evaluation,
   used by the concolic loop and for cross-checking.
 """
 
 from . import terms
+from .cache import SolveCache
 from .evaluate import EvaluationError, evaluate
 from .solver import Model, Solver, SolverStats
 
-__all__ = ["terms", "Solver", "Model", "SolverStats", "evaluate", "EvaluationError"]
+__all__ = [
+    "terms", "Solver", "Model", "SolverStats", "SolveCache",
+    "evaluate", "EvaluationError",
+]

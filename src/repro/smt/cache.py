@@ -1,0 +1,165 @@
+"""Canonical solve cache (amortizing solver work across paths).
+
+Path exploration re-solves heavily overlapping constraint sets: sibling
+paths share their whole prefix, and finalization re-checks the same
+assumptions with one extra pin.  :class:`SolveCache` memoizes complete
+``check`` answers *and* models, keyed on the canonicalized constraint
+set.
+
+Two properties make the cache safe to share across exploration order
+and — more importantly — across processes:
+
+- **Canonical keys.**  A query's key is the deduplicated constraint
+  set sorted by a structural serialization of the hash-consed term DAG
+  (:func:`canonical_string`).  The serialization depends only on term
+  structure, never on Python object hashes, so the same constraint set
+  maps to the same key in every process.
+- **Pure solves.**  A cache miss is solved by a *fresh* throwaway
+  solver that asserts the key's terms in key order and eagerly extracts
+  a model for every free variable.  The answer is a pure function of
+  the key: whether a query hits or misses can change timing, never
+  results.  This is what makes ``jobs=N`` byte-identical to ``jobs=1``
+  — the incremental CDCL solver's models depend on query history, a
+  canonical solve's do not.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .terms import Term, free_vars
+
+__all__ = ["SolveCache", "CacheEntry", "canonical_string"]
+
+# Full canonical serializations, memoized per (hash-consed) term object.
+_CANON: dict[Term, str] = {}
+
+
+def canonical_string(term: Term) -> str:
+    """A process-independent structural serialization of ``term``.
+
+    Nodes are numbered in postorder over the DAG (children before
+    parents, shared subterms once), so structurally identical terms —
+    which hash-consing makes identical objects — always serialize
+    identically, regardless of interpreter hash randomization.
+    """
+    cached = _CANON.get(term)
+    if cached is not None:
+        return cached
+    ids: dict[Term, int] = {}
+    pieces: list[str] = []
+    stack: list[tuple[Term, bool]] = [(term, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node in ids:
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for child in reversed(node.args):
+                if child not in ids:
+                    stack.append((child, False))
+        else:
+            arg_ids = ",".join(str(ids[a]) for a in node.args)
+            pieces.append(f"{node.op}/{node.width}/{node.payload!r}/{arg_ids}")
+            ids[node] = len(ids)
+    out = ";".join(pieces)
+    _CANON[term] = out
+    return out
+
+
+class CacheEntry:
+    """One memoized solve: status, eager model values, and the time the
+    original solve cost (credited as savings on every hit)."""
+
+    __slots__ = ("status", "values", "solve_time")
+
+    def __init__(self, status: str, values: dict[Term, int | bool] | None,
+                 solve_time: float):
+        self.status = status
+        self.values = values
+        self.solve_time = solve_time
+
+
+class SolveCache:
+    """LRU map from canonical constraint sets to :class:`CacheEntry`.
+
+    ``capacity=None`` is unbounded; ``capacity=0`` disables storage but
+    keeps the canonical (pure, order-independent) solving discipline —
+    useful for measuring cache effectiveness and for deterministic
+    parallel runs that cannot afford the memory.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, CacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.time_saved = 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(self, terms) -> tuple[Term, ...]:
+        """Canonical key: dedupe (terms are hash-consed) and sort by
+        structural serialization."""
+        seen = set()
+        uniq = []
+        for t in terms:
+            if t not in seen:
+                seen.add(t)
+                uniq.append(t)
+        uniq.sort(key=canonical_string)
+        return tuple(uniq)
+
+    def lookup(self, key: tuple[Term, ...]) -> CacheEntry | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        self.time_saved += entry.solve_time
+        return entry
+
+    def store(self, key: tuple[Term, ...], entry: CacheEntry) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        if self.capacity is not None:
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def solve(self, key: tuple[Term, ...]) -> CacheEntry:
+        """Solve a canonical key from scratch.
+
+        Uses a fresh solver and asserts terms in key order, so the
+        answer (including the model) is a pure function of the key.
+        """
+        from .solver import Solver
+
+        sub = Solver()
+        for t in key:
+            sub.add(t)
+        status = sub.check()
+        values = None
+        if status == "sat":
+            variables: set[Term] = set()
+            for t in key:
+                variables |= free_vars(t)
+            values = sub.model(variables).as_dict()
+        return CacheEntry(status, values, sub.stats.total_time)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats_dict(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "time_saved_s": self.time_saved,
+        }

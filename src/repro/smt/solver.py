@@ -10,6 +10,13 @@ use of Z3 "configured with incremental solving" (§6).
 
 The facade also keeps wall-clock statistics so the Fig. 7 benchmark can
 report the fraction of CPU time spent in the solver.
+
+Passing a :class:`repro.smt.cache.SolveCache` switches the solver into
+*canonical* mode: every ``check`` is answered from the cache (or by a
+pure, from-scratch canonical solve on a miss) instead of the
+incremental SAT database.  Canonical mode trades incrementality for
+memoization and — crucially — for history-independent models, which is
+what makes parallel exploration reproduce sequential output exactly.
 """
 
 from __future__ import annotations
@@ -33,6 +40,9 @@ class SolverStats:
         self.unsat_answers = 0
         self.solve_time = 0.0
         self.blast_time = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_time_saved = 0.0
 
     @property
     def total_time(self) -> float:
@@ -45,6 +55,9 @@ class SolverStats:
             "unsat": self.unsat_answers,
             "solve_time_s": self.solve_time,
             "blast_time_s": self.blast_time,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_time_saved_s": self.cache_time_saved,
         }
 
 
@@ -77,15 +90,19 @@ class Model:
 class Solver:
     """Incremental QF_BV solver with push/pop and model extraction."""
 
-    def __init__(self):
+    def __init__(self, cache=None):
         self._sat = SatSolver()
         self._builder = CnfBuilder(self._sat)
         self._blaster = BitBlaster(self._builder)
         # Stack of (selector literal, asserted terms) per level; level 0
         # assertions are added as hard unit clauses.
-        self._levels: list[tuple[int, list[Term]]] = []
+        self._levels: list[tuple[int | None, list[Term]]] = []
         self._base_assertions: list[Term] = []
         self._last_assumptions: list[Term] = []
+        # Canonical mode (see module docstring): answers come from the
+        # SolveCache; the incremental SAT machinery stays idle.
+        self.cache = cache
+        self._cached_model: Model | None = None
         self.stats = SolverStats()
 
     # ------------------------------------------------------------------
@@ -93,7 +110,7 @@ class Solver:
     # ------------------------------------------------------------------
 
     def push(self) -> None:
-        selector = self._sat.new_var()
+        selector = None if self.cache is not None else self._sat.new_var()
         self._levels.append((selector, []))
 
     def pop(self, n: int = 1) -> None:
@@ -103,7 +120,8 @@ class Solver:
             selector, _terms = self._levels.pop()
             # Permanently disable the selector so guarded clauses are
             # satisfied forever after.
-            self._sat.add_clause([-selector])
+            if selector is not None:
+                self._sat.add_clause([-selector])
 
     @property
     def depth(self) -> int:
@@ -113,6 +131,13 @@ class Solver:
         """Assert a boolean term at the current level."""
         if term.width != 0:
             raise TypeError("assertions must be boolean terms")
+        if self.cache is not None:
+            # Canonical mode: record only; checks key on the term set.
+            if self._levels:
+                self._levels[-1][1].append(term)
+            else:
+                self._base_assertions.append(term)
+            return
         t0 = time.perf_counter()
         lit = self._blaster.blast_bool(term)
         self.stats.blast_time += time.perf_counter() - t0
@@ -140,6 +165,8 @@ class Solver:
         ``extra`` terms are treated as one-shot assumptions that do not
         persist after the call.
         """
+        if self.cache is not None:
+            return self._check_canonical(extra)
         assumptions = [sel for sel, _terms in self._levels]
         t0 = time.perf_counter()
         for term in extra:
@@ -158,6 +185,30 @@ class Solver:
             self.stats.unsat_answers += 1
         return "sat" if res == SAT else "unsat"
 
+    def _check_canonical(self, extra: tuple[Term, ...]) -> str:
+        """Canonical-mode check: answer from the SolveCache."""
+        cache = self.cache
+        self._last_assumptions = list(extra)
+        key = cache.key_for(self.assertions() + list(extra))
+        entry = cache.lookup(key)
+        self.stats.checks += 1
+        if entry is not None:
+            self.stats.cache_hits += 1
+            self.stats.cache_time_saved += entry.solve_time
+        else:
+            self.stats.cache_misses += 1
+            t0 = time.perf_counter()
+            entry = cache.solve(key)
+            self.stats.solve_time += time.perf_counter() - t0
+            cache.store(key, entry)
+        if entry.status == "sat":
+            self.stats.sat_answers += 1
+            self._cached_model = Model(dict(entry.values))
+        else:
+            self.stats.unsat_answers += 1
+            self._cached_model = None
+        return entry.status
+
     def model(self, variables=None) -> Model:
         """Extract a model after a "sat" answer.
 
@@ -165,6 +216,13 @@ class Solver:
         to every variable that appeared in any assertion or in the most
         recent ``check`` call's one-shot assumptions.
         """
+        if self.cache is not None:
+            m = self._cached_model
+            if m is None:
+                raise RuntimeError("model() requires a preceding sat check")
+            if variables is None:
+                return m
+            return Model({v: m[v] for v in variables})
         assignment = self._sat.model()
         if variables is None:
             variables = set()

@@ -5,10 +5,21 @@ execution states.  Depth-first search is the default (§6 "Path
 traversal"); random-backtracking and coverage-greedy strategies are
 selectable for the exploration-strategy ablation.
 
-A single incremental SMT solver is shared across the whole run: path
-conditions are passed as one-shot assumptions, so the bit-blaster cache
-and learned clauses persist across paths (the stand-in for "Z3
-configured with incremental solving").
+Two solvers cooperate per run:
+
+- an *incremental* solver for feasibility pruning, where only the
+  sat/unsat status matters and push/pop reuse pays off;
+- a *canonical* solver backed by a :class:`repro.smt.cache.SolveCache`
+  for every model-producing query (concolic resolution, packet-length
+  search, final test materialization).  Canonical solves are pure
+  functions of the constraint set, which both amortizes repeated
+  queries across sibling paths and makes models — and therefore emitted
+  tests — independent of exploration order and process boundaries.
+
+The explorer also records a per-iteration event log (which finished
+paths appeared at which branch, and whether they finished immediately
+at the branch) — the raw material :mod:`repro.engine` uses to merge
+parallel shards back into exact sequential order.
 """
 
 from __future__ import annotations
@@ -16,7 +27,8 @@ from __future__ import annotations
 import random
 import time
 
-from ..smt import Solver, evaluate, terms as T
+from ..config import TestGenConfig, config_from_legacy
+from ..smt import SolveCache, Solver, evaluate, terms as T
 from ..smt.evaluate import EvaluationError
 from ..testback.spec import (
     AbstractTestCase,
@@ -30,13 +42,15 @@ from .concolic import ConcolicFailure, resolve_concolics
 from .coverage import CoverageTracker
 from .state import (
     ExecutionState,
+    FrontierSnapshot,
     RegisterDecision,
     TableEntryDecision,
     ValueSetDecision,
 )
 from .stepper import step
+from .value import MintScope
 
-__all__ = ["Explorer", "ExplorationStats"]
+__all__ = ["Explorer", "ExplorationStats", "IterationRecord", "PathEvent"]
 
 
 class ExplorationStats:
@@ -50,9 +64,44 @@ class ExplorationStats:
         self.concolic_failures = 0
         self.step_time = 0.0
         self.finalize_time = 0.0
+        self.solver_checks = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_time_saved_s = 0.0
 
     def as_dict(self):
         return dict(self.__dict__)
+
+    def absorb(self, other: dict) -> None:
+        """Accumulate another run's stats (worker shards)."""
+        for key, value in other.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                setattr(self, key, getattr(self, key, 0) + value)
+
+
+class PathEvent:
+    """One finished path: where it finished, whether it finished as an
+    immediate successor of a branch, and the test it produced (None for
+    blocked/infeasible paths)."""
+
+    __slots__ = ("choice_path", "immediate", "test")
+
+    def __init__(self, choice_path: tuple[int, ...], immediate: bool, test):
+        self.choice_path = choice_path
+        self.immediate = immediate
+        self.test = test
+
+
+class IterationRecord:
+    """The finished-path events of one exploration iteration.  Stop
+    limits are checked at iteration boundaries, so the engine's merge
+    replays truncation at the same granularity."""
+
+    __slots__ = ("iter_id", "events")
+
+    def __init__(self, iter_id: int):
+        self.iter_id = iter_id
+        self.events: list[PathEvent] = []
 
 
 def _model_eval(term, model):
@@ -63,36 +112,43 @@ def _model_eval(term, model):
 
 
 class Explorer:
-    def __init__(self, program, target, *, strategy: str = "dfs",
-                 seed: int | None = None, prune_unsat: bool = True,
-                 max_tests: int | None = None,
-                 max_paths: int | None = None,
-                 max_steps: int = 2_000_000,
-                 stop_at_full_coverage: bool = False,
-                 concolic_max_rounds: int = 4,
-                 concolic_fallback: bool = True,
-                 concolic_enabled: bool = True,
-                 randomize_values: bool = False):
+    def __init__(self, program, target, config: TestGenConfig | None = None,
+                 **legacy):
+        if legacy:
+            config = config_from_legacy(config, legacy, "Explorer()")
+        if config is None:
+            config = TestGenConfig()
+        self.config = config
         self.program = program
         self.target = target
-        self.strategy = strategy
-        self.rng = random.Random(seed)
-        self.seed = seed
-        self.prune_unsat = prune_unsat
-        self.max_tests = max_tests
-        self.max_paths = max_paths
-        self.max_steps = max_steps
-        self.stop_at_full_coverage = stop_at_full_coverage
-        self.concolic_max_rounds = concolic_max_rounds
-        self.concolic_fallback = concolic_fallback
-        self.concolic_enabled = concolic_enabled
+        self.strategy = config.strategy
+        self.rng = random.Random(config.seed)
+        self.seed = config.seed
+        self.prune_unsat = config.prune_unsat
+        self.max_tests = config.max_tests
+        self.max_paths = config.max_paths
+        self.max_steps = config.max_steps
+        self.stop_at_full_coverage = config.stop_at_full_coverage
+        self.concolic_max_rounds = config.concolic_max_rounds
+        self.concolic_fallback = config.concolic_fallback
+        self.concolic_enabled = config.concolic_enabled
         # §3: "the output port is chosen at random" — when enabled,
         # unconstrained control-plane values get random (seeded)
         # preferred assignments instead of the solver's defaults.
-        self.randomize_values = randomize_values
-        self.solver = Solver()
+        self.randomize_values = config.randomize_values
+        self.solver = Solver()  # incremental: feasibility pruning only
+        if config.solve_cache:
+            self.solve_cache = SolveCache(capacity=config.cache_capacity)
+            self.model_solver = Solver(cache=self.solve_cache)
+        else:
+            self.solve_cache = None
+            self.model_solver = self.solver
+        self.scope = MintScope()
         self.coverage = CoverageTracker(program)
         self.stats = ExplorationStats()
+        self.event_log: list[IterationRecord] = []
+        self._iter_id = 0
+        self._current_record: IterationRecord | None = None
         self._test_counter = 0
 
     # ------------------------------------------------------------------
@@ -124,38 +180,166 @@ class Explorer:
         raise ValueError(f"unknown strategy {self.strategy!r}")
 
     # ------------------------------------------------------------------
+    # Stepping under the mint scope
+    # ------------------------------------------------------------------
+
+    def _initial_state(self) -> ExecutionState:
+        counts: dict[str, int] = {}
+        with self.scope.minting(counts):
+            initial = self.target.build_initial_state(self.program)
+        initial.fresh_counts = counts
+        return initial
+
+    def _step_state(self, state: ExecutionState, *,
+                    record: bool = True) -> list[ExecutionState]:
+        """Step ``state`` with its own mint counters active; annotate
+        branch successors with their choice index and hand every
+        successor the end-of-step counters."""
+        base_path = state.choice_path
+        t0 = time.perf_counter()
+        with self.scope.minting(state.fresh_counts):
+            successors = step(state)
+        dt = time.perf_counter() - t0
+        if record:
+            self.stats.step_time += dt
+            self.stats.steps += 1
+        if len(successors) > 1:
+            for i, s in enumerate(successors):
+                s.choice_path = base_path + (i,)
+        final_counts = state.fresh_counts
+        for s in successors:
+            if s is not state:
+                s.fresh_counts = dict(final_counts)
+        return successors
+
+    # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
 
     def run(self):
         """Generate tests; yields AbstractTestCase objects."""
-        initial = self.target.build_initial_state(self.program)
-        frontier: list[ExecutionState] = [initial]
+        yield from self._explore([self._initial_state()])
+
+    def run_prefix(self, prefix: tuple[int, ...]):
+        """Replay ``prefix`` branch choices from the initial state, then
+        explore the subtree below it; yields AbstractTestCase objects.
+
+        This is the worker-side half of parallel sharding: the prefix
+        came from a :class:`FrontierSnapshot` taken in another process.
+        Replay re-steps the lineage (cheap — no solver calls) so the
+        subtree starts from bit-identical symbolic state.
+        """
+        state = self._initial_state()
+        taken = 0
+        while taken < len(prefix):
+            if state.finished:
+                raise RuntimeError(
+                    f"prefix replay finished early at {state.choice_path}")
+            successors = self._step_state(state, record=False)
+            if not successors:
+                raise RuntimeError(
+                    f"prefix replay hit a dead end at {state.choice_path}")
+            if len(successors) == 1:
+                state = successors[0]
+                continue
+            choice = prefix[taken]
+            if choice >= len(successors):
+                raise RuntimeError(
+                    f"prefix replay diverged: choice {choice} of "
+                    f"{len(successors)} at {state.choice_path}")
+            state = successors[choice]
+            taken += 1
+        yield from self._explore([state])
+
+    def _explore(self, frontier: list[ExecutionState]):
+        stats = self.stats
         while frontier:
-            if self.max_tests is not None and self.stats.tests_emitted >= self.max_tests:
-                return
-            if self.max_paths is not None and self.stats.paths_finished >= self.max_paths:
-                return
-            if self.stats.steps >= self.max_steps:
-                return
+            if self.max_tests is not None and stats.tests_emitted >= self.max_tests:
+                break
+            if self.max_paths is not None and stats.paths_finished >= self.max_paths:
+                break
+            if stats.steps >= self.max_steps:
+                break
             if self.stop_at_full_coverage and self.coverage.fully_covered:
-                return
+                break
             state = self._pick(frontier)
-            t0 = time.perf_counter()
-            successors = step(state)
-            self.stats.step_time += time.perf_counter() - t0
-            self.stats.steps += 1
-            if len(successors) > 1 and self.prune_unsat:
+            self._begin_iteration()
+            successors = self._step_state(state)
+            multi = len(successors) > 1
+            if multi and self.prune_unsat:
                 successors = [s for s in successors if self._feasible(s)]
             for s in successors:
                 if s.finished:
-                    self.stats.paths_finished += 1
-                    test = self._finalize(s)
+                    test = self._handle_finished(s, multi)
                     if test is not None:
-                        self.stats.tests_emitted += 1
                         yield test
                 else:
                     frontier.append(s)
+        self._sync_solver_stats()
+
+    def split_frontier(self, min_states: int, max_iters: int):
+        """Breadth-first expansion for parallel sharding.
+
+        Expands the initial state until the frontier holds at least
+        ``min_states`` entries (or ``max_iters`` iterations pass, or
+        the program is exhausted).  Finished paths encountered on the
+        way are finalized into the event log; the engine orders them
+        against the shards afterwards, so no stop limits apply here.
+
+        Returns ``(frontier_states, exhausted)``.
+        """
+        from collections import deque
+
+        frontier = deque([self._initial_state()])
+        iters = 0
+        while frontier and len(frontier) < min_states and iters < max_iters:
+            state = frontier.popleft()
+            self._begin_iteration()
+            successors = self._step_state(state)
+            multi = len(successors) > 1
+            if multi and self.prune_unsat:
+                successors = [s for s in successors if self._feasible(s)]
+            for s in successors:
+                if s.finished:
+                    self._handle_finished(s, multi)
+                else:
+                    frontier.append(s)
+            iters += 1
+        self._sync_solver_stats()
+        return list(frontier), not frontier
+
+    def frontier_snapshot(self, states) -> FrontierSnapshot:
+        return FrontierSnapshot(
+            program=self.program.source_name,
+            target=self.target.name,
+            prefixes=[s.choice_path for s in states],
+        )
+
+    def _begin_iteration(self) -> None:
+        self._iter_id += 1
+        self._current_record = None
+
+    def _handle_finished(self, s: ExecutionState, immediate: bool):
+        self.stats.paths_finished += 1
+        test = self._finalize(s)
+        if self._current_record is None:
+            self._current_record = IterationRecord(self._iter_id)
+            self.event_log.append(self._current_record)
+        self._current_record.events.append(
+            PathEvent(s.choice_path, immediate, test))
+        if test is not None:
+            self.stats.tests_emitted += 1
+            self._sync_solver_stats()
+        return test
+
+    def _sync_solver_stats(self) -> None:
+        st = self.stats
+        ms = self.model_solver.stats
+        ps = self.solver.stats
+        st.solver_checks = ms.checks + (ps.checks if ps is not ms else 0)
+        st.cache_hits = ms.cache_hits
+        st.cache_misses = ms.cache_misses
+        st.cache_time_saved_s = ms.cache_time_saved
 
     def generate(self, n: int | None = None) -> list[AbstractTestCase]:
         """Convenience: collect up to ``n`` tests into a list."""
@@ -199,14 +383,14 @@ class Explorer:
         if not self.concolic_enabled:
             # Ablation mode: concolic placeholders stay unconstrained,
             # so extern results in the emitted test are arbitrary.
-            status = self.solver.check(*assumptions)
+            status = self.model_solver.check(*assumptions)
             if status != "sat":
                 self.stats.paths_infeasible += 1
                 return None
-            return self._build_test(state, assumptions, self.solver.model())
+            return self._build_test(state, assumptions, self.model_solver.model())
         try:
             extra, model = resolve_concolics(
-                state, self.solver, assumptions,
+                state, self.model_solver, assumptions,
                 max_rounds=self.concolic_max_rounds,
                 allow_fallback=self.concolic_fallback,
             )
@@ -226,11 +410,11 @@ class Explorer:
             return None
         # Re-solve with the length pinned so every value is consistent.
         pins = [T.eq(pkt.pkt_len, T.bv_const(pkt_len, 32))]
-        status = self.solver.check(*assumptions, *pins)
+        status = self.model_solver.check(*assumptions, *pins)
         if status != "sat":
             self.stats.paths_infeasible += 1
             return None
-        model = self.solver.model()
+        model = self.model_solver.model()
 
         if self.randomize_values:
             model, pins = self._randomize_model(state, assumptions, pins, model)
@@ -296,7 +480,7 @@ class Explorer:
         pkt = state.packet
         want = pkt.input_bits
         # Fast path: exactly the consumed bits.
-        if self.solver.check(
+        if self.model_solver.check(
             *assumptions, T.eq(pkt.pkt_len, T.bv_const(want, 32))
         ) == "sat":
             return want
@@ -311,17 +495,23 @@ class Explorer:
             if lo > hi:
                 break
             mid = (lo + hi) // 2
-            ok = self.solver.check(
+            ok = self.model_solver.check(
                 *assumptions,
                 T.ule(pkt.pkt_len, T.bv_const(mid, 32)),
             ) == "sat"
             if ok:
-                witness = _model_eval(pkt.pkt_len, self.solver.model())
+                witness = _model_eval(pkt.pkt_len, self.model_solver.model())
                 best = min(best, witness)
                 hi = witness - 1
             else:
                 lo = mid + 1
         return best
+
+    def _path_rng(self, state) -> random.Random:
+        """Randomization RNG derived from (seed, choice path) so random
+        preferences are reproducible per path regardless of exploration
+        order or process."""
+        return random.Random(f"{self.seed}|{state.choice_path}")
 
     def _randomize_model(self, state, assumptions, pins, model):
         """Prefer random values for control-plane argument variables and
@@ -335,16 +525,17 @@ class Explorer:
                 for _name, term in decision.args:
                     if term.is_var:
                         candidates.append(term)
+        rng = self._path_rng(state)
         for var in candidates:
-            value = self.rng.getrandbits(var.width)
+            value = rng.getrandbits(var.width)
             attempt = T.eq(var, T.bv_const(value, var.width))
-            if self.solver.check(*assumptions, *pins, attempt) == "sat":
+            if self.model_solver.check(*assumptions, *pins, attempt) == "sat":
                 pins = pins + [attempt]
-                model = self.solver.model()
+                model = self.model_solver.model()
         if candidates and pins:
-            status = self.solver.check(*assumptions, *pins)
+            status = self.model_solver.check(*assumptions, *pins)
             if status == "sat":
-                model = self.solver.model()
+                model = self.model_solver.model()
         return model, pins
 
     def _concretize_cp(self, state, model):

@@ -23,7 +23,7 @@ like Fig. 1c line 6 (a 96-bit Ethernet packet) are produced.
 from __future__ import annotations
 
 from ..smt import terms as T
-from .value import SymVal
+from .value import SymVal, active_scope
 
 __all__ = ["PacketModel", "Segment", "PacketTooShort"]
 
@@ -53,8 +53,16 @@ class Segment:
 
 class PacketModel:
     def __init__(self, label: str = "pkt"):
-        _pkt_counter[0] += 1
-        self.label = f"{label}{_pkt_counter[0]}"
+        # Inside a MintScope the model number is lineage-local (so the
+        # variable names a path mints do not depend on how many packet
+        # models the process created before); otherwise process-global.
+        scope = active_scope()
+        if scope is not None:
+            n = scope.next_count(f"{label}\x00model")
+        else:
+            _pkt_counter[0] += 1
+            n = _pkt_counter[0]
+        self.label = f"{label}{n}"
         self.input_segments: list[Segment] = []   # I
         self.live: list[Segment] = []             # L
         self.emit_buffer: list[Segment] = []      # E

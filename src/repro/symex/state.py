@@ -16,6 +16,8 @@ re-pushes the whole pipeline, clones fork it, and so on.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from ..frontend.types import HeaderType, P4Type, StackType, StructType
 from ..smt import terms as T
 from .packet import PacketModel
@@ -24,6 +26,7 @@ from .value import SymVal, fresh_tainted, fresh_var, sym_bool, sym_const
 __all__ = [
     "ExecutionState",
     "Frame",
+    "FrontierSnapshot",
     "ParserStateItem",
     "PopFrame",
     "ExitMarker",
@@ -128,6 +131,26 @@ class ConcolicBinding:
 
 
 # ---------------------------------------------------------------------------
+# Frontier snapshots (parallel exploration)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FrontierSnapshot:
+    """A picklable description of an unexplored frontier.
+
+    Execution states themselves hold target closures and cannot cross a
+    process boundary; their *branch-choice prefixes* can.  A worker
+    rebuilds each state by replaying its prefix from the initial state
+    (deterministic thanks to MintScope-scoped minting), then explores
+    the subtree below it.  ``prefixes`` preserves discovery order.
+    """
+
+    program: str = ""
+    target: str = ""
+    prefixes: list[tuple[int, ...]] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
 # Execution state
 # ---------------------------------------------------------------------------
 
@@ -153,6 +176,12 @@ class ExecutionState:
         self.finished = False
         self.blocked_reason: str | None = None  # test dropped (tainted port...)
         self.output_packets: list = []          # finalized by target
+        # Branch-choice indices taken from the initial state to reach
+        # this state (extended only at multi-successor steps).  Together
+        # with fresh_counts (MintScope counters) this makes a state's
+        # identity replayable in another process.
+        self.choice_path: tuple[int, ...] = ()
+        self.fresh_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Cloning
@@ -178,6 +207,8 @@ class ExecutionState:
         c.finished = self.finished
         c.blocked_reason = self.blocked_reason
         c.output_packets = list(self.output_packets)
+        c.choice_path = self.choice_path
+        c.fresh_counts = dict(self.fresh_counts)
         return c
 
     # ------------------------------------------------------------------

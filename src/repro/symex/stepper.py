@@ -174,11 +174,12 @@ def _taint_default_value(term: T.Term):
     or None if the result still depends on genuinely symbolic inputs
     (then neither branch can be soundly predicted)."""
     from ..smt.terms import free_vars, substitute
-    from .value import TAINT_SOURCE_VARS
+    from .value import active_taint_sources
 
+    sources = active_taint_sources()
     mapping = {}
     for var in free_vars(term):
-        if var in TAINT_SOURCE_VARS:
+        if var in sources:
             mapping[var] = (
                 T.bool_const(False) if var.width == 0 else T.bv_const(0, var.width)
             )

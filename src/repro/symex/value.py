@@ -11,9 +11,68 @@ from __future__ import annotations
 
 from ..smt import terms as T
 
-__all__ = ["SymVal", "sym_const", "sym_bool", "fresh_var", "fresh_tainted"]
+__all__ = [
+    "SymVal", "sym_const", "sym_bool", "fresh_var", "fresh_tainted",
+    "MintScope", "active_scope", "active_taint_sources",
+]
 
 _fresh_counter = [0]
+
+
+class MintScope:
+    """Deterministic fresh-name minting for one exploration run.
+
+    The legacy globals below make fresh-variable names depend on every
+    path explored earlier in the process, which breaks cross-process
+    reproducibility.  An explorer instead owns a ``MintScope``: while a
+    state executes, the scope points at that state's *own* per-prefix
+    counters (``ExecutionState.fresh_counts``, inherited along the
+    lineage), so the names minted on a path depend only on the path —
+    a worker replaying a branch prefix mints exactly the same names.
+    Taint-source membership is scoped alongside, because the same name
+    may be a taint source in one program and not in another.
+    """
+
+    __slots__ = ("counters", "taint_sources")
+
+    def __init__(self):
+        self.counters: dict[str, int] | None = None
+        self.taint_sources: set = set()
+
+    def minting(self, counters: dict[str, int]) -> "_Minting":
+        """Context manager: activate this scope over ``counters``."""
+        return _Minting(self, counters)
+
+    def next_count(self, prefix: str) -> int:
+        n = self.counters.get(prefix, 0) + 1
+        self.counters[prefix] = n
+        return n
+
+
+class _Minting:
+    __slots__ = ("scope", "counters")
+
+    def __init__(self, scope: MintScope, counters: dict[str, int]):
+        self.scope = scope
+        self.counters = counters
+
+    def __enter__(self):
+        self.scope.counters = self.counters
+        _SCOPES.append(self.scope)
+        return self.scope
+
+    def __exit__(self, *exc):
+        _SCOPES.pop()
+        self.scope.counters = None
+        return False
+
+
+_SCOPES: list[MintScope] = []
+
+
+def active_scope() -> MintScope | None:
+    """The innermost active :class:`MintScope`, if any."""
+    return _SCOPES[-1] if _SCOPES else None
 
 
 class SymVal:
@@ -60,9 +119,20 @@ def sym_bool(value: bool) -> SymVal:
 
 
 def fresh_var(prefix: str, width: int) -> SymVal:
-    """A fresh, untainted symbolic variable (e.g. control-plane args)."""
-    _fresh_counter[0] += 1
-    name = f"{prefix}~{_fresh_counter[0]}"
+    """A fresh, untainted symbolic variable (e.g. control-plane args).
+
+    Inside an active :class:`MintScope` the counter is per-prefix and
+    travels with the execution state, making names a pure function of
+    the path; outside any scope the legacy process-global counter is
+    used.
+    """
+    scope = active_scope()
+    if scope is not None:
+        n = scope.next_count(prefix)
+    else:
+        _fresh_counter[0] += 1
+        n = _fresh_counter[0]
+    name = f"{prefix}~{n}"
     if width == 0:
         return SymVal(T.bool_var(name), 0)
     return SymVal(T.bv_var(name, width), 0)
@@ -71,12 +141,23 @@ def fresh_var(prefix: str, width: int) -> SymVal:
 # Registry of variables created as taint *sources*.  Used by the
 # stepper to decide which branch of a tainted condition is consistent
 # with the software models' deterministic garbage (all-zeros).
+# Scoped runs keep their own registry on the MintScope instead.
 TAINT_SOURCE_VARS: set = set()
+
+
+def active_taint_sources() -> set:
+    """The taint-source registry for the current context."""
+    scope = active_scope()
+    return scope.taint_sources if scope is not None else TAINT_SOURCE_VARS
 
 
 def fresh_tainted(prefix: str, width: int) -> SymVal:
     """A fresh variable with every bit tainted (uninitialized reads,
     unpredictable extern output)."""
+    scope = active_scope()
     v = fresh_var(prefix, width)
-    TAINT_SOURCE_VARS.add(v.term)
+    if scope is not None:
+        scope.taint_sources.add(v.term)
+    else:
+        TAINT_SOURCE_VARS.add(v.term)
     return v.with_taint(1 if width == 0 else (1 << width) - 1)

@@ -65,5 +65,11 @@ class ProtobufBackend:
         out.append("}")
         return "\n".join(out)
 
+    SUITE_SEPARATOR = "\n"
+    SUITE_SUFFIX = "\n"
+
     def render_suite(self, tests: list[AbstractTestCase]) -> str:
-        return "\n".join(self.render_test(t) for t in tests) + "\n"
+        return (
+            self.SUITE_SEPARATOR.join(self.render_test(t) for t in tests)
+            + self.SUITE_SUFFIX
+        )

@@ -77,10 +77,20 @@ class PtfBackend:
                 )
         return "\n".join(lines)
 
-    def render_suite(self, tests: list[AbstractTestCase]) -> str:
-        header = (
+    SUITE_SEPARATOR = "\n\n"
+    SUITE_SUFFIX = "\n"
+
+    def suite_prefix(self) -> str:
+        return (
             "# Auto-generated PTF tests\n"
             "from ptf_shim import P4RuntimeTest, send_packet, "
             "verify_packet_masked, verify_no_other_packets, range_\n"
+            "\n\n"
         )
-        return header + "\n\n" + "\n\n".join(self.render_test(t) for t in tests) + "\n"
+
+    def render_suite(self, tests: list[AbstractTestCase]) -> str:
+        return (
+            self.suite_prefix()
+            + self.SUITE_SEPARATOR.join(self.render_test(t) for t in tests)
+            + self.SUITE_SUFFIX
+        )

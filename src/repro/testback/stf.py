@@ -71,5 +71,11 @@ class StfBackend:
             lines.append(f"expect {exp.port} {_hex_with_wildcards(exp)}")
         return "\n".join(lines)
 
+    SUITE_SEPARATOR = "\n\n"
+    SUITE_SUFFIX = "\n"
+
     def render_suite(self, tests: list[AbstractTestCase]) -> str:
-        return "\n\n".join(self.render_test(t) for t in tests) + "\n"
+        return (
+            self.SUITE_SEPARATOR.join(self.render_test(t) for t in tests)
+            + self.SUITE_SUFFIX
+        )

@@ -1,0 +1,81 @@
+"""TestGenConfig and the deprecated-keyword compatibility shim."""
+
+import dataclasses
+
+import pytest
+
+from repro import TestGen, TestGenConfig, load_program
+from repro.symex.explorer import Explorer
+from repro.targets import V1Model
+
+
+def test_config_is_frozen():
+    cfg = TestGenConfig(seed=1)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.seed = 2
+
+
+def test_config_replace_and_dict_round_trip():
+    cfg = TestGenConfig(seed=5, max_tests=7, jobs=3)
+    assert cfg.replace(jobs=1) == TestGenConfig(seed=5, max_tests=7, jobs=1)
+    assert cfg.replace(jobs=1) is not cfg
+    assert TestGenConfig.from_dict(cfg.as_dict()) == cfg
+
+
+def test_config_defaults():
+    cfg = TestGenConfig()
+    assert cfg.strategy == "dfs"
+    assert cfg.prune_unsat is True
+    assert cfg.jobs == 1
+    assert cfg.solve_cache is True
+
+
+def test_testgen_config_path_emits_no_warning(recwarn):
+    gen = TestGen(load_program("fig1a"), target=V1Model(),
+                  config=TestGenConfig(seed=1))
+    assert gen.config.seed == 1
+    assert not [w for w in recwarn.list
+                if issubclass(w.category, DeprecationWarning)]
+
+
+def test_testgen_legacy_kwargs_warn_but_work():
+    with pytest.warns(DeprecationWarning, match="seed.*TestGen"):
+        gen = TestGen(load_program("fig1a"), target=V1Model(),
+                      seed=9, randomize_values=True)
+    assert gen.config.seed == 9
+    assert gen.config.randomize_values is True
+    # Legacy attribute views still read through to the config.
+    assert gen.seed == 9 and gen.randomize_values is True
+    result = gen.run(max_tests=2)
+    assert len(result.tests) == 2
+    assert all(t.seed == 9 for t in result.tests)
+
+
+def test_testgen_explorer_legacy_kwargs_warn():
+    gen = TestGen(load_program("fig1a"), target=V1Model(),
+                  config=TestGenConfig(seed=1))
+    with pytest.warns(DeprecationWarning, match="max_tests"):
+        explorer = gen.explorer(max_tests=3)
+    assert explorer.max_tests == 3
+    assert explorer.seed == 1  # base config carries through
+
+
+def test_explorer_legacy_kwargs_warn():
+    program = load_program("fig1a")
+    with pytest.warns(DeprecationWarning, match="Explorer"):
+        explorer = Explorer(program, V1Model(), seed=2, max_tests=1)
+    assert explorer.seed == 2
+    assert len(list(explorer.run())) == 1
+
+
+def test_unknown_kwarg_raises_type_error():
+    with pytest.raises(TypeError, match="max_depth"):
+        TestGen(load_program("fig1a"), target=V1Model(), max_depth=5)
+
+
+def test_run_overrides_do_not_mutate_config():
+    gen = TestGen(load_program("fig1a"), target=V1Model(),
+                  config=TestGenConfig(seed=1))
+    result = gen.run(max_tests=1)
+    assert len(result.tests) == 1
+    assert gen.config.max_tests is None
