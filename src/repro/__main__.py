@@ -64,6 +64,26 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-tests", type=int, default=10)
     run.add_argument("--seed", type=int, default=1)
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random programs, oracle vs. simulator",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="first generator seed (case i uses seed+i)")
+    fuzz.add_argument("--count", type=int, default=25,
+                      help="number of random programs to generate")
+    fuzz.add_argument("--targets", default="v1model,ebpf_model",
+                      help="comma-separated targets to round-robin "
+                           "(v1model, ebpf_model, tna, t2na)")
+    fuzz.add_argument("--corpus", default="fuzz-corpus", metavar="DIR",
+                      help="directory for shrunken reproducers")
+    fuzz.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes for the oracle phase")
+    fuzz.add_argument("--max-tests", type=int, default=16,
+                      help="oracle test budget per generated program")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="persist failing programs without reduction")
+
     sub.add_parser("list-programs", help="list the shipped P4 corpus")
     sub.add_parser("list-targets", help="list instantiated targets")
     return parser
@@ -130,12 +150,38 @@ def cmd_run(args) -> int:
     return 0 if passed == len(runs) else 1
 
 
+def cmd_fuzz(args) -> int:
+    from .fuzz import FuzzCampaignConfig, run_fuzz_campaign
+
+    config = FuzzCampaignConfig(
+        seed=args.seed,
+        count=args.count,
+        targets=tuple(t.strip() for t in args.targets.split(",") if t.strip()),
+        corpus_dir=args.corpus,
+        jobs=args.jobs,
+        max_tests=args.max_tests or None,
+        shrink=not args.no_shrink,
+    )
+
+    def on_case(case):
+        status = "pass" if case.passed else case.classification
+        print(f"{case.name}: {status}"
+              + (f" ({case.detail})" if not case.passed else ""),
+              file=sys.stderr)
+
+    summary = run_fuzz_campaign(config, on_case=on_case)
+    print(summary.report())
+    return 0 if summary.num_failed == 0 else 1
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "generate":
         return cmd_generate(args)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "fuzz":
+        return cmd_fuzz(args)
     if args.command == "list-programs":
         for name in list_programs():
             print(name)

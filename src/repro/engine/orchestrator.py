@@ -38,6 +38,14 @@ SPLIT_FACTOR = 4
 SPLIT_MAX_ITERS = 4096
 
 
+def _format_error(exc: BaseException) -> str:
+    import traceback
+
+    return "".join(
+        traceback.format_exception_only(type(exc), exc)
+    ).strip()
+
+
 def _validate_parallel(config: TestGenConfig) -> None:
     if config.jobs > 1 and config.strategy != "dfs":
         raise ValueError(
@@ -148,7 +156,12 @@ class EngineJob:
 
 @dataclass
 class EngineResult:
-    """The outcome of one submitted generation job."""
+    """The outcome of one submitted generation job.
+
+    ``error`` is only ever set on engines constructed with
+    ``capture_errors=True``; it holds the formatted exception from the
+    failed job, and ``tests``/``coverage``/``stats`` are empty.
+    """
 
     index: int
     program: str
@@ -157,6 +170,7 @@ class EngineResult:
     coverage: object = None
     stats: object = None
     elapsed: float = 0.0
+    error: str | None = None
 
     @property
     def statement_coverage(self) -> float:
@@ -189,12 +203,17 @@ class Engine:
     """
 
     def __init__(self, jobs: int | None = None,
-                 config: TestGenConfig | None = None):
+                 config: TestGenConfig | None = None,
+                 capture_errors: bool = False):
         base = config if config is not None else TestGenConfig()
         if jobs is not None:
             base = base.replace(jobs=max(1, int(jobs)))
         _validate_parallel(base)
         self.config = base
+        # With capture_errors=True a job that raises yields an
+        # EngineResult with ``error`` set instead of aborting the whole
+        # batch — fuzz campaigns classify per-program oracle crashes.
+        self.capture_errors = capture_errors
         self._jobs: list[EngineJob] = []
 
     @property
@@ -234,8 +253,19 @@ class Engine:
 
     def _run_inline(self, job: EngineJob) -> EngineResult:
         t0 = time.perf_counter()
-        run = ProgramRun(job.program, job.target, job.config)
-        tests = list(run.iter_tests())
+        try:
+            run = ProgramRun(job.program, job.target, job.config)
+            tests = list(run.iter_tests())
+        except Exception as exc:
+            if not self.capture_errors:
+                raise
+            return EngineResult(
+                index=job.index,
+                program=job.program.source_name,
+                target=job.target.name,
+                elapsed=time.perf_counter() - t0,
+                error=_format_error(exc),
+            )
         return EngineResult(
             index=job.index,
             program=job.program.source_name,
@@ -259,11 +289,28 @@ class Engine:
                     "program_blob": pickle.dumps(job.program),
                     "target_blob": pickle.dumps(job.target),
                     "config": job.config.replace(jobs=1).as_dict(),
+                    "capture_errors": self.capture_errors,
                 })
                 for job in self._jobs
             ]
             for job, future in zip(self._jobs, futures):
-                result = future.result()
+                try:
+                    result = future.result()
+                except Exception as exc:
+                    # Backstop for failures the worker could not wrap
+                    # itself (e.g. an unpicklable result object).
+                    if not self.capture_errors:
+                        raise
+                    result = {"error": _format_error(exc)}
+                if result.get("error") is not None:
+                    yield EngineResult(
+                        index=job.index,
+                        program=job.program.source_name,
+                        target=job.target.name,
+                        elapsed=time.perf_counter() - t0,
+                        error=result["error"],
+                    )
+                    continue
                 coverage = CoverageTracker(job.program)
                 for test in result["tests"]:
                     coverage.record(test.covered_statements)

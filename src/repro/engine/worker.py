@@ -59,15 +59,31 @@ def run_shard(payload: dict) -> dict:
 
 def run_program(payload: dict) -> dict:
     """Run a complete sequential generation job for one program (used by
-    cross-program batch parallelism)."""
+    cross-program batch parallelism).
+
+    With ``payload["capture_errors"]`` set, an exception anywhere in the
+    job comes back as ``{"index", "error"}`` instead of propagating —
+    the traceback is formatted worker-side so nothing unpicklable has to
+    cross the process boundary.
+    """
     from ..config import TestGenConfig
     from ..symex.explorer import Explorer
 
-    program = _program_from_blob(payload["program_blob"])
-    target = pickle.loads(payload["target_blob"])
-    config = TestGenConfig.from_dict(payload["config"])
-    explorer = Explorer(program, target, config=config)
-    tests = list(explorer.run())
+    try:
+        program = _program_from_blob(payload["program_blob"])
+        target = pickle.loads(payload["target_blob"])
+        config = TestGenConfig.from_dict(payload["config"])
+        explorer = Explorer(program, target, config=config)
+        tests = list(explorer.run())
+    except Exception as exc:
+        if not payload.get("capture_errors"):
+            raise
+        import traceback
+
+        detail = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+        return {"index": payload["index"], "error": detail}
     return {
         "index": payload["index"],
         "tests": tests,

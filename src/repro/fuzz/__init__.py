@@ -1,0 +1,34 @@
+"""Differential fuzzing subsystem (the correctness backstop).
+
+Three cooperating pieces, mirroring Csmith-style compiler fuzzing:
+
+- :mod:`repro.fuzz.generator` — a seeded, grammar-based random P4-16
+  program generator emitting well-typed programs over the subset the
+  frontend supports, specialized per target architecture;
+- :mod:`repro.fuzz.harness` — the differential oracle-vs-interpreter
+  check: run :class:`repro.TestGen` on a generated program, replay
+  every emitted test on the matching concrete simulator, and classify
+  any disagreement;
+- :mod:`repro.fuzz.shrink` — a delta-debugging reducer that shrinks a
+  failing program to a minimal reproducer, persisted with its seed by
+  :mod:`repro.fuzz.corpus` for triage and regression replay.
+
+:func:`repro.fuzz.campaign.run_fuzz_campaign` ties them together and
+fans test generation across worker processes via the
+:class:`repro.engine.Engine`; the CLI front door is
+``python -m repro fuzz``.
+"""
+
+from .campaign import CampaignSummary, FuzzCampaignConfig, run_fuzz_campaign
+from .corpus import CorpusEntry, load_corpus, write_corpus_entry
+from .generator import ProgramSpec, generate_spec, render_program
+from .harness import CaseResult, run_case
+from .shrink import shrink_spec
+
+__all__ = [
+    "ProgramSpec", "generate_spec", "render_program",
+    "CaseResult", "run_case",
+    "shrink_spec",
+    "CorpusEntry", "load_corpus", "write_corpus_entry",
+    "FuzzCampaignConfig", "CampaignSummary", "run_fuzz_campaign",
+]

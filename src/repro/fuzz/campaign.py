@@ -1,0 +1,226 @@
+"""Fuzz campaign driver: generate → cross-check → shrink → persist.
+
+One campaign generates ``count`` programs (seeds ``seed .. seed+count-1``
+round-robined over ``targets``), pushes the expensive oracle phase
+through the PR-1 :class:`repro.engine.Engine` (worker-process fan-out
+with per-job error capture), replays and classifies each suite in the
+parent, and for every failing case runs the delta-debugging shrinker
+and writes a minimal reproducer + seed to the corpus directory.
+
+The invariant the CLI and smoke tests assert: every generated program
+either passes differential replay or leaves a reproducer in the corpus
+— a campaign never silently drops a finding.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .corpus import write_corpus_entry
+from .generator import FUZZ_TARGETS, generate_spec
+from .harness import CaseResult, classify_replay, run_spec
+from .shrink import shrink_spec
+
+__all__ = ["FuzzCampaignConfig", "CampaignSummary", "run_fuzz_campaign"]
+
+
+@dataclass(frozen=True)
+class FuzzCampaignConfig:
+    seed: int = 0
+    count: int = 25
+    targets: tuple = ("v1model", "ebpf_model")
+    corpus_dir: str = "fuzz-corpus"
+    jobs: int = 1
+    max_tests: int | None = 16       # oracle test budget per program
+    oracle_seed: int = 1
+    shrink: bool = True
+    shrink_checks: int = 200         # predicate budget per finding
+
+    def __post_init__(self):
+        for target in self.targets:
+            if target not in FUZZ_TARGETS:
+                raise KeyError(
+                    f"unknown fuzz target {target!r}; "
+                    f"available: {', '.join(FUZZ_TARGETS)}"
+                )
+        if self.count < 0:
+            raise ValueError("count must be >= 0")
+        if not self.targets:
+            raise ValueError("need at least one target")
+
+    def case_plan(self):
+        """The deterministic (seed, target) list this campaign runs."""
+        return [
+            (self.seed + i, self.targets[i % len(self.targets)])
+            for i in range(self.count)
+        ]
+
+
+@dataclass
+class CampaignSummary:
+    config: FuzzCampaignConfig
+    cases: list = field(default_factory=list)        # [CaseResult]
+    corpus_entries: list = field(default_factory=list)  # [Path]
+    elapsed: float = 0.0
+
+    @property
+    def num_passed(self) -> int:
+        return sum(1 for c in self.cases if c.passed)
+
+    @property
+    def num_failed(self) -> int:
+        return len(self.cases) - self.num_passed
+
+    def by_classification(self) -> dict:
+        counts: dict = {}
+        for case in self.cases:
+            counts[case.classification] = \
+                counts.get(case.classification, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def report(self) -> str:
+        lines = [
+            f"fuzz campaign: {len(self.cases)} programs, "
+            f"{self.num_passed} pass, {self.num_failed} findings "
+            f"({self.elapsed:.1f}s)"
+        ]
+        for kind, n in self.by_classification().items():
+            lines.append(f"  {kind}: {n}")
+        for path in self.corpus_entries:
+            lines.append(f"  reproducer: {path}")
+        return "\n".join(lines)
+
+
+def _oracle_results(config: FuzzCampaignConfig, specs):
+    """Run the oracle phase for every loadable spec.
+
+    Yields ``(spec, case, oracle_result_or_None)`` in plan order.
+    Frontend failures are caught here (loading happens in the parent);
+    symex failures ride back on :class:`EngineResult.error`.
+    """
+    from .. import TestGen, TestGenConfig, load_program
+    from ..engine import Engine
+    from ..targets import get_target
+
+    oracle_config = TestGenConfig(
+        seed=config.oracle_seed, max_tests=config.max_tests
+    )
+
+    loaded = []      # (spec, program) pairs that reached the engine
+    prepared = []    # (spec, case, program_or_None) in plan order
+    for spec in specs:
+        case = CaseResult(seed=spec.seed, target=spec.target, name=spec.name)
+        try:
+            program = load_program(spec.render(), source_name=spec.name)
+        except Exception as exc:
+            case.classification = "oracle_crash"
+            case.detail = _exc_str(exc)
+            prepared.append((spec, case, None))
+            continue
+        prepared.append((spec, case, program))
+        loaded.append((spec, program))
+
+    if config.jobs > 1 and len(loaded) > 1:
+        engine = Engine(jobs=config.jobs, config=oracle_config,
+                        capture_errors=True)
+        for spec, program in loaded:
+            engine.submit(program, get_target(spec.target))
+        engine_results = iter(engine.iter_results())
+        for spec, case, program in prepared:
+            if program is None:
+                yield spec, case, None
+                continue
+            result = next(engine_results)
+            if result.error is not None:
+                case.classification = "oracle_crash"
+                case.detail = result.error
+                yield spec, case, None
+            else:
+                yield spec, case, (program, result.tests, result)
+        return
+
+    # Sequential path: run the oracle inline, no process pool.
+    for spec, case, program in prepared:
+        if program is None:
+            yield spec, case, None
+            continue
+        try:
+            result = TestGen(
+                program, target=get_target(spec.target), config=oracle_config
+            ).run()
+        except Exception as exc:
+            case.classification = "oracle_crash"
+            case.detail = _exc_str(exc)
+            yield spec, case, None
+            continue
+        yield spec, case, (program, result.tests, result)
+
+
+def _exc_str(exc: BaseException) -> str:
+    import traceback
+
+    return "".join(
+        traceback.format_exception_only(type(exc), exc)
+    ).strip()
+
+
+def run_fuzz_campaign(config: FuzzCampaignConfig,
+                      on_case=None) -> CampaignSummary:
+    """Run a full differential fuzz campaign.
+
+    ``on_case(case)`` is invoked after each case finishes its oracle +
+    replay phase (the CLI uses it for streaming progress).
+    """
+    from ..testback.runner import run_suite
+
+    t0 = time.perf_counter()
+    summary = CampaignSummary(config=config)
+    specs = [generate_spec(s, t) for s, t in config.case_plan()]
+
+    def progress(case):
+        if on_case is not None:
+            on_case(case)
+
+    # Phase order matters for determinism: classification and shrinking
+    # happen in plan order regardless of worker completion order (the
+    # Engine already yields in submission order).
+    for spec, case, oracle in _oracle_results(config, specs):
+        if oracle is not None:
+            program, tests, result = oracle
+            case.num_tests = len(tests)
+            try:
+                case.coverage = result.statement_coverage
+            except Exception:
+                case.coverage = 0.0
+            _passed, runs = run_suite(tests, program)
+            classify_replay(case, runs)
+        summary.cases.append(case)
+        progress(case)
+        if case.passed:
+            continue
+
+        # A finding: shrink it (re-running the oracle sequentially on
+        # each candidate) and persist the minimal reproducer.
+        shrunk = spec
+        if config.shrink:
+            want = case.classification
+
+            def still_fails(candidate):
+                outcome = run_spec(
+                    candidate, max_tests=config.max_tests,
+                    oracle_seed=config.oracle_seed,
+                )
+                return (not outcome.passed
+                        and outcome.classification == want)
+
+            shrunk = shrink_spec(
+                spec, still_fails, max_checks=config.shrink_checks
+            ).spec
+        entry = write_corpus_entry(
+            config.corpus_dir, case, shrunk, original_spec=spec
+        )
+        summary.corpus_entries.append(entry)
+
+    summary.elapsed = time.perf_counter() - t0
+    return summary

@@ -1,0 +1,147 @@
+"""Corpus persistence for shrunken fuzz reproducers.
+
+Layout (one directory per finding)::
+
+    <corpus>/
+        <name>/
+            repro.p4     # the shrunken, still-failing program source
+            meta.json    # seed, target, classification, spec, sizes
+
+``meta.json`` carries everything needed to replay the finding without
+the generator: the seed regenerates the *original* program
+(``generate_spec(seed, target)``), the embedded spec dict rebuilds the
+*shrunken* one, and ``repro.p4`` is the human-facing artifact.  See
+TESTING.md for the triage workflow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .generator import (ActionSpec, ApplyStmt, ConstEntrySpec, FieldSpec,
+                        HeaderSpec, KeySpec, ParserBranch, ProgramSpec,
+                        TableSpec)
+
+__all__ = ["CorpusEntry", "write_corpus_entry", "load_corpus", "spec_from_dict"]
+
+_META_NAME = "meta.json"
+_SOURCE_NAME = "repro.p4"
+
+
+@dataclass
+class CorpusEntry:
+    name: str
+    seed: int
+    target: str
+    classification: str
+    detail: str
+    source: str
+    spec: ProgramSpec | None
+    path: Path
+
+
+def spec_from_dict(data: dict) -> ProgramSpec:
+    """Rebuild a :class:`ProgramSpec` from its ``to_dict`` form."""
+    headers = [
+        HeaderSpec(h["name"], [FieldSpec(**f) for f in h["fields"]])
+        for h in data["headers"]
+    ]
+    branches = {
+        parent: [ParserBranch(**b) for b in blist]
+        for parent, blist in data["branches"].items()
+    }
+    actions = [ActionSpec(**a) for a in data["actions"]]
+    tables = []
+    for t in data["tables"]:
+        tables.append(TableSpec(
+            name=t["name"],
+            keys=[KeySpec(**k) for k in t["keys"]],
+            actions=list(t["actions"]),
+            default_action=t["default_action"],
+            const_entries=[
+                ConstEntrySpec(
+                    keysets=[tuple(ks) for ks in e["keysets"]],
+                    action=e["action"],
+                    args=list(e["args"]),
+                    priority=e["priority"],
+                )
+                for e in t["const_entries"]
+            ],
+        ))
+    return ProgramSpec(
+        seed=data["seed"],
+        target=data["target"],
+        name=data["name"],
+        headers=headers,
+        branches=branches,
+        selector=dict(data["selector"]),
+        actions=actions,
+        tables=tables,
+        apply_stmts=[ApplyStmt(**s) for s in data["apply_stmts"]],
+        use_checksum=data["use_checksum"],
+        use_lookahead=data["use_lookahead"],
+        accept_default=data["accept_default"],
+    )
+
+
+def write_corpus_entry(corpus_dir, case, shrunk_spec: ProgramSpec,
+                       *, original_spec: ProgramSpec | None = None) -> Path:
+    """Persist one finding; returns the entry directory.
+
+    ``case`` is the :class:`repro.fuzz.harness.CaseResult` that
+    classified the failure (pre-shrink).
+    """
+    corpus = Path(corpus_dir)
+    entry_dir = corpus / f"{shrunk_spec.name}_{case.classification}"
+    entry_dir.mkdir(parents=True, exist_ok=True)
+    (entry_dir / _SOURCE_NAME).write_text(shrunk_spec.render())
+    meta = {
+        "seed": case.seed,
+        "target": case.target,
+        "classification": case.classification,
+        "detail": case.detail,
+        "num_tests": case.num_tests,
+        "failed_test_ids": list(case.failed_test_ids),
+        "spec": shrunk_spec.to_dict(),
+        "shrunk": {
+            "headers": len(shrunk_spec.headers),
+            "tables": len(shrunk_spec.tables),
+            "actions": len(shrunk_spec.actions),
+        },
+    }
+    if original_spec is not None:
+        meta["original"] = {
+            "headers": len(original_spec.headers),
+            "tables": len(original_spec.tables),
+            "actions": len(original_spec.actions),
+        }
+    (entry_dir / _META_NAME).write_text(json.dumps(meta, indent=2) + "\n")
+    return entry_dir
+
+
+def load_corpus(corpus_dir) -> list:
+    """Load every reproducer under ``corpus_dir`` (sorted by name)."""
+    corpus = Path(corpus_dir)
+    entries = []
+    if not corpus.is_dir():
+        return entries
+    for entry_dir in sorted(p for p in corpus.iterdir() if p.is_dir()):
+        meta_path = entry_dir / _META_NAME
+        source_path = entry_dir / _SOURCE_NAME
+        if not meta_path.is_file() or not source_path.is_file():
+            continue
+        meta = json.loads(meta_path.read_text())
+        spec = spec_from_dict(meta["spec"]) if "spec" in meta else None
+        entries.append(CorpusEntry(
+            name=entry_dir.name,
+            seed=meta["seed"],
+            target=meta["target"],
+            classification=meta["classification"],
+            detail=meta.get("detail", ""),
+            source=source_path.read_text(),
+            spec=spec,
+            path=entry_dir,
+        ))
+    return entries

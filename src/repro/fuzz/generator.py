@@ -1,0 +1,727 @@
+"""Seeded, grammar-based random P4-16 program generation.
+
+The generator is Csmith-shaped: a seeded RNG drives a structured
+:class:`ProgramSpec` (headers, a parser chain with select/lookahead,
+tables over mixed match kinds, actions, checksum usage), and the spec
+renders to concrete P4-16 source per target architecture (v1model,
+ebpf_model, tna, t2na).  Everything it emits stays inside the subset
+the frontend, mid-end, and both executors support, so every generated
+program is a legitimate differential-testing input: any downstream
+disagreement is a bug, not a language gap.
+
+The spec is plain dataclasses (JSON-serializable via
+:meth:`ProgramSpec.to_dict`) so the shrinker can reduce structure
+rather than text, and a corpus entry can record exactly what was
+generated.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field, replace
+
+__all__ = [
+    "FieldSpec", "HeaderSpec", "ParserBranch", "ActionSpec", "KeySpec",
+    "ConstEntrySpec", "TableSpec", "ApplyStmt", "ProgramSpec",
+    "generate_spec", "render_program", "FUZZ_TARGETS",
+]
+
+FUZZ_TARGETS = ("v1model", "ebpf_model", "tna", "t2na")
+
+# Field widths the generator draws from; header totals stay
+# byte-aligned so parsers compose with byte-aligned packet lengths.
+_FIELD_WIDTHS = (8, 16, 32)
+# core.p4 declares exact/ternary/lpm everywhere; v1model adds
+# range+optional, tna/t2na add range only, ebpf adds nothing.
+_MATCH_KIND_WEIGHTS = {
+    "v1model": (
+        ("exact", 45), ("ternary", 20), ("lpm", 15),
+        ("range", 10), ("optional", 10),
+    ),
+    "ebpf_model": (
+        ("exact", 55), ("ternary", 25), ("lpm", 20),
+    ),
+    "tna": (
+        ("exact", 50), ("ternary", 20), ("lpm", 18), ("range", 12),
+    ),
+    "t2na": (
+        ("exact", 50), ("ternary", 20), ("lpm", 18), ("range", 12),
+    ),
+}
+
+
+@dataclass
+class FieldSpec:
+    name: str
+    width: int
+
+
+@dataclass
+class HeaderSpec:
+    name: str                      # struct member name, e.g. "h0"
+    fields: list                   # [FieldSpec]
+
+    @property
+    def type_name(self) -> str:
+        return f"{self.name}_t"
+
+    def bit_width(self) -> int:
+        return sum(f.width for f in self.fields)
+
+
+@dataclass
+class ParserBranch:
+    """One select case in the header chain: ``value [&&& mask]`` on the
+    parent header's selector field transitions to ``header``."""
+
+    header: str                    # target header name
+    value: int
+    mask: int | None = None        # None = exact constant case
+
+
+@dataclass
+class KeySpec:
+    header: str
+    fld: str
+    match_kind: str
+
+
+@dataclass
+class ActionSpec:
+    name: str
+    kind: str                      # "noop" | "forward" | "drop" | "setf" | "addf"
+    header: str = ""               # for setf/addf: the written field
+    fld: str = ""
+    op: str = "+"                  # for addf
+    operand: int = 0               # for addf: constant operand
+
+
+@dataclass
+class ConstEntrySpec:
+    keysets: list                  # [(value, mask_or_None)] per key
+    action: str
+    args: list                     # [int] action args
+    priority: int | None = None
+
+
+@dataclass
+class TableSpec:
+    name: str
+    keys: list                     # [KeySpec]
+    actions: list                  # [str] action names (default last)
+    default_action: str = "nop"
+    const_entries: list = field(default_factory=list)
+
+
+@dataclass
+class ApplyStmt:
+    """One statement in the ingress/filter apply block."""
+
+    kind: str                      # "apply" | "if_apply" | "assign"
+    table: str = ""                # for apply / if_apply
+    header: str = ""               # condition or assignment field
+    fld: str = ""
+    value: int = 0                 # comparison constant
+    cond: str = "=="               # "==" | "<" | ">" | "valid"
+    op: str = "+"                  # for assign
+    operand: int = 0
+
+
+@dataclass
+class ProgramSpec:
+    """A complete randomly generated program, target-specialized."""
+
+    seed: int
+    target: str
+    name: str
+    headers: list                  # [HeaderSpec]; headers[0] is the base
+    branches: dict                 # parent header name -> [ParserBranch]
+    selector: dict                 # parent header name -> selector field name
+    actions: list                  # [ActionSpec]
+    tables: list                   # [TableSpec]
+    apply_stmts: list              # [ApplyStmt]
+    use_checksum: bool = False     # v1model: update_checksum in compute
+    use_lookahead: bool = False    # v1model/ebpf: lookahead pre-state
+    accept_default: bool = True    # ebpf: initial accept value
+
+    def header(self, name: str) -> HeaderSpec:
+        for h in self.headers:
+            if h.name == name:
+                return h
+        raise KeyError(name)
+
+    def find_field(self, header: str, fld: str) -> FieldSpec:
+        for f in self.header(header).fields:
+            if f.name == fld:
+                return f
+        raise KeyError(f"{header}.{fld}")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        return render_program(self)
+
+
+# ===========================================================================
+# Generation
+# ===========================================================================
+
+def _weighted(rng: random.Random, pairs) -> str:
+    total = sum(w for _v, w in pairs)
+    roll = rng.randrange(total)
+    for value, weight in pairs:
+        roll -= weight
+        if roll < 0:
+            return value
+    return pairs[-1][0]
+
+
+def _make_header(rng: random.Random, name: str, *, base: bool) -> HeaderSpec:
+    fields = []
+    if base:
+        # The base header always carries a 16-bit selector the parser
+        # branches on, and a checksum slot the compute block may fill.
+        fields.append(FieldSpec("tag", 16))
+    for i in range(rng.randint(1, 3)):
+        fields.append(FieldSpec(f"f{i}", rng.choice(_FIELD_WIDTHS)))
+    if base:
+        fields.append(FieldSpec("csum", 16))
+    return HeaderSpec(name, fields)
+
+
+def _data_fields(header: HeaderSpec) -> list:
+    """Fields safe for tables/actions to read and write (everything but
+    the parser's selector, which steering must not disturb)."""
+    return [f for f in header.fields if f.name != "tag"]
+
+
+def _pick_field(rng: random.Random, spec_headers, *, writable: bool = False):
+    header = rng.choice(spec_headers)
+    pool = _data_fields(header) if writable else header.fields
+    return header.name, rng.choice(pool).name
+
+
+def generate_spec(seed: int, target: str) -> ProgramSpec:
+    """Generate one well-typed random program for ``target``.
+
+    The same (seed, target) pair always produces the identical spec —
+    campaign reproducibility rests on this.
+    """
+    if target not in FUZZ_TARGETS:
+        raise KeyError(
+            f"unknown fuzz target {target!r}; available: {', '.join(FUZZ_TARGETS)}"
+        )
+    rng = random.Random((seed, target).__repr__())
+    name = f"fuzz_{target}_s{seed}"
+
+    headers = [_make_header(rng, "h0", base=True)]
+    n_extra = rng.randint(0, 2)
+    for i in range(n_extra):
+        headers.append(_make_header(rng, f"h{i + 1}", base=False))
+
+    # Parser chain: extras hang off h0's selector; with two extras the
+    # second either also hangs off h0 (fan-out) or off h1 (chain, when
+    # h1 has a 16-bit field to select on).
+    branches: dict = {"h0": []}
+    selector = {"h0": "tag"}
+    chain_parent = "h0"
+    for i, hdr in enumerate(headers[1:]):
+        parent = "h0"
+        if i == 1 and rng.random() < 0.5:
+            h1 = headers[1]
+            wide = [f for f in h1.fields if f.width == 16]
+            if wide:
+                parent = "h1"
+                selector.setdefault("h1", wide[0].name)
+                branches.setdefault("h1", [])
+        value = rng.getrandbits(16)
+        mask = None
+        if rng.random() < 0.25:
+            mask = (0xFF00 if rng.random() < 0.5 else 0x00FF)
+            value &= mask
+        taken = {(b.value, b.mask) for b in branches.get(parent, [])}
+        while (value, mask) in taken:
+            value = (value + 1) & 0xFFFF if mask is None else (value ^ mask)
+        branches.setdefault(parent, []).append(ParserBranch(hdr.name, value, mask))
+        chain_parent = parent
+
+    # Actions.  "nop" is always available as a safe default.
+    actions = [ActionSpec("nop", "noop")]
+    actions.append(ActionSpec("fwd", "forward"))
+    if rng.random() < 0.6:
+        actions.append(ActionSpec("toss", "drop"))
+    for i in range(rng.randint(0, 2)):
+        hname, fname = _pick_field(rng, headers[:1], writable=True)
+        if rng.random() < 0.5:
+            actions.append(ActionSpec(f"setf{i}", "setf", header=hname, fld=fname))
+        else:
+            actions.append(ActionSpec(
+                f"addf{i}", "addf", header=hname, fld=fname,
+                op=rng.choice(("+", "-", "^")),
+                operand=rng.getrandbits(8) | 1,
+            ))
+    action_names = [a.name for a in actions]
+
+    # Tables over mixed match kinds.
+    tables = []
+    for t in range(rng.randint(1, 3)):
+        keys = []
+        for _k in range(rng.randint(1, 2)):
+            # Mostly key on the always-parsed base header; occasionally
+            # on an extra header (exercising invalid-read taint).
+            pool = headers[:1] if (len(headers) == 1 or rng.random() < 0.75) \
+                else headers[1:]
+            hname, fname = _pick_field(rng, pool)
+            keys.append(KeySpec(
+                hname, fname, _weighted(rng, _MATCH_KIND_WEIGHTS[target])))
+        n_act = rng.randint(1, min(2, len(action_names) - 1)) \
+            if len(action_names) > 1 else 1
+        chosen = rng.sample([n for n in action_names if n != "nop"],
+                            k=min(n_act, len(action_names) - 1))
+        table = TableSpec(
+            name=f"t{t}",
+            keys=keys,
+            actions=chosen + ["nop"],
+            default_action="toss" if (
+                "toss" in chosen and rng.random() < 0.3) else "nop",
+        )
+        if rng.random() < 0.3 and all(
+            k.match_kind in ("exact", "ternary") for k in keys
+        ):
+            prioritized = any(k.match_kind == "ternary" for k in keys)
+            for e in range(rng.randint(1, 2)):
+                keysets = []
+                for k in keys:
+                    width = _spec_field_width(headers, k)
+                    value = rng.getrandbits(width)
+                    mask = None
+                    if k.match_kind == "ternary":
+                        mask = rng.getrandbits(width) | 1
+                        value &= mask
+                    keysets.append((value, mask))
+                entry_action = rng.choice(table.actions)
+                table.const_entries.append(ConstEntrySpec(
+                    keysets=keysets,
+                    action=entry_action,
+                    args=_const_args(rng, actions, entry_action),
+                    priority=(e + 1) if prioritized else None,
+                ))
+        tables.append(table)
+
+    # Apply block: each table applied once, some guarded; plus an
+    # optional direct field update.
+    apply_stmts = []
+    for table in tables:
+        if rng.random() < 0.3:
+            if len(headers) > 1 and rng.random() < 0.5:
+                apply_stmts.append(ApplyStmt(
+                    "if_apply", table=table.name,
+                    header=rng.choice(headers[1:]).name, cond="valid",
+                ))
+            else:
+                hname, fname = _pick_field(rng, headers[:1])
+                width = spec_width(headers, hname, fname)
+                apply_stmts.append(ApplyStmt(
+                    "if_apply", table=table.name, header=hname, fld=fname,
+                    value=rng.getrandbits(min(width, 8)),
+                    cond=rng.choice(("==", "<", ">")),
+                ))
+        else:
+            apply_stmts.append(ApplyStmt("apply", table=table.name))
+    if rng.random() < 0.4:
+        hname, fname = _pick_field(rng, headers[:1], writable=True)
+        apply_stmts.insert(rng.randrange(len(apply_stmts) + 1), ApplyStmt(
+            "assign", header=hname, fld=fname,
+            op=rng.choice(("+", "^", "&", "|")),
+            operand=rng.getrandbits(8) | 1,
+        ))
+
+    return ProgramSpec(
+        seed=seed,
+        target=target,
+        name=name,
+        headers=headers,
+        branches=branches,
+        selector=selector,
+        actions=actions,
+        tables=tables,
+        apply_stmts=apply_stmts,
+        use_checksum=(target == "v1model" and rng.random() < 0.25),
+        use_lookahead=(target in ("v1model", "ebpf_model")
+                       and rng.random() < 0.2),
+        accept_default=rng.random() < 0.5,
+    )
+
+
+def _spec_field_width(headers, key: KeySpec) -> int:
+    for h in headers:
+        if h.name == key.header:
+            for f in h.fields:
+                if f.name == key.fld:
+                    return f.width
+    raise KeyError(f"{key.header}.{key.fld}")
+
+
+def spec_width(headers, hname: str, fname: str) -> int:
+    return _spec_field_width(headers, KeySpec(hname, fname, "exact"))
+
+
+def _const_args(rng: random.Random, actions, action_name: str) -> list:
+    for a in actions:
+        if a.name == action_name:
+            if a.kind == "forward":
+                return [rng.randrange(1, 64)]
+            if a.kind == "setf":
+                return [rng.getrandbits(8)]
+            return []
+    return []
+
+
+# ===========================================================================
+# Rendering
+# ===========================================================================
+
+def render_program(spec: ProgramSpec) -> str:
+    if spec.target == "v1model":
+        return _render_v1model(spec)
+    if spec.target == "ebpf_model":
+        return _render_ebpf(spec)
+    if spec.target in ("tna", "t2na"):
+        return _render_tofino(spec)
+    raise KeyError(f"no renderer for target {spec.target!r}")
+
+
+def _render_headers(spec: ProgramSpec) -> str:
+    out = []
+    for h in spec.headers:
+        out.append(f"header {h.type_name} {{")
+        for f in h.fields:
+            out.append(f"    bit<{f.width}> {f.name};")
+        out.append("}\n")
+    out.append("struct headers_t {")
+    for h in spec.headers:
+        out.append(f"    {h.type_name} {h.name};")
+    out.append("}\n")
+    return "\n".join(out)
+
+
+def _render_parser_states(spec: ProgramSpec, hdr: str, accept: str = "accept") -> str:
+    """The shared header-chain states (start handled per target)."""
+    out = []
+    for h in spec.headers:
+        state = "parse_h0" if h.name == "h0" else f"parse_{h.name}"
+        out.append(f"    state {state} {{")
+        out.append(f"        pkt.extract({hdr}.{h.name});")
+        branch_list = spec.branches.get(h.name, [])
+        if branch_list:
+            sel = spec.selector[h.name]
+            out.append(f"        transition select({hdr}.{h.name}.{sel}) {{")
+            for b in branch_list:
+                if b.mask is None:
+                    out.append(f"            16w{b.value:#x}: parse_{b.header};")
+                else:
+                    out.append(
+                        f"            16w{b.value:#x} &&& 16w{b.mask:#x}: "
+                        f"parse_{b.header};"
+                    )
+            out.append(f"            default: {accept};")
+            out.append("        }")
+        else:
+            out.append(f"        transition {accept};")
+        out.append("    }")
+    return "\n".join(out)
+
+
+def _lookahead_start(next_state: str) -> str:
+    return (
+        "    state start {\n"
+        "        bit<8> peek = pkt.lookahead<bit<8>>();\n"
+        "        transition select(peek) {\n"
+        "            8w0x80 &&& 8w0x80: skip_octet;\n"
+        f"            default: {next_state};\n"
+        "        }\n"
+        "    }\n"
+        "    state skip_octet {\n"
+        "        pkt.advance(8);\n"
+        f"        transition {next_state};\n"
+        "    }"
+    )
+
+
+def _render_actions(spec: ProgramSpec, *, port_sink: str, port_type: str,
+                    drop_stmt: str, indent: str = "    ") -> str:
+    out = []
+    for a in spec.actions:
+        if a.kind == "noop":
+            out.append(f"{indent}action nop() {{ }}")
+        elif a.kind == "forward":
+            out.append(f"{indent}action {a.name}({port_type} port) {{")
+            out.append(f"{indent}    {port_sink} = port;")
+            out.append(f"{indent}}}")
+        elif a.kind == "drop":
+            out.append(f"{indent}action {a.name}() {{")
+            out.append(f"{indent}    {drop_stmt}")
+            out.append(f"{indent}}}")
+        elif a.kind == "setf":
+            width = spec.find_field(a.header, a.fld).width
+            out.append(f"{indent}action {a.name}(bit<{width}> v) {{")
+            out.append(f"{indent}    h.{a.header}.{a.fld} = v;")
+            out.append(f"{indent}}}")
+        elif a.kind == "addf":
+            width = spec.find_field(a.header, a.fld).width
+            operand = a.operand & ((1 << width) - 1)
+            out.append(f"{indent}action {a.name}() {{")
+            out.append(
+                f"{indent}    h.{a.header}.{a.fld} = "
+                f"h.{a.header}.{a.fld} {a.op} {width}w{operand:#x};"
+            )
+            out.append(f"{indent}}}")
+    return "\n".join(out)
+
+
+def _render_tables(spec: ProgramSpec, indent: str = "    ") -> str:
+    out = []
+    for t in spec.tables:
+        out.append(f"{indent}table {t.name} {{")
+        out.append(f"{indent}    key = {{")
+        for k in t.keys:
+            out.append(
+                f"{indent}        h.{k.header}.{k.fld}: {k.match_kind} "
+                f"@name(\"{k.header}_{k.fld}\");"
+            )
+        out.append(f"{indent}    }}")
+        out.append(f"{indent}    actions = {{ {'; '.join(t.actions)}; }}")
+        out.append(f"{indent}    default_action = {t.default_action}();")
+        if t.const_entries:
+            out.append(f"{indent}    const entries = {{")
+            for e in t.const_entries:
+                parts = []
+                for (value, mask), k in zip(e.keysets, t.keys):
+                    width = _spec_field_width(spec.headers, k)
+                    if mask is None:
+                        parts.append(f"{width}w{value:#x}")
+                    else:
+                        parts.append(f"{width}w{value:#x} &&& {width}w{mask:#x}")
+                keyset = ", ".join(parts)
+                if len(parts) > 1:
+                    keyset = f"({keyset})"
+                args = ", ".join(str(v) for v in e.args)
+                prio = f"@priority({e.priority}) " if e.priority is not None else ""
+                out.append(f"{indent}        {prio}{keyset} : {e.action}({args});")
+            out.append(f"{indent}    }}")
+        out.append(f"{indent}}}")
+    return "\n".join(out)
+
+
+def _render_apply(spec: ProgramSpec, indent: str = "        ") -> str:
+    out = []
+    for s in spec.apply_stmts:
+        if s.kind == "apply":
+            out.append(f"{indent}{s.table}.apply();")
+        elif s.kind == "if_apply":
+            if s.cond == "valid":
+                cond = f"h.{s.header}.isValid()"
+            else:
+                width = spec_width(spec.headers, s.header, s.fld)
+                cond = f"h.{s.header}.{s.fld} {s.cond} {width}w{s.value:#x}"
+            out.append(f"{indent}if ({cond}) {{")
+            out.append(f"{indent}    {s.table}.apply();")
+            out.append(f"{indent}}}")
+        elif s.kind == "assign":
+            width = spec_width(spec.headers, s.header, s.fld)
+            operand = s.operand & ((1 << width) - 1)
+            out.append(
+                f"{indent}h.{s.header}.{s.fld} = "
+                f"h.{s.header}.{s.fld} {s.op} {width}w{operand:#x};"
+            )
+    return "\n".join(out)
+
+
+def _render_emits(spec: ProgramSpec, indent: str = "        ") -> str:
+    return "\n".join(
+        f"{indent}pkt.emit(h.{h.name});" for h in spec.headers
+    )
+
+
+def _render_v1model(spec: ProgramSpec) -> str:
+    start = _lookahead_start("parse_h0") if spec.use_lookahead else (
+        "    state start {\n        transition parse_h0;\n    }"
+    )
+    compute_body = "        "
+    if spec.use_checksum:
+        data = [f for f in spec.headers[0].fields
+                if f.name not in ("tag", "csum")]
+        fields = ", ".join(f"h.h0.{f.name}" for f in data)
+        compute_body = (
+            "        update_checksum(h.h0.isValid(),\n"
+            f"                        {{ {fields} }},\n"
+            "                        h.h0.csum,\n"
+            "                        HashAlgorithm.csum16);"
+        )
+    return f"""// Generated by repro.fuzz (seed={spec.seed}, target={spec.target}).
+#include <core.p4>
+#include <v1model.p4>
+
+{_render_headers(spec)}
+struct meta_t {{
+    bit<8> scratch;
+}}
+
+parser fz_parser(packet_in pkt, out headers_t h, inout meta_t meta,
+                 inout standard_metadata_t sm) {{
+{start}
+{_render_parser_states(spec, "h")}
+}}
+
+control fz_verify(inout headers_t h, inout meta_t meta) {{ apply {{ }} }}
+
+control fz_ingress(inout headers_t h, inout meta_t meta,
+                   inout standard_metadata_t sm) {{
+{_render_actions(spec, port_sink="sm.egress_spec", port_type="bit<9>",
+                 drop_stmt="mark_to_drop(sm);")}
+{_render_tables(spec)}
+    apply {{
+{_render_apply(spec)}
+    }}
+}}
+
+control fz_egress(inout headers_t h, inout meta_t meta,
+                  inout standard_metadata_t sm) {{ apply {{ }} }}
+
+control fz_compute(inout headers_t h, inout meta_t meta) {{
+    apply {{
+{compute_body}
+    }}
+}}
+
+control fz_deparser(packet_out pkt, in headers_t h) {{
+    apply {{
+{_render_emits(spec)}
+    }}
+}}
+
+V1Switch(fz_parser(), fz_verify(), fz_ingress(), fz_egress(),
+         fz_compute(), fz_deparser()) main;
+"""
+
+
+def _render_ebpf(spec: ProgramSpec) -> str:
+    start = _lookahead_start("parse_h0") if spec.use_lookahead else (
+        "    state start {\n        transition parse_h0;\n    }"
+    )
+    init = "true" if spec.accept_default else "false"
+    flip = "\n        accept = true;" if not spec.accept_default else ""
+    return f"""// Generated by repro.fuzz (seed={spec.seed}, target={spec.target}).
+#include <core.p4>
+#include <ebpf_model.p4>
+
+{_render_headers(spec)}
+parser fz_prs(packet_in pkt, out headers_t h) {{
+{start}
+{_render_parser_states(spec, "h")}
+}}
+
+control fz_flt(inout headers_t h, out bool accept) {{
+{_render_actions(spec, port_sink="h.h0.csum",
+                 port_type="bit<16>",
+                 drop_stmt="accept = false;")}
+{_render_tables(spec)}
+    apply {{
+        accept = {init};
+        if (h.h0.isValid()) {{{flip}
+{_render_apply(spec, indent="            ")}
+        }}
+    }}
+}}
+
+ebpfFilter(fz_prs(), fz_flt()) main;
+"""
+
+
+def _render_tofino(spec: ProgramSpec) -> str:
+    port_md_bits = 64 if spec.target == "tna" else 192
+    include = "tna.p4" if spec.target == "tna" else "t2na.p4"
+    return f"""// Generated by repro.fuzz (seed={spec.seed}, target={spec.target}).
+#include <core.p4>
+#include <{include}>
+
+{_render_headers(spec)}
+struct ig_md_t {{
+    bit<8> scratch;
+}}
+
+struct eg_md_t {{
+    bit<8> unused;
+}}
+
+parser FzIngressParser(packet_in pkt,
+        out headers_t h,
+        out ig_md_t ig_md,
+        out ingress_intrinsic_metadata_t ig_intr_md) {{
+    state start {{
+        pkt.extract(ig_intr_md);
+        pkt.advance({port_md_bits});
+        transition parse_h0;
+    }}
+{_render_parser_states(spec, "h")}
+}}
+
+control FzIngress(inout headers_t h,
+        inout ig_md_t ig_md,
+        in ingress_intrinsic_metadata_t ig_intr_md,
+        in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+        inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+        inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {{
+{_render_actions(spec, port_sink="ig_tm_md.ucast_egress_port",
+                 port_type="PortId_t",
+                 drop_stmt="ig_dprsr_md.drop_ctl = 1;")}
+{_render_tables(spec)}
+    apply {{
+{_render_apply(spec)}
+    }}
+}}
+
+control FzIngressDeparser(packet_out pkt,
+        inout headers_t h,
+        in ig_md_t ig_md,
+        in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {{
+    apply {{
+{_render_emits(spec)}
+    }}
+}}
+
+parser FzEgressParser(packet_in pkt,
+        out headers_t h,
+        out eg_md_t eg_md,
+        out egress_intrinsic_metadata_t eg_intr_md) {{
+    state start {{
+        pkt.extract(eg_intr_md);
+        transition parse_h0;
+    }}
+{_render_parser_states(spec, "h")}
+}}
+
+control FzEgress(inout headers_t h,
+        inout eg_md_t eg_md,
+        in egress_intrinsic_metadata_t eg_intr_md,
+        in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+        inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+        inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {{
+    apply {{ }}
+}}
+
+control FzEgressDeparser(packet_out pkt,
+        inout headers_t h,
+        in eg_md_t eg_md,
+        in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {{
+    apply {{
+{_render_emits(spec)}
+    }}
+}}
+
+Pipeline(FzIngressParser(), FzIngress(), FzIngressDeparser(),
+         FzEgressParser(), FzEgress(), FzEgressDeparser()) pipe;
+
+Switch(pipe) main;
+"""

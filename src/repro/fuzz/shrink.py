@@ -1,0 +1,223 @@
+"""Delta-debugging shrinker for failing fuzz programs.
+
+Works on :class:`~repro.fuzz.generator.ProgramSpec` *structure*, not
+program text: each pass proposes removing one structural element
+(header, table, const-entry block, apply statement, action, key,
+field, parser feature), repairs the spec so it stays well-typed, and
+keeps the removal only if the predicate still fails the same way.
+Passes repeat to a fixpoint under a bounded predicate budget, so a
+shrink can never loop forever even if the failure is flaky.
+
+This is ddmin specialized to a tree: removing one subtree at a time is
+O(n) per round instead of ddmin's subset search, and since generated
+specs are small (a handful of tables/actions), a few rounds reach a
+local minimum quickly.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from .generator import ProgramSpec
+
+__all__ = ["ShrinkResult", "shrink_spec"]
+
+
+@dataclass
+class ShrinkResult:
+    spec: ProgramSpec          # the minimal still-failing spec
+    steps: int                 # accepted reductions
+    checks: int                # predicate evaluations spent
+
+
+def _repair(spec: ProgramSpec) -> ProgramSpec:
+    """Restore cross-references after a structural removal.
+
+    Keeps the spec inside the generator's grammar: headers[0] survives,
+    ``nop`` survives, tables always have >= 1 key and a valid default,
+    const entries stay aligned with their table's key list.
+    """
+    header_names = {h.name for h in spec.headers}
+
+    spec.branches = {
+        parent: [b for b in blist if b.header in header_names]
+        for parent, blist in spec.branches.items()
+        if parent in header_names
+    }
+    spec.selector = {
+        parent: sel for parent, sel in spec.selector.items()
+        if parent in header_names
+    }
+
+    def field_exists(hname, fname):
+        return hname in header_names and any(
+            f.name == fname for f in spec.header(hname).fields
+        )
+
+    spec.actions = [
+        a for a in spec.actions
+        if a.name == "nop"
+        or a.kind in ("forward", "drop")
+        or field_exists(a.header, a.fld)
+    ]
+    action_names = {a.name for a in spec.actions}
+
+    tables = []
+    for t in spec.tables:
+        keys_before = len(t.keys)
+        t.keys = [k for k in t.keys if field_exists(k.header, k.fld)]
+        if not t.keys:
+            continue
+        t.actions = [n for n in t.actions if n in action_names]
+        if "nop" not in t.actions:
+            t.actions.append("nop")
+        if t.default_action not in t.actions:
+            t.default_action = "nop"
+        if len(t.keys) != keys_before:
+            # Keysets are positional; realigning them is not worth the
+            # complexity — a shrunken table just loses its entries.
+            t.const_entries = []
+        t.const_entries = [
+            e for e in t.const_entries if e.action in t.actions
+        ]
+        tables.append(t)
+    spec.tables = tables
+    table_names = {t.name for t in spec.tables}
+
+    stmts = []
+    for s in spec.apply_stmts:
+        if s.kind in ("apply", "if_apply") and s.table not in table_names:
+            continue
+        if s.kind == "if_apply" and s.cond == "valid":
+            if s.header not in header_names:
+                s.kind = "apply"
+        elif s.kind in ("if_apply", "assign"):
+            if not field_exists(s.header, s.fld):
+                if s.kind == "assign":
+                    continue
+                s.kind = "apply"
+        stmts.append(s)
+    spec.apply_stmts = stmts
+    return spec
+
+
+def _candidates(spec: ProgramSpec):
+    """Yield (description, reduced-spec) pairs, one removal each.
+
+    Ordered biggest-subtree-first so early accepts delete the most.
+    """
+
+    def clone():
+        return copy.deepcopy(spec)
+
+    # Drop an extra header (never headers[0], the parse anchor).
+    for i in range(len(spec.headers) - 1, 0, -1):
+        c = clone()
+        dropped = c.headers.pop(i)
+        yield f"drop header {dropped.name}", _repair(c)
+
+    # Drop a whole table.
+    for i in range(len(spec.tables) - 1, -1, -1):
+        c = clone()
+        dropped = c.tables.pop(i)
+        yield f"drop table {dropped.name}", _repair(c)
+
+    # Drop an apply statement.
+    for i in range(len(spec.apply_stmts) - 1, -1, -1):
+        c = clone()
+        c.apply_stmts.pop(i)
+        yield f"drop apply stmt {i}", _repair(c)
+
+    # Drop a table's const entries wholesale, then one at a time.
+    for ti, t in enumerate(spec.tables):
+        if t.const_entries:
+            c = clone()
+            c.tables[ti].const_entries = []
+            yield f"drop {t.name} const entries", _repair(c)
+            for ei in range(len(t.const_entries) - 1, -1, -1):
+                c = clone()
+                c.tables[ti].const_entries.pop(ei)
+                yield f"drop {t.name} entry {ei}", _repair(c)
+
+    # Drop one key from a multi-key table.
+    for ti, t in enumerate(spec.tables):
+        if len(t.keys) > 1:
+            for ki in range(len(t.keys) - 1, -1, -1):
+                c = clone()
+                c.tables[ti].keys.pop(ki)
+                c.tables[ti].const_entries = []
+                yield f"drop {t.name} key {ki}", _repair(c)
+
+    # Drop a non-nop action.
+    for i in range(len(spec.actions) - 1, -1, -1):
+        if spec.actions[i].name == "nop":
+            continue
+        c = clone()
+        dropped = c.actions.pop(i)
+        yield f"drop action {dropped.name}", _repair(c)
+
+    # Drop an unreferenced-by-structure data field of an extra header.
+    for hi in range(len(spec.headers) - 1, 0, -1):
+        h = spec.headers[hi]
+        sel = spec.selector.get(h.name)
+        for fi in range(len(h.fields) - 1, -1, -1):
+            if h.fields[fi].name == sel or len(h.fields) == 1:
+                continue
+            c = clone()
+            c.headers[hi].fields.pop(fi)
+            yield f"drop {h.name}.{h.fields[fi].name}", _repair(c)
+
+    # Turn off optional parser/compute features.
+    if spec.use_checksum:
+        c = clone()
+        c.use_checksum = False
+        yield "disable checksum", c
+    if spec.use_lookahead:
+        c = clone()
+        c.use_lookahead = False
+        yield "disable lookahead", c
+
+    # Drop a parser branch (the chain below it detaches via repair).
+    for parent, blist in spec.branches.items():
+        for bi in range(len(blist) - 1, -1, -1):
+            c = clone()
+            dropped = c.branches[parent].pop(bi)
+            dead = [h for h in c.headers
+                    if h.name == dropped.header and h.name != "h0"]
+            for h in dead:
+                c.headers.remove(h)
+            yield f"drop branch {parent}->{dropped.header}", _repair(c)
+
+
+def shrink_spec(spec: ProgramSpec, predicate, *,
+                max_checks: int = 200) -> ShrinkResult:
+    """Greedily reduce ``spec`` while ``predicate(candidate)`` holds.
+
+    ``predicate`` must return True when the candidate still exhibits
+    the original failure (same classification); the campaign wires in
+    :func:`repro.fuzz.harness.run_spec` for this.  Returns the smallest
+    accepted spec — ``spec`` itself if nothing could be removed.
+    """
+    current = copy.deepcopy(spec)
+    steps = 0
+    checks = 0
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for _desc, candidate in _candidates(current):
+            if checks >= max_checks:
+                break
+            checks += 1
+            try:
+                still_fails = predicate(candidate)
+            except Exception:
+                # A candidate that crashes the *predicate machinery*
+                # (not the oracle under test) is not a valid reduction.
+                still_fails = False
+            if still_fails:
+                current = candidate
+                steps += 1
+                progress = True
+                break  # restart candidate enumeration on the new base
+    return ShrinkResult(spec=current, steps=steps, checks=checks)

@@ -6,21 +6,30 @@ assumptions with one extra pin.  :class:`SolveCache` memoizes complete
 ``check`` answers *and* models, keyed on the canonicalized constraint
 set.
 
-Two properties make the cache safe to share across exploration order
+Three properties make the cache safe to share across exploration order
 and — more importantly — across processes:
 
 - **Canonical keys.**  A query's key is the deduplicated constraint
-  set sorted by a structural serialization of the hash-consed term DAG
-  (:func:`canonical_string`).  The serialization depends only on term
-  structure, never on Python object hashes, so the same constraint set
-  maps to the same key in every process.
+  set sorted by a structural serialization of the hash-consed term DAG.
+  The serialization depends only on term structure, never on Python
+  object hashes, so the same constraint set maps to the same key in
+  every process.
+- **Alpha-invariant keys.**  Variable *names* are anonymized out of the
+  key: each variable becomes an index assigned by first occurrence in
+  the canonically ordered set (:class:`CacheKey`).  Two constraint sets
+  that differ only by a consistent renaming of variables share one
+  entry, and a hit's model is rebound to the querying set's own
+  variables through the key's ``var_order``.  Key equality implies the
+  ordered sets are identical up to that index bijection, which is
+  exactly the witness needed for the rebinding to be sound.
 - **Pure solves.**  A cache miss is solved by a *fresh* throwaway
   solver that asserts the key's terms in key order and eagerly extracts
   a model for every free variable.  The answer is a pure function of
-  the key: whether a query hits or misses can change timing, never
-  results.  This is what makes ``jobs=N`` byte-identical to ``jobs=1``
-  — the incremental CDCL solver's models depend on query history, a
-  canonical solve's do not.
+  the key, and the rebound model a pure function of the queried term
+  set: whether a query hits or misses can change timing, never results.
+  This is what makes ``jobs=N`` byte-identical to ``jobs=1`` — the
+  incremental CDCL solver's models depend on query history, a canonical
+  solve's do not.
 """
 
 from __future__ import annotations
@@ -29,10 +38,13 @@ from collections import OrderedDict
 
 from .terms import Term, free_vars
 
-__all__ = ["SolveCache", "CacheEntry", "canonical_string"]
+__all__ = ["SolveCache", "CacheEntry", "CacheKey", "canonical_string",
+           "alpha_template"]
 
 # Full canonical serializations, memoized per (hash-consed) term object.
 _CANON: dict[Term, str] = {}
+# Per-term alpha template: (name-free serialization, local var order).
+_ALPHA: dict[Term, tuple[str, tuple[Term, ...]]] = {}
 
 
 def canonical_string(term: Term) -> str:
@@ -41,7 +53,10 @@ def canonical_string(term: Term) -> str:
     Nodes are numbered in postorder over the DAG (children before
     parents, shared subterms once), so structurally identical terms —
     which hash-consing makes identical objects — always serialize
-    identically, regardless of interpreter hash randomization.
+    identically, regardless of interpreter hash randomization.  Unlike
+    :func:`alpha_template`, variable names are kept: this is the total
+    order used to sort a key (and break ties between alpha-equivalent
+    terms deterministically).
     """
     cached = _CANON.get(term)
     if cached is not None:
@@ -67,17 +82,99 @@ def canonical_string(term: Term) -> str:
     return out
 
 
+def alpha_template(term: Term) -> tuple[str, tuple[Term, ...]]:
+    """Name-free serialization of ``term`` plus its variable order.
+
+    Variables are replaced by indices assigned in first-occurrence
+    postorder, so the string is invariant under any consistent renaming
+    while still capturing intra-term variable sharing (``a == a`` and
+    ``a == b`` template differently).  Memoized per hash-consed term.
+    """
+    cached = _ALPHA.get(term)
+    if cached is not None:
+        return cached
+    ids: dict[Term, int] = {}
+    var_ids: dict[Term, int] = {}
+    pieces: list[str] = []
+    stack: list[tuple[Term, bool]] = [(term, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node in ids:
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for child in reversed(node.args):
+                if child not in ids:
+                    stack.append((child, False))
+        else:
+            if node.op == "var":
+                payload = f"@{var_ids.setdefault(node, len(var_ids))}"
+            else:
+                payload = repr(node.payload)
+            arg_ids = ",".join(str(ids[a]) for a in node.args)
+            pieces.append(f"{node.op}/{node.width}/{payload}/{arg_ids}")
+            ids[node] = len(ids)
+    out = (";".join(pieces), tuple(var_ids))
+    _ALPHA[term] = out
+    return out
+
+
+class CacheKey:
+    """Alpha-invariant canonical key for one constraint set.
+
+    ``terms`` holds the querying set's actual terms in canonical order
+    (iterate the key to assert them); ``var_order`` its variables in
+    canonical index order.  Equality and hashing use only ``canon`` —
+    the name-free serialization — so renamed-but-equivalent sets
+    collide, and ``var_order[i]`` of any two equal keys denote
+    corresponding variables.
+    """
+
+    __slots__ = ("terms", "canon", "var_order", "_hash")
+
+    def __init__(self, terms: tuple[Term, ...], canon: str,
+                 var_order: tuple[Term, ...]):
+        self.terms = terms
+        self.canon = canon
+        self.var_order = var_order
+        self._hash = hash(canon)
+
+    def __iter__(self):
+        return iter(self.terms)
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CacheKey) and self.canon == other.canon
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"CacheKey({len(self.terms)} terms, {len(self.var_order)} vars)"
+
+
 class CacheEntry:
-    """One memoized solve: status, eager model values, and the time the
-    original solve cost (credited as savings on every hit)."""
+    """One memoized solve: status, eager model values by canonical
+    variable index, and the time the original solve cost (credited as
+    savings on every hit)."""
 
     __slots__ = ("status", "values", "solve_time")
 
-    def __init__(self, status: str, values: dict[Term, int | bool] | None,
+    def __init__(self, status: str, values: tuple | None,
                  solve_time: float):
         self.status = status
         self.values = values
         self.solve_time = solve_time
+
+    def model_values(self, key: CacheKey) -> dict[Term, int | bool]:
+        """Rebind the stored model to ``key``'s own variable terms."""
+        assert self.values is not None
+        return dict(zip(key.var_order, self.values))
 
 
 class SolveCache:
@@ -91,7 +188,7 @@ class SolveCache:
 
     def __init__(self, capacity: int | None = None):
         self.capacity = capacity
-        self._entries: OrderedDict[tuple, CacheEntry] = OrderedDict()
+        self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -100,19 +197,29 @@ class SolveCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def key_for(self, terms) -> tuple[Term, ...]:
-        """Canonical key: dedupe (terms are hash-consed) and sort by
-        structural serialization."""
+    def key_for(self, terms) -> CacheKey:
+        """Canonical key: dedupe (terms are hash-consed), sort by the
+        alpha template (name-aware tie-break), and number variables by
+        first occurrence in that order."""
         seen = set()
         uniq = []
         for t in terms:
             if t not in seen:
                 seen.add(t)
                 uniq.append(t)
-        uniq.sort(key=canonical_string)
-        return tuple(uniq)
+        uniq.sort(key=lambda t: (alpha_template(t)[0], canonical_string(t)))
+        var_index: dict[Term, int] = {}
+        pieces = []
+        for t in uniq:
+            template, local_vars = alpha_template(t)
+            binding = ",".join(
+                str(var_index.setdefault(v, len(var_index)))
+                for v in local_vars
+            )
+            pieces.append(f"{template}[{binding}]")
+        return CacheKey(tuple(uniq), "|".join(pieces), tuple(var_index))
 
-    def lookup(self, key: tuple[Term, ...]) -> CacheEntry | None:
+    def lookup(self, key: CacheKey) -> CacheEntry | None:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
@@ -122,7 +229,7 @@ class SolveCache:
         self.time_saved += entry.solve_time
         return entry
 
-    def store(self, key: tuple[Term, ...], entry: CacheEntry) -> None:
+    def store(self, key: CacheKey, entry: CacheEntry) -> None:
         if self.capacity == 0:
             return
         self._entries[key] = entry
@@ -132,11 +239,12 @@ class SolveCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
-    def solve(self, key: tuple[Term, ...]) -> CacheEntry:
+    def solve(self, key: CacheKey) -> CacheEntry:
         """Solve a canonical key from scratch.
 
         Uses a fresh solver and asserts terms in key order, so the
-        answer (including the model) is a pure function of the key.
+        answer (including the model, stored by variable index) is a
+        pure function of the key.
         """
         from .solver import Solver
 
@@ -149,7 +257,8 @@ class SolveCache:
             variables: set[Term] = set()
             for t in key:
                 variables |= free_vars(t)
-            values = sub.model(variables).as_dict()
+            model = sub.model(variables)
+            values = tuple(model[v] for v in key.var_order)
         return CacheEntry(status, values, sub.stats.total_time)
 
     def clear(self) -> None:

@@ -203,7 +203,9 @@ class Solver:
             cache.store(key, entry)
         if entry.status == "sat":
             self.stats.sat_answers += 1
-            self._cached_model = Model(dict(entry.values))
+            # Rebind the index-keyed cached model to this query's own
+            # variable terms (a hit may come from a renamed twin set).
+            self._cached_model = Model(entry.model_values(key))
         else:
             self.stats.unsat_answers += 1
             self._cached_model = None

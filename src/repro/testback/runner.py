@@ -14,37 +14,79 @@ from dataclasses import dataclass, field
 from ..interp.core import Config, InterpResult
 from .spec import AbstractTestCase
 
-__all__ = ["TestRunResult", "run_test", "run_suite", "make_simulator"]
+__all__ = [
+    "TestRunResult", "run_test", "run_suite",
+    "make_simulator", "register_simulator", "SIMULATORS",
+]
+
+
+def _bmv2(program, seed):
+    # Spec-only baseline tests (Tbl. 5) are judged against the real
+    # BMv2 model — that is the point of the comparison.
+    from ..interp.bmv2 import Bmv2Simulator
+
+    return Bmv2Simulator(program, seed=seed)
+
+
+def _tofino_v1(program, seed):
+    from ..interp.tofino_model import TofinoSimulator
+
+    return TofinoSimulator(program, seed=seed, version=1)
+
+
+def _tofino_v2(program, seed):
+    from ..interp.tofino_model import TofinoSimulator
+
+    return TofinoSimulator(program, seed=seed, version=2)
+
+
+def _ebpf(program, seed):
+    from ..interp.ebpf_vm import EbpfSimulator
+
+    return EbpfSimulator(program, seed=seed)
+
+
+#: Oracle target name -> simulator factory ``(program, seed) -> simulator``.
+SIMULATORS = {
+    "v1model": _bmv2,
+    "spec-only": _bmv2,
+    "tna": _tofino_v1,
+    "t2na": _tofino_v2,
+    "ebpf_model": _ebpf,
+}
+
+
+def register_simulator(target_name: str, factory) -> None:
+    """Register a simulator factory for ``make_simulator`` lookup.
+
+    ``factory`` is called as ``factory(program, seed)``; mirrors
+    :func:`repro.testback.register_backend`.
+    """
+    if not callable(factory):
+        raise TypeError(f"simulator factory for {target_name!r} must be "
+                        f"callable, got {type(factory).__name__}")
+    SIMULATORS[target_name] = factory
 
 
 def make_simulator(target_name: str, program, seed: int = 0):
     """Instantiate the software model matching an oracle target name."""
-    if target_name in ("v1model", "spec-only"):
-        # Spec-only baseline tests (Tbl. 5) are judged against the real
-        # BMv2 model — that is the point of the comparison.
-        from ..interp.bmv2 import Bmv2Simulator
-
-        return Bmv2Simulator(program, seed=seed)
-    if target_name == "tna":
-        from ..interp.tofino_model import TofinoSimulator
-
-        return TofinoSimulator(program, seed=seed, version=1)
-    if target_name == "t2na":
-        from ..interp.tofino_model import TofinoSimulator
-
-        return TofinoSimulator(program, seed=seed, version=2)
-    if target_name == "ebpf_model":
-        from ..interp.ebpf_vm import EbpfSimulator
-
-        return EbpfSimulator(program, seed=seed)
-    raise KeyError(f"no simulator for target {target_name!r}")
+    try:
+        factory = SIMULATORS[target_name]
+    except KeyError:
+        known = ", ".join(sorted(SIMULATORS))
+        raise KeyError(
+            f"no simulator for target {target_name!r} (known: {known})"
+        ) from None
+    return factory(program, seed)
 
 
 @dataclass
 class TestRunResult:
     test_id: int = 0
     passed: bool = False
-    kind: str = ""        # "pass" | "wrong_output" | "exception" | "missing_output"
+    # "pass" | "wrong_output" | "wrong_port" | "mask_violation"
+    # | "exception" | "missing_output"
+    kind: str = ""
     detail: str = ""
     interp: InterpResult = None
 
@@ -52,16 +94,16 @@ class TestRunResult:
         return self.passed
 
 
-def _match_expected(expected, actual) -> str | None:
-    """None if the output matches; otherwise a mismatch description."""
+def _match_expected(expected, actual):
+    """None if the output matches; otherwise a (kind, description) pair."""
     port, bits, width = actual
     if port != expected.port:
-        return f"port {port} != expected {expected.port}"
+        return "wrong_port", f"port {port} != expected {expected.port}"
     if width != expected.width:
-        return f"width {width} != expected {expected.width}"
+        return "wrong_output", f"width {width} != expected {expected.width}"
     care = ~expected.dont_care & ((1 << width) - 1) if width else 0
     if (bits & care) != (expected.bits & care):
-        return (
+        return "mask_violation", (
             f"payload mismatch: got {bits:#x}, expected {expected.bits:#x} "
             f"(care mask {care:#x})"
         )
@@ -98,8 +140,7 @@ def run_test(test: AbstractTestCase, program, simulator=None,
     for exp, actual in zip(test.expected, result.outputs):
         mismatch = _match_expected(exp, actual)
         if mismatch is not None:
-            run.kind = "wrong_output"
-            run.detail = mismatch
+            run.kind, run.detail = mismatch
             return run
     run.passed = True
     run.kind = "pass"

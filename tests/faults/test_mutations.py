@@ -67,7 +67,11 @@ def test_seeded_fault_is_detected_by_generated_tests():
     outcomes = [run_test(t, mutated, sim) for t in tests]
     failing = [r for r in outcomes if not r.passed]
     assert failing, "removing the table apply must break some test"
-    assert all(r.kind in ("wrong_output", "missing_output") for r in failing)
+    assert all(
+        r.kind in ("wrong_output", "wrong_port", "mask_violation",
+                   "missing_output")
+        for r in failing
+    )
 
 
 def test_unmutated_baseline_passes():
@@ -83,7 +87,8 @@ def test_campaign_classification():
     assert detected
     for finding in detected:
         assert finding.detected_as in (
-            "exception", "wrong_output", "missing_output"
+            "exception", "wrong_output", "wrong_port", "mask_violation",
+            "missing_output"
         )
         if finding.bug_type == "exception":
             assert finding.detected_as == "exception"

@@ -1,0 +1,58 @@
+"""Bounded differential fuzz smoke campaign.
+
+Excluded from tier-1 (``addopts = -m 'not fuzz'``); run explicitly with
+``pytest -m fuzz``.  Fixed seed, 25 programs over v1model + ebpf_model —
+the same shape as the CLI acceptance run (``repro fuzz --seed 0``), kept
+small enough to finish well inside two minutes.
+"""
+
+import pytest
+
+from repro.fuzz import FuzzCampaignConfig, load_corpus, run_fuzz_campaign
+
+pytestmark = pytest.mark.fuzz
+
+_SEED = 0
+_COUNT = 25
+_TARGETS = ("v1model", "ebpf_model")
+
+
+@pytest.fixture(scope="module")
+def smoke(tmp_path_factory):
+    corpus = tmp_path_factory.mktemp("smoke-corpus")
+    config = FuzzCampaignConfig(
+        seed=_SEED, count=_COUNT, targets=_TARGETS, corpus_dir=str(corpus),
+    )
+    return run_fuzz_campaign(config), corpus
+
+
+def test_campaign_runs_every_program(smoke):
+    summary, _corpus = smoke
+    assert len(summary.cases) == _COUNT
+    assert [(c.seed, c.target) for c in summary.cases] == \
+        summary.config.case_plan()
+
+
+def test_every_case_passes_or_leaves_a_reproducer(smoke):
+    # The campaign invariant: no finding is silently dropped.
+    summary, corpus = smoke
+    failing = [c for c in summary.cases if not c.passed]
+    assert len(summary.corpus_entries) == len(failing)
+    assert len(load_corpus(corpus)) == len(failing)
+    # On the unmodified toolchain the oracle and the interpreters agree.
+    assert not failing, summary.report()
+
+
+def test_campaign_is_deterministic(smoke, tmp_path):
+    summary, _corpus = smoke
+    again = run_fuzz_campaign(FuzzCampaignConfig(
+        seed=_SEED, count=_COUNT, targets=_TARGETS,
+        corpus_dir=str(tmp_path),
+    ))
+    assert [c.to_dict() for c in again.cases] == \
+        [c.to_dict() for c in summary.cases]
+
+
+def test_campaign_fits_smoke_budget(smoke):
+    summary, _corpus = smoke
+    assert summary.elapsed < 120.0

@@ -1,0 +1,280 @@
+"""Cross-simulator parity on the recirculate / clone / drop paths.
+
+The differential fuzz harness treats the concrete simulators as the
+reference semantics, so each of them needs the same depth of direct
+coverage that ``test_bmv2_sim.py`` gives BMv2's table paths.  This file
+pins the packet-path behaviors the paper calls out (§5.1.2 recirculate,
+§6.1.1 clone, Fig. 4-5 Tofino TM semantics) on all three simulators:
+
+- BMv2: ``recirculate_preserving_field_list`` and ``clone`` via the
+  shipped demo programs;
+- Tofino: ``resubmit_type`` / ``drop_ctl`` (tna_fig4) and
+  ``Mirror.emit`` (inline program below);
+- eBPF: drop-vs-accept decided by a table-driven action, plus the
+  implicit drops (parser reject, unparsed packets).
+"""
+
+import pytest
+
+from repro.interp import Bmv2Simulator, Config, EbpfSimulator, TofinoSimulator
+from repro.oracle import load_program
+from repro.testback.spec import TableEntrySpec
+
+
+# ---------------------------------------------------------------------------
+# BMv2: recirculate and clone
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def recirc_program():
+    return load_program("recirc_demo")
+
+
+@pytest.fixture(scope="module")
+def clone_program():
+    return load_program("clone_demo")
+
+
+def _hop_pkt(hops, tag=0x10):
+    return (hops << 8) | tag
+
+
+def test_bmv2_recirc_hops0_drops(recirc_program):
+    result = Bmv2Simulator(recirc_program).process(
+        0, _hop_pkt(0), 16, Config())
+    assert result.dropped and not result.outputs
+
+
+def test_bmv2_recirc_hops1_recirculates_then_drops(recirc_program):
+    # hops=1 decrements to 0 and recirculates; the second pass hits the
+    # hops==0 drop branch, so the packet dies after one loop.
+    result = Bmv2Simulator(recirc_program).process(
+        0, _hop_pkt(1), 16, Config())
+    assert "recirculate" in result.trace
+    assert result.dropped
+
+
+def test_bmv2_recirc_hops2_forwards_without_recirc(recirc_program):
+    result = Bmv2Simulator(recirc_program).process(
+        0, _hop_pkt(2, tag=0x10), 16, Config())
+    assert not result.dropped
+    assert "recirculate" not in result.trace
+    port, bits, width = result.outputs[0]
+    assert port == 7 and width == 16
+    assert bits == _hop_pkt(2, tag=0x10)  # untouched on the fast path
+
+
+def test_bmv2_clone_produces_mirror_copy(clone_program):
+    sim = Bmv2Simulator(clone_program)
+    tagged = (1 << 32) | 0xAABBCCDD
+    result = sim.process(0, tagged, 40, Config())
+    assert not result.dropped
+    assert len(result.outputs) == 2
+    assert result.outputs[0][0] == 2   # original, forwarded
+    assert result.outputs[1][0] == 0   # clone session copy
+
+
+def test_bmv2_clone_untagged_single_output(clone_program):
+    result = Bmv2Simulator(clone_program).process(
+        0, 0xAABBCCDD, 40, Config())
+    assert len(result.outputs) == 1
+    assert result.outputs[0] == (2, 0xAABBCCDD, 40)
+
+
+# ---------------------------------------------------------------------------
+# Tofino: drop_ctl, resubmit, Mirror
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fig4_program():
+    return load_program("tna_fig4")
+
+
+def _fig4_pkt(ttl, width=512):
+    # 64-bit ipish header (ttl in the top byte) followed by padding up
+    # to Tofino's 64-byte minimum frame.
+    return (ttl << 56) << (width - 64), width
+
+
+def test_tofino_drop_ctl(fig4_program):
+    bits, width = _fig4_pkt(ttl=0)
+    result = TofinoSimulator(fig4_program).process(1, bits, width, Config())
+    assert result.dropped
+    assert any("drop_ctl" in step for step in result.trace)
+
+
+def test_tofino_resubmit_then_drop(fig4_program):
+    # ttl=1 zeroes the ttl and resubmits; the resubmitted pass sees
+    # ttl=0 and raises drop_ctl — mirroring the recirc_demo loop shape.
+    bits, width = _fig4_pkt(ttl=1)
+    result = TofinoSimulator(fig4_program).process(1, bits, width, Config())
+    assert "TM: resubmit" in result.trace
+    assert result.dropped
+
+
+def test_tofino_forward_without_resubmit(fig4_program):
+    bits, width = _fig4_pkt(ttl=2)
+    result = TofinoSimulator(fig4_program).process(1, bits, width, Config())
+    assert not result.dropped
+    assert "TM: resubmit" not in result.trace
+    port, out_bits, out_width = result.outputs[0]
+    assert port == 1 and out_width == width
+    assert (out_bits >> (out_width - 8)) == 2  # ttl untouched
+
+
+_MIRROR_SRC = """
+#include <core.p4>
+#include <tna.p4>
+
+header pkt_t { bit<8> kind; bit<56> body; }
+struct headers_t { pkt_t p; }
+struct ig_md_t { bit<8> x; }
+struct eg_md_t { bit<8> x; }
+
+parser MIngressParser(packet_in pkt, out headers_t h, out ig_md_t m,
+        out ingress_intrinsic_metadata_t ig_intr_md) {
+    state start {
+        pkt.extract(ig_intr_md);
+        pkt.advance(64);
+        transition parse_p;
+    }
+    state parse_p { pkt.extract(h.p); transition accept; }
+}
+
+control MIngress(inout headers_t h, inout ig_md_t m,
+        in ingress_intrinsic_metadata_t ig_intr_md,
+        in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+        inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+        inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+    apply {
+        ig_tm_md.ucast_egress_port = 3;
+        if (h.p.kind == 1) {
+            ig_dprsr_md.mirror_type = 1;
+        }
+    }
+}
+
+control MIngressDeparser(packet_out pkt, inout headers_t h, in ig_md_t m,
+        in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {
+    Mirror() mirror;
+    apply {
+        if (ig_dprsr_md.mirror_type == 1) {
+            mirror.emit(10w5);
+        }
+        pkt.emit(h.p);
+    }
+}
+
+parser MEgressParser(packet_in pkt, out headers_t h, out eg_md_t m,
+        out egress_intrinsic_metadata_t eg_intr_md) {
+    state start { pkt.extract(eg_intr_md); transition accept; }
+}
+
+control MEgress(inout headers_t h, inout eg_md_t m,
+        in egress_intrinsic_metadata_t eg_intr_md,
+        in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+        inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+        inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {
+    apply { }
+}
+
+control MEgressDeparser(packet_out pkt, inout headers_t h, in eg_md_t m,
+        in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {
+    apply { pkt.emit(h.p); }
+}
+
+Pipeline(MIngressParser(), MIngress(), MIngressDeparser(),
+         MEgressParser(), MEgress(), MEgressDeparser()) pipe;
+Switch(pipe) main;
+"""
+
+
+@pytest.fixture(scope="module")
+def mirror_program():
+    return load_program(_MIRROR_SRC, source_name="tna_mirror")
+
+
+def test_tofino_mirror_emits_copy(mirror_program):
+    bits = 1 << (512 - 8)  # kind=1 in the top byte
+    result = TofinoSimulator(mirror_program).process(1, bits, 512, Config())
+    assert not result.dropped
+    assert len(result.outputs) == 2
+    assert result.outputs[0][0] == 3   # original, forwarded
+    assert result.outputs[1][0] == 0   # mirror session copy
+
+
+def test_tofino_no_mirror_single_output(mirror_program):
+    result = TofinoSimulator(mirror_program).process(1, 0, 512, Config())
+    assert not result.dropped
+    assert len(result.outputs) == 1
+    assert result.outputs[0][0] == 3
+
+
+# ---------------------------------------------------------------------------
+# eBPF: table-driven drop parity
+# ---------------------------------------------------------------------------
+
+_ACL_SRC = """
+#include <core.p4>
+#include <ebpf_model.p4>
+
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etype; }
+struct headers_t { ethernet_t eth; }
+
+parser prs(packet_in pkt, out headers_t hdr) {
+    state start { pkt.extract(hdr.eth); transition accept; }
+}
+
+control flt(inout headers_t hdr, out bool accept) {
+    action allow() { }
+    action deny() { accept = false; }
+    table acl {
+        key = { hdr.eth.etype: exact @name("etype"); }
+        actions = { allow; deny; }
+        default_action = allow();
+    }
+    apply {
+        accept = hdr.eth.isValid();
+        acl.apply();
+    }
+}
+
+ebpfFilter(prs(), flt()) main;
+"""
+
+
+@pytest.fixture(scope="module")
+def acl_program():
+    return load_program(_ACL_SRC, source_name="ebpf_acl")
+
+
+def _deny_entry(etype):
+    return TableEntrySpec(
+        table="flt.acl", action="flt.deny",
+        keys=[("etype", "exact", {"value": etype})], action_args=[],
+    )
+
+
+def test_ebpf_table_entry_drops(acl_program):
+    result = EbpfSimulator(acl_program).process(
+        0, 0x0800, 112, Config(entries=[_deny_entry(0x0800)]))
+    assert result.dropped and not result.outputs
+
+
+def test_ebpf_table_miss_accepts_unmodified(acl_program):
+    result = EbpfSimulator(acl_program).process(
+        0, 0x86DD, 112, Config(entries=[_deny_entry(0x0800)]))
+    assert not result.dropped
+    assert result.outputs[0] == (0, 0x86DD, 112)
+
+
+def test_ebpf_default_allow_without_entries(acl_program):
+    result = EbpfSimulator(acl_program).process(0, 0x0800, 112, Config())
+    assert not result.dropped
+
+
+def test_ebpf_parser_reject_drops(acl_program):
+    # Too short for the 112-bit ethernet header: parser reject -> drop,
+    # matching the short-packet drop tests BMv2/Tofino already have.
+    result = EbpfSimulator(acl_program).process(0, 0xAB, 8, Config())
+    assert result.dropped

@@ -45,20 +45,47 @@ def test_wrong_payload_detected(fig1a):
     )
     result = run_test(bad, fig1a)
     assert not result.passed
-    assert result.kind == "wrong_output"
+    assert result.kind == "mask_violation"
     assert "payload mismatch" in result.detail
 
 
 def test_wrong_port_detected(fig1a):
     bad = make_test(expected=[ExpectedPacket(bits=0xBEEF, width=112, port=7)])
     result = run_test(bad, fig1a)
-    assert not result.passed and "port" in result.detail
+    assert not result.passed
+    assert result.kind == "wrong_port" and "port" in result.detail
 
 
 def test_wrong_width_detected(fig1a):
     bad = make_test(expected=[ExpectedPacket(bits=0xBEEF, width=104, port=0)])
     result = run_test(bad, fig1a)
-    assert not result.passed and "width" in result.detail
+    assert not result.passed
+    assert result.kind == "wrong_output" and "width" in result.detail
+
+
+def test_registry_lists_known_targets_on_miss(fig1a):
+    with pytest.raises(KeyError, match="v1model"):
+        make_simulator("asic9000", fig1a)
+
+
+def test_register_simulator_round_trip(fig1a):
+    from repro.testback.runner import SIMULATORS, register_simulator
+
+    calls = []
+
+    def factory(program, seed):
+        calls.append((program, seed))
+        return make_simulator("v1model", program, seed)
+
+    register_simulator("custom-sim", factory)
+    try:
+        sim = make_simulator("custom-sim", fig1a, seed=3)
+        assert sim.__class__.__name__ == "Bmv2Simulator"
+        assert calls == [(fig1a, 3)]
+        with pytest.raises(TypeError):
+            register_simulator("bad", "not-a-callable")
+    finally:
+        SIMULATORS.pop("custom-sim", None)
 
 
 def test_dont_care_mask_suppresses_mismatch(fig1a):
