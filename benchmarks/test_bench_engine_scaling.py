@@ -41,6 +41,9 @@ def _campaign(program, config):
         "hits": stats["cache_hits"],
         "misses": stats["cache_misses"],
         "saved_s": stats["cache_time_saved_s"],
+        "elided": (stats["elide_hits_model"] + stats["elide_hits_rewrite"]
+                   + stats["elide_hits_subsume"]),
+        "sat_solves": stats["sat_solves"],
         "suite": get_backend("stf").render_suite(tests),
         "coverage": gen.last_run.coverage.statement_percent,
     }
@@ -64,7 +67,7 @@ def test_engine_scaling(benchmark):
         f"program: {PROGRAM}, max_tests={MAX_TESTS}, seed=1, "
         f"cpus={os.cpu_count()}",
         "",
-        "| Config    | Tests | Wall time | Speedup | Cache hits | Hit rate | Time saved |",
+        "| Config    | Tests | Wall time | Speedup | Cache hits | Hit rate | Time saved | Elided | SAT solves |",
     ]
     for label, r in results.items():
         queries = r["hits"] + r["misses"]
@@ -73,7 +76,8 @@ def test_engine_scaling(benchmark):
         lines.append(
             f"| {label} | {r['tests']:5d} | {r['wall_s']:8.2f}s | "
             f"{speedup:6.2f}x | {r['hits']:10d} | {rate:7.1f}% | "
-            f"{r['saved_s']:9.2f}s |"
+            f"{r['saved_s']:9.2f}s | {r['elided']:6d} | "
+            f"{r['sat_solves']:10d} |"
         )
     lines.append("")
     lines.append("cached rows are byte-identical suites (determinism check).")

@@ -67,6 +67,15 @@ def test_fig7_cpu_split(benchmark):
         f"solver checks: {solver.checks} (sat={solver.sat_answers}, "
         f"unsat={solver.unsat_answers}); "
         f"{1000 * solve / max(solver.checks, 1):.1f} ms/check",
+        f"query elision: {prune.elide_hits + model.elide_hits} of "
+        f"{solver.checks} checks answered without SAT "
+        f"(model-reuse={prune.elide_hits_model + model.elide_hits_model}, "
+        f"rewrite={prune.elide_hits_rewrite + model.elide_hits_rewrite}, "
+        f"subsume={prune.elide_hits_subsume + model.elide_hits_subsume}); "
+        f"cache hits={model.cache_hits}; "
+        f"sat solves={prune.sat_solves + model.sat_solves}",
+        f"  word-level rewrite pass:"
+        f"{prune.rewrite_time_s + model.rewrite_time_s:8.2f} s",
         "",
         "paper: Z3 <10% (C++ interpreter vs C solver).  Here the solver",
         "is Python, so its share is inflated by the implementation",

@@ -48,6 +48,13 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--no-solve-cache", action="store_true",
                      help="disable solver-query caching (ablation; "
                           "incompatible with --jobs > 1)")
+    gen.add_argument("--no-elide", action="store_true",
+                     help="disable the solver query-elision pipeline "
+                          "(ablation; answers and tests are identical "
+                          "either way)")
+    gen.add_argument("--stats-json", default=None, metavar="PATH",
+                     help="dump the run's full solver/engine stats "
+                          "(including elision counters) as JSON")
     gen.add_argument("--fixed-packet-size", type=int, default=None,
                      metavar="BYTES")
     gen.add_argument("--p4constraints", action="store_true")
@@ -83,6 +90,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="oracle test budget per generated program")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="persist failing programs without reduction")
+    fuzz.add_argument("--stats-json", default=None, metavar="PATH",
+                      help="dump per-case and campaign-wide solver "
+                           "stats as JSON")
 
     sub.add_parser("list-programs", help="list the shipped P4 corpus")
     sub.add_parser("list-targets", help="list instantiated targets")
@@ -114,6 +124,7 @@ def cmd_generate(args) -> int:
         stop_at_full_coverage=args.stop_at_full_coverage,
         jobs=args.jobs,
         solve_cache=not args.no_solve_cache,
+        elide=not args.no_elide,
     )
     oracle = TestGen(program, target=target, config=config)
     backend = get_backend(args.test_backend)
@@ -131,6 +142,17 @@ def cmd_generate(args) -> int:
         writer.close()
         sys.stdout.write("\n")
     print(oracle.last_run.coverage.report(), file=sys.stderr)
+    if args.stats_json:
+        run = oracle.last_run
+        _dump_stats_json(args.stats_json, {
+            "command": "generate",
+            "program": program.source_name,
+            "target": args.target,
+            "config": config.as_dict(),
+            "num_tests": writer.count,
+            "statement_coverage": run.coverage.statement_percent,
+            "stats": run.stats.as_dict(),
+        })
     return 0
 
 
@@ -171,7 +193,27 @@ def cmd_fuzz(args) -> int:
 
     summary = run_fuzz_campaign(config, on_case=on_case)
     print(summary.report())
+    if args.stats_json:
+        _dump_stats_json(args.stats_json, {
+            "command": "fuzz",
+            "num_cases": len(summary.cases),
+            "num_passed": summary.num_passed,
+            "num_failed": summary.num_failed,
+            "by_classification": summary.by_classification(),
+            "solver_stats": summary.solver_stats(),
+            "cases": [case.to_dict() for case in summary.cases],
+            "elapsed_s": summary.elapsed,
+        })
     return 0 if summary.num_failed == 0 else 1
+
+
+def _dump_stats_json(path: str, payload: dict) -> None:
+    import json
+
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    print(f"wrote stats to {path}", file=sys.stderr)
 
 
 def main(argv=None) -> int:

@@ -54,6 +54,14 @@ class TestGenConfig:
             across processes).
         cache_capacity: max cached solver entries (None = unbounded,
             0 = canonical solving without memoization).
+        elide: enable the query-elision pipeline (word-level rewrite,
+            model reuse, UNSAT subsumption — see ``smt/elide.py``) in
+            front of the SAT core.  Elision never changes any answer or
+            emitted test, only how many checks reach bit-blasting.
+        elide_models: satisfying assignments kept for model reuse (per
+            solver).
+        elide_unsat: proven-UNSAT conjunct sets kept for subsumption
+            (per solver).
     """
 
     __test__ = False  # not a pytest class, despite the name
@@ -72,6 +80,9 @@ class TestGenConfig:
     concolic_fallback: bool = True
     solve_cache: bool = True
     cache_capacity: int | None = None
+    elide: bool = True
+    elide_models: int = 8
+    elide_unsat: int = 64
 
     def replace(self, **overrides) -> "TestGenConfig":
         """A copy of this config with ``overrides`` applied."""

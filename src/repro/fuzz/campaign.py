@@ -79,6 +79,22 @@ class CampaignSummary:
                 counts.get(case.classification, 0) + 1
         return dict(sorted(counts.items()))
 
+    def solver_stats(self) -> dict:
+        """Campaign-wide sums of the per-case oracle stats.
+
+        Every numeric field of each case's ``ExplorationStats`` dict is
+        accumulated, so worker-process runs contribute the same way
+        sequential ones do (the per-worker shards were already absorbed
+        into each case's stats by the engine).
+        """
+        totals: dict = {}
+        for case in self.cases:
+            for key, value in case.stats.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                totals[key] = totals.get(key, 0) + value
+        return dict(sorted(totals.items()))
+
     def report(self) -> str:
         lines = [
             f"fuzz campaign: {len(self.cases)} programs, "
@@ -87,6 +103,17 @@ class CampaignSummary:
         ]
         for kind, n in self.by_classification().items():
             lines.append(f"  {kind}: {n}")
+        stats = self.solver_stats()
+        if stats:
+            elided = (stats.get("elide_hits_model", 0)
+                      + stats.get("elide_hits_rewrite", 0)
+                      + stats.get("elide_hits_subsume", 0))
+            lines.append(
+                f"  solver: {int(stats.get('solver_checks', 0))} checks, "
+                f"{int(stats.get('sat_solves', 0))} SAT solves, "
+                f"{int(elided)} elided, "
+                f"{int(stats.get('cache_hits', 0))} cache hits"
+            )
         for path in self.corpus_entries:
             lines.append(f"  reproducer: {path}")
         return "\n".join(lines)
@@ -193,6 +220,13 @@ def run_fuzz_campaign(config: FuzzCampaignConfig,
                 case.coverage = result.statement_coverage
             except Exception:
                 case.coverage = 0.0
+            # Both the Engine path (EngineResult) and the sequential
+            # path (TestGenResult) carry the run's ExplorationStats;
+            # keep them on the case so per-worker solver behavior
+            # survives capture_errors aggregation.
+            stats = getattr(result, "stats", None)
+            if stats is not None:
+                case.stats = stats.as_dict()
             _passed, runs = run_suite(tests, program)
             classify_replay(case, runs)
         summary.cases.append(case)

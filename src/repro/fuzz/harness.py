@@ -61,6 +61,10 @@ class CaseResult:
     num_tests: int = 0
     failed_test_ids: list = field(default_factory=list)
     coverage: float = 0.0
+    # Oracle-phase solver/exploration stats (ExplorationStats.as_dict()).
+    # Populated even for worker-process cases, so campaign reports can
+    # aggregate solver behavior instead of just mismatch counts.
+    stats: dict = field(default_factory=dict)
 
     def __bool__(self):
         return self.passed
@@ -76,6 +80,7 @@ class CaseResult:
             "num_tests": self.num_tests,
             "failed_test_ids": list(self.failed_test_ids),
             "coverage": self.coverage,
+            "stats": dict(self.stats),
         }
 
 
@@ -110,6 +115,8 @@ def run_spec(spec: ProgramSpec, *, max_tests: int | None = 16,
 
     case.num_tests = len(result.tests)
     case.coverage = result.statement_coverage
+    if result.stats is not None:
+        case.stats = result.stats.as_dict()
     _passed, runs = run_suite(result.tests, program)
     return classify_replay(case, runs)
 

@@ -9,15 +9,21 @@ Public surface:
 - :class:`repro.smt.cache.SolveCache` — canonical solve cache that
   memoizes check answers and models across overlapping queries;
 - :func:`repro.smt.evaluate.evaluate` — concrete big-step evaluation,
-  used by the concolic loop and for cross-checking.
+  used by the concolic loop and for cross-checking;
+- :class:`repro.smt.elide.QueryElider` /
+  :func:`repro.smt.preprocess.preprocess_conjuncts` — the query-elision
+  pipeline that answers checks before they reach bit-blasting.
 """
 
 from . import terms
 from .cache import SolveCache
-from .evaluate import EvaluationError, evaluate
+from .elide import QueryElider
+from .evaluate import EvaluationError, all_hold, evaluate, holds
+from .preprocess import PreprocessResult, preprocess_conjuncts
 from .solver import Model, Solver, SolverStats
 
 __all__ = [
     "terms", "Solver", "Model", "SolverStats", "SolveCache",
-    "evaluate", "EvaluationError",
+    "evaluate", "holds", "all_hold", "EvaluationError",
+    "QueryElider", "PreprocessResult", "preprocess_conjuncts",
 ]

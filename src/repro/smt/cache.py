@@ -192,6 +192,7 @@ class SolveCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.elided_stores = 0
         self.time_saved = 0.0
 
     def __len__(self) -> int:
@@ -239,6 +240,19 @@ class SolveCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
+    def store_elided(self, key: CacheKey, status: str) -> CacheEntry:
+        """Store an answer proved by the elision layer without a solve.
+
+        Only status-exact answers may go through here (in practice:
+        UNSAT, which has no model to disagree about).  The entry records
+        zero solve time, so later hits claim no phantom savings.
+        """
+        assert status == "unsat", "elided SAT answers must not enter the cache"
+        entry = CacheEntry(status, None, 0.0)
+        self.store(key, entry)
+        self.elided_stores += 1
+        return entry
+
     def solve(self, key: CacheKey) -> CacheEntry:
         """Solve a canonical key from scratch.
 
@@ -270,5 +284,6 @@ class SolveCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "elided_stores": self.elided_stores,
             "time_saved_s": self.time_saved,
         }

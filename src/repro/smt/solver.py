@@ -25,6 +25,7 @@ import time
 
 from .bitblast import BitBlaster
 from .cnf import CnfBuilder
+from .elide import QueryElider
 from .sat import SAT, UNSAT, SatSolver
 from .terms import Term, bool_const, free_vars
 
@@ -43,10 +44,26 @@ class SolverStats:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_time_saved = 0.0
+        # Query elision (see smt/elide.py).  ``sat_solves`` counts the
+        # checks that actually reached blast+CDCL; checks minus
+        # cache_hits minus the three elide_hits_* buckets equals it.
+        self.sat_solves = 0
+        self.elide_hits_model = 0
+        self.elide_hits_rewrite = 0
+        self.elide_hits_subsume = 0
+        self.elide_misses = 0
+        self.rewrite_time_s = 0.0
+        self.elide_model_evictions = 0
+        self.elide_unsat_evictions = 0
 
     @property
     def total_time(self) -> float:
         return self.solve_time + self.blast_time
+
+    @property
+    def elide_hits(self) -> int:
+        return (self.elide_hits_model + self.elide_hits_rewrite
+                + self.elide_hits_subsume)
 
     def as_dict(self) -> dict:
         return {
@@ -58,6 +75,14 @@ class SolverStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_time_saved_s": self.cache_time_saved,
+            "sat_solves": self.sat_solves,
+            "elide_hits_model": self.elide_hits_model,
+            "elide_hits_rewrite": self.elide_hits_rewrite,
+            "elide_hits_subsume": self.elide_hits_subsume,
+            "elide_misses": self.elide_misses,
+            "rewrite_time_s": self.rewrite_time_s,
+            "elide_model_evictions": self.elide_model_evictions,
+            "elide_unsat_evictions": self.elide_unsat_evictions,
         }
 
 
@@ -90,7 +115,8 @@ class Model:
 class Solver:
     """Incremental QF_BV solver with push/pop and model extraction."""
 
-    def __init__(self, cache=None):
+    def __init__(self, cache=None, elide: bool = False,
+                 elide_models: int = 8, elide_unsat: int = 64):
         self._sat = SatSolver()
         self._builder = CnfBuilder(self._sat)
         self._blaster = BitBlaster(self._builder)
@@ -104,6 +130,18 @@ class Solver:
         self.cache = cache
         self._cached_model: Model | None = None
         self.stats = SolverStats()
+        # Query elision (smt/elide.py).  In canonical mode only UNSAT
+        # answers may be elided (sat_ok=False): an elided SAT model is
+        # whatever witness was cached, not the history-independent model
+        # a canonical solve binds, and canonical models reach test
+        # output.  The incremental solver consumes only the status, so
+        # it gets the full pipeline.
+        self.elider = None
+        if elide:
+            self.elider = QueryElider(self.stats, max_models=elide_models,
+                                      max_unsat=elide_unsat,
+                                      sat_ok=cache is None)
+        self._elided_model: dict | None = None
 
     # ------------------------------------------------------------------
     # Assertion stack
@@ -167,6 +205,20 @@ class Solver:
         """
         if self.cache is not None:
             return self._check_canonical(extra)
+        self._elided_model = None
+        conjuncts = None
+        if self.elider is not None:
+            conjuncts = self.assertions() + list(extra)
+            status, witness = self.elider.try_answer(conjuncts)
+            if status is not None:
+                self._last_assumptions = list(extra)
+                self.stats.checks += 1
+                if status == "sat":
+                    self.stats.sat_answers += 1
+                    self._elided_model = witness
+                else:
+                    self.stats.unsat_answers += 1
+                return status
         assumptions = [sel for sel, _terms in self._levels]
         t0 = time.perf_counter()
         for term in extra:
@@ -179,16 +231,24 @@ class Solver:
         res = self._sat.solve(assumptions)
         self.stats.solve_time += time.perf_counter() - t0
         self.stats.checks += 1
+        self.stats.sat_solves += 1
         if res == SAT:
             self.stats.sat_answers += 1
         else:
             self.stats.unsat_answers += 1
+        if self.elider is not None:
+            # Feed the real answer back so future sibling queries elide.
+            if res == SAT:
+                self.elider.note_model(self.model().as_dict())
+            else:
+                self.elider.note_unsat(conjuncts)
         return "sat" if res == SAT else "unsat"
 
     def _check_canonical(self, extra: tuple[Term, ...]) -> str:
         """Canonical-mode check: answer from the SolveCache."""
         cache = self.cache
         self._last_assumptions = list(extra)
+        self._elided_model = None
         key = cache.key_for(self.assertions() + list(extra))
         entry = cache.lookup(key)
         self.stats.checks += 1
@@ -197,10 +257,22 @@ class Solver:
             self.stats.cache_time_saved += entry.solve_time
         else:
             self.stats.cache_misses += 1
-            t0 = time.perf_counter()
-            entry = cache.solve(key)
-            self.stats.solve_time += time.perf_counter() - t0
-            cache.store(key, entry)
+            entry = None
+            if self.elider is not None:
+                # UNSAT-only elision (sat_ok=False): an "unsat" verdict
+                # is answer-identical to what a canonical solve would
+                # return, so storing it keeps the cache history-free.
+                status, _witness = self.elider.try_answer(key.terms)
+                if status == "unsat":
+                    entry = cache.store_elided(key, "unsat")
+            if entry is None:
+                t0 = time.perf_counter()
+                entry = cache.solve(key)
+                self.stats.solve_time += time.perf_counter() - t0
+                self.stats.sat_solves += 1
+                cache.store(key, entry)
+                if self.elider is not None and entry.status == "unsat":
+                    self.elider.note_unsat(key.terms)
         if entry.status == "sat":
             self.stats.sat_answers += 1
             # Rebind the index-keyed cached model to this query's own
@@ -222,6 +294,14 @@ class Solver:
             m = self._cached_model
             if m is None:
                 raise RuntimeError("model() requires a preceding sat check")
+            if variables is None:
+                return m
+            return Model({v: m[v] for v in variables})
+        if self._elided_model is not None:
+            # The last check was answered by the elider; its witness is
+            # the model (unmentioned variables read as zero/False, which
+            # Model's lookup default already provides).
+            m = Model(dict(self._elided_model))
             if variables is None:
                 return m
             return Model({v: m[v] for v in variables})

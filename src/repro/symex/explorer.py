@@ -68,6 +68,19 @@ class ExplorationStats:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_time_saved_s = 0.0
+        # Query elision (both solvers combined; see smt/elide.py).
+        self.sat_solves = 0
+        self.elide_hits_model = 0
+        self.elide_hits_rewrite = 0
+        self.elide_hits_subsume = 0
+        self.elide_misses = 0
+        self.rewrite_time_s = 0.0
+        self.elide_model_evictions = 0
+        self.elide_unsat_evictions = 0
+        # Pruning-solver-only view, for the "fraction of incremental
+        # feasibility checks answered without a SAT solve" headline.
+        self.feasibility_checks = 0
+        self.feasibility_elided = 0
 
     def as_dict(self):
         return dict(self.__dict__)
@@ -136,10 +149,20 @@ class Explorer:
         # unconstrained control-plane values get random (seeded)
         # preferred assignments instead of the solver's defaults.
         self.randomize_values = config.randomize_values
-        self.solver = Solver()  # incremental: feasibility pruning only
+        # Incremental solver: feasibility pruning only — unless
+        # solve_cache is off, in which case it doubles as the model
+        # solver and full elision would let cached witnesses reach test
+        # output; elision is therefore gated on solve_cache so the
+        # elide-on and elide-off suites stay identical.
+        self.solver = Solver(elide=config.elide and config.solve_cache,
+                             elide_models=config.elide_models,
+                             elide_unsat=config.elide_unsat)
         if config.solve_cache:
             self.solve_cache = SolveCache(capacity=config.cache_capacity)
-            self.model_solver = Solver(cache=self.solve_cache)
+            self.model_solver = Solver(cache=self.solve_cache,
+                                       elide=config.elide,
+                                       elide_models=config.elide_models,
+                                       elide_unsat=config.elide_unsat)
         else:
             self.solve_cache = None
             self.model_solver = self.solver
@@ -336,10 +359,27 @@ class Explorer:
         st = self.stats
         ms = self.model_solver.stats
         ps = self.solver.stats
-        st.solver_checks = ms.checks + (ps.checks if ps is not ms else 0)
+        distinct = ps is not ms
+        st.solver_checks = ms.checks + (ps.checks if distinct else 0)
         st.cache_hits = ms.cache_hits
         st.cache_misses = ms.cache_misses
         st.cache_time_saved_s = ms.cache_time_saved
+        for field in ("sat_solves", "elide_hits_model", "elide_hits_rewrite",
+                      "elide_hits_subsume", "elide_misses", "rewrite_time_s",
+                      "elide_model_evictions", "elide_unsat_evictions"):
+            value = getattr(ms, field)
+            if distinct:
+                value += getattr(ps, field)
+            setattr(st, field, value)
+        # Headline metric: of the incremental feasibility-pruning
+        # checks, how many never reached a SAT solve?  Only meaningful
+        # when the pruning solver is its own instance.
+        if distinct:
+            st.feasibility_checks = ps.checks
+            st.feasibility_elided = ps.elide_hits
+        else:
+            st.feasibility_checks = 0
+            st.feasibility_elided = 0
 
     def generate(self, n: int | None = None) -> list[AbstractTestCase]:
         """Convenience: collect up to ``n`` tests into a list."""

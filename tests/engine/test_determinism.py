@@ -16,8 +16,8 @@ PAIRS = [("fig1a", "v1model"), ("match_kinds", "v1model")]
 JOBS = (1, 2, 4)
 
 
-def _suite_bytes(jobs: int) -> bytes:
-    config = TestGenConfig(seed=5, max_tests=8)
+def _suite_bytes(jobs: int, **overrides) -> bytes:
+    config = TestGenConfig(seed=5, max_tests=8, **overrides)
     results = generate_suite(PAIRS, jobs=jobs, config=config)
     backend = get_backend("stf")
     return "\n===\n".join(
@@ -38,6 +38,14 @@ def test_generate_suite_byte_identical_across_jobs(reference, jobs):
 def test_reference_run_is_nonempty(reference):
     # Guards against the identity holding vacuously.
     assert reference.count(b"packet") >= 2
+
+
+@pytest.mark.parametrize("jobs", JOBS)
+def test_elision_on_and_off_emit_identical_suites(reference, jobs):
+    """Query elision may change how answers are found, never which
+    tests come out: the elide-off suite must be byte-identical to the
+    (elide-on by default) reference, at every worker count."""
+    assert _suite_bytes(jobs, elide=False) == reference
 
 
 def test_per_program_results_align(reference):

@@ -1,0 +1,70 @@
+"""Perf-regression smoke test for the solver hot path.
+
+Pins the query-elision pipeline's effectiveness on a fixed mid-size
+program so later PRs cannot silently regress it: on ``middleblock``
+with a fixed seed and test cap, the fraction of incremental
+feasibility checks answered without a SAT solve must stay above a
+floor, and the total number of real SAT solves below a recorded
+ceiling.
+
+The thresholds are deliberately slack against the measured values
+(~87% elided, 60 SAT solves at recording time) — the test exists to
+catch the pipeline being disconnected or defeated, not to flake on
+noise.  Counters, not wall-clock, so CI speed never matters.
+
+Run just this guard with ``pytest -m perfsmoke``.
+"""
+
+import pytest
+
+from repro import TestGen, TestGenConfig, load_program
+from repro.targets import get_target
+
+PROGRAM = "middleblock"
+SEED = 1
+MAX_TESTS = 60
+
+# Recorded on the fixed workload above at PR-3 time: 84/96 feasibility
+# checks elided, 60 real SAT solves (276 solver checks in total).
+ELIDED_FRACTION_FLOOR = 0.50
+SAT_SOLVE_CEILING = 90
+
+
+@pytest.fixture(scope="module")
+def stats():
+    config = TestGenConfig(seed=SEED, max_tests=MAX_TESTS)
+    gen = TestGen(load_program(PROGRAM), target=get_target("v1model"),
+                  config=config)
+    result = gen.run()
+    assert len(result.tests) == MAX_TESTS
+    return result.stats
+
+
+@pytest.mark.perfsmoke
+def test_feasibility_elision_fraction_above_floor(stats):
+    assert stats.feasibility_checks > 0
+    fraction = stats.feasibility_elided / stats.feasibility_checks
+    assert fraction >= ELIDED_FRACTION_FLOOR, (
+        f"only {stats.feasibility_elided}/{stats.feasibility_checks} "
+        f"({100 * fraction:.1f}%) of feasibility checks were elided; "
+        f"floor is {100 * ELIDED_FRACTION_FLOOR:.0f}%"
+    )
+
+
+@pytest.mark.perfsmoke
+def test_total_sat_solves_below_ceiling(stats):
+    assert stats.sat_solves <= SAT_SOLVE_CEILING, (
+        f"{stats.sat_solves} SAT solves on the fixed workload; "
+        f"recorded ceiling is {SAT_SOLVE_CEILING} — the solver hot "
+        f"path has regressed"
+    )
+
+
+@pytest.mark.perfsmoke
+def test_elision_bookkeeping_is_consistent(stats):
+    # Every check is answered by exactly one of: cache hit, elision
+    # layer, or a real solve.
+    elided = (stats.elide_hits_model + stats.elide_hits_rewrite
+              + stats.elide_hits_subsume)
+    assert stats.solver_checks == stats.cache_hits + elided + stats.sat_solves
+    assert stats.feasibility_elided <= stats.feasibility_checks

@@ -146,6 +146,64 @@ def test_renamed_hit_rebinds_model_to_new_variables(constraints):
     assert replay.check() == "sat"
 
 
+# ---------------------------------------------------------------------------
+# LRU eviction order under alpha-renamed keys
+# ---------------------------------------------------------------------------
+
+def _distinct_sets(n):
+    """n constraint sets with pairwise-distinct canonical keys."""
+    a = _var(0)
+    return [[T.eq(a, T.bv_const(i, WIDTH))] for i in range(n)]
+
+
+@given(
+    capacity=st.integers(1, 4),
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(0, 5), st.booleans()),
+        min_size=1, max_size=30,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_lru_eviction_order_is_alpha_invariant(capacity, ops):
+    """Randomized store/lookup sequences against a capacity-bounded
+    cache, mirrored by a reference OrderedDict LRU.  Lookups go through
+    *alpha-renamed twins* of the stored sets, so the test fails if
+    recency bookkeeping (or eviction) ever keys on variable names
+    instead of the canonical template.
+
+    ``ops`` entries are ``(is_store, set_index, use_renamed)``.
+    """
+    from collections import OrderedDict
+
+    sets = _distinct_sets(6)
+    cache = SolveCache(capacity=capacity)
+    reference = OrderedDict()  # canon -> None, most recent last
+    evictions = 0
+    for is_store, idx, use_renamed in ops:
+        terms = sets[idx]
+        if use_renamed:
+            terms = [_rename(t) for t in terms]
+        key = cache.key_for(terms)
+        if is_store:
+            if key.canon not in reference and len(reference) == capacity:
+                reference.popitem(last=False)
+                evictions += 1
+            reference[key.canon] = None
+            reference.move_to_end(key.canon)
+            cache.store(key, cache.solve(key))
+        else:
+            hit = cache.lookup(key)
+            assert (hit is not None) == (key.canon in reference), (
+                f"cache and reference disagree on {idx} "
+                f"(renamed={use_renamed})"
+            )
+            if hit is not None:
+                reference.move_to_end(key.canon)
+    # Same survivors, same LRU order, same eviction count.
+    assert [k.canon for k in cache._entries] == list(reference)
+    assert cache.evictions == evictions
+
+
 @given(constraint_sets)
 @settings(max_examples=30, deadline=None)
 def test_model_values_keyed_by_index_not_name(constraints):

@@ -1,8 +1,10 @@
 """Unit tests for concrete term evaluation."""
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import given, settings
 
-from repro.smt import EvaluationError, evaluate, terms as T
+from repro.smt import EvaluationError, all_hold, evaluate, holds, terms as T
 
 
 def test_constants():
@@ -78,3 +80,78 @@ def test_ite_and_concat():
     assert evaluate(T.ite_bv(p, a, b), {p: True}) == 0xAB
     assert evaluate(T.concat(a, b)) == 0xABCD
     assert evaluate(T.extract(T.concat(a, b), 15, 8)) == 0xAB
+
+
+# ---------------------------------------------------------------------------
+# holds / all_hold (the elision hot path)
+# ---------------------------------------------------------------------------
+
+def test_holds_defaults_unbound_to_zero():
+    a = T.bv_var("ev_h", 8)
+    p = T.bool_var("ev_hp")
+    assert holds(T.eq(a, T.bv_const(0, 8))) is True
+    assert holds(T.eq(a, T.bv_const(1, 8))) is False
+    assert holds(p) is False
+    assert holds(T.not_(p)) is True
+
+
+def test_holds_short_circuits_deep_chains():
+    # Alternating and/or nesting 4000 deep: a recursive evaluator
+    # would blow the stack; the iterative one must not.
+    a = T.bv_var("ev_hd", 8)
+    truthy = T.eq(a, T.bv_const(1, 8))
+    t = truthy
+    for _ in range(2000):
+        t = T.and_(T.or_(t, T.not_(truthy)), truthy)
+    assert holds(t, {a: 1}) is True
+    assert holds(t, {a: 2}) is False
+
+
+def test_all_hold_matches_individual_holds():
+    a, b = T.bv_var("ev_aa", 8), T.bv_var("ev_ab", 8)
+    conjuncts = [
+        T.ult(a, T.bv_const(10, 8)),
+        T.eq(b, T.bv_const(3, 8)),
+        T.eq(T.bv_add(a, b), T.bv_const(8, 8)),
+    ]
+    env = {a: 5, b: 3}
+    assert all_hold(conjuncts, env) is True
+    assert all_hold(conjuncts, {a: 5, b: 4}) is False
+
+
+_HVARS = [T.bv_var(n, 8) for n in ("hx", "hy", "hz")]
+
+
+@st.composite
+def _bool_terms(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        kind = draw(st.sampled_from(["eq", "ult", "eq_add"]))
+        x = draw(st.sampled_from(_HVARS))
+        y = draw(st.sampled_from(_HVARS))
+        c = T.bv_const(draw(st.integers(0, 255)), 8)
+        if kind == "eq":
+            return T.eq(x, c)
+        if kind == "ult":
+            return T.ult(x, y)
+        return T.eq(T.bv_add(x, y), c)
+    op = draw(st.sampled_from(["and", "or", "not"]))
+    a = draw(_bool_terms(depth=depth - 1))
+    if op == "not":
+        return T.not_(a)
+    b = draw(_bool_terms(depth=depth - 1))
+    return T.and_(a, b) if op == "and" else T.or_(a, b)
+
+
+@given(
+    t=_bool_terms(),
+    xv=st.integers(0, 255),
+    yv=st.integers(0, 255),
+    zv=st.integers(0, 255),
+)
+@settings(max_examples=120, deadline=None)
+def test_holds_agrees_with_evaluate_on_property_corpus(t, xv, yv, zv):
+    """On fully bound assignments, the short-circuit path must return
+    exactly what full-DAG evaluation returns."""
+    env = dict(zip(_HVARS, (xv, yv, zv)))
+    assert holds(t, env) == evaluate(t, env)
+    assert all_hold([t], env) == evaluate(t, env)

@@ -1,0 +1,188 @@
+"""Unit + property tests for the word-level preprocessing layer.
+
+The contract under test (see ``repro.smt.preprocess``): ``"unsat"``
+verdicts rest on precise word-level arguments, ``"sat"`` verdicts carry
+a verified witness, and *every* decided verdict agrees with a real
+solver on the same conjunct set.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.smt import Solver, preprocess_conjuncts, terms as T
+from repro.smt.evaluate import all_hold
+
+WIDTH = 8
+
+
+def _v(name):
+    return T.bv_var(f"pp_{name}", WIDTH)
+
+
+def _c(value, width=WIDTH):
+    return T.bv_const(value, width)
+
+
+# ---------------------------------------------------------------------------
+# Constant folding / equality substitution
+# ---------------------------------------------------------------------------
+
+def test_empty_set_is_sat():
+    res = preprocess_conjuncts([])
+    assert res.status == "sat"
+    assert res.witness == {}
+
+
+def test_const_false_conjunct_is_unsat():
+    a = _v("cf")
+    res = preprocess_conjuncts([T.eq(a, _c(1)), T.false()])
+    assert res.status == "unsat"
+
+
+def test_binding_propagates_and_folds():
+    a, b = _v("bp_a"), _v("bp_b")
+    # a == 5 makes ult(a, b) fold into a single-var atom on b.
+    res = preprocess_conjuncts([T.eq(a, _c(5)), T.ult(a, b)])
+    assert res.status == "sat"
+    assert res.witness[a] == 5
+    assert res.witness[b] > 5
+
+
+def test_conflicting_bindings_are_unsat():
+    a = _v("cb")
+    res = preprocess_conjuncts([T.eq(a, _c(3)), T.eq(a, _c(4))])
+    assert res.status == "unsat"
+
+
+def test_binding_contradicting_later_conjunct_is_unsat():
+    a = _v("bc")
+    res = preprocess_conjuncts([T.eq(a, _c(3)), T.ult(a, _c(2))])
+    assert res.status == "unsat"
+
+
+def test_bool_var_bindings():
+    p, q = T.bool_var("pp_p"), T.bool_var("pp_q")
+    res = preprocess_conjuncts([p, T.not_(q)])
+    assert res.status == "sat"
+    assert res.witness[p] is True and res.witness[q] is False
+    res = preprocess_conjuncts([p, T.not_(p)])
+    assert res.status == "unsat"
+
+
+# ---------------------------------------------------------------------------
+# Interval / bit-mask domains
+# ---------------------------------------------------------------------------
+
+def test_interval_conflict_is_unsat():
+    a = _v("iv")
+    res = preprocess_conjuncts([T.ult(a, _c(5)), T.uge(a, _c(10))])
+    assert res.status == "unsat"
+
+
+def test_interval_witness_respects_bounds():
+    a = _v("iw")
+    res = preprocess_conjuncts([T.uge(a, _c(10)), T.ult(a, _c(12))])
+    assert res.status == "sat"
+    assert 10 <= res.witness[a] < 12
+
+
+def test_exhausted_disequalities_are_unsat():
+    a = T.bv_var("pp_ex", 2)
+    conjuncts = [T.ne(a, T.bv_const(i, 2)) for i in range(4)]
+    res = preprocess_conjuncts(conjuncts)
+    assert res.status == "unsat"
+
+
+def test_disequalities_leave_a_witness():
+    a = T.bv_var("pp_dq", 2)
+    conjuncts = [T.ne(a, T.bv_const(i, 2)) for i in range(3)]
+    res = preprocess_conjuncts(conjuncts)
+    assert res.status == "sat"
+    assert res.witness[a] == 3
+
+
+def test_mask_facts_combine():
+    a = _v("mk")
+    res = preprocess_conjuncts([
+        T.eq(T.bv_and(a, _c(0xF0)), _c(0x30)),
+        T.eq(T.bv_and(a, _c(0x0F)), _c(0x05)),
+    ])
+    assert res.status == "sat"
+    assert res.witness[a] & 0xF0 == 0x30
+    assert res.witness[a] & 0x0F == 0x05
+
+
+def test_mask_conflict_is_unsat():
+    a = _v("mc")
+    res = preprocess_conjuncts([
+        T.eq(T.bv_and(a, _c(0xF0)), _c(0x30)),
+        T.eq(T.bv_and(a, _c(0x30)), _c(0x00)),
+    ])
+    assert res.status == "unsat"
+
+
+def test_mask_value_outside_mask_is_unsat():
+    a = _v("mo")
+    res = preprocess_conjuncts([T.eq(T.bv_and(a, _c(0x0F)), _c(0x10))])
+    assert res.status == "unsat"
+
+
+def test_unparsed_conjuncts_block_sat_but_not_unsat():
+    a, b = _v("up_a"), _v("up_b")
+    hard = T.eq(T.bv_add(a, b), _c(7))  # not a single-var atom
+    assert preprocess_conjuncts([hard]).status is None
+    # ...but a single-variable contradiction still decides the set.
+    res = preprocess_conjuncts([hard, T.ult(a, _c(1)), T.uge(a, _c(2))])
+    assert res.status == "unsat"
+
+
+def test_sat_witness_is_verified_against_originals():
+    res = preprocess_conjuncts([T.uge(_v("vw"), _c(100))])
+    assert res.status == "sat"
+    assert all_hold([T.uge(_v("vw"), _c(100))], res.witness)
+
+
+# ---------------------------------------------------------------------------
+# Agreement with the real solver
+# ---------------------------------------------------------------------------
+
+@st.composite
+def _atoms(draw):
+    kind = draw(st.sampled_from(
+        ["eq_const", "ne_const", "ult_const", "uge_const", "mask",
+         "eq_var", "ult_var", "eq_add"]))
+    names = ("a", "b", "c")
+    x = _v(names[draw(st.integers(0, 2))])
+    y = _v(names[draw(st.integers(0, 2))])
+    c = _c(draw(st.integers(0, 255)))
+    if kind == "eq_const":
+        return T.eq(x, c)
+    if kind == "ne_const":
+        return T.ne(x, c)
+    if kind == "ult_const":
+        return T.ult(x, c)
+    if kind == "uge_const":
+        return T.uge(x, c)
+    if kind == "mask":
+        m = _c(draw(st.integers(0, 255)))
+        return T.eq(T.bv_and(x, m), c)
+    if kind == "eq_var":
+        return T.eq(x, y)
+    if kind == "ult_var":
+        return T.ult(x, y)
+    return T.eq(T.bv_add(x, y), c)
+
+
+@given(st.lists(_atoms(), min_size=1, max_size=6))
+@settings(max_examples=120, deadline=None)
+def test_decided_verdicts_agree_with_solver(conjuncts):
+    res = preprocess_conjuncts(conjuncts)
+    if res.status is None:
+        return  # undecided is always safe
+    solver = Solver()
+    for t in conjuncts:
+        solver.add(t)
+    assert solver.check() == res.status
+    if res.status == "sat":
+        # The witness really satisfies every original conjunct.
+        assert all_hold(conjuncts, res.witness)
