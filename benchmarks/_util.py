@@ -8,8 +8,42 @@ inspectable after a ``pytest benchmarks/ --benchmark-only`` run.
 from __future__ import annotations
 
 import pathlib
+import resource
+import sys
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def peak_rss_mb() -> float:
+    """The process's peak resident set size so far, in MiB.
+
+    ``ru_maxrss`` is a high-water mark (kilobytes on Linux, bytes on
+    macOS): it only ever grows, so per-row readings show which row
+    first pushed the process to its peak, not per-row footprints.
+    psutil is deliberately not used — the benchmark harness must run on
+    the bare stdlib.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+def traced_peak_mb(fn):
+    """Run ``fn`` under tracemalloc; returns ``(result, peak_mib)``.
+
+    tracemalloc roughly doubles allocation cost, so never wrap a row
+    whose wall-clock is being reported — use a dedicated memory pass.
+    """
+    import tracemalloc
+
+    tracemalloc.start()
+    try:
+        result = fn()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak / (1024 * 1024)
 
 
 def report(name: str, lines: list[str]) -> str:

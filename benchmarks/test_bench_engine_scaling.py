@@ -44,6 +44,10 @@ def _campaign(program, config):
         "elided": (stats["elide_hits_model"] + stats["elide_hits_rewrite"]
                    + stats["elide_hits_subsume"]),
         "sat_solves": stats["sat_solves"],
+        "blast_hits": stats["blast_cache_hits"],
+        "blast_misses": stats["blast_cache_misses"],
+        "blast_replayed": stats["blast_clauses_replayed"],
+        "intern_hits": stats["intern_hits"],
         "suite": get_backend("stf").render_suite(tests),
         "coverage": gen.last_run.coverage.statement_percent,
     }
@@ -55,6 +59,7 @@ def test_engine_scaling(benchmark):
         base = TestGenConfig(seed=1, max_tests=MAX_TESTS)
         return {
             "cache off": _campaign(program, base.replace(solve_cache=False)),
+            "no intern": _campaign(program, base.replace(intern=False)),
             "cache on ": _campaign(program, base),
             "jobs=4   ": _campaign(program, base.replace(jobs=4)),
         }
@@ -67,17 +72,20 @@ def test_engine_scaling(benchmark):
         f"program: {PROGRAM}, max_tests={MAX_TESTS}, seed=1, "
         f"cpus={os.cpu_count()}",
         "",
-        "| Config    | Tests | Wall time | Speedup | Cache hits | Hit rate | Time saved | Elided | SAT solves |",
+        "| Config    | Tests | Wall time | Speedup | Cache hits | Hit rate | Time saved | Elided | SAT solves | Blast hits | Clauses replayed |",
     ]
     for label, r in results.items():
         queries = r["hits"] + r["misses"]
         rate = 100.0 * r["hits"] / queries if queries else 0.0
         speedup = baseline / r["wall_s"] if r["wall_s"] else 0.0
+        blasts = r["blast_hits"] + r["blast_misses"]
+        brate = 100.0 * r["blast_hits"] / blasts if blasts else 0.0
         lines.append(
             f"| {label} | {r['tests']:5d} | {r['wall_s']:8.2f}s | "
             f"{speedup:6.2f}x | {r['hits']:10d} | {rate:7.1f}% | "
             f"{r['saved_s']:9.2f}s | {r['elided']:6d} | "
-            f"{r['sat_solves']:10d} |"
+            f"{r['sat_solves']:10d} | {r['blast_hits']:4d} ({brate:4.1f}%) | "
+            f"{r['blast_replayed']:16d} |"
         )
     lines.append("")
     lines.append("cached rows are byte-identical suites (determinism check).")
@@ -85,12 +93,20 @@ def test_engine_scaling(benchmark):
 
     cached = results["cache on "]
     parallel = results["jobs=4   "]
+    nointern = results["no intern"]
     # The acceptance bar: a measurable hit rate and genuine savings.
     assert cached["hits"] > 0
     assert cached["saved_s"] > 0
     assert parallel["hits"] > 0
+    # The shared blast cache must be live on every canonical-cache run
+    # (per worker process under jobs=4), and dead with interning off.
+    assert cached["blast_hits"] > 0 and cached["blast_replayed"] > 0
+    assert parallel["blast_hits"] > 0
+    assert nointern["blast_hits"] == 0 and nointern["intern_hits"] == 0
     # Every configuration explores the same paths.
-    assert cached["tests"] == parallel["tests"] == results["cache off"]["tests"]
-    assert cached["coverage"] == parallel["coverage"]
-    # Determinism: jobs=4 emits the byte-identical suite.
+    assert (cached["tests"] == parallel["tests"] == nointern["tests"]
+            == results["cache off"]["tests"])
+    assert cached["coverage"] == parallel["coverage"] == nointern["coverage"]
+    # Determinism: jobs=4 and intern-off emit the byte-identical suite.
     assert parallel["suite"] == cached["suite"]
+    assert nointern["suite"] == cached["suite"]

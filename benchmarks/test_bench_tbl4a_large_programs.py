@@ -8,17 +8,19 @@ corpus analogues and assert the coverage *ordering*:
 
     middleblock (100%)  >  up4 (<100%, >=85%)  >  switch (partial)
 
-Each row now runs twice — query elision on (default) and off — so the
-report doubles as the elision-pipeline acceptance measurement: the
-elide-off pass reproduces the pre-elision code path on the same
-machine, and the elide-on pass must answer a healthy fraction of the
-incremental feasibility checks without a SAT solve *and* finish the
-whole campaign faster.
+Each row now runs three times — defaults, query elision off, and term
+interning off — so the report doubles as the acceptance measurement
+for both solver-avoidance layers: the ablation passes reproduce the
+pre-optimization code paths on the same machine, per-row tests and
+coverage must be identical in all three (neither layer may change what
+comes out), and the default pass must finish the campaign faster.
+A separate tracemalloc pass on the first row records allocation peaks
+(tracemalloc distorts timing, so it never wraps a timed row).
 """
 
 import time
 
-from _util import once, report
+from _util import once, peak_rss_mb, report, traced_peak_mb
 
 from repro import TestGen, TestGenConfig, load_program
 from repro.targets import get_target
@@ -30,8 +32,8 @@ ROWS = [
 ]
 
 
-def _row(name, target_name, cap, elide):
-    config = TestGenConfig(seed=1, max_tests=cap, elide=elide)
+def _row(name, target_name, cap, *, elide=True, intern=True):
+    config = TestGenConfig(seed=1, max_tests=cap, elide=elide, intern=intern)
     gen = TestGen(load_program(name), target=get_target(target_name),
                   config=config)
     t0 = time.perf_counter()
@@ -49,43 +51,74 @@ def _row(name, target_name, cap, elide):
         "sat_solves": stats.sat_solves,
         "feas_checks": stats.feasibility_checks,
         "feas_elided": stats.feasibility_elided,
+        "intern_hits": stats.intern_hits,
+        "intern_misses": stats.intern_misses,
+        "blast_hits": stats.blast_cache_hits,
+        "blast_misses": stats.blast_cache_misses,
+        "rss_mb": peak_rss_mb(),
     }
 
 
 def test_tbl4a_large_programs(benchmark):
     def run():
-        return {
-            "on": [_row(*spec, elide=True) for spec in ROWS],
-            "off": [_row(*spec, elide=False) for spec in ROWS],
+        out = {
+            "on": [_row(*spec) for spec in ROWS],
+            "elide_off": [_row(*spec, elide=False) for spec in ROWS],
+            "intern_off": [_row(*spec, intern=False) for spec in ROWS],
         }
+        # Memory pass (first row only): tracemalloc halves throughput,
+        # so it gets its own untimed runs.
+        _, out["traced_on_mb"] = traced_peak_mb(lambda: _row(*ROWS[0]))
+        _, out["traced_off_mb"] = traced_peak_mb(
+            lambda: _row(*ROWS[0], intern=False))
+        return out
 
     rows = once(benchmark, run)
     lines = [
-        "| P4 program    | Arch.   | Valid tests | Time (elide) | "
-        "Time (off) | Stmt. cov. | Feas. elided |"
+        "| P4 program    | Arch.   | Valid tests | Time (on) | "
+        "Time (-elide) | Time (-intern) | Stmt. cov. | Feas. elided | "
+        "Blast hits | Peak RSS |"
     ]
-    for r_on, r_off in zip(rows["on"], rows["off"]):
+    for r_on, r_noel, r_noint in zip(rows["on"], rows["elide_off"],
+                                     rows["intern_off"]):
         cap_note = "" if r_on["name"] != "switch_lite" else " (capped)"
         frac = (100.0 * r_on["feas_elided"] / r_on["feas_checks"]
                 if r_on["feas_checks"] else 0.0)
+        blasts = r_on["blast_hits"] + r_on["blast_misses"]
+        brate = 100.0 * r_on["blast_hits"] / blasts if blasts else 0.0
         lines.append(
             f"| {r_on['name']:13s} | {r_on['arch']:7s} | "
-            f"{r_on['tests']:11d} | {r_on['time_s']:11.1f}s | "
-            f"{r_off['time_s']:9.1f}s | {r_on['coverage']:9.1f}% | "
+            f"{r_on['tests']:11d} | {r_on['time_s']:8.1f}s | "
+            f"{r_noel['time_s']:12.1f}s | {r_noint['time_s']:13.1f}s | "
+            f"{r_on['coverage']:9.1f}% | "
             f"{r_on['feas_elided']:5d}/{r_on['feas_checks']:<5d} "
-            f"({frac:4.1f}%) |{cap_note}"
+            f"({frac:4.1f}%) | {r_on['blast_hits']:5d} ({brate:4.1f}%) | "
+            f"{r_on['rss_mb']:6.1f}M |{cap_note}"
         )
     wall_on = sum(r["time_s"] for r in rows["on"])
-    wall_off = sum(r["time_s"] for r in rows["off"])
+    wall_noel = sum(r["time_s"] for r in rows["elide_off"])
+    wall_noint = sum(r["time_s"] for r in rows["intern_off"])
     feas_checks = sum(r["feas_checks"] for r in rows["on"])
     feas_elided = sum(r["feas_elided"] for r in rows["on"])
+    intern_hits = sum(r["intern_hits"] for r in rows["on"])
+    intern_total = intern_hits + sum(r["intern_misses"] for r in rows["on"])
     fraction = feas_elided / feas_checks if feas_checks else 0.0
     lines.append("")
     lines.append(
         f"query elision: {feas_elided}/{feas_checks} incremental "
         f"feasibility checks answered without a SAT solve "
-        f"({100.0 * fraction:.1f}%); end-to-end wall "
-        f"{wall_on:.2f}s (elide on) vs {wall_off:.2f}s (elide off)"
+        f"({100.0 * fraction:.1f}%)"
+    )
+    lines.append(
+        f"interning: {intern_hits}/{intern_total} constructions pooled "
+        f"({100.0 * intern_hits / intern_total if intern_total else 0.0:.1f}%); "
+        f"end-to-end wall {wall_on:.2f}s (defaults) vs "
+        f"{wall_noel:.2f}s (no elide) vs {wall_noint:.2f}s (no intern)"
+    )
+    lines.append(
+        f"tracemalloc peak, {ROWS[0][0]} row: {rows['traced_on_mb']:.1f} MiB "
+        f"(intern on) vs {rows['traced_off_mb']:.1f} MiB (intern off); "
+        f"process peak RSS {peak_rss_mb():.1f} MiB"
     )
     lines.append("")
     lines.append("paper: middleblock 100%, up4 95% (meter RED uncoverable),")
@@ -101,15 +134,24 @@ def test_tbl4a_large_programs(benchmark):
         "switch_lite must not be exhaustible within the cap"
     )
     assert mb["tests"] > 100
-    # Elision changes how answers are found, never which tests come out.
-    for r_on, r_off in zip(rows["on"], rows["off"]):
-        assert r_on["tests"] == r_off["tests"]
-        assert r_on["coverage"] == r_off["coverage"]
+    # Neither ablation may change what comes out — only how fast.
+    for r_on, r_noel, r_noint in zip(rows["on"], rows["elide_off"],
+                                     rows["intern_off"]):
+        assert r_on["tests"] == r_noel["tests"] == r_noint["tests"]
+        assert r_on["coverage"] == r_noel["coverage"] == r_noint["coverage"]
     # The PR-3 acceptance bar: >=40% of incremental feasibility checks
     # elided, and the whole campaign faster than the elide-off baseline.
     assert fraction >= 0.40, (
         f"only {100.0 * fraction:.1f}% of feasibility checks elided"
     )
-    assert wall_on < wall_off, (
-        f"elision must pay for itself: {wall_on:.2f}s vs {wall_off:.2f}s"
+    assert wall_on < wall_noel, (
+        f"elision must pay for itself: {wall_on:.2f}s vs {wall_noel:.2f}s"
     )
+    # The PR-5 acceptance bar: hash-consing + the shared blast cache
+    # beat the intern-off baseline on aggregate wall-clock, with a
+    # live blast cache on every row.
+    assert wall_on < wall_noint, (
+        f"interning must pay for itself: {wall_on:.2f}s vs {wall_noint:.2f}s"
+    )
+    for r_on in rows["on"]:
+        assert r_on["blast_hits"] > 0, f"blast cache dead on {r_on['name']}"

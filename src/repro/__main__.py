@@ -52,6 +52,13 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="disable the solver query-elision pipeline "
                           "(ablation; answers and tests are identical "
                           "either way)")
+    gen.add_argument("--no-intern", action="store_true",
+                     help="disable hash-consed term interning and the "
+                          "shared bit-blast cache (ablation; emitted "
+                          "suites are byte-identical either way)")
+    gen.add_argument("--intern-stats", action="store_true",
+                     help="print intern-pool / blast-cache / COW-state "
+                          "counters to stderr after the run")
     gen.add_argument("--stats-json", default=None, metavar="PATH",
                      help="dump the run's full solver/engine stats "
                           "(including elision counters) as JSON")
@@ -93,6 +100,9 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--stats-json", default=None, metavar="PATH",
                       help="dump per-case and campaign-wide solver "
                            "stats as JSON")
+    fuzz.add_argument("--intern-stats", action="store_true",
+                      help="print campaign-wide intern-pool / "
+                           "blast-cache counters to stderr")
 
     sub.add_parser("list-programs", help="list the shipped P4 corpus")
     sub.add_parser("list-targets", help="list instantiated targets")
@@ -125,6 +135,7 @@ def cmd_generate(args) -> int:
         jobs=args.jobs,
         solve_cache=not args.no_solve_cache,
         elide=not args.no_elide,
+        intern=not args.no_intern,
     )
     oracle = TestGen(program, target=target, config=config)
     backend = get_backend(args.test_backend)
@@ -142,6 +153,8 @@ def cmd_generate(args) -> int:
         writer.close()
         sys.stdout.write("\n")
     print(oracle.last_run.coverage.report(), file=sys.stderr)
+    if args.intern_stats:
+        _print_intern_stats(oracle.last_run.stats.as_dict())
     if args.stats_json:
         run = oracle.last_run
         _dump_stats_json(args.stats_json, {
@@ -193,6 +206,8 @@ def cmd_fuzz(args) -> int:
 
     summary = run_fuzz_campaign(config, on_case=on_case)
     print(summary.report())
+    if args.intern_stats:
+        _print_intern_stats(summary.solver_stats())
     if args.stats_json:
         _dump_stats_json(args.stats_json, {
             "command": "fuzz",
@@ -205,6 +220,26 @@ def cmd_fuzz(args) -> int:
             "elapsed_s": summary.elapsed,
         })
     return 0 if summary.num_failed == 0 else 1
+
+
+def _print_intern_stats(stats: dict) -> None:
+    """Debug view of the hash-consing layers (``--intern-stats``)."""
+    hits = int(stats.get("intern_hits", 0))
+    misses = int(stats.get("intern_misses", 0))
+    total = hits + misses
+    rate = hits / total if total else 0.0
+    print(f"intern pool: {hits} hits / {misses} misses "
+          f"({rate:.1%} hit rate), {int(stats.get('intern_pool_size', 0))} "
+          "live terms", file=sys.stderr)
+    print(f"blast cache: {int(stats.get('blast_cache_hits', 0))} hits / "
+          f"{int(stats.get('blast_cache_misses', 0))} misses, "
+          f"{int(stats.get('blast_clauses_replayed', 0))} clauses replayed, "
+          f"{stats.get('blast_time_saved_s', 0.0):.3f}s saved",
+          file=sys.stderr)
+    print(f"cow state: {int(stats.get('state_clones', 0))} clones, "
+          f"{int(stats.get('path_cond_copies', 0))} path-cond copies, "
+          f"{int(stats.get('frame_cow_copies', 0))} frame copies",
+          file=sys.stderr)
 
 
 def _dump_stats_json(path: str, payload: dict) -> None:

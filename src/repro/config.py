@@ -62,6 +62,12 @@ class TestGenConfig:
             solver).
         elide_unsat: proven-UNSAT conjunct sets kept for subsumption
             (per solver).
+        intern: hash-cons terms in a process-wide weak pool (see
+            ``smt/terms.py``).  Enables the O(1) identity fast paths,
+            tid-keyed memo tables and the shared bit-blast cache.
+            Interning never changes any emitted test — equality stays
+            structural either way — only how fast terms compare and how
+            much CNF is rebuilt; ``False`` is the ablation baseline.
     """
 
     __test__ = False  # not a pytest class, despite the name
@@ -83,6 +89,7 @@ class TestGenConfig:
     elide: bool = True
     elide_models: int = 8
     elide_unsat: int = 64
+    intern: bool = True
 
     def replace(self, **overrides) -> "TestGenConfig":
         """A copy of this config with ``overrides`` applied."""

@@ -114,6 +114,13 @@ class CampaignSummary:
                 f"{int(elided)} elided, "
                 f"{int(stats.get('cache_hits', 0))} cache hits"
             )
+            lines.append(
+                f"  intern: {int(stats.get('intern_hits', 0))} pool hits, "
+                f"{int(stats.get('intern_misses', 0))} misses; "
+                f"blast cache: {int(stats.get('blast_cache_hits', 0))} hits, "
+                f"{int(stats.get('blast_clauses_replayed', 0))} clauses "
+                "replayed"
+            )
         for path in self.corpus_entries:
             lines.append(f"  reproducer: {path}")
         return "\n".join(lines)

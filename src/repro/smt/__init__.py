@@ -16,14 +16,21 @@ Public surface:
 """
 
 from . import terms
+from .bitblast import (SharedBlastCache, clear_shared_blast_cache,
+                       shared_blast_cache)
 from .cache import SolveCache
 from .elide import QueryElider
 from .evaluate import EvaluationError, all_hold, evaluate, holds
 from .preprocess import PreprocessResult, preprocess_conjuncts
 from .solver import Model, Solver, SolverStats
+from .terms import (clear_intern_pool, intern_stats, interning_enabled,
+                    reset_intern_stats, set_interning)
 
 __all__ = [
     "terms", "Solver", "Model", "SolverStats", "SolveCache",
     "evaluate", "holds", "all_hold", "EvaluationError",
     "QueryElider", "PreprocessResult", "preprocess_conjuncts",
+    "SharedBlastCache", "shared_blast_cache", "clear_shared_blast_cache",
+    "set_interning", "interning_enabled", "intern_stats",
+    "reset_intern_stats", "clear_intern_pool",
 ]

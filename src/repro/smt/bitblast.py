@@ -4,14 +4,203 @@ Each bitvector term maps to a list of SAT literals, least significant
 bit first; each boolean term maps to a single literal.  Results are
 cached per term (terms are hash-consed), so shared subterms are blasted
 exactly once — this is what makes the incremental solver facade cheap.
+
+:class:`SharedBlastCache` extends that within-solver sharing to
+*across* solver instances in one worker process.  Canonical cache-miss
+solves (:meth:`repro.smt.cache.SolveCache.solve`) each spin up a fresh
+solver and re-blast constraint sets that heavily overlap with previous
+misses; the shared cache memoizes, per asserted root term, the **exact
+sequence of SAT-solver operations** (``new_var``/``add_clause`` calls,
+in order) plus the blaster/gate cache entries the blast produced.  A
+later solver asserting the same root — after the same prefix of roots —
+replays that recording verbatim instead of re-walking the term DAG.
+
+Why a trie keyed by the assertion prefix, and why verbatim replay?
+CDCL answers (and therefore models, and therefore emitted tests)
+depend on variable numbering, clause order, and the level-0
+normalization ``add_clause`` applies against the current assignment.
+Replaying the recorded op sequence from an identical solver state
+reproduces an *identical* solver state — so a warm hit is bit-for-bit
+indistinguishable from cold blasting, and byte-identical suites are
+preserved by construction.  The trie's path (the sequence of roots
+asserted so far) is exactly the "identical prior state" precondition.
 """
 
 from __future__ import annotations
 
+import time
+from itertools import islice
+
 from .cnf import CnfBuilder
 from .terms import Term
 
-__all__ = ["BitBlaster"]
+__all__ = ["BitBlaster", "SharedBlastCache", "shared_blast_cache",
+           "clear_shared_blast_cache"]
+
+
+class _TrieNode:
+    """One prefix of asserted roots; ``delta`` is the recording for the
+    last root on the path (None until recorded or if over budget)."""
+
+    __slots__ = ("children", "delta")
+
+    def __init__(self):
+        self.children: dict[Term, _TrieNode] = {}
+        self.delta: _BlastDelta | None = None
+
+
+class _BlastDelta:
+    """Everything one root's cold blast did to the solver stack.
+
+    ``ops`` interleaves variable allocations (None) and clauses (tuples
+    of literals, pre-normalization) in original call order; the
+    ``*_items`` tuples are the cache entries appended during the blast,
+    in insertion order, so merging them reproduces the cold caches.
+    """
+
+    __slots__ = ("ops", "root_lit", "n_clauses", "gate_items", "bool_items",
+                 "bv_items", "varbit_items", "build_time")
+
+    def __init__(self, ops, root_lit, gate_items, bool_items, bv_items,
+                 varbit_items, build_time):
+        self.ops = ops
+        self.root_lit = root_lit
+        self.n_clauses = sum(1 for op in ops if op is not None)
+        self.gate_items = gate_items
+        self.bool_items = bool_items
+        self.bv_items = bv_items
+        self.varbit_items = varbit_items
+        self.build_time = build_time
+
+
+class _RecordingSat:
+    """Transparent SAT proxy that logs the op stream during a blast."""
+
+    __slots__ = ("inner", "ops")
+
+    def __init__(self, inner, ops: list):
+        self.inner = inner
+        self.ops = ops
+
+    def new_var(self) -> int:
+        self.ops.append(None)
+        return self.inner.new_var()
+
+    def add_clause(self, clause) -> None:
+        self.ops.append(tuple(clause))
+        self.inner.add_clause(clause)
+
+
+class SharedBlastCache:
+    """Process-wide replay trie shared by canonical sub-solvers.
+
+    ``max_nodes`` bounds trie breadth (beyond it, new prefixes detach
+    and fall back to cold blasting); ``max_ops`` bounds total recorded
+    ops (beyond it, new deltas are not stored but replay of existing
+    ones continues).  Neither bound affects results — only reuse.
+    """
+
+    def __init__(self, max_nodes: int = 65536, max_ops: int = 4_000_000):
+        self.root = _TrieNode()
+        self.max_nodes = max_nodes
+        self.max_ops = max_ops
+        self.nodes = 1
+        self.ops_stored = 0
+        self.hits = 0
+        self.misses = 0
+        self.clauses_replayed = 0
+        self.time_saved_s = 0.0
+
+    def descend(self, node: _TrieNode, term: Term) -> _TrieNode | None:
+        """Child of ``node`` for ``term``; None when the trie is full
+        (the caller detaches its cursor and cold-blasts from then on)."""
+        child = node.children.get(term)
+        if child is None:
+            if self.nodes >= self.max_nodes:
+                return None
+            child = _TrieNode()
+            node.children[term] = child
+            self.nodes += 1
+        return child
+
+    def blast_assert(self, node: _TrieNode, term: Term,
+                     blaster: "BitBlaster") -> int:
+        """Blast boolean ``term`` into ``blaster``'s solver, replaying
+        the recording at ``node`` if present (recording it otherwise).
+        Returns the root literal.  Requires that the blaster's solver
+        reached this point through this node's exact prefix."""
+        builder = blaster.b
+        delta = node.delta
+        if delta is not None:
+            self.hits += 1
+            t0 = time.perf_counter()
+            sat = builder.solver
+            for op in delta.ops:
+                if op is None:
+                    sat.new_var()
+                else:
+                    sat.add_clause(list(op))
+            builder._gate_cache.update(delta.gate_items)
+            blaster._bool_cache.update(delta.bool_items)
+            blaster._bv_cache.update(delta.bv_items)
+            blaster._var_bits.update(delta.varbit_items)
+            self.clauses_replayed += delta.n_clauses
+            self.time_saved_s += max(
+                0.0, delta.build_time - (time.perf_counter() - t0))
+            return delta.root_lit
+        self.misses += 1
+        g0 = len(builder._gate_cache)
+        b0 = len(blaster._bool_cache)
+        v0 = len(blaster._bv_cache)
+        vb0 = len(blaster._var_bits)
+        ops: list = []
+        orig = builder.solver
+        builder.solver = _RecordingSat(orig, ops)
+        t0 = time.perf_counter()
+        try:
+            lit = blaster.blast_bool(term)
+        finally:
+            builder.solver = orig
+        build_time = time.perf_counter() - t0
+        if self.ops_stored + len(ops) <= self.max_ops:
+            node.delta = _BlastDelta(
+                tuple(ops), lit,
+                tuple(islice(builder._gate_cache.items(), g0, None)),
+                tuple(islice(blaster._bool_cache.items(), b0, None)),
+                tuple(islice(blaster._bv_cache.items(), v0, None)),
+                tuple(islice(blaster._var_bits.items(), vb0, None)),
+                build_time,
+            )
+            self.ops_stored += len(ops)
+        return lit
+
+    def stats_dict(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / total) if total else 0.0,
+            "nodes": self.nodes,
+            "ops_stored": self.ops_stored,
+            "clauses_replayed": self.clauses_replayed,
+            "time_saved_s": self.time_saved_s,
+        }
+
+
+_SHARED: SharedBlastCache | None = None
+
+
+def shared_blast_cache() -> SharedBlastCache:
+    """The per-process shared blast cache (created on first use)."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = SharedBlastCache()
+    return _SHARED
+
+
+def clear_shared_blast_cache() -> None:
+    global _SHARED
+    _SHARED = None
 
 
 class BitBlaster:

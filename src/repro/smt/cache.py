@@ -34,17 +34,22 @@ and — more importantly — across processes:
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 
-from .terms import Term, free_vars
+from .terms import Term, free_vars, interning_enabled
 
 __all__ = ["SolveCache", "CacheEntry", "CacheKey", "canonical_string",
            "alpha_template"]
 
 # Full canonical serializations, memoized per (hash-consed) term object.
-_CANON: dict[Term, str] = {}
+# Weakly keyed so the memo never outlives the term: with the weak
+# intern pool, a strong Term-keyed dict here would silently pin every
+# canonicalized term (and its whole sub-DAG) for the process lifetime.
+_CANON: "weakref.WeakKeyDictionary[Term, str]" = weakref.WeakKeyDictionary()
 # Per-term alpha template: (name-free serialization, local var order).
-_ALPHA: dict[Term, tuple[str, tuple[Term, ...]]] = {}
+_ALPHA: "weakref.WeakKeyDictionary[Term, tuple[str, tuple[Term, ...]]]" = (
+    weakref.WeakKeyDictionary())
 
 
 def canonical_string(term: Term) -> str:
@@ -194,6 +199,11 @@ class SolveCache:
         self.evictions = 0
         self.elided_stores = 0
         self.time_saved = 0.0
+        # Shared-blast-cache effect across this cache's miss solves.
+        self.blast_hits = 0
+        self.blast_misses = 0
+        self.blast_clauses_replayed = 0
+        self.blast_time_saved = 0.0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -258,14 +268,24 @@ class SolveCache:
 
         Uses a fresh solver and asserts terms in key order, so the
         answer (including the model, stored by variable index) is a
-        pure function of the key.
+        pure function of the key.  When interning is on, the fresh
+        solver blasts through the process-wide shared blast cache:
+        replayed CNF is bit-identical to cold blasting (see
+        smt/bitblast.py), so warm and cold solves return the same
+        entry — only faster.
         """
+        from .bitblast import shared_blast_cache
         from .solver import Solver
 
-        sub = Solver()
+        share = shared_blast_cache() if interning_enabled() else None
+        sub = Solver(blast_share=share)
         for t in key:
             sub.add(t)
         status = sub.check()
+        self.blast_hits += sub.stats.blast_cache_hits
+        self.blast_misses += sub.stats.blast_cache_misses
+        self.blast_clauses_replayed += sub.stats.blast_clauses_replayed
+        self.blast_time_saved += sub.stats.blast_time_saved_s
         values = None
         if status == "sat":
             variables: set[Term] = set()
@@ -286,4 +306,8 @@ class SolveCache:
             "evictions": self.evictions,
             "elided_stores": self.elided_stores,
             "time_saved_s": self.time_saved,
+            "blast_hits": self.blast_hits,
+            "blast_misses": self.blast_misses,
+            "blast_clauses_replayed": self.blast_clauses_replayed,
+            "blast_time_saved_s": self.blast_time_saved,
         }

@@ -64,7 +64,7 @@ def holds(term: Term, assignment: dict[Term, int] | None = None,
 def all_hold(terms, assignment: dict[Term, int] | None = None) -> bool:
     """Short-circuiting conjunction check with a shared sub-term cache."""
     assignment = assignment or {}
-    cache: dict[Term, int | bool] = {}
+    cache: dict[int, int | bool] = {}  # keyed by Term.tid
     for t in terms:
         if not _holds(t, assignment, cache):
             return False
@@ -125,28 +125,29 @@ def _evaluate_dag(root: Term, assignment, cache, strict: bool):
 
     Each node is visited at most twice: once to push its uncached
     children, once (when they have all resolved) to compute its own
-    value.  ``strict`` controls unbound-variable behavior: raise
-    (reference semantics) versus default to zero/False (witness
-    completion).
+    value.  The memo is keyed by intern id (:attr:`Term.tid`) — an O(1)
+    int key that never collides, even with interning disabled.
+    ``strict`` controls unbound-variable behavior: raise (reference
+    semantics) versus default to zero/False (witness completion).
     """
-    if root in cache:
-        return cache[root]
+    if root.tid in cache:
+        return cache[root.tid]
     stack = [root]
     while stack:
         t = stack[-1]
-        if t in cache:
+        if t.tid in cache:
             stack.pop()
             continue
         ready = True
         for a in t.args:
-            if a not in cache:
+            if a.tid not in cache:
                 stack.append(a)
                 ready = False
         if not ready:
             continue
         stack.pop()
-        cache[t] = _apply(t, assignment, cache, strict)
-    return cache[root]
+        cache[t.tid] = _apply(t, assignment, cache, strict)
+    return cache[root.tid]
 
 
 def _apply(t: Term, assignment, cache, strict):
@@ -162,7 +163,7 @@ def _apply(t: Term, assignment, cache, strict):
         if strict:
             raise EvaluationError(f"unbound variable {t!r}")
         return False if t.width == 0 else 0
-    args = [cache[a] for a in t.args]
+    args = [cache[a.tid] for a in t.args]
     mask = (1 << t.width) - 1 if t.width else 0
     if op == "not":
         return not args[0]

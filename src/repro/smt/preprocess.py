@@ -306,7 +306,7 @@ def preprocess_conjuncts(conjuncts) -> PreprocessResult:
                     bindings[var] = const
                     changed = True
                     continue
-                if prev is not const:
+                if prev != const:  # structural: exact under --no-intern too
                     return PreprocessResult("unsat", None, [], bindings)
                 changed = True
                 continue

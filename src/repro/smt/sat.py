@@ -21,14 +21,22 @@ UNSAT = "unsat"
 
 
 def _luby(i: int) -> int:
-    """The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ..."""
-    k = 1
-    while (1 << k) - 1 < i:
-        k += 1
-    while (1 << k) - 1 != i:
-        k -= 1
-        i -= (1 << k) - 1
-    return 1 << (k - 1)
+    """The Luby restart sequence (1-indexed): 1 1 2 1 1 2 4 1 1 2 ...
+
+    Positions inside a sub-sequence recurse via modulo, not plain
+    subtraction — the subtractive variant underflowed for i=4, 5, 8,
+    ... (``1 << -1``) as soon as a solve reached its fourth restart.
+    """
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
 
 
 class SatSolver:

@@ -55,6 +55,12 @@ class SolverStats:
         self.rewrite_time_s = 0.0
         self.elide_model_evictions = 0
         self.elide_unsat_evictions = 0
+        # Shared bit-blast cache (see smt/bitblast.py): roots answered
+        # by replaying a recorded op stream instead of walking the DAG.
+        self.blast_cache_hits = 0
+        self.blast_cache_misses = 0
+        self.blast_clauses_replayed = 0
+        self.blast_time_saved_s = 0.0
 
     @property
     def total_time(self) -> float:
@@ -83,6 +89,10 @@ class SolverStats:
             "rewrite_time_s": self.rewrite_time_s,
             "elide_model_evictions": self.elide_model_evictions,
             "elide_unsat_evictions": self.elide_unsat_evictions,
+            "blast_cache_hits": self.blast_cache_hits,
+            "blast_cache_misses": self.blast_cache_misses,
+            "blast_clauses_replayed": self.blast_clauses_replayed,
+            "blast_time_saved_s": self.blast_time_saved_s,
         }
 
 
@@ -116,10 +126,16 @@ class Solver:
     """Incremental QF_BV solver with push/pop and model extraction."""
 
     def __init__(self, cache=None, elide: bool = False,
-                 elide_models: int = 8, elide_unsat: int = 64):
+                 elide_models: int = 8, elide_unsat: int = 64,
+                 blast_share=None):
         self._sat = SatSolver()
         self._builder = CnfBuilder(self._sat)
         self._blaster = BitBlaster(self._builder)
+        # Shared blast cache (smt/bitblast.py): sound only while this
+        # solver's op stream is a pure function of the base assertion
+        # sequence, so the cursor detaches on push() or extras blasting.
+        self._share = blast_share
+        self._share_node = blast_share.root if blast_share is not None else None
         # Stack of (selector literal, asserted terms) per level; level 0
         # assertions are added as hard unit clauses.
         self._levels: list[tuple[int | None, list[Term]]] = []
@@ -149,6 +165,7 @@ class Solver:
 
     def push(self) -> None:
         selector = None if self.cache is not None else self._sat.new_var()
+        self._share_node = None  # selector vars desync the replay stream
         self._levels.append((selector, []))
 
     def pop(self, n: int = 1) -> None:
@@ -177,7 +194,28 @@ class Solver:
                 self._base_assertions.append(term)
             return
         t0 = time.perf_counter()
-        lit = self._blaster.blast_bool(term)
+        share = self._share
+        node = None
+        if share is not None and self._share_node is not None:
+            if self._levels:
+                self._share_node = None  # guarded clauses break replay
+            else:
+                node = share.descend(self._share_node, term)
+                self._share_node = node
+        if node is not None:
+            hits0 = share.hits
+            replayed0 = share.clauses_replayed
+            saved0 = share.time_saved_s
+            lit = share.blast_assert(node, term, self._blaster)
+            stats = self.stats
+            if share.hits > hits0:
+                stats.blast_cache_hits += 1
+            else:
+                stats.blast_cache_misses += 1
+            stats.blast_clauses_replayed += share.clauses_replayed - replayed0
+            stats.blast_time_saved_s += share.time_saved_s - saved0
+        else:
+            lit = self._blaster.blast_bool(term)
         self.stats.blast_time += time.perf_counter() - t0
         if self._levels:
             selector, terms = self._levels[-1]
@@ -205,6 +243,12 @@ class Solver:
         """
         if self.cache is not None:
             return self._check_canonical(extra)
+        # Solving can learn level-0 facts (and extras blast one-shot
+        # gates), after which recorded op streams would no longer
+        # reproduce this solver's state: stop record/replay here.  The
+        # canonical sub-solver checks once, after all adds, so its
+        # whole assertion sequence still goes through the share.
+        self._share_node = None
         self._elided_model = None
         conjuncts = None
         if self.elider is not None:

@@ -4,16 +4,29 @@ The paper's P4Testgen uses Z3 to solve path constraints.  Z3 is not
 available in this environment, so we implement the fragment P4Testgen
 actually needs: quantifier-free fixed-width bitvectors plus booleans.
 
-Terms are immutable and hash-consed: structurally identical terms are
-the same Python object, which makes equality checks O(1) and lets the
-bit-blaster cache per-term results.  Smart constructors perform
-algebraic simplification (constant folding, identities) unless the
-module-level switch :data:`SIMPLIFY` is disabled (used by the ablation
-benchmark).
+Terms are immutable and hash-consed through a per-process **weak**
+intern pool: structurally identical terms built while interning is
+enabled are the same Python object, which makes equality checks O(1),
+lets ``substitute``/``evaluate``/``preprocess`` memoize by the stored
+intern id (:attr:`Term.tid`), and lets the bit-blaster cache per-term
+results.  The pool holds only weak references, so terms die with their
+last external reference instead of accumulating across ``Engine`` runs.
+
+Interning can be disabled (:func:`set_interning`, the ``--no-intern``
+ablation).  Correctness must not depend on the switch: ``__hash__`` is
+always the precomputed *structural* hash and ``__eq__`` falls back to
+an iterative structural walk whenever the O(1) shortcuts don't apply,
+so term-keyed sets/dicts behave identically in both modes and emitted
+test suites stay byte-for-byte the same.
+
+Smart constructors perform algebraic simplification (constant folding,
+identities) unless the module-level switch :data:`SIMPLIFY` is disabled
+(used by the ablation benchmark).
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterable, Optional
 
 __all__ = [
@@ -23,6 +36,13 @@ __all__ = [
     "SIMPLIFY",
     "set_simplify",
     "simplification_enabled",
+    "set_interning",
+    "interning_enabled",
+    "mk_term",
+    "intern_stats",
+    "reset_intern_stats",
+    "clear_intern_pool",
+    "intern_pool_size",
     "true",
     "false",
     "bool_const",
@@ -66,10 +86,11 @@ __all__ = [
 ]
 
 # --------------------------------------------------------------------------
-# Global simplification switch (for the SMT ablation benchmark).
+# Global switches (for the SMT ablation benchmarks).
 # --------------------------------------------------------------------------
 
 SIMPLIFY = True
+INTERNING = True
 
 
 def set_simplify(enabled: bool) -> None:
@@ -82,11 +103,39 @@ def simplification_enabled() -> bool:
     return SIMPLIFY
 
 
+def set_interning(enabled: bool) -> None:
+    """Enable or disable hash-consing through the weak intern pool.
+
+    Turning interning off is an ablation: terms become plain objects
+    with structural equality.  Answers, models, and emitted suites are
+    identical either way; only allocation/equality costs change.
+    """
+    global INTERNING
+    INTERNING = bool(enabled)
+
+
+def interning_enabled() -> bool:
+    return INTERNING
+
+
 # --------------------------------------------------------------------------
 # Term representation
 # --------------------------------------------------------------------------
 
-_INTERN: dict[tuple, "Term"] = {}
+# Weak intern pool: key -> term, value refs are weak so a term (and its
+# pool entry) dies with its last external reference.  The key tuple
+# references the term's *children* — exactly the references the term
+# itself holds — so the pool adds no retention beyond the DAG's own.
+_POOL: "weakref.WeakValueDictionary[tuple, Term]" = weakref.WeakValueDictionary()
+# Pool generation.  Two distinct live objects interned under the same
+# generation are guaranteed structurally distinct (the pool enforced
+# uniqueness while both were being created), which gives __eq__ an O(1)
+# "False" shortcut.  clear_intern_pool() bumps the generation so terms
+# surviving a clear never shortcut against newer interns.
+_POOL_GEN = 1
+_NEXT_TID = 0
+_INTERN_HITS = 0
+_INTERN_MISSES = 0
 
 
 class Term:
@@ -98,25 +147,47 @@ class Term:
         width: bit width for bitvector terms, ``0`` for booleans.
         payload: operator-specific extra data (constant value, variable
             name, extract bounds).
+        tid: process-unique intern id (monotonic).  Memo tables key on
+            it: O(1), and never collides across pool generations.
     """
 
-    __slots__ = ("op", "args", "width", "payload", "_hash")
+    __slots__ = ("op", "args", "width", "payload", "tid", "_hash", "_gen",
+                 "__weakref__")
 
     def __init__(self, op: str, args: tuple, width: int, payload=None):
+        global _NEXT_TID
         self.op = op
         self.args = args
         self.width = width
         self.payload = payload
+        # Structural hash, not the intern id: hashes must agree between
+        # the interning-on and interning-off modes so that set/dict
+        # iteration orders — and therefore emitted suites — match.
         self._hash = hash((op, args, width, payload))
+        _NEXT_TID += 1
+        self.tid = _NEXT_TID
+        self._gen = 0  # 0 = not interned; else the pool generation
 
     def __hash__(self) -> int:
         return self._hash
 
-    def __eq__(self, other) -> bool:  # hash-consing makes identity equality
-        return self is other
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if type(other) is not Term:
+            return NotImplemented
+        return _structurally_equal(self, other)
 
     def __ne__(self, other) -> bool:
-        return self is not other
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __reduce__(self):
+        # Re-intern on unpickle so terms crossing a process boundary
+        # land in the receiving process's pool.
+        return (_mk, (self.op, self.args, self.width, self.payload))
 
     # -- convenience predicates ------------------------------------------
 
@@ -146,7 +217,7 @@ class Term:
         return self.payload
 
     def __repr__(self) -> str:
-        return _format(self, depth=0)
+        return _format(self)
 
 
 # ``BoolTerm``/``BvTerm`` are documentation aliases; both are Term.
@@ -154,29 +225,149 @@ BoolTerm = Term
 BvTerm = Term
 
 
+def _structurally_equal(a: Term, b: Term) -> bool:
+    """Iterative structural equality (the interning-off fallback).
+
+    With interning on, two distinct live objects from the same pool
+    generation cannot be structurally equal, so the walk answers each
+    pair in O(1) via the generation shortcut.
+    """
+    stack = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        if x is y:
+            continue
+        gen = x._gen
+        if gen and gen == y._gen:
+            return False  # same live pool generation, distinct objects
+        if (x._hash != y._hash or x.op != y.op or x.width != y.width
+                or x.payload != y.payload or len(x.args) != len(y.args)):
+            return False
+        stack.extend(zip(x.args, y.args))
+    return True
+
+
 def _mk(op: str, args: tuple, width: int, payload=None) -> Term:
-    key = (op, args, width, payload)
-    t = _INTERN.get(key)
-    if t is None:
+    global _INTERN_HITS, _INTERN_MISSES
+    if INTERNING:
+        key = (op, args, width, payload)
+        t = _POOL.get(key)
+        if t is not None:
+            _INTERN_HITS += 1
+            return t
+        _INTERN_MISSES += 1
         t = Term(op, args, width, payload)
-        _INTERN[key] = t
-    return t
+        t._gen = _POOL_GEN
+        _POOL[key] = t
+        return t
+    return Term(op, args, width, payload)
 
 
-def _format(t: Term, depth: int) -> str:
-    if depth > 6:
-        return "..."
-    if t.op == "const":
-        if t.width == 0:
-            return "true" if t.payload else "false"
-        return f"{t.width}w{t.payload:#x}"
-    if t.op == "var":
-        return f"{t.payload}:{t.width or 'bool'}"
-    if t.op == "extract":
-        hi, lo = t.payload
-        return f"(extract[{hi}:{lo}] {_format(t.args[0], depth + 1)})"
-    inner = " ".join(_format(a, depth + 1) for a in t.args)
-    return f"({t.op} {inner})"
+#: Public constructor-level entry point (the raw node maker behind the
+#: smart constructors).  Interns when interning is enabled.
+mk_term = _mk
+
+
+def intern_stats() -> dict:
+    """Pool counters: hits/misses since the last reset, live size."""
+    total = _INTERN_HITS + _INTERN_MISSES
+    return {
+        "hits": _INTERN_HITS,
+        "misses": _INTERN_MISSES,
+        "hit_rate": (_INTERN_HITS / total) if total else 0.0,
+        "pool_size": len(_POOL),
+        "generation": _POOL_GEN,
+    }
+
+
+def reset_intern_stats() -> None:
+    global _INTERN_HITS, _INTERN_MISSES
+    _INTERN_HITS = 0
+    _INTERN_MISSES = 0
+
+
+def intern_pool_size() -> int:
+    return len(_POOL)
+
+
+def clear_intern_pool() -> None:
+    """Drop all pool entries and start a new generation.
+
+    Surviving terms (still referenced elsewhere) keep working: their
+    old generation never matches post-clear interns, so equality falls
+    back to the structural walk instead of wrongly shortcutting.
+    """
+    global _POOL_GEN
+    _POOL.clear()
+    _POOL_GEN += 1
+
+
+# --------------------------------------------------------------------------
+# Printing (visit-once, let-labels for shared subterms)
+# --------------------------------------------------------------------------
+
+# Beyond this many distinct nodes repr degrades to a summary: a repr is
+# for debugging, not serialization, and megaterm dumps help nobody.
+_REPR_NODE_LIMIT = 512
+
+
+def _format(root: Term) -> str:
+    """Render a term DAG in O(nodes): every node prints once.
+
+    Shared non-leaf nodes are bound to ``%k`` labels emitted in a
+    leading ``let`` block, so heavily shared DAGs (the common case
+    after interning) print in linear size instead of exponential.
+    """
+    counts: dict[int, int] = {}
+    stack = [root]
+    while stack:
+        cur = stack.pop()
+        seen = counts.get(cur.tid, 0)
+        counts[cur.tid] = seen + 1
+        if not seen:
+            if len(counts) > _REPR_NODE_LIMIT:
+                return f"<Term {root.op}/{root.width} >{_REPR_NODE_LIMIT} nodes>"
+            stack.extend(cur.args)
+
+    defs: list[str] = []
+    rendered: dict[int, str] = {}
+    stack = [root]
+    while stack:
+        cur = stack[-1]
+        if cur.tid in rendered:
+            stack.pop()
+            continue
+        if cur.op == "const":
+            if cur.width == 0:
+                rendered[cur.tid] = "true" if cur.payload else "false"
+            else:
+                rendered[cur.tid] = f"{cur.width}w{cur.payload:#x}"
+            stack.pop()
+            continue
+        if cur.op == "var":
+            rendered[cur.tid] = f"{cur.payload}:{cur.width or 'bool'}"
+            stack.pop()
+            continue
+        missing = [a for a in cur.args if a.tid not in rendered]
+        if missing:
+            stack.extend(missing)
+            continue
+        inner = " ".join(rendered[a.tid] for a in cur.args)
+        if cur.op == "extract":
+            hi, lo = cur.payload
+            text = f"(extract[{hi}:{lo}] {inner})"
+        else:
+            text = f"({cur.op} {inner})"
+        if counts[cur.tid] > 1 and cur is not root:
+            label = f"%{len(defs)}"
+            defs.append(f"{label} := {text}")
+            text = label
+        rendered[cur.tid] = text
+        stack.pop()
+    body = rendered[root.tid]
+    if defs:
+        return "(let [" + "; ".join(defs) + "] " + body + ")"
+    return body
 
 
 # --------------------------------------------------------------------------
@@ -229,6 +420,12 @@ def _require_same_width(a: Term, b: Term, ctx: str) -> None:
 # --------------------------------------------------------------------------
 # Boolean connectives
 # --------------------------------------------------------------------------
+#
+# NOTE on equality in simplification guards: these use ``==`` rather
+# than ``is`` so the rewrites fire identically with interning disabled
+# (where structurally equal terms may be distinct objects).  With
+# interning on, ``==`` costs the same as ``is`` — the identity fast
+# path answers first.
 
 def not_(a: Term) -> Term:
     _require_bool(a, "not")
@@ -312,7 +509,7 @@ def xor_(a: Term, b: Term) -> Term:
             return not_(b) if a.payload else b
         if b.is_const:
             return not_(a) if b.payload else a
-        if a is b:
+        if a == b:
             return false()
     return _mk("xor", (a, b), 0)
 
@@ -328,7 +525,7 @@ def ite_bool(c: Term, t: Term, e: Term) -> Term:
     if SIMPLIFY:
         if c.is_const:
             return t if c.payload else e
-        if t is e:
+        if t == e:
             return t
     return and_(implies(c, t), implies(not_(c), e))
 
@@ -348,7 +545,7 @@ def eq(a: Term, b: Term) -> Term:
         _require_bool(a, "eq")
         _require_bool(b, "eq")
         if SIMPLIFY:
-            if a is b:
+            if a == b:
                 return true()
             if a.is_const:
                 return b if a.payload else not_(b)
@@ -357,7 +554,7 @@ def eq(a: Term, b: Term) -> Term:
         return not_(xor_(a, b))
     _require_same_width(a, b, "eq")
     if SIMPLIFY:
-        if a is b:
+        if a == b:
             return true()
         if a.is_const and b.is_const:
             return bool_const(a.payload == b.payload)
@@ -372,7 +569,7 @@ def ult(a: Term, b: Term) -> Term:
     _require_bv(a, "ult")
     _require_same_width(a, b, "ult")
     if SIMPLIFY:
-        if a is b:
+        if a == b:
             return false()
         if a.is_const and b.is_const:
             return bool_const(a.payload < b.payload)
@@ -399,7 +596,7 @@ def slt(a: Term, b: Term) -> Term:
     _require_bv(a, "slt")
     _require_same_width(a, b, "slt")
     if SIMPLIFY:
-        if a is b:
+        if a == b:
             return false()
         if a.is_const and b.is_const:
             return bool_const(
@@ -446,7 +643,7 @@ def bv_and(a: Term, b: Term) -> Term:
                     return bv_const(0, a.width)
                 if x.payload == ones:
                     return y
-        if a is b:
+        if a == b:
             return a
     return _mk("bvand", (a, b), a.width)
 
@@ -464,7 +661,7 @@ def bv_or(a: Term, b: Term) -> Term:
                     return y
                 if x.payload == ones:
                     return bv_const(ones, a.width)
-        if a is b:
+        if a == b:
             return a
     return _mk("bvor", (a, b), a.width)
 
@@ -478,7 +675,7 @@ def bv_xor(a: Term, b: Term) -> Term:
         for x, y in ((a, b), (b, a)):
             if x.is_const and x.payload == 0:
                 return y
-        if a is b:
+        if a == b:
             return bv_const(0, a.width)
     return _mk("bvxor", (a, b), a.width)
 
@@ -503,7 +700,7 @@ def bv_sub(a: Term, b: Term) -> Term:
             return bv_const(a.payload - b.payload, a.width)
         if b.is_const and b.payload == 0:
             return a
-        if a is b:
+        if a == b:
             return bv_const(0, a.width)
     return _mk("bvsub", (a, b), a.width)
 
@@ -689,7 +886,7 @@ def ite_bv(c: Term, t: Term, e: Term) -> Term:
     if SIMPLIFY:
         if c.is_const:
             return t if c.payload else e
-        if t is e:
+        if t == e:
             return t
     return _mk("ite", (c, t, e), t.width)
 
@@ -701,13 +898,13 @@ def ite_bv(c: Term, t: Term, e: Term) -> Term:
 def free_vars(t: Term) -> set[Term]:
     """All variable terms occurring in ``t``."""
     out: set[Term] = set()
-    seen: set[Term] = set()
+    seen: set[int] = set()
     stack = [t]
     while stack:
         cur = stack.pop()
-        if cur in seen:
+        if cur.tid in seen:
             continue
-        seen.add(cur)
+        seen.add(cur.tid)
         if cur.is_var:
             out.add(cur)
         stack.extend(cur.args)
@@ -715,28 +912,40 @@ def free_vars(t: Term) -> set[Term]:
 
 
 def substitute(t: Term, mapping: dict[Term, Term]) -> Term:
-    """Replace variable (or arbitrary subterm) occurrences per ``mapping``."""
-    cache: dict[Term, Term] = {}
+    """Replace variable (or arbitrary subterm) occurrences per ``mapping``.
 
-    def go(cur: Term) -> Term:
+    Iterative (explicit stack) and memoized by intern id, so deep
+    chains neither hit the recursion limit nor re-visit shared nodes.
+    """
+    if not mapping:
+        return t
+    done: dict[int, Term] = {}
+    stack: list[Term] = [t]
+    while stack:
+        cur = stack[-1]
+        if cur.tid in done:
+            stack.pop()
+            continue
         hit = mapping.get(cur)
         if hit is not None:
-            return hit
-        cached = cache.get(cur)
-        if cached is not None:
-            return cached
+            done[cur.tid] = hit
+            stack.pop()
+            continue
         if not cur.args:
-            cache[cur] = cur
-            return cur
-        new_args = tuple(go(a) for a in cur.args)
+            done[cur.tid] = cur
+            stack.pop()
+            continue
+        missing = [a for a in cur.args if a.tid not in done]
+        if missing:
+            stack.extend(missing)
+            continue
+        new_args = tuple(done[a.tid] for a in cur.args)
         if all(n is o for n, o in zip(new_args, cur.args)):
-            res = cur
+            done[cur.tid] = cur
         else:
-            res = _rebuild(cur, new_args)
-        cache[cur] = res
-        return res
-
-    return go(t)
+            done[cur.tid] = _rebuild(cur, new_args)
+        stack.pop()
+    return done[t.tid]
 
 
 def _rebuild(t: Term, args: tuple) -> Term:

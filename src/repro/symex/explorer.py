@@ -46,6 +46,7 @@ from .state import (
     RegisterDecision,
     TableEntryDecision,
     ValueSetDecision,
+    state_stats_snapshot,
 )
 from .stepper import step
 from .value import MintScope
@@ -81,6 +82,22 @@ class ExplorationStats:
         # feasibility checks answered without a SAT solve" headline.
         self.feasibility_checks = 0
         self.feasibility_elided = 0
+        # Hash-consing (smt/terms.py): pool activity attributable to
+        # this run (process-global counters, delta'd per explorer).
+        self.intern_hits = 0
+        self.intern_misses = 0
+        self.intern_pool_size = 0
+        # Shared bit-blast cache (smt/bitblast.py), as seen by this
+        # run's canonical cache-miss solves.
+        self.blast_cache_hits = 0
+        self.blast_cache_misses = 0
+        self.blast_clauses_replayed = 0
+        self.blast_time_saved_s = 0.0
+        # Copy-on-write state (symex/state.py): clone() is O(1) iff
+        # path_cond_copies stays zero while state_clones grows.
+        self.state_clones = 0
+        self.path_cond_copies = 0
+        self.frame_cow_copies = 0
 
     def as_dict(self):
         return dict(self.__dict__)
@@ -149,6 +166,15 @@ class Explorer:
         # unconstrained control-plane values get random (seeded)
         # preferred assignments instead of the solver's defaults.
         self.randomize_values = config.randomize_values
+        # Hash-consing is a process-global mode switch: every term this
+        # run builds goes through (or around) the weak intern pool.
+        # Equality stays structural either way, so flipping it cannot
+        # change emitted tests (see smt/terms.py).
+        T.set_interning(config.intern)
+        # The pool counters are process-global; snapshot them so stats
+        # report this run's activity, not the process's.
+        self._intern_base = T.intern_stats()
+        self._state_base = state_stats_snapshot()
         # Incremental solver: feasibility pruning only — unless
         # solve_cache is off, in which case it doubles as the model
         # solver and full elision would let cached witnesses reach test
@@ -380,6 +406,18 @@ class Explorer:
         else:
             st.feasibility_checks = 0
             st.feasibility_elided = 0
+        istats = T.intern_stats()
+        st.intern_hits = istats["hits"] - self._intern_base["hits"]
+        st.intern_misses = istats["misses"] - self._intern_base["misses"]
+        st.intern_pool_size = istats["pool_size"]
+        if self.solve_cache is not None:
+            st.blast_cache_hits = self.solve_cache.blast_hits
+            st.blast_cache_misses = self.solve_cache.blast_misses
+            st.blast_clauses_replayed = self.solve_cache.blast_clauses_replayed
+            st.blast_time_saved_s = self.solve_cache.blast_time_saved
+        snap = state_stats_snapshot()
+        for field in ("state_clones", "path_cond_copies", "frame_cow_copies"):
+            setattr(st, field, snap[field] - self._state_base[field])
 
     def generate(self, n: int | None = None) -> list[AbstractTestCase]:
         """Convenience: collect up to ``n`` tests into a list."""

@@ -26,6 +26,8 @@ from .value import SymVal, fresh_tainted, fresh_var, sym_bool, sym_const
 __all__ = [
     "ExecutionState",
     "Frame",
+    "FrameStack",
+    "PathConds",
     "FrontierSnapshot",
     "ParserStateItem",
     "PopFrame",
@@ -35,19 +37,161 @@ __all__ = [
     "ValueSetDecision",
     "ConcolicBinding",
     "RegisterDecision",
+    "STATE_STATS",
+    "state_stats_snapshot",
+    "reset_state_stats",
 ]
+
+# Process-wide counters proving the O(1)-fork claims: clones never copy
+# path-condition storage (``path_cond_copies`` stays 0 by construction)
+# and frame mutation copies only the touched frame (``frame_cow_copies``).
+STATE_STATS = {
+    "state_clones": 0,
+    "path_cond_copies": 0,
+    "path_cond_appends": 0,
+    "frame_cow_copies": 0,
+    "frame_stack_copies": 0,
+}
+
+
+def state_stats_snapshot() -> dict:
+    return dict(STATE_STATS)
+
+
+def reset_state_stats() -> None:
+    for key in STATE_STATS:
+        STATE_STATS[key] = 0
+
+
+class PathConds:
+    """Persistent path-condition sequence: O(1) clone, O(1) append.
+
+    Storage is a cons list shared between clones (``_tail`` is a
+    ``(term, parent)`` pair); appending re-points this instance's tail
+    without touching siblings.  Iteration yields insertion order.
+    """
+
+    __slots__ = ("_tail", "_len")
+
+    def __init__(self, iterable=None):
+        self._tail = None
+        self._len = 0
+        if iterable is not None:
+            for term in iterable:
+                self.append(term)
+
+    def append(self, term) -> None:
+        self._tail = (term, self._tail)
+        self._len += 1
+        STATE_STATS["path_cond_appends"] += 1
+
+    def clone(self) -> "PathConds":
+        c = PathConds.__new__(PathConds)
+        c._tail = self._tail
+        c._len = self._len
+        return c
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def __iter__(self):
+        out = []
+        node = self._tail
+        while node is not None:
+            out.append(node[0])
+            node = node[1]
+        return reversed(out)
+
+    def __repr__(self) -> str:
+        return f"PathConds({len(self)} terms)"
 
 
 class Frame:
-    """An alias frame: block-local names -> canonical storage paths."""
+    """An alias frame: block-local names -> canonical storage paths.
 
-    __slots__ = ("aliases",)
+    ``_stamp`` is the ownership token of the :class:`FrameStack` that
+    may still mutate this frame in place; any stack holding a different
+    stamp copies the frame before writing (copy-on-write).
+    """
 
-    def __init__(self, aliases: dict[str, str] | None = None):
+    __slots__ = ("aliases", "_stamp")
+
+    def __init__(self, aliases: dict[str, str] | None = None, stamp=None):
         self.aliases = dict(aliases or {})
+        self._stamp = stamp
 
     def clone(self) -> "Frame":
         return Frame(self.aliases)
+
+
+class FrameStack:
+    """Copy-on-write stack of alias frames: O(1) clone.
+
+    ``clone`` shares the underlying list and revokes in-place write
+    rights on *both* sides by issuing fresh stamps; the first mutation
+    after a clone copies the list (O(depth), depth is a handful) and
+    the touched frame only — never the other frames' dictionaries,
+    which is where the old deep-copy cost lived.
+    """
+
+    __slots__ = ("_frames", "_stamp", "_list_shared")
+
+    def __init__(self):
+        self._stamp = object()
+        self._frames: list[Frame] = [Frame(stamp=self._stamp)]
+        self._list_shared = False
+
+    def clone(self) -> "FrameStack":
+        c = FrameStack.__new__(FrameStack)
+        c._frames = self._frames
+        c._stamp = object()
+        c._list_shared = True
+        # The source loses in-place rights too: its next frame write
+        # must copy rather than mutate an object the clone still sees.
+        self._stamp = object()
+        self._list_shared = True
+        return c
+
+    def _own_list(self) -> None:
+        if self._list_shared:
+            self._frames = list(self._frames)
+            self._list_shared = False
+            STATE_STATS["frame_stack_copies"] += 1
+
+    def push(self, aliases: dict[str, str] | None = None) -> None:
+        self._own_list()
+        self._frames.append(Frame(aliases, stamp=self._stamp))
+
+    def pop(self) -> Frame:
+        self._own_list()
+        return self._frames.pop()
+
+    def bind(self, name: str, path: str) -> None:
+        top = self._frames[-1]
+        if top._stamp is not self._stamp:
+            self._own_list()
+            top = Frame(top.aliases, stamp=self._stamp)
+            self._frames[-1] = top
+            STATE_STATS["frame_cow_copies"] += 1
+        top.aliases[name] = path
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __iter__(self):
+        return iter(self._frames)
+
+    def __reversed__(self):
+        return reversed(self._frames)
+
+    def __getitem__(self, idx):
+        return self._frames[idx]
+
+    def __repr__(self) -> str:
+        return f"FrameStack({len(self._frames)} frames)"
 
 
 class ParserStateItem:
@@ -163,10 +307,10 @@ class ExecutionState:
         self.program = program
         self.target = target
         self.env: dict[str, SymVal] = {}
-        self.path_cond: list[T.Term] = []
+        self.path_cond = PathConds()
         self.packet = PacketModel()
         self.work: list = []          # continuation stack; top is the last element
-        self.frames: list[Frame] = [Frame()]
+        self.frames = FrameStack()
         self.coverage: set[int] = set()
         self.trace: list[str] = []
         self.cp_decisions: list = []
@@ -191,13 +335,14 @@ class ExecutionState:
         c = ExecutionState.__new__(ExecutionState)
         ExecutionState._id_counter[0] += 1
         c.state_id = ExecutionState._id_counter[0]
+        STATE_STATS["state_clones"] += 1
         c.program = self.program
         c.target = self.target
         c.env = dict(self.env)
-        c.path_cond = list(self.path_cond)
+        c.path_cond = self.path_cond.clone()  # O(1): shares the spine
         c.packet = self.packet.clone()
         c.work = list(self.work)
-        c.frames = [f.clone() for f in self.frames]
+        c.frames = self.frames.clone()        # O(1): copy-on-write
         c.coverage = set(self.coverage)
         c.trace = list(self.trace)
         c.cp_decisions = list(self.cp_decisions)
@@ -227,7 +372,7 @@ class ExecutionState:
     # ------------------------------------------------------------------
 
     def push_frame(self, aliases: dict[str, str]) -> None:
-        self.frames.append(Frame(aliases))
+        self.frames.push(aliases)
         self.work.append(PopFrame())
 
     def resolve_root(self, name: str) -> str:
@@ -237,7 +382,7 @@ class ExecutionState:
         return name
 
     def bind_local(self, name: str, path: str) -> None:
-        self.frames[-1].aliases[name] = path
+        self.frames.bind(name, path)
 
     # ------------------------------------------------------------------
     # Environment accessors (flattened dotted paths)

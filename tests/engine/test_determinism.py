@@ -48,6 +48,15 @@ def test_elision_on_and_off_emit_identical_suites(reference, jobs):
     assert _suite_bytes(jobs, elide=False) == reference
 
 
+@pytest.mark.parametrize("jobs", JOBS)
+def test_interning_on_and_off_emit_identical_suites(reference, jobs):
+    """Hash-consing changes how fast terms compare and how much CNF is
+    rebuilt, never which tests come out: the intern-off suite must be
+    byte-identical to the (intern-on by default) reference, at every
+    worker count."""
+    assert _suite_bytes(jobs, intern=False) == reference
+
+
 def test_per_program_results_align(reference):
     config = TestGenConfig(seed=5, max_tests=8)
     seq = generate_suite(PAIRS, jobs=1, config=config)

@@ -29,6 +29,12 @@ MAX_TESTS = 60
 ELIDED_FRACTION_FLOOR = 0.50
 SAT_SOLVE_CEILING = 90
 
+# Recorded at PR-5 time on the same workload: 290/528 blast-cache hits
+# (55%), 1252/1795 intern-pool hits (70%), 87 state clones with zero
+# path-condition copies.  Floors are slack for the same reason as above.
+BLAST_HIT_FRACTION_FLOOR = 0.25
+INTERN_HIT_FRACTION_FLOOR = 0.40
+
 
 @pytest.fixture(scope="module")
 def stats():
@@ -68,3 +74,40 @@ def test_elision_bookkeeping_is_consistent(stats):
               + stats.elide_hits_subsume)
     assert stats.solver_checks == stats.cache_hits + elided + stats.sat_solves
     assert stats.feasibility_elided <= stats.feasibility_checks
+
+
+@pytest.mark.perfsmoke
+def test_state_clone_is_constant_time(stats):
+    # clone() must share, not copy: forking a state at a branch conses
+    # onto persistent path conditions and stamps frames copy-on-write,
+    # so no path-condition list is ever duplicated (symex/state.py).
+    assert stats.state_clones > 0
+    assert stats.path_cond_copies == 0, (
+        f"{stats.path_cond_copies} path-condition copies across "
+        f"{stats.state_clones} state clones — clone() is copying again"
+    )
+
+
+@pytest.mark.perfsmoke
+def test_blast_cache_hit_fraction_above_floor(stats):
+    total = stats.blast_cache_hits + stats.blast_cache_misses
+    assert total > 0
+    fraction = stats.blast_cache_hits / total
+    assert fraction >= BLAST_HIT_FRACTION_FLOOR, (
+        f"only {stats.blast_cache_hits}/{total} ({100 * fraction:.1f}%) "
+        f"of canonical-solve blasts were replayed from the shared "
+        f"cache; floor is {100 * BLAST_HIT_FRACTION_FLOOR:.0f}%"
+    )
+    assert stats.blast_clauses_replayed > 0
+
+
+@pytest.mark.perfsmoke
+def test_intern_pool_hit_fraction_above_floor(stats):
+    total = stats.intern_hits + stats.intern_misses
+    assert total > 0
+    fraction = stats.intern_hits / total
+    assert fraction >= INTERN_HIT_FRACTION_FLOOR, (
+        f"only {stats.intern_hits}/{total} ({100 * fraction:.1f}%) of "
+        f"term constructions hit the intern pool; floor is "
+        f"{100 * INTERN_HIT_FRACTION_FLOOR:.0f}%"
+    )

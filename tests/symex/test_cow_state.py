@@ -1,0 +1,126 @@
+"""Unit tests for the copy-on-write execution state (symex/state.py).
+
+``ExecutionState.clone`` is the hot operation of path forking: the
+tentpole claim is that it is O(1) in the path-condition length and the
+frame-stack contents.  These tests pin both the isolation semantics
+(mutating either side of a fork never leaks into the other) and the
+cost model, via the ``STATE_STATS`` counters rather than timing.
+"""
+
+from repro.smt import terms as T
+from repro.symex.state import (
+    FrameStack,
+    PathConds,
+    STATE_STATS,
+    reset_state_stats,
+    state_stats_snapshot,
+)
+
+
+def _conds(*names):
+    pc = PathConds()
+    for n in names:
+        pc.append(T.bool_var(n))
+    return pc
+
+
+# ---------------------------------------------------------------------------
+# PathConds: persistent cons list
+# ---------------------------------------------------------------------------
+
+
+def test_path_conds_preserve_insertion_order():
+    pc = _conds("p", "q", "r")
+    assert [t.payload for t in pc] == ["p", "q", "r"]
+    assert len(pc) == 3 and bool(pc)
+    assert not PathConds()
+
+
+def test_path_conds_clone_shares_then_diverges():
+    base = _conds("p", "q")
+    left = base.clone()
+    right = base.clone()
+    left.append(T.bool_var("l"))
+    right.append(T.bool_var("r"))
+    assert [t.payload for t in base] == ["p", "q"]
+    assert [t.payload for t in left] == ["p", "q", "l"]
+    assert [t.payload for t in right] == ["p", "q", "r"]
+
+
+def test_path_conds_clone_never_copies():
+    reset_state_stats()
+    base = _conds(*[f"c{i}" for i in range(100)])
+    for _ in range(50):
+        base.clone().append(T.bool_var("x"))
+    snap = state_stats_snapshot()
+    assert snap["path_cond_copies"] == 0
+    # 100 base appends + 50 post-clone appends; no hidden rebuilds.
+    assert snap["path_cond_appends"] == 150
+
+
+# ---------------------------------------------------------------------------
+# FrameStack: stamped copy-on-write
+# ---------------------------------------------------------------------------
+
+
+def test_frame_stack_clone_isolates_bindings():
+    a = FrameStack()
+    a.bind("x", "root.x")
+    b = a.clone()
+    b.bind("x", "other.x")
+    b.bind("y", "other.y")
+    assert a[-1].aliases == {"x": "root.x"}
+    assert b[-1].aliases == {"x": "other.x", "y": "other.y"}
+
+
+def test_frame_stack_source_mutation_does_not_leak_into_clone():
+    a = FrameStack()
+    a.bind("x", "root.x")
+    b = a.clone()
+    # clone() revokes the *source's* write rights too: a's next bind
+    # must copy, not write through the shared frame.
+    a.bind("x", "changed.x")
+    assert b[-1].aliases == {"x": "root.x"}
+
+
+def test_frame_stack_push_pop_after_clone():
+    a = FrameStack()
+    a.bind("x", "root.x")
+    b = a.clone()
+    b.push({"y": "inner.y"})
+    assert len(b) == 2 and len(a) == 1
+    popped = b.pop()
+    assert popped.aliases == {"y": "inner.y"}
+    assert len(b) == 1
+    assert a[-1].aliases == {"x": "root.x"}
+
+
+def test_frame_stack_cow_copies_only_touched_frame():
+    a = FrameStack()
+    a.push({"f1": "p1"})
+    a.push({"f2": "p2"})
+    bottom = a[0]
+    middle = a[1]
+    b = a.clone()
+    reset_state_stats()
+    b.bind("new", "path")
+    snap = state_stats_snapshot()
+    # One list copy, one frame copy — the untouched frames' dicts are
+    # the very same objects in both stacks.
+    assert snap["frame_stack_copies"] == 1
+    assert snap["frame_cow_copies"] == 1
+    assert b[0] is bottom and b[1] is middle
+    assert a[2].aliases == {"f2": "p2"}
+
+
+def test_frame_stack_unclone_binds_stay_in_place():
+    a = FrameStack()
+    reset_state_stats()
+    a.bind("x", "1")
+    a.bind("y", "2")
+    a.push({})
+    a.bind("z", "3")
+    snap = state_stats_snapshot()
+    # No clone happened, so no copy-on-write should trigger.
+    assert snap["frame_cow_copies"] == 0
+    assert snap["frame_stack_copies"] == 0
