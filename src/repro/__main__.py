@@ -56,6 +56,18 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="disable hash-consed term interning and the "
                           "shared bit-blast cache (ablation; emitted "
                           "suites are byte-identical either way)")
+    gen.add_argument("--solver", default="native", metavar="NAME",
+                     help="primary solver backend (default: native; see "
+                          "repro.smt.backends.register_solver)")
+    gen.add_argument("--portfolio", default="", metavar="NAMES",
+                     help="comma-separated external backends raced "
+                          "against the native search on hard queries; "
+                          "emitted suites are byte-identical with or "
+                          "without a portfolio")
+    gen.add_argument("--solver-crosscheck", action="store_true",
+                     help="differentially validate a sample of SAT "
+                          "answers (model verification plus re-solving "
+                          "on a second backend when one is configured)")
     gen.add_argument("--intern-stats", action="store_true",
                      help="print intern-pool / blast-cache / COW-state "
                           "counters to stderr after the run")
@@ -136,6 +148,11 @@ def cmd_generate(args) -> int:
         solve_cache=not args.no_solve_cache,
         elide=not args.no_elide,
         intern=not args.no_intern,
+        solver=args.solver,
+        portfolio=tuple(
+            name.strip() for name in args.portfolio.split(",")
+            if name.strip()),
+        solver_crosscheck=args.solver_crosscheck,
     )
     oracle = TestGen(program, target=target, config=config)
     backend = get_backend(args.test_backend)

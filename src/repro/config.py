@@ -68,6 +68,21 @@ class TestGenConfig:
             Interning never changes any emitted test — equality stays
             structural either way — only how fast terms compare and how
             much CNF is rebuilt; ``False`` is the ablation baseline.
+        solver: primary solver back-end name (``"native"`` default; any
+            name accepted by :func:`repro.smt.backends.register_solver`).
+            Non-native primaries bind their own models, so suites are
+            deterministic per back end but differ across back ends.
+        portfolio: external back-end names raced against the native
+            search on hard queries (see ``smt/backends.py``).  Racing
+            never changes emitted tests — verdicts are objective and
+            models always come from the primary — so portfolio on/off
+            suites are byte-identical.  Requires ``solve_cache``.
+        portfolio_budget: native conflicts before a query counts as
+            hard and the portfolio race starts.
+        solver_crosscheck: differentially validate a deterministic
+            sample of SAT answers — verify each emitted model against
+            its constraint set and re-solve on a second back end
+            (the first portfolio member, when present).
     """
 
     __test__ = False  # not a pytest class, despite the name
@@ -90,6 +105,10 @@ class TestGenConfig:
     elide_models: int = 8
     elide_unsat: int = 64
     intern: bool = True
+    solver: str = "native"
+    portfolio: tuple[str, ...] = ()
+    portfolio_budget: int = 256
+    solver_crosscheck: bool = False
 
     def replace(self, **overrides) -> "TestGenConfig":
         """A copy of this config with ``overrides`` applied."""
@@ -100,6 +119,11 @@ class TestGenConfig:
 
     @classmethod
     def from_dict(cls, values: dict) -> "TestGenConfig":
+        values = dict(values)
+        # JSON round-trips (and permissive callers) hand lists; the
+        # frozen dataclass wants a hashable tuple.
+        if values.get("portfolio") is not None:
+            values["portfolio"] = tuple(values["portfolio"])
         return cls(**values)
 
 

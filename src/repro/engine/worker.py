@@ -44,8 +44,11 @@ def run_shard(payload: dict) -> dict:
     target = pickle.loads(payload["target_blob"])
     config = TestGenConfig.from_dict(payload["config"])
     explorer = Explorer(program, target, config=config)
-    for _ in explorer.run_prefix(tuple(payload["prefix"])):
-        pass
+    try:
+        for _ in explorer.run_prefix(tuple(payload["prefix"])):
+            pass
+    finally:
+        explorer.close()
     blocks = [
         (len(rec.events), [ev.test for ev in rec.events if ev.test is not None])
         for rec in explorer.event_log
@@ -74,7 +77,10 @@ def run_program(payload: dict) -> dict:
         target = pickle.loads(payload["target_blob"])
         config = TestGenConfig.from_dict(payload["config"])
         explorer = Explorer(program, target, config=config)
-        tests = list(explorer.run())
+        try:
+            tests = list(explorer.run())
+        finally:
+            explorer.close()
     except Exception as exc:
         if not payload.get("capture_errors"):
             raise

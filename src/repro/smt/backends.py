@@ -1,0 +1,829 @@
+"""Pluggable solver back ends and the portfolio racer.
+
+The SAT core is where the oracle spends most of its wall time (the
+Fig. 7 CPU split), so "which solver answers a query" is a first-class,
+user-extensible choice here — mirroring the easyila ``OracleInterface``
+pattern where an oracle is either a Python callable or an external
+binary behind a subprocess boundary, selected through one registry.
+
+Three layers:
+
+- :class:`SolverBackend` — the ABC.  A back end answers one
+  self-contained :class:`SolveRequest` (a CNF snapshot, plus the
+  originating word-level terms for SMT-level back ends).  Built-ins:
+
+  * :class:`NativeBackend` — the in-process CDCL solver
+    (:mod:`repro.smt.sat`); always available, always the fallback.
+  * :class:`DimacsBackend` — a generic subprocess back end speaking
+    DIMACS CNF, preconfigured for ``kissat``/``cadical``/``minisat``
+    binaries discovered on ``PATH`` (or any command via the
+    ``REPRO_SOLVER_PATH`` environment variable).
+  * :class:`SmtLib2Backend` — an SMT-LIB2 subprocess back end (``z3``).
+
+- :func:`register_solver` — the plugin registry (a
+  :class:`repro.registry.Registry`), so external solvers plug in the
+  same way test back ends and simulators do.
+
+- :class:`PortfolioSolver` — races the native solver against external
+  back ends on *hard* queries (classified by a conflict budget) with
+  per-backend timeout/kill/backoff.  Winner selection is deterministic
+  in its *effect*: SAT/UNSAT status is objective, so any sound winner
+  yields the same verdict, ties are broken by fixed priority order, and
+  models that reach test output always come from the configured primary
+  back end — which is why portfolio on/off suites are byte-identical.
+
+Missing binaries degrade gracefully: the back end reports itself
+unavailable, the portfolio logs once and falls back to native, and the
+run never fails.
+
+:class:`CrossChecker` is the fourth validation layer (beside the fuzz
+harness): it re-solves a deterministic sample of SAT answers on a
+second back end and verifies the emitted model against the original
+constraint set at the word level.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import shlex
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from abc import ABC, abstractmethod
+
+from ..registry import Registry
+from .evaluate import all_hold
+from .sat import SAT, UNKNOWN, UNSAT, SatSolver
+
+__all__ = [
+    "SolveRequest", "BackendAnswer", "SolverBackend", "NativeBackend",
+    "DimacsBackend", "SmtLib2Backend", "PortfolioSolver", "CrossChecker",
+    "CrossCheckError", "SOLVERS", "register_solver", "solver_names",
+    "make_solver", "available_solver_names", "request_from_sat",
+    "build_portfolio",
+]
+
+log = logging.getLogger("repro.smt.backends")
+
+#: Environment variable naming a DIMACS solver command for the generic
+#: ``dimacs`` back end; split with shlex, so
+#: ``REPRO_SOLVER_PATH="python3 /path/to/solver.py"`` works.
+SOLVER_PATH_ENV = "REPRO_SOLVER_PATH"
+
+
+class SolveRequest:
+    """One self-contained query: a CNF snapshot plus optional terms.
+
+    ``clauses`` may include learned clauses (they are implied, so the
+    snapshot is equisatisfiable with the original formula under the
+    same assumptions); ``assumptions`` are literals that a CNF back end
+    appends as unit clauses.  ``terms`` carries the word-level boolean
+    conjuncts for SMT-level back ends; CNF-only requests leave it None.
+    """
+
+    __slots__ = ("num_vars", "clauses", "assumptions", "terms")
+
+    def __init__(self, num_vars: int, clauses, assumptions=(), terms=None):
+        self.num_vars = num_vars
+        self.clauses = clauses
+        self.assumptions = tuple(assumptions)
+        self.terms = terms
+
+    def to_dimacs(self) -> str:
+        lines = [f"p cnf {self.num_vars} "
+                 f"{len(self.clauses) + len(self.assumptions)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(map(str, clause)) + " 0")
+        for lit in self.assumptions:
+            lines.append(f"{lit} 0")
+        return "\n".join(lines) + "\n"
+
+    def verify_assignment(self, assignment: dict[int, bool]) -> bool:
+        """True iff ``assignment`` satisfies every clause + assumption
+        (unassigned variables read as False)."""
+        def lit_true(lit: int) -> bool:
+            value = assignment.get(abs(lit), False)
+            return value if lit > 0 else not value
+
+        if not all(lit_true(lit) for lit in self.assumptions):
+            return False
+        return all(any(lit_true(lit) for lit in clause)
+                   for clause in self.clauses)
+
+
+def request_from_sat(sat: SatSolver, assumptions=(), terms=None) -> SolveRequest:
+    """Snapshot a live :class:`SatSolver`'s clause database.
+
+    Clauses are copied (watch-literal maintenance permutes them in
+    place) so the request stays stable while the native search keeps
+    running during a race.  Level-0 facts live on the solver's *trail*,
+    not in the clause list (units are enqueued directly and satisfied
+    clauses dropped at add time), so the decision-level-0 prefix of the
+    trail is appended as unit clauses — without it the snapshot would be
+    weaker than the real formula and external SAT verdicts unsound.
+    """
+    level0 = sat.trail_lim[0] if sat.trail_lim else len(sat.trail)
+    clauses = [tuple(c) for c in sat.clauses]
+    clauses.extend((lit,) for lit in sat.trail[:level0])
+    return SolveRequest(
+        num_vars=sat.num_vars,
+        clauses=clauses,
+        assumptions=assumptions,
+        terms=terms,
+    )
+
+
+class BackendAnswer:
+    """status is "sat"/"unsat" (decisive), or "unknown"/"timeout"/
+    "error" (the portfolio keeps going)."""
+
+    __slots__ = ("status", "assignment", "backend", "time_s", "detail")
+
+    def __init__(self, status: str, assignment=None, backend: str = "?",
+                 time_s: float = 0.0, detail: str = ""):
+        self.status = status
+        self.assignment = assignment
+        self.backend = backend
+        self.time_s = time_s
+        self.detail = detail
+
+    @property
+    def decisive(self) -> bool:
+        return self.status in (SAT, UNSAT)
+
+    def __repr__(self) -> str:
+        return f"BackendAnswer({self.status!r}, backend={self.backend!r})"
+
+
+class SolverBackend(ABC):
+    """A named solver that can answer :class:`SolveRequest`\\ s.
+
+    Synchronous use goes through :meth:`solve`.  Back ends that can run
+    concurrently with the native search (subprocess back ends)
+    additionally implement the ``start``/``poll``/``kill`` protocol;
+    the default implementations mark the back end non-startable, in
+    which case the portfolio only ever calls :meth:`solve`.
+    """
+
+    #: registry name; instances may override (e.g. per-binary).
+    name = "backend"
+
+    def available(self) -> bool:
+        """Whether the back end can answer queries right now (e.g. its
+        binary exists).  Unavailable back ends are skipped with one log
+        line — never an error."""
+        return True
+
+    @abstractmethod
+    def solve(self, request: SolveRequest,
+              timeout: float | None = None) -> BackendAnswer:
+        """Answer ``request``, blocking for at most ``timeout`` seconds."""
+
+    # -- async racing protocol (optional) ------------------------------
+
+    def start(self, request: SolveRequest, timeout: float | None = None):
+        """Begin solving asynchronously; returns an opaque handle or
+        None if this back end cannot run asynchronously."""
+        return None
+
+    def poll(self, handle) -> BackendAnswer | None:
+        """None while still running; a :class:`BackendAnswer` once done
+        (including on timeout — poll is responsible for the kill)."""
+        raise NotImplementedError
+
+    def kill(self, handle) -> None:
+        """Abort an in-flight query and release its resources."""
+
+    def close(self) -> None:
+        """Release any long-lived resources."""
+
+
+class NativeBackend(SolverBackend):
+    """The in-process CDCL solver, wrapped as a back end.
+
+    Used directly by :class:`PortfolioSolver` for one-shot re-solves
+    (cross-checking) — the portfolio's *incremental* native search runs
+    on the caller's live solver instead, so learned clauses persist.
+    """
+
+    name = "native"
+
+    def solve(self, request: SolveRequest,
+              timeout: float | None = None) -> BackendAnswer:
+        t0 = time.perf_counter()
+        sat = SatSolver()
+        for clause in request.clauses:
+            sat.add_clause(list(clause))
+        status = sat.solve(list(request.assumptions))
+        assignment = sat.model() if status == SAT else None
+        return BackendAnswer(status, assignment, self.name,
+                             time.perf_counter() - t0)
+
+
+class _ProcHandle:
+    __slots__ = ("proc", "path", "deadline", "t0")
+
+    def __init__(self, proc, path, deadline, t0):
+        self.proc = proc
+        self.path = path
+        self.deadline = deadline
+        self.t0 = t0
+
+
+class _SubprocessBackend(SolverBackend):
+    """Common subprocess plumbing: temp input file, argv + [file],
+    deadline-based kill, stdout parsing via :meth:`_parse`."""
+
+    #: seconds, used when the caller does not pass a timeout.
+    default_timeout = 10.0
+    suffix = ".cnf"
+
+    def __init__(self, argv, name=None, timeout: float | None = None):
+        self.argv = list(argv)
+        if name is not None:
+            self.name = name
+        if timeout is not None:
+            self.default_timeout = timeout
+
+    def available(self) -> bool:
+        if not self.argv:
+            return False
+        head = self.argv[0]
+        return bool(shutil.which(head) or os.path.exists(head))
+
+    def _render(self, request: SolveRequest) -> str | None:
+        raise NotImplementedError
+
+    def _parse(self, stdout: str, returncode: int) -> BackendAnswer:
+        raise NotImplementedError
+
+    def start(self, request: SolveRequest, timeout: float | None = None):
+        text = self._render(request)
+        if text is None:
+            return None
+        fd, path = tempfile.mkstemp(suffix=self.suffix, prefix="repro-q-")
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        t0 = time.perf_counter()
+        try:
+            proc = subprocess.Popen(
+                self.argv + [path],
+                stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+                text=True,
+            )
+        except OSError as exc:
+            os.unlink(path)
+            raise RuntimeError(f"failed to launch {self.name}: {exc}") from exc
+        budget = timeout if timeout is not None else self.default_timeout
+        return _ProcHandle(proc, path, t0 + budget, t0)
+
+    def poll(self, handle: _ProcHandle) -> BackendAnswer | None:
+        rc = handle.proc.poll()
+        now = time.perf_counter()
+        if rc is None:
+            if now < handle.deadline:
+                return None
+            self.kill(handle)
+            return BackendAnswer("timeout", None, self.name,
+                                 now - handle.t0, "deadline exceeded")
+        stdout = handle.proc.stdout.read() if handle.proc.stdout else ""
+        self._cleanup(handle)
+        answer = self._parse(stdout, rc)
+        answer.time_s = now - handle.t0
+        return answer
+
+    def kill(self, handle: _ProcHandle) -> None:
+        if handle.proc.poll() is None:
+            handle.proc.kill()
+            try:
+                handle.proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                pass
+        self._cleanup(handle)
+
+    def _cleanup(self, handle: _ProcHandle) -> None:
+        if handle.proc.stdout:
+            handle.proc.stdout.close()
+        try:
+            os.unlink(handle.path)
+        except OSError:
+            pass
+
+    def solve(self, request: SolveRequest,
+              timeout: float | None = None) -> BackendAnswer:
+        try:
+            handle = self.start(request, timeout)
+        except RuntimeError as exc:
+            return BackendAnswer("error", None, self.name, 0.0, str(exc))
+        if handle is None:
+            return BackendAnswer("unknown", None, self.name, 0.0,
+                                 "request not expressible for this backend")
+        while True:
+            answer = self.poll(handle)
+            if answer is not None:
+                return answer
+            time.sleep(0.005)
+
+
+class DimacsBackend(_SubprocessBackend):
+    """Generic DIMACS CNF subprocess back end (kissat/cadical/minisat
+    style): input file as last argv element, answer on stdout as
+    ``s SATISFIABLE``/``s UNSATISFIABLE`` plus ``v`` model lines (bare
+    ``SATISFIABLE`` and exit codes 10/20 are also understood)."""
+
+    name = "dimacs"
+    suffix = ".cnf"
+
+    def _render(self, request: SolveRequest) -> str:
+        return request.to_dimacs()
+
+    def _parse(self, stdout: str, returncode: int) -> BackendAnswer:
+        status = None
+        assignment: dict[int, bool] = {}
+        for line in stdout.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("s "):
+                word = line[2:].strip().upper()
+            elif line.split()[0].upper() in ("SATISFIABLE", "UNSATISFIABLE",
+                                             "SAT", "UNSAT"):
+                word = line.split()[0].upper()
+            elif line.startswith("v "):
+                for tok in line[2:].split():
+                    lit = int(tok)
+                    if lit:
+                        assignment[abs(lit)] = lit > 0
+                continue
+            else:
+                continue
+            if word in ("SATISFIABLE", "SAT"):
+                status = SAT
+            elif word in ("UNSATISFIABLE", "UNSAT"):
+                status = UNSAT
+        if status is None:
+            if returncode == 10:
+                status = SAT
+            elif returncode == 20:
+                status = UNSAT
+            else:
+                return BackendAnswer("error", None, self.name, 0.0,
+                                     f"unparseable output (rc={returncode})")
+        return BackendAnswer(status, assignment if status == SAT else None,
+                             self.name)
+
+
+class SmtLib2Backend(_SubprocessBackend):
+    """SMT-LIB2 subprocess back end (``z3 file.smt2`` style).
+
+    Solves at the word level from ``request.terms``; requests carrying
+    only CNF are declined (the portfolio just skips this back end for
+    them).  Status-only: SAT answers come back without an assignment,
+    so the portfolio uses them for verdicts, never for models.
+    """
+
+    name = "z3"
+    suffix = ".smt2"
+
+    def _render(self, request: SolveRequest) -> str | None:
+        if not request.terms:
+            return None
+        from .smtlib import to_smtlib2
+
+        return to_smtlib2(request.terms)
+
+    def _parse(self, stdout: str, returncode: int) -> BackendAnswer:
+        for line in stdout.splitlines():
+            word = line.strip()
+            if word == "sat":
+                return BackendAnswer(SAT, None, self.name)
+            if word == "unsat":
+                return BackendAnswer(UNSAT, None, self.name)
+            if word == "unknown":
+                return BackendAnswer("unknown", None, self.name)
+        return BackendAnswer("error", None, self.name, 0.0,
+                             f"unparseable output (rc={returncode})")
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def _validate_solver_factory(name: str, factory) -> None:
+    if not callable(factory):
+        raise TypeError(
+            f"solver backend factory for {name!r} must be callable "
+            f"(returning a SolverBackend), got {type(factory).__name__}")
+
+
+#: name -> zero-argument factory returning a :class:`SolverBackend`.
+SOLVERS = Registry("solver backend", validator=_validate_solver_factory)
+
+
+def register_solver(name: str, factory, *, replace: bool = False) -> None:
+    """Register an external solver back end under ``name``.
+
+    ``factory`` is called with no arguments and must return a
+    :class:`SolverBackend`.  After registration the name is accepted by
+    ``TestGenConfig.solver``/``.portfolio``, the CLI ``--solver`` /
+    ``--portfolio`` flags, and :func:`make_solver`.
+    """
+    SOLVERS.register(name, factory, replace=replace)
+
+
+def make_solver(name: str) -> SolverBackend:
+    """Instantiate the back end registered under ``name``."""
+    backend = SOLVERS.create(name)
+    if not isinstance(backend, SolverBackend):
+        raise TypeError(f"solver backend factory {name!r} returned "
+                        f"{type(backend).__name__}, not a SolverBackend")
+    return backend
+
+
+def solver_names() -> list[str]:
+    return SOLVERS.names()
+
+
+def available_solver_names() -> list[str]:
+    """Registered back ends whose binaries are actually present."""
+    out = []
+    for name in SOLVERS.names():
+        try:
+            if make_solver(name).available():
+                out.append(name)
+        except Exception:  # a broken factory must not break listing
+            continue
+    return out
+
+
+def _env_dimacs_factory() -> DimacsBackend:
+    command = os.environ.get(SOLVER_PATH_ENV, "")
+    return DimacsBackend(shlex.split(command), name="dimacs")
+
+
+register_solver("native", NativeBackend)
+register_solver("dimacs", _env_dimacs_factory)
+register_solver("kissat", lambda: DimacsBackend(["kissat", "-q"],
+                                                name="kissat"))
+register_solver("cadical", lambda: DimacsBackend(["cadical", "-q"],
+                                                 name="cadical"))
+register_solver("minisat", lambda: DimacsBackend(["minisat", "-verb=0"],
+                                                 name="minisat"))
+register_solver("z3", lambda: SmtLib2Backend(["z3", "-smt2"], name="z3"))
+
+
+# ---------------------------------------------------------------------------
+# Portfolio
+# ---------------------------------------------------------------------------
+
+_warned_unavailable: set[str] = set()
+
+
+def _warn_once(name: str, message: str) -> None:
+    if name not in _warned_unavailable:
+        _warned_unavailable.add(name)
+        log.warning("%s", message)
+
+
+def _bump(stats, field: str, name: str, n: int = 1) -> None:
+    if stats is None:
+        return
+    counters = getattr(stats, field)
+    counters[name] = counters.get(name, 0) + n
+
+
+class PortfolioSolver:
+    """Races solver back ends on hard queries; degrades to pure native.
+
+    Determinism contract: every *verdict* (SAT/UNSAT) is objective, so
+    it cannot depend on which back end answered first; every *model*
+    that callers may consume comes from the primary back end (native by
+    default), with external assignments verified against the clause
+    snapshot before they are ever trusted.  Which backend wins a race
+    therefore changes timing and stats, never results — suites are
+    byte-identical portfolio on/off.
+
+    Args:
+        primary: back-end name answering model-bearing queries
+            ("native" unless the user brings their own solver).
+        externals: back-end names raced against the native search on
+            hard queries.
+        conflict_budget: native conflicts before a query counts as hard
+            and the race starts.
+        timeout_s: per-backend wall budget for one query.
+        max_failures: errors/timeouts before a back end is benched for
+            the rest of the run (logged once).
+    """
+
+    def __init__(self, primary: str = "native", externals=(),
+                 conflict_budget: int = 256, timeout_s: float = 10.0,
+                 max_failures: int = 3):
+        self.conflict_budget = max(1, int(conflict_budget))
+        self.timeout_s = timeout_s
+        self.max_failures = max_failures
+        self.primary_name = primary
+        self._primary_external: SolverBackend | None = None
+        self._failures: dict[str, int] = {}
+        if primary != "native":
+            backend = self._instantiate(primary)
+            if backend is not None:
+                self._primary_external = backend
+            else:
+                self.primary_name = "native"
+        # Fixed priority order = registration order in the config; this
+        # is the deterministic tie-break when several finish in the
+        # same poll round.
+        self.externals: list[SolverBackend] = []
+        for name in externals:
+            if name == "native" or name == self.primary_name:
+                continue
+            backend = self._instantiate(name)
+            if backend is not None:
+                self.externals.append(backend)
+
+    def _instantiate(self, name: str) -> SolverBackend | None:
+        try:
+            backend = make_solver(name)
+        except Exception as exc:
+            _warn_once(name, f"solver backend {name!r} failed to load "
+                             f"({exc}); falling back to native")
+            return None
+        if not backend.available():
+            _warn_once(name, f"solver backend {name!r} is not available "
+                             f"(binary not found); falling back to native")
+            return None
+        return backend
+
+    @property
+    def active(self) -> bool:
+        """Whether any non-native back end is actually in play."""
+        return bool(self.externals) or self._primary_external is not None
+
+    def first_external(self) -> SolverBackend | None:
+        return self.externals[0] if self.externals else None
+
+    def _live_externals(self) -> list[SolverBackend]:
+        return [b for b in self.externals
+                if self._failures.get(b.name, 0) < self.max_failures]
+
+    def _record_failure(self, backend: SolverBackend, reason: str,
+                        stats) -> None:
+        field = ("backend_timeouts" if reason == "timeout"
+                 else "backend_errors")
+        _bump(stats, field, backend.name)
+        count = self._failures.get(backend.name, 0) + 1
+        self._failures[backend.name] = count
+        if count == self.max_failures:
+            _warn_once(backend.name + ":benched",
+                       f"solver backend {backend.name!r} benched after "
+                       f"{count} failures; continuing with native")
+
+    # ------------------------------------------------------------------
+
+    def solve_with(self, sat: SatSolver, assumptions, *,
+                   need_model: bool = False, terms=None, stats=None):
+        """Answer the live solver's current query, racing if it is hard.
+
+        Returns ``(status, external_assignment_or_None, backend_name)``.
+        ``external_assignment`` is set only when an external back end
+        won a SAT verdict with a clause-verified assignment; callers
+        may surface it as a model.  With ``need_model`` a SAT verdict
+        must carry the primary back end's model, so external SAT wins
+        only short-circuit when the winner *is* the primary.
+        """
+        assumptions = list(assumptions)
+        if self._primary_external is not None:
+            return self._solve_external_primary(
+                sat, assumptions, need_model=need_model, terms=terms,
+                stats=stats)
+        externals = self._live_externals()
+        if not externals:
+            return sat.solve(assumptions), None, "native"
+        # Classify: cheap queries never pay subprocess startup.
+        _bump(stats, "backend_queries", "native")
+        status = sat.solve(assumptions, conflict_budget=self.conflict_budget)
+        if status != UNKNOWN:
+            _bump(stats, "backend_wins", "native")
+            return status, None, "native"
+        return self._race(sat, assumptions, externals,
+                          need_model=need_model, terms=terms, stats=stats)
+
+    def _race(self, sat: SatSolver, assumptions, externals, *,
+              need_model: bool, terms, stats):
+        if stats is not None:
+            stats.portfolio_races += 1
+        request = request_from_sat(sat, assumptions, terms=terms)
+        handles: list[tuple[SolverBackend, object]] = []
+        for backend in externals:
+            _bump(stats, "backend_queries", backend.name)
+            try:
+                handle = backend.start(request, self.timeout_s)
+            except Exception as exc:
+                self._record_failure(backend, "error", stats)
+                log.debug("backend %s failed to start: %s", backend.name, exc)
+                continue
+            if handle is not None:
+                handles.append((backend, handle))
+
+        def kill_all():
+            for backend, handle in handles:
+                try:
+                    backend.kill(handle)
+                except Exception:
+                    pass
+
+        try:
+            while True:
+                # One native slice...
+                status = sat.solve(assumptions,
+                                   conflict_budget=self.conflict_budget)
+                if status != UNKNOWN:
+                    _bump(stats, "backend_wins", "native")
+                    return status, None, "native"
+                # ...then poll the subprocesses, in fixed priority order.
+                finished: list[tuple[SolverBackend, BackendAnswer]] = []
+                still: list[tuple[SolverBackend, object]] = []
+                for backend, handle in handles:
+                    try:
+                        answer = backend.poll(handle)
+                    except Exception as exc:
+                        answer = BackendAnswer("error", None, backend.name,
+                                               0.0, str(exc))
+                    if answer is None:
+                        still.append((backend, handle))
+                    else:
+                        finished.append((backend, answer))
+                handles = still
+                for backend, answer in finished:
+                    if not answer.decisive:
+                        self._record_failure(
+                            backend,
+                            "timeout" if answer.status == "timeout"
+                            else "error",
+                            stats)
+                        continue
+                    if answer.status == SAT and answer.assignment is not None:
+                        if not request.verify_assignment(answer.assignment):
+                            self._record_failure(backend, "error", stats)
+                            log.debug("backend %s returned a bogus model",
+                                      backend.name)
+                            continue
+                    if answer.status == SAT and need_model:
+                        # A model-bearing query: the verdict is known,
+                        # but the emitted model must come from the
+                        # primary (native) back end for run-to-run
+                        # byte-identity — finish the native solve.
+                        _bump(stats, "backend_wins", backend.name)
+                        kill_all()
+                        handles = []
+                        final = sat.solve(assumptions)
+                        return final, None, "native"
+                    _bump(stats, "backend_wins", backend.name)
+                    kill_all()
+                    handles = []
+                    return (answer.status, answer.assignment, answer.backend)
+                if not handles:
+                    # Every external died; finish natively.
+                    status = sat.solve(assumptions)
+                    _bump(stats, "backend_wins", "native")
+                    return status, None, "native"
+        finally:
+            kill_all()
+
+    def _solve_external_primary(self, sat: SatSolver, assumptions, *,
+                                need_model: bool, terms, stats):
+        """User-selected external primary: every query goes to it; the
+        native solver is the always-available fallback."""
+        backend = self._primary_external
+        if self._failures.get(backend.name, 0) >= self.max_failures:
+            return sat.solve(assumptions), None, "native"
+        request = request_from_sat(sat, assumptions, terms=terms)
+        _bump(stats, "backend_queries", backend.name)
+        try:
+            answer = backend.solve(request, self.timeout_s)
+        except Exception as exc:
+            answer = BackendAnswer("error", None, backend.name, 0.0, str(exc))
+        if answer.status == UNSAT:
+            _bump(stats, "backend_wins", backend.name)
+            return UNSAT, None, backend.name
+        if answer.status == SAT:
+            assignment = answer.assignment
+            if assignment is not None and request.verify_assignment(assignment):
+                _bump(stats, "backend_wins", backend.name)
+                return SAT, assignment, backend.name
+            if not need_model:
+                _bump(stats, "backend_wins", backend.name)
+                return SAT, None, backend.name
+            # SAT without a trustworthy model: fall through to native.
+            log.debug("primary backend %s answered sat without a usable "
+                      "model; extracting natively", backend.name)
+        else:
+            self._record_failure(
+                backend,
+                "timeout" if answer.status == "timeout" else "error",
+                stats)
+        status = sat.solve(assumptions)
+        _bump(stats, "backend_wins", "native")
+        return status, None, "native"
+
+    def close(self) -> None:
+        for backend in self.externals:
+            try:
+                backend.close()
+            except Exception:
+                pass
+        if self._primary_external is not None:
+            try:
+                self._primary_external.close()
+            except Exception:
+                pass
+
+
+def build_portfolio(config) -> PortfolioSolver | None:
+    """Construct the portfolio a :class:`TestGenConfig` asks for.
+
+    Returns None for the default native-only configuration, so the hot
+    path keeps its zero-indirection dispatch (the perfsmoke guard pins
+    this).
+    """
+    solver = getattr(config, "solver", "native")
+    portfolio = tuple(getattr(config, "portfolio", ()) or ())
+    if solver == "native" and not portfolio:
+        return None
+    if solver != "native" and solver not in SOLVERS:
+        SOLVERS.get(solver)  # raises UnknownNameError with suggestions
+    for name in portfolio:
+        if name not in SOLVERS and name != "native":
+            SOLVERS.get(name)
+    return PortfolioSolver(
+        primary=solver,
+        externals=portfolio,
+        conflict_budget=getattr(config, "portfolio_budget", 256),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cross-checking
+# ---------------------------------------------------------------------------
+
+class CrossCheckError(AssertionError):
+    """A second back end disagreed with a recorded answer, or an
+    emitted model failed verification — one of the solver layers is
+    wrong, exactly what the validation layer exists to catch."""
+
+
+class CrossChecker:
+    """Differential validation of SAT answers (``--solver-crosscheck``).
+
+    Every ``sample``-th SAT answer is (a) verified at the word level —
+    the emitted model must satisfy the original constraint set — and
+    (b) re-solved on ``secondary`` (when one is configured and
+    available), whose verdict must agree.  The sampling counter is
+    deterministic, so which answers get checked is reproducible.
+    """
+
+    def __init__(self, secondary: SolverBackend | None = None,
+                 sample: int = 4, strict: bool = True,
+                 timeout_s: float = 10.0):
+        self.secondary = secondary
+        self.sample = max(1, int(sample))
+        self.strict = strict
+        self.timeout_s = timeout_s
+        self.checks = 0
+        self.failures = 0
+        self.disagreements: list[str] = []
+        self._seen_sat = 0
+
+    def maybe_check(self, terms, model: dict, request: SolveRequest | None,
+                    context: str = "") -> None:
+        """Cross-check one SAT answer if the sampler selects it."""
+        self._seen_sat += 1
+        if self._seen_sat % self.sample:
+            return
+        self.checks += 1
+        failure = None
+        try:
+            if not all_hold(list(terms), model):
+                failure = f"model fails word-level verification ({context})"
+        except Exception as exc:
+            failure = f"model verification raised {exc!r} ({context})"
+        if failure is None and self.secondary is not None \
+                and self.secondary.available() and request is not None:
+            try:
+                answer = self.secondary.solve(request, self.timeout_s)
+            except Exception as exc:
+                answer = BackendAnswer("error", None, self.secondary.name,
+                                       0.0, str(exc))
+            if answer.status == UNSAT:
+                failure = (f"backend {answer.backend!r} says unsat where "
+                           f"the recorded answer was sat ({context})")
+            # unknown/timeout/error: no verdict, nothing to compare.
+        if failure is not None:
+            self.failures += 1
+            self.disagreements.append(failure)
+            if self.strict:
+                raise CrossCheckError(failure)
+            log.error("solver crosscheck failed: %s", failure)

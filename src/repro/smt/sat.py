@@ -14,10 +14,11 @@ from __future__ import annotations
 
 import heapq
 
-__all__ = ["SatSolver", "SAT", "UNSAT"]
+__all__ = ["SatSolver", "SAT", "UNSAT", "UNKNOWN"]
 
 SAT = "sat"
 UNSAT = "unsat"
+UNKNOWN = "unknown"
 
 
 def _luby(i: int) -> int:
@@ -296,8 +297,18 @@ class SatSolver:
     # Main search
     # ------------------------------------------------------------------
 
-    def solve(self, assumptions: list[int] | None = None) -> str:
-        """Solve under the given assumptions; returns ``SAT`` or ``UNSAT``."""
+    def solve(self, assumptions: list[int] | None = None,
+              conflict_budget: int | None = None) -> str:
+        """Solve under the given assumptions; returns ``SAT`` or ``UNSAT``.
+
+        With ``conflict_budget`` the search stops after that many
+        conflicts and returns ``UNKNOWN``, leaving the solver at
+        decision level 0 with everything it learned retained — calling
+        ``solve`` again (with or without a budget) resumes where the
+        previous slice left off.  This is how the portfolio layer
+        classifies hard queries and interleaves native search with
+        external back-end polling (see :mod:`repro.smt.backends`).
+        """
         if not self._ok:
             return UNSAT
         assumptions = list(assumptions or [])
@@ -310,12 +321,14 @@ class SatSolver:
         restart_count = 1
         conflicts_until_restart = 32 * _luby(restart_count)
         conflicts_this_restart = 0
+        conflicts_this_call = 0
 
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 self.stats["conflicts"] += 1
                 conflicts_this_restart += 1
+                conflicts_this_call += 1
                 if not self.trail_lim:
                     return UNSAT
                 # If the conflict is below the assumption levels we
@@ -337,6 +350,13 @@ class SatSolver:
                     self.stats["learned"] += 1
                     self._enqueue(learned[0], idx)
                 self.var_inc /= self.var_decay
+                if (conflict_budget is not None
+                        and conflicts_this_call >= conflict_budget):
+                    # Progress survives the pause through the clause
+                    # database (learned clauses and level-0 units stay);
+                    # park the search at level 0 and hand control back.
+                    self._backjump(0)
+                    return UNKNOWN
                 continue
 
             if conflicts_this_restart >= conflicts_until_restart:

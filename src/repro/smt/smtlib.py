@@ -1,0 +1,137 @@
+"""SMT-LIB2 serialization of the term DAG.
+
+Used by the external SMT back ends (:mod:`repro.smt.backends`) to hand
+a constraint set to a real solver (Z3, cvc5, ...) over the standard
+``QF_BV`` text format.  Shared subterms are emitted once through
+``let``-bindings, so the output stays linear in the DAG size.
+
+Only serialization lives here; model *parsing* is back-end specific and
+stays with the back end.
+"""
+
+from __future__ import annotations
+
+from .terms import Term, free_vars
+
+__all__ = ["to_smtlib2", "smtlib_symbol"]
+
+# op -> SMT-LIB2 operator for the plain n-ary cases.
+_OPS = {
+    "and": "and",
+    "or": "or",
+    "not": "not",
+    "xor": "xor",
+    "eq": "=",
+    "ite": "ite",
+    "ult": "bvult",
+    "slt": "bvslt",
+    "bvadd": "bvadd",
+    "bvsub": "bvsub",
+    "bvmul": "bvmul",
+    "bvudiv": "bvudiv",
+    "bvurem": "bvurem",
+    "bvand": "bvand",
+    "bvor": "bvor",
+    "bvxor": "bvxor",
+    "bvnot": "bvnot",
+    "bvshl": "bvshl",
+    "bvlshr": "bvlshr",
+    "bvashr": "bvashr",
+    "concat": "concat",
+}
+
+
+def smtlib_symbol(name) -> str:
+    """A quoted SMT-LIB2 symbol for an arbitrary variable name."""
+    text = str(name)
+    if text.isidentifier():
+        return text
+    return "|" + text.replace("|", "_").replace("\\", "_") + "|"
+
+
+def _render(term: Term, shared: dict[Term, str]) -> str:
+    """Render one node, referring to let-bound shared subterms by name."""
+    label = shared.get(term)
+    if label is not None:
+        return label
+    return _render_node(term, shared)
+
+
+def _render_node(term: Term, shared: dict[Term, str]) -> str:
+    op = term.op
+    if op == "const":
+        if term.width == 0:
+            return "true" if term.payload else "false"
+        return f"(_ bv{term.payload} {term.width})"
+    if op == "var":
+        return smtlib_symbol(term.payload)
+    args = " ".join(_render(a, shared) for a in term.args)
+    if op == "extract":
+        hi, lo = term.payload
+        return f"((_ extract {hi} {lo}) {args})"
+    if op == "zext":
+        extra = term.width - term.args[0].width
+        return f"((_ zero_extend {extra}) {args})"
+    if op == "sext":
+        extra = term.width - term.args[0].width
+        return f"((_ sign_extend {extra}) {args})"
+    smt_op = _OPS.get(op)
+    if smt_op is None:
+        raise ValueError(f"cannot serialize op {op!r} to SMT-LIB2")
+    return f"({smt_op} {args})"
+
+
+def _shared_subterms(roots) -> list[Term]:
+    """Non-leaf subterms referenced more than once, in postorder."""
+    counts: dict[Term, int] = {}
+    order: list[Term] = []
+    stack = [(r, False) for r in roots]
+    seen: set[Term] = set()
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        counts[node] = counts.get(node, 0) + 1
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.append((node, True))
+        for child in node.args:
+            stack.append((child, False))
+    return [t for t in order
+            if counts.get(t, 0) > 1 and t.args and t not in set(roots)]
+
+
+def to_smtlib2(terms, *, logic: str = "QF_BV",
+               get_model: bool = False) -> str:
+    """A complete SMT-LIB2 script asserting ``terms`` (a conjunction).
+
+    With ``get_model`` the script ends in ``(get-model)`` after
+    ``(check-sat)`` so back ends can parse values out of the reply.
+    """
+    terms = list(terms)
+    lines = [f"(set-logic {logic})"]
+    variables: set[Term] = set()
+    for t in terms:
+        variables |= free_vars(t)
+    for v in sorted(variables, key=lambda t: (str(t.payload), t.width)):
+        sort = "Bool" if v.width == 0 else f"(_ BitVec {v.width})"
+        lines.append(f"(declare-const {smtlib_symbol(v.payload)} {sort})")
+    shared: dict[Term, str] = {}
+    bindings: list[str] = []
+    for sub in _shared_subterms(terms):
+        rendered = _render_node(sub, shared)
+        shared[sub] = f"?t{len(shared)}"
+        bindings.append(f"({shared[sub]} {rendered})")
+    for t in terms:
+        body = _render(t, shared)
+        # Close over every binding; SMT-LIB2 lets are non-recursive, so
+        # nest them innermost-last (each may refer to earlier ones).
+        for binding in reversed(bindings):
+            body = f"(let ({binding}) {body})"
+        lines.append(f"(assert {body})")
+    lines.append("(check-sat)")
+    if get_model:
+        lines.append("(get-model)")
+    return "\n".join(lines) + "\n"

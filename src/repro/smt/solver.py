@@ -22,6 +22,7 @@ what makes parallel exploration reproduce sequential output exactly.
 from __future__ import annotations
 
 import time
+import warnings
 
 from .bitblast import BitBlaster
 from .cnf import CnfBuilder
@@ -29,7 +30,7 @@ from .elide import QueryElider
 from .sat import SAT, UNSAT, SatSolver
 from .terms import Term, bool_const, free_vars
 
-__all__ = ["Solver", "Model", "SolverStats"]
+__all__ = ["Solver", "Model", "SolverStats", "SolveResult"]
 
 
 class SolverStats:
@@ -61,6 +62,14 @@ class SolverStats:
         self.blast_cache_misses = 0
         self.blast_clauses_replayed = 0
         self.blast_time_saved_s = 0.0
+        # Solver portfolio (see smt/backends.py): per-backend counters,
+        # keyed by backend name, recorded only for portfolio-dispatched
+        # queries; plus how many queries escalated into a race.
+        self.backend_queries: dict[str, int] = {}
+        self.backend_wins: dict[str, int] = {}
+        self.backend_timeouts: dict[str, int] = {}
+        self.backend_errors: dict[str, int] = {}
+        self.portfolio_races = 0
 
     @property
     def total_time(self) -> float:
@@ -93,7 +102,66 @@ class SolverStats:
             "blast_cache_misses": self.blast_cache_misses,
             "blast_clauses_replayed": self.blast_clauses_replayed,
             "blast_time_saved_s": self.blast_time_saved_s,
+            "backend_queries": dict(self.backend_queries),
+            "backend_wins": dict(self.backend_wins),
+            "backend_timeouts": dict(self.backend_timeouts),
+            "backend_errors": dict(self.backend_errors),
+            "portfolio_races": self.portfolio_races,
         }
+
+
+class SolveResult(str):
+    """The answer to one ``check``: a status plus structured metadata.
+
+    A :class:`SolveResult` *is* its status string (``"sat"`` or
+    ``"unsat"``), so every existing comparison — ``res == "sat"``,
+    ``res != "sat"``, dict keys, formatting — keeps working unchanged;
+    the structured fields ride along:
+
+    - ``status``: the plain status string (shim property).
+    - ``model``: the :class:`Model` for ``check_and_model`` SAT
+      answers; None from plain ``check`` (extract via ``Solver.model``).
+    - ``backend``: which solver back end answered ("native", an
+      external back-end name, "cache", or "elide").
+    - ``stats``: the owning solver's :class:`SolverStats` at answer
+      time.
+
+    Tuple unpacking (``status, model = solver.check_and_model(...)``)
+    is kept as a deprecated shim for one release.
+    """
+
+    __slots__ = ("model", "backend", "stats")
+
+    def __new__(cls, status: str, model=None, backend: str = "native",
+                stats=None):
+        self = super().__new__(cls, status)
+        object.__setattr__(self, "model", model)
+        object.__setattr__(self, "backend", backend)
+        object.__setattr__(self, "stats", stats)
+        return self
+
+    @property
+    def status(self) -> str:
+        return str(self)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("SolveResult is immutable")
+
+    def __iter__(self):
+        warnings.warn(
+            "unpacking a SolveResult as (status, model) is deprecated; "
+            "use result.status and result.model instead",
+            DeprecationWarning, stacklevel=2)
+        yield str(self)
+        yield self.model
+
+    def __repr__(self) -> str:
+        return (f"SolveResult({str(self)!r}, backend={self.backend!r}, "
+                f"model={self.model!r})")
+
+    def __reduce__(self):
+        # Stats hold live solver references; they don't cross pickles.
+        return (SolveResult, (str(self), self.model, self.backend, None))
 
 
 class Model:
@@ -127,10 +195,22 @@ class Solver:
 
     def __init__(self, cache=None, elide: bool = False,
                  elide_models: int = 8, elide_unsat: int = 64,
-                 blast_share=None):
+                 blast_share=None, portfolio=None,
+                 portfolio_need_model: bool = False):
         self._sat = SatSolver()
         self._builder = CnfBuilder(self._sat)
         self._blaster = BitBlaster(self._builder)
+        # Solver portfolio (smt/backends.py): when set and active, the
+        # final CDCL solve of each check is dispatched through it so
+        # hard queries race external back ends.  ``portfolio_need_model``
+        # marks solvers whose SAT answers must carry the primary
+        # back end's model (the canonical sub-solver) — external SAT
+        # wins then only decide the verdict, never the model.
+        self._portfolio = portfolio
+        self._portfolio_need_model = portfolio_need_model
+        self._external_assignment: dict[int, bool] | None = None
+        self._status_only_sat = False
+        self._last_backend = "native"
         # Shared blast cache (smt/bitblast.py): sound only while this
         # solver's op stream is a pure function of the base assertion
         # sequence, so the cursor detaches on push() or extras blasting.
@@ -235,8 +315,10 @@ class Solver:
     # Solving
     # ------------------------------------------------------------------
 
-    def check(self, *extra: Term) -> str:
-        """Returns ``"sat"`` or ``"unsat"`` for the current assertions.
+    def check(self, *extra: Term) -> "SolveResult":
+        """Returns the :class:`SolveResult` for the current assertions
+        (comparable to ``"sat"``/``"unsat"`` like the plain string it
+        replaced).
 
         ``extra`` terms are treated as one-shot assumptions that do not
         persist after the call.
@@ -250,6 +332,8 @@ class Solver:
         # whole assertion sequence still goes through the share.
         self._share_node = None
         self._elided_model = None
+        self._external_assignment = None
+        self._status_only_sat = False
         conjuncts = None
         if self.elider is not None:
             conjuncts = self.assertions() + list(extra)
@@ -257,12 +341,13 @@ class Solver:
             if status is not None:
                 self._last_assumptions = list(extra)
                 self.stats.checks += 1
+                self._last_backend = "elide"
                 if status == "sat":
                     self.stats.sat_answers += 1
                     self._elided_model = witness
                 else:
                     self.stats.unsat_answers += 1
-                return status
+                return SolveResult(status, backend="elide", stats=self.stats)
         assumptions = [sel for sel, _terms in self._levels]
         t0 = time.perf_counter()
         for term in extra:
@@ -272,7 +357,19 @@ class Solver:
         self._last_assumptions = list(extra)
 
         t0 = time.perf_counter()
-        res = self._sat.solve(assumptions)
+        if self._portfolio is not None and self._portfolio.active:
+            res, ext_assignment, backend = self._portfolio.solve_with(
+                self._sat, assumptions,
+                need_model=self._portfolio_need_model,
+                terms=self.assertions() + list(extra),
+                stats=self.stats)
+            self._external_assignment = ext_assignment
+            self._status_only_sat = (res == SAT and backend != "native"
+                                     and ext_assignment is None)
+            self._last_backend = backend
+        else:
+            res = self._sat.solve(assumptions)
+            self._last_backend = "native"
         self.stats.solve_time += time.perf_counter() - t0
         self.stats.checks += 1
         self.stats.sat_solves += 1
@@ -283,12 +380,14 @@ class Solver:
         if self.elider is not None:
             # Feed the real answer back so future sibling queries elide.
             if res == SAT:
-                self.elider.note_model(self.model().as_dict())
+                if not self._status_only_sat:
+                    self.elider.note_model(self.model().as_dict())
             else:
                 self.elider.note_unsat(conjuncts)
-        return "sat" if res == SAT else "unsat"
+        return SolveResult("sat" if res == SAT else "unsat",
+                           backend=self._last_backend, stats=self.stats)
 
-    def _check_canonical(self, extra: tuple[Term, ...]) -> str:
+    def _check_canonical(self, extra: tuple[Term, ...]) -> "SolveResult":
         """Canonical-mode check: answer from the SolveCache."""
         cache = self.cache
         self._last_assumptions = list(extra)
@@ -317,6 +416,7 @@ class Solver:
                 cache.store(key, entry)
                 if self.elider is not None and entry.status == "unsat":
                     self.elider.note_unsat(key.terms)
+        self._last_backend = getattr(entry, "backend", "native")
         if entry.status == "sat":
             self.stats.sat_answers += 1
             # Rebind the index-keyed cached model to this query's own
@@ -325,7 +425,8 @@ class Solver:
         else:
             self.stats.unsat_answers += 1
             self._cached_model = None
-        return entry.status
+        return SolveResult(entry.status, backend=self._last_backend,
+                           stats=self.stats)
 
     def model(self, variables=None) -> Model:
         """Extract a model after a "sat" answer.
@@ -349,7 +450,17 @@ class Solver:
             if variables is None:
                 return m
             return Model({v: m[v] for v in variables})
-        assignment = self._sat.model()
+        if self._status_only_sat:
+            raise RuntimeError(
+                f"the last check was answered status-only by backend "
+                f"{self._last_backend!r}; no model is available")
+        if self._external_assignment is not None:
+            # A raced external back end won with a clause-verified
+            # assignment: read values through the same blaster bit maps
+            # the native path uses.
+            assignment = self._external_assignment
+        else:
+            assignment = self._sat.model()
         if variables is None:
             variables = set()
             for term in self.assertions():
@@ -376,16 +487,28 @@ class Solver:
                 values[var] = v
         return Model(values)
 
+    @property
+    def last_backend(self) -> str:
+        """Name of the back end that answered the most recent check."""
+        return self._last_backend
+
     # Convenience ------------------------------------------------------
 
-    def check_and_model(self, *extra: Term):
-        """One-shot: returns (status, model-or-None)."""
+    def check_and_model(self, *extra: Term) -> "SolveResult":
+        """One-shot check with the model attached to the result.
+
+        Returns a :class:`SolveResult`; ``result.model`` is the
+        :class:`Model` on SAT and None otherwise.  Legacy
+        ``status, model = ...`` unpacking still works (deprecated).
+        """
         status = self.check(*extra)
         if status != "sat":
-            return status, None
+            return SolveResult(str(status), model=None,
+                               backend=self._last_backend, stats=self.stats)
         # NOTE: when extra assumptions were used the SAT trail already
         # reflects them at the moment of model extraction.
-        return status, self.model()
+        return SolveResult(str(status), model=self.model(),
+                           backend=self._last_backend, stats=self.stats)
 
 
 def quick_check(terms: list[Term]) -> tuple[str, Model | None]:

@@ -29,6 +29,7 @@ import time
 
 from ..config import TestGenConfig, config_from_legacy
 from ..smt import SolveCache, Solver, evaluate, terms as T
+from ..smt.backends import CrossChecker, build_portfolio
 from ..smt.evaluate import EvaluationError
 from ..testback.spec import (
     AbstractTestCase,
@@ -98,6 +99,15 @@ class ExplorationStats:
         self.state_clones = 0
         self.path_cond_copies = 0
         self.frame_cow_copies = 0
+        # Solver back ends (smt/backends.py): per-backend counters from
+        # both solvers plus the canonical cache's miss solves.
+        self.backend_queries: dict[str, int] = {}
+        self.backend_wins: dict[str, int] = {}
+        self.backend_timeouts: dict[str, int] = {}
+        self.backend_errors: dict[str, int] = {}
+        self.portfolio_races = 0
+        self.crosschecks = 0
+        self.crosscheck_failures = 0
 
     def as_dict(self):
         return dict(self.__dict__)
@@ -107,6 +117,11 @@ class ExplorationStats:
         for key, value in other.items():
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 setattr(self, key, getattr(self, key, 0) + value)
+            elif isinstance(value, dict):
+                mine = getattr(self, key, None)
+                if isinstance(mine, dict):
+                    for sub, count in value.items():
+                        mine[sub] = mine.get(sub, 0) + count
 
 
 class PathEvent:
@@ -175,6 +190,22 @@ class Explorer:
         # report this run's activity, not the process's.
         self._intern_base = T.intern_stats()
         self._state_base = state_stats_snapshot()
+        # Solver back ends: a portfolio (or non-native primary) binds
+        # its models through the canonical cache's pure solves, so —
+        # like elision and jobs>1 — it is gated on solve_cache: the
+        # incremental solver's models are history-dependent and would
+        # break the portfolio-on/off byte-identity contract.
+        self.portfolio = build_portfolio(config)
+        if self.portfolio is not None and not config.solve_cache:
+            raise ValueError(
+                "solver/portfolio configuration requires solve_cache=True "
+                "(canonical solves are what keep portfolio runs "
+                "deterministic)")
+        self.crosschecker = None
+        if config.solver_crosscheck:
+            secondary = (self.portfolio.first_external()
+                         if self.portfolio is not None else None)
+            self.crosschecker = CrossChecker(secondary=secondary)
         # Incremental solver: feasibility pruning only — unless
         # solve_cache is off, in which case it doubles as the model
         # solver and full elision would let cached witnesses reach test
@@ -182,9 +213,12 @@ class Explorer:
         # elide-on and elide-off suites stay identical.
         self.solver = Solver(elide=config.elide and config.solve_cache,
                              elide_models=config.elide_models,
-                             elide_unsat=config.elide_unsat)
+                             elide_unsat=config.elide_unsat,
+                             portfolio=self.portfolio)
         if config.solve_cache:
-            self.solve_cache = SolveCache(capacity=config.cache_capacity)
+            self.solve_cache = SolveCache(capacity=config.cache_capacity,
+                                          portfolio=self.portfolio,
+                                          crosscheck=self.crosschecker)
             self.model_solver = Solver(cache=self.solve_cache,
                                        elide=config.elide,
                                        elide_models=config.elide_models,
@@ -418,6 +452,27 @@ class Explorer:
         snap = state_stats_snapshot()
         for field in ("state_clones", "path_cond_copies", "frame_cow_copies"):
             setattr(st, field, snap[field] - self._state_base[field])
+        # Per-backend counters: the incremental solvers count their own
+        # dispatches; the canonical cache accumulates its miss solves'.
+        sources = [ms] + ([ps] if distinct else [])
+        if self.solve_cache is not None:
+            sources.append(self.solve_cache)
+        for field in ("backend_queries", "backend_wins",
+                      "backend_timeouts", "backend_errors"):
+            merged: dict[str, int] = {}
+            for src in sources:
+                for name, count in getattr(src, field).items():
+                    merged[name] = merged.get(name, 0) + count
+            setattr(st, field, merged)
+        st.portfolio_races = sum(src.portfolio_races for src in sources)
+        if self.crosschecker is not None:
+            st.crosschecks = self.crosschecker.checks
+            st.crosscheck_failures = self.crosschecker.failures
+
+    def close(self) -> None:
+        """Release external solver processes (no-op for pure native)."""
+        if self.portfolio is not None:
+            self.portfolio.close()
 
     def generate(self, n: int | None = None) -> list[AbstractTestCase]:
         """Convenience: collect up to ``n`` tests into a list."""

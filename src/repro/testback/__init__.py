@@ -1,16 +1,20 @@
 """Test back ends: abstract specs and renderers (STF, PTF, Protobuf),
 plus a runner that executes specs against the concrete interpreters.
 
-The registry is open: :func:`register_backend` adds a custom renderer
-class under a name, after which ``get_backend(name)``, the CLI
-``--test-backend`` flag, and ``TestGenResult.emit(name)`` all accept
-it.  A back end must provide ``name``, ``render_test(test)`` and
-``render_suite(tests)``; back ends that also declare the suite-shape
-attributes (``SUITE_SEPARATOR``, ``SUITE_SUFFIX``, optionally
-``suite_prefix()``) can be streamed incrementally via
-:class:`SuiteWriter`.
+The registry is open: ``BACKENDS.register(name, cls)`` (a
+:class:`repro.registry.Registry`, shared machinery with simulators and
+solver back ends) adds a custom renderer class under a name, after
+which ``get_backend(name)``, the CLI ``--test-backend`` flag, and
+``TestGenResult.emit(name)`` all accept it.  A back end must provide
+``name``, ``render_test(test)`` and ``render_suite(tests)``; back ends
+that also declare the suite-shape attributes (``SUITE_SEPARATOR``,
+``SUITE_SUFFIX``, optionally ``suite_prefix()``) can be streamed
+incrementally via :class:`SuiteWriter`.
 """
 
+import warnings
+
+from ..registry import Registry
 from .protobuf import ProtobufBackend
 from .ptf import PtfBackend
 from .spec import (
@@ -30,38 +34,42 @@ __all__ = [
     "BACKENDS",
 ]
 
-BACKENDS = {
-    "stf": StfBackend,
-    "ptf": PtfBackend,
-    "protobuf": ProtobufBackend,
-}
 
-
-def get_backend(name: str):
-    try:
-        return BACKENDS[name]()
-    except KeyError:
-        raise KeyError(
-            f"unknown back end {name!r}; available: {', '.join(sorted(BACKENDS))}"
-        )
-
-
-def register_backend(name: str, cls) -> None:
-    """Register a custom test back end under ``name``.
-
-    ``cls`` is instantiated with no arguments by :func:`get_backend`
-    and must provide ``render_test(test) -> str`` and
-    ``render_suite(tests) -> str``.  Re-registering a name replaces the
-    previous back end.
-    """
-    if not isinstance(name, str) or not name:
-        raise ValueError("back-end name must be a non-empty string")
+def _validate_backend(name: str, cls) -> None:
     for attr in ("render_test", "render_suite"):
         if not callable(getattr(cls, attr, None)):
             raise TypeError(
                 f"back end {name!r} must define a callable {attr}; got {cls!r}"
             )
-    BACKENDS[name] = cls
+
+
+#: name -> renderer class, instantiated with no arguments.
+BACKENDS = Registry("test backend", validator=_validate_backend)
+BACKENDS.register("stf", StfBackend)
+BACKENDS.register("ptf", PtfBackend)
+BACKENDS.register("protobuf", ProtobufBackend)
+
+
+def get_backend(name: str):
+    """Instantiate the renderer registered under ``name``."""
+    return BACKENDS.create(name)
+
+
+def register_backend(name: str, cls) -> None:
+    """Deprecated alias for ``BACKENDS.register(name, cls, replace=True)``.
+
+    ``cls`` is instantiated with no arguments by :func:`get_backend`
+    and must provide ``render_test(test) -> str`` and
+    ``render_suite(tests) -> str``.  Re-registering a name replaces the
+    previous back end (which is why the shim keeps replace semantics).
+    """
+    warnings.warn(
+        "register_backend() is deprecated; use "
+        "repro.testback.BACKENDS.register(name, cls) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    BACKENDS.register(name, cls, replace=True)
 
 
 class SuiteWriter:

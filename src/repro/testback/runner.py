@@ -9,9 +9,11 @@ fault-injection layer — a planted toolchain bug.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from ..interp.core import Config, InterpResult
+from ..registry import Registry
 from .spec import AbstractTestCase
 
 __all__ = [
@@ -46,38 +48,39 @@ def _ebpf(program, seed):
     return EbpfSimulator(program, seed=seed)
 
 
-#: Oracle target name -> simulator factory ``(program, seed) -> simulator``.
-SIMULATORS = {
-    "v1model": _bmv2,
-    "spec-only": _bmv2,
-    "tna": _tofino_v1,
-    "t2na": _tofino_v2,
-    "ebpf_model": _ebpf,
-}
-
-
-def register_simulator(target_name: str, factory) -> None:
-    """Register a simulator factory for ``make_simulator`` lookup.
-
-    ``factory`` is called as ``factory(program, seed)``; mirrors
-    :func:`repro.testback.register_backend`.
-    """
+def _validate_simulator(target_name: str, factory) -> None:
     if not callable(factory):
         raise TypeError(f"simulator factory for {target_name!r} must be "
                         f"callable, got {type(factory).__name__}")
-    SIMULATORS[target_name] = factory
+
+
+#: Oracle target name -> simulator factory ``(program, seed) -> simulator``.
+SIMULATORS = Registry("simulator", validator=_validate_simulator)
+SIMULATORS.register("v1model", _bmv2)
+SIMULATORS.register("spec-only", _bmv2)
+SIMULATORS.register("tna", _tofino_v1)
+SIMULATORS.register("t2na", _tofino_v2)
+SIMULATORS.register("ebpf_model", _ebpf)
+
+
+def register_simulator(target_name: str, factory) -> None:
+    """Deprecated alias for ``SIMULATORS.register(..., replace=True)``.
+
+    ``factory`` is called as ``factory(program, seed)``; mirrors the
+    (equally deprecated) :func:`repro.testback.register_backend` shim.
+    """
+    warnings.warn(
+        "register_simulator() is deprecated; use "
+        "repro.testback.runner.SIMULATORS.register(name, factory) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    SIMULATORS.register(target_name, factory, replace=True)
 
 
 def make_simulator(target_name: str, program, seed: int = 0):
     """Instantiate the software model matching an oracle target name."""
-    try:
-        factory = SIMULATORS[target_name]
-    except KeyError:
-        known = ", ".join(sorted(SIMULATORS))
-        raise KeyError(
-            f"no simulator for target {target_name!r} (known: {known})"
-        ) from None
-    return factory(program, seed)
+    return SIMULATORS.create(target_name, program, seed)
 
 
 @dataclass

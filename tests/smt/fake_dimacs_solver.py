@@ -1,0 +1,125 @@
+"""A tiny DIMACS CNF solver used as a stand-in external back end.
+
+Exercises the subprocess plumbing in ``repro.smt.backends`` — launch,
+stdout parsing, timeout/kill, failure backoff, model verification —
+without requiring a real SAT solver binary.  Point the generic
+``dimacs`` back end at it::
+
+    REPRO_SOLVER_PATH="<python> /path/to/fake_dimacs_solver.py [--mode=M]"
+
+The solver is a plain recursive DPLL with unit propagation; the test
+queries it sees are small.  Output follows the conventional format
+(``s SATISFIABLE`` / ``s UNSATISFIABLE`` plus ``v`` model lines, exit
+code 10/20).
+
+Modes (``--mode=``, default ``solve``):
+
+- ``solve``   — answer correctly.
+- ``slow``    — answer correctly after a 0.2s nap (native usually wins).
+- ``hang``    — never answer (forces the deadline kill path).
+- ``garbage`` — print unparseable output and exit 3.
+- ``flip``    — answer with the *wrong* verdict (what the crosscheck
+  and model-verification layers must catch).
+- ``bogus-model`` — claim SAT (correctly or not) with an all-false
+  assignment, which generally fails clause verification.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def parse_dimacs(text: str):
+    num_vars = 0
+    clauses: list[list[int]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            num_vars = int(parts[2])
+            continue
+        lits = [int(tok) for tok in line.split() if tok != "0"]
+        if lits:
+            clauses.append(lits)
+    return num_vars, clauses
+
+
+def dpll(clauses, assignment):
+    while True:
+        unit = None
+        simplified = []
+        for clause in clauses:
+            live = []
+            satisfied = False
+            for lit in clause:
+                val = assignment.get(abs(lit))
+                if val is None:
+                    live.append(lit)
+                elif (lit > 0) == val:
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            if not live:
+                return None
+            if len(live) == 1 and unit is None:
+                unit = live[0]
+            simplified.append(live)
+        if unit is None:
+            clauses = simplified
+            break
+        assignment[abs(unit)] = unit > 0
+    if not clauses:
+        return assignment
+    branch = clauses[0][0]
+    for value in ((branch > 0), not (branch > 0)):
+        trial = dict(assignment)
+        trial[abs(branch)] = value
+        result = dpll(clauses, trial)
+        if result is not None:
+            return result
+    return None
+
+
+def main(argv) -> int:
+    mode = "solve"
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--mode="):
+            mode = arg.split("=", 1)[1]
+        else:
+            paths.append(arg)
+    if mode == "hang":
+        time.sleep(3600)
+        return 1
+    if mode == "garbage":
+        print("!!! not a solver answer !!!")
+        return 3
+    if mode == "slow":
+        time.sleep(0.2)
+    with open(paths[0]) as handle:
+        num_vars, clauses = parse_dimacs(handle.read())
+    sys.setrecursionlimit(10000 + 4 * num_vars)
+    model = dpll(clauses, {})
+    sat = model is not None
+    if mode == "flip":
+        sat = not sat
+        model = {}
+    if mode == "bogus-model":
+        sat = True
+        model = {}
+    if sat:
+        print("s SATISFIABLE")
+        lits = [v if model.get(v, False) else -v
+                for v in range(1, num_vars + 1)]
+        print("v " + " ".join(map(str, lits)) + " 0")
+        return 10
+    print("s UNSATISFIABLE")
+    return 20
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,522 @@
+"""Solver back ends, the portfolio racer, and the crosschecker.
+
+Everything subprocess-shaped is exercised against
+``fake_dimacs_solver.py`` (a tiny DPLL solver run via the generic
+``dimacs`` back end), so no real SAT solver binary is required; tests
+that do want a real binary are marked ``external`` and auto-skip.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro import TestGen, TestGenConfig, load_program
+from repro.registry import UnknownNameError
+from repro.smt import SolveCache, Solver, terms as T
+from repro.smt.backends import (
+    SOLVER_PATH_ENV,
+    SOLVERS,
+    BackendAnswer,
+    CrossChecker,
+    CrossCheckError,
+    DimacsBackend,
+    NativeBackend,
+    PortfolioSolver,
+    SolveRequest,
+    SolverBackend,
+    build_portfolio,
+    make_solver,
+    register_solver,
+    request_from_sat,
+    solver_names,
+)
+from repro.smt.cache import CacheEntry
+from repro.smt.sat import SAT, UNKNOWN, UNSAT, SatSolver
+from repro.smt.solver import SolveResult
+from repro.targets import V1Model
+
+FAKE = os.path.join(os.path.dirname(__file__), "fake_dimacs_solver.py")
+
+
+def fake_cmd(mode=None):
+    argv = [sys.executable, FAKE]
+    if mode:
+        argv.append(f"--mode={mode}")
+    return argv
+
+
+def sat_request():
+    # (x1 | x2) & !x1  ->  sat with x2=True
+    return SolveRequest(2, [(1, 2), (-1,)])
+
+
+def unsat_request():
+    return SolveRequest(2, [(1, 2), (-1, 2), (1, -2), (-1, -2)])
+
+
+def _vars(n, width=8):
+    return [T.bv_var(f"v{i}", width) for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# Conflict-budgeted native solving (the racer's time slices)
+# ---------------------------------------------------------------------------
+
+def _hard_sat_instance():
+    """A solver loaded with a formula that takes a few conflicts."""
+    import random
+
+    rng = random.Random(7)
+    sat = SatSolver()
+    for _ in range(220):
+        clause = rng.sample(range(1, 41), 3)
+        sat.add_clause([v if rng.random() < 0.5 else -v for v in clause])
+    return sat
+
+
+def test_conflict_budget_pauses_and_resumes():
+    sat = _hard_sat_instance()
+    reference = _hard_sat_instance().solve()
+    slices = 0
+    while True:
+        status = sat.solve(conflict_budget=1)
+        slices += 1
+        if status != UNKNOWN:
+            break
+        assert not sat.trail_lim  # parked at decision level 0
+    assert status == reference
+    assert slices > 1  # the budget actually interrupted the search
+
+
+# ---------------------------------------------------------------------------
+# Back ends
+# ---------------------------------------------------------------------------
+
+def test_native_backend_answers_requests():
+    backend = NativeBackend()
+    assert backend.available()
+    answer = backend.solve(sat_request())
+    assert answer.status == SAT
+    assert sat_request().verify_assignment(answer.assignment)
+    assert backend.solve(unsat_request()).status == UNSAT
+
+
+def test_dimacs_backend_solves_via_subprocess():
+    backend = DimacsBackend(fake_cmd(), name="fake")
+    assert backend.available()
+    answer = backend.solve(sat_request(), timeout=30)
+    assert answer.status == SAT
+    assert sat_request().verify_assignment(answer.assignment)
+    assert backend.solve(unsat_request(), timeout=30).status == UNSAT
+
+
+def test_dimacs_backend_respects_assumptions():
+    backend = DimacsBackend(fake_cmd(), name="fake")
+    request = SolveRequest(2, [(1, 2)], assumptions=(-1, -2))
+    assert backend.solve(request, timeout=30).status == UNSAT
+
+
+def test_dimacs_backend_timeout_kills_the_process():
+    backend = DimacsBackend(fake_cmd("hang"), name="fake-hang")
+    handle = backend.start(sat_request(), timeout=0.2)
+    assert handle is not None
+    import time as _time
+
+    deadline = _time.monotonic() + 10
+    answer = None
+    while answer is None and _time.monotonic() < deadline:
+        answer = backend.poll(handle)
+        _time.sleep(0.01)
+    assert answer is not None and answer.status == "timeout"
+    assert handle.proc.poll() is not None  # actually dead
+    assert not os.path.exists(handle.path)  # temp file reaped
+
+
+def test_dimacs_backend_garbage_output_is_an_error_not_a_crash():
+    backend = DimacsBackend(fake_cmd("garbage"), name="fake-garbage")
+    answer = backend.solve(sat_request(), timeout=30)
+    assert answer.status == "error"
+
+
+def test_missing_binary_reports_unavailable():
+    backend = DimacsBackend(["definitely-not-a-solver-binary-12345"])
+    assert not backend.available()
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def test_builtin_solvers_are_registered():
+    for name in ("native", "dimacs", "kissat", "cadical", "minisat", "z3"):
+        assert name in solver_names()
+
+
+def test_register_solver_round_trip():
+    class MyBackend(NativeBackend):
+        name = "mine"
+
+    register_solver("mine", MyBackend)
+    try:
+        assert isinstance(make_solver("mine"), MyBackend)
+        with pytest.raises(ValueError):  # DuplicateNameError
+            register_solver("mine", MyBackend)
+        register_solver("mine", MyBackend, replace=True)
+    finally:
+        del SOLVERS["mine"]
+
+
+def test_make_solver_rejects_non_backend_factories():
+    register_solver("broken-factory", lambda: object())
+    try:
+        with pytest.raises(TypeError, match="not a SolverBackend"):
+            make_solver("broken-factory")
+    finally:
+        del SOLVERS["broken-factory"]
+
+
+def test_unknown_solver_suggests_a_name():
+    with pytest.raises(UnknownNameError, match="did you mean 'native'"):
+        make_solver("natiev")
+
+
+def test_build_portfolio_rejects_unknown_names():
+    with pytest.raises(UnknownNameError):
+        build_portfolio(TestGenConfig(solver="no-such-solver"))
+    with pytest.raises(UnknownNameError):
+        build_portfolio(TestGenConfig(portfolio=("no-such-solver",)))
+
+
+def test_build_portfolio_is_none_for_pure_native():
+    assert build_portfolio(TestGenConfig()) is None
+
+
+# ---------------------------------------------------------------------------
+# Portfolio
+# ---------------------------------------------------------------------------
+
+def test_portfolio_with_missing_binaries_degrades_to_native():
+    portfolio = PortfolioSolver(externals=("kissat", "cadical", "minisat"))
+    if portfolio.active:  # real binaries present on this machine
+        pytest.skip("external solver binaries installed")
+    sat = SatSolver()
+    sat.add_clause([1, 2])
+    status, assignment, backend = portfolio.solve_with(sat, [])
+    assert status == SAT and backend == "native" and assignment is None
+
+
+def test_portfolio_race_agrees_with_native(monkeypatch):
+    monkeypatch.setenv(SOLVER_PATH_ENV,
+                       f"{sys.executable} {FAKE}")
+    for build in (_hard_sat_instance, None):
+        portfolio = PortfolioSolver(externals=("dimacs",), conflict_budget=1)
+        assert portfolio.active
+        if build is None:
+            sat = SatSolver()
+            for clause in unsat_request().clauses:
+                sat.add_clause(list(clause))
+            reference = UNSAT
+        else:
+            sat = build()
+            reference = build().solve()
+        status, assignment, _backend = portfolio.solve_with(sat, [])
+        assert status == reference
+        if assignment is not None:
+            assert request_from_sat(sat).verify_assignment(assignment)
+        portfolio.close()
+
+
+def test_portfolio_need_model_answers_come_from_native(monkeypatch):
+    monkeypatch.setenv(SOLVER_PATH_ENV, f"{sys.executable} {FAKE}")
+    portfolio = PortfolioSolver(externals=("dimacs",), conflict_budget=1)
+    sat = _hard_sat_instance()
+    status, assignment, backend = portfolio.solve_with(
+        sat, [], need_model=True)
+    assert status == _hard_sat_instance().solve()
+    if status == SAT:
+        # Whatever won the race, the model is the native trail's.
+        assert backend == "native" and assignment is None
+        assert sat.assign  # native search ran to completion
+    portfolio.close()
+
+
+def test_external_primary_binds_its_own_models(monkeypatch):
+    monkeypatch.setenv(SOLVER_PATH_ENV, f"{sys.executable} {FAKE}")
+    portfolio = PortfolioSolver(primary="dimacs")
+    assert portfolio.active
+    sat = SatSolver()
+    sat.add_clause([1, 2])
+    sat.add_clause([-1])
+    status, assignment, backend = portfolio.solve_with(
+        sat, [], need_model=True)
+    assert status == SAT and backend == "dimacs"
+    assert assignment[2] is True and assignment[1] is False
+    portfolio.close()
+
+
+def test_external_primary_failure_backoff(monkeypatch):
+    monkeypatch.setenv(SOLVER_PATH_ENV,
+                       f"{sys.executable} {FAKE} --mode=garbage")
+    from repro.smt.solver import SolverStats
+
+    stats = SolverStats()
+    portfolio = PortfolioSolver(primary="dimacs", max_failures=2)
+    sat = SatSolver()
+    sat.add_clause([1])
+    for _ in range(4):
+        status, _assignment, backend = portfolio.solve_with(
+            sat, [], stats=stats)
+        assert status == SAT and backend == "native"
+    # Two failures benched it; the last two queries never left native.
+    assert stats.backend_errors["dimacs"] == 2
+    assert stats.backend_queries["dimacs"] == 2
+    portfolio.close()
+
+
+def test_bogus_external_model_is_rejected(monkeypatch):
+    monkeypatch.setenv(SOLVER_PATH_ENV,
+                       f"{sys.executable} {FAKE} --mode=bogus-model")
+    portfolio = PortfolioSolver(primary="dimacs")
+    sat = SatSolver()
+    sat.add_clause([1])  # all-False "model" violates this
+    status, assignment, backend = portfolio.solve_with(
+        sat, [], need_model=True)
+    # Clause verification caught the lie; native extracted the model.
+    assert status == SAT and backend == "native" and assignment is None
+    portfolio.close()
+
+
+# ---------------------------------------------------------------------------
+# Solver facade integration
+# ---------------------------------------------------------------------------
+
+def _assert_chain(solver, n=3):
+    vs = _vars(n)
+    for i, v in enumerate(vs):
+        solver.add(T.eq(v, T.bv_const(i + 1, 8)))
+    return vs
+
+
+def test_solver_with_portfolio_matches_plain_solver(monkeypatch):
+    monkeypatch.setenv(SOLVER_PATH_ENV, f"{sys.executable} {FAKE}")
+    portfolio = PortfolioSolver(externals=("dimacs",), conflict_budget=1)
+    plain, raced = Solver(), Solver(portfolio=portfolio)
+    vs_plain, vs_raced = _assert_chain(plain), _assert_chain(raced)
+    res_plain, res_raced = plain.check(), raced.check()
+    assert res_plain == res_raced == "sat"
+    for vp, vr in zip(vs_plain, vs_raced):
+        assert plain.model()[vp] == raced.model()[vr]
+    x = vs_raced[0]
+    assert raced.check(T.eq(x, T.bv_const(99, 8))) == "unsat"
+    portfolio.close()
+
+
+def test_status_only_sat_refuses_model_extraction():
+    class StatusOnly(SolverBackend):
+        name = "status-only"
+
+        def solve(self, request, timeout=None):
+            return BackendAnswer(SAT, None, self.name)
+
+    register_solver("status-only", StatusOnly)
+    try:
+        portfolio = PortfolioSolver(primary="status-only")
+        solver = Solver(portfolio=portfolio)
+        solver.add(T.eq(_vars(1)[0], T.bv_const(5, 8)))
+        assert solver.check() == "sat"
+        assert solver.last_backend == "status-only"
+        with pytest.raises(RuntimeError, match="status-only"):
+            solver.model()
+    finally:
+        del SOLVERS["status-only"]
+
+
+# ---------------------------------------------------------------------------
+# SolveResult compatibility shims
+# ---------------------------------------------------------------------------
+
+def test_solve_result_is_its_status_string():
+    solver = Solver()
+    solver.add(T.eq(_vars(1)[0], T.bv_const(5, 8)))
+    res = solver.check()
+    assert isinstance(res, SolveResult) and isinstance(res, str)
+    assert res == "sat" and res != "unsat"
+    assert res.status == "sat"
+    assert res.backend == "native"
+    assert {res: 1}["sat"] == 1  # usable as a dict key
+
+
+def test_solve_result_is_immutable():
+    res = SolveResult("sat")
+    with pytest.raises(AttributeError):
+        res.backend = "other"
+
+
+def test_check_and_model_attaches_model_and_keeps_tuple_shim():
+    solver = Solver()
+    v = _vars(1)[0]
+    solver.add(T.eq(v, T.bv_const(5, 8)))
+    res = solver.check_and_model()
+    assert res == "sat" and res.model[v] == 5
+    with pytest.warns(DeprecationWarning, match="unpacking"):
+        status, model = solver.check_and_model()
+    assert status == "sat" and model[v] == 5
+
+
+def test_solve_result_pickles_without_stats():
+    import pickle
+
+    res = SolveResult("unsat", backend="elide", stats=object())
+    clone = pickle.loads(pickle.dumps(res))
+    assert clone == "unsat" and clone.backend == "elide"
+    assert clone.stats is None
+
+
+# ---------------------------------------------------------------------------
+# Cache backend tagging
+# ---------------------------------------------------------------------------
+
+def test_cache_sat_entries_are_backend_scoped():
+    cache = SolveCache()  # backend_name "native"
+    v = T.bv_var("a", 8)
+    key = cache.key_for([T.eq(v, T.bv_const(3, 8))])
+    cache.store(key, CacheEntry("sat", (3,), 0.01, backend="kissat"))
+    assert cache.lookup(key) is None  # another backend's model: miss
+    cache.store(key, CacheEntry("sat", (3,), 0.01, backend="native"))
+    assert cache.lookup(key) is not None
+
+
+def test_cache_unsat_entries_are_shared_across_backends():
+    cache = SolveCache()
+    v = T.bv_var("a", 8)
+    key = cache.key_for([T.eq(v, T.bv_const(1, 8)),
+                         T.eq(v, T.bv_const(2, 8))])
+    cache.store(key, CacheEntry("unsat", None, 0.01, backend="kissat"))
+    entry = cache.lookup(key)
+    assert entry is not None and entry.status == "unsat"
+
+
+def test_cache_keys_stay_alpha_invariant_with_backend_tags():
+    # Regression for the PR-2 contract: renamed twins share one entry,
+    # and backend tagging must not leak variable names into the key.
+    cache = SolveCache()
+    key_a = cache.key_for([T.eq(T.bv_var("a", 8), T.bv_const(7, 8))])
+    key_b = cache.key_for([T.eq(T.bv_var("b", 8), T.bv_const(7, 8))])
+    assert key_a == key_b and hash(key_a) == hash(key_b)
+    cache.store(key_a, cache.solve(key_a))
+    hit = cache.lookup(key_b)
+    assert hit is not None
+    assert hit.model_values(key_b)[T.bv_var("b", 8)] == 7
+
+
+# ---------------------------------------------------------------------------
+# Crosschecking
+# ---------------------------------------------------------------------------
+
+def _sat_terms_and_model():
+    v = T.bv_var("a", 8)
+    terms = [T.eq(v, T.bv_const(9, 8))]
+    return v, terms
+
+
+def test_crosscheck_passes_on_honest_answers():
+    checker = CrossChecker(secondary=NativeBackend(), sample=1)
+    v, terms = _sat_terms_and_model()
+    solver = Solver()
+    for t in terms:
+        solver.add(t)
+    assert solver.check() == "sat"
+    request = request_from_sat(solver._sat, terms=tuple(terms))
+    checker.maybe_check(terms, solver.model().as_dict(), request)
+    assert checker.checks == 1 and checker.failures == 0
+
+
+def test_crosscheck_catches_a_wrong_model():
+    checker = CrossChecker(sample=1)
+    v, terms = _sat_terms_and_model()
+    with pytest.raises(CrossCheckError, match="word-level"):
+        checker.maybe_check(terms, {v: 8}, None)
+    assert checker.failures == 1
+
+
+def test_crosscheck_catches_a_lying_secondary(monkeypatch):
+    secondary = DimacsBackend(fake_cmd("flip"), name="fake-flip")
+    checker = CrossChecker(secondary=secondary, sample=1)
+    v, terms = _sat_terms_and_model()
+    solver = Solver()
+    for t in terms:
+        solver.add(t)
+    assert solver.check() == "sat"
+    request = request_from_sat(solver._sat, terms=tuple(terms))
+    with pytest.raises(CrossCheckError, match="unsat where"):
+        checker.maybe_check(terms, solver.model().as_dict(), request)
+
+
+def test_crosscheck_sampling_is_deterministic():
+    checker = CrossChecker(sample=3)
+    v, terms = _sat_terms_and_model()
+    for _ in range(9):
+        checker.maybe_check(terms, {v: 9}, None)
+    assert checker.checks == 3  # every 3rd answer, by counter
+
+
+# ---------------------------------------------------------------------------
+# End to end: generation with a portfolio / crosscheck
+# ---------------------------------------------------------------------------
+
+def _suite(config):
+    gen = TestGen(load_program("fig1a"), target=V1Model(), config=config)
+    return gen.run().emit("stf")
+
+
+def test_generation_with_portfolio_is_byte_identical(monkeypatch):
+    monkeypatch.setenv(SOLVER_PATH_ENV, f"{sys.executable} {FAKE}")
+    base = TestGenConfig(seed=1, max_tests=5)
+    plain = _suite(base)
+    raced = _suite(base.replace(portfolio=("dimacs",), portfolio_budget=1))
+    assert plain == raced
+
+
+def test_generation_with_crosscheck_stays_clean():
+    result = TestGen(
+        load_program("fig1a"), target=V1Model(),
+        config=TestGenConfig(seed=1, max_tests=5, solver_crosscheck=True),
+    ).run()
+    assert result.stats.crosschecks > 0
+    assert result.stats.crosscheck_failures == 0
+
+
+def test_portfolio_requires_solve_cache():
+    from repro.symex.explorer import Explorer
+
+    with pytest.raises(ValueError, match="solve_cache"):
+        Explorer(load_program("fig1a"), V1Model(),
+                 config=TestGenConfig(portfolio=("dimacs",),
+                                      solve_cache=False))
+
+
+def test_stats_json_reports_per_backend_counters(monkeypatch, tmp_path):
+    monkeypatch.setenv(SOLVER_PATH_ENV, f"{sys.executable} {FAKE}")
+    config = TestGenConfig(seed=1, max_tests=3,
+                           portfolio=("dimacs",), portfolio_budget=1)
+    result = TestGen(load_program("fig1a"), target=V1Model(),
+                     config=config).run()
+    stats = result.stats.as_dict()
+    assert stats["backend_queries"].get("native", 0) > 0
+    assert "portfolio_races" in stats
+
+
+# ---------------------------------------------------------------------------
+# Real binaries (auto-skipped when absent)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.external
+def test_real_external_solver_agrees_with_native():
+    from repro.smt.backends import available_solver_names
+
+    names = set(available_solver_names()) - {"native", "dimacs"}
+    assert names, "marker guard should have skipped this"
+    backend = make_solver(sorted(names)[0])
+    assert backend.solve(sat_request(), timeout=30).status == SAT
+    assert backend.solve(unsat_request(), timeout=30).status == UNSAT

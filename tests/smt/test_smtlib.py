@@ -1,0 +1,86 @@
+"""SMT-LIB2 serialization (the external SMT back ends' wire format)."""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.smtlib import smtlib_symbol, to_smtlib2
+
+
+def test_symbols_are_quoted_only_when_needed():
+    assert smtlib_symbol("a") == "a"
+    assert smtlib_symbol("pkt.len") == "|pkt.len|"
+    assert "|" not in smtlib_symbol("we|ird")[1:-1]
+
+
+def test_script_shape_and_declarations():
+    a, b = T.bv_var("a", 8), T.bv_var("pkt.len", 8)
+    flag = T.bool_var("flag")
+    script = to_smtlib2([T.eq(a, b), flag], get_model=True)
+    lines = script.splitlines()
+    assert lines[0] == "(set-logic QF_BV)"
+    assert "(declare-const a (_ BitVec 8))" in lines
+    assert "(declare-const |pkt.len| (_ BitVec 8))" in lines
+    assert "(declare-const flag Bool)" in lines
+    assert lines[-2] == "(check-sat)" and lines[-1] == "(get-model)"
+    # Declarations are sorted -> the script is deterministic.
+    assert script == to_smtlib2([T.eq(a, b), flag], get_model=True)
+
+
+def test_shared_subterms_are_let_bound_once():
+    a, b = T.bv_var("a", 8), T.bv_var("b", 8)
+    shared = T.bv_add(a, b)
+    # ``shared`` occurs twice inside one assertion: the renderer must
+    # let-bind it and reference the binder, not inline the bvadd twice.
+    script = to_smtlib2([T.eq(T.concat(shared, shared), T.bv_const(5, 16))])
+    assert script.count("(bvadd a b)") == 1
+    assert "(let (" in script
+    assert script.count("?t0") >= 3  # binder + two uses
+
+
+def test_operator_coverage():
+    a, b = T.bv_var("a", 8), T.bv_var("b", 8)
+    terms = [
+        T.eq(T.extract(a, 7, 4), T.bv_const(3, 4)),
+        T.eq(T.zero_extend(a, 8), T.bv_const(300, 16)),
+        T.eq(T.concat(a, b), T.bv_const(5, 16)),
+        T.slt(T.bv_sub(a, b), T.bv_const(1, 8)),
+    ]
+    script = to_smtlib2(terms)
+    for fragment in ("(_ extract", "(_ zero_extend 8)", "concat",
+                     "bvslt", "bvsub", "(_ bv300 16)"):
+        assert fragment in script, fragment
+
+
+def test_unknown_op_is_a_clear_error():
+    fake = T.bv_var("a", 8)
+    weird = T._mk("frobnicate", (fake,), 8)
+    with pytest.raises(ValueError, match="frobnicate"):
+        to_smtlib2([T.eq(weird, T.bv_const(0, 8))])
+
+
+def test_smtlib_backend_declines_cnf_only_requests():
+    # A request with clauses but no word-level terms cannot be rendered
+    # as SMT-LIB2; the back end answers "unknown" without launching a
+    # process and the portfolio simply skips it for that query.
+    from repro.smt.backends import SmtLib2Backend, SolveRequest
+
+    backend = SmtLib2Backend(["definitely-not-a-solver"])
+    request = SolveRequest(num_vars=2, clauses=((1, 2), (-1,)),
+                           assumptions=(), terms=None)
+    assert backend._render(request) is None
+    answer = backend.solve(request)
+    assert answer.status == "unknown"
+    assert "not expressible" in answer.detail
+
+
+def test_smtlib_backend_parses_status_lines():
+    from repro.smt.backends import SmtLib2Backend
+
+    backend = SmtLib2Backend(["z3"])
+    assert backend._parse("sat\n", 0).status == "sat"
+    assert backend._parse("unsat\n", 0).status == "unsat"
+    assert backend._parse("unknown\n", 0).status == "unknown"
+    garbage = backend._parse("segfault lol\n", 1)
+    assert garbage.status == "error"
+    # Status-only: a SAT answer never carries an assignment.
+    assert backend._parse("sat\n", 0).assignment is None
