@@ -20,9 +20,11 @@ A separate tracemalloc pass on the first row records allocation peaks
 
 import time
 
-from _util import once, peak_rss_mb, report, traced_peak_mb
+from _util import RESULTS_DIR, once, peak_rss_mb, report, traced_peak_mb
 
 from repro import TestGen, TestGenConfig, load_program
+from repro.report import cache_rates
+from repro.report.bench import append_point
 from repro.targets import get_target
 
 ROWS = [
@@ -46,6 +48,8 @@ def _row(name, target_name, cap, *, elide=True, intern=True):
         "tests": len(result.tests),
         "time_s": elapsed,
         "coverage": result.statement_coverage,
+        "curve": gen.last_run.coverage.curve(),
+        "cache_rates": cache_rates(stats.as_dict()),
         "blocked": stats.tests_blocked,
         "checks": stats.solver_checks,
         "sat_solves": stats.sat_solves,
@@ -124,6 +128,38 @@ def test_tbl4a_large_programs(benchmark):
     lines.append("paper: middleblock 100%, up4 95% (meter RED uncoverable),")
     lines.append("switch.p4 41% at the 1M-test cap — same ordering expected.")
     report("tbl4a_large_programs", lines)
+
+    # Append the run to the BENCH trajectory (schema-validated): one
+    # point per invocation, with the coverage curve and cache rates
+    # per row — the longitudinal record ``repro bench`` also feeds.
+    append_point(RESULTS_DIR, "tbl4a", {
+        "label": "tbl4a",
+        "timestamp_s": round(time.time(), 3),
+        "seed": 1,
+        "phase_times_s": {"oracle": round(wall_on, 6)},
+        "cache_rates": cache_rates({
+            "feasibility_checks": feas_checks,
+            "feasibility_elided": feas_elided,
+            "intern_hits": intern_hits,
+            "intern_misses": intern_total - intern_hits,
+            "blast_cache_hits": sum(r["blast_hits"] for r in rows["on"]),
+            "blast_cache_misses": sum(r["blast_misses"]
+                                      for r in rows["on"]),
+        }),
+        "rows": [
+            {
+                "program": r["name"],
+                "target": r["arch"],
+                "num_tests": r["tests"],
+                "statement_coverage": round(r["coverage"], 4),
+                "coverage_curve": r["curve"],
+                "cache_rates": r["cache_rates"],
+                "wall_s": round(r["time_s"], 6),
+            }
+            for r in rows["on"]
+        ],
+        "fuzz": None,
+    })
 
     mb, up4, switch = rows["on"]
     assert mb["coverage"] == 100.0

@@ -5,6 +5,8 @@ Mirrors the p4testgen binary's surface::
     python -m repro generate fig1a --target v1model --max-tests 10 \\
         --test-backend stf --seed 1 [--out tests.stf] [--jobs 4]
     python -m repro run fig1a --target v1model --seed 1
+    python -m repro fuzz --seed 0 --count 25 [--steer] [--mutate-fraction P]
+    python -m repro bench --label main [--quick]
     python -m repro list-programs
     python -m repro list-targets
 
@@ -20,6 +22,7 @@ import sys
 
 from . import TestGen, TestGenConfig, load_program
 from .programs import list_programs
+from .report import Recorder
 from .targets import TARGETS, Preconditions, get_target
 from .testback import BACKENDS, SuiteWriter, get_backend
 
@@ -72,12 +75,18 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="print intern-pool / blast-cache / COW-state "
                           "counters to stderr after the run")
     gen.add_argument("--stats-json", default=None, metavar="PATH",
-                     help="dump the run's full solver/engine stats "
-                          "(including elision counters) as JSON")
+                     help="write the run report (phase times, coverage "
+                          "curve, cache hit rates, solver stats) as "
+                          "schema-validated JSON")
     gen.add_argument("--fixed-packet-size", type=int, default=None,
                      metavar="BYTES")
     gen.add_argument("--p4constraints", action="store_true")
     gen.add_argument("--stop-at-full-coverage", action="store_true")
+    gen.add_argument("--coverage-goal", type=float, default=None,
+                     metavar="PCT",
+                     help="stop once statement coverage reaches PCT "
+                          "(checked at test boundaries; deterministic "
+                          "for any --jobs value)")
     gen.add_argument("--randomize-values", action="store_true",
                      help="prefer random control-plane values (§3)")
     gen.add_argument("--out", default=None, help="write tests to a file")
@@ -109,12 +118,43 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="oracle test budget per generated program")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="persist failing programs without reduction")
+    fuzz.add_argument("--steer", action="store_true",
+                      help="coverage-guided steering: weight grammar "
+                           "choices toward IR constructs the campaign "
+                           "has not yet exercised")
+    fuzz.add_argument("--steer-batch", type=int, default=8, metavar="N",
+                      help="cases per steering round (bias recomputed "
+                           "between rounds)")
+    fuzz.add_argument("--mutate-fraction", type=float, default=0.0,
+                      metavar="P",
+                      help="probability a case mutates a saved corpus "
+                           "reproducer instead of generating fresh")
+    fuzz.add_argument("--mutate-corpus", default=None, metavar="DIR",
+                      help="reproducer pool for --mutate-fraction "
+                           "(default: the --corpus directory)")
     fuzz.add_argument("--stats-json", default=None, metavar="PATH",
-                      help="dump per-case and campaign-wide solver "
-                           "stats as JSON")
+                      help="write the campaign run report (construct "
+                           "coverage, per-case outcomes, solver stats) "
+                           "as schema-validated JSON")
     fuzz.add_argument("--intern-stats", action="store_true",
                       help="print campaign-wide intern-pool / "
                            "blast-cache counters to stderr")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned benchmark set and append a trajectory point",
+    )
+    bench.add_argument("--label", default="main",
+                       help="trajectory label (file BENCH_<label>.json)")
+    bench.add_argument("--out-dir", default="benchmarks/results",
+                       metavar="DIR")
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--fuzz-count", type=int, default=12,
+                       help="fuzz smoke campaign size (0 disables)")
+    bench.add_argument("--jobs", type=int, default=1, metavar="N")
+    bench.add_argument("--quick", action="store_true",
+                       help="bounded variant (capped rows, tiny fuzz "
+                            "campaign) for smoke runs")
 
     sub.add_parser("list-programs", help="list the shipped P4 corpus")
     sub.add_parser("list-targets", help="list instantiated targets")
@@ -144,6 +184,7 @@ def cmd_generate(args) -> int:
         randomize_values=args.randomize_values,
         max_tests=args.max_tests or None,
         stop_at_full_coverage=args.stop_at_full_coverage,
+        coverage_goal=args.coverage_goal,
         jobs=args.jobs,
         solve_cache=not args.no_solve_cache,
         elide=not args.no_elide,
@@ -156,33 +197,32 @@ def cmd_generate(args) -> int:
     )
     oracle = TestGen(program, target=target, config=config)
     backend = get_backend(args.test_backend)
+    recorder = Recorder("generate", seed=args.seed,
+                        program=program.source_name, target=args.target,
+                        config=config.as_dict())
     if args.out:
         with open(args.out, "w") as handle:
             writer = SuiteWriter(backend, handle)
-            for test in oracle.iter_tests():
-                writer.write(test)
+            with recorder.phase("generate"):
+                for test in oracle.iter_tests():
+                    writer.write(test)
             writer.close()
         print(f"wrote {writer.count} tests to {args.out}")
     else:
         writer = SuiteWriter(backend, sys.stdout)
-        for test in oracle.iter_tests():
-            writer.write(test)
+        with recorder.phase("generate"):
+            for test in oracle.iter_tests():
+                writer.write(test)
         writer.close()
         sys.stdout.write("\n")
     print(oracle.last_run.coverage.report(), file=sys.stderr)
     if args.intern_stats:
         _print_intern_stats(oracle.last_run.stats.as_dict())
     if args.stats_json:
-        run = oracle.last_run
-        _dump_stats_json(args.stats_json, {
-            "command": "generate",
-            "program": program.source_name,
-            "target": args.target,
-            "config": config.as_dict(),
-            "num_tests": writer.count,
-            "statement_coverage": run.coverage.statement_percent,
-            "stats": run.stats.as_dict(),
-        })
+        recorder.record_program_run(oracle.last_run,
+                                    num_tests=writer.count)
+        recorder.write(args.stats_json)
+        print(f"wrote run report to {args.stats_json}", file=sys.stderr)
     return 0
 
 
@@ -213,6 +253,10 @@ def cmd_fuzz(args) -> int:
         jobs=args.jobs,
         max_tests=args.max_tests or None,
         shrink=not args.no_shrink,
+        steer=args.steer,
+        steer_batch=args.steer_batch,
+        mutate_fraction=args.mutate_fraction,
+        mutate_corpus=args.mutate_corpus,
     )
 
     def on_case(case):
@@ -221,22 +265,38 @@ def cmd_fuzz(args) -> int:
               + (f" ({case.detail})" if not case.passed else ""),
               file=sys.stderr)
 
-    summary = run_fuzz_campaign(config, on_case=on_case)
+    recorder = Recorder("fuzz", seed=args.seed) if args.stats_json else None
+    summary = run_fuzz_campaign(config, on_case=on_case, recorder=recorder)
     print(summary.report())
     if args.intern_stats:
         _print_intern_stats(summary.solver_stats())
-    if args.stats_json:
-        _dump_stats_json(args.stats_json, {
-            "command": "fuzz",
-            "num_cases": len(summary.cases),
-            "num_passed": summary.num_passed,
-            "num_failed": summary.num_failed,
-            "by_classification": summary.by_classification(),
-            "solver_stats": summary.solver_stats(),
-            "cases": [case.to_dict() for case in summary.cases],
-            "elapsed_s": summary.elapsed,
-        })
+    if recorder is not None:
+        recorder.write(args.stats_json)
+        print(f"wrote run report to {args.stats_json}", file=sys.stderr)
     return 0 if summary.num_failed == 0 else 1
+
+
+def cmd_bench(args) -> int:
+    from .report.bench import run_bench, trajectory_path
+
+    point = run_bench(
+        args.label, args.out_dir, seed=args.seed,
+        fuzz_count=args.fuzz_count, jobs=args.jobs, quick=args.quick,
+    )
+    path = trajectory_path(args.out_dir, args.label)
+    for row in point["rows"]:
+        print(f"{row['program']:13s} {row['target']:10s} "
+              f"{row['num_tests']:4d} tests  "
+              f"{row['statement_coverage']:6.1f}% cov  "
+              f"{row['wall_s']:7.2f}s")
+    if point["fuzz"] is not None:
+        cc = point["fuzz"]["construct_coverage"]
+        print(f"fuzz smoke: {point['fuzz']['num_cases']} cases, "
+              f"{point['fuzz']['num_failed']} findings, "
+              f"{cc['covered']}/{cc['universe']} constructs "
+              f"({cc['percent']:.1f}%)")
+    print(f"appended trajectory point to {path}")
+    return 0
 
 
 def _print_intern_stats(stats: dict) -> None:
@@ -259,15 +319,6 @@ def _print_intern_stats(stats: dict) -> None:
           file=sys.stderr)
 
 
-def _dump_stats_json(path: str, payload: dict) -> None:
-    import json
-
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
-        handle.write("\n")
-    print(f"wrote stats to {path}", file=sys.stderr)
-
-
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "generate":
@@ -276,6 +327,8 @@ def main(argv=None) -> int:
         return cmd_run(args)
     if args.command == "fuzz":
         return cmd_fuzz(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     if args.command == "list-programs":
         for name in list_programs():
             print(name)

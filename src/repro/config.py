@@ -44,6 +44,10 @@ class TestGenConfig:
         max_tests: stop after this many emitted tests (None = no limit).
         max_paths: stop after this many finished paths (None = no limit).
         stop_at_full_coverage: stop once every statement is covered.
+        coverage_goal: stop once statement coverage reaches this
+            percentage (None = no goal).  Like the other stop limits it
+            is checked at iteration boundaries, so ``jobs > 1`` runs
+            truncate on exactly the same test as ``jobs=1``.
         jobs: worker processes; 1 means fully in-process.
         max_steps: safety cap on symbolic-execution steps.  With
             ``jobs > 1`` this is enforced per process, not globally.
@@ -94,6 +98,7 @@ class TestGenConfig:
     max_tests: int | None = None
     max_paths: int | None = None
     stop_at_full_coverage: bool = False
+    coverage_goal: float | None = None
     jobs: int = 1
     max_steps: int = 2_000_000
     concolic_enabled: bool = True

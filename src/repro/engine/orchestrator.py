@@ -47,6 +47,13 @@ def _format_error(exc: BaseException) -> str:
 
 
 def _validate_parallel(config: TestGenConfig) -> None:
+    """Reject configs that cannot *shard one program* across processes.
+
+    Only :class:`ProgramRun` enforces this: cross-program batches run
+    each whole program sequentially inside its worker (``jobs=1``
+    there), so any strategy — and uncached solving — stays deterministic
+    on that path.
+    """
     if config.jobs > 1 and config.strategy != "dfs":
         raise ValueError(
             f"strategy {config.strategy!r} draws from a shared RNG and cannot "
@@ -208,7 +215,10 @@ class Engine:
         base = config if config is not None else TestGenConfig()
         if jobs is not None:
             base = base.replace(jobs=max(1, int(jobs)))
-        _validate_parallel(base)
+        # No parallel validation here: a multi-submission batch runs
+        # every job sequentially in its worker, where any strategy is
+        # deterministic.  A *single* submission at jobs>1 shards the
+        # program, and ProgramRun rejects unshardable configs then.
         self.config = base
         # With capture_errors=True a job that raises yields an
         # EngineResult with ``error`` set instead of aborting the whole
@@ -233,7 +243,6 @@ class Engine:
 
             target = get_target(target)
         job_config = config if config is not None else self.config
-        _validate_parallel(job_config)
         job = EngineJob(len(self._jobs), program, target, job_config)
         self._jobs.append(job)
         return job.index

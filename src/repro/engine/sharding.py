@@ -105,6 +105,9 @@ def merged_test_stream(blocks, config, coverage):
             break
         if config.stop_at_full_coverage and coverage.fully_covered:
             break
+        if (config.coverage_goal is not None
+                and coverage.statement_percent >= config.coverage_goal):
+            break
         finished += n_finished
         for test in tests:
             emitted += 1

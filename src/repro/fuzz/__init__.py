@@ -13,6 +13,10 @@ Three cooperating pieces, mirroring Csmith-style compiler fuzzing:
   failing program to a minimal reproducer, persisted with its seed by
   :mod:`repro.fuzz.corpus` for triage and regression replay.
 
+Two feedback layers ride on top: :mod:`repro.fuzz.steer` (construct
+coverage + grammar steering) and :mod:`repro.fuzz.mutate`
+(corpus-guided perturbation of saved reproducers).
+
 :func:`repro.fuzz.campaign.run_fuzz_campaign` ties them together and
 fans test generation across worker processes via the
 :class:`repro.engine.Engine`; the CLI front door is
@@ -23,12 +27,17 @@ from .campaign import CampaignSummary, FuzzCampaignConfig, run_fuzz_campaign
 from .corpus import CorpusEntry, load_corpus, write_corpus_entry
 from .generator import ProgramSpec, generate_spec, render_program
 from .harness import CaseResult, run_case
+from .mutate import mutate_spec
 from .shrink import shrink_spec
+from .steer import (ALL_CONSTRUCTS, ConstructCoverage, GrammarBias,
+                    spec_constructs)
 
 __all__ = [
     "ProgramSpec", "generate_spec", "render_program",
     "CaseResult", "run_case",
-    "shrink_spec",
+    "shrink_spec", "mutate_spec",
     "CorpusEntry", "load_corpus", "write_corpus_entry",
+    "ALL_CONSTRUCTS", "ConstructCoverage", "GrammarBias",
+    "spec_constructs",
     "FuzzCampaignConfig", "CampaignSummary", "run_fuzz_campaign",
 ]

@@ -20,6 +20,8 @@ from __future__ import annotations
 import random
 from dataclasses import asdict, dataclass, field, replace
 
+from .steer import IDENTITY_BIAS
+
 __all__ = [
     "FieldSpec", "HeaderSpec", "ParserBranch", "ActionSpec", "KeySpec",
     "ConstEntrySpec", "TableSpec", "ApplyStmt", "ProgramSpec",
@@ -167,14 +169,38 @@ class ProgramSpec:
 # Generation
 # ===========================================================================
 
-def _weighted(rng: random.Random, pairs) -> str:
-    total = sum(w for _v, w in pairs)
-    roll = rng.randrange(total)
+def _weighted(rng: random.Random, pairs, bias=IDENTITY_BIAS,
+              prefix: str = "") -> str:
+    """Weighted draw.  With the identity bias this consumes exactly the
+    RNG draws the pre-steering generator did, so unbiased specs are
+    bit-for-bit what they always were; a real bias multiplies weights
+    (floats) and draws via ``rng.random()`` instead."""
+    if bias.identity:
+        total = sum(w for _v, w in pairs)
+        roll: float = rng.randrange(total)
+    else:
+        pairs = [(v, bias.weight(f"{prefix}{v}", w)) for v, w in pairs]
+        roll = rng.random() * sum(w for _v, w in pairs)
     for value, weight in pairs:
         roll -= weight
         if roll < 0:
             return value
     return pairs[-1][0]
+
+
+def _biased_choice(rng: random.Random, bias, options):
+    """Uniform choice under identity bias (same draw as ``rng.choice``);
+    construct-key-weighted otherwise.  ``options`` is a list of
+    ``(value, construct_key)`` pairs."""
+    if bias.identity:
+        return rng.choice([v for v, _key in options])
+    weights = [(v, bias.weight(key, 1.0)) for v, key in options]
+    roll = rng.random() * sum(w for _v, w in weights)
+    for value, weight in weights:
+        roll -= weight
+        if roll < 0:
+            return value
+    return weights[-1][0]
 
 
 def _make_header(rng: random.Random, name: str, *, base: bool) -> HeaderSpec:
@@ -202,21 +228,31 @@ def _pick_field(rng: random.Random, spec_headers, *, writable: bool = False):
     return header.name, rng.choice(pool).name
 
 
-def generate_spec(seed: int, target: str) -> ProgramSpec:
+def generate_spec(seed: int, target: str, bias=None) -> ProgramSpec:
     """Generate one well-typed random program for ``target``.
 
     The same (seed, target) pair always produces the identical spec —
-    campaign reproducibility rests on this.
+    campaign reproducibility rests on this.  An optional
+    :class:`~repro.fuzz.steer.GrammarBias` steers grammar choices
+    toward under-covered constructs; ``(seed, target, bias)`` is still
+    a pure function, and the identity bias (or ``None``) reproduces the
+    unbiased spec exactly.
     """
     if target not in FUZZ_TARGETS:
         raise KeyError(
             f"unknown fuzz target {target!r}; available: {', '.join(FUZZ_TARGETS)}"
         )
+    if bias is None:
+        bias = IDENTITY_BIAS
     rng = random.Random((seed, target).__repr__())
     name = f"fuzz_{target}_s{seed}"
 
     headers = [_make_header(rng, "h0", base=True)]
     n_extra = rng.randint(0, 2)
+    if n_extra == 0 and bias.boosted("feature:multi_header"):
+        n_extra = 1
+    if n_extra < 2 and bias.boosted("parser:chain"):
+        n_extra = 2               # a chain needs a header to hang off h1
     for i in range(n_extra):
         headers.append(_make_header(rng, f"h{i + 1}", base=False))
 
@@ -228,7 +264,7 @@ def generate_spec(seed: int, target: str) -> ProgramSpec:
     chain_parent = "h0"
     for i, hdr in enumerate(headers[1:]):
         parent = "h0"
-        if i == 1 and rng.random() < 0.5:
+        if i == 1 and rng.random() < bias.prob("parser:chain", 0.5):
             h1 = headers[1]
             wide = [f for f in h1.fields if f.width == 16]
             if wide:
@@ -237,7 +273,7 @@ def generate_spec(seed: int, target: str) -> ProgramSpec:
                 branches.setdefault("h1", [])
         value = rng.getrandbits(16)
         mask = None
-        if rng.random() < 0.25:
+        if rng.random() < bias.prob("parser:masked_branch", 0.25):
             mask = (0xFF00 if rng.random() < 0.5 else 0x00FF)
             value &= mask
         taken = {(b.value, b.mask) for b in branches.get(parent, [])}
@@ -249,16 +285,22 @@ def generate_spec(seed: int, target: str) -> ProgramSpec:
     # Actions.  "nop" is always available as a safe default.
     actions = [ActionSpec("nop", "noop")]
     actions.append(ActionSpec("fwd", "forward"))
-    if rng.random() < 0.6:
+    if rng.random() < bias.prob("action:drop", 0.6):
         actions.append(ActionSpec("toss", "drop"))
-    for i in range(rng.randint(0, 2)):
+    w_setf = bias.weight("action:setf", 1.0)
+    w_addf = bias.weight("action:addf", 1.0)
+    n_modify = rng.randint(0, 2)
+    if n_modify == 0 and (w_setf > 1.0 or w_addf > 1.0):
+        n_modify = 1              # a boosted modifier kind must exist
+    for i in range(n_modify):
         hname, fname = _pick_field(rng, headers[:1], writable=True)
-        if rng.random() < 0.5:
+        if rng.random() < w_setf / (w_setf + w_addf):
             actions.append(ActionSpec(f"setf{i}", "setf", header=hname, fld=fname))
         else:
             actions.append(ActionSpec(
                 f"addf{i}", "addf", header=hname, fld=fname,
-                op=rng.choice(("+", "-", "^")),
+                op=_biased_choice(rng, bias, [("+", "op:add"), ("-", "op:sub"),
+                                              ("^", "op:xor")]),
                 operand=rng.getrandbits(8) | 1,
             ))
     action_names = [a.name for a in actions]
@@ -274,7 +316,9 @@ def generate_spec(seed: int, target: str) -> ProgramSpec:
                 else headers[1:]
             hname, fname = _pick_field(rng, pool)
             keys.append(KeySpec(
-                hname, fname, _weighted(rng, _MATCH_KIND_WEIGHTS[target])))
+                hname, fname,
+                _weighted(rng, _MATCH_KIND_WEIGHTS[target], bias,
+                          prefix="match:")))
         n_act = rng.randint(1, min(2, len(action_names) - 1)) \
             if len(action_names) > 1 else 1
         chosen = rng.sample([n for n in action_names if n != "nop"],
@@ -286,7 +330,7 @@ def generate_spec(seed: int, target: str) -> ProgramSpec:
             default_action="toss" if (
                 "toss" in chosen and rng.random() < 0.3) else "nop",
         )
-        if rng.random() < 0.3 and all(
+        if rng.random() < bias.prob("feature:const_entries", 0.3) and all(
             k.match_kind in ("exact", "ternary") for k in keys
         ):
             prioritized = any(k.match_kind == "ternary" for k in keys)
@@ -313,8 +357,8 @@ def generate_spec(seed: int, target: str) -> ProgramSpec:
     # optional direct field update.
     apply_stmts = []
     for table in tables:
-        if rng.random() < 0.3:
-            if len(headers) > 1 and rng.random() < 0.5:
+        if rng.random() < bias.prob("apply:guarded", 0.3):
+            if len(headers) > 1 and rng.random() < bias.prob("cond:valid", 0.5):
                 apply_stmts.append(ApplyStmt(
                     "if_apply", table=table.name,
                     header=rng.choice(headers[1:]).name, cond="valid",
@@ -325,15 +369,18 @@ def generate_spec(seed: int, target: str) -> ProgramSpec:
                 apply_stmts.append(ApplyStmt(
                     "if_apply", table=table.name, header=hname, fld=fname,
                     value=rng.getrandbits(min(width, 8)),
-                    cond=rng.choice(("==", "<", ">")),
+                    cond=_biased_choice(rng, bias, [("==", "cond:eq"),
+                                                    ("<", "cond:lt"),
+                                                    (">", "cond:gt")]),
                 ))
         else:
             apply_stmts.append(ApplyStmt("apply", table=table.name))
-    if rng.random() < 0.4:
+    if rng.random() < bias.prob("apply:assign", 0.4):
         hname, fname = _pick_field(rng, headers[:1], writable=True)
         apply_stmts.insert(rng.randrange(len(apply_stmts) + 1), ApplyStmt(
             "assign", header=hname, fld=fname,
-            op=rng.choice(("+", "^", "&", "|")),
+            op=_biased_choice(rng, bias, [("+", "op:add"), ("^", "op:xor"),
+                                          ("&", "op:and"), ("|", "op:or")]),
             operand=rng.getrandbits(8) | 1,
         ))
 
@@ -347,9 +394,10 @@ def generate_spec(seed: int, target: str) -> ProgramSpec:
         actions=actions,
         tables=tables,
         apply_stmts=apply_stmts,
-        use_checksum=(target == "v1model" and rng.random() < 0.25),
+        use_checksum=(target == "v1model"
+                      and rng.random() < bias.prob("feature:checksum", 0.25)),
         use_lookahead=(target in ("v1model", "ebpf_model")
-                       and rng.random() < 0.2),
+                       and rng.random() < bias.prob("parser:lookahead", 0.2)),
         accept_default=rng.random() < 0.5,
     )
 

@@ -65,6 +65,9 @@ class CaseResult:
     # Populated even for worker-process cases, so campaign reports can
     # aggregate solver behavior instead of just mismatch counts.
     stats: dict = field(default_factory=dict)
+    # "generated" for fresh grammar draws, "mutated:<parent>" for
+    # corpus-guided perturbations of a saved reproducer.
+    origin: str = "generated"
 
     def __bool__(self):
         return self.passed
@@ -81,6 +84,7 @@ class CaseResult:
             "failed_test_ids": list(self.failed_test_ids),
             "coverage": self.coverage,
             "stats": dict(self.stats),
+            "origin": self.origin,
         }
 
 

@@ -1,0 +1,199 @@
+"""Corpus-guided (greybox) mutation of saved reproducers.
+
+Generating every campaign program from scratch wastes what the corpus
+already knows: a saved reproducer is a program the oracle *proved*
+interesting.  This module perturbs such a spec structurally — nudge a
+constant, flip a comparison, swap a match kind, toggle a parser
+feature — so a steered campaign can spend part of its budget exploring
+the neighborhood of known findings instead of the whole grammar.
+
+Mutations stay inside the generator's grammar (the same well-typedness
+:func:`repro.fuzz.shrink._repair` enforces), and the whole pipeline is
+deterministic: ``mutate_spec(spec, seed)`` is a pure function, so a
+mutated campaign replays bit-for-bit from its seed.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+
+from .generator import (ProgramSpec, ApplyStmt, _MATCH_KIND_WEIGHTS,
+                        spec_width)
+from .shrink import _repair
+
+__all__ = ["mutate_spec", "MUTATION_NAMES"]
+
+# The catalogue, in the fixed order the mutator scans it.  Each entry
+# is (name, applicability-check, apply); apply mutates in place.
+MUTATION_NAMES = (
+    "tweak_operand",
+    "flip_cond",
+    "swap_match_kind",
+    "add_assign",
+    "toggle_lookahead",
+    "toggle_checksum",
+    "perturb_entry_value",
+    "swap_default_action",
+    "perturb_branch_value",
+)
+
+
+def _operand_sites(spec):
+    sites = [a for a in spec.actions if a.kind == "addf"]
+    sites += [s for s in spec.apply_stmts if s.kind == "assign"]
+    return sites
+
+
+def _mut_tweak_operand(spec, rng):
+    sites = _operand_sites(spec)
+    if not sites:
+        return False
+    site = rng.choice(sites)
+    site.operand = (site.operand ^ (1 << rng.randrange(8))) | 1
+    return True
+
+
+def _mut_flip_cond(spec, rng):
+    sites = [s for s in spec.apply_stmts
+             if s.kind == "if_apply" and s.cond != "valid"]
+    if not sites:
+        return False
+    site = rng.choice(sites)
+    site.cond = rng.choice([c for c in ("==", "<", ">") if c != site.cond])
+    return True
+
+
+def _mut_swap_match_kind(spec, rng):
+    # Const-entry keysets are shaped by the match kind (ternary masks,
+    # exact values); only kindshift tables without entries.
+    kinds = [k for k, _w in _MATCH_KIND_WEIGHTS[spec.target]]
+    sites = [k for t in spec.tables if not t.const_entries for k in t.keys]
+    if not sites:
+        return False
+    site = rng.choice(sites)
+    other = [k for k in kinds if k != site.match_kind]
+    if not other:
+        return False
+    site.match_kind = rng.choice(other)
+    return True
+
+
+def _mut_add_assign(spec, rng):
+    base = spec.headers[0]
+    pool = [f for f in base.fields if f.name != "tag"]
+    if not pool:
+        return False
+    fld = rng.choice(pool)
+    spec.apply_stmts.insert(
+        rng.randrange(len(spec.apply_stmts) + 1),
+        ApplyStmt("assign", header=base.name, fld=fld.name,
+                  op=rng.choice(["+", "^", "&", "|"]),
+                  operand=rng.getrandbits(8) | 1))
+    return True
+
+
+def _mut_toggle_lookahead(spec, rng):
+    if spec.target not in ("v1model", "ebpf_model"):
+        return False
+    spec.use_lookahead = not spec.use_lookahead
+    return True
+
+
+def _mut_toggle_checksum(spec, rng):
+    if spec.target != "v1model":
+        return False
+    spec.use_checksum = not spec.use_checksum
+    return True
+
+
+def _mut_perturb_entry_value(spec, rng):
+    sites = [(t, e) for t in spec.tables for e in t.const_entries]
+    if not sites:
+        return False
+    table, entry = rng.choice(sites)
+    i = rng.randrange(len(entry.keysets))
+    value, mask = entry.keysets[i]
+    width = spec_width(spec.headers, table.keys[i].header,
+                       table.keys[i].fld)
+    value ^= 1 << rng.randrange(width)
+    if mask is not None:
+        value &= mask
+    entry.keysets[i] = (value, mask)
+    return True
+
+
+def _mut_swap_default_action(spec, rng):
+    # Only zero-arg actions render as valid defaults (fwd/setf take
+    # compile-time-unknown args), so the swap stays within nop/toss.
+    sites = []
+    for t in spec.tables:
+        options = [n for n in t.actions
+                   if n != t.default_action
+                   and any(a.name == n and a.kind in ("noop", "drop")
+                           for a in spec.actions)]
+        if options:
+            sites.append((t, options))
+    if not sites:
+        return False
+    table, options = rng.choice(sites)
+    table.default_action = rng.choice(options)
+    return True
+
+
+def _mut_perturb_branch_value(spec, rng):
+    sites = [(parent, b) for parent, blist in spec.branches.items()
+             for b in blist]
+    if not sites:
+        return False
+    parent, branch = rng.choice(sites)
+    value = branch.value ^ (1 << rng.randrange(16))
+    if branch.mask is not None:
+        value &= branch.mask
+    taken = {(b.value, b.mask) for b in spec.branches[parent]
+             if b is not branch}
+    while (value, branch.mask) in taken:
+        value = (value + 1) & 0xFFFF if branch.mask is None \
+            else (value ^ branch.mask)
+    branch.value = value
+    return True
+
+
+_MUTATORS = {
+    "tweak_operand": _mut_tweak_operand,
+    "flip_cond": _mut_flip_cond,
+    "swap_match_kind": _mut_swap_match_kind,
+    "add_assign": _mut_add_assign,
+    "toggle_lookahead": _mut_toggle_lookahead,
+    "toggle_checksum": _mut_toggle_checksum,
+    "perturb_entry_value": _mut_perturb_entry_value,
+    "swap_default_action": _mut_swap_default_action,
+    "perturb_branch_value": _mut_perturb_branch_value,
+}
+
+
+def mutate_spec(spec: ProgramSpec, seed: int, *,
+                n_mutations: int | None = None) -> ProgramSpec:
+    """A structurally perturbed copy of ``spec``.
+
+    Deterministic in ``(spec, seed)``: the RNG is keyed off the seed
+    and the spec's name, the mutation order is the fixed catalogue
+    order shuffled by that RNG, and between 1 and 3 applicable
+    mutations are applied.  The result is re-repaired so it stays
+    inside the generator's grammar, and renamed so corpus entries and
+    reports distinguish it from its parent.
+    """
+    rng = random.Random(f"mutate|{seed}|{spec.name}")
+    mutated = copy.deepcopy(spec)
+    want = n_mutations if n_mutations is not None else rng.randint(1, 3)
+    order = list(MUTATION_NAMES)
+    rng.shuffle(order)
+    applied = 0
+    for name in order:
+        if applied >= want:
+            break
+        if _MUTATORS[name](mutated, rng):
+            applied += 1
+    mutated.seed = seed
+    mutated.name = f"{spec.name}_m{seed}"
+    return _repair(mutated)

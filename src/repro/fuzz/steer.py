@@ -1,0 +1,218 @@
+"""Coverage-guided campaign steering (the Test4DT feedback loop).
+
+A fuzz campaign's effectiveness is how much of the *grammar* its
+programs collectively push through the oracle — a hundred programs that
+all use exact-match tables and ``setf`` actions exercise a sliver of
+the IR.  This module closes the loop:
+
+- :func:`spec_constructs` maps a generated :class:`ProgramSpec` to the
+  set of IR-construct keys it exercises (match kinds, action kinds,
+  parser features, apply shapes, arithmetic ops, ...);
+- :class:`ConstructCoverage` accumulates which constructs the campaign
+  has pushed through oracle + replay so far, and exposes the coverage
+  curve the run report records;
+- :meth:`ConstructCoverage.bias` turns the *uncovered* construct set
+  into a :class:`GrammarBias` — weight multipliers the program
+  generator applies to its grammar choices, steering the next round of
+  programs toward what the campaign has not yet exercised.
+
+Everything is deterministic given the campaign seed: the bias is a
+pure function of the (ordered) case results so far, and a biased
+``generate_spec`` is a pure function of ``(seed, target, bias)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ALL_CONSTRUCTS", "GrammarBias", "ConstructCoverage",
+           "spec_constructs", "IDENTITY_BIAS"]
+
+_OP_NAMES = {"+": "op:add", "-": "op:sub", "^": "op:xor",
+             "&": "op:and", "|": "op:or"}
+
+# The construct universe: every grammar feature the generator can emit.
+# Fixed and ordered so reports and steering are stable across runs.
+ALL_CONSTRUCTS = (
+    "match:exact", "match:ternary", "match:lpm", "match:range",
+    "match:optional",
+    "action:forward", "action:drop", "action:setf", "action:addf",
+    "apply:plain", "apply:guarded", "apply:assign",
+    "cond:valid", "cond:eq", "cond:lt", "cond:gt",
+    "parser:branch", "parser:masked_branch", "parser:chain",
+    "parser:lookahead",
+    "feature:checksum", "feature:const_entries",
+    "feature:priority_entries", "feature:multi_header",
+    "op:add", "op:sub", "op:xor", "op:and", "op:or",
+)
+
+_COND_NAMES = {"==": "cond:eq", "<": "cond:lt", ">": "cond:gt",
+               "valid": "cond:valid"}
+
+
+def spec_constructs(spec) -> frozenset:
+    """The IR-construct keys a :class:`ProgramSpec` exercises."""
+    found = set()
+    for table in spec.tables:
+        for key in table.keys:
+            found.add(f"match:{key.match_kind}")
+        if table.const_entries:
+            found.add("feature:const_entries")
+            if any(e.priority is not None for e in table.const_entries):
+                found.add("feature:priority_entries")
+    for action in spec.actions:
+        if action.kind == "forward":
+            found.add("action:forward")
+        elif action.kind == "drop":
+            found.add("action:drop")
+        elif action.kind == "setf":
+            found.add("action:setf")
+        elif action.kind == "addf":
+            found.add("action:addf")
+            found.add(_OP_NAMES.get(action.op, "op:add"))
+    for stmt in spec.apply_stmts:
+        if stmt.kind == "apply":
+            found.add("apply:plain")
+        elif stmt.kind == "if_apply":
+            found.add("apply:guarded")
+            found.add(_COND_NAMES.get(stmt.cond, "cond:eq"))
+        elif stmt.kind == "assign":
+            found.add("apply:assign")
+            found.add(_OP_NAMES.get(stmt.op, "op:add"))
+    for parent, branch_list in spec.branches.items():
+        if branch_list:
+            found.add("parser:branch")
+        if any(b.mask is not None for b in branch_list):
+            found.add("parser:masked_branch")
+        if parent != "h0":
+            found.add("parser:chain")
+    if spec.use_lookahead:
+        found.add("parser:lookahead")
+    if spec.use_checksum:
+        found.add("feature:checksum")
+    if len(spec.headers) > 1:
+        found.add("feature:multi_header")
+    return frozenset(found)
+
+
+class GrammarBias:
+    """Multiplicative weights the generator applies to grammar choices.
+
+    ``boost`` maps construct keys to multipliers (> 1 steers toward the
+    construct).  The identity bias (empty boost) leaves the generator's
+    RNG stream untouched, so ``generate_spec(s, t)`` and
+    ``generate_spec(s, t, bias=GrammarBias())`` are identical.
+    """
+
+    __slots__ = ("boost",)
+
+    def __init__(self, boost: dict | None = None):
+        self.boost = dict(sorted((boost or {}).items()))
+
+    @property
+    def identity(self) -> bool:
+        return not self.boost
+
+    def weight(self, key: str, base: float) -> float:
+        return base * self.boost.get(key, 1.0)
+
+    def prob(self, key: str, base: float) -> float:
+        """A biased probability, clamped so steering can raise a rare
+        feature without ever making any choice certain."""
+        mult = self.boost.get(key, 1.0)
+        if mult == 1.0:
+            return base
+        return max(0.02, min(0.90, base * mult))
+
+    def boosted(self, key: str) -> bool:
+        return self.boost.get(key, 1.0) > 1.0
+
+    def as_dict(self) -> dict:
+        return dict(self.boost)
+
+    def __repr__(self):
+        return f"GrammarBias({self.boost!r})"
+
+
+IDENTITY_BIAS = GrammarBias()
+
+
+@dataclass
+class _CasePoint:
+    index: int
+    covered: int
+    percent: float
+
+
+class ConstructCoverage:
+    """Campaign-wide construct-coverage accumulator.
+
+    A construct counts as *covered* once it appears in a program for
+    which the oracle emitted at least one test (the construct's IR
+    statements were symbolically executed and differentially replayed).
+    ``record_case`` returns how many constructs the case newly covered,
+    mirroring :meth:`CoverageTracker.record`.
+    """
+
+    def __init__(self, universe=ALL_CONSTRUCTS):
+        self.universe = tuple(universe)
+        self.counts: dict[str, int] = {c: 0 for c in self.universe}
+        self._curve: list = []
+        self.cases = 0
+
+    def record_case(self, spec, *, exercised: bool) -> int:
+        """Fold one finished case in.  ``exercised`` is whether the
+        oracle actually generated tests for the program (a frontend or
+        oracle crash exercises nothing)."""
+        new = 0
+        if exercised:
+            present = spec_constructs(spec) & set(self.universe)
+            for key in present:
+                if self.counts[key] == 0:
+                    new += 1
+                self.counts[key] += 1
+        self.cases += 1
+        covered = sum(1 for c in self.universe if self.counts[c] > 0)
+        self._curve.append([self.cases, covered, round(self.percent, 4)])
+        return new
+
+    def covered(self) -> frozenset:
+        return frozenset(c for c in self.universe if self.counts[c] > 0)
+
+    def uncovered(self) -> list:
+        return [c for c in self.universe if self.counts[c] == 0]
+
+    @property
+    def percent(self) -> float:
+        if not self.universe:
+            return 100.0
+        return 100.0 * len(self.covered()) / len(self.universe)
+
+    def curve(self) -> list:
+        return [list(p) for p in self._curve]
+
+    def bias(self, strength: float = 4.0) -> GrammarBias:
+        """The steering bias for the next generation round: boost every
+        still-uncovered construct; leave covered ones at weight 1.
+
+        Compound constructs get their prerequisites boosted too —
+        priority entries only exist on ternary-keyed const-entry
+        tables, so an uncovered ``feature:priority_entries`` pulls
+        ``match:ternary`` and ``feature:const_entries`` along even when
+        those are already covered on their own."""
+        boost = {c: strength for c in self.uncovered()}
+        if "feature:priority_entries" in boost:
+            boost.setdefault("match:ternary", strength)
+            boost.setdefault("feature:const_entries", strength)
+        if any(k in boost for k in ("op:add", "op:sub", "op:xor")):
+            boost.setdefault("action:addf", strength)
+        return GrammarBias(boost)
+
+    def as_dict(self) -> dict:
+        return {
+            "covered": len(self.covered()),
+            "universe": len(self.universe),
+            "percent": round(self.percent, 4),
+            "curve": self.curve(),
+            "uncovered": self.uncovered(),
+        }

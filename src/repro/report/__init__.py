@@ -1,0 +1,23 @@
+"""Run reports: coverage curves, phase times, and cache-rate capture.
+
+The public surface is :class:`Recorder` (accumulate one run's
+measurements into a schema-valid JSON document), the checked-in schema
+at :data:`RUN_REPORT_SCHEMA_PATH` with its stdlib validator, and the
+helpers the determinism locks use (:func:`normalized`) plus the bench
+trajectory writer (:mod:`repro.report.bench`).
+"""
+
+from .recorder import Recorder, SCHEMA_VERSION, cache_rates, normalized
+from .schema import (RUN_REPORT_SCHEMA_PATH, SchemaError, load_schema,
+                     validate)
+
+__all__ = [
+    "Recorder",
+    "SCHEMA_VERSION",
+    "cache_rates",
+    "normalized",
+    "RUN_REPORT_SCHEMA_PATH",
+    "SchemaError",
+    "load_schema",
+    "validate",
+]

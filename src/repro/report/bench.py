@@ -1,0 +1,163 @@
+"""``repro bench``: the pinned benchmark set and its trajectory file.
+
+One invocation measures the current tree on a fixed workload — the
+Table-4a large-program subset (oracle runs with coverage curves and
+cache rates) plus a small steered fuzz smoke campaign — and *appends*
+the result as one point to ``BENCH_<label>.json``.  Successive points
+over successive PRs form the performance/coverage trajectory the
+roadmap tracks; the file itself validates against the
+``bench_trajectory`` branch of ``run_report.schema.json``.
+
+Counts, coverage, and curves are deterministic for a fixed seed; wall
+times and cache-warmth counters are the machine-dependent residue and
+are exactly what :func:`repro.report.normalized` strips.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from .recorder import Recorder, SCHEMA_VERSION, cache_rates
+from .schema import load_schema, validate
+
+__all__ = ["BENCH_ROWS", "QUICK_ROWS", "run_bench", "append_point",
+           "trajectory_path"]
+
+# The tbl4a subset: same programs and caps as the benchmark suite.
+BENCH_ROWS = (
+    ("middleblock", "v1model", None),
+    ("up4", "v1model", None),
+    ("switch_lite", "tna", 80),
+)
+
+# Bounded variant for the perfsmoke guard: capped test budgets, two
+# rows, a handful of fuzz cases — seconds, not minutes.
+QUICK_ROWS = (
+    ("middleblock", "v1model", 48),
+    ("up4", "v1model", 32),
+)
+
+
+def trajectory_path(out_dir, label: str) -> Path:
+    return Path(out_dir) / f"BENCH_{label}.json"
+
+
+def _oracle_row(name, target_name, cap, *, seed, jobs):
+    from .. import TestGen, TestGenConfig, load_program
+    from ..targets import get_target
+
+    rec = Recorder("bench", seed=seed, program=name, target=target_name)
+    config = TestGenConfig(seed=seed, max_tests=cap, jobs=jobs)
+    t0 = time.perf_counter()
+    with rec.phase("oracle"):
+        gen = TestGen(load_program(name), target=get_target(target_name),
+                      config=config)
+        result = gen.run()
+    wall = time.perf_counter() - t0
+    rec.record_program_run(gen.last_run, num_tests=len(result.tests))
+    return {
+        "program": name,
+        "target": target_name,
+        "num_tests": len(result.tests),
+        "statement_coverage": round(result.statement_coverage, 4),
+        "coverage_curve": gen.last_run.coverage.curve(),
+        "cache_rates": cache_rates(rec.stats),
+        "wall_s": round(wall, 6),
+    }, rec
+
+
+def _fuzz_block(*, seed, count, jobs, corpus_dir):
+    from ..fuzz import FuzzCampaignConfig, run_fuzz_campaign
+
+    rec = Recorder("bench-fuzz", seed=seed)
+    config = FuzzCampaignConfig(
+        seed=seed, count=count, corpus_dir=str(corpus_dir), jobs=jobs,
+        max_tests=8, steer=True, steer_batch=max(2, count // 3),
+        shrink=False,
+    )
+    summary = run_fuzz_campaign(config, recorder=rec)
+    doc = rec.report()
+    return {
+        "num_cases": len(summary.cases),
+        "num_passed": summary.num_passed,
+        "num_failed": summary.num_failed,
+        "construct_coverage": summary.construct_coverage.as_dict(),
+        "cache_rates": doc["cache_rates"],
+        "phase_times_s": doc["phase_times_s"],
+    }
+
+
+def run_bench(label: str, out_dir, *, seed: int = 1, fuzz_count: int = 12,
+              jobs: int = 1, quick: bool = False,
+              fuzz_corpus=None) -> dict:
+    """Run the pinned benchmark set; returns the new trajectory point.
+
+    The point is appended to ``BENCH_<label>.json`` under ``out_dir``
+    (created if needed) and the whole trajectory re-validates against
+    the checked-in schema before anything is written.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    rows_spec = QUICK_ROWS if quick else BENCH_ROWS
+    if quick:
+        fuzz_count = min(fuzz_count, 4)
+
+    rows = []
+    phase_times: dict = {}
+    stats_total: dict = {}
+    for name, target_name, cap in rows_spec:
+        row, rec = _oracle_row(name, target_name, cap, seed=seed, jobs=jobs)
+        rows.append(row)
+        for pname, secs in rec.report()["phase_times_s"].items():
+            phase_times[pname] = round(
+                phase_times.get(pname, 0.0) + secs, 6)
+        for key, value in rec.stats.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            stats_total[key] = stats_total.get(key, 0) + value
+
+    corpus = fuzz_corpus if fuzz_corpus is not None \
+        else out / f"bench-corpus-{label}"
+    fuzz = _fuzz_block(seed=seed, count=fuzz_count, jobs=jobs,
+                       corpus_dir=corpus) if fuzz_count > 0 else None
+
+    point = {
+        "label": label,
+        "timestamp_s": round(time.time(), 3),
+        "seed": seed,
+        "phase_times_s": phase_times,
+        "cache_rates": cache_rates(stats_total),
+        "rows": rows,
+        "fuzz": fuzz,
+    }
+    append_point(out, label, point)
+    return point
+
+
+def append_point(out_dir, label: str, point: dict) -> Path:
+    """Append one point to the ``BENCH_<label>.json`` trajectory.
+
+    The existing file (if any) must already be a valid trajectory; the
+    updated document is validated before the write, so a bad point can
+    never corrupt the history.
+    """
+    path = trajectory_path(out_dir, label)
+    if path.is_file():
+        doc = json.loads(path.read_text())
+        if doc.get("kind") != "bench_trajectory":
+            raise ValueError(f"{path} is not a bench trajectory")
+    else:
+        doc = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "bench_trajectory",
+            "label": label,
+            "points": [],
+        }
+    doc["points"].append(point)
+    validate(doc, load_schema())
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True,
+                               default=str) + "\n")
+    return path

@@ -1,0 +1,120 @@
+"""A minimal JSON-Schema validator for run reports.
+
+The repo deliberately runs on the bare stdlib (no ``jsonschema``
+package), so this module implements the small, well-defined subset of
+JSON Schema the checked-in report schemas actually use:
+
+``type`` (including type lists), ``properties``, ``required``,
+``additionalProperties`` (bool or schema), ``items``, ``enum``,
+``oneOf``, ``minimum`` / ``maximum``, ``minItems``.
+
+Downstream tooling can still feed ``run_report.schema.json`` to a full
+validator; this one exists so the repo's own tests and the CLI can
+guarantee every report they emit matches the published schema without
+growing a dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+__all__ = ["SchemaError", "validate", "load_schema", "RUN_REPORT_SCHEMA_PATH"]
+
+RUN_REPORT_SCHEMA_PATH = pathlib.Path(__file__).parent / "run_report.schema.json"
+
+# JSON Schema type name -> accepted python types.  bool is explicitly
+# not an "integer"/"number" (JSON Schema semantics; also a real bug
+# class in stats dicts).
+_TYPES = {
+    "object": (dict,),
+    "array": (list,),
+    "string": (str,),
+    "integer": (int,),
+    "number": (int, float),
+    "boolean": (bool,),
+    "null": (type(None),),
+}
+
+
+class SchemaError(ValueError):
+    """A schema violation, carrying the JSON path to the offender."""
+
+
+def load_schema(path=None) -> dict:
+    """Load a schema file (default: the run-report schema)."""
+    target = pathlib.Path(path) if path is not None else RUN_REPORT_SCHEMA_PATH
+    return json.loads(target.read_text())
+
+
+def _type_ok(instance, type_name: str) -> bool:
+    accepted = _TYPES[type_name]
+    if isinstance(instance, bool) and type_name in ("integer", "number"):
+        return False
+    return isinstance(instance, accepted)
+
+
+def validate(instance, schema: dict, path: str = "$") -> None:
+    """Validate ``instance`` against ``schema``; raises
+    :class:`SchemaError` naming the first violating path."""
+    if "enum" in schema:
+        if instance not in schema["enum"]:
+            raise SchemaError(
+                f"{path}: {instance!r} not in enum {schema['enum']!r}")
+
+    if "oneOf" in schema:
+        errors = []
+        matches = 0
+        for i, sub in enumerate(schema["oneOf"]):
+            try:
+                validate(instance, sub, path)
+                matches += 1
+            except SchemaError as exc:
+                errors.append(f"[{i}] {exc}")
+        if matches != 1:
+            raise SchemaError(
+                f"{path}: matched {matches} of {len(schema['oneOf'])} "
+                f"oneOf branches; " + "; ".join(errors))
+
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        if not any(_type_ok(instance, name) for name in names):
+            raise SchemaError(
+                f"{path}: expected {declared}, got {type(instance).__name__}")
+
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if "minimum" in schema and instance < schema["minimum"]:
+            raise SchemaError(
+                f"{path}: {instance} < minimum {schema['minimum']}")
+        if "maximum" in schema and instance > schema["maximum"]:
+            raise SchemaError(
+                f"{path}: {instance} > maximum {schema['maximum']}")
+
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                raise SchemaError(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, value in instance.items():
+            if not isinstance(key, str):
+                raise SchemaError(f"{path}: non-string key {key!r}")
+            sub = properties.get(key)
+            if sub is not None:
+                validate(value, sub, f"{path}.{key}")
+            else:
+                extra = schema.get("additionalProperties", True)
+                if extra is False:
+                    raise SchemaError(f"{path}: unexpected key {key!r}")
+                if isinstance(extra, dict):
+                    validate(value, extra, f"{path}.{key}")
+
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            raise SchemaError(
+                f"{path}: {len(instance)} items < minItems "
+                f"{schema['minItems']}")
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, value in enumerate(instance):
+                validate(value, items, f"{path}[{i}]")

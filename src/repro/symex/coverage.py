@@ -27,11 +27,19 @@ class CoverageTracker:
     def universe_size(self) -> int:
         return len(self._universe)
 
+    def newly_covered(self, stmt_ids) -> frozenset:
+        """The subset of ``stmt_ids`` that is in the universe and not
+        yet covered.  Pure query — does not record anything, so calling
+        it twice with the same ids reports the same set."""
+        return frozenset(
+            i for i in stmt_ids if i in self._universe and i not in self.covered
+        )
+
     def record(self, stmt_ids) -> int:
         """Record one test's covered statements; returns how many were
         newly covered (used by coverage-greedy exploration)."""
         ids = {i for i in stmt_ids if i in self._universe}
-        new = len(ids - self.covered)
+        new = len(self.newly_covered(ids))
         self.covered |= ids
         self.per_test.append(frozenset(ids))
         return new
@@ -41,6 +49,21 @@ class CoverageTracker:
         if not self._universe:
             return 100.0
         return 100.0 * len(self.covered) / len(self._universe)
+
+    def curve(self) -> list:
+        """The coverage curve: one ``[tests_recorded, covered, percent]``
+        point per recorded test, cumulative in record order.  This is
+        the raw material for run reports and the BENCH trajectory —
+        strategies are compared by how fast this curve climbs, not by
+        where it ends."""
+        points = []
+        seen: set = set()
+        total = len(self._universe)
+        for n, ids in enumerate(self.per_test, start=1):
+            seen |= ids
+            percent = 100.0 * len(seen) / total if total else 100.0
+            points.append([n, len(seen), round(percent, 4)])
+        return points
 
     @property
     def fully_covered(self) -> bool:

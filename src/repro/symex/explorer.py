@@ -174,6 +174,7 @@ class Explorer:
         self.max_paths = config.max_paths
         self.max_steps = config.max_steps
         self.stop_at_full_coverage = config.stop_at_full_coverage
+        self.coverage_goal = config.coverage_goal
         self.concolic_max_rounds = config.concolic_max_rounds
         self.concolic_fallback = config.concolic_fallback
         self.concolic_enabled = config.concolic_enabled
@@ -344,6 +345,9 @@ class Explorer:
             if stats.steps >= self.max_steps:
                 break
             if self.stop_at_full_coverage and self.coverage.fully_covered:
+                break
+            if (self.coverage_goal is not None
+                    and self.coverage.statement_percent >= self.coverage_goal):
                 break
             state = self._pick(frontier)
             self._begin_iteration()

@@ -131,8 +131,23 @@ def test_engine_submit_accepts_names_and_reports_in_order():
 
 
 def test_engine_rejects_bad_config():
+    # Cross-program batches run each program sequentially inside a
+    # worker, so any strategy is fine there — the Engine itself accepts
+    # greedy at jobs > 1.  Splitting a *single* program's exploration
+    # across workers still requires the canonical DFS + solve-cache
+    # combination, enforced when the submission turns into a ProgramRun.
+    engine = Engine(jobs=2, config=TestGenConfig(strategy="greedy",
+                                                 seed=1, max_tests=2))
+    engine.submit("fig1a", "v1model")
     with pytest.raises(ValueError):
-        Engine(jobs=2, config=TestGenConfig(strategy="greedy"))
+        engine.run()
+    # With two programs the batch path takes over and greedy works.
+    engine = Engine(jobs=2, config=TestGenConfig(strategy="greedy",
+                                                 seed=1, max_tests=2))
+    engine.submit("fig1a", "v1model")
+    engine.submit("fig1b", "v1model")
+    results = engine.run()
+    assert all(r.tests for r in results)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,74 @@
+"""Bounded ``repro bench`` smoke run + the coverage-greedy floor.
+
+Rides the perfsmoke guard (CI-safe, seconds not minutes) and carries
+the ``bench`` marker so the full benchmark tooling can be selected on
+its own.  Two locks:
+
+- the quick bench produces a schema-valid trajectory file and appends
+  (never rewrites) points across invocations;
+- the coverage-greedy strategy reaches 90% statement coverage on the
+  tbl4a middleblock row with no more tests than DFS needs — the
+  feedback loop must actually buy test-budget efficiency, not just
+  produce curves.
+"""
+
+import json
+
+import pytest
+
+from repro import TestGen, TestGenConfig, load_program
+from repro.report import load_schema, validate
+from repro.report.bench import run_bench, trajectory_path
+from repro.targets import get_target
+
+pytestmark = [pytest.mark.bench, pytest.mark.perfsmoke]
+
+
+def test_quick_bench_appends_valid_trajectory(tmp_path):
+    point = run_bench("smoke", tmp_path, quick=True, fuzz_count=2,
+                      fuzz_corpus=tmp_path / "corpus")
+    path = trajectory_path(tmp_path, "smoke")
+    doc = json.loads(path.read_text())
+    validate(doc, load_schema())
+    assert doc["kind"] == "bench_trajectory"
+    assert len(doc["points"]) == 1
+    assert [r["program"] for r in point["rows"]] == ["middleblock", "up4"]
+    for row in point["rows"]:
+        assert row["num_tests"] > 0
+        assert row["coverage_curve"][-1][2] == row["statement_coverage"]
+    assert point["fuzz"]["num_cases"] == 2
+    assert "oracle" in point["phase_times_s"]
+
+    # A second run appends — the trajectory accumulates history.
+    run_bench("smoke", tmp_path, quick=True, fuzz_count=0)
+    doc = json.loads(path.read_text())
+    validate(doc, load_schema())
+    assert len(doc["points"]) == 2
+    assert doc["points"][1]["fuzz"] is None
+
+
+def test_bench_refuses_to_corrupt_foreign_file(tmp_path):
+    path = trajectory_path(tmp_path, "clash")
+    path.write_text(json.dumps({"kind": "something_else"}))
+    with pytest.raises(ValueError, match="not a bench trajectory"):
+        run_bench("clash", tmp_path, quick=True, fuzz_count=0)
+
+
+def test_greedy_reaches_90pct_within_dfs_test_count():
+    program = load_program("middleblock")
+    target = get_target("v1model")
+
+    dfs = TestGen(program, target=target, config=TestGenConfig(seed=1))
+    dfs.run()
+    dfs_curve = dfs.last_run.coverage.curve()
+    dfs_to_90 = next(n for n, _c, pct in dfs_curve if pct >= 90.0)
+
+    greedy = TestGen(program, target=target, config=TestGenConfig(
+        seed=1, strategy="greedy", coverage_goal=90.0))
+    result = greedy.run()
+
+    assert result.statement_coverage >= 90.0
+    assert len(result.tests) <= dfs_to_90, (
+        f"greedy needed {len(result.tests)} tests to reach 90%, "
+        f"DFS needed {dfs_to_90}"
+    )

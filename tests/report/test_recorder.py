@@ -1,0 +1,120 @@
+"""Recorder + run-report schema stability (satellite S4).
+
+Pins the contract downstream tooling relies on: every report the CLI
+and the campaign emit validates against the checked-in
+``run_report.schema.json``, and :func:`repro.report.normalized` yields
+a deterministic view (wall-time and cache-warmth fields stripped).
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.report import (Recorder, cache_rates, load_schema, normalized,
+                          validate)
+from repro.report.schema import SchemaError
+
+
+def _basic_recorder():
+    rec = Recorder("generate", seed=1, program="fig1a.p4",
+                   target="v1model", config={"seed": 1})
+    rec.add_phase_time("generate", 0.25)
+    rec.add_phase_time("generate", 0.75)   # repeated phases accumulate
+    rec.record_coverage_curve([[1, 3, 30.0], [2, 10, 100.0]])
+    rec.record_stats({"cache_hits": 3, "cache_misses": 1,
+                      "solver_checks": 10, "elide_hits_model": 2})
+    rec.num_tests = 2
+    return rec
+
+
+def test_report_validates_and_has_stable_fields():
+    doc = _basic_recorder().report()
+    validate(doc, load_schema())
+    assert doc["kind"] == "run_report"
+    assert doc["num_tests"] == 2
+    assert doc["statement_coverage"] == 100.0
+    assert doc["phase_times_s"] == {"generate": 1.0}
+    assert doc["cache_rates"]["solve_cache_hit_rate"] == 0.75
+    assert doc["cache_rates"]["query_elision_rate"] == 0.2
+
+
+def test_invalid_report_is_rejected_not_written(tmp_path):
+    rec = _basic_recorder()
+    rec.num_tests = -1               # violates minimum: 0
+    out = tmp_path / "rep.json"
+    with pytest.raises(SchemaError):
+        rec.write(out)
+    assert not out.exists()
+
+
+def test_cache_rates_zero_denominators():
+    rates = cache_rates({})
+    assert set(rates) == {
+        "solve_cache_hit_rate", "query_elision_rate",
+        "feasibility_elision_rate", "blast_cache_hit_rate",
+        "intern_hit_rate",
+    }
+    assert all(v == 0.0 for v in rates.values())
+
+
+def test_normalized_strips_volatile_keys_recursively():
+    doc = {
+        "num_tests": 5,
+        "elapsed_s": 1.25,
+        "phase_times_s": {"solve": 0.5},
+        "stats": {"step_time": 0.1, "sat_solves": 7,
+                  "intern_hits": 3, "blast_cache_hits": 2},
+        "rows": [{"wall_s": 0.9, "tests": 3,
+                  "peak_rss_mb": 10.0, "timestamp_s": 1.0}],
+    }
+    clean = normalized(doc)
+    assert clean == {"num_tests": 5, "stats": {"sat_solves": 7},
+                     "rows": [{"tests": 3}]}
+    # The original is untouched (deep copy semantics).
+    assert "elapsed_s" in doc and "wall_s" in doc["rows"][0]
+
+
+def test_generate_stats_json_validates(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    assert main(["generate", "fig1a", "--max-tests", "3",
+                 "--out", str(tmp_path / "t.stf"),
+                 "--stats-json", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    validate(doc, load_schema())
+    assert doc["command"] == "generate"
+    assert doc["program"] == "fig1a.p4"
+    assert doc["num_tests"] == 3
+    assert len(doc["coverage_curve"]) == 3
+    assert doc["config"]["seed"] == 1
+    assert "generate" in doc["phase_times_s"]
+
+
+def test_fuzz_stats_json_validates(tmp_path):
+    out = tmp_path / "report.json"
+    assert main(["fuzz", "--seed", "0", "--count", "2",
+                 "--targets", "v1model", "--max-tests", "4",
+                 "--corpus", str(tmp_path / "corpus"),
+                 "--stats-json", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    validate(doc, load_schema())
+    campaign = doc["campaign"]
+    assert campaign["num_cases"] == 2
+    assert campaign["num_passed"] + campaign["num_failed"] == 2
+    cc = campaign["construct_coverage"]
+    assert cc["universe"] == 29
+    assert len(cc["curve"]) == 2
+    assert len(campaign["cases"]) == 2
+
+
+def test_coverage_goal_flag_truncates(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    assert main(["generate", "middleblock", "--strategy", "greedy",
+                 "--max-tests", "0", "--coverage-goal", "90",
+                 "--out", str(tmp_path / "t.stf"),
+                 "--stats-json", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    validate(doc, load_schema())
+    assert doc["statement_coverage"] >= 90.0
+    # The goal actually truncated the run (exhaustive would be >100).
+    assert doc["num_tests"] < 100

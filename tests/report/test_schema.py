@@ -1,0 +1,84 @@
+"""Unit tests for the stdlib JSON-Schema subset validator."""
+
+import pytest
+
+from repro.report.schema import SchemaError, load_schema, validate
+
+
+def test_type_checks():
+    validate(3, {"type": "integer"})
+    validate(3.5, {"type": "number"})
+    validate(3, {"type": "number"})       # ints are numbers
+    validate(None, {"type": ["integer", "null"]})
+    with pytest.raises(SchemaError):
+        validate("3", {"type": "integer"})
+    with pytest.raises(SchemaError):
+        validate(None, {"type": "integer"})
+
+
+def test_bool_is_not_a_number():
+    # JSON Schema semantics; also a real bug class in stats dicts.
+    with pytest.raises(SchemaError):
+        validate(True, {"type": "integer"})
+    with pytest.raises(SchemaError):
+        validate(False, {"type": "number"})
+    validate(True, {"type": "boolean"})
+
+
+def test_required_and_additional_properties():
+    schema = {
+        "type": "object",
+        "required": ["a"],
+        "properties": {"a": {"type": "integer"}},
+        "additionalProperties": False,
+    }
+    validate({"a": 1}, schema)
+    with pytest.raises(SchemaError, match="missing required"):
+        validate({}, schema)
+    with pytest.raises(SchemaError, match="unexpected key"):
+        validate({"a": 1, "b": 2}, schema)
+    # additionalProperties as a schema constrains unknown keys.
+    schema["additionalProperties"] = {"type": "string"}
+    validate({"a": 1, "b": "ok"}, schema)
+    with pytest.raises(SchemaError):
+        validate({"a": 1, "b": 2}, schema)
+
+
+def test_enum_minimum_maximum_min_items():
+    with pytest.raises(SchemaError, match="enum"):
+        validate("x", {"enum": ["run_report"]})
+    with pytest.raises(SchemaError, match="minimum"):
+        validate(-1, {"type": "integer", "minimum": 0})
+    with pytest.raises(SchemaError, match="maximum"):
+        validate(101, {"type": "number", "maximum": 100})
+    with pytest.raises(SchemaError, match="minItems"):
+        validate([1], {"type": "array", "minItems": 2})
+
+
+def test_items_and_nested_paths():
+    schema = {"type": "array", "items": {"type": "object",
+                                         "required": ["x"]}}
+    validate([{"x": 1}, {"x": 2}], schema)
+    with pytest.raises(SchemaError) as exc:
+        validate([{"x": 1}, {}], schema)
+    assert "[1]" in str(exc.value)
+
+
+def test_one_of_exactly_one_branch():
+    schema = {"oneOf": [{"type": "integer"}, {"type": "string"}]}
+    validate(1, schema)
+    validate("s", schema)
+    with pytest.raises(SchemaError, match="oneOf"):
+        validate(None, schema)
+    # Matching more than one branch is also a violation.
+    with pytest.raises(SchemaError, match="matched 2"):
+        validate(1, {"oneOf": [{"type": "integer"}, {"type": "number"}]})
+
+
+def test_checked_in_schema_loads_and_is_a_one_of():
+    schema = load_schema()
+    assert "oneOf" in schema
+    kinds = set()
+    for branch in schema["oneOf"]:
+        kinds.update(branch["properties"]["kind"]["enum"])
+    assert kinds == {"run_report", "bench_trajectory"}

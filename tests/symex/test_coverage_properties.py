@@ -1,0 +1,107 @@
+"""Property tests for :class:`repro.symex.coverage.CoverageTracker`.
+
+The tracker is the measurement backbone of the coverage feedback loop
+(greedy exploration scores candidates with ``newly_covered``, stop
+limits read ``statement_percent``, run reports serialize ``curve()``),
+so its invariants get hypothesis coverage rather than examples:
+
+- coverage is monotone: recording a test never lowers the percentage;
+- ``statement_percent`` stays in [0, 100] for any record sequence,
+  including ids outside the universe and an empty universe;
+- ``newly_covered`` never double-reports: the sum of ``record``
+  returns equals the final covered count, and a recorded id is never
+  reported as new again.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.symex.coverage import CoverageTracker
+
+
+class _Stmt:
+    def __init__(self, stmt_id):
+        self.stmt_id = stmt_id
+        self.location = None
+
+
+class _Program:
+    """The minimal surface CoverageTracker needs."""
+
+    def __init__(self, n_statements):
+        self._stmts = [_Stmt(i) for i in range(n_statements)]
+
+    def all_statements(self):
+        return list(self._stmts)
+
+
+# Each draw: a universe size and a sequence of per-test id sets, where
+# ids may fall outside the universe (the tracker must ignore those).
+_RUNS = st.integers(min_value=0, max_value=24).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.frozensets(st.integers(min_value=-4, max_value=n + 8),
+                          max_size=12),
+            max_size=20,
+        ),
+    )
+)
+
+
+@given(_RUNS)
+def test_percent_bounded_and_monotone(run):
+    n, tests = run
+    tracker = CoverageTracker(_Program(n))
+    last = tracker.statement_percent
+    assert 0.0 <= last <= 100.0
+    for ids in tests:
+        tracker.record(ids)
+        now = tracker.statement_percent
+        assert 0.0 <= now <= 100.0
+        assert now >= last
+        last = now
+
+
+@given(_RUNS)
+def test_newly_covered_never_double_reports(run):
+    n, tests = run
+    tracker = CoverageTracker(_Program(n))
+    total_new = 0
+    for ids in tests:
+        fresh = tracker.newly_covered(ids)
+        # Pure query: asking twice reports the same set.
+        assert tracker.newly_covered(ids) == fresh
+        assert fresh.isdisjoint(tracker.covered)
+        assert tracker.record(ids) == len(fresh)
+        # Once recorded, nothing in this test is ever "new" again.
+        assert tracker.newly_covered(ids) == frozenset()
+        total_new += len(fresh)
+    assert total_new == len(tracker.covered)
+
+
+@given(_RUNS)
+def test_curve_matches_record_history(run):
+    n, tests = run
+    tracker = CoverageTracker(_Program(n))
+    for ids in tests:
+        tracker.record(ids)
+    curve = tracker.curve()
+    assert len(curve) == len(tests)
+    covered_counts = [c for _n, c, _p in curve]
+    assert covered_counts == sorted(covered_counts)
+    for i, (count, covered, percent) in enumerate(curve, start=1):
+        assert count == i
+        assert 0.0 <= percent <= 100.0
+    if curve:
+        assert curve[-1][1] == len(tracker.covered)
+        assert abs(curve[-1][2] - round(tracker.statement_percent, 4)) < 1e-9
+
+
+@given(_RUNS)
+def test_covered_never_exceeds_universe(run):
+    n, tests = run
+    tracker = CoverageTracker(_Program(n))
+    for ids in tests:
+        tracker.record(ids)
+    assert len(tracker.covered) <= tracker.universe_size
+    assert tracker.fully_covered == (len(tracker.covered) == n)
