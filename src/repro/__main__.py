@@ -98,6 +98,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--target", default="v1model", choices=sorted(TARGETS))
     run.add_argument("--max-tests", type=int, default=10)
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--batch-replay", action=argparse.BooleanOptionalAction,
+                     default=True,
+                     help="replay the suite through the lane-packed "
+                          "batch interpreter (--no-batch-replay forces "
+                          "one scalar simulator per test)")
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -136,6 +141,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="write the campaign run report (construct "
                            "coverage, per-case outcomes, solver stats) "
                            "as schema-validated JSON")
+    fuzz.add_argument("--batch-replay", action=argparse.BooleanOptionalAction,
+                      default=True,
+                      help="replay generated suites through the "
+                           "lane-packed batch interpreter "
+                           "(--no-batch-replay forces scalar stepping)")
     fuzz.add_argument("--intern-stats", action="store_true",
                       help="print campaign-wide intern-pool / "
                            "blast-cache counters to stderr")
@@ -231,9 +241,11 @@ def cmd_run(args) -> int:
 
     program = _load(args.program)
     target = get_target(args.target)
-    config = TestGenConfig(seed=args.seed, max_tests=args.max_tests or None)
+    config = TestGenConfig(seed=args.seed, max_tests=args.max_tests or None,
+                           batch_replay=args.batch_replay)
     result = TestGen(program, target=target, config=config).run()
-    passed, runs = run_suite(result.tests, program)
+    passed, runs = run_suite(result.tests, program,
+                             batch=config.batch_replay)
     for run in runs:
         status = "PASS" if run.passed else f"FAIL ({run.kind}: {run.detail})"
         print(f"test {run.test_id}: {status}")
@@ -257,6 +269,7 @@ def cmd_fuzz(args) -> int:
         steer_batch=args.steer_batch,
         mutate_fraction=args.mutate_fraction,
         mutate_corpus=args.mutate_corpus,
+        batch_replay=args.batch_replay,
     )
 
     def on_case(case):

@@ -87,6 +87,10 @@ class TestGenConfig:
             sample of SAT answers — verify each emitted model against
             its constraint set and re-solve on a second back end
             (the first portfolio member, when present).
+        batch_replay: replay generated suites through the lane-packed
+            batch interpreter (``repro.interp.batch``) instead of one
+            scalar simulator per test.  Classifications are identical
+            either way; off disables only the fast path.
     """
 
     __test__ = False  # not a pytest class, despite the name
@@ -114,6 +118,7 @@ class TestGenConfig:
     portfolio: tuple[str, ...] = ()
     portfolio_budget: int = 256
     solver_crosscheck: bool = False
+    batch_replay: bool = True
 
     def replace(self, **overrides) -> "TestGenConfig":
         """A copy of this config with ``overrides`` applied."""

@@ -36,6 +36,7 @@ import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
+from ..interp.batch import ReplayStats
 from .corpus import load_corpus, write_corpus_entry
 from .generator import FUZZ_TARGETS, generate_spec
 from .harness import CaseResult, classify_replay, run_spec
@@ -59,6 +60,7 @@ class FuzzCampaignConfig:
     shrink_checks: int = 200         # predicate budget per finding
     steer: bool = False              # coverage-guided grammar steering
     steer_batch: int = 8             # cases per steering round
+    batch_replay: bool = True        # lane-engine suite replay
     steer_strength: float = 4.0      # uncovered-construct weight boost
     mutate_fraction: float = 0.0     # P(case mutates a reproducer)
     mutate_corpus: str | None = None  # pool dir (default: corpus_dir)
@@ -95,6 +97,7 @@ class CampaignSummary:
     elapsed: float = 0.0
     construct_coverage: ConstructCoverage = field(
         default_factory=ConstructCoverage)
+    replay: ReplayStats = field(default_factory=ReplayStats)
 
     @property
     def num_passed(self) -> int:
@@ -153,6 +156,11 @@ class CampaignSummary:
             "construct_coverage": self.construct_coverage.as_dict(),
             "cases": [c.to_dict() for c in self.cases],
             "corpus_entries": [str(p) for p in self.corpus_entries],
+            "replay": {
+                **self.replay.as_dict(),
+                "fill_rate": round(self.replay.fill_rate(), 4),
+                "batched": self.config.batch_replay,
+            },
         }
 
     def report(self) -> str:
@@ -189,6 +197,13 @@ class CampaignSummary:
                 f"blast cache: {int(stats.get('blast_cache_hits', 0))} hits, "
                 f"{int(stats.get('blast_clauses_replayed', 0))} clauses "
                 "replayed"
+            )
+        if self.replay.replay_packets:
+            lines.append(
+                f"  replay: {self.replay.replay_packets} packets, "
+                f"{self.replay.replay_batches} batches, "
+                f"{self.replay.replay_scalar_packets} scalar, "
+                f"fill {self.replay.fill_rate():.0%}"
             )
         for path in self.corpus_entries:
             lines.append(f"  reproducer: {path}")
@@ -364,8 +379,14 @@ def run_fuzz_campaign(config: FuzzCampaignConfig,
                 stats = getattr(result, "stats", None)
                 if stats is not None:
                     case.stats = stats.as_dict()
+                case_replay = ReplayStats()
                 with phase("oracle_replay"):
-                    _passed, runs = run_suite(tests, program)
+                    _passed, runs = run_suite(
+                        tests, program, batch=config.batch_replay,
+                        replay_stats=case_replay)
+                if config.batch_replay:
+                    case.stats.update(case_replay.as_dict())
+                summary.replay.merge(case_replay)
                 classify_replay(case, runs)
             summary.cases.append(case)
             summary.construct_coverage.record_case(
@@ -384,6 +405,7 @@ def run_fuzz_campaign(config: FuzzCampaignConfig,
                     outcome = run_spec(
                         candidate, max_tests=config.max_tests,
                         oracle_seed=config.oracle_seed,
+                        batch_replay=config.batch_replay,
                     )
                     return (not outcome.passed
                             and outcome.classification == want)

@@ -94,13 +94,16 @@ def classify_run(run) -> str:
 
 
 def run_spec(spec: ProgramSpec, *, max_tests: int | None = 16,
-             oracle_seed: int = 1) -> CaseResult:
+             oracle_seed: int = 1, batch_replay: bool = True) -> CaseResult:
     """Differentially test one concrete spec.
 
     Used both for fresh campaign cases and by the shrinker to check a
-    reduced candidate still fails the same way.
+    reduced candidate still fails the same way.  ``batch_replay``
+    selects the lane-engine replay path (classifications are identical
+    either way; only throughput and the ``replay_*`` counters differ).
     """
     from .. import TestGen, TestGenConfig, load_program
+    from ..interp.batch import ReplayStats
     from ..targets import get_target
     from ..testback.runner import run_suite
 
@@ -121,7 +124,11 @@ def run_spec(spec: ProgramSpec, *, max_tests: int | None = 16,
     case.coverage = result.statement_coverage
     if result.stats is not None:
         case.stats = result.stats.as_dict()
-    _passed, runs = run_suite(result.tests, program)
+    replay_stats = ReplayStats()
+    _passed, runs = run_suite(result.tests, program, batch=batch_replay,
+                              replay_stats=replay_stats)
+    if batch_replay:
+        case.stats.update(replay_stats.as_dict())
     return classify_replay(case, runs)
 
 
@@ -143,8 +150,9 @@ def classify_replay(case: CaseResult, runs) -> CaseResult:
 
 
 def run_case(seed: int, target: str, *, max_tests: int | None = 16,
-             oracle_seed: int = 1) -> CaseResult:
+             oracle_seed: int = 1, batch_replay: bool = True) -> CaseResult:
     """Generate the program for ``(seed, target)`` and run it
     differentially."""
     spec = generate_spec(seed, target)
-    return run_spec(spec, max_tests=max_tests, oracle_seed=oracle_seed)
+    return run_spec(spec, max_tests=max_tests, oracle_seed=oracle_seed,
+                    batch_replay=batch_replay)

@@ -1,5 +1,14 @@
-"""Concrete reference interpreters ("software models" under test)."""
+"""Concrete reference interpreters ("software models" under test).
 
+Two execution paths share one set of semantics: the scalar simulators
+(:mod:`bmv2`, :mod:`tofino_model`, :mod:`ebpf_vm` over :mod:`core`)
+step one packet at a time, and the lane engine (:mod:`batch` fed by
+:mod:`compile`) replays whole suites with Python-int bitwise
+parallelism, falling back to the scalar path whenever exactness is in
+doubt.
+"""
+
+from .batch import BatchSimulator, ReplayStats
 from .bmv2 import Bmv2Simulator
 from .core import BlockExecutor, ConcretePacket, Config, InterpError, InterpResult
 from .ebpf_vm import EbpfSimulator
@@ -8,4 +17,5 @@ from .tofino_model import TofinoSimulator
 __all__ = [
     "Config", "InterpResult", "InterpError", "BlockExecutor",
     "ConcretePacket", "Bmv2Simulator", "TofinoSimulator", "EbpfSimulator",
+    "BatchSimulator", "ReplayStats",
 ]

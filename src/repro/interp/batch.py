@@ -1,0 +1,582 @@
+"""Lane-packed batch execution engine for concrete replay.
+
+The scalar interpreters (:mod:`repro.interp.core` and the per-family
+simulators) step one packet at a time through recursive AST dispatch.
+This module executes *k* packets per pass instead: every scalar
+register of the compiled program (see :mod:`repro.interp.compile`) is
+one Python big int holding k lanes of ``LANE_STRIDE`` bits each, and
+straight-line bit-vector operations run once per *op* instead of once
+per *packet* — classic SWAR, with Python's arbitrary-precision ints as
+the vector unit.
+
+Control flow is handled with divergence masks: every compiled op is a
+closure ``m' = op(state, m)`` over a spread lane mask (bit ``i*STRIDE``
+set when lane *i* is active).  ``if`` splits the mask by the packed
+condition and re-merges; table application groups lanes by matched
+action and runs each group under its own mask; parsers run a worklist
+sweep that executes each reachable state once per sweep for all lanes
+currently in it.
+
+Anything the compiler cannot prove safe falls back to the scalar
+interpreter at one of two levels, keeping classifications byte-exact:
+
+- **whole program** — ``CompileUnsupported`` during the one-time
+  compile (stateful externs, stacks, varbits, ...) routes the whole
+  suite through the ordinary per-test simulators;
+- **single lane** — runtime ejection (unknown runtime action name,
+  parser sweep cap) re-runs just that packet on a fresh scalar
+  simulator.
+
+Lane geometry: ``LANE_STRIDE = 66`` = the 64-bit scalar width cap the
+compiler enforces plus two guard bits, so per-lane add/subtract
+carries (width ``w+1``) and the borrowed-bit comparison trick (bit
+``w`` of ``(a | hm) - b``) stay inside their own lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dc_fields
+
+from .core import Config, InterpResult
+
+__all__ = [
+    "LANE_STRIDE", "MAX_SCALAR_WIDTH", "DEFAULT_LANES", "ACCEPT", "REJECT",
+    "Lanes", "LanePacket", "LaneState", "ReplayStats", "BatchSimulator",
+    "pack_lanes", "unpack_lanes", "lane_splat", "iter_lanes",
+    "lane_eq", "lane_ne", "lane_lt", "lane_select",
+    "run_ops", "run_control_ops", "run_parser_plan", "drain_pending",
+]
+
+MAX_SCALAR_WIDTH = 64
+LANE_STRIDE = MAX_SCALAR_WIDTH + 2  # value bits + carry guard + spare
+# Packed ops cost the same for every lane in the register, so wider
+# batches amortize the op-chain traversal; 32 lanes (~2k-bit ints) is
+# where the big-int constant factor starts eating the gain.
+DEFAULT_LANES = 32
+
+# Parser lane-state sentinels (non-negative values index compiled states).
+ACCEPT = -1
+REJECT = -2
+
+# One parser "sweep" runs every pending state once; the scalar
+# interpreter errors out at 10k *steps per packet*, so 10k sweeps is
+# strictly later — any lane still pending is ejected to the scalar
+# path, which reproduces the scalar nontermination error exactly.
+PARSER_SWEEP_CAP = 10_000
+
+
+class Lanes:
+    """Geometry for a batch of ``k`` lanes (masks are cached per width)."""
+
+    __slots__ = ("k", "stride", "ones", "all", "_fm", "_hm")
+
+    def __init__(self, k: int, stride: int = LANE_STRIDE):
+        self.k = k
+        self.stride = stride
+        ones = 0
+        for i in range(k):
+            ones |= 1 << (i * stride)
+        #: spread constant 1 — bit set at every lane origin.
+        self.ones = ones
+        #: spread mask with every lane active (alias of ``ones``).
+        self.all = ones
+        self._fm: dict[int, int] = {}
+        self._hm: dict[int, int] = {}
+
+    def fm(self, width: int) -> int:
+        """Field mask: ``width`` low bits set in every lane."""
+        m = self._fm.get(width)
+        if m is None:
+            m = self._fm[width] = self.ones * ((1 << width) - 1)
+        return m
+
+    def hm(self, width: int) -> int:
+        """Guard mask: bit ``width`` (the carry/borrow bit) per lane."""
+        m = self._hm.get(width)
+        if m is None:
+            m = self._hm[width] = self.ones << width
+        return m
+
+
+_LANE_MEMO: dict = {}
+
+
+def iter_lanes(mask: int, stride: int = LANE_STRIDE):
+    """``(lane_index, bit_position)`` for every set lane bit.
+
+    Returns a (memoized — callers must not mutate) list rather than a
+    generator: lane loops are the hot path of the whole engine, masks
+    repeat across consecutive ops, and hashing a packed int is far
+    cheaper than a Python-level bit scan per call."""
+    key = (mask, stride)
+    out = _LANE_MEMO.get(key)
+    if out is None:
+        out = []
+        while mask:
+            low = mask & -mask
+            pos = low.bit_length() - 1
+            out.append((pos // stride, pos))
+            mask ^= low
+        if len(_LANE_MEMO) >= 8192:
+            _LANE_MEMO.clear()
+        _LANE_MEMO[key] = out
+    return out
+
+
+def pack_lanes(values, width: int, g: Lanes) -> int:
+    """Pack per-lane ints into one register (values truncated to width)."""
+    mask = (1 << width) - 1
+    out = 0
+    for i, v in enumerate(values):
+        out |= (v & mask) << (i * g.stride)
+    return out
+
+
+def unpack_lanes(packed: int, width: int, g: Lanes) -> list[int]:
+    """Inverse of :func:`pack_lanes` for all ``g.k`` lanes."""
+    mask = (1 << width) - 1
+    return [(packed >> (i * g.stride)) & mask for i in range(g.k)]
+
+
+def lane_splat(value: int, width: int, g: Lanes) -> int:
+    """Broadcast one constant into every lane."""
+    return g.ones * (value & ((1 << width) - 1))
+
+
+# -- SWAR comparison primitives -----------------------------------------
+#
+# All operands must be *clean*: only the low ``width`` bits of each lane
+# may be set.  Results are spread masks (bit at each lane origin).
+
+def lane_eq(a: int, b: int, width: int, g: Lanes) -> int:
+    """Per-lane ``a == b`` as a spread mask (over all k lanes)."""
+    x = a ^ b
+    t = (x | g.hm(width)) - g.ones
+    # Bit `width` of each lane survives iff the lane's diff was zero.
+    return (~t >> width) & g.ones
+
+
+def lane_ne(a: int, b: int, width: int, g: Lanes) -> int:
+    return lane_eq(a, b, width, g) ^ g.ones
+
+
+def lane_lt(a: int, b: int, width: int, g: Lanes) -> int:
+    """Per-lane unsigned ``a < b`` as a spread mask."""
+    t = (a | g.hm(width)) - b
+    # Lane value 2^w + a - b drops below 2^w exactly when a < b.
+    return (~t >> width) & g.ones
+
+
+def lane_select(cond: int, t: int, e: int, width: int, g: Lanes) -> int:
+    """Per-lane ``cond ? t : e`` for value registers (cond spread)."""
+    lm = cond * ((1 << width) - 1)
+    return (t & lm) | (e & ~lm)
+
+
+class LanePacket:
+    """Per-lane packet cursor (mirror of ``ConcretePacket``, no raises)."""
+
+    __slots__ = ("bits", "width", "pos")
+
+    def __init__(self, bits: int, width: int):
+        self.bits = bits
+        self.width = width
+        self.pos = 0
+
+    def prepend(self, bits: int, width: int) -> None:
+        self.bits |= (bits & ((1 << width) - 1)) << self.width
+        # NB: prepend puts bits *in front of* the existing packet, i.e.
+        # at the MSB end — same layout as ConcretePacket.prepend.
+        self.width += width
+
+    def remaining(self) -> int:
+        return self.width - self.pos
+
+    def take(self, width: int) -> int:
+        """Consume ``width`` bits from the front (caller checked room)."""
+        v = (self.bits >> (self.width - self.pos - width)) \
+            & ((1 << width) - 1)
+        self.pos += width
+        return v
+
+    def tail(self):
+        w = self.width - self.pos
+        return (self.bits & ((1 << w) - 1)) if w else 0, w
+
+
+class LaneState:
+    """All mutable state for one batch of lanes."""
+
+    __slots__ = (
+        "g", "regs", "valid", "configs", "pkt", "emit", "outputs",
+        "live", "ejected", "pstate", "reject_name", "pending_reject",
+        "exited", "returned", "port_written",
+    )
+
+    def __init__(self, g: Lanes, num_regs: int, num_valids: int, configs):
+        self.g = g
+        self.regs = [0] * num_regs
+        self.valid = [0] * num_valids
+        self.configs = list(configs)
+        self.pkt: list = [None] * g.k
+        self.emit: list = [[] for _ in range(g.k)]
+        self.outputs: list = [[] for _ in range(g.k)]
+        self.live = g.all
+        self.ejected = 0
+        self.pstate = [ACCEPT] * g.k
+        self.reject_name: list = [None] * g.k
+        self.pending_reject = 0
+        self.exited = 0
+        self.returned = 0
+        self.port_written = 0
+
+    def eject(self, mask: int) -> int:
+        """Remove lanes from batch execution; they replay scalar."""
+        mask &= self.live
+        self.ejected |= mask
+        self.live &= ~mask
+        return mask
+
+    def parser_reject(self, mask: int, name: str) -> None:
+        for i, _pos in iter_lanes(mask, self.g.stride):
+            self.pstate[i] = REJECT
+            self.reject_name[i] = name
+
+    def write(self, reg: int, width: int, value: int, m: int) -> None:
+        """Masked register write (``width`` bits per active lane)."""
+        lm = m * ((1 << width) - 1)
+        self.regs[reg] = (self.regs[reg] & ~lm) | (value & lm)
+
+    def write_bool(self, reg: int, value: int, m: int) -> None:
+        self.regs[reg] = (self.regs[reg] & ~m) | (value & m)
+
+    def deparsed(self, i: int):
+        """(bits, width) of lane ``i``'s emit buffer + packet tail."""
+        bits = 0
+        width = 0
+        for v, w in self.emit[i]:
+            bits = (bits << w) | (v & ((1 << w) - 1))
+            width += w
+        tail, tw = self.pkt[i].tail()
+        return (bits << tw) | tail, width + tw
+
+
+def run_ops(ops, st: LaneState, m: int) -> int:
+    """Run an op chain; ops shrink the mask, empty mask short-circuits."""
+    for op in ops:
+        m = op(st, m)
+        if not m:
+            return 0
+    return m
+
+
+def run_control_ops(ops, st: LaneState, m: int) -> int:
+    """Run one pipeline stage: ``exit`` ends the stage, not the lane."""
+    entry = m & st.live
+    if not entry:
+        return 0
+    st.exited = 0
+    run_ops(ops, st, entry)
+    out = entry & st.live
+    st.exited = 0
+    return out
+
+
+def drain_pending(st: LaneState, m: int) -> int:
+    """Turn pending lookahead shortfalls into PacketTooShort rejects."""
+    pr = st.pending_reject
+    if pr:
+        st.pending_reject = 0
+        prm = pr & m
+        if prm:
+            st.parser_reject(prm, "PacketTooShort")
+            m &= ~prm
+    return m
+
+
+def run_parser_plan(plan, st: LaneState, m: int):
+    """Run lanes through a compiled parser; returns ``(accept, reject)``
+    spread masks.  Lanes stuck past the sweep cap are ejected."""
+    entry = m & st.live
+    if not entry:
+        return 0, 0
+    stride = st.g.stride
+    for i, _pos in iter_lanes(entry, stride):
+        st.pstate[i] = plan.start
+        st.reject_name[i] = None
+    m = entry
+    if plan.pre_ops:
+        m = run_ops(plan.pre_ops, st, m)
+    sweeps = 0
+    while True:
+        pending: dict[int, int] = {}
+        for i, pos in iter_lanes(m & st.live, stride):
+            s = st.pstate[i]
+            if s >= 0:
+                pending[s] = pending.get(s, 0) | (1 << pos)
+        if not pending:
+            break
+        sweeps += 1
+        if sweeps > PARSER_SWEEP_CAP:
+            stuck = 0
+            for sm in pending.values():
+                stuck |= sm
+            st.eject(stuck)
+            break
+        for s in sorted(pending):
+            sm = pending[s] & st.live
+            if not sm:
+                continue
+            ops, transition = plan.states[s]
+            sm = run_ops(ops, st, sm)
+            sm &= st.live
+            if sm:
+                transition(st, sm)
+    acc = rej = 0
+    for i, pos in iter_lanes(entry & st.live, stride):
+        if st.pstate[i] == ACCEPT:
+            acc |= 1 << pos
+        else:
+            rej |= 1 << pos
+    return acc, rej
+
+
+# -- family pipeline runners --------------------------------------------
+
+_BMV2_DROP_PORT = 511
+
+
+def _run_bmv2(cp, st: LaneState, ports) -> None:
+    g = st.g
+    m = g.all & st.live
+    ipack = 0
+    lpack = 0
+    for i, pos in iter_lanes(m, g.stride):
+        ipack |= (ports[i] & 0x1FF) << pos
+        lpack |= ((st.pkt[i].width // 8) & 0xFFFFFFFF) << pos
+    st.write(cp.r_ingress_port, cp.w_port, ipack, m)
+    st.write(cp.r_packet_length, 32, lpack, m)
+    acc, rej = run_parser_plan(cp.parser, st, m)
+    if rej:
+        epack = 0
+        for i, pos in iter_lanes(rej, g.stride):
+            epack |= cp.error_codes.get(st.reject_name[i], 0) << pos
+        st.write(cp.r_parser_error, 32, epack, rej)
+    # Rejected lanes rejoin the pipeline with whatever parsed so far.
+    m = (acc | rej) & st.live
+    m = run_control_ops(cp.verify_ops, st, m)
+    m = run_control_ops(cp.ingress_ops, st, m)
+    spec = st.regs[cp.r_egress_spec]
+    dropm = lane_eq(spec, lane_splat(_BMV2_DROP_PORT, cp.w_port, g),
+                    cp.w_port, g) & m
+    m &= ~dropm
+    st.write(cp.r_egress_port, cp.w_port, spec, m)
+    m = run_control_ops(cp.egress_ops, st, m)
+    m = run_control_ops(cp.compute_ops, st, m)
+    m = run_control_ops(cp.deparser_ops, st, m)
+    eport = st.regs[cp.r_egress_port]
+    pmask = (1 << cp.w_port) - 1
+    for i, pos in iter_lanes(m, g.stride):
+        bits, width = st.deparsed(i)
+        st.outputs[i].append(((eport >> pos) & pmask, bits, width))
+
+
+def _run_ebpf(cp, st: LaneState, ports) -> None:
+    g = st.g
+    m = g.all & st.live
+    acc, _rej = run_parser_plan(cp.parser, st, m)
+    # Parser rejects are silent drops on ebpf.
+    m = acc & st.live
+    m = run_control_ops(cp.filter_ops, st, m)
+    m &= st.regs[cp.r_accept]
+    m = run_ops(cp.emit_ops, st, m) if m else 0
+    for i, pos in iter_lanes(m & st.live, g.stride):
+        bits, width = st.deparsed(i)
+        st.outputs[i].append((ports[i], bits, width))
+
+
+def _run_tofino(cp, st: LaneState, ports) -> None:
+    g = st.g
+    m = g.all & st.live
+    shortm = 0
+    for i, pos in iter_lanes(m, g.stride):
+        if st.pkt[i].width < cp.min_packet_bits:
+            shortm |= 1 << pos
+    m &= ~shortm  # short frames dropped before the MAC
+    for i, pos in iter_lanes(m, g.stride):
+        p = st.pkt[i]
+        p.prepend(0, cp.port_metadata_bits)
+        p.prepend((ports[i] & 0x1FF) << 48, 64)
+    st.port_written = 0
+    acc, rej = run_parser_plan(cp.ig_parser, st, m)
+    if rej and cp.reads_parser_err:
+        st.write(cp.r_ig_parser_err, cp.w_parser_err,
+                 lane_splat(2, cp.w_parser_err, g), rej)
+        m = (acc | rej) & st.live
+    else:
+        m = acc & st.live
+    m = run_control_ops(cp.ingress_ops, st, m)
+    for i, _pos in iter_lanes(m, g.stride):
+        st.emit[i] = []
+    m = run_control_ops(cp.ig_deparser_ops, st, m)
+    tm_pkts = {}
+    for i, pos in iter_lanes(m, g.stride):
+        tm_pkts[i] = st.deparsed(i)
+    dc = st.regs[cp.r_ig_drop_ctl]
+    m &= ~(lane_ne(dc, 0, cp.w_drop_ctl, g) & m)
+    # Scalar reruns ingress on resubmit; lanes asking for that replay
+    # scalar rather than modelling the loop here.
+    resub = lane_ne(st.regs[cp.r_resubmit_type], 0, cp.w_resubmit, g) & m
+    if resub:
+        st.eject(resub)
+        m &= ~resub
+    m &= st.port_written  # TM drops lanes that never chose a port
+    eport = st.regs[cp.r_ucast]
+    pmask = (1 << cp.w_ucast) - 1
+    eports = {i: (eport >> pos) & pmask for i, pos in iter_lanes(m, g.stride)}
+    bypass = lane_eq(st.regs[cp.r_bypass], lane_splat(1, cp.w_bypass, g),
+                     cp.w_bypass, g) & m
+    for i, pos in iter_lanes(bypass, g.stride):
+        bits, width = tm_pkts[i]
+        st.outputs[i].append((eports[i], bits, width))
+    m &= ~bypass
+    for i, pos in iter_lanes(m, g.stride):
+        bits, width = tm_pkts[i]
+        p = LanePacket(bits, width)
+        p.prepend(0, 128)
+        p.prepend(eports[i], 16)
+        st.pkt[i] = p
+    acc, rej = run_parser_plan(cp.eg_parser, st, m)
+    if rej:
+        st.write(cp.r_eg_parser_err, cp.w_parser_err,
+                 lane_splat(2, cp.w_parser_err, g), rej)
+    m = (acc | rej) & st.live
+    m = run_control_ops(cp.egress_ops, st, m)
+    for i, _pos in iter_lanes(m, g.stride):
+        st.emit[i] = []
+    m = run_control_ops(cp.eg_deparser_ops, st, m)
+    egdc = st.regs[cp.r_eg_drop_ctl]
+    m &= ~(lane_ne(egdc, 0, cp.w_drop_ctl, g) & m)
+    for i, pos in iter_lanes(m & st.live, g.stride):
+        bits, width = st.deparsed(i)
+        st.outputs[i].append((eports[i], bits, width))
+
+
+RUNNERS = {
+    "bmv2": _run_bmv2,
+    "ebpf": _run_ebpf,
+    "tofino": _run_tofino,
+}
+
+
+# -- the batch simulator ------------------------------------------------
+
+@dataclass
+class ReplayStats:
+    """Replay-side counters (merged into per-case ``stats`` dicts and
+    campaign reports; all values deterministic for a fixed workload)."""
+
+    replay_packets: int = 0
+    replay_lanes: int = 0
+    replay_batches: int = 0
+    replay_scalar_packets: int = 0
+    replay_ejected_lanes: int = 0
+    replay_compiled_programs: int = 0
+    replay_fallback_programs: int = 0
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in dc_fields(self)}
+
+    def merge(self, other: "ReplayStats") -> None:
+        for f in dc_fields(self):
+            setattr(self, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
+
+    def fill_rate(self) -> float:
+        """Fraction of batch-executed lanes that stayed on the fast
+        path (1.0 = no runtime ejections)."""
+        if not self.replay_lanes:
+            return 0.0
+        return (self.replay_lanes - self.replay_ejected_lanes) \
+            / self.replay_lanes
+
+
+class BatchSimulator:
+    """Replays suites of concrete cases through the lane engine.
+
+    ``run_cases`` takes ``(port, bits, width, Config)`` tuples and
+    returns one :class:`InterpResult` per case, in order, with the
+    same outputs/dropped/error observables as the scalar simulator
+    (traces are not produced — mismatch classification never reads
+    them).  Falls back to scalar execution per the module docstring.
+    """
+
+    def __init__(self, target_name: str, program, seed: int = 0, *,
+                 max_lanes: int = DEFAULT_LANES,
+                 stats: ReplayStats | None = None):
+        from .compile import CompileUnsupported, compile_cached
+
+        from ..testback.runner import is_stock_simulator
+
+        self.target_name = target_name
+        self.program = program
+        self.seed = seed
+        self.max_lanes = max(1, max_lanes)
+        self.stats = stats if stats is not None else ReplayStats()
+        try:
+            # The lane engine mirrors the *stock* simulators.  When a
+            # custom factory is registered for this target (fault
+            # injection, user extensions), every case must go through
+            # it — the fast path would silently bypass the override.
+            if not is_stock_simulator(target_name):
+                raise CompileUnsupported("custom simulator registered")
+            self.compiled = compile_cached(program, target_name)
+            self.stats.replay_compiled_programs += 1
+        except CompileUnsupported:
+            self.compiled = None
+            self.stats.replay_fallback_programs += 1
+
+    def run_cases(self, cases) -> list[InterpResult]:
+        cases = list(cases)
+        self.stats.replay_packets += len(cases)
+        if self.compiled is None:
+            self.stats.replay_scalar_packets += len(cases)
+            return [self._scalar(case) for case in cases]
+        results: list[InterpResult] = []
+        for start in range(0, len(cases), self.max_lanes):
+            results.extend(self._run_batch(cases[start:start + self.max_lanes]))
+        return results
+
+    def _scalar(self, case) -> InterpResult:
+        from ..testback.runner import make_simulator
+
+        port, bits, width, config = case
+        sim = make_simulator(self.target_name, self.program, seed=self.seed)
+        return sim.process(port, bits, width, config)
+
+    def _run_batch(self, chunk) -> list[InterpResult]:
+        cp = self.compiled
+        k = len(chunk)
+        g = Lanes(k)
+        st = LaneState(g, cp.num_regs, cp.num_valids,
+                       [case[3] if case[3] is not None else Config()
+                        for case in chunk])
+        ports = [case[0] for case in chunk]
+        for i, (_port, bits, width, _config) in enumerate(chunk):
+            st.pkt[i] = LanePacket(bits, width)
+        self.stats.replay_batches += 1
+        self.stats.replay_lanes += k
+        RUNNERS[cp.family](cp, st, ports)
+        out: list[InterpResult] = []
+        for i, case in enumerate(chunk):
+            if st.ejected & (1 << (i * g.stride)):
+                self.stats.replay_ejected_lanes += 1
+                self.stats.replay_scalar_packets += 1
+                out.append(self._scalar(case))
+                continue
+            result = InterpResult()
+            result.outputs = list(st.outputs[i])
+            if not result.outputs:
+                result.dropped = True
+            out.append(result)
+        return out

@@ -1,0 +1,1825 @@
+"""One-time compilation of lowered IR programs into lane-engine ops.
+
+The batch engine (:mod:`repro.interp.batch`) executes *k* packets per
+pass over flat register files; this module is the translator that gets
+a program there.  Compilation happens once per ``(program, target)``
+pair and produces a :class:`CompiledProgram`: per-family pipeline
+metadata plus chains of closure *ops* ``m' = op(state, mask)`` over
+packed lane registers.
+
+Exactness beats coverage here.  The compiler refuses — by raising
+:class:`CompileUnsupported` — anything whose lane semantics it cannot
+prove identical to the scalar interpreter (stateful externs, header
+stacks, varbits, ``switch``, cross-state parser locals, 65-bit-plus
+scalars, ...).  A refusal is not an error: the batch simulator routes
+the whole suite through the ordinary scalar simulators, so
+classifications stay byte-identical either way.
+
+Layout of a compiled value:
+
+- every scalar env path gets one *register* — a Python big int with
+  lane *i*'s value in bits ``[i*STRIDE, i*STRIDE + width)``, always
+  "clean" (no bits above the width);
+- ``bool`` paths get a *bool register* holding a spread mask (bit at
+  each lane origin iff true) — the same shape divergence masks use;
+- every header path gets a *validity id* indexing ``state.valid``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import weakref
+
+from ..frontend.types import (
+    BitsType,
+    BoolType,
+    EnumType,
+    ErrorType,
+    HeaderType,
+    StackType,
+    StructType,
+)
+from ..ir import nodes as N
+from .batch import (
+    ACCEPT,
+    MAX_SCALAR_WIDTH,
+    REJECT,
+    drain_pending,
+    iter_lanes,
+    lane_eq,
+    lane_lt,
+    lane_ne,
+    lane_select,
+    lane_splat,
+    run_ops,
+)
+from .core import spec_matches
+
+__all__ = [
+    "CompileUnsupported", "CompiledProgram", "ParserPlan", "FAMILY",
+    "compile_program", "compile_cached", "const_eval",
+]
+
+
+class CompileUnsupported(Exception):
+    """The program (or this corner of it) has no proven lane semantics."""
+
+
+#: Oracle target name -> interpreter family.
+FAMILY = {
+    "v1model": "bmv2",
+    "spec-only": "bmv2",
+    "tna": "tofino",
+    "t2na": "tofino",
+    "ebpf_model": "ebpf",
+}
+
+
+class ParserPlan:
+    """A compiled parser: local-decl ops plus indexed states."""
+
+    __slots__ = ("start", "pre_ops", "states")
+
+    def __init__(self, start, pre_ops, states):
+        self.start = start
+        self.pre_ops = pre_ops
+        self.states = states  # list of (ops, transition_fn)
+
+
+class CompiledProgram:
+    """Attribute bag consumed by the family runners in ``batch``."""
+
+    def __init__(self, **kw):
+        self.__dict__.update(kw)
+
+
+def const_eval(e) -> int:
+    """Evaluate a compile-time-constant expression exactly as the
+    scalar ``BlockExecutor.eval`` would; raises CompileUnsupported on
+    anything state-dependent."""
+    if isinstance(e, N.IrConst):
+        return e.value
+    if isinstance(e, N.IrUnop):
+        v = const_eval(e.operand)
+        if e.op == "!":
+            return not v
+        w = e.p4_type.bit_width()
+        if e.op == "~":
+            return ~v & ((1 << w) - 1)
+        if e.op == "-":
+            return -v & ((1 << w) - 1)
+        raise CompileUnsupported(f"const unop {e.op}")
+    if isinstance(e, N.IrBinop):
+        op = e.op
+        if op == "&&":
+            return bool(const_eval(e.left)) and bool(const_eval(e.right))
+        if op == "||":
+            return bool(const_eval(e.left)) or bool(const_eval(e.right))
+        a = const_eval(e.left)
+        b = const_eval(e.right)
+        if op == "==":
+            return a == b
+        if op == "!=":
+            return a != b
+        if op in ("<", ">", "<=", ">="):
+            lt = e.left.p4_type
+            if isinstance(lt, BitsType) and lt.signed:
+                a = a - (1 << lt.width) if a >= 1 << (lt.width - 1) else a
+                b = b - (1 << lt.width) if b >= 1 << (lt.width - 1) else b
+            return {"<": a < b, ">": a > b, "<=": a <= b, ">=": a >= b}[op]
+        w = e.p4_type.bit_width()
+        m = (1 << w) - 1
+        if op == "+":
+            return (a + b) & m
+        if op == "-":
+            return (a - b) & m
+        if op == "*":
+            return (a * b) & m
+        if op == "&":
+            return a & b
+        if op == "|":
+            return a | b
+        if op == "^":
+            return a ^ b
+        if op == "<<":
+            return (a << b) & m if b < w else 0
+        if op == ">>":
+            return a >> b if b < w else 0
+        raise CompileUnsupported(f"const binop {op}")
+    if isinstance(e, N.IrConcat):
+        out = 0
+        for part in e.parts:
+            out = (out << part.p4_type.bit_width()) | const_eval(part)
+        return out
+    if isinstance(e, N.IrSliceExpr):
+        v = const_eval(e.expr)
+        return (v >> e.lo) & ((1 << (e.hi - e.lo + 1)) - 1)
+    if isinstance(e, N.IrTernary):
+        return const_eval(e.then) if const_eval(e.cond) else const_eval(e.other)
+    if isinstance(e, N.IrCast):
+        v = const_eval(e.expr)
+        if isinstance(e.p4_type, BoolType):
+            return bool(v)
+        w = e.p4_type.bit_width()
+        if isinstance(v, bool):
+            return int(v) & ((1 << w) - 1)
+        src = e.expr.p4_type
+        if isinstance(src, BitsType) and src.signed and w > src.width:
+            sv = v - (1 << src.width) if v >= 1 << (src.width - 1) else v
+            return sv & ((1 << w) - 1)
+        return v & ((1 << w) - 1)
+    raise CompileUnsupported(f"not a constant: {e!r}")
+
+
+def _collect_roots(obj, out: set) -> None:
+    """Every ``VarLV`` root name reachable under ``obj`` (statements,
+    transitions, keysets...)."""
+    if isinstance(obj, N.VarLV):
+        out.add(obj.name)
+        return
+    if isinstance(obj, (list, tuple)):
+        for item in obj:
+            _collect_roots(item, out)
+        return
+    if isinstance(obj, dict):
+        for item in obj.values():
+            _collect_roots(item, out)
+        return
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        for f in dataclasses.fields(obj):
+            _collect_roots(getattr(obj, f.name), out)
+
+
+def _run_instance_ops(st, ops, m) -> None:
+    """Run an action body under its own ``return`` scope."""
+    saved = st.returned
+    st.returned = 0
+    run_ops(ops, st, m)
+    st.returned = saved
+
+
+_SCALAR_TYPES = (BitsType, BoolType, EnumType, ErrorType)
+
+
+class _Compiler:
+    def __init__(self, program: N.IrProgram, target_name: str):
+        self.program = program
+        self.target_name = target_name
+        self.family = FAMILY[target_name]
+        self.regs: dict[str, int] = {}          # env path -> register
+        self.reg_width: dict[int, int] = {}
+        self.bool_regs: set[int] = set()
+        self.valids: dict[str, int] = {}        # header path -> valid id
+        self.frames: list[dict[str, str]] = [{}]
+        self.scratch = 0
+        self.in_parser = False
+        self.in_action = 0
+        self.branch_depth = 0
+        self.parser: N.IrParser | None = None
+        self.forbidden_read: set[int] = set()   # regs a compiled read may not touch
+        self.port_regs: set[int] = set()        # writes set st.port_written
+        self._sm_type = None                    # bmv2 standard_metadata_t
+
+    # -- storage allocation --------------------------------------------
+
+    def reg(self, path: str, p4_type) -> int:
+        r = self.regs.get(path)
+        if r is not None:
+            return r
+        if not isinstance(p4_type, _SCALAR_TYPES):
+            raise CompileUnsupported(f"non-scalar register for {path!r}: "
+                                     f"{p4_type!r}")
+        width = p4_type.bit_width()
+        if width < 1 or width > MAX_SCALAR_WIDTH:
+            raise CompileUnsupported(f"width {width} out of lane range")
+        r = len(self.reg_width)
+        self.regs[path] = r
+        self.reg_width[r] = width
+        if isinstance(p4_type, BoolType):
+            self.bool_regs.add(r)
+        return r
+
+    def valid_id(self, path: str) -> int:
+        vid = self.valids.get(path)
+        if vid is None:
+            vid = self.valids[path] = len(self.valids)
+        return vid
+
+    # -- name resolution (mirrors BlockExecutor.resolve_root) ----------
+
+    def resolve_root(self, name: str) -> str:
+        for frame in reversed(self.frames):
+            if name in frame:
+                return frame[name]
+        return name
+
+    def resolve_lval(self, lv: N.LValue):
+        if isinstance(lv, N.VarLV):
+            return self.resolve_root(lv.name), lv.p4_type
+        if isinstance(lv, N.FieldLV):
+            base_path, base_type = self.resolve_lval(lv.base)
+            if isinstance(base_type, StackType):
+                raise CompileUnsupported("header stacks")
+            return f"{base_path}.{lv.field}", lv.p4_type
+        raise CompileUnsupported(f"lvalue {lv!r}")
+
+    def enclosing_header(self, lv: N.LValue):
+        if isinstance(lv, N.FieldLV):
+            if isinstance(lv.base.p4_type, HeaderType):
+                path, _t = self.resolve_lval(lv.base)
+                return path
+            return self.enclosing_header(lv.base)
+        if isinstance(lv, N.SliceLV):
+            return self.enclosing_header(lv.base)
+        return None
+
+    # -- expressions ----------------------------------------------------
+    #
+    # compile_expr returns (fn, is_bool, la): fn(st, m) yields a clean
+    # packed value (or a spread mask for bool), la marks lookahead
+    # inside — the enclosing statement must drain_pending after calling.
+
+    def compile_expr(self, e: N.IrExpr):
+        if isinstance(e, N.IrConst):
+            if isinstance(e.p4_type, BoolType):
+                if e.value:
+                    return (lambda st, m: st.g.all), True, False
+                return (lambda st, m: 0), True, False
+            w = e.p4_type.bit_width()
+            if w > MAX_SCALAR_WIDTH:
+                raise CompileUnsupported(f"constant width {w}")
+            value = int(e.value) & ((1 << w) - 1)
+            return (lambda st, m, v=value, w=w:
+                    lane_splat(v, w, st.g)), False, False
+        if isinstance(e, N.IrLValExpr):
+            return self._compile_lval_read(e.lval)
+        if isinstance(e, N.IrValidExpr):
+            path, _t = self.resolve_lval(e.header)
+            vid = self.valid_id(path)
+            return (lambda st, m, vid=vid: st.valid[vid]), True, False
+        if isinstance(e, N.IrUnop):
+            fn, isb, la = self.compile_expr(e.operand)
+            if e.op == "!":
+                if not isb:
+                    raise CompileUnsupported("! on non-bool")
+                return (lambda st, m, f=fn: f(st, m) ^ st.g.all), True, la
+            w = e.p4_type.bit_width()
+            if e.op == "~":
+                return (lambda st, m, f=fn, w=w:
+                        f(st, m) ^ st.g.fm(w)), False, la
+            if e.op == "-":
+                return (lambda st, m, f=fn, w=w:
+                        (st.g.hm(w) - f(st, m)) & st.g.fm(w)), False, la
+            raise CompileUnsupported(f"unop {e.op}")
+        if isinstance(e, N.IrBinop):
+            return self._compile_binop(e)
+        if isinstance(e, N.IrConcat):
+            total = 0
+            parts = []
+            for part in e.parts:
+                pw = part.p4_type.bit_width()
+                parts.append((self.compile_expr(part), pw))
+                total += pw
+            if total > MAX_SCALAR_WIDTH:
+                raise CompileUnsupported(f"concat width {total}")
+            la = any(p[0][2] for p in parts)
+            offs = []
+            off = total
+            for (fn, _isb, _la), pw in parts:
+                off -= pw
+                offs.append((fn, off))
+
+            def concat_fn(st, m, offs=offs):
+                out = 0
+                for fn, off in offs:
+                    out |= fn(st, m) << off
+                return out
+            return concat_fn, False, la
+        if isinstance(e, N.IrSliceExpr):
+            fn, isb, la = self.compile_expr(e.expr)
+            w = e.hi - e.lo + 1
+            return (lambda st, m, f=fn, lo=e.lo, w=w:
+                    (f(st, m) >> lo) & st.g.fm(w)), False, la
+        if isinstance(e, N.IrTernary):
+            cfn, cisb, cla = self.compile_expr(e.cond)
+            if not cisb:
+                raise CompileUnsupported("ternary cond not bool")
+            tfn, tisb, tla = self.compile_expr(e.then)
+            efn, eisb, ela = self.compile_expr(e.other)
+            if tla or ela:
+                raise CompileUnsupported("lookahead in ternary branch")
+            if tisb and eisb:
+                def tern_b(st, m, c=cfn, t=tfn, o=efn):
+                    cm = c(st, m)
+                    return (t(st, m) & cm) | (o(st, m) & (cm ^ st.g.all))
+                return tern_b, True, cla
+            if tisb or eisb:
+                raise CompileUnsupported("mixed bool/value ternary")
+            w = e.p4_type.bit_width()
+            if w > MAX_SCALAR_WIDTH:
+                raise CompileUnsupported(f"ternary width {w}")
+
+            def tern_v(st, m, c=cfn, t=tfn, o=efn, w=w):
+                return lane_select(c(st, m), t(st, m), o(st, m), w, st.g)
+            return tern_v, False, cla
+        if isinstance(e, N.IrCast):
+            return self._compile_cast(e)
+        if isinstance(e, N.IrCall):
+            return self._compile_call_expr(e)
+        raise CompileUnsupported(f"expression {type(e).__name__}")
+
+    def _compile_lval_read(self, lv: N.LValue):
+        path, p4_type = self.resolve_lval(lv)
+        if not isinstance(p4_type, _SCALAR_TYPES):
+            raise CompileUnsupported(f"composite read {path!r}")
+        r = self.reg(path, p4_type)
+        if r in self.forbidden_read:
+            raise CompileUnsupported(f"read of sentinel register {path!r}")
+        hdr = self.enclosing_header(lv)
+        isb = isinstance(p4_type, BoolType)
+        if hdr is None:
+            if isb:
+                return (lambda st, m, r=r: st.regs[r]), True, False
+            return (lambda st, m, r=r: st.regs[r]), False, False
+        vid = self.valid_id(hdr)
+        if isb:
+            return (lambda st, m, r=r, vid=vid:
+                    st.regs[r] & st.valid[vid]), True, False
+        w = p4_type.bit_width()
+        return (lambda st, m, r=r, vid=vid, w=w:
+                st.regs[r] & (st.valid[vid] * ((1 << w) - 1))), False, False
+
+    def _compile_binop(self, e: N.IrBinop):
+        op = e.op
+        if op in ("&&", "||"):
+            lfn, lisb, lla = self.compile_expr(e.left)
+            rfn, risb, rla = self.compile_expr(e.right)
+            if not (lisb and risb):
+                raise CompileUnsupported(f"{op} on non-bool")
+            if rla:
+                # The scalar side would skip the lookahead entirely
+                # when the left side short-circuits.
+                raise CompileUnsupported(f"lookahead in {op} right operand")
+            if op == "&&":
+                return (lambda st, m, a=lfn, b=rfn:
+                        a(st, m) & b(st, m)), True, lla
+            return (lambda st, m, a=lfn, b=rfn:
+                    a(st, m) | b(st, m)), True, lla
+        lfn, lisb, lla = self.compile_expr(e.left)
+        rfn, risb, rla = self.compile_expr(e.right)
+        la = lla or rla
+        if op in ("==", "!="):
+            if lisb != risb:
+                raise CompileUnsupported("mixed bool/value equality")
+            if lisb:
+                if op == "==":
+                    return (lambda st, m, a=lfn, b=rfn:
+                            (a(st, m) ^ b(st, m)) ^ st.g.all), True, la
+                return (lambda st, m, a=lfn, b=rfn:
+                        a(st, m) ^ b(st, m)), True, la
+            w = max(e.left.p4_type.bit_width(), e.right.p4_type.bit_width())
+            if w > MAX_SCALAR_WIDTH:
+                raise CompileUnsupported(f"comparison width {w}")
+            if op == "==":
+                return (lambda st, m, a=lfn, b=rfn, w=w:
+                        lane_eq(a(st, m), b(st, m), w, st.g)), True, la
+            return (lambda st, m, a=lfn, b=rfn, w=w:
+                    lane_ne(a(st, m), b(st, m), w, st.g)), True, la
+        if op in ("<", ">", "<=", ">="):
+            if lisb or risb:
+                raise CompileUnsupported("ordered compare on bool")
+            lt = e.left.p4_type
+            signed = isinstance(lt, BitsType) and lt.signed
+            w = lt.bit_width() if isinstance(lt, _SCALAR_TYPES) else max(
+                e.left.p4_type.bit_width(), e.right.p4_type.bit_width())
+            if w > MAX_SCALAR_WIDTH:
+                raise CompileUnsupported(f"comparison width {w}")
+
+            def cmp_fn(st, m, a=lfn, b=rfn, w=w, op=op, signed=signed):
+                av = a(st, m)
+                bv = b(st, m)
+                if signed:
+                    flip = lane_splat(1 << (w - 1), w, st.g)
+                    av ^= flip
+                    bv ^= flip
+                if op == "<":
+                    return lane_lt(av, bv, w, st.g)
+                if op == ">":
+                    return lane_lt(bv, av, w, st.g)
+                if op == "<=":
+                    return lane_lt(bv, av, w, st.g) ^ st.g.all
+                return lane_lt(av, bv, w, st.g) ^ st.g.all
+            return cmp_fn, True, la
+        if lisb or risb:
+            raise CompileUnsupported(f"arithmetic {op} on bool")
+        w = e.p4_type.bit_width()
+        if w > MAX_SCALAR_WIDTH:
+            raise CompileUnsupported(f"arithmetic width {w}")
+        if op == "+":
+            return (lambda st, m, a=lfn, b=rfn, w=w:
+                    (a(st, m) + b(st, m)) & st.g.fm(w)), False, la
+        if op == "-":
+            return (lambda st, m, a=lfn, b=rfn, w=w:
+                    ((a(st, m) | st.g.hm(w)) - b(st, m)) & st.g.fm(w)), \
+                False, la
+        if op == "&":
+            return (lambda st, m, a=lfn, b=rfn:
+                    a(st, m) & b(st, m)), False, la
+        if op == "|":
+            return (lambda st, m, a=lfn, b=rfn:
+                    a(st, m) | b(st, m)), False, la
+        if op == "^":
+            return (lambda st, m, a=lfn, b=rfn:
+                    a(st, m) ^ b(st, m)), False, la
+        if op == "<<" and isinstance(e.right, N.IrConst):
+            c = int(e.right.value)
+            if c >= w:
+                return (lambda st, m: 0), False, lla
+            keep = ((1 << w) - 1) >> c
+            return (lambda st, m, a=lfn, c=c, keep=keep:
+                    (a(st, m) & (st.g.ones * keep)) << c), False, lla
+        signed_shr = (op == ">>" and isinstance(e.p4_type, BitsType)
+                      and e.p4_type.signed)
+        if op == ">>" and not signed_shr and isinstance(e.right, N.IrConst):
+            c = int(e.right.value)
+            if c >= w:
+                return (lambda st, m: 0), False, lla
+            keep = ((1 << w) - 1) >> c
+            return (lambda st, m, a=lfn, c=c, keep=keep:
+                    (a(st, m) >> c) & (st.g.ones * keep)), False, lla
+        # Remaining ops run per lane, replicating scalar edge semantics.
+        mask = (1 << w) - 1
+
+        def perlane(st, m, a=lfn, b=rfn, op=op, w=w, mask=mask,
+                    signed_shr=signed_shr):
+            av = a(st, m)
+            bv = b(st, m)
+            out = 0
+            for i, pos in iter_lanes(m, st.g.stride):
+                x = (av >> pos) & mask
+                y = (bv >> pos) & mask
+                if op == "*":
+                    v = (x * y) & mask
+                elif op == "/":
+                    v = (x // y) & mask if y else mask
+                elif op == "%":
+                    v = (x % y) & mask if y else x
+                elif op == "<<":
+                    v = (x << y) & mask if y < w else 0
+                else:  # ">>"
+                    if signed_shr:
+                        sx = x - (1 << w) if x >= 1 << (w - 1) else x
+                        v = (sx >> min(y, w - 1)) & mask
+                    else:
+                        v = x >> y if y < w else 0
+                out |= v << pos
+            return out
+        if op in ("*", "/", "%", "<<", ">>"):
+            return perlane, False, la
+        raise CompileUnsupported(f"binop {op}")
+
+    def _compile_cast(self, e: N.IrCast):
+        fn, isb, la = self.compile_expr(e.expr)
+        target = e.p4_type
+        if isinstance(target, BoolType):
+            if isb:
+                return fn, True, la
+            sw = e.expr.p4_type.bit_width()
+            if sw > MAX_SCALAR_WIDTH:
+                raise CompileUnsupported(f"cast source width {sw}")
+            return (lambda st, m, f=fn, sw=sw:
+                    lane_ne(f(st, m), 0, sw, st.g)), True, la
+        w = target.bit_width()
+        if w > MAX_SCALAR_WIDTH:
+            raise CompileUnsupported(f"cast width {w}")
+        if isb:
+            # A spread bool is already a clean 1-bit value per lane.
+            return fn, False, la
+        src = e.expr.p4_type
+        if isinstance(src, BitsType) and src.signed and w > src.width:
+            sw = src.width
+
+            def sext(st, m, f=fn, sw=sw, w=w):
+                v = f(st, m)
+                sm = (v >> (sw - 1)) & st.g.ones
+                return v | (sm * ((((1 << (w - sw)) - 1)) << sw))
+            return sext, False, la
+        return (lambda st, m, f=fn, w=w:
+                f(st, m) & st.g.fm(w)), False, la
+
+    def _compile_call_expr(self, e: N.IrCall):
+        if e.func == "lookahead" and e.p4_type is not None:
+            if not self.in_parser:
+                raise CompileUnsupported("lookahead outside parser")
+            w = e.p4_type.bit_width()
+            if w > MAX_SCALAR_WIDTH:
+                raise CompileUnsupported(f"lookahead width {w}")
+
+            def look(st, m, w=w):
+                out = 0
+                mask = (1 << w) - 1
+                for i, pos in iter_lanes(m, st.g.stride):
+                    p = st.pkt[i]
+                    if w > p.width - p.pos:
+                        st.pending_reject |= 1 << pos
+                    else:
+                        out |= ((p.bits >> (p.width - p.pos - w)) & mask) \
+                            << pos
+                return out
+            return look, False, True
+        if e.func == "length":
+            if e.p4_type is None:
+                raise CompileUnsupported("untyped length()")
+            w = e.p4_type.bit_width()
+            if w > MAX_SCALAR_WIDTH:
+                raise CompileUnsupported(f"length width {w}")
+
+            def length(st, m, w=w):
+                out = 0
+                mask = (1 << w) - 1
+                for i, pos in iter_lanes(m, st.g.stride):
+                    out |= ((st.pkt[i].width // 8) & mask) << pos
+                return out
+            return length, False, False
+        raise CompileUnsupported(f"value extern {e.func!r}")
+
+    # -- statements -----------------------------------------------------
+
+    def compile_stmts(self, stmts) -> list:
+        ops = []
+        for s in stmts:
+            ops.extend(self.compile_stmt(s))
+        return ops
+
+    def compile_stmt(self, s) -> list:
+        if isinstance(s, N.IrAssign):
+            return self._compile_assign(s)
+        if isinstance(s, N.IrVarDecl):
+            return self._compile_vardecl(s)
+        if isinstance(s, N.IrIf):
+            cfn, cisb, _la = self.compile_expr(s.cond)
+            if not cisb:
+                raise CompileUnsupported("if condition not bool")
+            self.branch_depth += 1
+            try:
+                t_ops = self.compile_stmts(s.then_stmts)
+                e_ops = self.compile_stmts(s.else_stmts)
+            finally:
+                self.branch_depth -= 1
+
+            def if_op(st, m, c=cfn, t_ops=t_ops, e_ops=e_ops):
+                cond = c(st, m)
+                m = drain_pending(st, m)
+                cm = cond & m
+                em = m & ~cond
+                out = 0
+                if cm:
+                    out |= run_ops(t_ops, st, cm)
+                if em:
+                    out |= run_ops(e_ops, st, em)
+                return out
+            return [if_op]
+        if isinstance(s, N.IrApplyTable):
+            return [self._compile_table_op(self.program.find_table(s.table))]
+        if isinstance(s, N.IrExit):
+            if self.in_parser:
+                raise CompileUnsupported("exit in parser")
+
+            def exit_op(st, m):
+                st.exited |= m
+                return 0
+            return [exit_op]
+        if isinstance(s, N.IrReturn):
+            if not self.in_action:
+                raise CompileUnsupported("return outside action")
+
+            def ret_op(st, m):
+                st.returned |= m
+                return 0
+            return [ret_op]
+        if isinstance(s, N.IrMethodCall):
+            return self._compile_call_stmt(s.call)
+        if isinstance(s, N.IrSwitch):
+            raise CompileUnsupported("switch statement")
+        raise CompileUnsupported(f"statement {type(s).__name__}")
+
+    def _compile_assign(self, s: N.IrAssign) -> list:
+        target = s.target
+        if isinstance(target, N.SliceLV):
+            base_path, base_type = self.resolve_lval(target.base)
+            if not isinstance(base_type, _SCALAR_TYPES):
+                raise CompileUnsupported("slice of composite")
+            w = base_type.bit_width()
+            r = self.reg(base_path, base_type)
+            if r in self.forbidden_read:
+                raise CompileUnsupported("slice-assign reads sentinel")
+            vfn, visb, _la = self.compile_expr(s.value)
+            if visb:
+                raise CompileUnsupported("bool into slice")
+            sw = target.hi - target.lo + 1
+            smask = (1 << sw) - 1
+            keep = ~(smask << target.lo) & ((1 << w) - 1)
+
+            def slice_op(st, m, f=vfn, r=r, w=w, lo=target.lo,
+                         smask=smask, keep=keep):
+                new = f(st, m)
+                m = drain_pending(st, m)
+                if not m:
+                    return 0
+                old = st.regs[r]
+                merged = (old & (st.g.ones * keep)) | \
+                    ((new & (st.g.ones * smask)) << lo)
+                st.write(r, w, merged, m)
+                return m
+            ops = [slice_op]
+            if r in self.port_regs:
+                ops.append(self._port_written_op())
+            return ops
+        path, p4_type = self.resolve_lval(target)
+        if isinstance(p4_type, (HeaderType, StructType, StackType)):
+            if not isinstance(s.value, N.IrLValExpr):
+                raise CompileUnsupported("composite assign from expression")
+            src_path, _t = self.resolve_lval(s.value.lval)
+            return [self._copy_op(src_path, path, p4_type)]
+        r = self.reg(path, p4_type)
+        vfn, visb, _la = self.compile_expr(s.value)
+        isb = r in self.bool_regs
+        if isb != visb:
+            raise CompileUnsupported("bool/value representation mismatch")
+        if isb:
+            def wb_op(st, m, f=vfn, r=r):
+                v = f(st, m)
+                m = drain_pending(st, m)
+                if not m:
+                    return 0
+                st.write_bool(r, v, m)
+                return m
+            return [wb_op]
+        w = self.reg_width[r]
+
+        def w_op(st, m, f=vfn, r=r, w=w):
+            v = f(st, m)
+            m = drain_pending(st, m)
+            if not m:
+                return 0
+            st.write(r, w, v, m)
+            return m
+        ops = [w_op]
+        if r in self.port_regs:
+            ops.append(self._port_written_op())
+        return ops
+
+    @staticmethod
+    def _port_written_op():
+        def port_op(st, m):
+            st.port_written |= m
+            return m
+        return port_op
+
+    def _copy_op(self, src: str, dst: str, p4_type):
+        """Masked deep copy mirroring BlockExecutor.copy_value (raw
+        field reads, valid-bit copy for headers)."""
+        vpairs: list = []
+        rpairs: list = []
+
+        def walk(src, dst, t):
+            if isinstance(t, HeaderType):
+                vpairs.append((self.valid_id(src), self.valid_id(dst)))
+                for fname, ftype in t.fields:
+                    walk_scalar(f"{src}.{fname}", f"{dst}.{fname}", ftype)
+            elif isinstance(t, StructType):
+                for fname, ftype in t.fields:
+                    walk(f"{src}.{fname}", f"{dst}.{fname}", ftype)
+            elif isinstance(t, StackType):
+                raise CompileUnsupported("stack copy")
+            else:
+                walk_scalar(src, dst, t)
+
+        def walk_scalar(src, dst, t):
+            sr = self.reg(src, t)
+            if sr in self.forbidden_read:
+                raise CompileUnsupported("copy reads sentinel register")
+            dr = self.reg(dst, t)
+            if dr in self.port_regs:
+                raise CompileUnsupported("copy into port register")
+            rpairs.append((sr, dr, self.reg_width[dr],
+                           dr in self.bool_regs))
+
+        walk(src, dst, p4_type)
+
+        def copy_op(st, m, vpairs=vpairs, rpairs=rpairs):
+            for sv, dv in vpairs:
+                st.valid[dv] = (st.valid[dv] & ~m) | (st.valid[sv] & m)
+            for sr, dr, w, isb in rpairs:
+                if isb:
+                    st.write_bool(dr, st.regs[sr], m)
+                else:
+                    st.write(dr, w, st.regs[sr], m)
+            return m
+        return copy_op
+
+    def _compile_vardecl(self, s: N.IrVarDecl) -> list:
+        if self.branch_depth:
+            # Scalar declarations leak into the enclosing frame across
+            # branch joins; mask-world has no per-lane frames.
+            raise CompileUnsupported("declaration inside branch")
+        self.scratch += 1
+        scratch = f"$c${self.scratch}${s.name}"
+        self.frames[-1][s.name] = scratch
+        if s.init is not None:
+            if isinstance(s.p4_type, (HeaderType, StructType, StackType)):
+                if not isinstance(s.init, N.IrLValExpr):
+                    raise CompileUnsupported("composite init from expression")
+                src_path, _t = self.resolve_lval(s.init.lval)
+                return [self._copy_op(src_path, scratch, s.p4_type)]
+            r = self.reg(scratch, s.p4_type)
+            vfn, visb, _la = self.compile_expr(s.init)
+            if (r in self.bool_regs) != visb:
+                raise CompileUnsupported("bool/value init mismatch")
+            if visb:
+                def ib_op(st, m, f=vfn, r=r):
+                    v = f(st, m)
+                    m = drain_pending(st, m)
+                    if not m:
+                        return 0
+                    st.write_bool(r, v, m)
+                    return m
+                return [ib_op]
+            w = self.reg_width[r]
+
+            def iv_op(st, m, f=vfn, r=r, w=w):
+                v = f(st, m)
+                m = drain_pending(st, m)
+                if not m:
+                    return 0
+                st.write(r, w, v, m)
+                return m
+            return [iv_op]
+        # Zero init (every family's local_init_mode is "zero"; headers
+        # additionally start invalid — exactly init_type's behavior).
+        vids: list = []
+        fregs: list = []
+
+        def zwalk(path, t):
+            if isinstance(t, HeaderType):
+                vids.append(self.valid_id(path))
+                for fname, ftype in t.fields:
+                    zscalar(f"{path}.{fname}", ftype)
+            elif isinstance(t, StructType):
+                for fname, ftype in t.fields:
+                    zwalk(f"{path}.{fname}", ftype)
+            elif isinstance(t, StackType):
+                raise CompileUnsupported("stack declaration")
+            else:
+                zscalar(path, t)
+
+        def zscalar(path, t):
+            r = self.reg(path, t)
+            fregs.append((r, self.reg_width[r], r in self.bool_regs))
+
+        zwalk(scratch, s.p4_type)
+
+        def zero_op(st, m, vids=vids, fregs=fregs):
+            for vid in vids:
+                st.valid[vid] &= ~m
+            for r, w, isb in fregs:
+                if isb:
+                    st.write_bool(r, 0, m)
+                else:
+                    st.write(r, w, 0, m)
+            return m
+        return [zero_op]
+
+    # -- calls and externs ----------------------------------------------
+
+    def _compile_call_stmt(self, call: N.IrCall) -> list:
+        func = call.func
+        if func == "__action__":
+            return [self._compile_direct_action(call)]
+        if func == "setValid":
+            path, _t = self.resolve_lval(call.obj)
+            vid = self.valid_id(path)
+
+            def sv_op(st, m, vid=vid):
+                st.valid[vid] |= m
+                return m
+            return [sv_op]
+        if func == "setInvalid":
+            path, _t = self.resolve_lval(call.obj)
+            vid = self.valid_id(path)
+
+            def si_op(st, m, vid=vid):
+                st.valid[vid] &= ~m
+                return m
+            return [si_op]
+        if func == "extract":
+            return [self._compile_extract(call)]
+        if func == "emit":
+            if self.family == "ebpf":
+                # EbpfSimulator.packet_op treats explicit emit as a
+                # no-op; output comes from the implicit deparser only.
+                return []
+            return [self._compile_emit(call)]
+        if func == "advance":
+            return [self._compile_advance(call)]
+        if func in ("lookahead", "length"):
+            return []
+        if func in ("push_front", "pop_front"):
+            raise CompileUnsupported(f"{func} (header stacks)")
+        return self._compile_extern(call)
+
+    def _compile_extern(self, call: N.IrCall) -> list:
+        func = call.func
+        if self.family == "bmv2":
+            if func == "mark_to_drop":
+                sm = self._sm_type
+                spec_r = self.reg("*sm.egress_spec",
+                                  sm.field_types["egress_spec"])
+                spec_w = self.reg_width[spec_r]
+                mc_r = self.reg("*sm.mcast_grp",
+                                sm.field_types["mcast_grp"])
+                mc_w = self.reg_width[mc_r]
+
+                def drop_op(st, m, spec_r=spec_r, spec_w=spec_w,
+                            mc_r=mc_r, mc_w=mc_w):
+                    st.write(spec_r, spec_w,
+                             lane_splat(511, spec_w, st.g), m)
+                    st.write(mc_r, mc_w, 0, m)
+                    return m
+                return [drop_op]
+            if func in ("verify_checksum", "verify_checksum_with_payload"):
+                return [self._compile_checksum(call, verify=True)]
+            if func in ("update_checksum", "update_checksum_with_payload"):
+                return [self._compile_checksum(call, verify=False)]
+            if func in ("digest", "log_msg", "counter.count",
+                        "direct_counter.count"):
+                return []
+        elif self.family == "ebpf":
+            if func in ("CounterArray.increment", "CounterArray.add",
+                        "log_msg"):
+                return []
+        elif self.family == "tofino":
+            if func in ("Counter.count", "DirectCounter.count",
+                        "Digest.pack", "log_msg"):
+                return []
+        raise CompileUnsupported(f"extern {func!r}")
+
+    def _compile_direct_action(self, call: N.IrCall):
+        if self.in_parser:
+            raise CompileUnsupported("action call in parser")
+        action = self.program.find_action(call.obj)
+        frame: dict[str, str] = {}
+        self.scratch += 1
+        scratch = f"$a${self.scratch}"
+        init_ops = []
+        for i, param in enumerate(action.params):
+            arg = call.args[i] if i < len(call.args) else None
+            if param.direction in ("in", "out", "inout") and isinstance(
+                arg, N.IrLValExpr
+            ):
+                path, _t = self.resolve_lval(arg.lval)
+                frame[param.name] = path
+                continue
+            path = f"{scratch}.{param.name}"
+            frame[param.name] = path
+            r = self.reg(path, param.p4_type)
+            isb = r in self.bool_regs
+            if arg is None:
+                if isb:
+                    init_ops.append(
+                        lambda st, m, r=r: (st.write_bool(r, 0, m), m)[1])
+                else:
+                    w = self.reg_width[r]
+                    init_ops.append(
+                        lambda st, m, r=r, w=w: (st.write(r, w, 0, m), m)[1])
+                continue
+            vfn, visb, _la = self.compile_expr(arg)
+            if visb != isb:
+                raise CompileUnsupported("action arg representation mismatch")
+            if isb:
+                def ab_op(st, m, f=vfn, r=r):
+                    st.write_bool(r, f(st, m), m)
+                    return m
+                init_ops.append(ab_op)
+            else:
+                w = self.reg_width[r]
+
+                def av_op(st, m, f=vfn, r=r, w=w):
+                    st.write(r, w, f(st, m), m)
+                    return m
+                init_ops.append(av_op)
+        self.frames.append(frame)
+        self.in_action += 1
+        try:
+            body_ops = self.compile_stmts(action.body)
+        finally:
+            self.in_action -= 1
+            self.frames.pop()
+        chain = init_ops + body_ops
+
+        def action_op(st, m, chain=chain):
+            _run_instance_ops(st, chain, m)
+            return m & st.live & ~st.exited
+        return action_op
+
+    # -- packet operations ----------------------------------------------
+
+    def _compile_extract(self, call: N.IrCall):
+        if not self.in_parser:
+            raise CompileUnsupported("extract outside parser")
+        if len(call.args) > 1:
+            raise CompileUnsupported("varbit extract")
+        path, header_type = self.resolve_lval(call.args[0])
+        layout: list = []
+        vid = None
+        if isinstance(header_type, (HeaderType, StructType)):
+            total = header_type.bit_width()
+            offset = 0
+            for fname, ftype in header_type.fields:
+                fw = ftype.bit_width()
+                if isinstance(ftype, BoolType):
+                    raise CompileUnsupported("bool field in extract")
+                r = self.reg(f"{path}.{fname}", ftype)
+                if r in self.port_regs:
+                    raise CompileUnsupported("extract into port register")
+                layout.append((r, fw, total - offset - fw))
+                offset += fw
+            if isinstance(header_type, HeaderType):
+                vid = self.valid_id(path)
+        else:
+            total = header_type.bit_width()
+            r = self.reg(path, header_type)
+            if r in self.port_regs:
+                raise CompileUnsupported("extract into port register")
+            layout.append((r, total, 0))
+
+        fields = [(r, fw, shift, (1 << fw) - 1) for r, fw, shift in layout]
+
+        def extract_op(st, m, fields=fields, vid=vid, total=total):
+            stride = st.g.stride
+            rej = 0
+            lanes = []
+            for i, pos in iter_lanes(m, stride):
+                p = st.pkt[i]
+                if total > p.width - p.pos:
+                    rej |= 1 << pos
+                else:
+                    lanes.append((pos, p.take(total)))
+            if rej:
+                st.parser_reject(rej, "PacketTooShort")
+                m &= ~rej
+                if not m:
+                    return 0
+            # One pass over the lanes, accumulating every field's packed
+            # register at once (fields x lanes, not lanes per field).
+            pks = [0] * len(fields)
+            for pos, v in lanes:
+                for j, (_r, _fw, shift, fmask) in enumerate(fields):
+                    pks[j] |= ((v >> shift) & fmask) << pos
+            for (r, fw, _shift, _fmask), pk in zip(fields, pks):
+                st.write(r, fw, pk, m)
+            if vid is not None:
+                st.valid[vid] |= m
+            return m
+        return extract_op
+
+    def _compile_emit(self, call: N.IrCall):
+        path, p4_type = self.resolve_lval(call.args[0])
+        segs: list = []
+
+        def walk(path, t):
+            if isinstance(t, HeaderType):
+                fields = []
+                for fname, ftype in t.fields:
+                    fields.append(self._emit_field(f"{path}.{fname}", ftype))
+                segs.append((self.valid_id(path), fields))
+            elif isinstance(t, StructType):
+                for fname, ftype in t.fields:
+                    walk(f"{path}.{fname}", ftype)
+            elif isinstance(t, StackType):
+                raise CompileUnsupported("stack emit")
+            else:
+                segs.append((None, [self._emit_field(path, t)]))
+
+        walk(path, p4_type)
+
+        def emit_op(st, m, segs=segs):
+            for i, pos in iter_lanes(m, st.g.stride):
+                buf = st.emit[i]
+                for vid, fields in segs:
+                    if vid is not None and not (st.valid[vid] >> pos) & 1:
+                        continue
+                    for r, w in fields:
+                        buf.append(((st.regs[r] >> pos) & ((1 << w) - 1), w))
+            return m
+        return emit_op
+
+    def _emit_field(self, path, t):
+        r = self.reg(path, t)
+        if r in self.forbidden_read:
+            raise CompileUnsupported("emit reads sentinel register")
+        return (r, self.reg_width[r])
+
+    def _compile_advance(self, call: N.IrCall):
+        if not self.in_parser:
+            raise CompileUnsupported("advance outside parser")
+        vfn, visb, _la = self.compile_expr(call.args[0])
+        if visb:
+            raise CompileUnsupported("bool advance width")
+        aw = call.args[0].p4_type.bit_width()
+
+        def advance_op(st, m, f=vfn, aw=aw):
+            v = f(st, m)
+            m = drain_pending(st, m)
+            mask = (1 << aw) - 1
+            rej = 0
+            for i, pos in iter_lanes(m, st.g.stride):
+                w = (v >> pos) & mask
+                p = st.pkt[i]
+                if w > p.width - p.pos:
+                    rej |= 1 << pos
+                else:
+                    p.pos += w
+            if rej:
+                st.parser_reject(rej, "PacketTooShort")
+                m &= ~rej
+            return m
+        return advance_op
+
+    # -- checksums (bmv2 family) ----------------------------------------
+
+    def _checksum_fields(self, data_arg) -> list:
+        descs: list = []
+        elements = (data_arg.elements
+                    if isinstance(data_arg, N.IrTupleExpr) else (data_arg,))
+        for e in elements:
+            if isinstance(e, N.IrTupleExpr):
+                descs.extend(self._checksum_fields(e))
+                continue
+            if isinstance(e, N.IrLValExpr) and isinstance(
+                e.p4_type, (HeaderType, StructType)
+            ):
+                path, t = self.resolve_lval(e.lval)
+                for fname, ftype in t.fields:
+                    r = self.reg(f"{path}.{fname}", ftype)
+                    if r in self.forbidden_read:
+                        raise CompileUnsupported("checksum reads sentinel")
+                    descs.append(("raw", r, ftype.bit_width()))
+                continue
+            fn, isb, la = self.compile_expr(e)
+            if la:
+                raise CompileUnsupported("lookahead in checksum data")
+            descs.append(("expr", fn, e.p4_type.bit_width()))
+        return descs
+
+    def _checksum_algo(self, call: N.IrCall):
+        from ..externs.checksum import CHECKSUM_ALGORITHMS, ones_complement16
+
+        name = "csum16"
+        if len(call.args) > 3:
+            value = const_eval(call.args[3])
+            enum = self.program.enums.get("HashAlgorithm")
+            if enum is not None:
+                for member, v in enum.values.items():
+                    if v == value:
+                        name = member
+                        break
+        return CHECKSUM_ALGORITHMS.get(name, ones_complement16)
+
+    def _compile_checksum(self, call: N.IrCall, *, verify: bool):
+        cfn, cisb, _la = self.compile_expr(call.args[0])
+        if not cisb:
+            raise CompileUnsupported("checksum condition not bool")
+        descs = self._checksum_fields(call.args[1])
+        algo = self._checksum_algo(call)
+        if verify:
+            efn, eisb, _ela = self.compile_expr(call.args[2])
+            if eisb:
+                raise CompileUnsupported("bool checksum expectation")
+            width = call.args[2].p4_type.bit_width()
+            sm = self._sm_type
+            err_r = self.reg("*sm.checksum_error",
+                             sm.field_types["checksum_error"])
+            err_w = self.reg_width[err_r]
+
+            def verify_op(st, m, c=cfn, descs=descs, algo=algo, e=efn,
+                          width=width, err_r=err_r, err_w=err_w):
+                cm = c(st, m) & m
+                if not cm:
+                    return m
+                evals = [d[1](st, cm) if d[0] == "expr" else None
+                         for d in descs]
+                expected = e(st, cm)
+                emask = (1 << width) - 1
+                mism = 0
+                for i, pos in iter_lanes(cm, st.g.stride):
+                    fields = []
+                    for d, ev in zip(descs, evals):
+                        fw = d[2]
+                        if d[0] == "raw":
+                            fields.append(
+                                (fw, (st.regs[d[1]] >> pos) & ((1 << fw) - 1)))
+                        else:
+                            fields.append((fw, (ev >> pos) & ((1 << fw) - 1)))
+                    if algo(fields, width) != (expected >> pos) & emask:
+                        mism |= 1 << pos
+                if mism:
+                    st.write(err_r, err_w, lane_splat(1, err_w, st.g), mism)
+                return m
+            return verify_op
+        dest = call.args[2]
+        if isinstance(dest, N.IrLValExpr):
+            dest = dest.lval
+        dpath, dtype = self.resolve_lval(dest)
+        dr = self.reg(dpath, dtype)
+        if dr in self.bool_regs:
+            raise CompileUnsupported("bool checksum destination")
+        if dr in self.port_regs:
+            raise CompileUnsupported("checksum into port register")
+        dw = self.reg_width[dr]
+
+        def update_op(st, m, c=cfn, descs=descs, algo=algo, dr=dr, dw=dw):
+            cm = c(st, m) & m
+            if not cm:
+                return m
+            evals = [d[1](st, cm) if d[0] == "expr" else None for d in descs]
+            pk = 0
+            for i, pos in iter_lanes(cm, st.g.stride):
+                fields = []
+                for d, ev in zip(descs, evals):
+                    fw = d[2]
+                    if d[0] == "raw":
+                        fields.append(
+                            (fw, (st.regs[d[1]] >> pos) & ((1 << fw) - 1)))
+                    else:
+                        fields.append((fw, (ev >> pos) & ((1 << fw) - 1)))
+                pk |= (algo(fields, dw) & ((1 << dw) - 1)) << pos
+            st.write(dr, dw, pk, cm)
+            return m
+        return update_op
+
+    # -- tables ----------------------------------------------------------
+
+    def _compile_action_instance(self, action: N.IrAction):
+        """Compile an action for table invocation: control-plane params
+        become registers, directional params resolve through the table
+        site's frames (exactly ``_run_action_with_values``)."""
+        frame: dict[str, str] = {}
+        self.scratch += 1
+        scratch = f"$act${self.scratch}"
+        slots: list[tuple[int, int]] = []
+        for param in action.params:
+            if param.direction != "":
+                continue
+            if isinstance(param.p4_type, BoolType):
+                raise CompileUnsupported("bool control-plane param")
+            path = f"{scratch}.{param.name}"
+            frame[param.name] = path
+            r = self.reg(path, param.p4_type)
+            slots.append((r, self.reg_width[r]))
+        self.frames.append(frame)
+        self.in_action += 1
+        try:
+            ops = self.compile_stmts(action.body)
+        finally:
+            self.in_action -= 1
+            self.frames.pop()
+        return (slots, ops)
+
+    @staticmethod
+    def _entry_matcher(ks):
+        """Matcher for one const-entry keyset: ``(key_value) -> bool``."""
+        if isinstance(ks, N.KsDefault):
+            return lambda kv: True
+        if isinstance(ks, N.KsMask):
+            mask = const_eval(ks.mask)
+            vm = const_eval(ks.value) & mask
+            return lambda kv, mask=mask, vm=vm: (kv & mask) == vm
+        if isinstance(ks, N.KsRange):
+            lo = const_eval(ks.lo)
+            hi = const_eval(ks.hi)
+            return lambda kv, lo=lo, hi=hi: lo <= kv <= hi
+        if isinstance(ks, N.KsConst):
+            return lambda kv, v=ks.value: kv == v
+        if isinstance(ks, N.KsValueSet):
+            raise CompileUnsupported("value set in table entry")
+        v = const_eval(ks)
+        return lambda kv, v=v: kv == v
+
+    def _compile_table_op(self, table: N.IrTable):
+        if self.in_parser:
+            raise CompileUnsupported("table apply in parser")
+        keys = []
+        for k in table.keys:
+            fn, isb, _la = self.compile_expr(k.expr)
+            w = 1 if isb else k.expr.p4_type.bit_width()
+            keys.append((fn, isb, (1 << w) - 1))
+
+        insts: dict[int, tuple] = {}
+
+        def instance_for(ref: N.IrActionRef):
+            action = self.program.find_action(ref.action)
+            inst = insts.get(id(action))
+            if inst is None:
+                inst = self._compile_action_instance(action)
+                insts[id(action)] = (inst, action)
+            else:
+                inst, action = inst
+            args = [const_eval(a) for a in ref.args]
+            while len(args) < len(inst[0]):
+                args.append(0)
+            return inst, tuple(args[: len(inst[0])])
+
+        for ref in table.action_refs:
+            instance_for(ref)
+        entries = list(table.const_entries)
+        if self.family == "bmv2" and any(
+            e.priority is not None for e in entries
+        ):
+            entries.sort(
+                key=lambda e: e.priority if e.priority is not None else 1 << 30)
+        centries = []
+        for entry in entries:
+            matchers = [self._entry_matcher(ks) for ks in entry.keysets]
+            inst, args = instance_for(entry.action_ref)
+            centries.append((matchers, inst, args))
+        default = (instance_for(table.default_action)
+                   if table.default_action is not None else None)
+        amap = {}
+        byid = {}
+        for inst, action in insts.values():
+            amap[action.full_name] = inst
+            byid[id(action)] = inst
+        rcache: dict[str, tuple | None] = {}
+        program = self.program
+        full_name = table.full_name
+
+        def resolve_runtime(name):
+            if name in rcache:
+                return rcache[name]
+            inst = amap.get(name)
+            if inst is None:
+                try:
+                    obj = program.find_action(name)
+                except Exception:
+                    obj = None
+                if obj is not None:
+                    inst = byid.get(id(obj))
+            rcache[name] = inst
+            return inst
+
+        def table_op(st, m, keys=keys, centries=centries, default=default,
+                     table=table, full_name=full_name,
+                     resolve=resolve_runtime):
+            g = st.g
+            stride = g.stride
+            live = m & st.live
+            if not live:
+                return 0
+            configs = st.configs
+            # Key registers are only materialized once some lane can
+            # actually match an entry; a batch of entry-less configs
+            # (the common campaign case) never touches the keys.
+            kvals = None
+            groups: dict[tuple, list] = {}
+            eject = 0
+            for i, pos in iter_lanes(live, stride):
+                specs = configs[i].entries_for(full_name)
+                chosen = None
+                if centries or specs:
+                    if kvals is None:
+                        kvals = [fn(st, m) for fn, _isb, _km in keys]
+                    kv = [(v >> pos) & km
+                          for v, (_f, _isb, km) in zip(kvals, keys)]
+                    for matchers, inst, args in centries:
+                        if all(mt(x) for mt, x in zip(matchers, kv)):
+                            chosen = (inst, args)
+                            break
+                    if chosen is None and specs:
+                        spec = None
+                        for cand in specs:
+                            if spec_matches(cand, kv, table):
+                                spec = cand
+                                break
+                        if spec is not None:
+                            inst = resolve(spec.action)
+                            if inst is None:
+                                eject |= 1 << pos
+                                continue
+                            vals = [v for _n, v in spec.action_args]
+                            slots = inst[0]
+                            vals = vals[: len(slots)]
+                            vals += [0] * (len(slots) - len(vals))
+                            # Scalar writes runtime args to the env raw;
+                            # the lane engine always masks.  Out-of-width
+                            # args replay scalar to stay exact.
+                            if any(
+                                not isinstance(v, int) or isinstance(v, bool)
+                                or v < 0 or v >> w
+                                for v, (_r, w) in zip(vals, slots)
+                            ):
+                                eject |= 1 << pos
+                                continue
+                            chosen = (inst, tuple(vals))
+                if chosen is None:
+                    chosen = default
+                    if chosen is None:
+                        continue
+                inst, args = chosen
+                slot = groups.setdefault((id(inst), args), [inst, args, 0])
+                slot[2] |= 1 << pos
+            if eject:
+                st.eject(eject)
+            for inst, args, gm in groups.values():
+                gm &= st.live
+                if not gm:
+                    continue
+                slots, ops = inst
+                for (r, w), v in zip(slots, args):
+                    st.write(r, w, lane_splat(v, w, g), gm)
+                _run_instance_ops(st, ops, gm)
+            return m & st.live & ~st.exited
+        return table_op
+
+    # -- parsers ---------------------------------------------------------
+
+    def _select_matcher(self, parser: N.IrParser, ks):
+        """Matcher for one select keyset: ``(st, lane, value) -> bool``."""
+        if isinstance(ks, N.KsDefault):
+            return lambda st, i, v: True
+        if isinstance(ks, N.KsValueSet):
+            full = parser.value_sets[ks.name].full_name
+            return (lambda st, i, v, full=full:
+                    v in st.configs[i].value_set_members(full))
+        if isinstance(ks, N.KsMask):
+            mask = const_eval(ks.mask)
+            vm = const_eval(ks.value) & mask
+            return lambda st, i, v, mask=mask, vm=vm: (v & mask) == vm
+        if isinstance(ks, N.KsRange):
+            lo = const_eval(ks.lo)
+            hi = const_eval(ks.hi)
+            return lambda st, i, v, lo=lo, hi=hi: lo <= v <= hi
+        if isinstance(ks, N.KsConst):
+            return lambda st, i, v, c=ks.value: v == c
+        c = const_eval(ks)
+        return lambda st, i, v, c=c: v == c
+
+    def _state_code(self, name: str, index: dict[str, int]):
+        """Encode a transition target; None means reject-with-NoMatch
+        (covers explicit ``reject`` and unknown states, as scalar
+        ``run_parser`` raises ``ParserReject("NoMatch")`` for both)."""
+        if name == "accept":
+            return ACCEPT
+        if name == "reject" or name not in index:
+            return None
+        return index[name]
+
+    def _compile_transition(self, parser, tr, index):
+        if tr is None or tr.direct is not None:
+            code = (self._state_code(tr.direct, index)
+                    if tr is not None else None)
+
+            def direct_tr(st, m, code=code):
+                if code is None:
+                    st.parser_reject(m, "NoMatch")
+                else:
+                    for i, _pos in iter_lanes(m, st.g.stride):
+                        st.pstate[i] = code
+            return direct_tr
+        efns = []
+        for e in tr.select_exprs:
+            fn, isb, _la = self.compile_expr(e)
+            if isb:
+                raise CompileUnsupported("bool select expression")
+            efns.append((fn, (1 << e.p4_type.bit_width()) - 1))
+        cases = []
+        for case in tr.cases:
+            matchers = [self._select_matcher(parser, ks)
+                        for ks in case.keysets]
+            cases.append((matchers, self._state_code(case.state, index)))
+
+        def select_tr(st, m, efns=efns, cases=cases):
+            stride = st.g.stride
+            vals = []
+            for fn, _km in efns:
+                vals.append(fn(st, m))
+                m = drain_pending(st, m)
+                if not m:
+                    return
+            for i, pos in iter_lanes(m, stride):
+                kv = [(v >> pos) & km for v, (_f, km) in zip(vals, efns)]
+                code = None
+                hit = False
+                for matchers, tcode in cases:
+                    if all(mt(st, i, x) for mt, x in zip(matchers, kv)):
+                        code = tcode
+                        hit = True
+                        break
+                if not hit or code is None:
+                    st.pstate[i] = REJECT
+                    st.reject_name[i] = "NoMatch"
+                else:
+                    st.pstate[i] = code
+        return select_tr
+
+    def compile_parser(self, parser: N.IrParser, aliases) -> ParserPlan:
+        if "start" not in parser.states:
+            raise CompileUnsupported("parser has no start state")
+        # Scalar parser states share one frame, so a local declared in
+        # one state is readable from another; the lane engine compiles
+        # states independently and must refuse that aliasing.
+        decls_by_state: dict[str, set] = {}
+
+        def collect_decls(stmts, out):
+            for s in stmts:
+                if isinstance(s, N.IrVarDecl):
+                    out.add(s.name)
+                elif isinstance(s, N.IrIf):
+                    collect_decls(s.then_stmts, out)
+                    collect_decls(s.else_stmts, out)
+        for name, state in parser.states.items():
+            declared: set = set()
+            collect_decls(state.statements, declared)
+            decls_by_state[name] = declared
+        for name, state in parser.states.items():
+            used: set = set()
+            _collect_roots(state.statements, used)
+            _collect_roots(state.transition, used)
+            for other, declared in decls_by_state.items():
+                if other != name and used & declared:
+                    raise CompileUnsupported("cross-state parser local")
+
+        self.parser = parser
+        self.in_parser = True
+        self.frames.append(dict(aliases))
+        try:
+            pre_ops = []
+            for decl in parser.locals:
+                pre_ops.extend(self.compile_stmt(decl))
+            names = list(parser.states)
+            index = {name: i for i, name in enumerate(names)}
+            states = []
+            for name in names:
+                state = parser.states[name]
+                self.frames.append({})
+                try:
+                    ops = self.compile_stmts(state.statements)
+                    tr_fn = self._compile_transition(
+                        parser, state.transition, index)
+                finally:
+                    self.frames.pop()
+                states.append((ops, tr_fn))
+            return ParserPlan(index["start"], pre_ops, states)
+        finally:
+            self.frames.pop()
+            self.in_parser = False
+            self.parser = None
+
+    # -- controls --------------------------------------------------------
+
+    def compile_control(self, control: N.IrControl, paths) -> list:
+        frame = {
+            p.name: path
+            for p, path in zip(control.params, paths)
+            if path is not None
+        }
+        self.frames.append(frame)
+        try:
+            ops = []
+            for decl in control.locals:
+                ops.extend(self.compile_stmt(decl))
+            ops.extend(self.compile_stmts(control.apply_stmts))
+            return ops
+        finally:
+            self.frames.pop()
+
+    # -- family builders -------------------------------------------------
+
+    def _emit_ops_for(self, path: str, p4_type) -> list:
+        """Emit ops for a path outside any frame (the ebpf implicit
+        deparser)."""
+        segs: list = []
+
+        def walk(path, t):
+            if isinstance(t, HeaderType):
+                fields = [self._emit_field(f"{path}.{fn}", ft)
+                          for fn, ft in t.fields]
+                segs.append((self.valid_id(path), fields))
+            elif isinstance(t, StructType):
+                for fn, ft in t.fields:
+                    walk(f"{path}.{fn}", ft)
+            elif isinstance(t, StackType):
+                raise CompileUnsupported("stack emit")
+            else:
+                segs.append((None, [self._emit_field(path, t)]))
+
+        walk(path, p4_type)
+
+        def emit_op(st, m, segs=segs):
+            for i, pos in iter_lanes(m, st.g.stride):
+                buf = st.emit[i]
+                for vid, fields in segs:
+                    if vid is not None and not (st.valid[vid] >> pos) & 1:
+                        continue
+                    for r, w in fields:
+                        buf.append(((st.regs[r] >> pos) & ((1 << w) - 1), w))
+            return m
+        return [emit_op]
+
+    def _build_bmv2(self) -> CompiledProgram:
+        program = self.program
+        if program.package_name != "V1Switch" or len(program.bindings) != 6:
+            raise CompileUnsupported("not a V1Switch program")
+        b = program.bindings
+        parser = program.parsers[b[0].decl_name]
+        if len(parser.params) < 3:
+            raise CompileUnsupported("malformed V1Switch parser")
+        sm_type = program.structs["standard_metadata_t"]
+        self._sm_type = sm_type
+        ft = sm_type.field_types
+        r_ingress_port = self.reg("*sm.ingress_port", ft["ingress_port"])
+        w_port = self.reg_width[r_ingress_port]
+        r_packet_length = self.reg("*sm.packet_length", ft["packet_length"])
+        r_parser_error = self.reg("*sm.parser_error", ft["parser_error"])
+        r_egress_spec = self.reg("*sm.egress_spec", ft["egress_spec"])
+        r_egress_port = self.reg("*sm.egress_port", ft["egress_port"])
+        if (self.reg_width[r_packet_length] != 32
+                or self.reg_width[r_parser_error] != 32
+                or self.reg_width[r_egress_spec] != w_port
+                or self.reg_width[r_egress_port] != w_port):
+            raise CompileUnsupported("nonstandard standard_metadata widths")
+        aliases = {
+            p.name: path
+            for p, path in zip(parser.params, [None, "*hdr", "*meta", "*sm"])
+            if path is not None
+        }
+        plan = self.compile_parser(parser, aliases)
+        controls = program.controls
+        verify_ops = self.compile_control(
+            controls[b[1].decl_name], ["*hdr", "*meta"])
+        ingress_ops = self.compile_control(
+            controls[b[2].decl_name], ["*hdr", "*meta", "*sm"])
+        egress_ops = self.compile_control(
+            controls[b[3].decl_name], ["*hdr", "*meta", "*sm"])
+        compute_ops = self.compile_control(
+            controls[b[4].decl_name], ["*hdr", "*meta"])
+        deparser_ops = self.compile_control(
+            controls[b[5].decl_name], [None, "*hdr"])
+        return CompiledProgram(
+            family="bmv2",
+            num_regs=len(self.reg_width),
+            num_valids=len(self.valids),
+            parser=plan,
+            verify_ops=verify_ops,
+            ingress_ops=ingress_ops,
+            egress_ops=egress_ops,
+            compute_ops=compute_ops,
+            deparser_ops=deparser_ops,
+            r_ingress_port=r_ingress_port,
+            r_packet_length=r_packet_length,
+            r_parser_error=r_parser_error,
+            r_egress_spec=r_egress_spec,
+            r_egress_port=r_egress_port,
+            w_port=w_port,
+            error_codes={name: i for i, name in enumerate(program.errors)},
+        )
+
+    def _build_ebpf(self) -> CompiledProgram:
+        program = self.program
+        if program.package_name != "ebpfFilter" or len(program.bindings) != 2:
+            raise CompileUnsupported("not an ebpfFilter program")
+        parser = program.parsers[program.bindings[0].decl_name]
+        if len(parser.params) < 2:
+            raise CompileUnsupported("malformed ebpfFilter parser")
+        hdr_type = parser.params[1].p4_type
+        r_accept = self.reg("*accept", BoolType())
+        aliases = {
+            p.name: path
+            for p, path in zip(parser.params, [None, "*hdr"])
+            if path is not None
+        }
+        plan = self.compile_parser(parser, aliases)
+        flt = program.controls[program.bindings[1].decl_name]
+        filter_ops = self.compile_control(flt, ["*hdr", "*accept"])
+        emit_ops = self._emit_ops_for("*hdr", hdr_type)
+        return CompiledProgram(
+            family="ebpf",
+            num_regs=len(self.reg_width),
+            num_valids=len(self.valids),
+            parser=plan,
+            filter_ops=filter_ops,
+            r_accept=r_accept,
+            emit_ops=emit_ops,
+        )
+
+    def _build_tofino(self) -> CompiledProgram:
+        from ..targets.tna import Tna
+
+        program = self.program
+        if len(program.bindings) < 6:
+            raise CompileUnsupported("not a Tofino Pipeline program")
+        b = program.bindings
+        structs = program.structs
+        ig_tm_t = structs["ingress_intrinsic_metadata_for_tm_t"]
+        ig_dprsr_t = structs["ingress_intrinsic_metadata_for_deparser_t"]
+        eg_dprsr_t = structs["egress_intrinsic_metadata_for_deparser_t"]
+        ig_prsr_t = structs["ingress_intrinsic_metadata_from_parser_t"]
+        eg_prsr_t = structs["egress_intrinsic_metadata_from_parser_t"]
+        r_ucast = self.reg("*ig_tm_md.ucast_egress_port",
+                           ig_tm_t.field_types["ucast_egress_port"])
+        w_ucast = self.reg_width[r_ucast]
+        # Scalar keeps an identity sentinel in ucast_egress_port to
+        # implement "never written -> dropped"; the lane engine tracks
+        # writes in st.port_written instead, so compiled *reads* of the
+        # register (which could launder the sentinel through a copy)
+        # are refused.
+        self.forbidden_read.add(r_ucast)
+        self.port_regs.add(r_ucast)
+        r_bypass = self.reg("*ig_tm_md.bypass_egress",
+                            ig_tm_t.field_types["bypass_egress"])
+        r_ig_drop_ctl = self.reg("*ig_dprsr_md.drop_ctl",
+                                 ig_dprsr_t.field_types["drop_ctl"])
+        r_eg_drop_ctl = self.reg("*eg_dprsr_md.drop_ctl",
+                                 eg_dprsr_t.field_types["drop_ctl"])
+        r_resubmit_type = self.reg("*ig_dprsr_md.resubmit_type",
+                                   ig_dprsr_t.field_types["resubmit_type"])
+        r_ig_parser_err = self.reg("*ig_prsr_md.parser_err",
+                                   ig_prsr_t.field_types["parser_err"])
+        r_eg_parser_err = self.reg("*eg_prsr_md.parser_err",
+                                   eg_prsr_t.field_types["parser_err"])
+        w_drop_ctl = self.reg_width[r_ig_drop_ctl]
+        w_parser_err = self.reg_width[r_ig_parser_err]
+        if (self.reg_width[r_eg_drop_ctl] != w_drop_ctl
+                or self.reg_width[r_eg_parser_err] != w_parser_err):
+            raise CompileUnsupported("asymmetric intrinsic widths")
+        for r in (r_ucast, r_bypass, r_ig_drop_ctl, r_eg_drop_ctl,
+                  r_resubmit_type, r_ig_parser_err, r_eg_parser_err):
+            if r in self.bool_regs:
+                raise CompileUnsupported("bool intrinsic field")
+        reads_parser_err = Tna._reads_parser_err(
+            Tna.__new__(Tna), program, b[1].decl_name)
+        ig_parser = program.parsers[b[0].decl_name]
+        ig_aliases = {
+            p.name: path
+            for p, path in zip(
+                ig_parser.params,
+                [None, "*ihdr", "*ig_md", "*ig_intr_md"])
+            if path is not None
+        }
+        ig_plan = self.compile_parser(ig_parser, ig_aliases)
+        controls = program.controls
+        ingress_ops = self.compile_control(
+            controls[b[1].decl_name],
+            ["*ihdr", "*ig_md", "*ig_intr_md", "*ig_prsr_md",
+             "*ig_dprsr_md", "*ig_tm_md"])
+        ig_deparser_ops = self.compile_control(
+            controls[b[2].decl_name],
+            [None, "*ihdr", "*ig_md", "*ig_dprsr_md"])
+        eg_parser = program.parsers[b[3].decl_name]
+        eg_aliases = {
+            p.name: path
+            for p, path in zip(
+                eg_parser.params,
+                [None, "*ehdr", "*eg_md", "*eg_intr_md"])
+            if path is not None
+        }
+        eg_plan = self.compile_parser(eg_parser, eg_aliases)
+        egress_ops = self.compile_control(
+            controls[b[4].decl_name],
+            ["*ehdr", "*eg_md", "*eg_intr_md", "*eg_prsr_md",
+             "*eg_dprsr_md", "*eg_oport_md"])
+        eg_deparser_ops = self.compile_control(
+            controls[b[5].decl_name],
+            [None, "*ehdr", "*eg_md", "*eg_dprsr_md"])
+        version = 2 if self.target_name == "t2na" else 1
+        return CompiledProgram(
+            family="tofino",
+            num_regs=len(self.reg_width),
+            num_valids=len(self.valids),
+            min_packet_bits=512,
+            port_metadata_bits=64 if version == 1 else 192,
+            ig_parser=ig_plan,
+            eg_parser=eg_plan,
+            reads_parser_err=reads_parser_err,
+            r_ig_parser_err=r_ig_parser_err,
+            r_eg_parser_err=r_eg_parser_err,
+            w_parser_err=w_parser_err,
+            ingress_ops=ingress_ops,
+            egress_ops=egress_ops,
+            ig_deparser_ops=ig_deparser_ops,
+            eg_deparser_ops=eg_deparser_ops,
+            r_ig_drop_ctl=r_ig_drop_ctl,
+            r_eg_drop_ctl=r_eg_drop_ctl,
+            w_drop_ctl=w_drop_ctl,
+            r_resubmit_type=r_resubmit_type,
+            w_resubmit=self.reg_width[r_resubmit_type],
+            r_ucast=r_ucast,
+            w_ucast=w_ucast,
+            r_bypass=r_bypass,
+            w_bypass=self.reg_width[r_bypass],
+        )
+
+
+_BUILDERS = {
+    "bmv2": _Compiler._build_bmv2,
+    "ebpf": _Compiler._build_ebpf,
+    "tofino": _Compiler._build_tofino,
+}
+
+
+def compile_program(program: N.IrProgram, target_name: str) -> CompiledProgram:
+    """Compile ``program`` for ``target_name``; raises
+    :class:`CompileUnsupported` when no exact lane semantics exist."""
+    family = FAMILY.get(target_name)
+    if family is None:
+        raise CompileUnsupported(f"unknown target {target_name!r}")
+    compiler = _Compiler(program, target_name)
+    try:
+        return _BUILDERS[family](compiler)
+    except CompileUnsupported:
+        raise
+    except Exception as exc:  # defensive: refusal, never a crash
+        raise CompileUnsupported(f"compile error: {exc!r}") from exc
+
+
+#: id(program) -> (weakref, {target_name: CompiledProgram | CompileUnsupported})
+_CACHE: dict[int, tuple] = {}
+
+
+def compile_cached(program: N.IrProgram, target_name: str) -> CompiledProgram:
+    """Per-``(program, target)`` memoized :func:`compile_program`.
+
+    Keyed by object identity (programs are compared nowhere else and
+    may be unpicklable to hash structurally); a weakref callback evicts
+    entries when the program dies so ids cannot be recycled into stale
+    hits.  Refusals are cached too — re-raised on every hit."""
+    key = id(program)
+    entry = _CACHE.get(key)
+    if entry is not None and entry[0]() is not program:
+        _CACHE.pop(key, None)
+        entry = None
+    if entry is None:
+        try:
+            # Bind the dict itself: at interpreter shutdown the module
+            # global may already be cleared when the callback fires.
+            ref = weakref.ref(
+                program,
+                lambda _r, key=key, cache=_CACHE: cache.pop(key, None))
+        except TypeError:
+            def ref(program=program):
+                return program
+        entry = (ref, {})
+        _CACHE[key] = entry
+    per_target = entry[1]
+    hit = per_target.get(target_name)
+    if hit is not None:
+        if isinstance(hit, CompileUnsupported):
+            raise hit
+        return hit
+    try:
+        compiled = compile_program(program, target_name)
+    except CompileUnsupported as exc:
+        per_target[target_name] = exc
+        raise
+    per_target[target_name] = compiled
+    return compiled

@@ -38,6 +38,7 @@ __all__ = [
     "ExitControl",
     "ReturnAction",
     "BlockExecutor",
+    "spec_matches",
 ]
 
 
@@ -59,6 +60,9 @@ class ReturnAction(Exception):
     pass
 
 
+_NO_ENTRIES: list = []  # shared empty result; callers only iterate
+
+
 class Config:
     """Concrete control-plane configuration for one test."""
 
@@ -66,16 +70,34 @@ class Config:
         self.entries: list[TableEntrySpec] = list(entries or [])
         self.value_sets: list[ValueSetSpec] = list(value_sets or [])
         self.registers: list[RegisterSpec] = list(registers or [])
+        # Lazy per-table / per-set indexes; the lane engine queries
+        # these once per lane, so a linear scan per call is the single
+        # hottest allocation in batch replay.  A length check rebuilds
+        # after append-style mutation (the only kind the repo does).
+        self._entry_index: dict | None = None
+        self._vs_index: dict | None = None
 
     @classmethod
     def from_test(cls, test) -> "Config":
         return cls(test.entries, test.value_sets, test.registers)
 
     def entries_for(self, table: str) -> list[TableEntrySpec]:
-        return [e for e in self.entries if e.table == table]
+        idx = self._entry_index
+        if idx is None or idx[None] != len(self.entries):
+            idx = {None: len(self.entries)}
+            for e in self.entries:
+                idx.setdefault(e.table, []).append(e)
+            self._entry_index = idx
+        return idx.get(table, _NO_ENTRIES)
 
     def value_set_members(self, name: str) -> list[int]:
-        return [v.member for v in self.value_sets if v.value_set == name]
+        idx = self._vs_index
+        if idx is None or idx[None] != len(self.value_sets):
+            idx = {None: len(self.value_sets)}
+            for v in self.value_sets:
+                idx.setdefault(v.value_set, []).append(v.member)
+            self._vs_index = idx
+        return idx.get(name, _NO_ENTRIES)
 
     def register_value(self, instance: str, index: int) -> int | None:
         for r in self.registers:
@@ -152,6 +174,55 @@ def _mask(width: int) -> int:
 
 def _to_signed(v: int, width: int) -> int:
     return v - (1 << width) if v >= 1 << (width - 1) else v
+
+
+def _spec_match_prog(spec: TableEntrySpec, table) -> list:
+    """Compile a spec's keysets into tuple-coded match ops.
+
+    Cached on the spec instance by :func:`spec_matches`; plain tuples
+    (no closures) so cached specs stay picklable."""
+    prog = []
+    for (_name, kind, roles), key in zip(spec.keys, table.keys):
+        width = key.expr.p4_type.bit_width()
+        if kind in ("ternary", "optional"):
+            mask = roles.get("mask", _mask(width))
+            prog.append(("t", mask, roles.get("value", 0) & mask))
+        elif kind == "lpm":
+            shift = width - roles.get("prefix_len", width)
+            prog.append(("l", shift, roles.get("value", 0) >> shift))
+        elif kind == "range":
+            prog.append(("r", roles.get("lo", 0),
+                         roles.get("hi", _mask(width))))
+        else:  # exact and unknown kinds compare raw values
+            prog.append(("e", roles.get("value", 0), 0))
+    return prog
+
+
+def spec_matches(spec: TableEntrySpec, key_values, table) -> bool:
+    """Whether a runtime table entry spec matches concrete key values.
+
+    Shared between the scalar executor and the batch engine so both
+    sides apply the exact same match-kind semantics.  The spec's
+    keysets are compiled once (first call) and cached on the instance;
+    replay matches each entry against every test and every lane, so
+    the per-call work is just the comparisons."""
+    prog = getattr(spec, "_match_prog", None)
+    if prog is None:
+        prog = _spec_match_prog(spec, table)
+        spec._match_prog = prog
+    for (op, a, b), kv in zip(prog, key_values):
+        if op == "e":
+            if kv != a:
+                return False
+        elif op == "t":
+            if (kv & a) != b:
+                return False
+        elif op == "l":
+            if (kv >> a) != b:
+                return False
+        elif not (a <= kv <= b):
+            return False
+    return True
 
 
 class BlockExecutor:
@@ -554,29 +625,7 @@ class BlockExecutor:
         return True
 
     def _spec_matches(self, spec: TableEntrySpec, key_values, table) -> bool:
-        for (name, kind, roles), key_value, key in zip(
-            spec.keys, key_values, table.keys
-        ):
-            width = key.expr.p4_type.bit_width()
-            if kind == "exact":
-                if key_value != roles.get("value", 0):
-                    return False
-            elif kind in ("ternary", "optional"):
-                mask = roles.get("mask", _mask(width))
-                if (key_value & mask) != (roles.get("value", 0) & mask):
-                    return False
-            elif kind == "lpm":
-                plen = roles.get("prefix_len", width)
-                shift = width - plen
-                if (key_value >> shift) != (roles.get("value", 0) >> shift):
-                    return False
-            elif kind == "range":
-                if not (roles.get("lo", 0) <= key_value <= roles.get("hi", _mask(width))):
-                    return False
-            else:
-                if key_value != roles.get("value", 0):
-                    return False
-        return True
+        return spec_matches(spec, key_values, table)
 
     def _run_action_ref(self, table, ref: N.IrActionRef) -> None:
         action = self._lookup_action(ref.action)

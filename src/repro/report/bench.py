@@ -22,8 +22,8 @@ from pathlib import Path
 from .recorder import Recorder, SCHEMA_VERSION, cache_rates
 from .schema import load_schema, validate
 
-__all__ = ["BENCH_ROWS", "QUICK_ROWS", "run_bench", "append_point",
-           "trajectory_path"]
+__all__ = ["BENCH_ROWS", "QUICK_ROWS", "REPLAY_ROWS", "run_bench",
+           "measure_replay_throughput", "append_point", "trajectory_path"]
 
 # The tbl4a subset: same programs and caps as the benchmark suite.
 BENCH_ROWS = (
@@ -37,6 +37,17 @@ BENCH_ROWS = (
 QUICK_ROWS = (
     ("middleblock", "v1model", 48),
     ("up4", "v1model", 32),
+)
+
+# The replay-throughput workload: one program per compiled family.
+# These stay on the lane engine's fast path (middleblock/up4 fall back
+# — 128-bit fields, meters — so they would measure the scalar path
+# twice and say nothing about lane packing).
+REPLAY_ROWS = (
+    ("fig1a", "v1model"),
+    ("match_kinds", "v1model"),
+    ("tna_forward", "tna"),
+    ("ebpf_filter", "ebpf_model"),
 )
 
 
@@ -89,6 +100,70 @@ def _fuzz_block(*, seed, count, jobs, corpus_dir):
     }
 
 
+def measure_replay_throughput(*, seed: int = 1, max_tests: int = 16,
+                              packets_per_suite: int = 48,
+                              min_time_s: float = 0.25) -> dict:
+    """Time suite replay scalar vs. lane-packed on :data:`REPLAY_ROWS`.
+
+    Generates each suite once with the oracle, tiles it to
+    ``packets_per_suite`` packets (small corpus programs have 3-6 paths;
+    tiling models a campaign replaying many cases of one program, which
+    is where full lanes actually come from), then replays everything
+    repeatedly through :func:`repro.testback.runner.run_suite` in both
+    modes until ``min_time_s`` of wall time accumulates per mode.
+    Everything but the two wall times (and hence the rates) is
+    deterministic for a fixed seed.
+    """
+    from .. import TestGen, TestGenConfig, load_program
+    from ..interp.batch import ReplayStats
+    from ..targets import get_target
+    from ..testback.runner import run_suite
+
+    suites = []
+    for name, target_name in REPLAY_ROWS:
+        program = load_program(name)
+        config = TestGenConfig(seed=seed, max_tests=max_tests)
+        result = TestGen(program, target=get_target(target_name),
+                         config=config).run()
+        tests = list(result.tests)
+        reps = -(-packets_per_suite // len(tests))
+        suites.append((program, (tests * reps)[:packets_per_suite]))
+
+    def once(batch, stats=None):
+        packets = 0
+        for program, tests in suites:
+            run_suite(tests, program, seed=seed, batch=batch,
+                      replay_stats=stats)
+            packets += len(tests)
+        return packets
+
+    def timed(batch):
+        once(batch)  # warm the compile cache / interpreter setup
+        packets = 0
+        reps = 0
+        t0 = time.perf_counter()
+        while True:
+            packets += once(batch)
+            reps += 1
+            elapsed = time.perf_counter() - t0
+            if elapsed >= min_time_s and reps >= 3:
+                return packets / elapsed
+
+    stats = ReplayStats()
+    once(True, stats)
+    batch_pps = timed(True)
+    scalar_pps = timed(False)
+    return {
+        "programs": [name for name, _ in REPLAY_ROWS],
+        "packets": sum(len(tests) for _, tests in suites),
+        "scalar_pps": round(scalar_pps, 1),
+        "batch_pps": round(batch_pps, 1),
+        "speedup": round(batch_pps / scalar_pps, 2),
+        "fill_rate": round(stats.fill_rate(), 4),
+        "scalar_fallback_packets": stats.replay_scalar_packets,
+    }
+
+
 def run_bench(label: str, out_dir, *, seed: int = 1, fuzz_count: int = 12,
               jobs: int = 1, quick: bool = False,
               fuzz_corpus=None) -> dict:
@@ -123,6 +198,10 @@ def run_bench(label: str, out_dir, *, seed: int = 1, fuzz_count: int = 12,
     fuzz = _fuzz_block(seed=seed, count=fuzz_count, jobs=jobs,
                        corpus_dir=corpus) if fuzz_count > 0 else None
 
+    replay = measure_replay_throughput(
+        seed=seed, max_tests=8 if quick else 16,
+        min_time_s=0.1 if quick else 0.25)
+
     point = {
         "label": label,
         "timestamp_s": round(time.time(), 3),
@@ -131,6 +210,7 @@ def run_bench(label: str, out_dir, *, seed: int = 1, fuzz_count: int = 12,
         "cache_rates": cache_rates(stats_total),
         "rows": rows,
         "fuzz": fuzz,
+        "replay": replay,
     }
     append_point(out, label, point)
     return point

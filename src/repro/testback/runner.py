@@ -17,8 +17,9 @@ from ..registry import Registry
 from .spec import AbstractTestCase
 
 __all__ = [
-    "TestRunResult", "run_test", "run_suite",
-    "make_simulator", "register_simulator", "SIMULATORS",
+    "TestRunResult", "run_test", "evaluate_test", "run_suite",
+    "make_simulator", "register_simulator", "is_stock_simulator",
+    "SIMULATORS",
 ]
 
 
@@ -61,6 +62,17 @@ SIMULATORS.register("spec-only", _bmv2)
 SIMULATORS.register("tna", _tofino_v1)
 SIMULATORS.register("t2na", _tofino_v2)
 SIMULATORS.register("ebpf_model", _ebpf)
+
+#: The factories the lane engine's compiled semantics mirror.  A target
+#: whose registry entry differs (fault injection, user extensions) must
+#: replay scalar so the override is actually exercised.
+_STOCK_FACTORIES = dict(SIMULATORS)
+
+
+def is_stock_simulator(target_name: str) -> bool:
+    """Whether ``target_name`` resolves to the built-in simulator."""
+    return SIMULATORS.get(target_name, None) \
+        is _STOCK_FACTORIES.get(target_name)
 
 
 def register_simulator(target_name: str, factory) -> None:
@@ -120,6 +132,12 @@ def run_test(test: AbstractTestCase, program, simulator=None,
     config = Config.from_test(test)
     pkt = test.input_packet
     result = simulator.process(pkt.port, pkt.bits, pkt.width, config)
+    return evaluate_test(test, result)
+
+
+def evaluate_test(test: AbstractTestCase, result: InterpResult) -> TestRunResult:
+    """Judge one replayed :class:`InterpResult` against a test's
+    expectations (shared by the scalar and batch replay paths)."""
     run = TestRunResult(test_id=test.test_id, interp=result)
     if result.error is not None:
         run.kind = "exception"
@@ -150,12 +168,39 @@ def run_test(test: AbstractTestCase, program, simulator=None,
     return run
 
 
-def run_suite(tests: list[AbstractTestCase], program, seed: int = 0):
-    """Run all tests; returns (num_passed, list[TestRunResult])."""
-    results = []
-    simulator = None
-    for test in tests:
-        simulator = make_simulator(test.target, program, seed=seed)
-        results.append(run_test(test, program, simulator))
+def run_suite(tests: list[AbstractTestCase], program, seed: int = 0, *,
+              batch: bool = False, replay_stats=None):
+    """Run all tests; returns (num_passed, list[TestRunResult]).
+
+    With ``batch=True`` tests are grouped per target and replayed
+    through the lane engine (:class:`repro.interp.batch.BatchSimulator`)
+    instead of one scalar simulator per test; results come back in the
+    original test order with identical classifications.  Pass a
+    :class:`repro.interp.batch.ReplayStats` as ``replay_stats`` to
+    accumulate lane/fallback counters across calls.
+    """
+    tests = list(tests)
+    if batch:
+        from ..interp.batch import BatchSimulator
+
+        by_target: dict[str, list[int]] = {}
+        for idx, test in enumerate(tests):
+            by_target.setdefault(test.target, []).append(idx)
+        results: list = [None] * len(tests)
+        for target, idxs in by_target.items():
+            sim = BatchSimulator(target, program, seed=seed,
+                                 stats=replay_stats)
+            cases = []
+            for i in idxs:
+                pkt = tests[i].input_packet
+                cases.append((pkt.port, pkt.bits, pkt.width,
+                              Config.from_test(tests[i])))
+            for i, result in zip(idxs, sim.run_cases(cases)):
+                results[i] = evaluate_test(tests[i], result)
+    else:
+        results = []
+        for test in tests:
+            simulator = make_simulator(test.target, program, seed=seed)
+            results.append(run_test(test, program, simulator))
     passed = sum(1 for r in results if r.passed)
     return passed, results

@@ -1,0 +1,61 @@
+"""Batch-replay determinism lock: lane-packed and scalar suite replay
+must classify campaigns identically at any worker count.
+
+Suite *generation* is upstream of replay, so the existing
+``tests/engine/test_determinism.py`` locks cannot see the replay mode;
+the observable that batch replay could corrupt is the campaign's case
+classification.  This pins it: every (batch_replay, jobs) combination
+must produce the same case signatures — name, classification, detail,
+failed test ids — as the scalar jobs=1 reference.
+
+Replay *counters* (``replay_*`` in ``case.stats``) legitimately differ
+between the two modes, so the signature deliberately excludes stats.
+"""
+
+import pytest
+
+from repro.fuzz import FuzzCampaignConfig, run_fuzz_campaign
+
+
+def _signatures(summary):
+    return [(c.seed, c.target, c.name, c.passed, c.classification,
+             c.detail, tuple(c.failed_test_ids), c.num_tests)
+            for c in summary.cases]
+
+
+def _campaign(tmp_path, *, batch, jobs):
+    return run_fuzz_campaign(FuzzCampaignConfig(
+        seed=3, count=10, targets=("v1model", "ebpf_model", "tna"),
+        max_tests=8, shrink=False, batch_replay=batch, jobs=jobs,
+        corpus_dir=str(tmp_path / f"corpus-b{int(batch)}-j{jobs}"),
+    ))
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("batch-determinism-ref")
+    return _signatures(_campaign(tmp, batch=False, jobs=1))
+
+
+@pytest.mark.parametrize("jobs", (1, 2, 4))
+@pytest.mark.parametrize("batch", (True, False))
+def test_campaign_identical_across_replay_mode_and_jobs(
+        reference, tmp_path, batch, jobs):
+    if not batch and jobs == 1:
+        pytest.skip("is the reference")
+    summary = _campaign(tmp_path, batch=batch, jobs=jobs)
+    assert _signatures(summary) == reference
+    if batch:
+        # The lock must not be vacuous: the lane engine actually ran.
+        assert summary.replay.replay_packets > 0
+        assert summary.replay.replay_batches > 0
+
+
+def test_batched_campaign_reports_replay_counters(tmp_path):
+    summary = _campaign(tmp_path, batch=True, jobs=2)
+    replay = summary.replay
+    assert replay.replay_packets > 0
+    # The campaign-level merge equals the sum over the per-case stats.
+    assert replay.replay_packets == sum(
+        c.stats.get("replay_packets", 0) for c in summary.cases)
+    assert 0.0 <= replay.fill_rate() <= 1.0

@@ -1,0 +1,201 @@
+"""Lane-engine vs. scalar parity (the batch replay correctness lock).
+
+The batch interpreter (``repro.interp.batch`` over compiled op lists
+from ``repro.interp.compile``) must be observationally identical to the
+scalar simulators on every case it claims: same outputs, same drops,
+same errors.  Where it cannot be exact it must *refuse* — compile-time
+fallback for unsupported constructs, per-lane ejection for divergent
+runtime behavior — and the refusals themselves are pinned here so the
+fast path never silently widens.
+"""
+
+import random
+
+import pytest
+
+from repro.interp import BatchSimulator, Config, ReplayStats
+from repro.interp.compile import CompileUnsupported, compile_program
+from repro.oracle import load_program
+from repro.testback.runner import SIMULATORS, make_simulator
+from repro.testback.spec import TableEntrySpec
+
+# (program, target): one compiled representative per family plus the
+# table/match-kind heavy rows.
+COMPILED_ROWS = (
+    ("fig1a", "v1model"),
+    ("match_kinds", "v1model"),
+    ("value_set_demo", "v1model"),
+    ("lookahead_demo", "v1model"),
+    ("tna_fig4", "tna"),
+    ("t2na_ghost", "t2na"),
+    ("ebpf_filter", "ebpf_model"),
+)
+
+# Programs the compiler must refuse (stateful / extern-heavy / out of
+# lane range) so they replay scalar with exact semantics.
+FALLBACK_ROWS = (
+    ("register_demo", "v1model"),
+    ("mpls_stack", "v1model"),
+    ("middleblock", "v1model"),
+    ("tna_stateful", "tna"),
+)
+
+
+def _random_cases(seed, n=10, widths=(64, 112, 320, 600)):
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(0, 64), rng.getrandbits(w), w, Config())
+        for w in (rng.choice(widths) for _ in range(n))
+    ]
+
+
+def _scalar_results(target, program, cases):
+    out = []
+    for port, bits, width, config in cases:
+        sim = make_simulator(target, program, seed=0)
+        out.append(sim.process(port, bits, width, config))
+    return out
+
+
+def _assert_parity(target, program, cases, stats=None):
+    batch = BatchSimulator(target, program, seed=0, stats=stats)
+    bres = batch.run_cases(cases)
+    for case, br, sr in zip(cases, bres, _scalar_results(target, program, cases)):
+        assert (br.outputs, br.dropped, br.error) \
+            == (sr.outputs, sr.dropped, sr.error), \
+            f"{program.source_name}/{target} diverged on width {case[2]}"
+    return batch
+
+
+@pytest.mark.parametrize("name,target", COMPILED_ROWS)
+def test_compiled_program_parity(name, target):
+    program = load_program(name)
+    compile_program(program, target)  # must not fall back
+    stats = ReplayStats()
+    _assert_parity(target, program, _random_cases(hash(name) & 0xFFFF), stats)
+    assert stats.replay_compiled_programs == 1
+    assert stats.replay_fallback_programs == 0
+
+
+@pytest.mark.parametrize("name,target", FALLBACK_ROWS)
+def test_fallback_program_scalar_replay(name, target):
+    program = load_program(name)
+    with pytest.raises(CompileUnsupported):
+        compile_program(program, target)
+    stats = ReplayStats()
+    cases = _random_cases(hash(name) & 0xFFFF, n=4)
+    _assert_parity(target, program, cases, stats)
+    assert stats.replay_fallback_programs == 1
+    assert stats.replay_scalar_packets == len(cases)
+
+
+def test_runtime_entries_parity():
+    # Installed entries are matched per lane against packed key values;
+    # every match kind must agree with the scalar matcher.
+    program = load_program("match_kinds")
+    rng = random.Random(11)
+    cases = []
+    for i in range(12):
+        entries = [
+            TableEntrySpec(
+                table="mk_ingress.exact_table", action="mk_ingress.tag",
+                keys=[("k", "exact", {"value": rng.getrandbits(16)})],
+                action_args=[("value", rng.getrandbits(4))],
+            ),
+            TableEntrySpec(
+                table="mk_ingress.lpm_table", action="mk_ingress.tag",
+                keys=[("k", "lpm",
+                       {"value": rng.getrandbits(32), "prefix_len": i % 33})],
+                action_args=[("value", rng.getrandbits(4))],
+            ),
+            TableEntrySpec(
+                table="mk_ingress.ternary_table", action="mk_ingress.tag",
+                keys=[("k", "ternary",
+                       {"value": rng.getrandbits(16),
+                        "mask": rng.getrandbits(16)})],
+                action_args=[("value", rng.getrandbits(4))],
+            ),
+            TableEntrySpec(
+                table="mk_ingress.range_table", action="mk_ingress.tag",
+                keys=[("k", "range",
+                       {"lo": (lo := rng.getrandbits(12)),
+                        "hi": lo + rng.getrandbits(12)})],
+                action_args=[("value", rng.getrandbits(4))],
+            ),
+        ]
+        w = rng.choice((64, 112, 200))
+        cases.append((1, rng.getrandbits(w), w, Config(entries=entries)))
+    _assert_parity("v1model", program, cases)
+
+
+def test_out_of_width_entry_arg_ejects_to_scalar():
+    # The scalar env stores runtime action args unmasked; the lane
+    # engine can't, so such lanes must replay scalar (and still agree).
+    program = load_program("fig1a")
+    bad = TableEntrySpec(
+        table="MyIngress.forward_table", action="MyIngress.set_out",
+        keys=[("etype", "exact", {"value": 0xBEEF})],
+        action_args=[("port", 1 << 40)],  # far wider than the 9-bit param
+    )
+    cases = [(0, 0xBEEF, 112, Config(entries=[bad])),
+             (0, 0x0800, 112, Config())]
+    stats = ReplayStats()
+    _assert_parity("v1model", program, cases, stats)
+    assert stats.replay_ejected_lanes == 1
+    assert stats.replay_scalar_packets == 1
+
+
+def test_custom_simulator_disables_fast_path():
+    # Fault injection and user extensions replace the registry entry;
+    # the lane engine must route every packet through the override.
+    program = load_program("fig1a")
+    original = SIMULATORS["v1model"]
+
+    class _Tagged:
+        def __init__(self, inner):
+            self._inner = inner
+
+        def process(self, port, bits, width, config):
+            result = self._inner.process(port, bits, width, config)
+            result.error = "injected"
+            return result
+
+    SIMULATORS.register(
+        "v1model", lambda p, seed=0: _Tagged(original(p, seed)),
+        replace=True)
+    try:
+        stats = ReplayStats()
+        sim = BatchSimulator("v1model", program, seed=0, stats=stats)
+        results = sim.run_cases([(0, 0xBEEF, 112, Config())])
+    finally:
+        SIMULATORS.register("v1model", original, replace=True)
+    assert results[0].error == "injected"
+    assert stats.replay_fallback_programs == 1
+    assert stats.replay_scalar_packets == 1
+
+
+def test_tofino_resubmit_lane_ejects():
+    # tna_fig4 with ttl=1 raises resubmit_type; the scalar model reruns
+    # ingress, so those lanes must leave the batch — and still match.
+    program = load_program("tna_fig4")
+    cases = [(1, (ttl << 56) << (512 - 64), 512, Config())
+             for ttl in (0, 1, 2, 1)]
+    stats = ReplayStats()
+    _assert_parity("tna", program, cases, stats)
+    assert stats.replay_ejected_lanes >= 2  # both ttl=1 lanes
+
+
+def test_partial_and_multi_batch_chunking():
+    # Suites longer than max_lanes split into chunks; order and results
+    # must be stable across chunk boundaries.
+    program = load_program("fig1a")
+    cases = _random_cases(99, n=11, widths=(112, 160))
+    small = BatchSimulator("v1model", program, seed=0, max_lanes=4)
+    big = BatchSimulator("v1model", program, seed=0, max_lanes=32)
+    sres = small.run_cases(cases)
+    bres = big.run_cases(cases)
+    for a, b in zip(sres, bres):
+        assert (a.outputs, a.dropped, a.error) == (b.outputs, b.dropped, b.error)
+    assert small.stats.replay_batches == 3
+    assert big.stats.replay_batches == 1
+    _assert_parity("v1model", program, cases)

@@ -278,3 +278,35 @@ def test_ebpf_parser_reject_drops(acl_program):
     # matching the short-packet drop tests BMv2/Tofino already have.
     result = EbpfSimulator(acl_program).process(0, 0xAB, 8, Config())
     assert result.dropped
+
+
+# ---------------------------------------------------------------------------
+# Suite replay: scalar and lane-packed modes must classify identically
+# ---------------------------------------------------------------------------
+
+from repro import TestGen, TestGenConfig
+from repro.targets import get_target
+from repro.testback.runner import run_suite
+
+# One row per family plus a compile-fallback program, so both the lane
+# fast path and the scalar-fallback path are pinned against mode skew.
+_REPLAY_MODE_ROWS = (
+    ("fig1a", "v1model"),
+    ("match_kinds", "v1model"),
+    ("value_set_demo", "v1model"),
+    ("tna_fig4", "tna"),
+    ("ebpf_filter", "ebpf_model"),
+    ("register_demo", "v1model"),  # CompileUnsupported -> scalar replay
+)
+
+
+@pytest.mark.parametrize("name,target", _REPLAY_MODE_ROWS)
+def test_suite_replay_modes_agree(name, target):
+    program = load_program(name)
+    result = TestGen(program, target=get_target(target),
+                     config=TestGenConfig(seed=1, max_tests=8)).run()
+    passed_scalar, scalar = run_suite(result.tests, program)
+    passed_batch, batched = run_suite(result.tests, program, batch=True)
+    assert passed_scalar == passed_batch
+    assert [(r.test_id, r.passed, r.kind, r.detail) for r in scalar] \
+        == [(r.test_id, r.passed, r.kind, r.detail) for r in batched]

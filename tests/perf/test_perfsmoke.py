@@ -126,3 +126,51 @@ def test_native_only_runs_pay_nothing_for_the_portfolio(stats):
     assert stats.portfolio_races == 0
     assert stats.backend_queries == {}
     assert stats.backend_timeouts == {} and stats.backend_errors == {}
+
+
+# ---------------------------------------------------------------------------
+# Batch replay fast path (PR 8): on the compiled smoke corpus, every
+# replayed packet must ride the lane engine — no compile fallbacks, no
+# runtime ejections.  Measured at recording time: fill rate 1.0 on all
+# four rows.  Counters again, never wall-clock.
+# ---------------------------------------------------------------------------
+
+REPLAY_ROWS = (("fig1a", "v1model"), ("match_kinds", "v1model"),
+               ("tna_forward", "tna"), ("ebpf_filter", "ebpf_model"))
+REPLAY_FILL_RATE_FLOOR = 0.95
+
+
+@pytest.fixture(scope="module")
+def replay_stats():
+    from repro.interp import ReplayStats
+    from repro.testback.runner import run_suite
+
+    acc = ReplayStats()
+    for name, target in REPLAY_ROWS:
+        program = load_program(name)
+        gen = TestGen(program, target=get_target(target),
+                      config=TestGenConfig(seed=SEED, max_tests=16))
+        tests = gen.run().tests
+        assert tests
+        run_suite(tests, program, batch=True, replay_stats=acc)
+    return acc
+
+
+@pytest.mark.perfsmoke
+def test_batch_replay_fill_rate_above_floor(replay_stats):
+    assert replay_stats.replay_packets > 0
+    assert replay_stats.fill_rate() >= REPLAY_FILL_RATE_FLOOR, (
+        f"lane fill rate {replay_stats.fill_rate():.3f} on the smoke "
+        f"corpus; floor is {REPLAY_FILL_RATE_FLOOR} — lanes are being "
+        f"ejected to the scalar path"
+    )
+
+
+@pytest.mark.perfsmoke
+def test_batch_replay_smoke_corpus_stays_compiled(replay_stats):
+    # These four programs are one-per-family representatives chosen
+    # because they compile; a fallback here means the compiler lost a
+    # construct it used to support.
+    assert replay_stats.replay_fallback_programs == 0
+    assert replay_stats.replay_scalar_packets == 0
+    assert replay_stats.replay_compiled_programs == len(REPLAY_ROWS)

@@ -1,0 +1,52 @@
+"""Repo hygiene guard: build artifacts must never be tracked.
+
+Tier-1 fails if ``git ls-files`` shows compiled bytecode, pycache
+directories, or setuptools egg-info metadata — the classes of artifact
+this repo has historically leaked into commits.  Skips cleanly when
+git is unavailable (e.g. an exported source tarball).
+"""
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FORBIDDEN_SUFFIXES = (".pyc", ".pyo")
+FORBIDDEN_DIRS = ("__pycache__",)
+
+
+def _is_artifact(path: str) -> bool:
+    parts = path.split("/")
+    return (path.endswith(FORBIDDEN_SUFFIXES)
+            or any(part in FORBIDDEN_DIRS or part.endswith(".egg-info")
+                   for part in parts))
+
+
+def _tracked_files():
+    try:
+        out = subprocess.run(
+            ["git", "ls-files"], cwd=REPO_ROOT, capture_output=True,
+            text=True, timeout=30)
+    except (OSError, subprocess.TimeoutExpired):
+        pytest.skip("git not available")
+    if out.returncode != 0:
+        pytest.skip("not a git checkout")
+    return out.stdout.splitlines()
+
+
+def test_no_build_artifacts_tracked():
+    offenders = [path for path in _tracked_files() if _is_artifact(path)]
+    assert offenders == [], (
+        "build artifacts are tracked in git (git rm --cached them and "
+        f"extend .gitignore): {offenders}"
+    )
+
+
+def test_gitignore_covers_artifact_classes():
+    gitignore = REPO_ROOT / ".gitignore"
+    assert gitignore.is_file(), "root .gitignore is missing"
+    text = gitignore.read_text()
+    for pattern in ("__pycache__/", "*.pyc", "*.egg-info/"):
+        assert pattern in text, f".gitignore lost the {pattern!r} rule"
