@@ -21,7 +21,7 @@ import time
 
 from _util import once, report
 
-from repro import TestGen, load_program
+from repro import TestGen, TestGenConfig, load_program
 from repro.targets import V1Model
 
 
@@ -89,3 +89,72 @@ def test_fig7_cpu_split(benchmark):
     assert solve + blast + stepping <= wall * 1.05
     # The enabling property: incremental checks stay cheap.
     assert solve / max(solver.checks, 1) < 0.5, "per-check cost exploded"
+
+
+def test_fig7_incremental_feasibility_speedup(benchmark):
+    """The PR-10 before/after on the Fig 7 solver share: feasibility
+    checks riding the retained clause database vs. solving each check
+    from scratch.
+
+    Elision is disabled on both sides so the comparison isolates the
+    two SAT planes — with it on, the elider answers ~85% of checks
+    before either plane runs and the delta shrinks to the residue.
+    Recorded at PR-10 time: 0.28 s vs. 0.62 s of aggregate feasibility
+    solve time (2.2x), 50k vs. 110k unit propagations.  The acceptance
+    floor is 1.5x, pinned on the deterministic propagation counters in
+    tests/perf/test_perfsmoke.py; the wall-clock assertion here is the
+    honest end-to-end version of the same claim.
+    """
+    def run_mode(incremental):
+        config = TestGenConfig(seed=1, max_tests=60, elide=False,
+                               incremental=incremental)
+        gen = TestGen(load_program("middleblock"), target=V1Model(),
+                      config=config)
+        explorer = gen.explorer()
+        tests = list(explorer.run())
+        ps = explorer.solver.stats
+        return {
+            "tests": len(tests),
+            "solve_s": ps.solve_time,
+            "sat_solves": ps.sat_solves,
+            "propagations": explorer.solver._sat.stats["propagations"],
+            "levels_reused": explorer.stats.inc_levels_reused,
+            "levels_assumed": explorer.stats.inc_levels_assumed,
+        }
+
+    def run_both():
+        return run_mode(True), run_mode(False)
+
+    inc, oneshot = once(benchmark, run_both)
+    assert inc["tests"] == oneshot["tests"] == 60
+    wall_gain = oneshot["solve_s"] / max(inc["solve_s"], 1e-9)
+    prop_gain = oneshot["propagations"] / max(inc["propagations"], 1)
+    reuse = inc["levels_reused"] / max(inc["levels_assumed"], 1)
+
+    report("fig7_incremental_feasibility", [
+        "middleblock seed=1 max_tests=60 elide=off (isolates the",
+        "feasibility SAT planes; default runs elide ~85% of checks)",
+        "",
+        f"                      incremental    one-shot",
+        f"feasibility solve:  {inc['solve_s']:9.3f} s {oneshot['solve_s']:9.3f} s"
+        f"   ({wall_gain:.2f}x)",
+        f"unit propagations:  {inc['propagations']:11d} {oneshot['propagations']:11d}"
+        f"   ({prop_gain:.2f}x)",
+        f"sat solves:         {inc['sat_solves']:11d} {oneshot['sat_solves']:11d}",
+        f"trail reuse: {inc['levels_reused']}/{inc['levels_assumed']} "
+        f"assumption levels re-established from the kept prefix "
+        f"({100 * reuse:.0f}%)",
+        "",
+        "paper (§6): P4Testgen configures Z3 for incremental solving so",
+        "per-branch feasibility checks stay cheap; this is the same",
+        "lever on the native CDCL core.",
+    ])
+
+    assert prop_gain >= 1.5, (
+        f"propagation gain {prop_gain:.2f}x below the 1.5x acceptance "
+        f"floor"
+    )
+    assert wall_gain >= 1.5, (
+        f"feasibility solve time gain {wall_gain:.2f}x below the 1.5x "
+        f"acceptance floor"
+    )

@@ -59,6 +59,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="disable hash-consed term interning and the "
                           "shared bit-blast cache (ablation; emitted "
                           "suites are byte-identical either way)")
+    gen.add_argument("--no-incremental", action="store_true",
+                     help="solve every feasibility check one-shot "
+                          "instead of riding the incremental clause "
+                          "database (escape hatch/ablation; emitted "
+                          "suites are byte-identical either way)")
     gen.add_argument("--solver", default="native", metavar="NAME",
                      help="primary solver backend (default: native; see "
                           "repro.smt.backends.register_solver)")
@@ -199,6 +204,7 @@ def cmd_generate(args) -> int:
         solve_cache=not args.no_solve_cache,
         elide=not args.no_elide,
         intern=not args.no_intern,
+        incremental=not args.no_incremental,
         solver=args.solver,
         portfolio=tuple(
             name.strip() for name in args.portfolio.split(",")

@@ -72,6 +72,14 @@ class TestGenConfig:
             Interning never changes any emitted test — equality stays
             structural either way — only how fast terms compare and how
             much CNF is rebuilt; ``False`` is the ablation baseline.
+        incremental: run feasibility pruning on the incremental status
+            plane — the pruning solver's assertion levels mirror the
+            DFS stack, so learned clauses and most of the SAT trail
+            survive across sibling checks (§6 "incremental solving").
+            Only statuses ride the incremental database; models always
+            come from canonical solves, so incremental on/off suites
+            are byte-identical at any ``jobs``.  Requires
+            ``solve_cache``; ignored when a portfolio is configured.
         solver: primary solver back-end name (``"native"`` default; any
             name accepted by :func:`repro.smt.backends.register_solver`).
             Non-native primaries bind their own models, so suites are
@@ -114,6 +122,7 @@ class TestGenConfig:
     elide_models: int = 8
     elide_unsat: int = 64
     intern: bool = True
+    incremental: bool = True
     solver: str = "native"
     portfolio: tuple[str, ...] = ()
     portfolio_budget: int = 256

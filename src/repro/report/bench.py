@@ -23,7 +23,8 @@ from .recorder import Recorder, SCHEMA_VERSION, cache_rates
 from .schema import load_schema, validate
 
 __all__ = ["BENCH_ROWS", "QUICK_ROWS", "REPLAY_ROWS", "run_bench",
-           "measure_replay_throughput", "append_point", "trajectory_path"]
+           "measure_replay_throughput", "append_point", "trajectory_path",
+           "solver_block"]
 
 # The tbl4a subset: same programs and caps as the benchmark suite.
 BENCH_ROWS = (
@@ -53,6 +54,43 @@ REPLAY_ROWS = (
 
 def trajectory_path(out_dir, label: str) -> Path:
     return Path(out_dir) / f"BENCH_{label}.json"
+
+
+def solver_block(stats: dict, phase_times: dict) -> dict:
+    """The Fig 7 solver view of one bench point.
+
+    CPU-split fractions (solver / bit-blast / interpreter step over the
+    oracle phase's wall time) plus the incremental status plane's
+    reuse and clause-retention counters — the per-PR scoreboard for
+    solver-side speedups.  Fractions are wall-derived and therefore
+    machine-dependent; the counters and rates are deterministic for a
+    fixed seed.
+    """
+    def frac(num, den):
+        return round(num / den, 6) if den else 0.0
+
+    oracle = phase_times.get("oracle", 0.0)
+    return {
+        "solve_frac": frac(stats.get("solve_time_s", 0.0), oracle),
+        "blast_frac": frac(stats.get("blast_time_s", 0.0), oracle),
+        "step_frac": frac(stats.get("step_time", 0.0), oracle),
+        "sat_solves": stats.get("sat_solves", 0),
+        "solver_checks": stats.get("solver_checks", 0),
+        "feasibility_checks": stats.get("feasibility_checks", 0),
+        "feasibility_cache_hits": stats.get("feasibility_cache_hits", 0),
+        "incremental": {
+            "solves": stats.get("inc_solves", 0),
+            "levels_pushed": stats.get("inc_levels_pushed", 0),
+            "levels_popped": stats.get("inc_levels_popped", 0),
+            "levels_reused": stats.get("inc_levels_reused", 0),
+            "reuse_rate": frac(stats.get("inc_levels_reused", 0),
+                               stats.get("inc_levels_assumed", 0)),
+            "learned_retained": stats.get("inc_learned_retained", 0),
+            "learned_deleted": stats.get("inc_learned_deleted", 0),
+            "clauses_gced": stats.get("inc_clauses_gced", 0),
+            "db_reductions": stats.get("inc_db_reductions", 0),
+        },
+    }
 
 
 def _oracle_row(name, target_name, cap, *, seed, jobs):
@@ -208,6 +246,7 @@ def run_bench(label: str, out_dir, *, seed: int = 1, fuzz_count: int = 12,
         "seed": seed,
         "phase_times_s": phase_times,
         "cache_rates": cache_rates(stats_total),
+        "solver": solver_block(stats_total, phase_times),
         "rows": rows,
         "fuzz": fuzz,
         "replay": replay,

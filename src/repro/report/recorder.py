@@ -68,6 +68,12 @@ def cache_rates(stats: dict) -> dict:
             stats.get("feasibility_checks", 0)),
         "blast_cache_hit_rate": rate(blast_hits, blast_total),
         "intern_hit_rate": rate(intern_hits, intern_total),
+        # Of the assumption levels the incremental feasibility plane
+        # solved under, how many arrived pre-established on the reused
+        # SAT trail (smt/sat.py reuse_trail)?
+        "incremental_reuse_rate": rate(
+            stats.get("inc_levels_reused", 0),
+            stats.get("inc_levels_assumed", 0)),
     }
 
 

@@ -259,6 +259,20 @@ class SolveCache:
             pieces.append(f"{template}[{binding}]")
         return CacheKey(tuple(uniq), "|".join(pieces), tuple(var_index))
 
+    def peek(self, key: CacheKey) -> CacheEntry | None:
+        """Status-plane lookup: no hit/miss accounting, no LRU motion.
+
+        The incremental feasibility plane peeks before riding its own
+        SAT database — a canonical answer for the same constraint set
+        (typically from a sibling path's finalization) settles the
+        status for free.  Peeks stay invisible to the cache's own
+        counters so hit-rate reports keep describing canonical checks.
+        """
+        entry = self._entries.get((key, self.backend_name))
+        if entry is None:
+            entry = self._entries.get((key, ""))
+        return entry
+
     def lookup(self, key: CacheKey) -> CacheEntry | None:
         # SAT entries must come from this run's primary back end;
         # UNSAT entries (tag "") are backend-free.

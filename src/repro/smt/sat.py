@@ -6,6 +6,24 @@ phase saving, Luby restarts, and solving under assumptions (which is
 how the :class:`repro.smt.solver.Solver` facade implements incremental
 push/pop).
 
+Two operating modes share this class:
+
+- **One-shot** (default): every ``add_clause`` and ``solve`` resets the
+  trail to decision level 0 first.  Canonical cache-miss solves and the
+  blast-cache replay stream depend on this mode being a pure function
+  of the clause sequence.
+- **Incremental** (``keep_trail_on_add = True``, used by the facade's
+  incremental status plane): new clauses attach to the *live* trail,
+  ``solve`` keeps the longest prefix of decision levels whose decisions
+  are assumptions of the new call, and popped selector variables are
+  retired (:meth:`retire_selector`) instead of asserted false — so the
+  learned-clause database and most of the trail survive across the
+  sibling feasibility checks of a DFS exploration tree.  The long-lived
+  database gets the hygiene one-shot solves never needed: clauses
+  guarded by retired selectors are garbage-collected, the learned set
+  is reduced by activity with a size/LBD keep heuristic, and the lazy
+  VSIDS heap is rebuilt when duplicate entries pile up.
+
 Literal encoding: variables are positive integers ``1..n``; a literal
 is ``+v`` or ``-v`` (DIMACS convention).
 """
@@ -62,6 +80,23 @@ class SatSolver:
         self.saved_phase: dict[int, bool] = {}
         self._qhead = 0
         self._ok = True
+        # Incremental mode (see module docstring): clauses attach to
+        # the live trail and solve() reuses the assumption-compatible
+        # trail prefix instead of restarting from level 0.
+        self.keep_trail_on_add = False
+        # Selectors permanently disabled by the facade's pop(): never
+        # decided again; clauses mentioning them are collected once
+        # enough have accumulated since the last sweep.
+        self._dead_sel: set[int] = set()
+        self._dead_pending = 0
+        self.gc_dead_threshold = 32
+        # Learned-clause metadata for DB reduction: idx -> [activity,
+        # lbd].  Metadata is kept in every mode (cheap); reduction only
+        # triggers on long-lived incremental databases.
+        self._learned: dict[int, list] = {}
+        self.cla_inc = 1.0
+        self.cla_decay = 0.999
+        self.max_learned = 2000
         # statistics
         self.stats = {
             "decisions": 0,
@@ -69,6 +104,14 @@ class SatSolver:
             "conflicts": 0,
             "learned": 0,
             "restarts": 0,
+            "solves": 0,
+            "levels_reused": 0,
+            "levels_assumed": 0,
+            "selectors_retired": 0,
+            "clauses_gced": 0,
+            "learned_deleted": 0,
+            "db_reductions": 0,
+            "heap_rebuilds": 0,
         }
 
     # ------------------------------------------------------------------
@@ -92,9 +135,11 @@ class SatSolver:
         """Add a clause; returns False if the formula became trivially unsat."""
         if not self._ok:
             return False
-        if self.trail_lim:
+        if self.trail_lim and not self.keep_trail_on_add:
             # A previous solve() may have left a partial assignment; new
-            # clauses are always added at decision level 0.
+            # clauses are always added at decision level 0.  Incremental
+            # mode instead attaches to the live trail (_attach_live) so
+            # the kept prefix survives sibling checks.
             self._backjump(0)
         self._ensure_vars(clause)
         # Deduplicate and detect tautology.
@@ -108,36 +153,182 @@ class SatSolver:
             if lit not in seen:
                 seen.add(lit)
                 out.append(lit)
-        # Drop literals already false at level 0; satisfied at level 0 -> skip.
-        if not self.trail_lim:
-            filtered = []
-            for lit in out:
-                val = self._value(lit)
-                if val is True:
-                    return True
-                if val is None:
-                    filtered.append(lit)
-            out = filtered
-        if not out:
-            self._ok = False
-            return False
-        if len(out) == 1:
-            if not self.trail_lim:
-                if self._value(out[0]) is False:
-                    self._ok = False
-                    return False
-                if self._value(out[0]) is None:
-                    self._enqueue(out[0], None)
-                    if self._propagate() is not None:
-                        self._ok = False
-                        return False
-                return True
-            # During search units shouldn't be added externally.
+        if self.trail_lim:
+            return self._attach_live(out)
+        return self._attach_at_root(out)
+
+    def _watch_new(self, out: list[int]) -> int:
         idx = len(self.clauses)
         self.clauses.append(out)
         self._watch.setdefault(out[0], []).append(idx)
         self._watch.setdefault(out[1], []).append(idx)
+        return idx
+
+    def _attach_at_root(self, out: list[int]) -> bool:
+        """Add a deduplicated clause with the trail at decision level 0."""
+        # Drop literals already false at level 0; satisfied at level 0 -> skip.
+        filtered = []
+        for lit in out:
+            val = self._value(lit)
+            if val is True:
+                return True
+            if val is None:
+                filtered.append(lit)
+        out = filtered
+        if not out:
+            self._ok = False
+            return False
+        if len(out) == 1:
+            if self._value(out[0]) is False:
+                self._ok = False
+                return False
+            if self._value(out[0]) is None:
+                self._enqueue(out[0], None)
+                if self._propagate() is not None:
+                    self._ok = False
+                    return False
+            return True
+        self._watch_new(out)
         return True
+
+    def _attach_live(self, out: list[int]) -> bool:
+        """Attach a clause without resetting the trail (incremental mode).
+
+        The watch invariant requires both watched literals to be
+        non-false at attach time (a watcher only wakes when its literal
+        *becomes* false); when the live assignment leaves fewer than
+        two, back off just far enough to release them instead of
+        restarting the whole trail.
+        """
+        # Literals settled at level 0 are permanent: a true one
+        # satisfies the clause forever, false ones can be dropped.
+        filtered = []
+        for lit in out:
+            val = self._value(lit)
+            if val is not None and self.level[abs(lit)] == 0:
+                if val is True:
+                    return True
+                continue
+            filtered.append(lit)
+        out = filtered
+        if not out:
+            self._ok = False
+            return False
+        while True:
+            if not self.trail_lim:
+                return self._attach_at_root(out)
+            if len(out) >= 2:
+                nonfalse = [lit for lit in out
+                            if self._value(lit) is not False]
+                if len(nonfalse) >= 2:
+                    first, second = nonfalse[0], nonfalse[1]
+                    rest = [lit for lit in out
+                            if lit != first and lit != second]
+                    self._watch_new([first, second] + rest)
+                    return True
+                # Unit or conflicting under the live assignment: pop to
+                # just below the highest falsifying level, which frees
+                # at least one more literal, and re-evaluate.
+                top = max(self.level[abs(lit)] for lit in out
+                          if self._value(lit) is False)
+                self._backjump(max(0, top - 1))
+                continue
+            # A genuine unit clause is a permanent fact; assert it at
+            # the root (rare in this mode — Tseitin gate clauses always
+            # carry a fresh output literal).
+            self._backjump(0)
+
+    # ------------------------------------------------------------------
+    # Incremental-database hygiene
+    # ------------------------------------------------------------------
+
+    def retire_selector(self, v: int) -> None:
+        """Permanently disable selector variable ``v`` (facade pop()).
+
+        Unlike asserting the unit clause ``[-v]`` — which forces the
+        trail back to level 0 — retirement unwinds only ``v``'s own
+        decision level.  ``_decide`` never picks a dead selector again,
+        so every clause guarded by ``v`` stays satisfiable via the
+        untouched ``v = False`` phase; the clauses themselves are
+        removed by the next :meth:`collect_garbage` sweep.  Sound for
+        the status plane only because a retired selector is never
+        assumed again.
+        """
+        if v in self.assign and self.level[v] > 0:
+            self._backjump(self.level[v] - 1)
+        self._dead_sel.add(v)
+        self.saved_phase[v] = False
+        self._dead_pending += 1
+        self.stats["selectors_retired"] += 1
+
+    def collect_garbage(self) -> int:
+        """Drop every clause that mentions a retired selector.
+
+        Equisatisfiable for all future queries: a dead selector is
+        never assumed again, so each guarded clause is satisfiable by
+        its selector's false phase, and learned clauses are always
+        redundant.  Clauses currently locked as propagation reasons are
+        skipped (they go on the next sweep).
+        """
+        dead = self._dead_sel
+        self._dead_pending = 0
+        if not dead:
+            return 0
+        locked = {rc for rc in self.reason.values() if rc is not None}
+        drop = {idx for idx, clause in enumerate(self.clauses)
+                if idx not in locked
+                and any(abs(lit) in dead for lit in clause)}
+        if drop:
+            self._compact(drop)
+            self.stats["clauses_gced"] += len(drop)
+        return len(drop)
+
+    def reduce_learned(self) -> int:
+        """Activity-based learned-clause reduction.
+
+        Keeps glue clauses (LBD <= 2), binary clauses, and clauses
+        locked as reasons; of the rest, the cold half (lowest activity)
+        is dropped.  The trigger threshold grows geometrically so the
+        database still scales with genuinely hard instances.
+        """
+        learned = self._learned
+        locked = {rc for rc in self.reason.values() if rc is not None}
+        cands = [idx for idx, (_act, lbd) in learned.items()
+                 if idx not in locked and lbd > 2
+                 and len(self.clauses[idx]) > 2]
+        if len(cands) < 2:
+            return 0
+        cands.sort(key=lambda idx: learned[idx][0])
+        drop = set(cands[: len(cands) // 2])
+        self._compact(drop)
+        self.stats["db_reductions"] += 1
+        self.stats["learned_deleted"] += len(drop)
+        self.max_learned += self.max_learned // 2
+        return len(drop)
+
+    def _compact(self, drop: set[int]) -> None:
+        """Remove ``drop`` clauses, remapping indices in watches,
+        reasons and learned metadata.  Callers must not drop a clause
+        that is some assigned variable's reason."""
+        remap: dict[int, int] = {}
+        clauses: list[list[int]] = []
+        for idx, clause in enumerate(self.clauses):
+            if idx in drop:
+                continue
+            remap[idx] = len(clauses)
+            clauses.append(clause)
+        self.clauses = clauses
+        self._learned = {remap[idx]: meta
+                         for idx, meta in self._learned.items()
+                         if idx not in drop}
+        for v, rc in self.reason.items():
+            if rc is not None:
+                self.reason[v] = remap[rc]
+        watch: dict[int, list[int]] = {}
+        for idx, clause in enumerate(clauses):
+            watch.setdefault(clause[0], []).append(idx)
+            watch.setdefault(clause[1], []).append(idx)
+        self._watch = watch
 
     # ------------------------------------------------------------------
     # Assignment helpers
@@ -205,17 +396,44 @@ class SatSolver:
     # Conflict analysis
     # ------------------------------------------------------------------
 
+    def _heap_push(self, v: int) -> None:
+        heapq.heappush(self._order, (-self.activity.get(v, 0.0), v))
+        # Duplicate entries accumulate — every bump and every unassign
+        # push a fresh one.  Fine for one-shot solves, a leak for a
+        # long-lived incremental database: rebuild once the heap
+        # clearly outgrows the variable count.  Stale entries only ever
+        # carry outdated (lower) priorities, so dropping them never
+        # changes which variable _decide picks next.
+        if len(self._order) > 2 * self.num_vars + 64:
+            self._rebuild_order()
+
+    def _rebuild_order(self) -> None:
+        dead = self._dead_sel
+        self._order = [(-self.activity.get(v, 0.0), v)
+                       for v in range(1, self.num_vars + 1)
+                       if v not in self.assign and v not in dead]
+        heapq.heapify(self._order)
+        self.stats["heap_rebuilds"] += 1
+
     def _bump(self, v: int) -> None:
         self.activity[v] = self.activity.get(v, 0.0) + self.var_inc
         if self.activity[v] > 1e100:
             for key in self.activity:
                 self.activity[key] *= 1e-100
             self.var_inc *= 1e-100
-            self._order = [(-self.activity[var], var) for var in self.activity
-                           if var not in self.assign]
-            heapq.heapify(self._order)
+            self._rebuild_order()
             return
-        heapq.heappush(self._order, (-self.activity[v], v))
+        self._heap_push(v)
+
+    def _bump_clause(self, idx: int) -> None:
+        meta = self._learned.get(idx)
+        if meta is None:
+            return
+        meta[0] += self.cla_inc
+        if meta[0] > 1e20:
+            for other in self._learned.values():
+                other[0] *= 1e-20
+            self.cla_inc *= 1e-20
 
     def _analyze(self, conflict: int) -> tuple[list[int], int]:
         """1-UIP learning; returns (learned clause, backjump level)."""
@@ -225,6 +443,7 @@ class SatSolver:
         counter = 0
         p: int | None = None
         clause = self.clauses[conflict]
+        self._bump_clause(conflict)
         idx = len(self.trail) - 1
         while True:
             for lit in clause:
@@ -253,6 +472,7 @@ class SatSolver:
             rc = self.reason[v]
             assert rc is not None, "reached a decision before the 1-UIP"
             clause = self.clauses[rc]
+            self._bump_clause(rc)
         # Compute backjump level = max level of the other literals.
         if len(learned) == 1:
             bj = 0
@@ -270,7 +490,7 @@ class SatSolver:
                 del self.assign[v]
                 del self.level[v]
                 del self.reason[v]
-                heapq.heappush(self._order, (-self.activity.get(v, 0.0), v))
+                self._heap_push(v)
             self._qhead = min(self._qhead, len(self.trail))
         self._qhead = min(self._qhead, len(self.trail))
 
@@ -279,16 +499,18 @@ class SatSolver:
     # ------------------------------------------------------------------
 
     def _decide(self) -> int | None:
-        # Duplicate heap entries are fine: every bump pushes a fresh one
-        # and _backjump re-pushes unassigned variables.
+        # Duplicate heap entries are pruned wholesale by _heap_push's
+        # periodic rebuild; individual stale entries that surface here
+        # are skipped like assigned variables.
+        dead = self._dead_sel
         while self._order:
             _neg_act, v = heapq.heappop(self._order)
-            if v not in self.assign:
+            if v not in self.assign and v not in dead:
                 phase = self.saved_phase.get(v, False)
                 return v if phase else -v
         # Heap exhausted: fall back to a linear scan (rare).
         for v in range(1, self.num_vars + 1):
-            if v not in self.assign:
+            if v not in self.assign and v not in dead:
                 phase = self.saved_phase.get(v, False)
                 return v if phase else -v
         return None
@@ -297,8 +519,21 @@ class SatSolver:
     # Main search
     # ------------------------------------------------------------------
 
+    def _assumption_floor(self, aset: set[int]) -> int:
+        """Longest prefix of decision levels whose decisions are all in
+        ``aset`` — the deepest level a restart/reuse may keep while the
+        UNSAT-by-falsified-assumption shortcut stays sound."""
+        keep = 0
+        for lim in self.trail_lim:
+            if self.trail[lim] in aset:
+                keep += 1
+            else:
+                break
+        return keep
+
     def solve(self, assumptions: list[int] | None = None,
-              conflict_budget: int | None = None) -> str:
+              conflict_budget: int | None = None,
+              reuse_trail: bool = False) -> str:
         """Solve under the given assumptions; returns ``SAT`` or ``UNSAT``.
 
         With ``conflict_budget`` the search stops after that many
@@ -308,15 +543,49 @@ class SatSolver:
         previous slice left off.  This is how the portfolio layer
         classifies hard queries and interleaves native search with
         external back-end polling (see :mod:`repro.smt.backends`).
+
+        With ``reuse_trail`` the call keeps the longest prefix of
+        decision levels whose decisions are assumptions of *this* call
+        instead of restarting at level 0, and restarts back off only to
+        that assumption floor.  Consecutive solves over assumption sets
+        sharing a prefix (sibling feasibility checks in a DFS tree)
+        then re-propagate only the suffix.  Status answers are
+        unaffected; models may legally differ from a cold solve, which
+        is why only the status-only query plane uses it.
         """
         if not self._ok:
             return UNSAT
         assumptions = list(assumptions or [])
-        self._backjump(0)
+        self.stats["solves"] += 1
+        if self._dead_pending >= self.gc_dead_threshold:
+            self.collect_garbage()
+        if self.keep_trail_on_add and len(self._learned) > self.max_learned:
+            self.reduce_learned()
+        aset = set(assumptions)
+        if reuse_trail and self.trail_lim:
+            keep = self._assumption_floor(aset)
+            self._backjump(keep)
+            self.stats["levels_reused"] += keep
+        else:
+            self._backjump(0)
+        if reuse_trail:
+            self.stats["levels_assumed"] += len(assumptions)
         conflict = self._propagate()
         if conflict is not None:
-            self._ok = False
-            return UNSAT
+            if not self.trail_lim:
+                self._ok = False
+                return UNSAT
+            # A kept prefix propagated into a conflict (possible only
+            # when clauses were attached mid-trail).  Make sure the
+            # conflict involves the top decision level so 1-UIP
+            # analysis is well-defined, then let the main loop have it.
+            top = max((self.level[abs(lit)]
+                       for lit in self.clauses[conflict]), default=0)
+            if top < len(self.trail_lim):
+                self._backjump(top)
+            if not self.trail_lim:
+                self._ok = False
+                return UNSAT
 
         restart_count = 1
         conflicts_until_restart = 32 * _luby(restart_count)
@@ -324,7 +593,8 @@ class SatSolver:
         conflicts_this_call = 0
 
         while True:
-            conflict = self._propagate()
+            if conflict is None:
+                conflict = self._propagate()
             if conflict is not None:
                 self.stats["conflicts"] += 1
                 conflicts_this_restart += 1
@@ -336,6 +606,8 @@ class SatSolver:
                 # assumptions; the analyze/backjump loop handles it by
                 # backjumping into assumption territory and re-deciding.
                 learned, bj = self._analyze(conflict)
+                conflict = None
+                lbd = len({self.level[abs(lit)] for lit in learned[1:]}) + 1
                 self._backjump(bj)
                 if len(learned) == 1:
                     if self._value(learned[0]) is False:
@@ -343,13 +615,12 @@ class SatSolver:
                     if self._value(learned[0]) is None:
                         self._enqueue(learned[0], None)
                 else:
-                    idx = len(self.clauses)
-                    self.clauses.append(learned)
-                    self._watch.setdefault(learned[0], []).append(idx)
-                    self._watch.setdefault(learned[1], []).append(idx)
+                    idx = self._watch_new(learned)
+                    self._learned[idx] = [self.cla_inc, lbd]
                     self.stats["learned"] += 1
                     self._enqueue(learned[0], idx)
                 self.var_inc /= self.var_decay
+                self.cla_inc /= self.cla_decay
                 if (conflict_budget is not None
                         and conflicts_this_call >= conflict_budget):
                     # Progress survives the pause through the clause
@@ -364,7 +635,11 @@ class SatSolver:
                 restart_count += 1
                 conflicts_until_restart = 32 * _luby(restart_count)
                 conflicts_this_restart = 0
-                self._backjump(0)
+                # Restarting below the assumption floor would only
+                # re-propagate the same assumptions; in reuse mode keep
+                # them (one-shot callers keep the historical full reset).
+                self._backjump(self._assumption_floor(aset)
+                               if reuse_trail else 0)
                 continue
 
             # Re-establish assumptions in order.

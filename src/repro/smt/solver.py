@@ -70,6 +70,20 @@ class SolverStats:
         self.backend_timeouts: dict[str, int] = {}
         self.backend_errors: dict[str, int] = {}
         self.portfolio_races = 0
+        # Incremental status plane (incremental=True facades): stack
+        # traffic, trail reuse, and clause-database hygiene, mirrored
+        # from the underlying SatSolver after each check.
+        self.inc_solves = 0
+        self.inc_levels_pushed = 0
+        self.inc_levels_popped = 0
+        self.inc_levels_reused = 0
+        self.inc_levels_assumed = 0
+        self.inc_learned_retained = 0
+        self.inc_learned_deleted = 0
+        self.inc_clauses_gced = 0
+        self.inc_db_reductions = 0
+        self.inc_heap_rebuilds = 0
+        self.inc_selectors_retired = 0
 
     @property
     def total_time(self) -> float:
@@ -102,6 +116,17 @@ class SolverStats:
             "blast_cache_misses": self.blast_cache_misses,
             "blast_clauses_replayed": self.blast_clauses_replayed,
             "blast_time_saved_s": self.blast_time_saved_s,
+            "inc_solves": self.inc_solves,
+            "inc_levels_pushed": self.inc_levels_pushed,
+            "inc_levels_popped": self.inc_levels_popped,
+            "inc_levels_reused": self.inc_levels_reused,
+            "inc_levels_assumed": self.inc_levels_assumed,
+            "inc_learned_retained": self.inc_learned_retained,
+            "inc_learned_deleted": self.inc_learned_deleted,
+            "inc_clauses_gced": self.inc_clauses_gced,
+            "inc_db_reductions": self.inc_db_reductions,
+            "inc_heap_rebuilds": self.inc_heap_rebuilds,
+            "inc_selectors_retired": self.inc_selectors_retired,
             "backend_queries": dict(self.backend_queries),
             "backend_wins": dict(self.backend_wins),
             "backend_timeouts": dict(self.backend_timeouts),
@@ -196,10 +221,22 @@ class Solver:
     def __init__(self, cache=None, elide: bool = False,
                  elide_models: int = 8, elide_unsat: int = 64,
                  blast_share=None, portfolio=None,
-                 portfolio_need_model: bool = False):
+                 portfolio_need_model: bool = False,
+                 incremental: bool = False):
         self._sat = SatSolver()
         self._builder = CnfBuilder(self._sat)
         self._blaster = BitBlaster(self._builder)
+        # Incremental status plane: new clauses attach to the live SAT
+        # trail, checks reuse the assumption-compatible trail prefix,
+        # and pop() retires selectors instead of asserting them false —
+        # so learned clauses and most of the trail survive across
+        # sibling checks.  Status answers are identical either way;
+        # models become history-dependent, so this mode is only for
+        # callers that consume statuses (the explorer's feasibility
+        # plane) and it is ignored in canonical (cache) mode.
+        self.incremental = bool(incremental) and cache is None
+        if self.incremental:
+            self._sat.keep_trail_on_add = True
         # Solver portfolio (smt/backends.py): when set and active, the
         # final CDCL solve of each check is dispatched through it so
         # hard queries race external back ends.  ``portfolio_need_model``
@@ -247,6 +284,8 @@ class Solver:
         selector = None if self.cache is not None else self._sat.new_var()
         self._share_node = None  # selector vars desync the replay stream
         self._levels.append((selector, []))
+        if self.incremental:
+            self.stats.inc_levels_pushed += 1
 
     def pop(self, n: int = 1) -> None:
         for _ in range(n):
@@ -254,9 +293,15 @@ class Solver:
                 raise IndexError("pop from empty assertion stack")
             selector, _terms = self._levels.pop()
             # Permanently disable the selector so guarded clauses are
-            # satisfied forever after.
+            # satisfied forever after.  The incremental plane retires it
+            # (no unit clause, trail survives, clauses get GC'd); the
+            # one-shot plane asserts it false at level 0.
             if selector is not None:
-                self._sat.add_clause([-selector])
+                if self.incremental:
+                    self._sat.retire_selector(selector)
+                    self.stats.inc_levels_popped += 1
+                else:
+                    self._sat.add_clause([-selector])
 
     @property
     def depth(self) -> int:
@@ -368,9 +413,11 @@ class Solver:
                                      and ext_assignment is None)
             self._last_backend = backend
         else:
-            res = self._sat.solve(assumptions)
+            res = self._sat.solve(assumptions, reuse_trail=self.incremental)
             self._last_backend = "native"
         self.stats.solve_time += time.perf_counter() - t0
+        if self.incremental:
+            self._sync_incremental_stats()
         self.stats.checks += 1
         self.stats.sat_solves += 1
         if res == SAT:
@@ -386,6 +433,96 @@ class Solver:
                 self.elider.note_unsat(conjuncts)
         return SolveResult("sat" if res == SAT else "unsat",
                            backend=self._last_backend, stats=self.stats)
+
+    def try_elide_path(self, conjuncts: list[Term]) -> "SolveResult | None":
+        """Elision-only attempt at a conjunct-list check (no blasting).
+
+        The incremental status plane consults the elider *before*
+        syncing its assertion stack, so conjuncts of elided checks are
+        never blasted — matching the one-shot plane, where elision
+        short-circuits ahead of the extras blast.  Returns None on an
+        elider miss (no check is recorded; the caller follows up with
+        :meth:`check_path` or answers from elsewhere).
+        """
+        if self.elider is None:
+            return None
+        status, witness = self.elider.try_answer(conjuncts)
+        if status is None:
+            return None
+        self._elided_model = witness if status == "sat" else None
+        self._external_assignment = None
+        self._status_only_sat = False
+        self._last_assumptions = []
+        self._last_backend = "elide"
+        self.stats.checks += 1
+        if status == "sat":
+            self.stats.sat_answers += 1
+        else:
+            self.stats.unsat_answers += 1
+        return SolveResult(status, backend="elide", stats=self.stats)
+
+    def check_path(self, conjuncts: list[Term]) -> "SolveResult":
+        """Incremental-plane check of an explicit conjunct list.
+
+        Syncs the assertion stack to ``conjuncts`` — pop the stale
+        suffix (retiring those selectors), push one level per new
+        conjunct — and solves under the active selectors, reusing the
+        SAT trail prefix shared with the previous check.  Callers that
+        want elision must try :meth:`try_elide_path` first; this method
+        always reaches the SAT core.
+        """
+        if not self.incremental:
+            raise RuntimeError("check_path requires an incremental solver")
+        self._share_node = None
+        self._elided_model = None
+        self._external_assignment = None
+        self._status_only_sat = False
+        common = 0
+        for (_sel, terms), want in zip(self._levels, conjuncts):
+            if len(terms) == 1 and (terms[0] is want or terms[0] == want):
+                common += 1
+            else:
+                break
+        if len(self._levels) > common:
+            self.pop(len(self._levels) - common)
+        for term in conjuncts[common:]:
+            self.push()
+            self.add(term)
+        assumptions = [sel for sel, _terms in self._levels]
+        self._last_assumptions = []
+        t0 = time.perf_counter()
+        res = self._sat.solve(assumptions, reuse_trail=True)
+        self.stats.solve_time += time.perf_counter() - t0
+        self._last_backend = "native"
+        self._sync_incremental_stats()
+        self.stats.checks += 1
+        self.stats.sat_solves += 1
+        if res == SAT:
+            self.stats.sat_answers += 1
+        else:
+            self.stats.unsat_answers += 1
+        if self.elider is not None:
+            if res == SAT:
+                self.elider.note_model(self.model().as_dict())
+            else:
+                self.elider.note_unsat(conjuncts)
+        return SolveResult("sat" if res == SAT else "unsat",
+                           backend="native", stats=self.stats)
+
+    def _sync_incremental_stats(self) -> None:
+        """Mirror the SatSolver's incremental counters (running totals)
+        into this facade's stats after a native solve."""
+        sat_stats = self._sat.stats
+        st = self.stats
+        st.inc_solves += 1
+        st.inc_levels_reused = sat_stats["levels_reused"]
+        st.inc_levels_assumed = sat_stats["levels_assumed"]
+        st.inc_clauses_gced = sat_stats["clauses_gced"]
+        st.inc_learned_deleted = sat_stats["learned_deleted"]
+        st.inc_db_reductions = sat_stats["db_reductions"]
+        st.inc_heap_rebuilds = sat_stats["heap_rebuilds"]
+        st.inc_selectors_retired = sat_stats["selectors_retired"]
+        st.inc_learned_retained = len(self._sat._learned)
 
     def _check_canonical(self, extra: tuple[Term, ...]) -> "SolveResult":
         """Canonical-mode check: answer from the SolveCache."""

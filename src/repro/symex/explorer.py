@@ -66,6 +66,11 @@ class ExplorationStats:
         self.concolic_failures = 0
         self.step_time = 0.0
         self.finalize_time = 0.0
+        # Wall time inside the solver substrate (both solvers; the
+        # canonical cache's miss solves land in the model solver's
+        # solve_time).  The Fig 7 CPU split in bench points reads these.
+        self.solve_time_s = 0.0
+        self.blast_time_s = 0.0
         self.solver_checks = 0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -83,6 +88,22 @@ class ExplorationStats:
         # feasibility checks answered without a SAT solve" headline.
         self.feasibility_checks = 0
         self.feasibility_elided = 0
+        # Incremental status plane (smt/solver.py incremental=True):
+        # feasibility checks settled by a canonical-cache peek, DFS
+        # stack traffic mirrored into solver levels, trail reuse, and
+        # the clause-database hygiene the long-lived solver needs.
+        self.feasibility_cache_hits = 0
+        self.inc_solves = 0
+        self.inc_levels_pushed = 0
+        self.inc_levels_popped = 0
+        self.inc_levels_reused = 0
+        self.inc_levels_assumed = 0
+        self.inc_learned_retained = 0
+        self.inc_learned_deleted = 0
+        self.inc_clauses_gced = 0
+        self.inc_db_reductions = 0
+        self.inc_heap_rebuilds = 0
+        self.inc_selectors_retired = 0
         # Hash-consing (smt/terms.py): pool activity attributable to
         # this run (process-global counters, delta'd per explorer).
         self.intern_hits = 0
@@ -212,10 +233,23 @@ class Explorer:
         # solver and full elision would let cached witnesses reach test
         # output; elision is therefore gated on solve_cache so the
         # elide-on and elide-off suites stay identical.
+        #
+        # The incremental status plane (selector levels mirroring the
+        # DFS stack, trail/clause reuse across sibling checks) is gated
+        # the same way: it makes the pruning solver's *models* history-
+        # dependent, so it requires solve_cache (models then always come
+        # from canonical solves) and steps aside when a portfolio is
+        # configured (portfolio dispatch bypasses trail reuse, and the
+        # portfolio-on/off byte-identity contract is pinned to the
+        # one-shot plane).  Statuses are objective either way, so
+        # incremental on/off suites are byte-identical at any jobs.
+        self._incremental = (config.incremental and config.solve_cache
+                             and self.portfolio is None)
         self.solver = Solver(elide=config.elide and config.solve_cache,
                              elide_models=config.elide_models,
                              elide_unsat=config.elide_unsat,
-                             portfolio=self.portfolio)
+                             portfolio=self.portfolio,
+                             incremental=self._incremental)
         if config.solve_cache:
             self.solve_cache = SolveCache(capacity=config.cache_capacity,
                                           portfolio=self.portfolio,
@@ -444,6 +478,16 @@ class Explorer:
         else:
             st.feasibility_checks = 0
             st.feasibility_elided = 0
+        # Incremental-plane counters live on the pruning solver only
+        # (the canonical solver never runs incrementally).
+        for field in ("inc_solves", "inc_levels_pushed", "inc_levels_popped",
+                      "inc_levels_reused", "inc_levels_assumed",
+                      "inc_learned_retained", "inc_learned_deleted",
+                      "inc_clauses_gced", "inc_db_reductions",
+                      "inc_heap_rebuilds", "inc_selectors_retired"):
+            setattr(st, field, getattr(ps, field))
+        st.solve_time_s = ms.solve_time + (ps.solve_time if distinct else 0)
+        st.blast_time_s = ms.blast_time + (ps.blast_time if distinct else 0)
         istats = T.intern_stats()
         st.intern_hits = istats["hits"] - self._intern_base["hits"]
         st.intern_misses = istats["misses"] - self._intern_base["misses"]
@@ -494,11 +538,40 @@ class Explorer:
     def _feasible(self, state: ExecutionState) -> bool:
         if not state.path_cond:
             return True
-        status = self.solver.check(*state.path_cond)
+        if self._incremental:
+            status = self._feasible_incremental(state)
+        else:
+            status = self.solver.check(*state.path_cond)
         if status != "sat":
             self.stats.paths_pruned += 1
             return False
         return True
+
+    def _feasible_incremental(self, state: ExecutionState) -> str:
+        """Status-only feasibility along the exploration tree.
+
+        Three tiers, cheapest first.  The elider answers from witness
+        reuse or UNSAT subsumption without blasting anything; a
+        canonical-cache peek catches constraint sets a sibling path's
+        finalization already solved.  What remains rides the
+        incremental database: the pruning solver's assertion stack is
+        synced to the state's path condition (pop the stale suffix,
+        retiring those selector levels; push one level per new
+        conjunct), so the check re-propagates only the branch
+        constraint that actually changed, on top of the whole retained
+        clause database.  Only the *status* leaves this method; models
+        always come from the canonical solver.
+        """
+        conjuncts = list(state.path_cond)
+        solver = self.solver
+        status = solver.try_elide_path(conjuncts)
+        if status is not None:
+            return status
+        entry = self.solve_cache.peek(self.solve_cache.key_for(conjuncts))
+        if entry is not None:
+            self.stats.feasibility_cache_hits += 1
+            return entry.status
+        return solver.check_path(conjuncts)
 
     # ------------------------------------------------------------------
     # Finalization: path -> concrete test

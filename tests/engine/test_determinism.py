@@ -68,6 +68,17 @@ def test_interning_on_and_off_emit_identical_suites(reference, jobs):
 
 
 @pytest.mark.parametrize("jobs", JOBS)
+def test_incremental_on_and_off_emit_identical_suites(reference, jobs):
+    """The incremental status plane only changes how feasibility
+    *verdicts* are computed (assumption-scoped solves over a retained
+    clause database); every emitted model still comes from the
+    canonical one-shot solve path — so the incremental-off suite must
+    be byte-identical to the (incremental-on by default) reference, at
+    every worker count."""
+    assert _suite_bytes(jobs, incremental=False) == reference
+
+
+@pytest.mark.parametrize("jobs", JOBS)
 def test_portfolio_on_and_off_emit_identical_suites(reference, jobs,
                                                     monkeypatch):
     """The solver portfolio races an external back end on hard queries,

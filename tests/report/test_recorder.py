@@ -53,7 +53,7 @@ def test_cache_rates_zero_denominators():
     assert set(rates) == {
         "solve_cache_hit_rate", "query_elision_rate",
         "feasibility_elision_rate", "blast_cache_hit_rate",
-        "intern_hit_rate",
+        "intern_hit_rate", "incremental_reuse_rate",
     }
     assert all(v == 0.0 for v in rates.values())
 

@@ -1,0 +1,225 @@
+"""Unit tests for the CDCL core's incremental machinery.
+
+The status-only feasibility plane (``repro.smt.solver`` in incremental
+mode) leans on four SAT-level mechanisms that the one-shot path never
+exercises: mid-trail clause attachment (``keep_trail_on_add``),
+selector retirement plus clause garbage collection, activity-based
+learned-clause reduction, and the VSIDS heap rebuild that keeps the
+priority queue from accumulating stale duplicate entries.  Each gets a
+direct guard here, against a brute-force or fresh-solver reference
+where a verdict is involved.
+"""
+
+import itertools
+import random
+
+from repro.smt.sat import SAT, UNSAT, SatSolver
+
+
+def brute_force(clauses, num_vars, fixed=()):
+    fixed_map = {abs(l): l > 0 for l in fixed}
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if any(bits[v - 1] != want for v, want in fixed_map.items()):
+            continue
+        if all(any(bits[abs(l) - 1] == (l > 0) for l in clause)
+               for clause in clauses):
+            return True
+    return False
+
+
+def _random_3sat(rng, num_vars, num_clauses):
+    out = []
+    for _ in range(num_clauses):
+        lits = rng.sample(range(1, num_vars + 1), 3)
+        out.append([l if rng.random() < 0.5 else -l for l in lits])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# VSIDS heap hygiene: ``_bump`` pushes a fresh (priority, var) entry
+# without removing the stale one, so before the rebuild guard the heap
+# grew without bound across long incremental sessions.
+# ---------------------------------------------------------------------------
+
+def test_vsids_heap_stays_bounded_across_repeated_solves():
+    rng = random.Random(7)
+    s = SatSolver()
+    num_vars = 20
+    # Ratio ~4.2 keeps the instance near the phase transition: every
+    # solve does real conflict-driven search, so variables get bumped
+    # (and re-pushed) thousands of times.
+    for clause in _random_3sat(rng, num_vars, 84):
+        s.add_clause(clause)
+    for i in range(60):
+        v = rng.randint(1, num_vars)
+        s.solve([v if i % 2 else -v])
+        # _heap_push rebuilds past 2*num_vars + 64; one in-flight push
+        # may land on top of a heap sitting exactly at the bound.
+        assert len(s._order) <= 2 * s.num_vars + 65, (
+            f"heap at {len(s._order)} entries for {s.num_vars} vars "
+            f"after solve {i} — duplicate entries are accumulating again"
+        )
+    assert s.stats["conflicts"] > 0
+    assert s.stats["heap_rebuilds"] > 0
+
+
+def test_heap_rebuild_preserves_verdicts():
+    rng = random.Random(11)
+    num_vars = 8
+    clauses = _random_3sat(rng, num_vars, 30)
+    s = SatSolver()
+    for clause in clauses:
+        s.add_clause(clause)
+    for i in range(1, num_vars + 1):
+        for lit in (i, -i):
+            assert (s.solve([lit]) == SAT) == \
+                brute_force(clauses, num_vars, fixed=[lit])
+
+
+# ---------------------------------------------------------------------------
+# Mid-trail attachment: with ``keep_trail_on_add`` the solver attaches
+# new clauses without resetting to level 0, repairing the trail only as
+# far as the clause actually requires.
+# ---------------------------------------------------------------------------
+
+def test_mid_trail_attach_matches_fresh_solver():
+    rng = random.Random(3)
+    num_vars = 10
+    inc = SatSolver()
+    inc.keep_trail_on_add = True
+    clauses = []
+    for round_no in range(25):
+        clause = _random_3sat(rng, num_vars, 1)[0]
+        clauses.append(clause)
+        inc.add_clause(clause)
+        assumption = [rng.choice([1, -1]) * rng.randint(1, num_vars)]
+        got = inc.solve(assumption, reuse_trail=True)
+        want = SAT if brute_force(clauses, num_vars, fixed=assumption) \
+            else UNSAT
+        # An assumption-UNSAT answer never poisons the database: the
+        # global formula here stays satisfiable throughout.
+        assert got == want, f"diverged at round {round_no}"
+        if got == SAT:
+            m = inc.model()
+            assert all(any(m[abs(l)] == (l > 0) for l in c)
+                       for c in clauses)
+    assert inc.stats["levels_reused"] >= 0  # counter exists and is sane
+
+
+def test_mid_trail_unit_clause_forces_its_literal():
+    s = SatSolver()
+    s.keep_trail_on_add = True
+    s.add_clause([1, 2])
+    s.add_clause([2, 3])
+    assert s.solve([], reuse_trail=True) == SAT
+    # Attach a unit that contradicts whatever the trail settled on.
+    s.add_clause([-2])
+    assert s.solve([], reuse_trail=True) == SAT
+    m = s.model()
+    assert m[2] is False and m[1] is True and m[3] is True
+
+
+# ---------------------------------------------------------------------------
+# Selector retirement + garbage collection: a popped level's guard
+# variable goes dead (never decided, phase-saved False) and its guarded
+# clauses are physically dropped at the next GC.
+# ---------------------------------------------------------------------------
+
+def test_retired_selector_deactivates_guarded_clauses():
+    s = SatSolver()
+    s.keep_trail_on_add = True
+    sel = s.new_var()
+    x = s.new_var()
+    s.add_clause([-sel, x])       # sel -> x
+    assert s.solve([sel], reuse_trail=True) == SAT
+    assert s.model()[x] is True
+    s.retire_selector(sel)
+    # x is unconstrained again: both polarities satisfiable.
+    assert s.solve([x], reuse_trail=True) == SAT
+    assert s.solve([-x], reuse_trail=True) == SAT
+    assert s.stats["selectors_retired"] == 1
+
+
+def test_collect_garbage_drops_only_dead_guarded_clauses():
+    s = SatSolver()
+    s.keep_trail_on_add = True
+    keep_sel, dead_sel = s.new_var(), s.new_var()
+    a, b = s.new_var(), s.new_var()
+    s.add_clause([-keep_sel, a])
+    s.add_clause([-dead_sel, b])
+    s.add_clause([a, b])          # unguarded: must survive any GC
+    before = len(s.clauses)
+    s.retire_selector(dead_sel)
+    dropped = s.collect_garbage()
+    assert dropped == 1
+    assert len(s.clauses) == before - 1
+    assert s.stats["clauses_gced"] == 1
+    # Live guard still active, unguarded clause still enforced.
+    assert s.solve([keep_sel, -a], reuse_trail=True) == UNSAT
+    assert s.solve([-a], reuse_trail=True) == SAT
+    assert s.model()[b] is True
+
+
+def test_gc_triggers_automatically_past_dead_threshold():
+    s = SatSolver()
+    s.keep_trail_on_add = True
+    s.gc_dead_threshold = 8
+    payload = s.new_var()
+    for _ in range(10):
+        sel = s.new_var()
+        s.add_clause([-sel, payload])
+        s.retire_selector(sel)
+        s.solve([], reuse_trail=True)
+    assert s.stats["clauses_gced"] >= 8
+
+
+# ---------------------------------------------------------------------------
+# Learned-clause reduction: on conflict-heavy incremental sessions the
+# learned DB is halved by activity once it outgrows ``max_learned``,
+# without changing any verdict.
+# ---------------------------------------------------------------------------
+
+def _relaxed_pigeonhole(solver, pigeons, holes):
+    """PHP(pigeons, holes) where every clause is disabled by a relax
+    literal; assuming ``-relax`` asserts the (unsat) pigeonhole core.
+    Returns the relax variable."""
+    p = [[solver.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    relax = solver.new_var()
+    for i in range(pigeons):
+        solver.add_clause([relax] + [p[i][j] for j in range(holes)])
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                solver.add_clause([relax, -p[i1][j], -p[i2][j]])
+    return relax
+
+
+def test_learned_reduction_bounds_db_and_preserves_verdicts():
+    s = SatSolver()
+    s.keep_trail_on_add = True
+    s.max_learned = 20
+    relax = _relaxed_pigeonhole(s, 5, 4)
+    for _ in range(4):
+        # Assumption-scoped UNSAT: conflicts happen above level 0, so
+        # clauses are learned and retained across calls.
+        assert s.solve([-relax], reuse_trail=True) == UNSAT
+        assert s.solve([relax], reuse_trail=True) == SAT
+    assert s.stats["learned"] > 20
+    assert s.stats["db_reductions"] >= 1
+    assert s.stats["learned_deleted"] > 0
+    # Geometric growth means the cap moved, but the DB tracks it.
+    assert len(s._learned) <= s.max_learned
+
+
+def test_reduction_never_drops_reason_clauses():
+    # Locked clauses (currently a propagation reason) must survive
+    # reduction even at activity zero; forcing max_learned to 0 makes
+    # every reduction as aggressive as possible.
+    s = SatSolver()
+    s.keep_trail_on_add = True
+    s.max_learned = 0
+    relax = _relaxed_pigeonhole(s, 5, 4)
+    for _ in range(3):
+        assert s.solve([-relax], reuse_trail=True) == UNSAT
+        assert s.solve([relax], reuse_trail=True) == SAT
+    assert s.stats["db_reductions"] >= 1
